@@ -1,0 +1,616 @@
+//! The core And-Inverter Graph structure.
+
+use esyn_eqn::{Network, Node as EqnNode, NodeId};
+use std::collections::HashMap;
+
+/// A literal: an AIG node index with a complement bit (`node << 1 | compl`).
+///
+/// Node 0 is the constant-FALSE node, so [`AigLit::FALSE`] is `0` and
+/// [`AigLit::TRUE`] is `1`, matching the AIGER convention.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AigLit(u32);
+
+impl AigLit {
+    /// Constant false.
+    pub const FALSE: AigLit = AigLit(0);
+    /// Constant true.
+    pub const TRUE: AigLit = AigLit(1);
+
+    /// Builds a literal from a node index and complement flag.
+    pub fn new(node: u32, compl: bool) -> Self {
+        AigLit(node << 1 | compl as u32)
+    }
+
+    /// The node index this literal refers to.
+    pub fn node(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// True when the literal is complemented.
+    pub fn is_compl(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complemented literal.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        AigLit(self.0 ^ 1)
+    }
+
+    /// Complements the literal iff `c` is true.
+    pub fn xor_compl(self, c: bool) -> Self {
+        AigLit(self.0 ^ c as u32)
+    }
+
+    /// True when this is one of the two constant literals.
+    pub fn is_const(self) -> bool {
+        self.node() == 0
+    }
+}
+
+impl std::fmt::Debug for AigLit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_compl() {
+            write!(f, "!n{}", self.node())
+        } else {
+            write!(f, "n{}", self.node())
+        }
+    }
+}
+
+/// Kind of an AIG node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum NodeKind {
+    Const,
+    Pi(u32),
+    And(AigLit, AigLit),
+}
+
+/// An And-Inverter Graph: two-input AND nodes with complemented edges,
+/// structurally hashed.
+///
+/// Node 0 is constant false; primary inputs follow; AND nodes are appended
+/// as they are built, so ascending node index is a topological order.
+#[derive(Clone, Debug, Default)]
+pub struct Aig {
+    pub(crate) nodes: Vec<NodeKind>,
+    strash: HashMap<(AigLit, AigLit), u32>,
+    pi_names: Vec<String>,
+    pos: Vec<(String, AigLit)>,
+}
+
+impl Aig {
+    /// Creates an AIG containing only the constant node.
+    pub fn new() -> Self {
+        Aig {
+            nodes: vec![NodeKind::Const],
+            strash: HashMap::new(),
+            pi_names: Vec::new(),
+            pos: Vec::new(),
+        }
+    }
+
+    /// Total nodes (constant + PIs + ANDs, live or dead).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when only the constant node exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Number of primary inputs.
+    pub fn num_pis(&self) -> usize {
+        self.pi_names.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_pos(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Primary-input names, in declaration order.
+    pub fn pi_names(&self) -> &[String] {
+        &self.pi_names
+    }
+
+    /// Primary outputs (name, literal).
+    pub fn outputs(&self) -> &[(String, AigLit)] {
+        &self.pos
+    }
+
+    /// Adds a primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any AND node already exists: PIs must be declared first so
+    /// that PI `i` always lives at node index `1 + i` (an invariant the
+    /// simulation and CNF layers rely on).
+    pub fn add_pi(&mut self, name: impl Into<String>) -> AigLit {
+        assert_eq!(
+            self.nodes.len(),
+            1 + self.pi_names.len(),
+            "primary inputs must be added before any AND node"
+        );
+        let idx = self.pi_names.len() as u32;
+        self.pi_names.push(name.into());
+        let node = self.nodes.len() as u32;
+        self.nodes.push(NodeKind::Pi(idx));
+        AigLit::new(node, false)
+    }
+
+    /// Declares a primary output.
+    pub fn add_po(&mut self, name: impl Into<String>, lit: AigLit) {
+        self.pos.push((name.into(), lit));
+    }
+
+    /// The literal of primary input `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn pi_lit(&self, idx: usize) -> AigLit {
+        assert!(idx < self.pi_names.len());
+        AigLit::new(1 + idx as u32, false)
+    }
+
+    /// True when `node` is an AND node.
+    pub fn is_and(&self, node: u32) -> bool {
+        matches!(self.nodes[node as usize], NodeKind::And(..))
+    }
+
+    /// True when `node` is a primary input.
+    pub fn is_pi(&self, node: u32) -> bool {
+        matches!(self.nodes[node as usize], NodeKind::Pi(_))
+    }
+
+    /// Fanins of an AND node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an AND node.
+    pub fn fanins(&self, node: u32) -> (AigLit, AigLit) {
+        match self.nodes[node as usize] {
+            NodeKind::And(a, b) => (a, b),
+            _ => panic!("node {node} is not an AND"),
+        }
+    }
+
+    /// Looks up an AND of `a` and `b` without creating it. Returns the
+    /// result literal if it is structurally present or trivially known.
+    pub fn lookup_and(&self, a: AigLit, b: AigLit) -> Option<AigLit> {
+        match Self::normalize(a, b) {
+            AndForm::Const(l) | AndForm::Alias(l) => Some(l),
+            AndForm::Pair(x, y) => self
+                .strash
+                .get(&(x, y))
+                .map(|&n| AigLit::new(n, false)),
+        }
+    }
+
+    /// The AND of two literals, structurally hashed, with trivial-case
+    /// simplification (`a&a = a`, `a&!a = 0`, constants).
+    pub fn and(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        match Self::normalize(a, b) {
+            AndForm::Const(l) | AndForm::Alias(l) => l,
+            AndForm::Pair(x, y) => {
+                if let Some(&n) = self.strash.get(&(x, y)) {
+                    return AigLit::new(n, false);
+                }
+                let n = self.nodes.len() as u32;
+                self.nodes.push(NodeKind::And(x, y));
+                self.strash.insert((x, y), n);
+                AigLit::new(n, false)
+            }
+        }
+    }
+
+    /// Appends an AND node *verbatim* (no normalisation), for file loaders
+    /// that must honour externally fixed node indices. The strash table is
+    /// still updated so later [`Aig::and`] calls can reuse the node.
+    pub(crate) fn push_raw_and(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        let n = self.nodes.len() as u32;
+        self.nodes.push(NodeKind::And(a, b));
+        let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        self.strash.entry((x, y)).or_insert(n);
+        AigLit::new(n, false)
+    }
+
+    /// Overwrites PI names where `names[i]` is `Some` (symbol tables).
+    pub(crate) fn rename_pis(&mut self, names: &[Option<String>]) {
+        for (i, n) in names.iter().enumerate() {
+            if let Some(n) = n {
+                self.pi_names[i] = n.clone();
+            }
+        }
+    }
+
+    fn normalize(a: AigLit, b: AigLit) -> AndForm {
+        if a == AigLit::FALSE || b == AigLit::FALSE {
+            return AndForm::Const(AigLit::FALSE);
+        }
+        if a == AigLit::TRUE {
+            return AndForm::Alias(b);
+        }
+        if b == AigLit::TRUE {
+            return AndForm::Alias(a);
+        }
+        if a == b {
+            return AndForm::Alias(a);
+        }
+        if a == b.not() {
+            return AndForm::Const(AigLit::FALSE);
+        }
+        let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        AndForm::Pair(x, y)
+    }
+
+    /// `!(!a & !b)`.
+    pub fn or(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        self.and(a.not(), b.not()).not()
+    }
+
+    /// Exclusive OR (two ANDs plus an OR, the standard 3-node form).
+    pub fn xor(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        let x = self.and(a, b.not());
+        let y = self.and(a.not(), b);
+        self.or(x, y)
+    }
+
+    /// 2:1 multiplexer `sel ? t : e`.
+    pub fn mux(&mut self, sel: AigLit, t: AigLit, e: AigLit) -> AigLit {
+        let x = self.and(sel, t);
+        let y = self.and(sel.not(), e);
+        self.or(x, y)
+    }
+
+    /// Live AND-node count (reachable from the outputs). This is the
+    /// "#and" metric of the paper's Figure 1.
+    pub fn num_ands(&self) -> usize {
+        let mut count = 0;
+        self.for_each_live(|aig, n| {
+            if aig.is_and(n) {
+                count += 1;
+            }
+        });
+        count
+    }
+
+    /// Logic depth: the maximum number of AND nodes on any input-to-output
+    /// path (the "#level" metric of Figure 1).
+    pub fn num_levels(&self) -> usize {
+        let levels = self.levels();
+        self.pos
+            .iter()
+            .map(|&(_, l)| levels[l.node() as usize] as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-node level: PIs and the constant at 0, ANDs at
+    /// `1 + max(fanin levels)`.
+    pub fn levels(&self) -> Vec<u32> {
+        let mut levels = vec![0u32; self.nodes.len()];
+        for n in 0..self.nodes.len() {
+            if let NodeKind::And(a, b) = self.nodes[n] {
+                levels[n] =
+                    1 + levels[a.node() as usize].max(levels[b.node() as usize]);
+            }
+        }
+        levels
+    }
+
+    /// Marks nodes reachable from the primary outputs.
+    pub(crate) fn live_mask(&self) -> Vec<bool> {
+        let mut live = vec![false; self.nodes.len()];
+        let mut stack: Vec<u32> = self.pos.iter().map(|&(_, l)| l.node()).collect();
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut live[n as usize], true) {
+                continue;
+            }
+            if let NodeKind::And(a, b) = self.nodes[n as usize] {
+                stack.push(a.node());
+                stack.push(b.node());
+            }
+        }
+        live
+    }
+
+    fn for_each_live(&self, mut f: impl FnMut(&Aig, u32)) {
+        let live = self.live_mask();
+        for n in 0..self.nodes.len() as u32 {
+            if live[n as usize] {
+                f(self, n);
+            }
+        }
+    }
+
+    /// Fanout counts (restricted to live nodes; POs count as fanouts).
+    pub(crate) fn fanout_counts(&self) -> Vec<u32> {
+        let live = self.live_mask();
+        let mut refs = vec![0u32; self.nodes.len()];
+        for n in 0..self.nodes.len() {
+            if !live[n] {
+                continue;
+            }
+            if let NodeKind::And(a, b) = self.nodes[n] {
+                refs[a.node() as usize] += 1;
+                refs[b.node() as usize] += 1;
+            }
+        }
+        for &(_, l) in &self.pos {
+            refs[l.node() as usize] += 1;
+        }
+        refs
+    }
+
+    /// Rebuilds the AIG keeping only live logic; node ids are re-compacted
+    /// but PI order, PO order and all functions are preserved.
+    pub fn cleanup(&self) -> Aig {
+        let mut out = Aig::new();
+        for name in &self.pi_names {
+            out.add_pi(name.clone());
+        }
+        let mut map: Vec<AigLit> = vec![AigLit::FALSE; self.nodes.len()];
+        let live = self.live_mask();
+        for n in 0..self.nodes.len() {
+            if !live[n] {
+                continue;
+            }
+            map[n] = match self.nodes[n] {
+                NodeKind::Const => AigLit::FALSE,
+                NodeKind::Pi(idx) => out.pi_lit(idx as usize),
+                NodeKind::And(a, b) => {
+                    let fa = map[a.node() as usize].xor_compl(a.is_compl());
+                    let fb = map[b.node() as usize].xor_compl(b.is_compl());
+                    out.and(fa, fb)
+                }
+            };
+        }
+        for (name, l) in &self.pos {
+            let ml = map[l.node() as usize].xor_compl(l.is_compl());
+            out.add_po(name.clone(), ml);
+        }
+        out
+    }
+
+    /// Converts a Boolean [`Network`] into an AIG (`strash` in ABC terms):
+    /// OR becomes a complemented AND via De Morgan, NOT becomes edge
+    /// complementation.
+    pub fn from_network(net: &Network) -> Aig {
+        let mut aig = Aig::new();
+        let mut map: HashMap<NodeId, AigLit> = HashMap::new();
+        for name in net.input_names() {
+            aig.add_pi(name.clone());
+        }
+        for id in net.topo_order() {
+            let lit = match net.node(id) {
+                EqnNode::Const(v) => {
+                    if v {
+                        AigLit::TRUE
+                    } else {
+                        AigLit::FALSE
+                    }
+                }
+                EqnNode::Input(idx) => aig.pi_lit(idx as usize),
+                EqnNode::Not(a) => map[&a].not(),
+                EqnNode::And(a, b) => {
+                    let (fa, fb) = (map[&a], map[&b]);
+                    aig.and(fa, fb)
+                }
+                EqnNode::Or(a, b) => {
+                    let (fa, fb) = (map[&a], map[&b]);
+                    aig.or(fa, fb)
+                }
+            };
+            map.insert(id, lit);
+        }
+        for (name, id) in net.outputs() {
+            aig.add_po(name.clone(), map[id]);
+        }
+        aig
+    }
+
+    /// Converts back to the {AND, OR, NOT} network IR. Complemented edges
+    /// become NOT nodes (shared via the network's hash-consing).
+    pub fn to_network(&self) -> Network {
+        let mut net = Network::new();
+        for name in &self.pi_names {
+            net.input(name.clone());
+        }
+        let mut map: Vec<NodeId> = Vec::with_capacity(self.nodes.len());
+        let lit_of = |net: &mut Network, map: &[NodeId], l: AigLit| {
+            let id = map[l.node() as usize];
+            if l.is_compl() {
+                net.not(id)
+            } else {
+                id
+            }
+        };
+        for n in 0..self.nodes.len() {
+            let id = match self.nodes[n] {
+                NodeKind::Const => net.constant(false),
+                NodeKind::Pi(idx) => {
+                    let name = self.pi_names[idx as usize].clone();
+                    net.input(name)
+                }
+                NodeKind::And(a, b) => {
+                    let fa = lit_of(&mut net, &map, a);
+                    let fb = lit_of(&mut net, &map, b);
+                    net.and(fa, fb)
+                }
+            };
+            map.push(id);
+        }
+        for (name, l) in &self.pos {
+            let id = lit_of(&mut net, &map, *l);
+            net.output(name.clone(), id);
+        }
+        net
+    }
+
+    /// Bit-parallel simulation: `pi_words[i]` carries 64 stimulus bits for
+    /// PI `i`; returns one word per node (index = node id).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one word per PI is supplied.
+    pub fn simulate_nodes(&self, pi_words: &[u64]) -> Vec<u64> {
+        assert_eq!(pi_words.len(), self.num_pis(), "one word per PI");
+        let mut vals = vec![0u64; self.nodes.len()];
+        for n in 0..self.nodes.len() {
+            vals[n] = match self.nodes[n] {
+                NodeKind::Const => 0,
+                NodeKind::Pi(idx) => pi_words[idx as usize],
+                NodeKind::And(a, b) => {
+                    let va = vals[a.node() as usize] ^ if a.is_compl() { u64::MAX } else { 0 };
+                    let vb = vals[b.node() as usize] ^ if b.is_compl() { u64::MAX } else { 0 };
+                    va & vb
+                }
+            };
+        }
+        vals
+    }
+
+    /// Simulates and returns one response word per output.
+    pub fn simulate(&self, pi_words: &[u64]) -> Vec<u64> {
+        let vals = self.simulate_nodes(pi_words);
+        self.pos
+            .iter()
+            .map(|&(_, l)| vals[l.node() as usize] ^ if l.is_compl() { u64::MAX } else { 0 })
+            .collect()
+    }
+}
+
+enum AndForm {
+    Const(AigLit),
+    Alias(AigLit),
+    Pair(AigLit, AigLit),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esyn_eqn::parse_eqn;
+
+    #[test]
+    fn lit_encoding() {
+        let l = AigLit::new(5, true);
+        assert_eq!(l.node(), 5);
+        assert!(l.is_compl());
+        assert!(!l.not().is_compl());
+        assert_eq!(l.xor_compl(true), l.not());
+        assert_eq!(l.xor_compl(false), l);
+        assert_eq!(AigLit::FALSE.not(), AigLit::TRUE);
+        assert!(AigLit::TRUE.is_const());
+    }
+
+    #[test]
+    fn and_simplifications() {
+        let mut g = Aig::new();
+        let a = g.add_pi("a");
+        let b = g.add_pi("b");
+        assert_eq!(g.and(a, AigLit::FALSE), AigLit::FALSE);
+        assert_eq!(g.and(a, AigLit::TRUE), a);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, a.not()), AigLit::FALSE);
+        let ab = g.and(a, b);
+        let ba = g.and(b, a);
+        assert_eq!(ab, ba, "structural hashing is commutative");
+        assert_eq!(g.len(), 4); // const + 2 PIs + 1 AND
+    }
+
+    #[test]
+    fn lookup_and_does_not_create() {
+        let mut g = Aig::new();
+        let a = g.add_pi("a");
+        let b = g.add_pi("b");
+        assert_eq!(g.lookup_and(a, b), None);
+        let ab = g.and(a, b);
+        assert_eq!(g.lookup_and(b, a), Some(ab));
+        assert_eq!(g.lookup_and(a, AigLit::TRUE), Some(a));
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn or_xor_mux_functions() {
+        let mut g = Aig::new();
+        let a = g.add_pi("a");
+        let b = g.add_pi("b");
+        let c = g.add_pi("c");
+        let or = g.or(a, b);
+        let xor = g.xor(a, b);
+        let mux = g.mux(a, b, c);
+        g.add_po("or", or);
+        g.add_po("xor", xor);
+        g.add_po("mux", mux);
+        let res = g.simulate(&[0b1100, 0b1010, 0b1111]);
+        assert_eq!(res[0] & 0xF, 0b1110);
+        assert_eq!(res[1] & 0xF, 0b0110);
+        assert_eq!(res[2] & 0xF, 0b1011); // a ? b : c with c=1111
+    }
+
+    #[test]
+    fn network_roundtrip_preserves_function() {
+        let net = parse_eqn(
+            "INORDER = a b c d;\nOUTORDER = f g;\nf = (a*b) + (!c*d);\ng = !(a + (b*!d));\n",
+        )
+        .unwrap();
+        let aig = Aig::from_network(&net);
+        let back = aig.to_network();
+        assert_eq!(net.truth_tables(), back.truth_tables());
+        assert_eq!(back.input_names(), net.input_names());
+        assert_eq!(back.outputs().len(), 2);
+    }
+
+    #[test]
+    fn counts_and_levels() {
+        // f = (a & b) | (c & d): 3 AND nodes, 2 levels.
+        let net = parse_eqn("INORDER = a b c d;\nOUTORDER = f;\nf = a*b + c*d;\n").unwrap();
+        let aig = Aig::from_network(&net);
+        assert_eq!(aig.num_ands(), 3);
+        assert_eq!(aig.num_levels(), 2);
+    }
+
+    #[test]
+    fn cleanup_drops_dead_nodes() {
+        let mut g = Aig::new();
+        let a = g.add_pi("a");
+        let b = g.add_pi("b");
+        let keep = g.and(a, b);
+        let _dead = g.xor(a, b); // 3 nodes, never used
+        g.add_po("f", keep.not());
+        assert_eq!(g.num_ands(), 1);
+        let cleaned = g.cleanup();
+        assert_eq!(cleaned.len(), 4); // const + 2 PI + 1 AND
+        assert_eq!(cleaned.num_ands(), 1);
+        // function preserved
+        let x = g.simulate(&[0b1100, 0b1010]);
+        let y = cleaned.simulate(&[0b1100, 0b1010]);
+        assert_eq!(x[0] & 0xF, y[0] & 0xF);
+    }
+
+    #[test]
+    fn constant_output_network() {
+        let net = parse_eqn("INORDER = a;\nOUTORDER = f;\nf = a * !a;\n").unwrap();
+        let aig = Aig::from_network(&net);
+        assert_eq!(aig.num_ands(), 0);
+        assert_eq!(aig.outputs()[0].1, AigLit::FALSE);
+        let back = aig.to_network();
+        assert!(back.truth_tables()[0].is_zero());
+    }
+
+    #[test]
+    fn fanout_counts_include_pos() {
+        let mut g = Aig::new();
+        let a = g.add_pi("a");
+        let b = g.add_pi("b");
+        let ab = g.and(a, b);
+        g.add_po("f", ab);
+        g.add_po("g", ab.not());
+        let refs = g.fanout_counts();
+        assert_eq!(refs[ab.node() as usize], 2);
+        assert_eq!(refs[a.node() as usize], 1);
+    }
+}

@@ -1,0 +1,467 @@
+//! AIGER format I/O (combinational subset).
+//!
+//! The paper's training pipeline generates circuits with `aigfuzz` from
+//! the AIGER toolkit; this module reads and writes both the ASCII (`aag`)
+//! and binary (`aig`) formats for combinational circuits (no latches),
+//! including the symbol table. Literal encoding matches AIGER exactly
+//! (`var << 1 | complement`, constant false = 0), which is also the
+//! in-memory encoding of [`AigLit`].
+
+use crate::aig::{Aig, AigLit, NodeKind};
+use std::fmt;
+
+/// Error reading an AIGER file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AigerError(pub String);
+
+impl fmt::Display for AigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "aiger error: {}", self.0)
+    }
+}
+
+impl std::error::Error for AigerError {}
+
+fn err(msg: impl Into<String>) -> AigerError {
+    AigerError(msg.into())
+}
+
+impl Aig {
+    /// Writes the ASCII AIGER (`aag`) representation, including a symbol
+    /// table with PI/PO names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the AIG contains unreachable AND nodes interleaved in a
+    /// way that breaks AIGER's contiguous ordering — never the case for
+    /// graphs built through this crate's API ([`Aig::cleanup`] first if
+    /// unsure).
+    pub fn to_aiger_ascii(&self) -> String {
+        use std::fmt::Write as _;
+        let num_ands = self.len() - 1 - self.num_pis();
+        let max_var = self.len() - 1;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "aag {} {} 0 {} {}",
+            max_var,
+            self.num_pis(),
+            self.num_pos(),
+            num_ands
+        );
+        for i in 0..self.num_pis() {
+            let _ = writeln!(s, "{}", self.pi_lit(i).to_aiger());
+        }
+        for (_, l) in self.outputs() {
+            let _ = writeln!(s, "{}", l.to_aiger());
+        }
+        for n in 0..self.len() as u32 {
+            if let NodeKind::And(a, b) = self.nodes[n as usize] {
+                let lhs = AigLit::new(n, false).to_aiger();
+                // AIGER requires rhs0 >= rhs1
+                let (x, y) = if a.to_aiger() >= b.to_aiger() {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+                let _ = writeln!(s, "{lhs} {} {}", x.to_aiger(), y.to_aiger());
+            }
+        }
+        for (i, name) in self.pi_names().iter().enumerate() {
+            let _ = writeln!(s, "i{i} {name}");
+        }
+        for (i, (name, _)) in self.outputs().iter().enumerate() {
+            let _ = writeln!(s, "o{i} {name}");
+        }
+        s
+    }
+
+    /// Writes the binary AIGER (`aig`) representation.
+    pub fn to_aiger_binary(&self) -> Vec<u8> {
+        let num_ands = self.len() - 1 - self.num_pis();
+        let max_var = self.len() - 1;
+        let mut out = Vec::new();
+        out.extend_from_slice(
+            format!(
+                "aig {} {} 0 {} {}\n",
+                max_var,
+                self.num_pis(),
+                self.num_pos(),
+                num_ands
+            )
+            .as_bytes(),
+        );
+        for (_, l) in self.outputs() {
+            out.extend_from_slice(format!("{}\n", l.to_aiger()).as_bytes());
+        }
+        // Binary AND section: per gate, the two deltas lhs-rhs0 and
+        // rhs0-rhs1 in LEB128-style 7-bit groups.
+        for n in 0..self.len() as u32 {
+            if let NodeKind::And(a, b) = self.nodes[n as usize] {
+                let lhs = AigLit::new(n, false).to_aiger();
+                let (r0, r1) = {
+                    let (x, y) = (a.to_aiger(), b.to_aiger());
+                    if x >= y {
+                        (x, y)
+                    } else {
+                        (y, x)
+                    }
+                };
+                push_delta(&mut out, lhs - r0);
+                push_delta(&mut out, r0 - r1);
+            }
+        }
+        // symbol table
+        for (i, name) in self.pi_names().iter().enumerate() {
+            out.extend_from_slice(format!("i{i} {name}\n").as_bytes());
+        }
+        for (i, (name, _)) in self.outputs().iter().enumerate() {
+            out.extend_from_slice(format!("o{i} {name}\n").as_bytes());
+        }
+        out
+    }
+
+    /// Parses an ASCII AIGER (`aag`) file (combinational: zero latches).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AigerError`] on malformed headers, out-of-order AND
+    /// definitions, or latch sections.
+    pub fn from_aiger_ascii(text: &str) -> Result<Aig, AigerError> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| err("empty input"))?;
+        let (m, i, l, o, a) = parse_header(header, "aag")?;
+        if l != 0 {
+            return Err(err("latches are not supported (combinational only)"));
+        }
+        let mut aig = Aig::new();
+        let mut pi_lits = Vec::with_capacity(i);
+        for k in 0..i {
+            let line = lines.next().ok_or_else(|| err("missing input line"))?;
+            let lit: u64 = line
+                .trim()
+                .parse()
+                .map_err(|_| err(format!("bad input literal `{line}`")))?;
+            if lit != (2 * (k as u64 + 1)) {
+                return Err(err(format!(
+                    "inputs must be consecutive even literals; got {lit}"
+                )));
+            }
+            pi_lits.push(aig.add_pi(format!("i{k}")));
+        }
+        let mut out_lits = Vec::with_capacity(o);
+        for _ in 0..o {
+            let line = lines.next().ok_or_else(|| err("missing output line"))?;
+            let lit: u64 = line
+                .trim()
+                .parse()
+                .map_err(|_| err(format!("bad output literal `{line}`")))?;
+            out_lits.push(lit);
+        }
+        // AND gates: defined in order; node index = i + 1 + gate#.
+        let lit_of = |raw: u64, defined: u32| -> Result<AigLit, AigerError> {
+            let var = (raw / 2) as u32;
+            if var > defined {
+                return Err(err(format!("literal {raw} references undefined var")));
+            }
+            Ok(AigLit::new(var, raw & 1 == 1))
+        };
+        for k in 0..a {
+            let line = lines.next().ok_or_else(|| err("missing and line"))?;
+            let mut parts = line.split_whitespace();
+            let lhs: u64 = parts
+                .next()
+                .ok_or_else(|| err("missing lhs"))?
+                .parse()
+                .map_err(|_| err("bad lhs"))?;
+            let rhs0: u64 = parts
+                .next()
+                .ok_or_else(|| err("missing rhs0"))?
+                .parse()
+                .map_err(|_| err("bad rhs0"))?;
+            let rhs1: u64 = parts
+                .next()
+                .ok_or_else(|| err("missing rhs1"))?
+                .parse()
+                .map_err(|_| err("bad rhs1"))?;
+            let expected = 2 * (i as u64 + 1 + k as u64);
+            if lhs != expected {
+                return Err(err(format!("and lhs {lhs}, expected {expected}")));
+            }
+            let defined = (i + k) as u32;
+            let fa = lit_of(rhs0, defined)?;
+            let fb = lit_of(rhs1, defined)?;
+            aig.push_raw_and(fa, fb);
+        }
+        let _ = m;
+        let _ = pi_lits;
+        // symbol table (optional)
+        let mut pi_names: Vec<Option<String>> = vec![None; i];
+        let mut po_names: Vec<Option<String>> = vec![None; o];
+        for line in lines {
+            let line = line.trim();
+            if line == "c" {
+                break; // comment section
+            }
+            if let Some(rest) = line.strip_prefix('i') {
+                if let Some((idx, name)) = rest.split_once(' ') {
+                    if let Ok(idx) = idx.parse::<usize>() {
+                        if idx < i {
+                            pi_names[idx] = Some(name.to_owned());
+                        }
+                    }
+                }
+            } else if let Some(rest) = line.strip_prefix('o') {
+                if let Some((idx, name)) = rest.split_once(' ') {
+                    if let Ok(idx) = idx.parse::<usize>() {
+                        if idx < o {
+                            po_names[idx] = Some(name.to_owned());
+                        }
+                    }
+                }
+            }
+        }
+        aig.rename_pis(&pi_names);
+        for (k, lit) in out_lits.iter().enumerate() {
+            let name = po_names[k].clone().unwrap_or_else(|| format!("o{k}"));
+            let var = (lit / 2) as u32;
+            if var as usize >= aig.len() {
+                return Err(err(format!("output literal {lit} out of range")));
+            }
+            aig.add_po(name, AigLit::new(var, lit & 1 == 1));
+        }
+        Ok(aig)
+    }
+
+    /// Parses a binary AIGER (`aig`) file (combinational subset).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AigerError`] on malformed input.
+    pub fn from_aiger_binary(bytes: &[u8]) -> Result<Aig, AigerError> {
+        let mut pos = 0usize;
+        let header = read_line(bytes, &mut pos).ok_or_else(|| err("empty input"))?;
+        let (_, i, l, o, a) = parse_header(&header, "aig")?;
+        if l != 0 {
+            return Err(err("latches are not supported (combinational only)"));
+        }
+        let mut aig = Aig::new();
+        for k in 0..i {
+            aig.add_pi(format!("i{k}"));
+        }
+        let mut out_lits = Vec::with_capacity(o);
+        for _ in 0..o {
+            let line = read_line(bytes, &mut pos).ok_or_else(|| err("missing output"))?;
+            let lit: u64 = line
+                .trim()
+                .parse()
+                .map_err(|_| err(format!("bad output literal `{line}`")))?;
+            out_lits.push(lit);
+        }
+        for k in 0..a {
+            let lhs = 2 * (i as u64 + 1 + k as u64);
+            let d0 = read_delta(bytes, &mut pos).ok_or_else(|| err("truncated and"))?;
+            let d1 = read_delta(bytes, &mut pos).ok_or_else(|| err("truncated and"))?;
+            let rhs0 = lhs
+                .checked_sub(d0)
+                .ok_or_else(|| err("delta underflow"))?;
+            let rhs1 = rhs0
+                .checked_sub(d1)
+                .ok_or_else(|| err("delta underflow"))?;
+            let fa = AigLit::new((rhs0 / 2) as u32, rhs0 & 1 == 1);
+            let fb = AigLit::new((rhs1 / 2) as u32, rhs1 & 1 == 1);
+            aig.push_raw_and(fa, fb);
+        }
+        // symbol table (optional)
+        let rest = String::from_utf8_lossy(&bytes[pos..]).to_string();
+        let mut pi_names: Vec<Option<String>> = vec![None; i];
+        let mut po_names: Vec<Option<String>> = vec![None; o];
+        for line in rest.lines() {
+            let line = line.trim();
+            if line == "c" {
+                break;
+            }
+            if let Some(r) = line.strip_prefix('i') {
+                if let Some((idx, name)) = r.split_once(' ') {
+                    if let Ok(idx) = idx.parse::<usize>() {
+                        if idx < i {
+                            pi_names[idx] = Some(name.to_owned());
+                        }
+                    }
+                }
+            } else if let Some(r) = line.strip_prefix('o') {
+                if let Some((idx, name)) = r.split_once(' ') {
+                    if let Ok(idx) = idx.parse::<usize>() {
+                        if idx < o {
+                            po_names[idx] = Some(name.to_owned());
+                        }
+                    }
+                }
+            }
+        }
+        aig.rename_pis(&pi_names);
+        for (k, lit) in out_lits.iter().enumerate() {
+            let name = po_names[k].clone().unwrap_or_else(|| format!("o{k}"));
+            aig.add_po(name, AigLit::new((lit / 2) as u32, lit & 1 == 1));
+        }
+        Ok(aig)
+    }
+}
+
+impl AigLit {
+    /// The AIGER integer encoding of this literal (identical to the
+    /// in-memory representation).
+    pub fn to_aiger(self) -> u64 {
+        (self.node() as u64) << 1 | self.is_compl() as u64
+    }
+}
+
+fn parse_header(line: &str, magic: &str) -> Result<(usize, usize, usize, usize, usize), AigerError> {
+    let mut parts = line.split_whitespace();
+    let tag = parts.next().ok_or_else(|| err("missing magic"))?;
+    if tag != magic {
+        return Err(err(format!("expected `{magic}` header, got `{tag}`")));
+    }
+    let mut next = || -> Result<usize, AigerError> {
+        parts
+            .next()
+            .ok_or_else(|| err("truncated header"))?
+            .parse()
+            .map_err(|_| err("bad header field"))
+    };
+    let m = next()?;
+    let i = next()?;
+    let l = next()?;
+    let o = next()?;
+    let a = next()?;
+    if m != i + l + a {
+        return Err(err(format!("header M={m} != I+L+A={}", i + l + a)));
+    }
+    Ok((m, i, l, o, a))
+}
+
+fn push_delta(out: &mut Vec<u8>, mut delta: u64) {
+    loop {
+        let byte = (delta & 0x7F) as u8;
+        delta >>= 7;
+        if delta == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_delta(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *bytes.get(*pos)?;
+        *pos += 1;
+        value |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+fn read_line(bytes: &[u8], pos: &mut usize) -> Option<String> {
+    let start = *pos;
+    while *pos < bytes.len() && bytes[*pos] != b'\n' {
+        *pos += 1;
+    }
+    if *pos >= bytes.len() {
+        return None;
+    }
+    let line = String::from_utf8_lossy(&bytes[start..*pos]).to_string();
+    *pos += 1; // skip newline
+    Some(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuzz::{random_aig, FuzzConfig};
+
+    fn sample() -> Aig {
+        let mut g = Aig::new();
+        let a = g.add_pi("a");
+        let b = g.add_pi("b");
+        let c = g.add_pi("c");
+        let ab = g.and(a, b);
+        let f = g.or(ab, c.not());
+        g.add_po("f", f);
+        g.add_po("nab", ab.not());
+        g
+    }
+
+    #[test]
+    fn ascii_roundtrip() {
+        let g = sample();
+        let text = g.to_aiger_ascii();
+        assert!(text.starts_with("aag 5 3 0 2 2\n"), "{text}");
+        let back = Aig::from_aiger_ascii(&text).unwrap();
+        assert_eq!(back.num_pis(), 3);
+        assert_eq!(back.num_pos(), 2);
+        assert_eq!(back.pi_names(), g.pi_names());
+        assert_eq!(back.outputs()[0].0, "f");
+        let words = [0xF0F0u64, 0xCCCC, 0xAAAA];
+        assert_eq!(g.simulate(&words), back.simulate(&words));
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = sample();
+        let bytes = g.to_aiger_binary();
+        let back = Aig::from_aiger_binary(&bytes).unwrap();
+        let words = [0x1234u64, 0x5678, 0x9ABC];
+        assert_eq!(g.simulate(&words), back.simulate(&words));
+        assert_eq!(back.pi_names(), g.pi_names());
+    }
+
+    #[test]
+    fn fuzz_roundtrips_both_formats() {
+        for seed in 0..5u64 {
+            let cfg = FuzzConfig {
+                num_pis: 6,
+                num_ands: 80,
+                num_pos: 3,
+                locality: 0.6,
+            };
+            let g = random_aig(&cfg, seed);
+            let words: Vec<u64> = (0..6u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+            let a = Aig::from_aiger_ascii(&g.to_aiger_ascii()).unwrap();
+            assert_eq!(g.simulate(&words), a.simulate(&words), "ascii seed {seed}");
+            let b = Aig::from_aiger_binary(&g.to_aiger_binary()).unwrap();
+            assert_eq!(g.simulate(&words), b.simulate(&words), "binary seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Aig::from_aiger_ascii("").is_err());
+        assert!(Aig::from_aiger_ascii("aig 1 1 0 0 0\n2\n").is_err(), "wrong magic");
+        assert!(Aig::from_aiger_ascii("aag 2 1 1 0 0\n2\n").is_err(), "latches");
+        assert!(Aig::from_aiger_ascii("aag 9 1 0 0 1\n2\n").is_err(), "bad M");
+        // and gate referencing undefined variable
+        assert!(
+            Aig::from_aiger_ascii("aag 2 1 0 1 1\n2\n4\n4 6 2\n").is_err(),
+            "undefined rhs"
+        );
+    }
+
+    #[test]
+    fn constant_outputs() {
+        let mut g = Aig::new();
+        let _a = g.add_pi("a");
+        g.add_po("zero", AigLit::FALSE);
+        g.add_po("one", AigLit::TRUE);
+        let text = g.to_aiger_ascii();
+        let back = Aig::from_aiger_ascii(&text).unwrap();
+        assert_eq!(back.simulate(&[0xFF]), vec![0, u64::MAX]);
+    }
+}

@@ -1,0 +1,182 @@
+//! AND-tree balancing (ABC `balance`).
+//!
+//! Collects maximal single-fanout AND trees ("super-gates") and rebuilds
+//! them with a Huffman-style pairing that combines the two shallowest
+//! operands first, minimising the resulting tree depth.
+
+use crate::aig::{Aig, AigLit, NodeKind};
+
+impl Aig {
+    /// Depth-minimising AND-tree balancing; function-preserving.
+    pub fn balance(&self) -> Aig {
+        let refs = self.fanout_counts();
+        let live = self.live_mask();
+
+        let mut out = Aig::new();
+        for name in self.pi_names() {
+            out.add_pi(name.clone());
+        }
+        let mut map: Vec<AigLit> = vec![AigLit::FALSE; self.len()];
+        // Incrementally maintained level array for `out` (index = node id).
+        let mut olevels: Vec<u32> = vec![0; out.len()];
+
+        for n in 0..self.len() as u32 {
+            match self.nodes[n as usize] {
+                NodeKind::Const => map[n as usize] = AigLit::FALSE,
+                NodeKind::Pi(idx) => map[n as usize] = out.pi_lit(idx as usize),
+                NodeKind::And(..) => {
+                    if !live[n as usize] {
+                        continue;
+                    }
+                    // Collect the super-gate rooted here: descend through
+                    // non-complemented AND fanins that have fanout 1 (their
+                    // only parent is inside this tree).
+                    let mut leaves: Vec<AigLit> = Vec::new();
+                    collect_supergate(self, AigLit::new(n, false), true, &refs, &mut leaves);
+                    // Map leaves into the new graph and pair shallowest
+                    // first.
+                    let mut items: Vec<(u32, AigLit)> = leaves
+                        .iter()
+                        .map(|l| {
+                            let ml = map[l.node() as usize].xor_compl(l.is_compl());
+                            (olevels[ml.node() as usize], ml)
+                        })
+                        .collect();
+                    // Sort descending so the two smallest are at the end.
+                    items.sort_by(|a, b| b.0.cmp(&a.0));
+                    while items.len() > 1 {
+                        let (la, a) = items.pop().expect("len > 1");
+                        let (lb, b) = items.pop().expect("len > 1");
+                        let combined = out.and(a, b);
+                        if combined.node() as usize >= olevels.len() {
+                            // a genuinely new node: its level is known
+                            olevels.resize(out.len(), 0);
+                            olevels[combined.node() as usize] = la.max(lb) + 1;
+                        }
+                        let lvl = olevels[combined.node() as usize];
+                        // insert keeping descending order
+                        let pos = items
+                            .binary_search_by(|&(l, _)| lvl.cmp(&l))
+                            .unwrap_or_else(|p| p);
+                        items.insert(pos, (lvl, combined));
+                    }
+                    map[n as usize] = items
+                        .pop()
+                        .map(|(_, l)| l)
+                        .unwrap_or(AigLit::TRUE); // empty product = true
+                }
+            }
+        }
+        for (name, l) in self.outputs() {
+            let lit = map[l.node() as usize].xor_compl(l.is_compl());
+            out.add_po(name.clone(), lit);
+        }
+        out.cleanup()
+    }
+}
+
+/// Gathers the leaves of the maximal AND tree rooted at `lit`.
+fn collect_supergate(
+    aig: &Aig,
+    lit: AigLit,
+    is_root: bool,
+    refs: &[u32],
+    leaves: &mut Vec<AigLit>,
+) {
+    let n = lit.node();
+    let expandable = aig.is_and(n)
+        && !lit.is_compl()
+        && (is_root || refs[n as usize] <= 1);
+    if expandable {
+        let (a, b) = aig.fanins(n);
+        collect_supergate(aig, a, false, refs, leaves);
+        collect_supergate(aig, b, false, refs, leaves);
+    } else {
+        leaves.push(lit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esyn_eqn::parse_eqn;
+
+    fn assert_equiv(a: &Aig, b: &Aig) {
+        assert_eq!(a.num_pis(), b.num_pis());
+        let n = a.num_pis();
+        assert!(n <= 10);
+        let total = 1usize << n;
+        let mut idx = 0;
+        while idx < total {
+            let chunk = (total - idx).min(64);
+            let words: Vec<u64> = (0..n)
+                .map(|v| {
+                    let mut w = 0u64;
+                    for bit in 0..chunk {
+                        if ((idx + bit) >> v) & 1 == 1 {
+                            w |= 1 << bit;
+                        }
+                    }
+                    w
+                })
+                .collect();
+            let mask = if chunk == 64 { u64::MAX } else { (1u64 << chunk) - 1 };
+            for (x, y) in a.simulate(&words).iter().zip(b.simulate(&words)) {
+                assert_eq!(x & mask, y & mask);
+            }
+            idx += chunk;
+        }
+    }
+
+    #[test]
+    fn balances_linear_and_chain() {
+        // ((((a*b)*c)*d)*e)*f — depth 5 chain balances to depth 3.
+        let net = parse_eqn(
+            "INORDER = a b c d e f;\nOUTORDER = o;\no = ((((a*b)*c)*d)*e)*f;\n",
+        )
+        .unwrap();
+        let aig = Aig::from_network(&net);
+        assert_eq!(aig.num_levels(), 5);
+        let bal = aig.balance();
+        assert_eq!(bal.num_levels(), 3);
+        assert_equiv(&aig, &bal);
+        assert_eq!(bal.num_ands(), 5);
+    }
+
+    #[test]
+    fn balances_or_chains_via_demorgan() {
+        // a + b + c + d parsed left-assoc: depth 3 → balanced depth 2.
+        let net =
+            parse_eqn("INORDER = a b c d;\nOUTORDER = o;\no = a + b + c + d;\n").unwrap();
+        let aig = Aig::from_network(&net);
+        let bal = aig.balance();
+        assert!(bal.num_levels() <= aig.num_levels());
+        assert_equiv(&aig, &bal);
+    }
+
+    #[test]
+    fn preserves_shared_nodes() {
+        // shared = a*b feeds two outputs; balancing must not duplicate it
+        // blindly (it stays a super-gate boundary because fanout > 1).
+        let net = parse_eqn(
+            "INORDER = a b c d;\nOUTORDER = f g;\nf = ((a*b)*c)*d;\ng = (a*b)*!c;\n",
+        )
+        .unwrap();
+        let aig = Aig::from_network(&net);
+        let bal = aig.balance();
+        assert_equiv(&aig, &bal);
+        assert!(bal.num_ands() <= aig.num_ands() + 1);
+    }
+
+    #[test]
+    fn balance_is_idempotent() {
+        let net = parse_eqn(
+            "INORDER = a b c d e f g h;\nOUTORDER = o;\no = (((((((a*b)*c)*d)*e)*f)*g)*h);\n",
+        )
+        .unwrap();
+        let one = Aig::from_network(&net).balance();
+        let two = one.balance();
+        assert_eq!(one.num_levels(), two.num_levels());
+        assert_eq!(one.num_ands(), two.num_ands());
+    }
+}

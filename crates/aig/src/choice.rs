@@ -1,0 +1,680 @@
+//! Choice AIGs — structural choices for technology mapping (ABC's `dch`).
+//!
+//! The paper's baseline flow runs `&dch -f`, which "combines different
+//! networks seen during technology-independent synthesis into a single
+//! network with choices" so the mapper can pick the best structure per
+//! node. This module reproduces that: several synthesis variants of one
+//! circuit are merged into a single AIG, functionally equivalent nodes are
+//! grouped into SAT-proven *choice classes*, and cut enumeration unions
+//! the cuts of every class member. The choice-aware mapper lives in
+//! `esyn-techmap` ([`map_choices`](../esyn_techmap/fn.map_choices.html)).
+//!
+//! Choices that would make the class graph cyclic (a member of class A
+//! feeding class B while a member of B feeds A — possible because
+//! equivalence ignores structure) are dropped, exactly as ABC does, so
+//! mapping can process classes in topological order.
+
+use crate::aig::{Aig, AigLit, NodeKind};
+use crate::cut::{expand_tt, unit_cut, Cut, CutConfig};
+use crate::fraig::{canonical_signature, encode_live_cnf};
+use crate::scripts;
+use esyn_sat::{Lit, Solver};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Number of 64-bit random simulation words for the initial partition.
+const SIM_WORDS: usize = 8;
+
+/// Error from [`ChoiceAig::from_variants`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChoiceVariantError(String);
+
+impl fmt::Display for ChoiceVariantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "incompatible choice variants: {}", self.0)
+    }
+}
+
+impl std::error::Error for ChoiceVariantError {}
+
+/// An AIG with structural choices: one combined graph holding several
+/// variants of the same circuit, plus SAT-proven equivalence classes.
+///
+/// Every node belongs to exactly one class, identified by its
+/// *representative* (the class member with the smallest id). The class's
+/// canonical function is the representative in positive polarity; each
+/// member stores its phase relative to that.
+#[derive(Clone, Debug)]
+pub struct ChoiceAig {
+    aig: Aig,
+    /// `repr[n]` = (representative node, phase of `n` w.r.t. it).
+    repr: Vec<AigLit>,
+    /// Members per representative node id (ascending, repr included);
+    /// empty for non-representatives.
+    members: Vec<Vec<u32>>,
+    /// Representative node ids, fanin-classes-first.
+    class_order: Vec<u32>,
+}
+
+impl ChoiceAig {
+    /// Builds a choice AIG from `base` and the workspace's standard
+    /// variant scripts (the strashed original, `balance`, and `dc2`),
+    /// mirroring ABC's `dch` defaults. `seed` drives the random
+    /// simulation that partitions candidate classes.
+    pub fn build(base: &Aig, seed: u64) -> ChoiceAig {
+        let variants = [base.cleanup(), base.balance(), scripts::dc2(base)];
+        ChoiceAig::from_variants(&variants, seed).expect("same-circuit variants are compatible")
+    }
+
+    /// Builds a choice AIG from caller-supplied variants. The first
+    /// variant provides the primary outputs; all variants must agree on
+    /// primary-input names (in order) and output count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChoiceVariantError`] when the variants disagree on the
+    /// PI list or PO count, or when no variant is given.
+    pub fn from_variants(variants: &[Aig], seed: u64) -> Result<ChoiceAig, ChoiceVariantError> {
+        let Some(first) = variants.first() else {
+            return Err(ChoiceVariantError("no variants given".into()));
+        };
+        for (i, v) in variants.iter().enumerate() {
+            if v.pi_names() != first.pi_names() {
+                return Err(ChoiceVariantError(format!(
+                    "variant {i} has different primary inputs"
+                )));
+            }
+            if v.num_pos() != first.num_pos() {
+                return Err(ChoiceVariantError(format!(
+                    "variant {i} has {} outputs, expected {}",
+                    v.num_pos(),
+                    first.num_pos()
+                )));
+            }
+        }
+
+        // --- Merge all variants into one structurally hashed AIG. -------
+        let mut aig = Aig::new();
+        for name in first.pi_names() {
+            aig.add_pi(name.clone());
+        }
+        // Only the first variant contributes primary outputs, but every
+        // variant's output cones must stay "live" for class detection —
+        // they *are* the choices.
+        let mut root_nodes: Vec<u32> = Vec::new();
+        for (vi, v) in variants.iter().enumerate() {
+            let mut map: Vec<AigLit> = vec![AigLit::FALSE; v.len()];
+            for n in 0..v.len() as u32 {
+                map[n as usize] = match v.nodes[n as usize] {
+                    NodeKind::Const => AigLit::FALSE,
+                    NodeKind::Pi(idx) => aig.pi_lit(idx as usize),
+                    NodeKind::And(a, b) => {
+                        let fa = map[a.node() as usize].xor_compl(a.is_compl());
+                        let fb = map[b.node() as usize].xor_compl(b.is_compl());
+                        aig.and(fa, fb)
+                    }
+                };
+            }
+            for (name, l) in v.outputs() {
+                let lit = map[l.node() as usize].xor_compl(l.is_compl());
+                root_nodes.push(lit.node());
+                if vi == 0 {
+                    aig.add_po(name.clone(), lit);
+                }
+            }
+        }
+
+        // --- Detect equivalence classes (simulation + SAT). -------------
+        // Live = reachable from any variant's outputs, not just the POs.
+        let mut live = vec![false; aig.len()];
+        let mut stack = root_nodes;
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut live[n as usize], true) {
+                continue;
+            }
+            if aig.is_and(n) {
+                let (a, b) = aig.fanins(n);
+                stack.push(a.node());
+                stack.push(b.node());
+            }
+        }
+        let mut solver = Solver::new();
+        let sat_var = encode_live_cnf(&aig, &mut solver, &live);
+
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut signatures: Vec<Vec<u64>> = vec![Vec::new(); aig.len()];
+        for _ in 0..SIM_WORDS {
+            let words: Vec<u64> = (0..aig.num_pis()).map(|_| rng.gen()).collect();
+            let vals = aig.simulate_nodes(&words);
+            for n in 0..aig.len() {
+                signatures[n].push(vals[n]);
+            }
+        }
+
+        let mut repr: Vec<AigLit> = (0..aig.len() as u32)
+            .map(|n| AigLit::new(n, false))
+            .collect();
+        // Class dependency edges (repr -> fanin reprs of its members).
+        let mut deps: Vec<Vec<u32>> = vec![Vec::new(); aig.len()];
+        let mut classes: HashMap<Vec<u64>, u32> = HashMap::new();
+        let mut extra_bits = 0usize;
+        let mut extra_pi_words: Vec<u64> = vec![0; aig.num_pis()];
+
+        for n in 0..aig.len() as u32 {
+            if !live[n as usize] || !aig.is_and(n) {
+                continue;
+            }
+            let (fa, fb) = aig.fanins(n);
+            let dn = [repr[fa.node() as usize].node(), repr[fb.node() as usize].node()];
+            loop {
+                let (canon, inverted) = canonical_signature(&signatures[n as usize]);
+                if canon.iter().all(|&w| w == 0) {
+                    // Candidate constant.
+                    let vn = sat_var[&n];
+                    let assume = if inverted { Lit::neg(vn) } else { Lit::pos(vn) };
+                    if !solver.solve_with_assumptions(&[assume]) {
+                        // The constant class never contributes cuts, so it
+                        // takes no dependency edges — they could only
+                        // manufacture spurious cycles through class 0.
+                        repr[n as usize] = AigLit::FALSE.xor_compl(inverted);
+                        break;
+                    }
+                    aig.absorb_cex(
+                        &solver,
+                        &sat_var,
+                        &mut signatures,
+                        &mut extra_bits,
+                        &mut extra_pi_words,
+                        &mut classes,
+                    );
+                    continue;
+                }
+                match classes.get(&canon) {
+                    None => {
+                        classes.insert(canon, n);
+                        deps[n as usize] = dn.to_vec();
+                        break;
+                    }
+                    Some(&r) => {
+                        let (_, r_inverted) = canonical_signature(&signatures[r as usize]);
+                        let compl = inverted != r_inverted;
+                        let vn = sat_var[&n];
+                        let vr = sat_var[&r];
+                        let q1 = [Lit::pos(vn), Lit::with_sign(vr, !compl)];
+                        let q2 = [Lit::neg(vn), Lit::with_sign(vr, compl)];
+                        if !solver.solve_with_assumptions(&q1)
+                            && !solver.solve_with_assumptions(&q2)
+                        {
+                            // Proven equivalent. Join unless that would
+                            // make the class graph cyclic.
+                            if dn.iter().all(|&d| !reaches(&deps, d, r)) {
+                                repr[n as usize] = AigLit::new(r, compl);
+                                members_push(&mut deps, r, &dn);
+                            } else {
+                                deps[n as usize] = dn.to_vec();
+                            }
+                            break;
+                        }
+                        aig.absorb_cex(
+                            &solver,
+                            &sat_var,
+                            &mut signatures,
+                            &mut extra_bits,
+                            &mut extra_pi_words,
+                            &mut classes,
+                        );
+                    }
+                }
+            }
+        }
+
+        // --- Member lists and class topological order. -------------------
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); aig.len()];
+        for n in 0..aig.len() as u32 {
+            if live[n as usize] || aig.is_pi(n) || n == 0 {
+                members[repr[n as usize].node() as usize].push(n);
+            }
+        }
+        let class_order = topo_classes(&aig, &repr, &members, &deps);
+
+        Ok(ChoiceAig {
+            aig,
+            repr,
+            members,
+            class_order,
+        })
+    }
+
+    /// The combined AIG (all variants, shared structure).
+    pub fn aig(&self) -> &Aig {
+        &self.aig
+    }
+
+    /// Canonical literal of `node`: its class representative, with the
+    /// phase of `node` relative to the class function.
+    pub fn repr(&self, node: u32) -> AigLit {
+        self.repr[node as usize]
+    }
+
+    /// Canonical literal of `lit` (representative, phase-adjusted).
+    pub fn repr_lit(&self, lit: AigLit) -> AigLit {
+        self.repr[lit.node() as usize].xor_compl(lit.is_compl())
+    }
+
+    /// Member node ids of the class represented by `repr` (ascending;
+    /// empty when `repr` is not a representative).
+    pub fn members(&self, repr: u32) -> &[u32] {
+        &self.members[repr as usize]
+    }
+
+    /// Representative node ids in fanin-classes-first order (the order the
+    /// mapper must process them in).
+    pub fn class_order(&self) -> &[u32] {
+        &self.class_order
+    }
+
+    /// Number of nodes that joined a class with more than one member —
+    /// the amount of structural choice available to the mapper.
+    pub fn num_choices(&self) -> usize {
+        self.members
+            .iter()
+            .filter(|m| m.len() > 1)
+            .map(|m| m.len() - 1)
+            .sum()
+    }
+
+    /// Primary outputs as canonical (representative) literals.
+    pub fn output_reprs(&self) -> Vec<(String, AigLit)> {
+        self.aig
+            .outputs()
+            .iter()
+            .map(|(name, l)| (name.clone(), self.repr_lit(*l)))
+            .collect()
+    }
+
+    /// Enumerates k-feasible cuts per *class* (indexed by representative
+    /// node id; non-representatives get empty lists). A class's cut set is
+    /// the union of its members' cuts, with leaves canonicalized to
+    /// representative ids and truth tables expressed over the canonical
+    /// class functions. Each AND class's list ends with its trivial cut.
+    pub fn class_cuts(&self, cfg: &CutConfig) -> Vec<Vec<Cut>> {
+        assert!(cfg.k >= 2 && cfg.k <= 8, "cut size must be in 2..=8");
+        let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); self.aig.len()];
+        for &r in &self.class_order {
+            if r == 0 {
+                continue; // constant class
+            }
+            if self.aig.is_pi(r) {
+                cuts[r as usize] = vec![unit_cut(r)];
+                continue;
+            }
+            let mut merged: Vec<Cut> = Vec::new();
+            let mut seen: HashSet<Vec<u32>> = HashSet::new();
+            for &m in &self.members[r as usize] {
+                if !self.aig.is_and(m) {
+                    continue;
+                }
+                let member_phase = self.repr[m as usize].is_compl();
+                let (a, b) = self.aig.fanins(m);
+                let ra = self.repr_lit(a);
+                let rb = self.repr_lit(b);
+                // SAT may have proven a fanin constant (its class is the
+                // constant class, which has no cuts). A constant-true
+                // fanin is neutral — the member reduces to its other
+                // fanin; a constant-false fanin would make the member
+                // constant, which contradicts r not being in the constant
+                // class, so it is skipped defensively.
+                let const_phase = |l: AigLit| (l.node() == 0).then_some(l.is_compl());
+                let single = match (const_phase(ra), const_phase(rb)) {
+                    (None, None) => None,
+                    (Some(true), None) => Some(rb),
+                    (None, Some(true)) => Some(ra),
+                    _ => continue,
+                };
+                if let Some(rs) = single {
+                    for cs in &cuts[rs.node() as usize] {
+                        if !seen.insert(cs.leaves.clone()) {
+                            continue;
+                        }
+                        let t = if rs.is_compl() ^ member_phase {
+                            cs.tt.not()
+                        } else {
+                            cs.tt.clone()
+                        };
+                        merged.push(Cut {
+                            leaves: cs.leaves.clone(),
+                            tt: t,
+                        });
+                    }
+                    continue;
+                }
+                for ca in &cuts[ra.node() as usize] {
+                    for cb in &cuts[rb.node() as usize] {
+                        let mut leaves: Vec<u32> = ca
+                            .leaves
+                            .iter()
+                            .chain(cb.leaves.iter())
+                            .copied()
+                            .collect();
+                        leaves.sort_unstable();
+                        leaves.dedup();
+                        if leaves.len() > cfg.k {
+                            continue;
+                        }
+                        if !seen.insert(leaves.clone()) {
+                            continue;
+                        }
+                        let ta = {
+                            let t = expand_tt(&ca.tt, &ca.leaves, &leaves);
+                            if ra.is_compl() {
+                                t.not()
+                            } else {
+                                t
+                            }
+                        };
+                        let tb = {
+                            let t = expand_tt(&cb.tt, &cb.leaves, &leaves);
+                            if rb.is_compl() {
+                                t.not()
+                            } else {
+                                t
+                            }
+                        };
+                        let tt_member = ta.and(&tb);
+                        let tt = if member_phase {
+                            tt_member.not()
+                        } else {
+                            tt_member
+                        };
+                        merged.push(Cut { leaves, tt });
+                    }
+                }
+            }
+            merged.sort_by_key(|c| c.leaves.len());
+            merged.truncate(cfg.max_cuts);
+            merged.push(unit_cut(r));
+            cuts[r as usize] = merged;
+        }
+        cuts
+    }
+}
+
+/// Appends `dn` to class `r`'s dependency list (deduplicated).
+fn members_push(deps: &mut [Vec<u32>], r: u32, dn: &[u32]) {
+    for &d in dn {
+        if !deps[r as usize].contains(&d) {
+            deps[r as usize].push(d);
+        }
+    }
+}
+
+/// Does class `from` (transitively) depend on class `target`?
+fn reaches(deps: &[Vec<u32>], from: u32, target: u32) -> bool {
+    if from == target {
+        return true;
+    }
+    let mut stack = vec![from];
+    let mut seen: HashSet<u32> = HashSet::new();
+    while let Some(c) = stack.pop() {
+        if c == target {
+            return true;
+        }
+        if !seen.insert(c) {
+            continue;
+        }
+        stack.extend_from_slice(&deps[c as usize]);
+    }
+    false
+}
+
+/// Topological order of classes, fanin classes first.
+fn topo_classes(
+    aig: &Aig,
+    repr: &[AigLit],
+    members: &[Vec<u32>],
+    deps: &[Vec<u32>],
+) -> Vec<u32> {
+    let n = aig.len();
+    let mut order = Vec::new();
+    // 0 = unvisited, 1 = on stack, 2 = done
+    let mut state = vec![0u8; n];
+    for root in 0..n as u32 {
+        if repr[root as usize].node() != root || members[root as usize].is_empty() {
+            continue;
+        }
+        if state[root as usize] == 2 {
+            continue;
+        }
+        // Iterative DFS.
+        let mut stack: Vec<(u32, usize)> = vec![(root, 0)];
+        state[root as usize] = 1;
+        while let Some(&mut (c, ref mut di)) = stack.last_mut() {
+            if *di < deps[c as usize].len() {
+                let d = deps[c as usize][*di];
+                *di += 1;
+                match state[d as usize] {
+                    0 => {
+                        state[d as usize] = 1;
+                        stack.push((d, 0));
+                    }
+                    1 => panic!("choice class graph must be acyclic (class {d})"),
+                    _ => {}
+                }
+            } else {
+                state[c as usize] = 2;
+                order.push(c);
+                stack.pop();
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esyn_eqn::parse_eqn;
+
+    /// Exhaustively checks that every node equals its class function
+    /// (repr xor phase) on all input patterns.
+    fn assert_classes_sound(choice: &ChoiceAig) {
+        let aig = choice.aig();
+        let n = aig.num_pis();
+        assert!(n <= 10, "test helper limited to 10 inputs");
+        let total = 1usize << n;
+        let mut idx = 0;
+        while idx < total {
+            let chunk = (total - idx).min(64);
+            let words: Vec<u64> = (0..n)
+                .map(|v| {
+                    let mut w = 0u64;
+                    for bit in 0..chunk {
+                        if ((idx + bit) >> v) & 1 == 1 {
+                            w |= 1 << bit;
+                        }
+                    }
+                    w
+                })
+                .collect();
+            let mask = if chunk == 64 { u64::MAX } else { (1u64 << chunk) - 1 };
+            let vals = aig.simulate_nodes(&words);
+            for &r in choice.class_order() {
+                for &node in choice.members(r) {
+                    let rl = choice.repr(node);
+                    assert_eq!(rl.node(), r);
+                    let expect = if rl.is_compl() {
+                        !vals[r as usize]
+                    } else {
+                        vals[r as usize]
+                    };
+                    assert_eq!(
+                        vals[node as usize] & mask,
+                        expect & mask,
+                        "node {node} does not match its class {rl:?}"
+                    );
+                }
+            }
+            idx += chunk;
+        }
+    }
+
+    fn sample() -> Aig {
+        let net = parse_eqn(
+            "INORDER = a b c d;\nOUTORDER = f g;\n\
+             f = ((a*b)*c)*d;\n\
+             g = (a*b) + (a*c) + (b*c);\n",
+        )
+        .unwrap();
+        Aig::from_network(&net)
+    }
+
+    #[test]
+    fn build_finds_choices_on_restructurable_logic() {
+        let choice = ChoiceAig::build(&sample(), 42);
+        assert_classes_sound(&choice);
+        // balance restructures the AND chain, so at least one class must
+        // hold more than one member.
+        assert!(choice.num_choices() > 0, "no choices found");
+    }
+
+    #[test]
+    fn outputs_preserved_through_combination() {
+        let base = sample();
+        let choice = ChoiceAig::build(&base, 7);
+        assert_eq!(choice.aig().num_pos(), base.num_pos());
+        // Combined AIG computes the same outputs as the base.
+        let words: Vec<u64> = (0..4u64).map(|i| (i + 1).wrapping_mul(0xA5A5_5A5A_1234)).collect();
+        assert_eq!(base.simulate(&words), choice.aig().simulate(&words));
+    }
+
+    #[test]
+    fn class_order_is_topological() {
+        let choice = ChoiceAig::build(&sample(), 3);
+        let pos: HashMap<u32, usize> = choice
+            .class_order()
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i))
+            .collect();
+        for &r in choice.class_order() {
+            for &m in choice.members(r) {
+                if !choice.aig().is_and(m) {
+                    continue;
+                }
+                let (a, b) = choice.aig().fanins(m);
+                for f in [a, b] {
+                    let fr = choice.repr_lit(f).node();
+                    if fr == 0 {
+                        continue; // constant class is not ordered
+                    }
+                    assert!(
+                        pos[&fr] < pos[&r],
+                        "class {r} member {m} depends on later class {fr}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn class_cuts_encode_canonical_functions() {
+        let choice = ChoiceAig::build(&sample(), 11);
+        let cuts = choice.class_cuts(&CutConfig::default());
+        let aig = choice.aig();
+        let n = aig.num_pis();
+        let total = 1usize << n;
+        // For every cut of every class: on all PI patterns, the tt applied
+        // to the leaf values must equal the representative's value.
+        let mut idx = 0;
+        while idx < total {
+            let chunk = (total - idx).min(64);
+            let words: Vec<u64> = (0..n)
+                .map(|v| {
+                    let mut w = 0u64;
+                    for bit in 0..chunk {
+                        if ((idx + bit) >> v) & 1 == 1 {
+                            w |= 1 << bit;
+                        }
+                    }
+                    w
+                })
+                .collect();
+            let vals = aig.simulate_nodes(&words);
+            for &r in choice.class_order() {
+                if !aig.is_and(r) {
+                    continue;
+                }
+                for cut in &cuts[r as usize] {
+                    if cut.is_unit(r) {
+                        continue;
+                    }
+                    for bit in 0..chunk {
+                        let mut leaf_idx = 0usize;
+                        for (i, &l) in cut.leaves.iter().enumerate() {
+                            if (vals[l as usize] >> bit) & 1 == 1 {
+                                leaf_idx |= 1 << i;
+                            }
+                        }
+                        let expect = (vals[r as usize] >> bit) & 1 == 1;
+                        assert_eq!(
+                            cut.tt.bit(leaf_idx),
+                            expect,
+                            "class {r} cut {:?} wrong at pattern {}",
+                            cut.leaves,
+                            idx + bit
+                        );
+                    }
+                }
+            }
+            idx += chunk;
+        }
+    }
+
+    #[test]
+    fn constant_fanins_fold_into_single_fanin_cuts() {
+        // The inner disjunction is a tautology that only SAT can see
+        // ((a*b) + !a + !b); its class is the constant class, which has no
+        // cuts. The consuming class must still get usable cuts through
+        // the surviving fanin (f reduces to x).
+        let net = parse_eqn(
+            "INORDER = x a b;\nOUTORDER = f;\nf = x * ((a*b) + (!a + !b));\n",
+        )
+        .unwrap();
+        let aig = Aig::from_network(&net);
+        let choice = ChoiceAig::build(&aig, 9);
+        assert_classes_sound(&choice);
+        let out = choice.repr_lit(choice.aig().outputs()[0].1);
+        if out.node() != 0 && choice.aig().is_and(out.node()) {
+            let cuts = choice.class_cuts(&CutConfig::default());
+            assert!(
+                cuts[out.node() as usize]
+                    .iter()
+                    .any(|c| !c.is_unit(out.node())),
+                "output class must keep real cuts despite the constant fanin"
+            );
+        }
+    }
+
+    #[test]
+    fn from_variants_rejects_mismatched_interfaces() {
+        let a = sample();
+        let other = Aig::from_network(
+            &parse_eqn("INORDER = x y;\nOUTORDER = f;\nf = x*y;\n").unwrap(),
+        );
+        let err = ChoiceAig::from_variants(&[a, other], 1).unwrap_err();
+        assert!(err.to_string().contains("primary inputs"));
+        assert!(ChoiceAig::from_variants(&[], 1).is_err());
+    }
+
+    #[test]
+    fn single_variant_choice_aig_has_no_choices() {
+        let base = sample();
+        let choice = ChoiceAig::from_variants(&[base.cleanup()], 5).unwrap();
+        assert_classes_sound(&choice);
+        // A single strashed variant may still contain functionally equal
+        // nodes, but the motivating chain/majority sample does not.
+        assert_eq!(choice.num_choices(), 0);
+    }
+}

@@ -1,0 +1,338 @@
+//! K-feasible cut enumeration and reconvergence-driven cuts.
+
+use crate::aig::{Aig, NodeKind};
+use esyn_eqn::TruthTable;
+use std::collections::{HashMap, HashSet};
+
+/// A cut of a node: sorted leaf node ids plus the node's function over the
+/// leaves (variable `i` of the table is `leaves[i]`).
+#[derive(Clone, Debug)]
+pub struct Cut {
+    /// Sorted leaf node ids.
+    pub leaves: Vec<u32>,
+    /// Node function over the leaves.
+    pub tt: TruthTable,
+}
+
+impl Cut {
+    /// True when this is a trivial (unit) cut `{node}`.
+    pub fn is_unit(&self, node: u32) -> bool {
+        self.leaves.len() == 1 && self.leaves[0] == node
+    }
+}
+
+/// Parameters for cut enumeration.
+#[derive(Clone, Copy, Debug)]
+pub struct CutConfig {
+    /// Maximum leaves per cut (`k`-feasible cuts).
+    pub k: usize,
+    /// Maximum non-trivial cuts kept per node (priority-pruned by size).
+    pub max_cuts: usize,
+}
+
+impl Default for CutConfig {
+    fn default() -> Self {
+        CutConfig { k: 4, max_cuts: 8 }
+    }
+}
+
+/// Remaps `tt` (over `old` leaves) onto the superset `new` of leaves.
+pub(crate) fn expand_tt(tt: &TruthTable, old: &[u32], new: &[u32]) -> TruthTable {
+    let positions: Vec<usize> = old
+        .iter()
+        .map(|l| new.binary_search(l).expect("old leaves must be subset"))
+        .collect();
+    let n = new.len();
+    let nwords = if n <= 6 { 1 } else { 1usize << (n - 6) };
+    let mut words = vec![0u64; nwords];
+    for idx in 0..(1usize << n) {
+        let mut old_idx = 0usize;
+        for (i, &p) in positions.iter().enumerate() {
+            if (idx >> p) & 1 == 1 {
+                old_idx |= 1 << i;
+            }
+        }
+        if tt.bit(old_idx) {
+            words[idx / 64] |= 1u64 << (idx % 64);
+        }
+    }
+    TruthTable::from_words(n, words)
+}
+
+/// Enumerates k-feasible cuts for every node; index = node id. The trivial
+/// cut is always the last entry of each AND node's list.
+pub(crate) fn enumerate_cuts(aig: &Aig, cfg: &CutConfig) -> Vec<Vec<Cut>> {
+    enumerate_cuts_impl(aig, cfg)
+}
+
+impl Aig {
+    /// Enumerates k-feasible cuts with truth tables for every node
+    /// (index = node id); each AND node's list ends with its trivial cut.
+    /// This is the entry point used by the technology mapper.
+    pub fn k_cuts(&self, cfg: &CutConfig) -> Vec<Vec<Cut>> {
+        enumerate_cuts_impl(self, cfg)
+    }
+}
+
+fn enumerate_cuts_impl(aig: &Aig, cfg: &CutConfig) -> Vec<Vec<Cut>> {
+    assert!(cfg.k >= 2 && cfg.k <= 8, "cut size must be in 2..=8");
+    let live = aig.live_mask();
+    let mut cuts: Vec<Vec<Cut>> = Vec::with_capacity(aig.len());
+    for n in 0..aig.len() as u32 {
+        let node_cuts = match aig.nodes[n as usize] {
+            NodeKind::Const => Vec::new(),
+            NodeKind::Pi(_) => vec![unit_cut(n)],
+            NodeKind::And(a, b) => {
+                if !live[n as usize] {
+                    // Dead nodes still get a trivial cut so indices line up.
+                    vec![unit_cut(n)]
+                } else {
+                    let mut merged: Vec<Cut> = Vec::new();
+                    let mut seen: HashSet<Vec<u32>> = HashSet::new();
+                    for ca in &cuts[a.node() as usize] {
+                        for cb in &cuts[b.node() as usize] {
+                            let mut leaves: Vec<u32> = ca
+                                .leaves
+                                .iter()
+                                .chain(cb.leaves.iter())
+                                .copied()
+                                .collect();
+                            leaves.sort_unstable();
+                            leaves.dedup();
+                            if leaves.len() > cfg.k {
+                                continue;
+                            }
+                            if !seen.insert(leaves.clone()) {
+                                continue;
+                            }
+                            let ta = {
+                                let t = expand_tt(&ca.tt, &ca.leaves, &leaves);
+                                if a.is_compl() {
+                                    t.not()
+                                } else {
+                                    t
+                                }
+                            };
+                            let tb = {
+                                let t = expand_tt(&cb.tt, &cb.leaves, &leaves);
+                                if b.is_compl() {
+                                    t.not()
+                                } else {
+                                    t
+                                }
+                            };
+                            merged.push(Cut {
+                                leaves,
+                                tt: ta.and(&tb),
+                            });
+                        }
+                    }
+                    merged.sort_by_key(|c| c.leaves.len());
+                    merged.truncate(cfg.max_cuts);
+                    merged.push(unit_cut(n));
+                    merged
+                }
+            }
+        };
+        cuts.push(node_cuts);
+    }
+    cuts
+}
+
+pub(crate) fn unit_cut(node: u32) -> Cut {
+    Cut {
+        leaves: vec![node],
+        tt: TruthTable::var(1, 0),
+    }
+}
+
+/// Computes a single reconvergence-driven cut of `root` with at most `k`
+/// leaves, by greedily expanding the leaf whose replacement by its fanins
+/// grows the leaf set least (ABC's `Abc_NodeFindCut` strategy).
+pub(crate) fn reconv_cut(aig: &Aig, root: u32, k: usize) -> Vec<u32> {
+    let (a, b) = aig.fanins(root);
+    let mut leaves: Vec<u32> = vec![a.node(), b.node()];
+    leaves.sort_unstable();
+    leaves.dedup();
+    loop {
+        let mut best: Option<(usize, u32)> = None; // (resulting size, leaf)
+        for &l in &leaves {
+            if !aig.is_and(l) {
+                continue;
+            }
+            let (fa, fb) = aig.fanins(l);
+            let mut trial: Vec<u32> = leaves
+                .iter()
+                .copied()
+                .filter(|&x| x != l)
+                .chain([fa.node(), fb.node()])
+                .collect();
+            trial.sort_unstable();
+            trial.dedup();
+            if trial.len() > k {
+                continue;
+            }
+            match best {
+                Some((size, leaf)) if (size, leaf) <= (trial.len(), l) => {}
+                _ => best = Some((trial.len(), l)),
+            }
+        }
+        let Some((_, expand)) = best else { break };
+        let (fa, fb) = aig.fanins(expand);
+        leaves.retain(|&x| x != expand);
+        leaves.push(fa.node());
+        leaves.push(fb.node());
+        leaves.sort_unstable();
+        leaves.dedup();
+    }
+    leaves
+}
+
+/// Computes the function of `root` over the given `leaves` (which must form
+/// a cut of `root`): variable `i` is `leaves[i]`.
+///
+/// # Panics
+///
+/// Panics if the leaves do not actually cut the cone of `root` (a PI or
+/// constant is reached that is not a leaf).
+pub(crate) fn cone_tt(aig: &Aig, root: u32, leaves: &[u32]) -> TruthTable {
+    let n = leaves.len();
+    let mut memo: HashMap<u32, TruthTable> = HashMap::new();
+    for (i, &l) in leaves.iter().enumerate() {
+        memo.insert(l, TruthTable::var(n, i));
+    }
+    fn go(aig: &Aig, node: u32, memo: &mut HashMap<u32, TruthTable>, n: usize) -> TruthTable {
+        if let Some(tt) = memo.get(&node) {
+            return tt.clone();
+        }
+        let NodeKind::And(a, b) = aig.nodes[node as usize] else {
+            panic!("leaves do not cut the cone: reached node {node}");
+        };
+        let ta = {
+            let t = go(aig, a.node(), memo, n);
+            if a.is_compl() {
+                t.not()
+            } else {
+                t
+            }
+        };
+        let tb = {
+            let t = go(aig, b.node(), memo, n);
+            if b.is_compl() {
+                t.not()
+            } else {
+                t
+            }
+        };
+        let tt = ta.and(&tb);
+        memo.insert(node, tt.clone());
+        tt
+    }
+    go(aig, root, &mut memo, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esyn_eqn::parse_eqn;
+
+    fn sample_aig() -> Aig {
+        // f = (a & b) | (c & d)
+        let net =
+            parse_eqn("INORDER = a b c d;\nOUTORDER = f;\nf = a*b + c*d;\n").unwrap();
+        Aig::from_network(&net)
+    }
+
+    #[test]
+    fn cut_tts_match_cone_simulation() {
+        let aig = sample_aig();
+        let cuts = enumerate_cuts(&aig, &CutConfig::default());
+        for n in 0..aig.len() as u32 {
+            if !aig.is_and(n) {
+                continue;
+            }
+            for cut in &cuts[n as usize] {
+                if cut.is_unit(n) {
+                    continue;
+                }
+                let expect = cone_tt(&aig, n, &cut.leaves);
+                assert_eq!(cut.tt, expect, "node {n} cut {:?}", cut.leaves);
+            }
+        }
+    }
+
+    #[test]
+    fn root_has_four_leaf_cut() {
+        let aig = sample_aig();
+        let cuts = enumerate_cuts(&aig, &CutConfig::default());
+        let out_lit = aig.outputs()[0].1;
+        let root = out_lit.node();
+        let four = cuts[root as usize]
+            .iter()
+            .find(|c| c.leaves.len() == 4)
+            .expect("4-cut over the PIs must exist");
+        // The cut tt is the *node* function; the PO may be complemented
+        // (OR is a complemented AND after De Morgan).
+        for idx in 0..16usize {
+            let a = idx & 1 == 1;
+            let b = (idx >> 1) & 1 == 1;
+            let c = (idx >> 2) & 1 == 1;
+            let d = (idx >> 3) & 1 == 1;
+            let expect = ((a && b) || (c && d)) != out_lit.is_compl();
+            assert_eq!(four.tt.bit(idx), expect);
+        }
+    }
+
+    #[test]
+    fn cut_count_respects_limit() {
+        let net = parse_eqn(
+            "INORDER = a b c d e f;\nOUTORDER = o;\no = ((a*b) + (c*d)) * ((e*f) + (a*d));\n",
+        )
+        .unwrap();
+        let aig = Aig::from_network(&net);
+        let cfg = CutConfig { k: 4, max_cuts: 3 };
+        let cuts = enumerate_cuts(&aig, &cfg);
+        for n in 0..aig.len() {
+            assert!(cuts[n].len() <= cfg.max_cuts + 1, "node {n}"); // +1 trivial
+        }
+    }
+
+    #[test]
+    fn expand_tt_remaps_variables() {
+        // tt over [10, 20] = var0 & var1; expand onto [5, 10, 20]
+        let tt = TruthTable::var(2, 0).and(&TruthTable::var(2, 1));
+        let out = expand_tt(&tt, &[10, 20], &[5, 10, 20]);
+        // out must be var1 & var2 of the 3-var space
+        let expect = TruthTable::var(3, 1).and(&TruthTable::var(3, 2));
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn reconv_cut_reaches_pis() {
+        let aig = sample_aig();
+        let out_lit = aig.outputs()[0].1;
+        let leaves = reconv_cut(&aig, out_lit.node(), 6);
+        // with k=6 the whole cone collapses to the 4 PIs
+        assert_eq!(leaves.len(), 4);
+        assert!(leaves.iter().all(|&l| aig.is_pi(l)));
+        let mut tt = cone_tt(&aig, out_lit.node(), &leaves);
+        if out_lit.is_compl() {
+            tt = tt.not();
+        }
+        assert_eq!(tt.count_ones(), 7); // ab + cd has 7 minterms over 4 vars
+    }
+
+    #[test]
+    fn reconv_cut_respects_k() {
+        let net = parse_eqn(
+            "INORDER = a b c d e f g h;\nOUTORDER = o;\no = ((a*b)+(c*d)) * ((e*f)+(g*h));\n",
+        )
+        .unwrap();
+        let aig = Aig::from_network(&net);
+        let root = aig.outputs()[0].1.node();
+        let leaves = reconv_cut(&aig, root, 4);
+        assert!(leaves.len() <= 4);
+        // cone tt over these leaves must be computable
+        let _ = cone_tt(&aig, root, &leaves);
+    }
+}

@@ -1,0 +1,340 @@
+//! Functional reduction (fraiging): simulation-guided equivalence-class
+//! detection with SAT-verified merging.
+//!
+//! This pass stands in for ABC's `ifraig`/`scorr` steps in the paper's
+//! baseline flow: random simulation partitions nodes into candidate
+//! equivalence classes; a CDCL SAT solver proves or refutes each candidate
+//! pair; refuted pairs contribute counterexample patterns that refine the
+//! classes; proven pairs are merged in a copy-based reconstruction.
+
+use crate::aig::{Aig, AigLit, NodeKind};
+use esyn_sat::{Lit, Solver, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Number of 64-bit random simulation words used for the initial
+/// partition.
+const SIM_WORDS: usize = 8;
+
+/// Tseitin-encodes the live cone of `aig` into `solver`, one variable per
+/// live node (PIs always included). Shared by fraiging and choice-class
+/// detection.
+pub(crate) fn encode_live_cnf(
+    aig: &Aig,
+    solver: &mut Solver,
+    live: &[bool],
+) -> HashMap<u32, Var> {
+    let mut sat_var: HashMap<u32, Var> = HashMap::new();
+    for n in 0..aig.len() as u32 {
+        if !live[n as usize] && !matches!(aig.nodes[n as usize], NodeKind::Pi(_)) {
+            continue;
+        }
+        let v = solver.new_var();
+        sat_var.insert(n, v);
+        match aig.nodes[n as usize] {
+            NodeKind::Const => {
+                // constant node is FALSE
+                solver.add_clause(&[Lit::neg(v)]);
+            }
+            NodeKind::Pi(_) => {}
+            NodeKind::And(a, b) => {
+                let la = Lit::with_sign(sat_var[&a.node()], a.is_compl());
+                let lb = Lit::with_sign(sat_var[&b.node()], b.is_compl());
+                // v -> la, v -> lb, (la & lb) -> v
+                solver.add_clause(&[Lit::neg(v), la]);
+                solver.add_clause(&[Lit::neg(v), lb]);
+                solver.add_clause(&[Lit::pos(v), !la, !lb]);
+            }
+        }
+    }
+    sat_var
+}
+
+impl Aig {
+    /// SAT-verified functional reduction: merges all nodes that are
+    /// provably equal (or complementary) as functions of the primary
+    /// inputs. `seed` drives the random simulation.
+    pub fn fraig(&self, seed: u64) -> Aig {
+        let live = self.live_mask();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let mut solver = Solver::new();
+        let sat_var = encode_live_cnf(self, &mut solver, &live);
+
+        // --- Simulation signatures. ---
+        let mut signatures: Vec<Vec<u64>> = vec![Vec::new(); self.len()];
+        for _ in 0..SIM_WORDS {
+            let words: Vec<u64> = (0..self.num_pis()).map(|_| rng.gen()).collect();
+            let vals = self.simulate_nodes(&words);
+            for n in 0..self.len() {
+                signatures[n].push(vals[n]);
+            }
+        }
+
+        // Representative of each signature class (canonicalized by
+        // complementing signatures whose first bit is 1).
+        // map from canonical signature -> (repr node, repr sig inverted?)
+        let mut merge_with: Vec<Option<AigLit>> = vec![None; self.len()];
+        let mut classes: HashMap<Vec<u64>, u32> = HashMap::new();
+
+        // Counterexample patterns are accumulated and applied immediately
+        // as an extra signature word updated bit by bit.
+        let mut extra_bits = 0usize;
+        let mut extra_pi_words: Vec<u64> = vec![0; self.num_pis()];
+
+        for n in 0..self.len() as u32 {
+            if !live[n as usize] || !self.is_and(n) {
+                continue;
+            }
+            loop {
+                let (canon, inverted) = canonical_signature(&signatures[n as usize]);
+                // Constant candidate: all-zero canonical signature.
+                if canon.iter().all(|&w| w == 0) {
+                    let vn = sat_var[&n];
+                    let assume = if inverted { Lit::neg(vn) } else { Lit::pos(vn) };
+                    if !solver.solve_with_assumptions(&[assume]) {
+                        // n is constant (FALSE if not inverted).
+                        merge_with[n as usize] =
+                            Some(AigLit::FALSE.xor_compl(inverted));
+                        break;
+                    }
+                    // counterexample distinguishes n from the constant
+                    self.absorb_cex(
+                        &solver,
+                        &sat_var,
+                        &mut signatures,
+                        &mut extra_bits,
+                        &mut extra_pi_words,
+                        &mut classes,
+                    );
+                    continue;
+                }
+                match classes.get(&canon) {
+                    None => {
+                        classes.insert(canon, n);
+                        break;
+                    }
+                    Some(&r) => {
+                        let (_, r_inverted) = canonical_signature(&signatures[r as usize]);
+                        // Hypothesis: n == r ^ compl where compl accounts
+                        // for both inversions.
+                        let compl = inverted != r_inverted;
+                        let vn = sat_var[&n];
+                        let vr = sat_var[&r];
+                        // check "v_n != v_r ^ compl" satisfiable: two queries
+                        let q1 = [
+                            Lit::pos(vn),
+                            Lit::with_sign(vr, !compl), // v_r' = 0
+                        ];
+                        let q2 = [Lit::neg(vn), Lit::with_sign(vr, compl)];
+                        if !solver.solve_with_assumptions(&q1) {
+                            if !solver.solve_with_assumptions(&q2) {
+                                merge_with[n as usize] =
+                                    Some(AigLit::new(r, compl));
+                                break;
+                            }
+                        }
+                        // SAT: a model distinguishes them; refine classes.
+                        self.absorb_cex(
+                            &solver,
+                            &sat_var,
+                            &mut signatures,
+                            &mut extra_bits,
+                            &mut extra_pi_words,
+                            &mut classes,
+                        );
+                    }
+                }
+            }
+        }
+
+        // --- Copy-based reconstruction with merges applied. ---
+        let mut out = Aig::new();
+        for name in self.pi_names() {
+            out.add_pi(name.clone());
+        }
+        let mut map: Vec<AigLit> = vec![AigLit::FALSE; self.len()];
+        for n in 0..self.len() as u32 {
+            match self.nodes[n as usize] {
+                NodeKind::Const => map[n as usize] = AigLit::FALSE,
+                NodeKind::Pi(idx) => map[n as usize] = out.pi_lit(idx as usize),
+                NodeKind::And(a, b) => {
+                    if !live[n as usize] {
+                        continue;
+                    }
+                    map[n as usize] = match merge_with[n as usize] {
+                        Some(target) => {
+                            map[target.node() as usize].xor_compl(target.is_compl())
+                        }
+                        None => {
+                            let fa = map[a.node() as usize].xor_compl(a.is_compl());
+                            let fb = map[b.node() as usize].xor_compl(b.is_compl());
+                            out.and(fa, fb)
+                        }
+                    };
+                }
+            }
+        }
+        for (name, l) in self.outputs() {
+            let lit = map[l.node() as usize].xor_compl(l.is_compl());
+            out.add_po(name.clone(), lit);
+        }
+        out.cleanup()
+    }
+
+    /// Reads the SAT model as a counterexample input pattern and folds it
+    /// into every node's signature (invalidating the class index, which is
+    /// rebuilt lazily). Shared with choice-class detection.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn absorb_cex(
+        &self,
+        solver: &Solver,
+        sat_var: &HashMap<u32, Var>,
+        signatures: &mut [Vec<u64>],
+        extra_bits: &mut usize,
+        extra_pi_words: &mut [u64],
+        classes: &mut HashMap<Vec<u64>, u32>,
+    ) {
+        let bit = *extra_bits % 64;
+        if bit == 0 {
+            // start a fresh extra word
+            for w in extra_pi_words.iter_mut() {
+                *w = 0;
+            }
+            for sig in signatures.iter_mut() {
+                sig.push(0);
+            }
+        }
+        for (pi_idx, word) in extra_pi_words.iter_mut().enumerate() {
+            let pi_node = 1 + pi_idx as u32; // PIs follow the constant node
+            let val = sat_var
+                .get(&pi_node)
+                .and_then(|&v| solver.value(v))
+                .unwrap_or(false);
+            if val {
+                *word |= 1 << bit;
+            }
+        }
+        *extra_bits += 1;
+        let vals = self.simulate_nodes(extra_pi_words);
+        for n in 0..self.len() {
+            let last = signatures[n].len() - 1;
+            signatures[n][last] = vals[n];
+        }
+        // Signatures changed: the class index keyed on old signatures is
+        // stale. Rebuild it from scratch (classes are few; this is cheap
+        // relative to SAT calls).
+        let stale: Vec<Vec<u64>> = classes.keys().cloned().collect();
+        let reps: Vec<u32> = stale.iter().map(|k| classes[k]).collect();
+        classes.clear();
+        for &r in &reps {
+            let (canon, _) = canonical_signature(&signatures[r as usize]);
+            classes.entry(canon).or_insert(r);
+        }
+    }
+}
+
+/// Canonicalizes a signature by complementing it when its first bit is 1,
+/// so a node and its complement land in the same class.
+pub(crate) fn canonical_signature(sig: &[u64]) -> (Vec<u64>, bool) {
+    let inverted = sig.first().is_some_and(|w| w & 1 == 1);
+    let canon = if inverted {
+        sig.iter().map(|w| !w).collect()
+    } else {
+        sig.to_vec()
+    };
+    (canon, inverted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esyn_eqn::parse_eqn;
+
+    fn assert_equiv(a: &Aig, b: &Aig) {
+        assert_eq!(a.num_pis(), b.num_pis());
+        let n = a.num_pis();
+        assert!(n <= 12);
+        let total = 1usize << n;
+        let mut idx = 0;
+        while idx < total {
+            let chunk = (total - idx).min(64);
+            let words: Vec<u64> = (0..n)
+                .map(|v| {
+                    let mut w = 0u64;
+                    for bit in 0..chunk {
+                        if ((idx + bit) >> v) & 1 == 1 {
+                            w |= 1 << bit;
+                        }
+                    }
+                    w
+                })
+                .collect();
+            let mask = if chunk == 64 { u64::MAX } else { (1u64 << chunk) - 1 };
+            for (x, y) in a.simulate(&words).iter().zip(b.simulate(&words)) {
+                assert_eq!(x & mask, y & mask);
+            }
+            idx += chunk;
+        }
+    }
+
+    #[test]
+    fn merges_structurally_different_equal_nodes() {
+        // f = a*(b+c), g = a*b + a*c: same function, different structure.
+        // strash alone cannot merge them; fraig must.
+        let net = parse_eqn(
+            "INORDER = a b c;\nOUTORDER = f g;\nf = a*(b+c);\ng = a*b + a*c;\n",
+        )
+        .unwrap();
+        let aig = Aig::from_network(&net);
+        let fr = aig.fraig(7);
+        assert_equiv(&aig, &fr);
+        // Both outputs must share one node now.
+        assert!(fr.num_ands() < aig.num_ands());
+        let (f, g) = (fr.outputs()[0].1, fr.outputs()[1].1);
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn detects_constant_nodes() {
+        // f = (a & b) & (!a) is constant false but written so strash
+        // cannot see it locally through one AND.
+        let net = parse_eqn(
+            "INORDER = a b;\nOUTORDER = f;\nf = (a*b) * (!a + !b) ;\n",
+        )
+        .unwrap();
+        let aig = Aig::from_network(&net);
+        let fr = aig.fraig(3);
+        assert_eq!(fr.num_ands(), 0, "constant must be proven");
+        assert_eq!(fr.outputs()[0].1, AigLit::FALSE);
+    }
+
+    #[test]
+    fn detects_complement_equivalence() {
+        // g = !(a*b) written as !a + !b: g should merge with f = a*b
+        // (complemented).
+        let net = parse_eqn(
+            "INORDER = a b;\nOUTORDER = f g;\nf = a*b;\ng = !a + !b;\n",
+        )
+        .unwrap();
+        let aig = Aig::from_network(&net);
+        let fr = aig.fraig(11);
+        assert_equiv(&aig, &fr);
+        assert_eq!(fr.num_ands(), 1);
+        let (f, g) = (fr.outputs()[0].1, fr.outputs()[1].1);
+        assert_eq!(f, g.not());
+    }
+
+    #[test]
+    fn fraig_on_xor_tree_is_stable() {
+        let net = parse_eqn(
+            "INORDER = a b c d;\nOUTORDER = p;\np = ((a*!b)+(!a*b)) * !((c*!d)+(!c*d)) + !((a*!b)+(!a*b)) * ((c*!d)+(!c*d));\n",
+        )
+        .unwrap();
+        let aig = Aig::from_network(&net);
+        let fr = aig.fraig(5);
+        assert_equiv(&aig, &fr);
+        assert!(fr.num_ands() <= aig.num_ands());
+    }
+}

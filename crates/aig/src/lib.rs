@@ -1,0 +1,55 @@
+//! And-Inverter Graphs and technology-independent optimisation.
+//!
+//! This crate is the workspace's substitute for ABC's AIG core: it provides
+//! the [`Aig`] structure with structural hashing and complemented edges,
+//! conversion to/from the [`esyn_eqn::Network`] IR, and the classic
+//! DAG-aware optimisation passes the paper compares against:
+//!
+//! * [`Aig::rewrite`] — cut-based rewriting (`rw` / `rwz`), resynthesizing
+//!   4-feasible cuts via ISOP + algebraic factoring and accepting changes
+//!   with positive (or zero) gain, measured MFFC-style;
+//! * [`Aig::refactor`] — the same resynthesis over larger (up to 8-input)
+//!   cuts (`rf` / `rfz`);
+//! * [`Aig::balance`] — AND-tree balancing (`b`);
+//! * [`Aig::fraig`] — simulation-guided, SAT-verified node merging, the
+//!   fraig-style functional reduction that stands in for `ifraig`/`scorr`;
+//! * [`ChoiceAig`] — structural choices (ABC's `dch`): several synthesis
+//!   variants merged into one AIG with SAT-proven choice classes, consumed
+//!   by the choice-aware mapper in `esyn-techmap`;
+//! * [`scripts`] — composite sequences approximating `dc2`/`compress2`;
+//! * [`fuzz`] — a random combinational AIG generator (aigfuzz substitute)
+//!   used to produce cost-model training data.
+//!
+//! # Example
+//!
+//! ```
+//! use esyn_eqn::parse_eqn;
+//! use esyn_aig::Aig;
+//!
+//! let net = parse_eqn("INORDER = a b c;\nOUTORDER = f;\nf = (a*b) + ((a*b)*c);\n")?;
+//! let mut aig = Aig::from_network(&net);
+//! let before = aig.num_ands();
+//! aig = aig.rewrite(false);
+//! assert!(aig.num_ands() <= before);
+//! # Ok::<(), esyn_eqn::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod aig;
+mod aiger;
+mod balance;
+mod choice;
+mod cut;
+mod fraig;
+pub mod fuzz;
+mod rewrite;
+pub mod scripts;
+mod sop;
+
+pub use aig::{Aig, AigLit};
+pub use aiger::AigerError;
+pub use choice::{ChoiceAig, ChoiceVariantError};
+pub use cut::{Cut, CutConfig};
+pub use sop::{Cube, Sop};

@@ -1,0 +1,474 @@
+//! DAG-aware cut rewriting (`rw`/`rwz`) and the shared resynthesis
+//! machinery used by refactoring.
+//!
+//! The pass follows ABC's rewriting discipline adapted to a
+//! copy-based implementation (which is cycle-safe by construction):
+//!
+//! 1. enumerate 4-feasible cuts with truth tables;
+//! 2. for each node, resynthesize each cut function via ISOP + algebraic
+//!    factoring (both polarities);
+//! 3. estimate *gain* = MFFC size of the cut cone in the old graph minus
+//!    the number of genuinely new AND nodes the candidate needs in the new
+//!    graph (computed by a strash-aware dry run);
+//! 4. keep the best candidate when gain is positive (or zero for the
+//!    zero-cost variants `rwz`/`rfz`), otherwise copy the node unchanged.
+
+use crate::aig::{Aig, AigLit, NodeKind};
+use crate::cut::{enumerate_cuts, Cut, CutConfig};
+use crate::sop::{FactorTree, Sop};
+use esyn_eqn::TruthTable;
+use std::collections::HashMap;
+
+impl Aig {
+    /// Cut-based DAG-aware rewriting (ABC `rewrite`). With
+    /// `zero_cost = true` also applies gain-0 replacements (`rwz`),
+    /// which unlocks further optimisation in later passes.
+    pub fn rewrite(&self, zero_cost: bool) -> Aig {
+        self.resynth_pass(zero_cost, ResynthMode::Cuts(CutConfig::default()))
+    }
+
+    /// Refactoring with one reconvergence-driven cut of up to `k` (≤ 8)
+    /// leaves per node (ABC `refactor` / `rfz`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside `3..=8`.
+    pub fn refactor(&self, zero_cost: bool, k: usize) -> Aig {
+        assert!((3..=8).contains(&k), "refactor cut size must be 3..=8");
+        self.resynth_pass(zero_cost, ResynthMode::Reconv(k))
+    }
+
+    fn resynth_pass(&self, zero_cost: bool, mode: ResynthMode) -> Aig {
+        let cuts = match mode {
+            ResynthMode::Cuts(cfg) => Some(enumerate_cuts(self, &cfg)),
+            ResynthMode::Reconv(_) => None,
+        };
+        let live = self.live_mask();
+        let mut refs = self.fanout_counts();
+
+        let mut out = Aig::new();
+        for name in self.pi_names() {
+            out.add_pi(name.clone());
+        }
+        let mut map: Vec<AigLit> = vec![AigLit::FALSE; self.len()];
+
+        for n in 0..self.len() as u32 {
+            match self.nodes[n as usize] {
+                NodeKind::Const => map[n as usize] = AigLit::FALSE,
+                NodeKind::Pi(idx) => map[n as usize] = out.pi_lit(idx as usize),
+                NodeKind::And(a, b) => {
+                    if !live[n as usize] {
+                        continue;
+                    }
+                    let node_cuts: Vec<Cut> = match mode {
+                        ResynthMode::Cuts(_) => cuts.as_ref().expect("enumerated")
+                            [n as usize]
+                            .iter()
+                            .filter(|c| !c.is_unit(n))
+                            .cloned()
+                            .collect(),
+                        ResynthMode::Reconv(k) => {
+                            let leaves = crate::cut::reconv_cut(self, n, k);
+                            let tt = crate::cut::cone_tt(self, n, &leaves);
+                            vec![Cut { leaves, tt }]
+                        }
+                    };
+
+                    let mut best: Option<(isize, &Cut, FactorTree, bool)> = None;
+                    for cut in &node_cuts {
+                        let mffc = mffc_size(self, n, &cut.leaves, &mut refs) as isize;
+                        let leaf_lits: Vec<AigLit> = cut
+                            .leaves
+                            .iter()
+                            .map(|&l| map[l as usize])
+                            .collect();
+                        for (tree, compl) in candidate_trees(&cut.tt) {
+                            let cost = dry_run_cost(&out, &tree, &leaf_lits) as isize;
+                            let gain = mffc - cost;
+                            let acceptable = gain > 0 || (zero_cost && gain == 0);
+                            if !acceptable {
+                                continue;
+                            }
+                            if best.as_ref().is_none_or(|(g, ..)| gain > *g) {
+                                best = Some((gain, cut, tree, compl));
+                            }
+                        }
+                    }
+
+                    map[n as usize] = match best {
+                        Some((_, cut, tree, compl)) => {
+                            let leaf_lits: Vec<AigLit> = cut
+                                .leaves
+                                .iter()
+                                .map(|&l| map[l as usize])
+                                .collect();
+                            let lit = build_tree_real(&mut out, &tree, &leaf_lits);
+                            lit.xor_compl(compl)
+                        }
+                        None => {
+                            let fa = map[a.node() as usize].xor_compl(a.is_compl());
+                            let fb = map[b.node() as usize].xor_compl(b.is_compl());
+                            out.and(fa, fb)
+                        }
+                    };
+                }
+            }
+        }
+        for (name, l) in self.outputs() {
+            let lit = map[l.node() as usize].xor_compl(l.is_compl());
+            out.add_po(name.clone(), lit);
+        }
+        out.cleanup()
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum ResynthMode {
+    Cuts(CutConfig),
+    Reconv(usize),
+}
+
+/// Both polarities of the resynthesis: factoring the on-set, and factoring
+/// the off-set with a complemented output.
+fn candidate_trees(tt: &TruthTable) -> [(FactorTree, bool); 2] {
+    [
+        (Sop::isop(tt).factor(), false),
+        (Sop::isop(&tt.not()).factor(), true),
+    ]
+}
+
+/// Size of the maximal fanout-free cone of `root` above `leaves`: the
+/// number of AND nodes that die when `root` is replaced. Uses the
+/// dereference/re-reference trick on the shared `refs` array (restored
+/// before returning).
+pub(crate) fn mffc_size(aig: &Aig, root: u32, leaves: &[u32], refs: &mut [u32]) -> usize {
+    let mut count = 1; // the root itself
+    let mut touched: Vec<u32> = Vec::new();
+    let mut stack = vec![root];
+    while let Some(m) = stack.pop() {
+        let (a, b) = aig.fanins(m);
+        for f in [a, b] {
+            let fm = f.node();
+            if !aig.is_and(fm) || leaves.contains(&fm) {
+                continue;
+            }
+            refs[fm as usize] -= 1;
+            touched.push(fm);
+            if refs[fm as usize] == 0 {
+                count += 1;
+                stack.push(fm);
+            }
+        }
+    }
+    for &t in &touched {
+        refs[t as usize] += 1;
+    }
+    count
+}
+
+/// A literal during dry-run construction: either a node that already exists
+/// in the target graph, or a virtual (would-be-new) node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+enum VLit {
+    Real(AigLit),
+    Virt(u32, bool),
+}
+
+impl VLit {
+    const FALSE: VLit = VLit::Real(AigLit::FALSE);
+    const TRUE: VLit = VLit::Real(AigLit::TRUE);
+
+    fn not(self) -> Self {
+        match self {
+            VLit::Real(l) => VLit::Real(l.not()),
+            VLit::Virt(id, c) => VLit::Virt(id, !c),
+        }
+    }
+}
+
+/// Counts how many *new* AND nodes would be created by building `tree`
+/// over `leaf_lits` in `out`, honoring `out`'s structural hashing and the
+/// usual trivial-AND simplifications.
+fn dry_run_cost(out: &Aig, tree: &FactorTree, leaf_lits: &[AigLit]) -> usize {
+    let mut dry = DryRun {
+        out,
+        table: HashMap::new(),
+        created: 0,
+    };
+    let leaves: Vec<VLit> = leaf_lits.iter().map(|&l| VLit::Real(l)).collect();
+    let _ = synth_tree(&mut dry, tree, &leaves);
+    dry.created
+}
+
+struct DryRun<'a> {
+    out: &'a Aig,
+    table: HashMap<(VLit, VLit), u32>,
+    created: usize,
+}
+
+impl DryRun<'_> {
+    fn and(&mut self, a: VLit, b: VLit) -> VLit {
+        // Trivial cases mirror Aig::and.
+        if a == VLit::FALSE || b == VLit::FALSE {
+            return VLit::FALSE;
+        }
+        if a == VLit::TRUE {
+            return b;
+        }
+        if b == VLit::TRUE {
+            return a;
+        }
+        if a == b {
+            return a;
+        }
+        if a == b.not() {
+            return VLit::FALSE;
+        }
+        let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        if let (VLit::Real(ra), VLit::Real(rb)) = (x, y) {
+            if let Some(hit) = self.out.lookup_and(ra, rb) {
+                return VLit::Real(hit);
+            }
+        }
+        if let Some(&id) = self.table.get(&(x, y)) {
+            return VLit::Virt(id, false);
+        }
+        let id = self.created as u32;
+        self.created += 1;
+        self.table.insert((x, y), id);
+        VLit::Virt(id, false)
+    }
+}
+
+/// Generic AND-graph construction over the factor tree (OR via De Morgan).
+trait AndBuilder {
+    type L: Copy;
+    fn and(&mut self, a: Self::L, b: Self::L) -> Self::L;
+    fn not(l: Self::L) -> Self::L;
+    fn constant(v: bool) -> Self::L;
+}
+
+impl AndBuilder for DryRun<'_> {
+    type L = VLit;
+
+    fn and(&mut self, a: VLit, b: VLit) -> VLit {
+        DryRun::and(self, a, b)
+    }
+
+    fn not(l: VLit) -> VLit {
+        l.not()
+    }
+
+    fn constant(v: bool) -> VLit {
+        if v {
+            VLit::TRUE
+        } else {
+            VLit::FALSE
+        }
+    }
+}
+
+struct RealBuild<'a>(&'a mut Aig);
+
+impl AndBuilder for RealBuild<'_> {
+    type L = AigLit;
+
+    fn and(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        self.0.and(a, b)
+    }
+
+    fn not(l: AigLit) -> AigLit {
+        l.not()
+    }
+
+    fn constant(v: bool) -> AigLit {
+        if v {
+            AigLit::TRUE
+        } else {
+            AigLit::FALSE
+        }
+    }
+}
+
+fn synth_tree<B: AndBuilder>(b: &mut B, tree: &FactorTree, leaves: &[B::L]) -> B::L {
+    match tree {
+        FactorTree::Const(v) => B::constant(*v),
+        FactorTree::Lit { var, negated } => {
+            let l = leaves[*var];
+            if *negated {
+                B::not(l)
+            } else {
+                l
+            }
+        }
+        FactorTree::And(x, y) => {
+            let lx = synth_tree(b, x, leaves);
+            let ly = synth_tree(b, y, leaves);
+            b.and(lx, ly)
+        }
+        FactorTree::Or(x, y) => {
+            let lx = synth_tree(b, x, leaves);
+            let ly = synth_tree(b, y, leaves);
+            B::not(b.and(B::not(lx), B::not(ly)))
+        }
+    }
+}
+
+fn build_tree_real(out: &mut Aig, tree: &FactorTree, leaf_lits: &[AigLit]) -> AigLit {
+    let mut rb = RealBuild(out);
+    synth_tree(&mut rb, tree, leaf_lits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esyn_eqn::parse_eqn;
+
+    /// Checks functional equivalence of two AIGs over the same PIs by
+    /// exhaustive simulation (inputs <= 16).
+    fn assert_equiv(a: &Aig, b: &Aig) {
+        assert_eq!(a.num_pis(), b.num_pis());
+        assert_eq!(a.num_pos(), b.num_pos());
+        let n = a.num_pis();
+        assert!(n <= 16);
+        let total = 1usize << n;
+        let mut idx = 0usize;
+        while idx < total {
+            let chunk = (total - idx).min(64);
+            let words: Vec<u64> = (0..n)
+                .map(|v| {
+                    let mut w = 0u64;
+                    for bit in 0..chunk {
+                        if ((idx + bit) >> v) & 1 == 1 {
+                            w |= 1 << bit;
+                        }
+                    }
+                    w
+                })
+                .collect();
+            let ra = a.simulate(&words);
+            let rb = b.simulate(&words);
+            let mask = if chunk == 64 { u64::MAX } else { (1u64 << chunk) - 1 };
+            for (o, (x, y)) in ra.iter().zip(&rb).enumerate() {
+                assert_eq!(x & mask, y & mask, "output {o} differs at base {idx}");
+            }
+            idx += chunk;
+        }
+    }
+
+    #[test]
+    fn rewrite_removes_redundant_logic() {
+        // f = (a*b) + ((a*b)*c) == a*b : rewriting must shrink this.
+        let net = parse_eqn(
+            "INORDER = a b c;\nOUTORDER = f;\nf = (a*b) + ((a*b)*c);\n",
+        )
+        .unwrap();
+        let aig = Aig::from_network(&net);
+        let rewritten = aig.rewrite(false);
+        assert!(rewritten.num_ands() < aig.num_ands());
+        assert_equiv(&aig, &rewritten);
+        assert_eq!(rewritten.num_ands(), 1);
+    }
+
+    #[test]
+    fn rewrite_preserves_function_on_adder() {
+        let mut net = esyn_eqn::Network::new();
+        let mut carry = net.constant(false);
+        let mut sums = Vec::new();
+        for i in 0..4 {
+            let a = net.input(format!("a{i}"));
+            let b = net.input(format!("b{i}"));
+            let axb = net.xor(a, b);
+            let s = net.xor(axb, carry);
+            let g = net.and(a, b);
+            let p = net.and(axb, carry);
+            carry = net.or(g, p);
+            sums.push(s);
+        }
+        for (i, s) in sums.into_iter().enumerate() {
+            net.output(format!("s{i}"), s);
+        }
+        net.output("cout", carry);
+        let aig = Aig::from_network(&net);
+        let rw = aig.rewrite(false);
+        assert!(rw.num_ands() <= aig.num_ands());
+        assert_equiv(&aig, &rw);
+    }
+
+    #[test]
+    fn zero_cost_rewrite_is_equivalent() {
+        let net = parse_eqn(
+            "INORDER = a b c d;\nOUTORDER = f g;\nf = (a + b) * (a + c);\ng = (a*d) + (b*!c*d);\n",
+        )
+        .unwrap();
+        let aig = Aig::from_network(&net);
+        let rwz = aig.rewrite(true);
+        assert_equiv(&aig, &rwz);
+    }
+
+    #[test]
+    fn refactor_preserves_function() {
+        let net = parse_eqn(
+            "INORDER = a b c d e;\nOUTORDER = f;\nf = (a*b) + (a*c) + (a*d) + (a*e);\n",
+        )
+        .unwrap();
+        let aig = Aig::from_network(&net);
+        let rf = aig.refactor(false, 8);
+        assert_equiv(&aig, &rf);
+        // a*(b+c+d+e) needs 4 ANDs; the SOP form needs 7.
+        assert!(rf.num_ands() <= aig.num_ands());
+    }
+
+    #[test]
+    fn mffc_counts_exclusive_cone() {
+        // f = (a&b)&(c&d), g = a&b : the cone of f above {a,b,c,d} shares
+        // a&b with g, so MFFC(f) = 2 (f and c&d), not 3.
+        let mut g = Aig::new();
+        let a = g.add_pi("a");
+        let b = g.add_pi("b");
+        let c = g.add_pi("c");
+        let d = g.add_pi("d");
+        let ab = g.and(a, b);
+        let cd = g.and(c, d);
+        let f = g.and(ab, cd);
+        g.add_po("f", f);
+        g.add_po("g", ab);
+        let mut refs = g.fanout_counts();
+        let leaves = [a.node(), b.node(), c.node(), d.node()];
+        let size = mffc_size(&g, f.node(), &leaves, &mut refs);
+        assert_eq!(size, 2);
+        // refs restored
+        assert_eq!(refs, g.fanout_counts());
+    }
+
+    #[test]
+    fn dry_run_counts_only_new_nodes() {
+        let mut out = Aig::new();
+        let a = out.add_pi("a");
+        let b = out.add_pi("b");
+        let c = out.add_pi("c");
+        let _existing = out.and(a, b);
+        // candidate: (a & b) & c — a&b exists, the top AND does not.
+        let tree = FactorTree::And(
+            Box::new(FactorTree::And(
+                Box::new(FactorTree::Lit { var: 0, negated: false }),
+                Box::new(FactorTree::Lit { var: 1, negated: false }),
+            )),
+            Box::new(FactorTree::Lit { var: 2, negated: false }),
+        );
+        let cost = dry_run_cost(&out, &tree, &[a, b, c]);
+        assert_eq!(cost, 1, "a&b is reused; only the top AND is new");
+    }
+
+    #[test]
+    fn rewrite_idempotent_after_convergence() {
+        let net = parse_eqn(
+            "INORDER = a b c;\nOUTORDER = f;\nf = (a*b) + ((a*b)*c);\n",
+        )
+        .unwrap();
+        let one = Aig::from_network(&net).rewrite(false);
+        let two = one.rewrite(false);
+        assert_eq!(one.num_ands(), two.num_ands());
+        assert_equiv(&one, &two);
+    }
+}

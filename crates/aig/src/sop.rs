@@ -1,0 +1,449 @@
+//! Sum-of-products covers: irredundant SOP computation (Minato–Morreale
+//! ISOP) from truth tables, and algebraic factoring into AND/OR trees.
+//!
+//! This is the resynthesis engine behind [`crate::Aig::rewrite`] and
+//! [`crate::Aig::refactor`]: a cut's truth table is converted to an
+//! irredundant cover, factored, and rebuilt as an AIG fragment.
+
+use esyn_eqn::TruthTable;
+
+/// A product term over up to 16 variables: bit `i` of `pos`/`neg` set means
+/// variable `i` appears as a positive/negative literal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Cube {
+    /// Positive-literal mask.
+    pub pos: u16,
+    /// Negative-literal mask.
+    pub neg: u16,
+}
+
+impl Cube {
+    /// The cube containing no literals (the constant-true product).
+    pub fn tautology() -> Self {
+        Cube { pos: 0, neg: 0 }
+    }
+
+    /// True when the cube has no literals.
+    pub fn is_tautology(&self) -> bool {
+        self.pos == 0 && self.neg == 0
+    }
+
+    /// Number of literals in the cube.
+    pub fn num_literals(&self) -> usize {
+        (self.pos.count_ones() + self.neg.count_ones()) as usize
+    }
+
+    /// Adds a positive (`negated = false`) or negative literal of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= 16` or if the opposite literal is already present.
+    pub fn with_literal(mut self, var: usize, negated: bool) -> Self {
+        assert!(var < 16, "cube supports at most 16 variables");
+        let bit = 1u16 << var;
+        if negated {
+            assert_eq!(self.pos & bit, 0, "contradictory literal");
+            self.neg |= bit;
+        } else {
+            assert_eq!(self.neg & bit, 0, "contradictory literal");
+            self.pos |= bit;
+        }
+        self
+    }
+
+    /// Evaluates the cube under the assignment encoded by `index`.
+    pub fn eval(&self, index: usize) -> bool {
+        let idx = index as u16;
+        (idx & self.pos) == self.pos && (idx & self.neg) == 0
+    }
+
+    /// The literals of this cube as `(var, negated)` pairs.
+    pub fn literals(&self) -> impl Iterator<Item = (usize, bool)> + '_ {
+        (0..16usize).filter_map(move |v| {
+            let bit = 1u16 << v;
+            if self.pos & bit != 0 {
+                Some((v, false))
+            } else if self.neg & bit != 0 {
+                Some((v, true))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+/// A sum-of-products cover.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Sop {
+    cubes: Vec<Cube>,
+    num_vars: usize,
+}
+
+impl Sop {
+    /// Computes an irredundant SOP of `f` with the Minato–Morreale ISOP
+    /// algorithm (no don't-cares: lower bound = upper bound = `f`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` has more than 16 variables.
+    pub fn isop(f: &TruthTable) -> Sop {
+        assert!(f.num_vars() <= 16);
+        let cubes = isop_rec(f, f);
+        Sop {
+            cubes,
+            num_vars: f.num_vars(),
+        }
+    }
+
+    /// The cubes of the cover.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Number of variables the cover ranges over.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Total literal count (a classic cover-quality metric).
+    pub fn num_literals(&self) -> usize {
+        self.cubes.iter().map(Cube::num_literals).sum()
+    }
+
+    /// Evaluates the cover back into a truth table (for verification).
+    pub fn to_truth_table(&self) -> TruthTable {
+        let mut tt = TruthTable::zeros(self.num_vars);
+        for idx in 0..(1usize << self.num_vars) {
+            if self.cubes.iter().any(|c| c.eval(idx)) {
+                let mut words = tt.words().to_vec();
+                words[idx / 64] |= 1u64 << (idx % 64);
+                tt = TruthTable::from_words(self.num_vars, words);
+            }
+        }
+        tt
+    }
+
+    /// Factors the cover into an AND/OR/literal tree using greedy
+    /// most-common-literal division.
+    pub fn factor(&self) -> FactorTree {
+        factor_cubes(&self.cubes)
+    }
+}
+
+/// An AND/OR/NOT-literal expression tree produced by factoring.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FactorTree {
+    /// Constant false / true.
+    Const(bool),
+    /// A literal of variable `var`; `negated` selects the complement.
+    Lit {
+        /// Variable index.
+        var: usize,
+        /// Complemented literal when true.
+        negated: bool,
+    },
+    /// Conjunction.
+    And(Box<FactorTree>, Box<FactorTree>),
+    /// Disjunction.
+    Or(Box<FactorTree>, Box<FactorTree>),
+}
+
+impl FactorTree {
+    /// Number of literal leaves in the tree.
+    pub fn num_leaves(&self) -> usize {
+        match self {
+            FactorTree::Const(_) => 0,
+            FactorTree::Lit { .. } => 1,
+            FactorTree::And(a, b) | FactorTree::Or(a, b) => {
+                a.num_leaves() + b.num_leaves()
+            }
+        }
+    }
+
+    /// Evaluates the tree under the assignment encoded by `index`.
+    pub fn eval(&self, index: usize) -> bool {
+        match self {
+            FactorTree::Const(v) => *v,
+            FactorTree::Lit { var, negated } => ((index >> var) & 1 == 1) != *negated,
+            FactorTree::And(a, b) => a.eval(index) && b.eval(index),
+            FactorTree::Or(a, b) => a.eval(index) || b.eval(index),
+        }
+    }
+}
+
+fn isop_rec(l: &TruthTable, u: &TruthTable) -> Vec<Cube> {
+    debug_assert!(l.and(&u.not()).is_zero(), "ISOP requires L <= U");
+    if l.is_zero() {
+        return Vec::new();
+    }
+    if u.is_ones() {
+        return vec![Cube::tautology()];
+    }
+    let n = l.num_vars();
+    let x = (0..n)
+        .find(|&v| l.depends_on(v) || u.depends_on(v))
+        .expect("non-constant bounds must depend on some variable");
+
+    let l0 = l.cofactor(x, false);
+    let l1 = l.cofactor(x, true);
+    let u0 = u.cofactor(x, false);
+    let u1 = u.cofactor(x, true);
+
+    // Cubes that must carry !x: needed where f can be 1 only under x = 0.
+    let c0 = isop_rec(&l0.and(&u1.not()), &u0);
+    // Cubes that must carry x.
+    let c1 = isop_rec(&l1.and(&u0.not()), &u1);
+
+    let cover0 = cover_tt(&c0, n);
+    let cover1 = cover_tt(&c1, n);
+    let lnew = l0.and(&cover0.not()).or(&l1.and(&cover1.not()));
+    // Cubes independent of x.
+    let c2 = isop_rec(&lnew, &u0.and(&u1));
+
+    let mut out = Vec::with_capacity(c0.len() + c1.len() + c2.len());
+    out.extend(c0.into_iter().map(|c| c.with_literal(x, true)));
+    out.extend(c1.into_iter().map(|c| c.with_literal(x, false)));
+    out.extend(c2);
+    out
+}
+
+fn cover_tt(cubes: &[Cube], num_vars: usize) -> TruthTable {
+    let nwords = if num_vars <= 6 {
+        1
+    } else {
+        1usize << (num_vars - 6)
+    };
+    let mut words = vec![0u64; nwords];
+    for idx in 0..(1usize << num_vars) {
+        if cubes.iter().any(|c| c.eval(idx)) {
+            words[idx / 64] |= 1u64 << (idx % 64);
+        }
+    }
+    TruthTable::from_words(num_vars, words)
+}
+
+fn factor_cubes(cubes: &[Cube]) -> FactorTree {
+    if cubes.is_empty() {
+        return FactorTree::Const(false);
+    }
+    if cubes.iter().any(Cube::is_tautology) {
+        return FactorTree::Const(true);
+    }
+    if cubes.len() == 1 {
+        return cube_tree(&cubes[0]);
+    }
+    // Most common literal across cubes.
+    let mut counts: Vec<(usize, bool, usize)> = Vec::new(); // (var, neg, count)
+    for c in cubes {
+        for (var, neg) in c.literals() {
+            match counts.iter_mut().find(|(v, n, _)| *v == var && *n == neg) {
+                Some((_, _, k)) => *k += 1,
+                None => counts.push((var, neg, 1)),
+            }
+        }
+    }
+    let &(var, neg, count) = counts
+        .iter()
+        .max_by_key(|&&(v, n, k)| (k, std::cmp::Reverse(v), n))
+        .expect("non-empty cubes have literals");
+
+    if count > 1 {
+        let bit = 1u16 << var;
+        let mut quotient = Vec::new();
+        let mut remainder = Vec::new();
+        for c in cubes {
+            let has = if neg { c.neg & bit != 0 } else { c.pos & bit != 0 };
+            if has {
+                let mut q = *c;
+                if neg {
+                    q.neg &= !bit;
+                } else {
+                    q.pos &= !bit;
+                }
+                quotient.push(q);
+            } else {
+                remainder.push(*c);
+            }
+        }
+        let lit = FactorTree::Lit { var, negated: neg };
+        let q_tree = factor_cubes(&quotient);
+        let branch = match q_tree {
+            FactorTree::Const(true) => lit,
+            q => FactorTree::And(Box::new(lit), Box::new(q)),
+        };
+        if remainder.is_empty() {
+            branch
+        } else {
+            FactorTree::Or(Box::new(branch), Box::new(factor_cubes(&remainder)))
+        }
+    } else {
+        // No shared literal: balanced OR over the cube trees.
+        let mut trees: Vec<FactorTree> = cubes.iter().map(cube_tree).collect();
+        while trees.len() > 1 {
+            let mut next = Vec::with_capacity(trees.len().div_ceil(2));
+            let mut it = trees.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => next.push(FactorTree::Or(Box::new(a), Box::new(b))),
+                    None => next.push(a),
+                }
+            }
+            trees = next;
+        }
+        trees.pop().expect("at least one cube")
+    }
+}
+
+fn cube_tree(cube: &Cube) -> FactorTree {
+    let mut lits: Vec<FactorTree> = cube
+        .literals()
+        .map(|(var, negated)| FactorTree::Lit { var, negated })
+        .collect();
+    if lits.is_empty() {
+        return FactorTree::Const(true);
+    }
+    while lits.len() > 1 {
+        let mut next = Vec::with_capacity(lits.len().div_ceil(2));
+        let mut it = lits.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(FactorTree::And(Box::new(a), Box::new(b))),
+                None => next.push(a),
+            }
+        }
+        lits = next;
+    }
+    lits.pop().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tt_of(num_vars: usize, f: impl Fn(usize) -> bool) -> TruthTable {
+        let nwords = if num_vars <= 6 { 1 } else { 1 << (num_vars - 6) };
+        let mut words = vec![0u64; nwords];
+        for idx in 0..(1usize << num_vars) {
+            if f(idx) {
+                words[idx / 64] |= 1 << (idx % 64);
+            }
+        }
+        TruthTable::from_words(num_vars, words)
+    }
+
+    #[test]
+    fn isop_covers_exactly() {
+        // check dozens of functions: ISOP cover must equal the function
+        for seed in 0..40u64 {
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let mut rnd = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let bits = rnd();
+            let tt = tt_of(4, |idx| (bits >> idx) & 1 == 1);
+            let sop = Sop::isop(&tt);
+            assert_eq!(sop.to_truth_table(), tt, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn isop_constants() {
+        let zero = TruthTable::zeros(3);
+        assert!(Sop::isop(&zero).cubes().is_empty());
+        let one = zero.not();
+        let sop = Sop::isop(&one);
+        assert_eq!(sop.cubes().len(), 1);
+        assert!(sop.cubes()[0].is_tautology());
+    }
+
+    #[test]
+    fn isop_single_variable() {
+        let v = TruthTable::var(4, 2);
+        let sop = Sop::isop(&v);
+        assert_eq!(sop.cubes().len(), 1);
+        assert_eq!(sop.num_literals(), 1);
+        assert_eq!(sop.cubes()[0].pos, 1 << 2);
+    }
+
+    #[test]
+    fn isop_is_irredundant_for_xor() {
+        // XOR of 3 vars has exactly 4 minterms; minimal SOP = 4 cubes of
+        // 3 literals.
+        let tt = tt_of(3, |idx| (idx.count_ones() % 2) == 1);
+        let sop = Sop::isop(&tt);
+        assert_eq!(sop.cubes().len(), 4);
+        assert_eq!(sop.num_literals(), 12);
+        assert_eq!(sop.to_truth_table(), tt);
+    }
+
+    #[test]
+    fn isop_eight_vars_multiword() {
+        let tt = tt_of(8, |idx| (idx & 0b11) == 0b11 || (idx >> 6) == 0b10);
+        let sop = Sop::isop(&tt);
+        assert_eq!(sop.to_truth_table(), tt);
+        assert!(sop.cubes().len() <= 3);
+    }
+
+    #[test]
+    fn factor_preserves_function() {
+        for seed in 0..40u64 {
+            let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;
+            let mut rnd = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let bits = rnd();
+            let tt = tt_of(4, |idx| (bits >> idx) & 1 == 1);
+            let tree = Sop::isop(&tt).factor();
+            for idx in 0..16 {
+                assert_eq!(tree.eval(idx), tt.bit(idx), "seed {seed} idx {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn factor_shares_common_literal() {
+        // a*b + a*c should factor as a*(b+c): 3 leaves, not 4.
+        let tt = tt_of(3, |idx| {
+            let a = idx & 1 == 1;
+            let b = (idx >> 1) & 1 == 1;
+            let c = (idx >> 2) & 1 == 1;
+            (a && b) || (a && c)
+        });
+        let tree = Sop::isop(&tt).factor();
+        assert_eq!(tree.num_leaves(), 3, "{tree:?}");
+    }
+
+    #[test]
+    fn factor_constants() {
+        assert_eq!(factor_cubes(&[]), FactorTree::Const(false));
+        assert_eq!(
+            factor_cubes(&[Cube::tautology()]),
+            FactorTree::Const(true)
+        );
+    }
+
+    #[test]
+    fn cube_api() {
+        let c = Cube::tautology().with_literal(0, false).with_literal(3, true);
+        assert_eq!(c.num_literals(), 2);
+        assert!(c.eval(0b0001));
+        assert!(!c.eval(0b1001)); // var3 = 1 violates the negative literal
+        assert!(!c.eval(0b0000)); // var0 = 0 violates the positive literal
+        let lits: Vec<_> = c.literals().collect();
+        assert_eq!(lits, vec![(0, false), (3, true)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "contradictory")]
+    fn cube_rejects_contradiction() {
+        let _ = Cube::tautology()
+            .with_literal(1, false)
+            .with_literal(1, true);
+    }
+}

@@ -1,0 +1,62 @@
+//! **Ablation**: structural choices in the mapping backend.
+//!
+//! DESIGN.md documents one substitution in the evaluation backend: the
+//! paper's `&dch -f` (choice networks) is approximated by a `dc2` pass
+//! because the original mapper had no choice support. The workspace now
+//! has a faithful `dch` substitute ([`esyn_aig::ChoiceAig`] plus the
+//! choice-aware mapper); this bench measures what the approximation costs
+//! by running the baseline flow with and without choices.
+//!
+//! ```text
+//! cargo bench -p esyn-bench --bench ablation_choices
+//! ```
+
+use esyn_aig::{Aig, ChoiceAig};
+use esyn_bench::hr;
+use esyn_core::{abc_baseline, abc_baseline_choices, Objective};
+use esyn_techmap::Library;
+
+fn main() {
+    let lib = Library::asap7_like();
+    let circuits = ["3_3", "5_5", "cavlc", "frg2", "b12"];
+
+    println!();
+    println!("Ablation: single-structure mapping (dc2 approximation) vs structural choices (dch)");
+    hr(104);
+    println!(
+        "{:<8} {:<9} {:>9} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8}",
+        "circuit", "objective", "#choices", "delay", "delay+ch", "Δ", "area", "area+ch", "Δ"
+    );
+    hr(104);
+
+    for name in circuits {
+        let net = esyn_circuits::by_name(name).expect("registry circuit");
+        let num_choices = {
+            let opt = esyn_aig::scripts::baseline_tech_indep(&Aig::from_network(&net), 0xABC);
+            ChoiceAig::build(&opt, 0xD0C).num_choices()
+        };
+        for objective in [Objective::Delay, Objective::Area] {
+            let plain = abc_baseline(&net, &lib, objective, None);
+            let chosen = abc_baseline_choices(&net, &lib, objective, None);
+            let dd = (chosen.delay - plain.delay) / plain.delay * 100.0;
+            let da = (chosen.area - plain.area) / plain.area * 100.0;
+            println!(
+                "{name:<8} {:<9} {num_choices:>9} {:>12.2} {:>12.2} {:>7.1}% {:>12.2} {:>12.2} {:>7.1}%",
+                format!("{objective:?}"),
+                plain.delay,
+                chosen.delay,
+                dd,
+                plain.area,
+                chosen.area,
+                da
+            );
+        }
+        hr(104);
+    }
+    println!("expected shape (negative Δ = choice-aware backend wins): under the Delay");
+    println!("objective choices match or shorten the critical path; under the Area objective");
+    println!("they trade delay for a few percent of area — the direction each objective asks");
+    println!("for. Rows with 0 choices isolate the mapper's area-flow refinement pass (the");
+    println!("choice mapper always runs two DP sweeps). This bounds the error of the dc2");
+    println!("approximation used in the calibrated experiments.");
+}

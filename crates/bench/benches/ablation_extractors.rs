@@ -1,0 +1,175 @@
+//! **Ablation**: extraction engines (DESIGN.md §"ablation").
+//!
+//! Compares every extraction strategy available in the workspace on the
+//! same saturated e-graphs, through the same mapping backend:
+//!
+//! * the vanilla greedy extractor with tree costs (AST size / AST depth)
+//!   — the paper's "extractor (1)";
+//! * greedy DAG-cost extraction (`DagExtractor`), which charges shared
+//!   e-classes once;
+//! * exact branch-and-bound DAG extraction (`extract_exact`) — the
+//!   ILP-equivalent "extractor (2)" the paper cites as prior work, run at
+//!   a reduced saturation budget because it does not scale (which is
+//!   precisely the paper's argument for pool extraction);
+//! * pool extraction, with and without the DAG-cost extreme candidate.
+//!
+//! ```text
+//! cargo bench -p esyn-bench --bench ablation_extractors
+//! ```
+
+use esyn_bench::{bench_limits, hr, QorCache};
+use esyn_core::{
+    extract_pool_with, lang::network_to_recexpr, rules::all_rules, saturate, BoolLang,
+    Objective, PoolConfig, SaturationLimits,
+};
+use esyn_egraph::{extract_exact, AstDepth, AstSize, DagExtractor, DagSize, Extractor, RecExpr};
+use esyn_techmap::Library;
+use std::time::Duration;
+
+/// Steps allowed to the exact search before it reports `Budget`.
+const EXACT_BUDGET: u64 = 3_000_000;
+
+fn dag_nodes(expr: &RecExpr<BoolLang>) -> usize {
+    expr.len()
+}
+
+fn main() {
+    let lib = Library::asap7_like();
+
+    // ---- Part 1: heuristic extractors at the shared bench budget -------
+    println!();
+    println!("Ablation: extraction engines (bench saturation budget)");
+    hr(100);
+    println!(
+        "{:<8} {:<18} {:>10} {:>8} {:>12} {:>12}",
+        "circuit", "extractor", "dag nodes", "depth", "delay (ps)", "area (um2)"
+    );
+    hr(100);
+
+    for name in ["3_3", "cavlc", "qadd"] {
+        let net = esyn_circuits::by_name(name).expect("ablation circuit");
+        let names: Vec<String> = net.outputs().iter().map(|(n, _)| n.clone()).collect();
+        let expr = network_to_recexpr(&net);
+        let runner = saturate(&expr, &all_rules(), &bench_limits());
+        let (egraph, root) = (&runner.egraph, runner.roots[0]);
+        let mut cache = QorCache::new();
+
+        let mut row = |label: &str, cands: Vec<RecExpr<BoolLang>>| {
+            let qors = cache.measure(&cands, &names, &lib, Objective::Delay);
+            let (best_d, best_a) = qors
+                .iter()
+                .map(|q| (q.delay, q.area))
+                .fold((f64::INFINITY, f64::INFINITY), |(d, a), (qd, qa)| {
+                    (d.min(qd), a.min(qa))
+                });
+            let smallest = cands.iter().map(dag_nodes).min().unwrap_or(0);
+            let depth = cands.iter().map(|c| c.depth()).min().unwrap_or(0);
+            println!(
+                "{name:<8} {label:<18} {smallest:>10} {depth:>8} {best_d:>12.2} {best_a:>12.2}"
+            );
+        };
+
+        let (_, by_size) = Extractor::new(egraph, AstSize).find_best(root).unwrap();
+        row("greedy ast-size", vec![by_size]);
+
+        let (_, by_depth) = Extractor::new(egraph, AstDepth).find_best(root).unwrap();
+        row("greedy ast-depth", vec![by_depth]);
+
+        let (_, by_dag) = DagExtractor::new(egraph, DagSize).find_best(root).unwrap();
+        row("greedy dag-size", vec![by_dag]);
+
+        let pool = extract_pool_with(
+            egraph,
+            root,
+            Some(&expr),
+            &PoolConfig::with_samples(60, 0xE57),
+        );
+        row(&format!("pool({})", pool.len()), pool);
+
+        let pool_dag = extract_pool_with(
+            egraph,
+            root,
+            Some(&expr),
+            &PoolConfig {
+                include_dag_extreme: true,
+                ..PoolConfig::with_samples(60, 0xE57)
+            },
+        );
+        row(&format!("pool+dagx({})", pool_dag.len()), pool_dag);
+        hr(100);
+    }
+
+    // ---- Part 2: exact (ILP-equivalent) vs greedy DAG at small budgets --
+    println!();
+    println!(
+        "Exact branch-and-bound (ILP baseline) vs greedy DAG, reduced saturation \
+         (budget {EXACT_BUDGET} steps)"
+    );
+    hr(100);
+    println!(
+        "{:<10} {:>12} {:>14} {:>14} {:>14} {:>16}",
+        "circuit", "e-nodes", "greedy dag", "exact dag", "gap", "exact status"
+    );
+    hr(100);
+
+    // Tiny hand-written functions where the exact search can finish, plus
+    // the named circuits where it hits the wall.
+    let tiny: [(&str, &str); 3] = [
+        (
+            "factor",
+            "INORDER = a b c d;\nOUTORDER = f;\nf = (a*b) + (a*c) + (a*d);\n",
+        ),
+        (
+            "consensus",
+            "INORDER = a b c;\nOUTORDER = f;\nf = (a*b) + ((!a)*c) + (b*c);\n",
+        ),
+        (
+            "mux_pair",
+            "INORDER = s a b c;\nOUTORDER = f g;\nf = (s*a) + (!s*b);\ng = (s*b) + (!s*c);\n",
+        ),
+    ];
+    let tiny_limits = SaturationLimits {
+        iter_limit: 6,
+        node_limit: 250,
+        time_limit: Duration::from_secs(5),
+    };
+    let small_limits = SaturationLimits {
+        iter_limit: 8,
+        node_limit: 1_200,
+        time_limit: Duration::from_secs(5),
+    };
+    let workloads: Vec<(String, RecExpr<BoolLang>, &SaturationLimits)> = tiny
+        .iter()
+        .map(|(n, src)| {
+            let net = esyn_eqn::parse_eqn(src).expect("tiny circuit parses");
+            ((*n).to_owned(), network_to_recexpr(&net), &tiny_limits)
+        })
+        .chain(["3_3", "cavlc", "qadd"].into_iter().map(|n| {
+            let net = esyn_circuits::by_name(n).expect("ablation circuit");
+            (n.to_owned(), network_to_recexpr(&net), &small_limits)
+        }))
+        .collect();
+    for (name, expr, limits) in &workloads {
+        let runner = saturate(expr, &all_rules(), limits);
+        let (egraph, root) = (&runner.egraph, runner.roots[0]);
+
+        let (greedy_cost, _) = DagExtractor::new(egraph, DagSize).find_best(root).unwrap();
+        let (exact_str, gap_str, status) = match extract_exact(egraph, root, DagSize, EXACT_BUDGET)
+        {
+            Ok((exact_cost, _)) => {
+                let gap = (greedy_cost - exact_cost) / exact_cost.max(1.0) * 100.0;
+                (format!("{exact_cost:.0}"), format!("{gap:.1}%"), "optimal")
+            }
+            Err(_) => ("—".to_owned(), "—".to_owned(), "budget exhausted"),
+        };
+        println!(
+            "{name:<10} {:>12} {greedy_cost:>14.0} {exact_str:>14} {gap_str:>14} {status:>16}",
+            egraph.total_nodes()
+        );
+    }
+    hr(100);
+    println!("expected shape: the pool dominates every single-candidate extractor on measured");
+    println!("QoR; exact matches or slightly beats greedy DAG extraction where it finishes and");
+    println!("exhausts its budget as the e-graph grows — the scaling wall that motivates the");
+    println!("paper's pool extraction (§3.2.2).");
+}

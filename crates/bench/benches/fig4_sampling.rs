@@ -1,0 +1,55 @@
+//! **Figure 4**: sampling size vs. the best delay and area found in the
+//! pool, for `alu4`, `pair` and `qadd`.
+//!
+//! The paper's observation to reproduce: diminishing returns with pool
+//! size; "a pool size of over 100 would suffice in most cases".
+//!
+//! ```text
+//! cargo bench -p esyn-bench --bench fig4_sampling
+//! ```
+
+use esyn_bench::{hr, QorCache, SaturatedCircuit};
+use esyn_core::Objective;
+use esyn_techmap::Library;
+
+fn main() {
+    let lib = Library::asap7_like();
+    let sizes = [10usize, 25, 50, 100, 200, 400, 700];
+    let circuits = esyn_circuits::fig4_benchmarks();
+
+    println!();
+    println!("Figure 4: sampling size vs minimum delay / area in the pool");
+    hr(78);
+    println!(
+        "{:<8} {:>6} {:>10} {:>10} {:>8}",
+        "circuit", "size", "min delay", "min area", "pool"
+    );
+    hr(78);
+    for b in &circuits {
+        let mut cache = QorCache::new();
+        // One saturation per circuit; pools of different sizes share the
+        // same sample stream prefix, exactly as the paper's sweep.
+        let sat = SaturatedCircuit::new(&b.network);
+        let names = sat.names().to_vec();
+        for &n in &sizes {
+            let pool = sat.pool(n, 0xF16_4);
+            let qors = cache.measure(&pool, &names, &lib, Objective::Delay);
+            let best_delay = qors
+                .iter()
+                .map(|q| q.delay)
+                .fold(f64::INFINITY, f64::min);
+            let best_area = qors.iter().map(|q| q.area).fold(f64::INFINITY, f64::min);
+            println!(
+                "{:<8} {:>6} {:>10.2} {:>10.2} {:>8}",
+                b.name,
+                n,
+                best_delay,
+                best_area,
+                pool.len()
+            );
+        }
+        hr(78);
+    }
+    println!("expected shape: monotone non-increasing curves with diminishing returns");
+    println!("(the paper picks a default pool size of ~100 from this experiment)");
+}

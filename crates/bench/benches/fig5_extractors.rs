@@ -1,0 +1,145 @@
+//! **Figure 5**: e-graph optimisation with the vanilla (greedy) extractor
+//! vs. pool extraction with the regression cost model, normalised by the
+//! baseline ABC flow, for delay and area over the 14 circuits.
+//!
+//! Paper reference: pool extraction beats the vanilla extractor by 21 %
+//! delay / 10 % area on average (up to 34 % / 25 %), and the baseline ABC
+//! flow by 18 % / 6 %.
+//!
+//! ```text
+//! cargo bench -p esyn-bench --bench fig5_extractors
+//! ```
+
+use esyn_bench::{bench_limits, geomean, hr, shared_models};
+use esyn_core::{
+    abc_baseline, flow::esyn_backend, lang::{network_to_recexpr, recexpr_to_network},
+    pool::extract_pool_with, rules::all_rules, saturate, CandidateCost, Features,
+    Objective, PoolConfig,
+};
+use esyn_egraph::{AstDepth, AstSize, Extractor};
+use esyn_techmap::Library;
+
+fn main() {
+    let lib = Library::asap7_like();
+    let models = shared_models(&lib);
+    // Figure 5's x-axis circuit order.
+    let order = [
+        "5_5", "cavlc", "C432", "3_3", "qdiv", "adder", "b12", "c7552", "C5315",
+        "i7", "max", "frg2", "c2670", "bar",
+    ];
+    let benches = esyn_circuits::table2_benchmarks();
+
+    println!();
+    println!("Figure 5: vanilla extractor vs pool extraction (normalised by baseline ABC flow)");
+    hr(108);
+    println!(
+        "{:<10} | {:>11} {:>11} {:>11} | {:>11} {:>11} {:>11}",
+        "circuit", "abc-delay", "van-delay", "pool-delay", "abc-area", "van-area", "pool-area"
+    );
+    hr(108);
+
+    let mut van_d_norm = Vec::new();
+    let mut pool_d_norm = Vec::new();
+    let mut van_a_norm = Vec::new();
+    let mut pool_a_norm = Vec::new();
+
+    for name in order {
+        let b = benches
+            .iter()
+            .find(|b| b.name == name)
+            .expect("figure 5 circuit exists");
+        eprintln!("[fig5] {name}...");
+        let names: Vec<String> =
+            b.network.outputs().iter().map(|(n, _)| n.clone()).collect();
+
+        // Baseline ABC flow.
+        let abc_d = abc_baseline(&b.network, &lib, Objective::Delay, None);
+        let abc_a = abc_baseline(&b.network, &lib, Objective::Area, None);
+
+        // One shared saturation for both extractors.
+        let expr = network_to_recexpr(&b.network);
+        let runner = saturate(&expr, &all_rules(), &bench_limits());
+        let root = runner.roots[0];
+
+        // Vanilla extractor: AST depth for delay, AST size for area (§4.2).
+        let (_, depth_best) = Extractor::new(&runner.egraph, AstDepth)
+            .find_best(root)
+            .expect("extractable");
+        let (_, size_best) = Extractor::new(&runner.egraph, AstSize)
+            .find_best(root)
+            .expect("extractable");
+        let van_d =
+            esyn_backend(&recexpr_to_network(&depth_best, &names), &lib, Objective::Delay, None).1;
+        let van_a =
+            esyn_backend(&recexpr_to_network(&size_best, &names), &lib, Objective::Area, None).1;
+
+        // Pool extraction with the regression models.
+        let pool = extract_pool_with(
+            &runner.egraph,
+            root,
+            Some(&expr),
+            &PoolConfig::with_samples(60, 0xF16_5),
+        );
+        let pick = |is_delay: bool| {
+            pool.iter()
+                .min_by(|x, y| {
+                    let fx = Features::from_expr(x);
+                    let fy = Features::from_expr(y);
+                    let (cx, cy) = if is_delay {
+                        (models.delay.cost(&fx), models.delay.cost(&fy))
+                    } else {
+                        (models.area.cost(&fx), models.area.cost(&fy))
+                    };
+                    cx.partial_cmp(&cy).expect("finite")
+                })
+                .expect("pool non-empty")
+        };
+        let pool_d = esyn_backend(
+            &recexpr_to_network(pick(true), &names),
+            &lib,
+            Objective::Delay,
+            None,
+        )
+        .1;
+        let pool_a = esyn_backend(
+            &recexpr_to_network(pick(false), &names),
+            &lib,
+            Objective::Area,
+            None,
+        )
+        .1;
+
+        let vd = van_d.delay / abc_d.delay;
+        let pd = pool_d.delay / abc_d.delay;
+        let va = van_a.area / abc_a.area;
+        let pa = pool_a.area / abc_a.area;
+        println!(
+            "{name:<10} | {:>11.3} {vd:>11.3} {pd:>11.3} | {:>11.3} {va:>11.3} {pa:>11.3}",
+            1.0, 1.0
+        );
+        van_d_norm.push(vd);
+        pool_d_norm.push(pd);
+        van_a_norm.push(va);
+        pool_a_norm.push(pa);
+    }
+    hr(108);
+    let gvd = geomean(&van_d_norm);
+    let gpd = geomean(&pool_d_norm);
+    let gva = geomean(&van_a_norm);
+    let gpa = geomean(&pool_a_norm);
+    println!(
+        "GEOMEAN    | {:>11.3} {gvd:>11.3} {gpd:>11.3} | {:>11.3} {gva:>11.3} {gpa:>11.3}",
+        1.0, 1.0
+    );
+    println!();
+    println!(
+        "pool vs vanilla: delay {:+.1}% area {:+.1}%   [paper: avg 21% delay, 10% area]",
+        100.0 * (gvd - gpd) / gvd,
+        100.0 * (gva - gpa) / gva,
+    );
+    println!(
+        "pool vs ABC:     delay {:+.1}% area {:+.1}%   [paper: 18% delay, 6% area]",
+        100.0 * (1.0 - gpd),
+        100.0 * (1.0 - gpa),
+    );
+}

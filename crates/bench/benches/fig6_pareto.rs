@@ -1,0 +1,74 @@
+//! **Figure 6**: design-space scatter and Pareto frontiers of the baseline
+//! ABC flow (delay-target sweep) vs. all E-Syn pool candidates, for `frg2`
+//! and `max`.
+//!
+//! Paper reference: "the design points from E-Syn span a wider range in
+//! the delay-area plane. In both designs, the frontier of E-Syn completely
+//! dominates."
+//!
+//! ```text
+//! cargo bench -p esyn-bench --bench fig6_pareto
+//! ```
+
+use esyn_bench::{hr, saturate_and_pool, QorCache};
+use esyn_core::pareto::{frontier_dominates, pareto_front};
+use esyn_core::{abc_baseline, Objective};
+use esyn_techmap::Library;
+
+fn main() {
+    let lib = Library::asap7_like();
+    for name in ["frg2", "max"] {
+        let net = esyn_circuits::by_name(name).expect("figure 6 circuit");
+        println!();
+        println!("Figure 6 — {name}: delay vs area with Pareto frontiers");
+        hr(64);
+
+        // Baseline: sweep the delay target around the unconstrained result.
+        let reference = abc_baseline(&net, &lib, Objective::Delay, None);
+        let mut abc_points: Vec<(f64, f64)> = Vec::new();
+        for k in 0..10 {
+            let target = reference.delay * (0.80 + 0.12 * k as f64);
+            for obj in [Objective::Delay, Objective::Area] {
+                let q = abc_baseline(&net, &lib, obj, Some(target));
+                abc_points.push((q.delay, q.area));
+            }
+        }
+        for &(d, a) in &abc_points {
+            println!("abc-point   delay {d:9.2}  area {a:9.2}");
+        }
+
+        // E-Syn: every pool candidate.
+        let (pool, names) = saturate_and_pool(&net, 60, 0xF16_6);
+        let mut cache = QorCache::new();
+        let qors = cache.measure(&pool, &names, &lib, Objective::Delay);
+        let esyn_points: Vec<(f64, f64)> = qors.iter().map(|q| (q.delay, q.area)).collect();
+        for &(d, a) in &esyn_points {
+            println!("esyn-point  delay {d:9.2}  area {a:9.2}");
+        }
+
+        let abc_front = pareto_front(&abc_points);
+        let esyn_front = pareto_front(&esyn_points);
+        println!("abc-frontier  ({} points): {:?}", abc_front.len(), abc_front);
+        println!("esyn-frontier ({} points): {:?}", esyn_front.len(), esyn_front);
+
+        let spread = |pts: &[(f64, f64)]| {
+            let dmin = pts.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+            let dmax = pts.iter().map(|p| p.0).fold(0.0f64, f64::max);
+            let amin = pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+            let amax = pts.iter().map(|p| p.1).fold(0.0f64, f64::max);
+            (dmax - dmin, amax - amin)
+        };
+        let (abc_ds, abc_as) = spread(&abc_points);
+        let (es_ds, es_as) = spread(&esyn_points);
+        println!(
+            "span: abc delay {abc_ds:.2} area {abc_as:.2} | esyn delay {es_ds:.2} area {es_as:.2}"
+        );
+        if frontier_dominates(&esyn_front, &abc_front) {
+            println!("verdict: E-Syn frontier dominates   [paper: dominates on both]");
+        } else if frontier_dominates(&abc_front, &esyn_front) {
+            println!("verdict: baseline frontier dominates");
+        } else {
+            println!("verdict: frontiers cross");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Criterion micro-benchmarks of the substrate crates: e-graph
+//! saturation/matching/extraction, AIG passes, cut enumeration,
+//! technology mapping, SAT solving and parser round-trips.
+//!
+//! ```text
+//! cargo bench -p esyn-bench --bench micro
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esyn_aig::{Aig, ChoiceAig, CutConfig};
+use esyn_core::{
+    extract_pool, lang::network_to_recexpr, rules::all_rules, saturate, ConstFold,
+    PoolConfig, SaturationLimits,
+};
+use esyn_egraph::{AstSize, DagExtractor, DagSize, Extractor, Pattern, Runner};
+use esyn_eqn::{parse_blif, parse_eqn, write_blif};
+use esyn_sat::{Lit, Solver};
+use esyn_techmap::{map_aig, map_choices, Library, MapMode};
+use std::time::Duration;
+
+fn limits() -> SaturationLimits {
+    SaturationLimits {
+        iter_limit: 8,
+        node_limit: 8_000,
+        time_limit: Duration::from_secs(5),
+    }
+}
+
+fn bench_egraph(c: &mut Criterion) {
+    let net = esyn_circuits::by_name("3_3").expect("benchmark");
+    let expr = network_to_recexpr(&net);
+    c.bench_function("egraph/saturate-3_3", |b| {
+        b.iter(|| {
+            let runner = saturate(&expr, &all_rules(), &limits());
+            std::hint::black_box(runner.egraph.total_nodes())
+        })
+    });
+
+    let runner = saturate(&expr, &all_rules(), &limits());
+    let pat = Pattern::parse("(* ?a (+ ?b ?c))").expect("pattern");
+    c.bench_function("egraph/ematch-3_3", |b| {
+        b.iter(|| std::hint::black_box(pat.search(&runner.egraph).len()))
+    });
+
+    c.bench_function("egraph/extract-astsize-3_3", |b| {
+        b.iter(|| {
+            let ext = Extractor::new(&runner.egraph, AstSize);
+            std::hint::black_box(ext.find_best(runner.roots[0]).map(|(c, _)| c))
+        })
+    });
+
+    c.bench_function("egraph/pool-extract-20", |b| {
+        b.iter(|| {
+            let pool = extract_pool(
+                &runner.egraph,
+                runner.roots[0],
+                &PoolConfig::with_samples(20, 9),
+            );
+            std::hint::black_box(pool.len())
+        })
+    });
+
+    c.bench_function("egraph/extract-dagsize-3_3", |b| {
+        b.iter(|| {
+            let ext = DagExtractor::new(&runner.egraph, DagSize);
+            std::hint::black_box(ext.find_best(runner.roots[0]).map(|(c, _)| c))
+        })
+    });
+
+    // rebuild throughput on a fresh graph
+    c.bench_function("egraph/add-expr-rebuild", |b| {
+        b.iter(|| {
+            let mut runner = Runner::with_analysis(ConstFold).with_expr(&expr);
+            runner.egraph.rebuild();
+            std::hint::black_box(runner.egraph.num_classes())
+        })
+    });
+}
+
+fn bench_aig(c: &mut Criterion) {
+    let net = esyn_circuits::by_name("5_5").expect("benchmark");
+    let aig = Aig::from_network(&net);
+    c.bench_function("aig/strash-5_5", |b| {
+        b.iter(|| std::hint::black_box(Aig::from_network(&net).num_ands()))
+    });
+    c.bench_function("aig/rewrite-5_5", |b| {
+        b.iter(|| std::hint::black_box(aig.rewrite(false).num_ands()))
+    });
+    c.bench_function("aig/balance-5_5", |b| {
+        b.iter(|| std::hint::black_box(aig.balance().num_levels()))
+    });
+    c.bench_function("aig/refactor-5_5", |b| {
+        b.iter(|| std::hint::black_box(aig.refactor(false, 8).num_ands()))
+    });
+    c.bench_function("aig/cuts-k4-5_5", |b| {
+        b.iter(|| {
+            let cuts = aig.k_cuts(&CutConfig::default());
+            std::hint::black_box(cuts.iter().map(Vec::len).sum::<usize>())
+        })
+    });
+    c.bench_function("aig/fraig-5_5", |b| {
+        b.iter(|| std::hint::black_box(aig.fraig(7).num_ands()))
+    });
+    c.bench_function("aig/choices-5_5", |b| {
+        b.iter(|| std::hint::black_box(ChoiceAig::build(&aig, 7).num_choices()))
+    });
+}
+
+fn bench_techmap(c: &mut Criterion) {
+    let lib = Library::asap7_like();
+    let net = esyn_circuits::by_name("5_5").expect("benchmark");
+    let aig = Aig::from_network(&net);
+    c.bench_function("techmap/map-delay-5_5", |b| {
+        b.iter(|| std::hint::black_box(map_aig(&aig, &lib, MapMode::Delay).num_gates()))
+    });
+    c.bench_function("techmap/map-area-5_5", |b| {
+        b.iter(|| std::hint::black_box(map_aig(&aig, &lib, MapMode::Area).num_gates()))
+    });
+    let nl = map_aig(&aig, &lib, MapMode::Delay);
+    c.bench_function("techmap/sta-5_5", |b| {
+        b.iter(|| std::hint::black_box(esyn_techmap::sta(&nl, &lib, 1.2).delay))
+    });
+    let choice = ChoiceAig::build(&aig, 7);
+    c.bench_function("techmap/map-choices-delay-5_5", |b| {
+        b.iter(|| std::hint::black_box(map_choices(&choice, &lib, MapMode::Delay).num_gates()))
+    });
+    c.bench_function("techmap/buffer-5_5", |b| {
+        let cfg = esyn_techmap::BufferConfig::default();
+        b.iter(|| std::hint::black_box(esyn_techmap::buffer(&nl, &lib, 1.2, &cfg).num_gates()))
+    });
+}
+
+fn bench_sat(c: &mut Criterion) {
+    c.bench_function("sat/pigeonhole-7-6", |b| {
+        b.iter(|| {
+            let mut s = Solver::new();
+            let p: Vec<Vec<_>> = (0..7)
+                .map(|_| (0..6).map(|_| s.new_var()).collect())
+                .collect();
+            for row in &p {
+                let lits: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+                s.add_clause(&lits);
+            }
+            for j in 0..6 {
+                for i1 in 0..7 {
+                    for i2 in (i1 + 1)..7 {
+                        s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                    }
+                }
+            }
+            std::hint::black_box(s.solve())
+        })
+    });
+}
+
+fn bench_parsers(c: &mut Criterion) {
+    let net = esyn_circuits::by_name("c7552").expect("benchmark");
+    let text = net.to_eqn();
+    c.bench_function("eqn/parse-c7552", |b| {
+        b.iter(|| std::hint::black_box(parse_eqn(&text).map(|n| n.len())))
+    });
+    c.bench_function("eqn/print-c7552", |b| {
+        b.iter(|| std::hint::black_box(net.to_eqn().len()))
+    });
+    c.bench_function("eqn/simulate-c7552", |b| {
+        let words: Vec<u64> = (0..net.num_inputs() as u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9))
+            .collect();
+        b.iter(|| std::hint::black_box(net.simulate(&words)))
+    });
+    let blif = write_blif(&net, "c7552");
+    c.bench_function("eqn/write-blif-c7552", |b| {
+        b.iter(|| std::hint::black_box(write_blif(&net, "c7552").len()))
+    });
+    c.bench_function("eqn/parse-blif-c7552", |b| {
+        b.iter(|| std::hint::black_box(parse_blif(&blif).map(|n| n.len())))
+    });
+    let aig = Aig::from_network(&net);
+    let aag = aig.to_aiger_ascii();
+    c.bench_function("aig/parse-aiger-c7552", |b| {
+        b.iter(|| std::hint::black_box(Aig::from_aiger_ascii(&aag).map(|a| a.num_ands())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench_egraph, bench_aig, bench_techmap, bench_sat, bench_parsers
+}
+criterion_main!(benches);

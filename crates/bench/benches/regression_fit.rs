@@ -1,0 +1,54 @@
+//! **§3.2.1**: cost-model regression quality. The paper reports an
+//! R-value of 0.78 for the delay model and 0.76 for the area model
+//! (XGBoost, 200 estimators, depth 5, trained on 50 000 aigfuzz circuits).
+//!
+//! ```text
+//! cargo bench -p esyn-bench --bench regression_fit
+//! ```
+
+use esyn_bench::hr;
+use esyn_core::{train_cost_models, Features, TrainConfig};
+use esyn_techmap::Library;
+
+fn main() {
+    let lib = Library::asap7_like();
+    println!();
+    println!("§3.2.1: technology-aware cost model fit (Pearson R on held-out split)");
+    hr(72);
+    println!(
+        "{:>10} {:>12} {:>12}   (paper: 0.78 delay / 0.76 area)",
+        "circuits", "R delay", "R area"
+    );
+    hr(72);
+    for num_circuits in [30usize, 60, 120] {
+        let cfg = TrainConfig {
+            num_circuits,
+            ..Default::default()
+        };
+        let models = train_cost_models(&cfg, &lib);
+        println!(
+            "{num_circuits:>10} {:>12.3} {:>12.3}",
+            models.r_delay, models.r_area
+        );
+    }
+    hr(72);
+
+    let models = train_cost_models(
+        &TrainConfig {
+            num_circuits: 120,
+            ..Default::default()
+        },
+        &lib,
+    );
+    let names = [
+        "num_and", "num_or", "num_not", "num_nodes", "depth", "density", "edge_sum",
+    ];
+    assert_eq!(names.len(), Features::LEN);
+    println!("feature importances at 120 circuits:");
+    let imp_d = models.delay.model().feature_importance();
+    let imp_a = models.area.model().feature_importance();
+    println!("  {:>10} {:>8} {:>8}", "feature", "delay", "area");
+    for (i, n) in names.iter().enumerate() {
+        println!("  {:>10} {:8.3} {:8.3}", n, imp_d[i], imp_a[i]);
+    }
+}

@@ -1,0 +1,114 @@
+//! **Table 2**: QoR of E-Syn and the ABC synthesis flow under
+//! delay-oriented, area-oriented and balanced constraints, over the 14
+//! benchmark circuits, with GEOMEAN and improvement rows.
+//!
+//! Paper reference values: 15.29 % delay improvement (delay-oriented),
+//! 6.42 % area improvement (area-oriented), 4.26 % / 6.71 % (balanced).
+//!
+//! ```text
+//! cargo bench -p esyn-bench --bench table2_qor
+//! ```
+
+use esyn_bench::{bench_limits, geomean, hr, shared_models};
+use esyn_core::{
+    abc_baseline, esyn_optimize, EsynConfig, Objective, PoolConfig,
+};
+use esyn_techmap::{Library, QorReport};
+
+fn main() {
+    let lib = Library::asap7_like();
+    let models = shared_models(&lib);
+    let benches = esyn_circuits::table2_benchmarks();
+
+    let objectives = [
+        ("delay-oriented", Objective::Delay),
+        ("area-oriented", Objective::Area),
+        ("balanced", Objective::Balanced),
+    ];
+
+    // rows[circuit][objective] = (abc, esyn)
+    let mut rows: Vec<(String, Vec<(QorReport, QorReport)>)> = Vec::new();
+    for b in &benches {
+        eprintln!("[table2] {} ({})...", b.name, b.suite);
+        let mut per_obj = Vec::new();
+        for &(_, obj) in &objectives {
+            let abc = abc_baseline(&b.network, &lib, obj, None);
+            let cfg = EsynConfig {
+                limits: bench_limits(),
+                pool: PoolConfig::with_samples(60, 0x7AB1E2),
+                verify: true,
+                target_delay: None,
+                use_choices: false,
+            };
+            let esyn = esyn_optimize(&b.network, &models, &lib, obj, &cfg);
+            per_obj.push((abc, esyn.qor));
+        }
+        rows.push((format!("{} ({})", b.name, b.suite), per_obj));
+    }
+
+    // ---- print the table in the paper's layout ----
+    println!();
+    println!("Table 2: QoR of E-Syn and ABC synthesis flow under different constraints");
+    hr(150);
+    println!(
+        "{:<18} | {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10}",
+        "Circuit",
+        "ABC-D a", "ABC-D d",
+        "ESyn-D a", "ESyn-D d",
+        "ABC-A a", "ABC-A d",
+        "ESyn-A a", "ESyn-A d",
+        "ABC-B a", "ABC-B d",
+        "ESyn-B a", "ESyn-B d",
+    );
+    hr(150);
+    for (name, per_obj) in &rows {
+        print!("{name:<18}");
+        for (abc, esyn) in per_obj {
+            print!(
+                " | {:10.1} {:10.2} | {:10.1} {:10.2}",
+                abc.area, abc.delay, esyn.area, esyn.delay
+            );
+            // interleaved layout: ABC then ESyn per objective
+        }
+        println!();
+    }
+    hr(150);
+
+    // GEOMEAN + improvements, per objective
+    let mut summary = Vec::new();
+    for (oi, (oname, _)) in objectives.iter().enumerate() {
+        let abc_area: Vec<f64> = rows.iter().map(|(_, r)| r[oi].0.area).collect();
+        let abc_delay: Vec<f64> = rows.iter().map(|(_, r)| r[oi].0.delay).collect();
+        let es_area: Vec<f64> = rows.iter().map(|(_, r)| r[oi].1.area).collect();
+        let es_delay: Vec<f64> = rows.iter().map(|(_, r)| r[oi].1.delay).collect();
+        let ga = geomean(&abc_area);
+        let gd = geomean(&abc_delay);
+        let ea = geomean(&es_area);
+        let ed = geomean(&es_delay);
+        println!(
+            "GEOMEAN {oname:<16}: ABC area {ga:10.2} delay {gd:10.2} | E-Syn area {ea:10.2} delay {ed:10.2}"
+        );
+        summary.push((oname, ga, gd, ea, ed));
+    }
+    hr(150);
+    let (_, ga, gd, ea, ed) = summary[0];
+    println!(
+        "Improvement (delay-oriented, delay): {:+.2}%   [paper: 15.29%]",
+        100.0 * (gd - ed) / gd
+    );
+    let _ = (ga, ea);
+    let (_, ga, _gd, ea, _ed) = summary[1];
+    println!(
+        "Improvement (area-oriented, area):   {:+.2}%   [paper: 6.42%]",
+        100.0 * (ga - ea) / ga
+    );
+    let (_, ga, gd, ea, ed) = summary[2];
+    println!(
+        "Improvement (balanced, area):        {:+.2}%   [paper: 4.26%]",
+        100.0 * (ga - ea) / ga
+    );
+    println!(
+        "Improvement (balanced, delay):       {:+.2}%   [paper: 6.71%]",
+        100.0 * (gd - ed) / gd
+    );
+}

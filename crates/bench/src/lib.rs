@@ -1,0 +1,183 @@
+//! Shared infrastructure for the experiment benches: cached cost models,
+//! the common saturation budget, candidate measurement with memoisation,
+//! and table-formatting helpers.
+//!
+//! Every `cargo bench -p esyn-bench --bench <name>` target regenerates one
+//! table or figure of the paper; see DESIGN.md's experiment index.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use esyn_core::{
+    extract_pool_with, lang::network_to_recexpr, rules::all_rules, saturate,
+    train_cost_models, BoolLang, CostModels, Objective, PoolConfig, SaturationLimits,
+    TrainConfig,
+};
+use esyn_egraph::RecExpr;
+use esyn_eqn::Network;
+use esyn_techmap::{Library, QorReport};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// The saturation budget used by all experiment benches (scaled from the
+/// paper's 300 s / 2.5 M nodes to laptop-bench size).
+pub fn bench_limits() -> SaturationLimits {
+    SaturationLimits {
+        iter_limit: 12,
+        node_limit: 20_000,
+        time_limit: std::time::Duration::from_secs(10),
+    }
+}
+
+/// Directory where trained models are cached between bench runs.
+pub fn model_cache_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/esyn-bench-models")
+}
+
+/// Loads the shared cost models, training and caching them on first use
+/// (300 circuits, paper hyper-parameters).
+pub fn shared_models(lib: &Library) -> CostModels {
+    let dir = model_cache_dir();
+    if let Some(models) = CostModels::load(&dir) {
+        return models;
+    }
+    eprintln!(
+        "[bench] training cost models (cached under {})...",
+        dir.display()
+    );
+    let models = train_cost_models(&TrainConfig::default(), lib);
+    if let Err(e) = models.save(&dir) {
+        eprintln!("[bench] model cache write failed: {e}");
+    }
+    models
+}
+
+/// A network saturated once, ready for repeated pool extraction. Reusing
+/// one saturation across pool sizes keeps sample streams prefix-closed
+/// (the e-graph is identical), which Figure 4's sweep relies on.
+pub struct SaturatedCircuit {
+    runner: esyn_egraph::Runner<BoolLang, esyn_core::ConstFold>,
+    expr: RecExpr<BoolLang>,
+    names: Vec<String>,
+}
+
+impl SaturatedCircuit {
+    /// Saturates `net` under [`bench_limits`].
+    pub fn new(net: &Network) -> Self {
+        let expr = network_to_recexpr(net);
+        let runner = saturate(&expr, &all_rules(), &bench_limits());
+        let names: Vec<String> = net.outputs().iter().map(|(n, _)| n.clone()).collect();
+        SaturatedCircuit {
+            runner,
+            expr,
+            names,
+        }
+    }
+
+    /// Extracts a pool of the given size (original form included).
+    pub fn pool(&self, samples: usize, seed: u64) -> Vec<RecExpr<BoolLang>> {
+        extract_pool_with(
+            &self.runner.egraph,
+            self.runner.roots[0],
+            Some(&self.expr),
+            &PoolConfig::with_samples(samples, seed),
+        )
+    }
+
+    /// Output names for materialising candidates.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+/// Saturates a network once and extracts a pool, returning both the pool
+/// and the output names needed to materialise candidates.
+pub fn saturate_and_pool(
+    net: &Network,
+    samples: usize,
+    seed: u64,
+) -> (Vec<RecExpr<BoolLang>>, Vec<String>) {
+    let sat = SaturatedCircuit::new(net);
+    let pool = sat.pool(samples, seed);
+    (pool, sat.names().to_vec())
+}
+
+/// Measures candidates through the shared backend, memoising by candidate
+/// identity so prefix sweeps (Figure 4) pay for each form once.
+#[derive(Default)]
+pub struct QorCache {
+    map: HashMap<RecExpr<BoolLang>, QorReport>,
+}
+
+impl QorCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns QoR for every candidate, measuring only unseen ones.
+    pub fn measure(
+        &mut self,
+        pool: &[RecExpr<BoolLang>],
+        names: &[String],
+        lib: &Library,
+        objective: Objective,
+    ) -> Vec<QorReport> {
+        let missing: Vec<RecExpr<BoolLang>> = pool
+            .iter()
+            .filter(|c| !self.map.contains_key(*c))
+            .cloned()
+            .collect();
+        if !missing.is_empty() {
+            let qors =
+                esyn_core::flow::measure_pool(&missing, names, lib, objective, None);
+            for (cand, q) in missing.into_iter().zip(qors) {
+                self.map.insert(cand, q);
+            }
+        }
+        pool.iter().map(|c| self.map[c]).collect()
+    }
+}
+
+/// Geometric mean of positive values.
+///
+/// # Panics
+///
+/// Panics on an empty slice or when no entry is positive.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    let logs: Vec<f64> = xs.iter().filter(|&&x| x > 0.0).map(|x| x.ln()).collect();
+    assert!(!logs.is_empty(), "geomean needs positive values");
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
+/// Prints a horizontal rule sized for the experiment tables.
+pub fn hr(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[4.0, 9.0]) - 6.0).abs() < 1e-12);
+        assert!((geomean(&[5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qor_cache_dedups() {
+        let lib = Library::asap7_like();
+        let net =
+            esyn_eqn::parse_eqn("INORDER = a b;\nOUTORDER = f;\nf = a*b;\n").unwrap();
+        let (pool, names) = saturate_and_pool(&net, 4, 1);
+        let mut cache = QorCache::new();
+        let q1 = cache.measure(&pool, &names, &lib, Objective::Delay);
+        let q2 = cache.measure(&pool, &names, &lib, Objective::Delay);
+        assert_eq!(q1.len(), q2.len());
+        for (a, b) in q1.iter().zip(&q2) {
+            assert_eq!(a.delay, b.delay);
+        }
+    }
+}

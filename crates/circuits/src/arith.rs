@@ -1,0 +1,280 @@
+//! Arithmetic blocks: adders, multipliers, dividers.
+
+use crate::buses::{input_bus, output_bus};
+use esyn_eqn::{Network, NodeId};
+
+/// Ripple-carry adder: `sum = a + b` with carry-out. Deep and small — the
+/// profile of the EPFL `adder` benchmark (large delay, modest area).
+pub fn ripple_adder(bits: usize) -> Network {
+    let mut net = Network::new();
+    let a = input_bus(&mut net, "a", bits);
+    let b = input_bus(&mut net, "b", bits);
+    let mut carry = net.constant(false);
+    let mut sums = Vec::with_capacity(bits);
+    for i in 0..bits {
+        let (s, c) = full_adder(&mut net, a[i], b[i], carry);
+        sums.push(s);
+        carry = c;
+    }
+    output_bus(&mut net, "sum", &sums);
+    net.output("cout", carry);
+    net
+}
+
+/// Carry-lookahead adder (4-bit groups): the OpenCores-flavoured `qadd`
+/// quick adder. Shallower but larger than the ripple design.
+pub fn carry_lookahead_adder(bits: usize) -> Network {
+    let mut net = Network::new();
+    let a = input_bus(&mut net, "a", bits);
+    let b = input_bus(&mut net, "b", bits);
+    // generate/propagate per bit
+    let g: Vec<NodeId> = (0..bits).map(|i| net.and(a[i], b[i])).collect();
+    let p: Vec<NodeId> = (0..bits).map(|i| net.xor(a[i], b[i])).collect();
+    // carries: c[i+1] = g[i] + p[i] c[i], expanded per 4-bit group
+    let mut c = vec![net.constant(false)];
+    for i in 0..bits {
+        if i % 4 == 0 {
+            // group boundary: expand the lookahead expression fully from
+            // the group carry-in
+            let cin = *c.last().expect("carry chain non-empty");
+            let hi = (i + 4).min(bits);
+            for j in i..hi {
+                // c[j+1] = g[j] + p[j]g[j-1] + ... + p[j..i] cin
+                let mut terms: Vec<NodeId> = Vec::new();
+                for k in (i..=j).rev() {
+                    let mut t = g[k];
+                    for m in (k + 1)..=j {
+                        t = net.and(t, p[m]);
+                    }
+                    terms.push(t);
+                }
+                let mut tail = cin;
+                for m in i..=j {
+                    tail = net.and(tail, p[m]);
+                }
+                terms.push(tail);
+                let cj = net.or_many(&terms);
+                c.push(cj);
+            }
+        }
+    }
+    let sums: Vec<NodeId> = (0..bits).map(|i| net.xor(p[i], c[i])).collect();
+    output_bus(&mut net, "sum", &sums);
+    net.output("cout", c[bits]);
+    net
+}
+
+/// genmul-style unsigned array multiplier: `prod = a * b`, with `wa`- and
+/// `wb`-bit operands (the paper's `3_3` and `5_5` circuits).
+pub fn array_multiplier(wa: usize, wb: usize) -> Network {
+    let mut net = Network::new();
+    let a = input_bus(&mut net, "a", wa);
+    let b = input_bus(&mut net, "b", wb);
+    let width = wa + wb;
+    let zero = net.constant(false);
+    let mut acc: Vec<NodeId> = vec![zero; width];
+    for (j, &bj) in b.iter().enumerate() {
+        // partial product row j
+        let row: Vec<NodeId> = a.iter().map(|&ai| net.and(ai, bj)).collect();
+        // add row << j into acc (ripple)
+        let mut carry = zero;
+        for k in 0..width - j {
+            let addend = if k < wa { row[k] } else { zero };
+            let (s, c) = full_adder(&mut net, acc[j + k], addend, carry);
+            acc[j + k] = s;
+            carry = c;
+        }
+    }
+    output_bus(&mut net, "prod", &acc);
+    net
+}
+
+/// Restoring divider: `quot = n / d`, `rem = n % d` for `bits`-bit
+/// operands (the OpenCores `qdiv` fixed-point divider, combinational).
+/// Division by zero yields all-ones quotient and `rem = n`, matching the
+/// usual restoring-array convention.
+pub fn restoring_divider(bits: usize) -> Network {
+    let mut net = Network::new();
+    let n = input_bus(&mut net, "n", bits);
+    let d = input_bus(&mut net, "d", bits);
+    let zero = net.constant(false);
+
+    // d == 0 detector
+    let d_any = {
+        let mut acc = zero;
+        for &b in &d {
+            acc = net.or(acc, b);
+        }
+        acc
+    };
+    let d_is_zero = net.not(d_any);
+
+    // Remainder register, one restoring step per quotient bit (MSB first).
+    let mut rem: Vec<NodeId> = vec![zero; bits];
+    let mut quot: Vec<NodeId> = vec![zero; bits];
+    for step in (0..bits).rev() {
+        // shift remainder left, bring in n[step]
+        let mut shifted = Vec::with_capacity(bits);
+        shifted.push(n[step]);
+        for k in 0..bits - 1 {
+            shifted.push(rem[k]);
+        }
+        // trial subtract: shifted - d
+        let mut borrow = zero;
+        let mut diff = Vec::with_capacity(bits);
+        for k in 0..bits {
+            let (dk, bk) = full_subtractor(&mut net, shifted[k], d[k], borrow);
+            diff.push(dk);
+            borrow = bk;
+        }
+        // if no borrow, subtraction fits: take diff, quotient bit 1
+        let fits = net.not(borrow);
+        quot[step] = fits;
+        for k in 0..bits {
+            rem[k] = net.mux(fits, diff[k], shifted[k]);
+        }
+    }
+    // div-by-zero convention
+    let ones = net.constant(true);
+    for q in &mut quot {
+        *q = net.mux(d_is_zero, ones, *q);
+    }
+    for (k, r) in rem.iter_mut().enumerate() {
+        *r = net.mux(d_is_zero, n[k], *r);
+    }
+    output_bus(&mut net, "quot", &quot);
+    output_bus(&mut net, "rem", &rem);
+    net
+}
+
+/// One-bit full adder; returns (sum, carry).
+pub(crate) fn full_adder(
+    net: &mut Network,
+    a: NodeId,
+    b: NodeId,
+    cin: NodeId,
+) -> (NodeId, NodeId) {
+    let axb = net.xor(a, b);
+    let s = net.xor(axb, cin);
+    let g = net.and(a, b);
+    let p = net.and(axb, cin);
+    let c = net.or(g, p);
+    (s, c)
+}
+
+/// One-bit full subtractor computing `a - b - bin`; returns (diff, borrow).
+fn full_subtractor(
+    net: &mut Network,
+    a: NodeId,
+    b: NodeId,
+    bin: NodeId,
+) -> (NodeId, NodeId) {
+    let axb = net.xor(a, b);
+    let d = net.xor(axb, bin);
+    let na = net.not(a);
+    let t1 = net.and(na, b);
+    let naxb = net.not(axb);
+    let t2 = net.and(naxb, bin);
+    let borrow = net.or(t1, t2);
+    (d, borrow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buses::{read_bus_response, stimulus_for};
+
+    fn drive_two_buses(
+        net: &Network,
+        wa: usize,
+        wb: usize,
+        av: &[u64],
+        bv: &[u64],
+    ) -> Vec<u64> {
+        let mut words = stimulus_for(wa, av);
+        words.extend(stimulus_for(wb, bv));
+        net.simulate(&words)
+    }
+
+    #[test]
+    fn ripple_adder_adds() {
+        let bits = 8;
+        let net = ripple_adder(bits);
+        let av = [0u64, 1, 37, 200, 255, 128, 99, 250];
+        let bv = [0u64, 1, 91, 60, 255, 128, 1, 250];
+        let res = drive_two_buses(&net, bits, bits, &av, &bv);
+        let sums = read_bus_response(&res[..bits], av.len());
+        let couts = read_bus_response(&res[bits..], av.len());
+        for i in 0..av.len() {
+            let expect = av[i] + bv[i];
+            assert_eq!(sums[i], expect & 0xFF, "pattern {i}");
+            assert_eq!(couts[i], expect >> 8, "carry {i}");
+        }
+    }
+
+    #[test]
+    fn cla_matches_ripple() {
+        let bits = 12;
+        let r = ripple_adder(bits);
+        let c = carry_lookahead_adder(bits);
+        let av = [5u64, 4095, 1024, 777, 2048, 4000];
+        let bv = [9u64, 4095, 3071, 333, 2048, 95];
+        let rr = drive_two_buses(&r, bits, bits, &av, &bv);
+        let cc = drive_two_buses(&c, bits, bits, &av, &bv);
+        let mask = (1u64 << av.len()) - 1;
+        for (x, y) in rr.iter().zip(&cc) {
+            assert_eq!(x & mask, y & mask);
+        }
+        // CLA must be shallower
+        assert!(c.stats().depth < r.stats().depth);
+    }
+
+    #[test]
+    fn multiplier_multiplies() {
+        for (wa, wb) in [(3, 3), (5, 5), (4, 6)] {
+            let net = array_multiplier(wa, wb);
+            let max_a = (1u64 << wa) - 1;
+            let max_b = (1u64 << wb) - 1;
+            let av: Vec<u64> = (0..40).map(|i| (i * 7 + 3) & max_a).collect();
+            let bv: Vec<u64> = (0..40).map(|i| (i * 13 + 1) & max_b).collect();
+            let res = drive_two_buses(&net, wa, wb, &av, &bv);
+            let prods = read_bus_response(&res, av.len());
+            for i in 0..av.len() {
+                assert_eq!(prods[i], av[i] * bv[i], "{}x{} pattern {i}", wa, wb);
+            }
+        }
+    }
+
+    #[test]
+    fn divider_divides() {
+        let bits = 6;
+        let net = restoring_divider(bits);
+        let nv: Vec<u64> = (0..50).map(|i| (i * 11 + 5) % 64).collect();
+        let dv: Vec<u64> = (0..50).map(|i| (i * 3 + 1) % 64).collect();
+        let res = drive_two_buses(&net, bits, bits, &nv, &dv);
+        let quots = read_bus_response(&res[..bits], nv.len());
+        let rems = read_bus_response(&res[bits..], nv.len());
+        for i in 0..nv.len() {
+            if dv[i] == 0 {
+                assert_eq!(quots[i], 63, "div-by-zero quotient, pattern {i}");
+                assert_eq!(rems[i], nv[i], "div-by-zero remainder, pattern {i}");
+            } else {
+                assert_eq!(quots[i], nv[i] / dv[i], "q pattern {i}");
+                assert_eq!(rems[i], nv[i] % dv[i], "r pattern {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn divider_handles_zero_divisor_patterns() {
+        let bits = 4;
+        let net = restoring_divider(bits);
+        let nv = [7u64, 15, 0, 9];
+        let dv = [0u64, 0, 0, 3];
+        let res = drive_two_buses(&net, bits, bits, &nv, &dv);
+        let quots = read_bus_response(&res[..bits], nv.len());
+        assert_eq!(quots[0], 15);
+        assert_eq!(quots[1], 15);
+        assert_eq!(quots[3], 3);
+    }
+}

@@ -1,0 +1,74 @@
+//! Bus helpers for building and simulating multi-bit circuits.
+
+use esyn_eqn::{Network, NodeId};
+
+/// Declares an `n`-bit input bus `name[0] .. name[n-1]` (LSB first).
+pub fn input_bus(net: &mut Network, name: &str, n: usize) -> Vec<NodeId> {
+    (0..n).map(|i| net.input(format!("{name}[{i}]"))).collect()
+}
+
+/// Declares outputs `name[0] .. name[n-1]` for the given bits (LSB first).
+pub fn output_bus(net: &mut Network, name: &str, bits: &[NodeId]) {
+    for (i, &b) in bits.iter().enumerate() {
+        net.output(format!("{name}[{i}]"), b);
+    }
+}
+
+/// Builds one 64-pattern stimulus: `values[p]` is the integer driven onto
+/// the bus in pattern `p` (up to 64 patterns). Returns one word per bus
+/// bit, LSB-first, matching [`input_bus`] order.
+///
+/// # Panics
+///
+/// Panics if more than 64 values are supplied.
+pub fn stimulus_for(width: usize, values: &[u64]) -> Vec<u64> {
+    assert!(values.len() <= 64, "at most 64 patterns per word");
+    (0..width)
+        .map(|bit| {
+            let mut w = 0u64;
+            for (p, &v) in values.iter().enumerate() {
+                if (v >> bit) & 1 == 1 {
+                    w |= 1 << p;
+                }
+            }
+            w
+        })
+        .collect()
+}
+
+/// Decodes a simulated response back into per-pattern integers: `words`
+/// holds one response word per bus bit (LSB first); returns the integer
+/// observed in each of `num_patterns` patterns.
+pub fn read_bus_response(words: &[u64], num_patterns: usize) -> Vec<u64> {
+    (0..num_patterns)
+        .map(|p| {
+            words
+                .iter()
+                .enumerate()
+                .map(|(bit, w)| ((w >> p) & 1) << bit)
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stimulus_roundtrip() {
+        let values = [5u64, 0, 7, 2, 63];
+        let words = stimulus_for(6, &values);
+        let back = read_bus_response(&words, values.len());
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn buses_declare_named_ports() {
+        let mut net = Network::new();
+        let a = input_bus(&mut net, "a", 3);
+        output_bus(&mut net, "y", &a);
+        assert_eq!(net.input_names(), &["a[0]", "a[1]", "a[2]"]);
+        assert_eq!(net.outputs()[2].0, "y[2]");
+    }
+}

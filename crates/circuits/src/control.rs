@@ -1,0 +1,283 @@
+//! Control and datapath-selection blocks: shifters, comparators, ALUs,
+//! priority logic, parity trees.
+
+use crate::buses::{input_bus, output_bus};
+use esyn_eqn::{Network, NodeId};
+
+/// Logarithmic barrel shifter (left-rotate by `shift`), the EPFL `bar`
+/// profile: wide, shallow mux tree. `width` must be `2^log2_width`.
+pub fn barrel_shifter(log2_width: usize) -> Network {
+    let width = 1usize << log2_width;
+    let mut net = Network::new();
+    let data = input_bus(&mut net, "x", width);
+    let shift = input_bus(&mut net, "s", log2_width);
+    let mut cur = data;
+    for (stage, &s) in shift.iter().enumerate() {
+        let amount = 1usize << stage;
+        let mut next = Vec::with_capacity(width);
+        for i in 0..width {
+            let rotated = cur[(i + width - amount) % width];
+            next.push(net.mux(s, rotated, cur[i]));
+        }
+        cur = next;
+    }
+    output_bus(&mut net, "y", &cur);
+    net
+}
+
+/// Maximum of `count` unsigned `bits`-wide inputs (the EPFL `max`
+/// profile: comparator tree plus selection muxes).
+pub fn max_unit(bits: usize, count: usize) -> Network {
+    assert!(count >= 2, "need at least two operands");
+    let mut net = Network::new();
+    let buses: Vec<Vec<NodeId>> = (0..count)
+        .map(|i| input_bus(&mut net, &format!("v{i}"), bits))
+        .collect();
+    let mut best = buses[0].clone();
+    for bus in &buses[1..] {
+        let gt = greater_than(&mut net, bus, &best);
+        best = (0..bits).map(|k| net.mux(gt, bus[k], best[k])).collect();
+    }
+    output_bus(&mut net, "max", &best);
+    net
+}
+
+/// Unsigned `a > b` comparator over equal-width buses.
+pub(crate) fn greater_than(net: &mut Network, a: &[NodeId], b: &[NodeId]) -> NodeId {
+    assert_eq!(a.len(), b.len());
+    // gt = OR over i of (a[i] & !b[i] & AND_{j>i} (a[j] == b[j]))
+    let mut gt = net.constant(false);
+    let mut all_eq_above = net.constant(true);
+    for i in (0..a.len()).rev() {
+        let nb = net.not(b[i]);
+        let here = net.and(a[i], nb);
+        let term = net.and(here, all_eq_above);
+        gt = net.or(gt, term);
+        let eq = net.xnor(a[i], b[i]);
+        all_eq_above = net.and(all_eq_above, eq);
+    }
+    gt
+}
+
+/// Priority encoder with acknowledge outputs — the C432-style interrupt
+/// controller profile: `req[i]` wins when no higher-priority (lower index)
+/// request is raised and its channel is enabled.
+pub fn priority_encoder(channels: usize) -> Network {
+    let mut net = Network::new();
+    let req = input_bus(&mut net, "req", channels);
+    let en = input_bus(&mut net, "en", channels);
+    let mut blocked = net.constant(false);
+    let mut grants = Vec::with_capacity(channels);
+    for i in 0..channels {
+        let active = net.and(req[i], en[i]);
+        let nb = net.not(blocked);
+        grants.push(net.and(active, nb));
+        blocked = net.or(blocked, active);
+    }
+    output_bus(&mut net, "grant", &grants);
+    // encoded index (OR of grant lines per bit) + "any" flag
+    let idx_bits = channels.next_power_of_two().trailing_zeros() as usize;
+    let mut encoded = Vec::with_capacity(idx_bits);
+    for bit in 0..idx_bits {
+        let terms: Vec<NodeId> = (0..channels)
+            .filter(|i| (i >> bit) & 1 == 1)
+            .map(|i| grants[i])
+            .collect();
+        encoded.push(net.or_many(&terms));
+    }
+    output_bus(&mut net, "idx", &encoded);
+    net.output("any", blocked);
+    net
+}
+
+/// `bits`-wide ALU with four operations selected by `op[1:0]`:
+/// `00 → a + b`, `01 → a & b`, `10 → a | b`, `11 → a ^ b`; plus a
+/// zero flag. The MCNC `alu4` / ISCAS-ALU profile.
+pub fn alu(bits: usize) -> Network {
+    let mut net = Network::new();
+    let a = input_bus(&mut net, "a", bits);
+    let b = input_bus(&mut net, "b", bits);
+    let op = input_bus(&mut net, "op", 2);
+
+    // adder
+    let mut carry = net.constant(false);
+    let mut add = Vec::with_capacity(bits);
+    for i in 0..bits {
+        let (s, c) = crate::arith::full_adder(&mut net, a[i], b[i], carry);
+        add.push(s);
+        carry = c;
+    }
+    let ands: Vec<NodeId> = (0..bits).map(|i| net.and(a[i], b[i])).collect();
+    let ors: Vec<NodeId> = (0..bits).map(|i| net.or(a[i], b[i])).collect();
+    let xors: Vec<NodeId> = (0..bits).map(|i| net.xor(a[i], b[i])).collect();
+
+    let mut out = Vec::with_capacity(bits);
+    for i in 0..bits {
+        let lo = net.mux(op[0], ands[i], add[i]); // op1=0: 00 add, 01 and
+        let hi = net.mux(op[0], xors[i], ors[i]); // op1=1: 10 or, 11 xor
+        out.push(net.mux(op[1], hi, lo));
+    }
+    let any = {
+        let mut acc = net.constant(false);
+        for &o in &out {
+            acc = net.or(acc, o);
+        }
+        acc
+    };
+    let zero = net.not(any);
+    output_bus(&mut net, "y", &out);
+    net.output("zf", zero);
+    net
+}
+
+/// Parity (XOR) tree over `bits` inputs — the parity-checker component of
+/// the ISCAS `c2670`/`c7552` profiles.
+pub fn parity_tree(bits: usize) -> Network {
+    let mut net = Network::new();
+    let x = input_bus(&mut net, "x", bits);
+    let mut level = x;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(net.xor(a, b)),
+                None => next.push(a),
+            }
+        }
+        level = next;
+    }
+    net.output("parity", level[0]);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buses::{read_bus_response, stimulus_for};
+
+    #[test]
+    fn barrel_shifter_rotates() {
+        let net = barrel_shifter(3); // 8-bit
+        let xv = [0b0000_0001u64, 0b1000_0000, 0b1011_0010, 0xFF];
+        let sv = [1u64, 1, 3, 7];
+        let mut words = stimulus_for(8, &xv);
+        words.extend(stimulus_for(3, &sv));
+        let res = net.simulate(&words);
+        let ys = read_bus_response(&res, xv.len());
+        for i in 0..xv.len() {
+            let expect = ((xv[i] << sv[i]) | (xv[i] >> (8 - sv[i]))) & 0xFF;
+            assert_eq!(ys[i], expect, "pattern {i}");
+        }
+    }
+
+    #[test]
+    fn max_unit_selects_max() {
+        let net = max_unit(6, 4);
+        let vs: [[u64; 4]; 5] = [
+            [1, 2, 3, 4],
+            [63, 0, 0, 0],
+            [10, 10, 10, 10],
+            [5, 60, 2, 59],
+            [0, 0, 0, 1],
+        ];
+        let mut words = Vec::new();
+        for k in 0..4 {
+            let col: Vec<u64> = vs.iter().map(|row| row[k]).collect();
+            words.extend(stimulus_for(6, &col));
+        }
+        let res = net.simulate(&words);
+        let got = read_bus_response(&res, vs.len());
+        for (i, row) in vs.iter().enumerate() {
+            assert_eq!(got[i], *row.iter().max().unwrap(), "pattern {i}");
+        }
+    }
+
+    #[test]
+    fn priority_encoder_grants_highest_priority() {
+        let net = priority_encoder(8);
+        // pattern: req = 0b0010_0100, all enabled → channel 2 wins
+        let reqv = [0b0010_0100u64, 0b0000_0000, 0b1000_0000];
+        let env = [0xFFu64, 0xFF, 0xFF];
+        let mut words = stimulus_for(8, &reqv);
+        words.extend(stimulus_for(8, &env));
+        let res = net.simulate(&words);
+        let grants = read_bus_response(&res[..8], reqv.len());
+        assert_eq!(grants[0], 0b0000_0100);
+        assert_eq!(grants[1], 0);
+        assert_eq!(grants[2], 0b1000_0000);
+        let idx = read_bus_response(&res[8..11], reqv.len());
+        assert_eq!(idx[0], 2);
+        assert_eq!(idx[2], 7);
+        let any = read_bus_response(&res[11..12], reqv.len());
+        assert_eq!(any, vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn priority_encoder_respects_enables() {
+        let net = priority_encoder(4);
+        let reqv = [0b0011u64];
+        let env = [0b0010u64]; // channel 0 disabled
+        let mut words = stimulus_for(4, &reqv);
+        words.extend(stimulus_for(4, &env));
+        let res = net.simulate(&words);
+        let grants = read_bus_response(&res[..4], 1);
+        assert_eq!(grants[0], 0b0010);
+    }
+
+    #[test]
+    fn alu_computes_all_ops() {
+        let bits = 5;
+        let net = alu(bits);
+        let av = [7u64, 31, 12, 25];
+        let bv = [9u64, 1, 12, 6];
+        for (opcode, f) in [
+            (0u64, (|a: u64, b: u64| (a + b) & 31) as fn(u64, u64) -> u64),
+            (1, |a, b| a & b),
+            (2, |a, b| a | b),
+            (3, |a, b| a ^ b),
+        ] {
+            let mut words = stimulus_for(bits, &av);
+            words.extend(stimulus_for(bits, &bv));
+            words.extend(stimulus_for(2, &[opcode; 4]));
+            let res = net.simulate(&words);
+            let ys = read_bus_response(&res[..bits], av.len());
+            let zf = read_bus_response(&res[bits..bits + 1], av.len());
+            for i in 0..av.len() {
+                let expect = f(av[i], bv[i]);
+                assert_eq!(ys[i], expect, "op {opcode} pattern {i}");
+                assert_eq!(zf[i], u64::from(expect == 0), "zf op {opcode} pattern {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_tree_is_xor() {
+        let net = parity_tree(9);
+        let xv = [0u64, 1, 0b101, 0x1FF, 0b110110011];
+        let words = stimulus_for(9, &xv);
+        let res = net.simulate(&words);
+        let p = read_bus_response(&res, xv.len());
+        for i in 0..xv.len() {
+            assert_eq!(p[i], (xv[i].count_ones() % 2) as u64, "pattern {i}");
+        }
+    }
+
+    #[test]
+    fn greater_than_comparator() {
+        let mut net = Network::new();
+        let a = input_bus(&mut net, "a", 4);
+        let b = input_bus(&mut net, "b", 4);
+        let gt = greater_than(&mut net, &a, &b);
+        net.output("gt", gt);
+        let av = [5u64, 3, 9, 15, 0, 8];
+        let bv = [3u64, 5, 9, 0, 0, 7];
+        let mut words = stimulus_for(4, &av);
+        words.extend(stimulus_for(4, &bv));
+        let res = net.simulate(&words);
+        let got = read_bus_response(&res, av.len());
+        for i in 0..av.len() {
+            assert_eq!(got[i], u64::from(av[i] > bv[i]), "pattern {i}");
+        }
+    }
+}

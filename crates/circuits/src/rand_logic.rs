@@ -1,0 +1,110 @@
+//! Seeded random control logic — stand-in for the LGSynth/ITC random
+//! control benchmarks (`cavlc`, `i7`, `frg2`, `b12`, `pair`) whose exact
+//! netlists are not redistributable here.
+//!
+//! Each output is a sum of random product terms over the inputs plus a
+//! sprinkling of shared XOR "state" signals, which gives the mix of
+//! unate SOP logic and reconvergent XOR structure typical of those
+//! benchmark families.
+
+use crate::buses::input_bus;
+use esyn_eqn::{Network, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random control block with `num_inputs` inputs and
+/// `num_outputs` outputs; each output ORs about `cubes_per_output`
+/// products of 2–5 literals. Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `num_inputs < 5` (cube sampling needs room) or either count
+/// is zero.
+pub fn random_control(
+    num_inputs: usize,
+    num_outputs: usize,
+    cubes_per_output: usize,
+    seed: u64,
+) -> Network {
+    assert!(num_inputs >= 5, "need at least 5 inputs");
+    assert!(num_outputs > 0 && cubes_per_output > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Network::new();
+    let x = input_bus(&mut net, "x", num_inputs);
+
+    // Shared reconvergent signals: a few XOR pairs reused across outputs.
+    let num_shared = (num_inputs / 3).max(2);
+    let shared: Vec<NodeId> = (0..num_shared)
+        .map(|_| {
+            let a = x[rng.gen_range(0..num_inputs)];
+            let b = x[rng.gen_range(0..num_inputs)];
+            net.xor(a, b)
+        })
+        .collect();
+
+    for o in 0..num_outputs {
+        let mut cubes = Vec::with_capacity(cubes_per_output);
+        for _ in 0..cubes_per_output {
+            let len = rng.gen_range(2..=5usize);
+            let mut lits = Vec::with_capacity(len);
+            for _ in 0..len {
+                // 1-in-4 literals come from the shared XOR signals
+                let base = if rng.gen_range(0..4) == 0 {
+                    shared[rng.gen_range(0..shared.len())]
+                } else {
+                    x[rng.gen_range(0..num_inputs)]
+                };
+                let lit = if rng.gen_bool(0.5) {
+                    net.not(base)
+                } else {
+                    base
+                };
+                lits.push(lit);
+            }
+            cubes.push(net.and_many(&lits));
+        }
+        let f = net.or_many(&cubes);
+        net.output(format!("f{o}"), f);
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = random_control(12, 6, 10, 7);
+        let b = random_control(12, 6, 10, 7);
+        let words: Vec<u64> = (0..12u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        assert_eq!(a.simulate(&words), b.simulate(&words));
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_control(12, 6, 10, 7);
+        let b = random_control(12, 6, 10, 8);
+        let words: Vec<u64> = (0..12u64).map(|i| i.wrapping_mul(0x1234_5677)).collect();
+        assert_ne!(a.simulate(&words), b.simulate(&words));
+    }
+
+    #[test]
+    fn interface_matches_request() {
+        let net = random_control(20, 9, 12, 3);
+        assert_eq!(net.num_inputs(), 20);
+        assert_eq!(net.num_outputs(), 9);
+        assert!(net.stats().gates() > 50, "non-trivial logic expected");
+    }
+
+    #[test]
+    fn outputs_are_not_constant() {
+        // with enough cubes each output should toggle for random stimulus
+        let net = random_control(14, 8, 12, 42);
+        let w1: Vec<u64> = (0..14u64).map(|i| i.wrapping_mul(0xDEAD_BEEF_77)).collect();
+        let r = net.simulate(&w1);
+        let toggling = r.iter().filter(|&&w| w != 0 && w != u64::MAX).count();
+        assert!(toggling >= 6, "{toggling} of 8 outputs toggle");
+    }
+}

@@ -1,0 +1,295 @@
+//! The named benchmark registry: every circuit the paper's evaluation
+//! mentions, in its Table 2 / Figure 4 groupings.
+
+use crate::arith::{array_multiplier, carry_lookahead_adder, restoring_divider, ripple_adder};
+use crate::buses::{input_bus, output_bus};
+use crate::control::{alu, barrel_shifter, greater_than, max_unit, priority_encoder};
+use crate::rand_logic::random_control;
+use esyn_eqn::{Network, NodeId};
+
+/// A named benchmark circuit.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Name as used in the paper's tables (e.g. `adder`, `3_3`, `C5315`).
+    pub name: &'static str,
+    /// Originating suite as cited by the paper.
+    pub suite: &'static str,
+    /// The generated network.
+    pub network: Network,
+}
+
+fn bench(name: &'static str, suite: &'static str, network: Network) -> Benchmark {
+    Benchmark {
+        name,
+        suite,
+        network,
+    }
+}
+
+/// The 14 circuits of Table 2, in the paper's row order.
+pub fn table2_benchmarks() -> Vec<Benchmark> {
+    vec![
+        bench("adder", "EPFL", ripple_adder(32)),
+        bench("bar", "EPFL", barrel_shifter(4)),
+        bench("max", "EPFL", max_unit(8, 4)),
+        bench("cavlc", "EPFL", random_control(10, 11, 14, 0xCA71C)),
+        bench("3_3", "genmul", array_multiplier(3, 3)),
+        bench("5_5", "genmul", array_multiplier(5, 5)),
+        bench("qdiv", "opencore", restoring_divider(8)),
+        bench("C5315", "LGSynth91", c5315_like()),
+        bench("i7", "LGSynth91", random_control(26, 16, 12, 0x17_0007)),
+        bench("c7552", "ISCAS85", c7552_like()),
+        bench("c2670", "ISCAS85", c2670_like()),
+        bench("frg2", "LGSynth89", random_control(24, 20, 14, 0xF262)),
+        bench("C432", "LGSynth89", priority_encoder(18)),
+        bench("b12", "ITC99", random_control(15, 12, 10, 0xB12)),
+    ]
+}
+
+/// The three circuits of Figure 4 (sampling-size sweep): `alu4`, `pair`,
+/// `qadd`.
+pub fn fig4_benchmarks() -> Vec<Benchmark> {
+    vec![
+        bench("alu4", "MCNC", alu(4)),
+        bench("pair", "MCNC", random_control(18, 12, 14, 0x9A12)),
+        bench("qadd", "opencore", carry_lookahead_adder(8)),
+    ]
+}
+
+/// All named benchmarks (Table 2 ∪ Figure 4).
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    let mut v = table2_benchmarks();
+    v.extend(fig4_benchmarks());
+    v
+}
+
+/// Looks up a benchmark circuit by its paper name.
+pub fn by_name(name: &str) -> Option<Network> {
+    all_benchmarks()
+        .into_iter()
+        .find(|b| b.name == name)
+        .map(|b| b.network)
+}
+
+/// `C5315`-style block: an ALU-plus-selector datapath (the original is a
+/// 9-bit ALU and selector). Combines an 8-bit ALU slice, an operand
+/// selector and a magnitude comparator.
+fn c5315_like() -> Network {
+    let mut net = Network::new();
+    let bits = 8;
+    let a = input_bus(&mut net, "a", bits);
+    let b = input_bus(&mut net, "b", bits);
+    let c = input_bus(&mut net, "c", bits);
+    let op = input_bus(&mut net, "op", 2);
+    let sel = net.input("sel");
+
+    // ALU slice (same op encoding as control::alu)
+    let mut carry = net.constant(false);
+    let mut add = Vec::with_capacity(bits);
+    for i in 0..bits {
+        let (s, cy) = crate::arith::full_adder(&mut net, a[i], b[i], carry);
+        add.push(s);
+        carry = cy;
+    }
+    let mut y = Vec::with_capacity(bits);
+    for i in 0..bits {
+        let and_i = net.and(a[i], b[i]);
+        let or_i = net.or(a[i], b[i]);
+        let xor_i = net.xor(a[i], b[i]);
+        let lo = net.mux(op[0], and_i, add[i]);
+        let hi = net.mux(op[0], xor_i, or_i);
+        y.push(net.mux(op[1], hi, lo));
+    }
+    // selector: z = sel ? y : c
+    let z: Vec<NodeId> = (0..bits).map(|i| net.mux(sel, y[i], c[i])).collect();
+    let gt = greater_than(&mut net, &y, &c);
+    output_bus(&mut net, "y", &y);
+    output_bus(&mut net, "z", &z);
+    net.output("gt", gt);
+    net.output("cout", carry);
+    net
+}
+
+/// `c7552`-style block: 16-bit adder/comparator with parity checking
+/// (the original is a 34-bit adder-comparator with parity).
+fn c7552_like() -> Network {
+    let mut net = Network::new();
+    let bits = 16;
+    let a = input_bus(&mut net, "a", bits);
+    let b = input_bus(&mut net, "b", bits);
+    let mut carry = net.constant(false);
+    let mut sum = Vec::with_capacity(bits);
+    for i in 0..bits {
+        let (s, c) = crate::arith::full_adder(&mut net, a[i], b[i], carry);
+        sum.push(s);
+        carry = c;
+    }
+    let gt = greater_than(&mut net, &a, &b);
+    // equality via the xor bits
+    let diffs: Vec<NodeId> = (0..bits).map(|i| net.xor(a[i], b[i])).collect();
+    let any_diff = {
+        let mut acc = net.constant(false);
+        for &d in &diffs {
+            acc = net.or(acc, d);
+        }
+        acc
+    };
+    let eq = net.not(any_diff);
+    // parity over the sum
+    let mut parity = net.constant(false);
+    for &s in &sum {
+        parity = net.xor(parity, s);
+    }
+    output_bus(&mut net, "sum", &sum);
+    net.output("cout", carry);
+    net.output("gt", gt);
+    net.output("eq", eq);
+    net.output("parity", parity);
+    net
+}
+
+/// `c2670`-style block: 12-bit ALU slice with priority logic and parity
+/// (the original is an ALU-and-controller with parity trees).
+fn c2670_like() -> Network {
+    let mut net = Network::new();
+    let bits = 12;
+    let a = input_bus(&mut net, "a", bits);
+    let b = input_bus(&mut net, "b", bits);
+    let en = input_bus(&mut net, "en", 4);
+    // add and and planes
+    let mut carry = net.constant(false);
+    let mut sum = Vec::with_capacity(bits);
+    for i in 0..bits {
+        let (s, c) = crate::arith::full_adder(&mut net, a[i], b[i], carry);
+        sum.push(s);
+        carry = c;
+    }
+    // priority grant over 4 request groups (3 bits each, OR-reduced)
+    let mut blocked = net.constant(false);
+    let mut grants = Vec::with_capacity(4);
+    for g in 0..4 {
+        let group = net.or_many(&[a[3 * g], b[3 * g + 1], sum[3 * g + 2]]);
+        let active = net.and(group, en[g]);
+        let nb = net.not(blocked);
+        grants.push(net.and(active, nb));
+        blocked = net.or(blocked, active);
+    }
+    // parity over inputs
+    let mut parity = net.constant(false);
+    for &x in a.iter().chain(&b) {
+        parity = net.xor(parity, x);
+    }
+    output_bus(&mut net, "sum", &sum);
+    output_bus(&mut net, "grant", &grants);
+    net.output("parity", parity);
+    net.output("cout", carry);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buses::{read_bus_response, stimulus_for};
+
+    #[test]
+    fn table2_has_paper_rows() {
+        let benches = table2_benchmarks();
+        let names: Vec<&str> = benches.iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "adder", "bar", "max", "cavlc", "3_3", "5_5", "qdiv", "C5315", "i7",
+                "c7552", "c2670", "frg2", "C432", "b12"
+            ]
+        );
+    }
+
+    #[test]
+    fn fig4_names() {
+        let names: Vec<&str> = fig4_benchmarks().iter().map(|b| b.name).collect();
+        assert_eq!(names, vec!["alu4", "pair", "qadd"]);
+    }
+
+    #[test]
+    fn by_name_finds_every_benchmark() {
+        for b in all_benchmarks() {
+            assert!(by_name(b.name).is_some(), "{} must resolve", b.name);
+        }
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn all_benchmarks_are_nontrivial_and_deterministic() {
+        for b in all_benchmarks() {
+            let stats = b.network.stats();
+            assert!(stats.gates() >= 20, "{} too small: {stats:?}", b.name);
+            assert!(stats.inputs >= 5, "{}", b.name);
+            assert!(stats.outputs >= 1, "{}", b.name);
+            // regeneration must be identical
+            let again = by_name(b.name).unwrap();
+            assert_eq!(again.stats(), stats, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn c7552_like_adds_and_compares() {
+        let net = c7552_like();
+        let av = [100u64, 65535, 777, 0];
+        let bv = [28u64, 1, 777, 0];
+        let mut words = stimulus_for(16, &av);
+        words.extend(stimulus_for(16, &bv));
+        let res = net.simulate(&words);
+        let sums = read_bus_response(&res[..16], av.len());
+        let gt = read_bus_response(&res[17..18], av.len());
+        let eq = read_bus_response(&res[18..19], av.len());
+        for i in 0..av.len() {
+            assert_eq!(sums[i], (av[i] + bv[i]) & 0xFFFF, "sum {i}");
+            assert_eq!(gt[i], u64::from(av[i] > bv[i]), "gt {i}");
+            assert_eq!(eq[i], u64::from(av[i] == bv[i]), "eq {i}");
+        }
+    }
+
+    #[test]
+    fn c5315_like_selector_behaviour() {
+        let net = c5315_like();
+        // op = 00 (add), sel = 1 → z = y = a + b
+        let av = [12u64, 200];
+        let bv = [30u64, 55];
+        let cv = [99u64, 99];
+        let mut words = stimulus_for(8, &av);
+        words.extend(stimulus_for(8, &bv));
+        words.extend(stimulus_for(8, &cv));
+        words.extend(stimulus_for(2, &[0, 0]));
+        words.extend(stimulus_for(1, &[1, 0]));
+        let res = net.simulate(&words);
+        let y = read_bus_response(&res[..8], av.len());
+        let z = read_bus_response(&res[8..16], av.len());
+        assert_eq!(y[0], (av[0] + bv[0]) & 0xFF);
+        assert_eq!(z[0], y[0], "sel=1 selects the ALU result");
+        assert_eq!(z[1], cv[1], "sel=0 selects the bypass operand");
+    }
+
+    #[test]
+    fn c2670_like_has_expected_interface() {
+        let net = c2670_like();
+        assert_eq!(net.num_inputs(), 12 + 12 + 4);
+        assert_eq!(net.num_outputs(), 12 + 4 + 2);
+    }
+
+    #[test]
+    fn suites_match_paper_citations() {
+        let benches = table2_benchmarks();
+        let suite_of = |n: &str| {
+            benches
+                .iter()
+                .find(|b| b.name == n)
+                .map(|b| b.suite)
+                .unwrap()
+        };
+        assert_eq!(suite_of("adder"), "EPFL");
+        assert_eq!(suite_of("3_3"), "genmul");
+        assert_eq!(suite_of("qdiv"), "opencore");
+        assert_eq!(suite_of("c7552"), "ISCAS85");
+        assert_eq!(suite_of("b12"), "ITC99");
+    }
+}

@@ -1,0 +1,99 @@
+//! Constant-folding e-class analysis for the Boolean language.
+
+use crate::lang::BoolLang;
+use esyn_egraph::{Analysis, EGraph, Id};
+
+/// Attaches `Option<bool>` to every e-class: `Some(v)` when the class is
+/// provably the constant `v`. Folded classes get a `Const` e-node injected
+/// so extraction can pick the constant directly.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConstFold;
+
+impl Analysis<BoolLang> for ConstFold {
+    type Data = Option<bool>;
+
+    fn make(egraph: &EGraph<BoolLang, Self>, enode: &BoolLang) -> Self::Data {
+        let val = |id: Id| egraph.class(id).data;
+        match enode {
+            BoolLang::Const(v) => Some(*v),
+            BoolLang::Var(_) | BoolLang::Outs(_) => None,
+            BoolLang::Not([a]) => val(*a).map(|v| !v),
+            BoolLang::And([a, b]) => match (val(*a), val(*b)) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            },
+            BoolLang::Or([a, b]) => match (val(*a), val(*b)) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            },
+        }
+    }
+
+    fn merge(&mut self, a: &mut Self::Data, b: Self::Data) -> (bool, bool) {
+        match (&*a, b) {
+            (None, None) => (false, false),
+            (Some(_), None) => (false, true),
+            (None, Some(v)) => {
+                *a = Some(v);
+                (true, false)
+            }
+            (Some(x), Some(y)) => {
+                debug_assert_eq!(*x, y, "conflicting constant folds — unsound rule?");
+                (false, false)
+            }
+        }
+    }
+
+    fn modify(egraph: &mut EGraph<BoolLang, Self>, id: Id) {
+        if let Some(v) = egraph.class(id).data {
+            let c = egraph.add(BoolLang::Const(v));
+            egraph.union(id, c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::all_rules;
+    use esyn_egraph::{AstSize, RecExpr, Runner};
+
+    fn simplify(input: &str) -> String {
+        let expr: RecExpr<BoolLang> = input.parse().unwrap();
+        let runner = Runner::with_analysis(ConstFold)
+            .with_expr(&expr)
+            .with_iter_limit(12)
+            .with_node_limit(20_000)
+            .run(&all_rules());
+        let (_, best) = runner.extract_best(AstSize);
+        best.to_string()
+    }
+
+    #[test]
+    fn folds_constant_and() {
+        assert_eq!(simplify("(* 1 1)"), "1");
+        assert_eq!(simplify("(* x 0)"), "0");
+        assert_eq!(simplify("(* 0 (+ x y))"), "0");
+    }
+
+    #[test]
+    fn folds_constant_or_not() {
+        assert_eq!(simplify("(+ 1 x)"), "1");
+        assert_eq!(simplify("(! 0)"), "1");
+        assert_eq!(simplify("(! (* x 0))"), "1");
+    }
+
+    #[test]
+    fn folds_through_structure() {
+        // (x * !x) + (y * 0) = 0 — needs complement rule + folding
+        assert_eq!(simplify("(+ (* x (! x)) (* y 0))"), "0");
+    }
+
+    #[test]
+    fn does_not_fold_free_variables() {
+        let out = simplify("(+ x y)");
+        assert!(out == "(+ x y)" || out == "(+ y x)", "{out}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Candidate cost functions for pool selection.
+//!
+//! The paper contrasts local heuristics (AST size / depth, usable by the
+//! vanilla extractor) with learned, technology-aware models (usable only
+//! through pool extraction because they are neither local nor monotone).
+
+use crate::features::Features;
+use esyn_gbdt::GbdtRegressor;
+
+/// Scores a candidate AST from its features (lower is better).
+pub trait CandidateCost {
+    /// The cost of a candidate with features `feats`.
+    fn cost(&self, feats: &Features) -> f64;
+}
+
+/// AST node count — the vanilla area proxy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AstSizeCost;
+
+impl CandidateCost for AstSizeCost {
+    fn cost(&self, feats: &Features) -> f64 {
+        feats.num_nodes as f64
+    }
+}
+
+/// AST depth — the vanilla delay proxy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AstDepthCost;
+
+impl CandidateCost for AstDepthCost {
+    fn cost(&self, feats: &Features) -> f64 {
+        feats.depth as f64
+    }
+}
+
+/// Weighted operator count; the paper assigns NOT a lower weight than
+/// AND/OR because inverters are nearly free after mapping.
+#[derive(Clone, Copy, Debug)]
+pub struct WeightedOpsCost {
+    /// Weight of an AND node.
+    pub w_and: f64,
+    /// Weight of an OR node.
+    pub w_or: f64,
+    /// Weight of a NOT node.
+    pub w_not: f64,
+}
+
+impl Default for WeightedOpsCost {
+    fn default() -> Self {
+        WeightedOpsCost {
+            w_and: 1.0,
+            w_or: 1.0,
+            w_not: 0.3,
+        }
+    }
+}
+
+impl CandidateCost for WeightedOpsCost {
+    fn cost(&self, feats: &Features) -> f64 {
+        self.w_and * feats.num_and as f64
+            + self.w_or * feats.num_or as f64
+            + self.w_not * feats.num_not as f64
+    }
+}
+
+/// A learned technology-aware cost model (the paper's XGBoost regressor,
+/// here a [`GbdtRegressor`]).
+#[derive(Clone, Debug)]
+pub struct GbdtCost {
+    model: GbdtRegressor,
+}
+
+impl GbdtCost {
+    /// Wraps a trained regressor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model was not trained on [`Features::LEN`] features.
+    pub fn new(model: GbdtRegressor) -> Self {
+        assert_eq!(
+            model.num_features(),
+            Features::LEN,
+            "cost model must consume the documented feature vector"
+        );
+        GbdtCost { model }
+    }
+
+    /// The wrapped regressor.
+    pub fn model(&self) -> &GbdtRegressor {
+        &self.model
+    }
+}
+
+impl CandidateCost for GbdtCost {
+    fn cost(&self, feats: &Features) -> f64 {
+        self.model.predict(&feats.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::BoolLang;
+    use esyn_egraph::RecExpr;
+    use esyn_gbdt::{Dataset, GbdtParams};
+
+    fn feats(s: &str) -> Features {
+        let e: RecExpr<BoolLang> = s.parse().unwrap();
+        Features::from_expr(&e)
+    }
+
+    #[test]
+    fn heuristic_costs_rank_as_expected() {
+        let small = feats("(* a b)");
+        let big = feats("(+ (* a b) (* c d))");
+        assert!(AstSizeCost.cost(&small) < AstSizeCost.cost(&big));
+        let shallow = feats("(+ (* a b) (* c d))");
+        let deep = feats("(* (* (* a b) c) d)");
+        assert!(AstDepthCost.cost(&shallow) < AstDepthCost.cost(&deep));
+    }
+
+    #[test]
+    fn weighted_ops_discount_inverters() {
+        let w = WeightedOpsCost::default();
+        let with_nots = feats("(* (! a) (! b))");
+        let with_ands = feats("(* (* a b) c)");
+        assert!(w.cost(&with_nots) < w.cost(&with_ands));
+    }
+
+    #[test]
+    fn gbdt_cost_wraps_model() {
+        // train a toy model: cost = num_nodes
+        let rows: Vec<Vec<f64>> = (1..60)
+            .map(|i| {
+                let mut v = vec![0.0; Features::LEN];
+                v[3] = i as f64; // num_nodes
+                v[0] = (i / 2) as f64;
+                v
+            })
+            .collect();
+        let labels: Vec<f64> = rows.iter().map(|r| r[3] * 2.0).collect();
+        let data = Dataset::new(rows, labels).unwrap();
+        let model = esyn_gbdt::GbdtRegressor::fit(
+            &data,
+            &GbdtParams {
+                n_estimators: 50,
+                ..Default::default()
+            },
+            1,
+        );
+        let cost = GbdtCost::new(model);
+        let small = feats("(* a b)");
+        let big = feats("(+ (+ (* a b) (* c d)) (+ (* e f) (* g h)))");
+        assert!(cost.cost(&small) < cost.cost(&big));
+    }
+
+    #[test]
+    #[should_panic(expected = "feature vector")]
+    fn gbdt_cost_rejects_wrong_arity() {
+        let data = Dataset::new(vec![vec![1.0], vec![2.0]], vec![1.0, 2.0]).unwrap();
+        let model = esyn_gbdt::GbdtRegressor::fit(&data, &GbdtParams::default(), 1);
+        let _ = GbdtCost::new(model);
+    }
+}

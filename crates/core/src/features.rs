@@ -1,0 +1,148 @@
+//! AST feature extraction for the cost-model regression (§3.2.1).
+//!
+//! The paper's feature set: per-operator counts, AST node count, AST
+//! depth, and two graph-shape features, density and edge sum. The term is
+//! a DAG here (sharing preserved), so "AST node count" counts distinct
+//! nodes and "edge sum" counts parent→child references; the artificial
+//! `outs` wrapper is excluded from all features.
+
+use crate::lang::BoolLang;
+use esyn_egraph::{Language, RecExpr};
+
+/// The feature vector of one candidate AST.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Features {
+    /// Number of AND operators.
+    pub num_and: usize,
+    /// Number of OR operators.
+    pub num_or: usize,
+    /// Number of NOT operators.
+    pub num_not: usize,
+    /// Total nodes (operators + leaves), excluding the `outs` wrapper.
+    pub num_nodes: usize,
+    /// Longest leaf-to-root path (leaves count 1), excluding `outs`.
+    pub depth: usize,
+    /// Directed graph density `E / (V·(V−1))`.
+    pub density: f64,
+    /// Total edge count `E`.
+    pub edge_sum: usize,
+}
+
+impl Features {
+    /// Extracts features from a term (with or without an `outs` root).
+    pub fn from_expr(expr: &RecExpr<BoolLang>) -> Features {
+        let nodes = expr.as_ref();
+        let mut f = Features {
+            num_and: 0,
+            num_or: 0,
+            num_not: 0,
+            num_nodes: 0,
+            depth: 0,
+            density: 0.0,
+            edge_sum: 0,
+        };
+        let mut depth = vec![0usize; nodes.len()];
+        for (i, node) in nodes.iter().enumerate() {
+            let is_outs = matches!(node, BoolLang::Outs(_));
+            if !is_outs {
+                f.num_nodes += 1;
+                f.edge_sum += node.children().len();
+                match node {
+                    BoolLang::And(_) => f.num_and += 1,
+                    BoolLang::Or(_) => f.num_or += 1,
+                    BoolLang::Not(_) => f.num_not += 1,
+                    _ => {}
+                }
+            }
+            let child_max = node
+                .children()
+                .iter()
+                .map(|&c| depth[usize::from(c)])
+                .max()
+                .unwrap_or(0);
+            depth[i] = if is_outs { child_max } else { 1 + child_max };
+            f.depth = f.depth.max(depth[i]);
+        }
+        if f.num_nodes > 1 {
+            f.density = f.edge_sum as f64 / (f.num_nodes as f64 * (f.num_nodes as f64 - 1.0));
+        }
+        f
+    }
+
+    /// The regression input vector, in a fixed documented order:
+    /// `[num_and, num_or, num_not, num_nodes, depth, density, edge_sum]`.
+    pub fn to_vec(self) -> Vec<f64> {
+        vec![
+            self.num_and as f64,
+            self.num_or as f64,
+            self.num_not as f64,
+            self.num_nodes as f64,
+            self.depth as f64,
+            self.density,
+            self.edge_sum as f64,
+        ]
+    }
+
+    /// Number of features in [`Features::to_vec`].
+    pub const LEN: usize = 7;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_figure3_example() {
+        // (+ (* x y) (* x z)) with shared x: 6 distinct nodes
+        let e: RecExpr<BoolLang> = "(+ (* x y) (* x z))".parse().unwrap();
+        let f = Features::from_expr(&e);
+        assert_eq!(f.num_and, 2);
+        assert_eq!(f.num_or, 1);
+        assert_eq!(f.num_not, 0);
+        assert_eq!(f.num_nodes, 7); // parse does not share leaves: x appears twice
+        assert_eq!(f.depth, 3);
+        assert_eq!(f.edge_sum, 6);
+    }
+
+    #[test]
+    fn outs_wrapper_is_excluded() {
+        let plain: RecExpr<BoolLang> = "(* a b)".parse().unwrap();
+        let wrapped: RecExpr<BoolLang> = "(outs (* a b))".parse().unwrap();
+        let fp = Features::from_expr(&plain);
+        let fw = Features::from_expr(&wrapped);
+        assert_eq!(fp.num_nodes, fw.num_nodes);
+        assert_eq!(fp.depth, fw.depth);
+        assert_eq!(fp.edge_sum, fw.edge_sum);
+    }
+
+    #[test]
+    fn density_of_chain() {
+        // (! (! (! a))): V=4, E=3, density = 3/12
+        let e: RecExpr<BoolLang> = "(! (! (! a)))".parse().unwrap();
+        let f = Features::from_expr(&e);
+        assert_eq!(f.num_not, 3);
+        assert!((f.density - 0.25).abs() < 1e-12);
+        assert_eq!(f.depth, 4);
+    }
+
+    #[test]
+    fn single_leaf_features() {
+        let e: RecExpr<BoolLang> = "a".parse().unwrap();
+        let f = Features::from_expr(&e);
+        assert_eq!(f.num_nodes, 1);
+        assert_eq!(f.depth, 1);
+        assert_eq!(f.edge_sum, 0);
+        assert_eq!(f.density, 0.0);
+    }
+
+    #[test]
+    fn vector_layout_is_stable() {
+        let e: RecExpr<BoolLang> = "(+ (* a b) (! c))".parse().unwrap();
+        let f = Features::from_expr(&e);
+        let v = f.to_vec();
+        assert_eq!(v.len(), Features::LEN);
+        assert_eq!(v[0], f.num_and as f64);
+        assert_eq!(v[4], f.depth as f64);
+        assert_eq!(v[6], f.edge_sum as f64);
+    }
+}

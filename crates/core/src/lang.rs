@@ -1,0 +1,363 @@
+//! The Boolean e-graph language `{AND, OR, NOT, constants, variables}`
+//! plus the variadic `outs` wrapper that turns a multi-output network into
+//! a single e-graph term (rules never touch `outs`).
+
+use esyn_egraph::{Id, Language, RecExpr};
+use esyn_eqn::{Network, Node as EqnNode, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned variable name. Symbols are process-global, cheap to copy
+/// and compare, and resolve back to their string via [`Symbol::as_str`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    by_name: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            by_name: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name`, returning its symbol.
+    pub fn intern(name: &str) -> Symbol {
+        let mut i = interner().lock().expect("interner lock");
+        if let Some(&id) = i.by_name.get(name) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = i.names.len() as u32;
+        i.names.push(leaked);
+        i.by_name.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().lock().expect("interner lock").names[self.0 as usize]
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// E-node operators of the Boolean language, matching the paper's choice
+/// of free {AND, OR, NOT} over input variables (§3.1, Figure 3 notation:
+/// `*` for AND, `+` for OR).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum BoolLang {
+    /// Constant false (`0`) / true (`1`).
+    Const(bool),
+    /// A named input variable.
+    Var(Symbol),
+    /// Negation.
+    Not([Id; 1]),
+    /// Conjunction.
+    And([Id; 2]),
+    /// Disjunction.
+    Or([Id; 2]),
+    /// Multi-output wrapper; only ever the root.
+    Outs(Vec<Id>),
+}
+
+impl BoolLang {
+    /// Convenience constructor for NOT.
+    pub fn not(x: Id) -> Self {
+        BoolLang::Not([x])
+    }
+
+    /// Convenience constructor for AND.
+    pub fn and(a: Id, b: Id) -> Self {
+        BoolLang::And([a, b])
+    }
+
+    /// Convenience constructor for OR.
+    pub fn or(a: Id, b: Id) -> Self {
+        BoolLang::Or([a, b])
+    }
+
+    /// Convenience constructor for a variable leaf.
+    pub fn var(name: &str) -> Self {
+        BoolLang::Var(Symbol::intern(name))
+    }
+}
+
+impl Language for BoolLang {
+    fn matches(&self, other: &Self) -> bool {
+        match (self, other) {
+            (BoolLang::Const(a), BoolLang::Const(b)) => a == b,
+            (BoolLang::Var(a), BoolLang::Var(b)) => a == b,
+            (BoolLang::Not(_), BoolLang::Not(_)) => true,
+            (BoolLang::And(_), BoolLang::And(_)) => true,
+            (BoolLang::Or(_), BoolLang::Or(_)) => true,
+            (BoolLang::Outs(a), BoolLang::Outs(b)) => a.len() == b.len(),
+            _ => false,
+        }
+    }
+
+    fn children(&self) -> &[Id] {
+        match self {
+            BoolLang::Const(_) | BoolLang::Var(_) => &[],
+            BoolLang::Not(c) => c,
+            BoolLang::And(c) | BoolLang::Or(c) => c,
+            BoolLang::Outs(c) => c,
+        }
+    }
+
+    fn children_mut(&mut self) -> &mut [Id] {
+        match self {
+            BoolLang::Const(_) | BoolLang::Var(_) => &mut [],
+            BoolLang::Not(c) => c,
+            BoolLang::And(c) | BoolLang::Or(c) => c,
+            BoolLang::Outs(c) => c,
+        }
+    }
+
+    fn op_str(&self) -> &str {
+        match self {
+            BoolLang::Const(false) => "0",
+            BoolLang::Const(true) => "1",
+            BoolLang::Var(s) => s.as_str(),
+            BoolLang::Not(_) => "!",
+            BoolLang::And(_) => "*",
+            BoolLang::Or(_) => "+",
+            BoolLang::Outs(_) => "outs",
+        }
+    }
+
+    fn from_op(op: &str, children: Vec<Id>) -> Result<Self, String> {
+        let arity = |n: usize| {
+            if children.len() == n {
+                Ok(())
+            } else {
+                Err(format!("`{op}` expects {n} children, got {}", children.len()))
+            }
+        };
+        match op {
+            "0" | "false" => {
+                arity(0)?;
+                Ok(BoolLang::Const(false))
+            }
+            "1" | "true" => {
+                arity(0)?;
+                Ok(BoolLang::Const(true))
+            }
+            "!" | "~" | "NOT" | "not" => {
+                arity(1)?;
+                Ok(BoolLang::Not([children[0]]))
+            }
+            "*" | "&" | "AND" | "and" => {
+                arity(2)?;
+                Ok(BoolLang::And([children[0], children[1]]))
+            }
+            "+" | "|" | "OR" | "or" => {
+                arity(2)?;
+                Ok(BoolLang::Or([children[0], children[1]]))
+            }
+            "outs" | "OUTS" => {
+                if children.is_empty() {
+                    return Err("`outs` expects at least one child".into());
+                }
+                Ok(BoolLang::Outs(children))
+            }
+            var => {
+                arity(0)?;
+                if var.starts_with(|c: char| c.is_alphanumeric() || c == '_') {
+                    Ok(BoolLang::Var(Symbol::intern(var)))
+                } else {
+                    Err(format!("unknown operator `{var}`"))
+                }
+            }
+        }
+    }
+}
+
+/// Converts a network into a single e-graph term, preserving DAG sharing.
+/// The root is always an `outs` node whose children follow the network's
+/// output order.
+pub fn network_to_recexpr(net: &Network) -> RecExpr<BoolLang> {
+    let mut expr = RecExpr::new();
+    let mut map: HashMap<NodeId, Id> = HashMap::new();
+    for id in net.topo_order() {
+        let node = match net.node(id) {
+            EqnNode::Const(v) => BoolLang::Const(v),
+            EqnNode::Input(idx) => BoolLang::var(net.input_name(idx)),
+            EqnNode::Not(a) => BoolLang::not(map[&a]),
+            EqnNode::And(a, b) => BoolLang::and(map[&a], map[&b]),
+            EqnNode::Or(a, b) => BoolLang::or(map[&a], map[&b]),
+        };
+        map.insert(id, expr.add(node));
+    }
+    let outs: Vec<Id> = net.outputs().iter().map(|(_, id)| map[id]).collect();
+    expr.add(BoolLang::Outs(outs));
+    expr
+}
+
+/// Converts a term back into a network. `output_names` supplies the PO
+/// names (padding with `poK` when too short); a non-`outs` root becomes a
+/// single output.
+pub fn recexpr_to_network(expr: &RecExpr<BoolLang>, output_names: &[String]) -> Network {
+    let mut net = Network::new();
+    let nodes = expr.as_ref();
+    let mut ids: Vec<Option<NodeId>> = vec![None; nodes.len()];
+    for (i, node) in nodes.iter().enumerate() {
+        let built = match node {
+            BoolLang::Const(v) => net.constant(*v),
+            BoolLang::Var(s) => net.input(s.as_str()),
+            BoolLang::Not([a]) => {
+                let x = ids[usize::from(*a)].expect("child built");
+                net.not(x)
+            }
+            BoolLang::And([a, b]) => {
+                let (x, y) = (
+                    ids[usize::from(*a)].expect("child built"),
+                    ids[usize::from(*b)].expect("child built"),
+                );
+                net.and(x, y)
+            }
+            BoolLang::Or([a, b]) => {
+                let (x, y) = (
+                    ids[usize::from(*a)].expect("child built"),
+                    ids[usize::from(*b)].expect("child built"),
+                );
+                net.or(x, y)
+            }
+            BoolLang::Outs(_) => net.constant(false), // placeholder; handled below
+        };
+        ids[i] = Some(built);
+    }
+    let root = expr.root();
+    let name_of = |k: usize| -> String {
+        output_names
+            .get(k)
+            .cloned()
+            .unwrap_or_else(|| format!("po{k}"))
+    };
+    match &nodes[usize::from(root)] {
+        BoolLang::Outs(children) => {
+            for (k, c) in children.iter().enumerate() {
+                let id = ids[usize::from(*c)].expect("child built");
+                net.output(name_of(k), id);
+            }
+        }
+        _ => {
+            let id = ids[usize::from(root)].expect("root built");
+            net.output(name_of(0), id);
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esyn_eqn::parse_eqn;
+
+    #[test]
+    fn symbols_intern_uniquely() {
+        let a1 = Symbol::intern("alpha");
+        let a2 = Symbol::intern("alpha");
+        let b = Symbol::intern("beta");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(a1.as_str(), "alpha");
+        assert_eq!(format!("{b}"), "beta");
+    }
+
+    #[test]
+    fn language_parsing_and_display() {
+        let e: RecExpr<BoolLang> = "(+ (* x y) (! (+ x 0)))".parse().unwrap();
+        assert_eq!(e.to_string(), "(+ (* x y) (! (+ x 0)))");
+        assert!("(* x)".parse::<RecExpr<BoolLang>>().is_err());
+        assert!("(! x y)".parse::<RecExpr<BoolLang>>().is_err());
+        assert!("(outs)".parse::<RecExpr<BoolLang>>().is_err());
+    }
+
+    #[test]
+    fn matches_distinguishes_leaf_payloads() {
+        let t = BoolLang::Const(true);
+        let f = BoolLang::Const(false);
+        assert!(!t.matches(&f));
+        assert!(t.matches(&BoolLang::Const(true)));
+        let x = BoolLang::var("x");
+        let y = BoolLang::var("y");
+        assert!(!x.matches(&y));
+        assert!(x.matches(&BoolLang::var("x")));
+    }
+
+    #[test]
+    fn network_roundtrip_preserves_function() {
+        let net = parse_eqn(
+            "INORDER = a b c;\nOUTORDER = f g;\nf = (a*b) + !c;\ng = !(a + b*c);\n",
+        )
+        .unwrap();
+        let expr = network_to_recexpr(&net);
+        let names: Vec<String> = net.outputs().iter().map(|(n, _)| n.clone()).collect();
+        let back = recexpr_to_network(&expr, &names);
+        assert_eq!(back.outputs()[0].0, "f");
+        assert_eq!(back.outputs()[1].0, "g");
+        // align stimulus by input name
+        let patterns: Vec<u64> = (0..net.num_inputs() as u64)
+            .map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1))
+            .collect();
+        let lookup: HashMap<&str, u64> = net
+            .input_names()
+            .iter()
+            .map(String::as_str)
+            .zip(patterns.iter().copied())
+            .collect();
+        let back_patterns: Vec<u64> = back
+            .input_names()
+            .iter()
+            .map(|n| lookup[n.as_str()])
+            .collect();
+        assert_eq!(net.simulate(&patterns), back.simulate(&back_patterns));
+    }
+
+    #[test]
+    fn sharing_is_preserved_in_conversion() {
+        // (a*b) feeds two outputs: the term must reference it once.
+        let net = parse_eqn(
+            "INORDER = a b;\nOUTORDER = f g;\nf = (a*b);\ng = !(a*b);\n",
+        )
+        .unwrap();
+        let expr = network_to_recexpr(&net);
+        // nodes: a, b, and, not, outs = 5 (no duplicate AND)
+        assert_eq!(expr.len(), 5);
+    }
+
+    #[test]
+    fn single_output_without_outs_root() {
+        let e: RecExpr<BoolLang> = "(* a b)".parse().unwrap();
+        let net = recexpr_to_network(&e, &[]);
+        assert_eq!(net.num_outputs(), 1);
+        assert_eq!(net.outputs()[0].0, "po0");
+    }
+
+    #[test]
+    fn constants_roundtrip() {
+        let net = parse_eqn("INORDER = a;\nOUTORDER = f;\nf = a * 0;\n").unwrap();
+        let expr = network_to_recexpr(&net);
+        let back = recexpr_to_network(&expr, &["f".to_owned()]);
+        assert!(back.truth_tables()[0].is_zero());
+    }
+}

@@ -1,0 +1,64 @@
+//! **E-Syn**: e-graph rewriting with technology-aware cost functions for
+//! logic synthesis — the core of the DAC 2024 paper reproduction.
+//!
+//! The workflow mirrors the paper's Figure 2:
+//!
+//! 1. a combinational circuit in equation format becomes a Boolean
+//!    S-expression term ([`lang::network_to_recexpr`]);
+//! 2. equality saturation with the Boolean-algebra rules of Table 1
+//!    ([`rules::all_rules`]) grows an e-graph of equivalent forms
+//!    ([`saturate`]);
+//! 3. *pool extraction* ([`pool::extract_pool`]) collects candidate ASTs:
+//!    the size-optimal and depth-optimal trees plus stochastic samples
+//!    (strategy (a): random among cost-tied e-nodes; strategy (b):
+//!    sub-optimal exploration with probability 0.2; ratio 1:3);
+//! 4. each candidate is scored by a *technology-aware cost model* —
+//!    gradient-boosted regression trees over AST features
+//!    ([`features::Features`], [`cost`], [`train`]) — and the best is
+//!    selected;
+//! 5. the winner is verified by combinational equivalence checking and
+//!    evaluated through the shared mapping backend (`esyn-techmap`),
+//!    yielding post-mapping area/delay ([`flow::esyn_optimize`]).
+//!
+//! The baseline it is compared against ([`flow::abc_baseline`]) is the
+//! AIG-based flow of §4.3 built from `esyn-aig` passes.
+//!
+//! # Example
+//!
+//! ```
+//! use esyn_core::{flow, lang, rules, pool};
+//! use esyn_eqn::parse_eqn;
+//!
+//! let net = parse_eqn("INORDER = a b c;\nOUTORDER = f;\nf = (a*b) + (a*c);\n")?;
+//! let expr = lang::network_to_recexpr(&net);
+//! let runner = flow::saturate(&expr, &rules::all_rules(), &flow::SaturationLimits::small());
+//! let pool = pool::extract_pool(&runner.egraph, runner.roots[0], &pool::PoolConfig::small(7));
+//! assert!(pool.len() >= 2); // best-size + best-depth at minimum
+//! # Ok::<(), esyn_eqn::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod cost;
+pub mod features;
+pub mod flow;
+pub mod lang;
+pub mod pareto;
+pub mod pool;
+pub mod rules;
+pub mod train;
+
+pub use analysis::ConstFold;
+pub use cost::{AstDepthCost, AstSizeCost, CandidateCost, GbdtCost, WeightedOpsCost};
+pub use features::Features;
+pub use flow::{
+    abc_baseline, abc_baseline_choices, esyn_backend, esyn_backend_choices, esyn_optimize,
+    saturate, EsynConfig, EsynResult, Objective, SaturationLimits,
+};
+pub use lang::{network_to_recexpr, recexpr_to_network, BoolLang, Symbol};
+pub use pareto::pareto_front;
+pub use pool::{extract_pool, extract_pool_with, PoolConfig};
+pub use rules::{all_rules, rules_for, RuleClass};
+pub use train::{train_cost_models, CostModels, TrainConfig};

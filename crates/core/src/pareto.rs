@@ -1,0 +1,84 @@
+//! Pareto-frontier helpers for the design-space comparison (Figure 6).
+
+/// True when `p` dominates `q` under minimization of both coordinates
+/// (no worse in both, strictly better in at least one).
+pub fn dominates(p: (f64, f64), q: (f64, f64)) -> bool {
+    p.0 <= q.0 && p.1 <= q.1 && (p.0 < q.0 || p.1 < q.1)
+}
+
+/// The Pareto frontier of `(x, y)` points under minimization of both
+/// coordinates, sorted by `x` ascending. Duplicate points collapse to one.
+pub fn pareto_front(points: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<(f64, f64)> = points.to_vec();
+    sorted.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("finite coordinates")
+            .then(a.1.partial_cmp(&b.1).expect("finite coordinates"))
+    });
+    sorted.dedup();
+    let mut front: Vec<(f64, f64)> = Vec::new();
+    let mut best_y = f64::INFINITY;
+    for p in sorted {
+        if p.1 < best_y {
+            best_y = p.1;
+            front.push(p);
+        }
+    }
+    front
+}
+
+/// True when frontier `a` weakly dominates frontier `b`: every point of
+/// `b` is dominated by (or equal to) some point of `a`.
+pub fn frontier_dominates(a: &[(f64, f64)], b: &[(f64, f64)]) -> bool {
+    b.iter().all(|&q| {
+        a.iter()
+            .any(|&p| dominates(p, q) || (p.0 == q.0 && p.1 == q.1))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominates_basics() {
+        assert!(dominates((1.0, 1.0), (2.0, 2.0)));
+        assert!(dominates((1.0, 2.0), (1.0, 3.0)));
+        assert!(!dominates((1.0, 1.0), (1.0, 1.0)), "equal never dominates");
+        assert!(!dominates((1.0, 3.0), (2.0, 2.0)), "trade-off");
+    }
+
+    #[test]
+    fn frontier_of_scatter() {
+        let pts = [
+            (3.0, 1.0),
+            (1.0, 3.0),
+            (2.0, 2.0),
+            (3.0, 3.0), // dominated
+            (2.5, 2.5), // dominated
+            (1.0, 3.5), // dominated by (1,3)
+        ];
+        let front = pareto_front(&pts);
+        assert_eq!(front, vec![(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)]);
+    }
+
+    #[test]
+    fn frontier_single_point() {
+        let front = pareto_front(&[(5.0, 5.0)]);
+        assert_eq!(front, vec![(5.0, 5.0)]);
+    }
+
+    #[test]
+    fn frontier_dominance_check() {
+        let better = pareto_front(&[(1.0, 2.0), (2.0, 1.0)]);
+        let worse = pareto_front(&[(2.0, 3.0), (3.0, 2.0)]);
+        assert!(frontier_dominates(&better, &worse));
+        assert!(!frontier_dominates(&worse, &better));
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let front = pareto_front(&[(1.0, 1.0), (1.0, 1.0)]);
+        assert_eq!(front.len(), 1);
+    }
+}

@@ -1,0 +1,514 @@
+//! Pool extraction (§3.2.2) — the paper's extraction method for
+//! non-local, non-monotone (technology-aware) cost functions.
+//!
+//! The candidate pool consists of:
+//!
+//! * the AST with the fewest nodes (greedy extractor, AST-size cost);
+//! * the AST with the least depth (greedy extractor, AST-depth cost);
+//! * `num_samples` stochastic samples drawn by traversing the e-classes
+//!   bottom-up with two strategies, mixed at the paper's 1:3 ratio:
+//!   * **(a)** choose uniformly at random among the e-nodes tied for the
+//!     best local cost (unlike the default extractor, which always takes
+//!     the first);
+//!   * **(b)** with probability `p = 0.2`, deliberately choose an e-node
+//!     with sub-optimal local cost.
+//!
+//! The local cost alternates among AST depth, AST size, and a weighted
+//! operator sum (NOT cheaper than AND/OR), per the paper.
+//!
+//! Every candidate is returned for scoring by an arbitrary cost model —
+//! which is the whole point: the model need not be linear or monotone.
+
+use crate::cost::WeightedOpsCost;
+use crate::lang::BoolLang;
+use esyn_egraph::{
+    Analysis, AstDepth, AstSize, DagExtractor, DagSize, EGraph, Extractor, Id, Language, RecExpr,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Pool-extraction parameters; defaults follow the paper (p = 0.2,
+/// strategy ratio 1:3, pool size ≈ 100 suffices per Figure 4).
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Number of stochastic samples (on top of best-size and best-depth).
+    pub num_samples: usize,
+    /// Probability of a sub-optimal exploration step in strategy (b).
+    pub p_suboptimal: f64,
+    /// Ratio of strategy (a) to strategy (b) samples.
+    pub ratio: (u32, u32),
+    /// RNG seed (samples are deterministic given the seed).
+    pub seed: u64,
+    /// Also keep the *input* form as a candidate. The greedy extremes
+    /// optimise tree cost and may trade away DAG sharing; retaining the
+    /// original guarantees the pool never regresses below the un-rewritten
+    /// circuit (see DESIGN.md, pool-composition note).
+    pub include_original: bool,
+    /// Also add the greedy *DAG-cost* extreme ([`esyn_egraph::DagExtractor`]
+    /// with unit node costs): the candidate with the fewest *shared* nodes.
+    /// Complements the tree-cost extremes on sharing-heavy circuits. Off by
+    /// default so the calibrated paper experiments are unchanged; the
+    /// `ablation_pool` bench measures its effect.
+    pub include_dag_extreme: bool,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            num_samples: 100,
+            p_suboptimal: 0.2,
+            ratio: (1, 3),
+            seed: 0xE5F1,
+            include_original: true,
+            include_dag_extreme: false,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// A small pool for unit tests and examples.
+    pub fn small(seed: u64) -> Self {
+        PoolConfig {
+            num_samples: 12,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// A pool of `n` samples with the given seed.
+    pub fn with_samples(n: usize, seed: u64) -> Self {
+        PoolConfig {
+            num_samples: n,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Extracts the candidate pool for `root`. Candidates are deduplicated;
+/// the two deterministic extremes (best size, best depth) come first.
+///
+/// # Panics
+///
+/// Panics if the e-graph is dirty (call `rebuild` first; the runner does)
+/// or if `root`'s class is not extractable.
+pub fn extract_pool<N: Analysis<BoolLang>>(
+    egraph: &EGraph<BoolLang, N>,
+    root: Id,
+    cfg: &PoolConfig,
+) -> Vec<RecExpr<BoolLang>> {
+    extract_pool_with(egraph, root, None, cfg)
+}
+
+/// [`extract_pool`] with the input form available: when
+/// `cfg.include_original` is set and `original` is provided, the input
+/// term joins the pool (deduplicated like every other candidate).
+pub fn extract_pool_with<N: Analysis<BoolLang>>(
+    egraph: &EGraph<BoolLang, N>,
+    root: Id,
+    original: Option<&RecExpr<BoolLang>>,
+    cfg: &PoolConfig,
+) -> Vec<RecExpr<BoolLang>> {
+    assert!(egraph.is_clean(), "rebuild the e-graph before extraction");
+    let mut pool: Vec<RecExpr<BoolLang>> = Vec::new();
+    let mut seen: HashSet<RecExpr<BoolLang>> = HashSet::new();
+
+    if cfg.include_original {
+        if let Some(orig) = original {
+            if seen.insert(orig.clone()) {
+                pool.push(orig.clone());
+            }
+        }
+    }
+
+    let (_, best_size) = Extractor::new(egraph, AstSize)
+        .find_best(root)
+        .expect("root must be extractable");
+    if seen.insert(best_size.clone()) {
+        pool.push(best_size);
+    }
+    let (_, best_depth) = Extractor::new(egraph, AstDepth)
+        .find_best(root)
+        .expect("root must be extractable");
+    if seen.insert(best_depth.clone()) {
+        pool.push(best_depth);
+    }
+    if cfg.include_dag_extreme {
+        let (_, best_dag) = DagExtractor::new(egraph, DagSize)
+            .find_best(root)
+            .expect("root must be extractable");
+        if seen.insert(best_dag.clone()) {
+            pool.push(best_dag);
+        }
+    }
+
+    let index = SampleIndex::build(egraph);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let (ra, rb) = cfg.ratio;
+    let cycle = (ra + rb).max(1);
+    for k in 0..cfg.num_samples {
+        let strategy = if (k as u32) % cycle < ra {
+            Strategy::RandomTiedBest
+        } else {
+            Strategy::SubOptimal(cfg.p_suboptimal)
+        };
+        let cost_kind = match k % 3 {
+            0 => LocalCost::Depth,
+            1 => LocalCost::Size,
+            _ => LocalCost::WeightedOps,
+        };
+        if let Some(expr) = index.sample(egraph, root, strategy, cost_kind, &mut rng) {
+            if seen.insert(expr.clone()) {
+                pool.push(expr);
+            }
+        }
+    }
+    pool
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Strategy {
+    RandomTiedBest,
+    SubOptimal(f64),
+}
+
+#[derive(Clone, Copy, Debug)]
+enum LocalCost {
+    Depth,
+    Size,
+    WeightedOps,
+}
+
+impl LocalCost {
+    fn of(self, node: &BoolLang, child_cost: impl Fn(Id) -> f64) -> f64 {
+        match self {
+            LocalCost::Depth => {
+                1.0 + node
+                    .children()
+                    .iter()
+                    .map(|&c| child_cost(c))
+                    .fold(0.0, f64::max)
+            }
+            LocalCost::Size => {
+                1.0 + node.children().iter().map(|&c| child_cost(c)).sum::<f64>()
+            }
+            LocalCost::WeightedOps => {
+                let w = WeightedOpsCost::default();
+                let own = match node {
+                    BoolLang::And(_) => w.w_and,
+                    BoolLang::Or(_) => w.w_or,
+                    BoolLang::Not(_) => w.w_not,
+                    _ => 0.0,
+                };
+                own + node.children().iter().map(|&c| child_cost(c)).sum::<f64>()
+            }
+        }
+    }
+}
+
+/// Precomputed traversal structure shared by all samples: per-class e-node
+/// lists with deduplicated child classes, and a reverse (parent) index.
+struct SampleIndex {
+    class_ids: Vec<Id>,
+    class_pos: HashMap<Id, usize>,
+    /// enodes[class][k] = (enode, distinct child class positions)
+    enodes: Vec<Vec<(BoolLang, Vec<usize>)>>,
+    /// parents[class] = list of (parent class pos, parent enode pos)
+    parents: Vec<Vec<(usize, usize)>>,
+}
+
+impl SampleIndex {
+    fn build<N: Analysis<BoolLang>>(egraph: &EGraph<BoolLang, N>) -> Self {
+        let class_ids: Vec<Id> = egraph.classes().map(|c| c.id).collect();
+        let class_pos: HashMap<Id, usize> = class_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+        let mut enodes: Vec<Vec<(BoolLang, Vec<usize>)>> =
+            Vec::with_capacity(class_ids.len());
+        for &cid in &class_ids {
+            let class = egraph.class(cid);
+            let list = class
+                .nodes()
+                .iter()
+                .map(|n| {
+                    let mut kids: Vec<usize> = n
+                        .children()
+                        .iter()
+                        .map(|&c| class_pos[&egraph.find(c)])
+                        .collect();
+                    kids.sort_unstable();
+                    kids.dedup();
+                    (n.clone(), kids)
+                })
+                .collect();
+            enodes.push(list);
+        }
+        let mut parents: Vec<Vec<(usize, usize)>> = vec![Vec::new(); class_ids.len()];
+        for (ci, list) in enodes.iter().enumerate() {
+            for (ni, (_, kids)) in list.iter().enumerate() {
+                for &k in kids {
+                    parents[k].push((ci, ni));
+                }
+            }
+        }
+        SampleIndex {
+            class_ids,
+            class_pos,
+            enodes,
+            parents,
+        }
+    }
+
+    /// Draws one sample: resolves classes bottom-up in wave order, choosing
+    /// an e-node per class according to `strategy` under `cost_kind`.
+    fn sample<N: Analysis<BoolLang>>(
+        &self,
+        egraph: &EGraph<BoolLang, N>,
+        root: Id,
+        strategy: Strategy,
+        cost_kind: LocalCost,
+        rng: &mut StdRng,
+    ) -> Option<RecExpr<BoolLang>> {
+        let n = self.class_ids.len();
+        let mut remaining: Vec<Vec<u32>> = self
+            .enodes
+            .iter()
+            .map(|list| list.iter().map(|(_, kids)| kids.len() as u32).collect())
+            .collect();
+        let mut resolved_cost: Vec<Option<f64>> = vec![None; n];
+        let mut chosen: Vec<Option<usize>> = vec![None; n];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut enqueued = vec![false; n];
+
+        for ci in 0..n {
+            if self.enodes[ci].iter().any(|(_, kids)| kids.is_empty()) {
+                queue.push_back(ci);
+                enqueued[ci] = true;
+            }
+        }
+
+        while let Some(ci) = queue.pop_front() {
+            if chosen[ci].is_some() {
+                continue;
+            }
+            // ready e-nodes right now
+            let ready: Vec<usize> = (0..self.enodes[ci].len())
+                .filter(|&ni| remaining[ci][ni] == 0)
+                .collect();
+            if ready.is_empty() {
+                enqueued[ci] = false;
+                continue;
+            }
+            let costs: Vec<f64> = ready
+                .iter()
+                .map(|&ni| {
+                    let (node, _) = &self.enodes[ci][ni];
+                    cost_kind.of(node, |id| {
+                        resolved_cost[self.class_pos[&egraph.find(id)]]
+                            .expect("ready e-node has resolved children")
+                    })
+                })
+                .collect();
+            let pick = match strategy {
+                Strategy::RandomTiedBest => pick_tied_best(&ready, &costs, rng),
+                Strategy::SubOptimal(p) => {
+                    if ready.len() > 1 && rng.gen_bool(p) {
+                        ready[rng.gen_range(0..ready.len())]
+                    } else {
+                        pick_tied_best(&ready, &costs, rng)
+                    }
+                }
+            };
+            let pick_cost = costs[ready.iter().position(|&r| r == pick).expect("picked")];
+            chosen[ci] = Some(pick);
+            resolved_cost[ci] = Some(pick_cost);
+            // release parents
+            for &(pci, pni) in &self.parents[ci] {
+                let r = &mut remaining[pci][pni];
+                if *r > 0 {
+                    *r -= 1;
+                    if *r == 0 && chosen[pci].is_none() && !enqueued[pci] {
+                        queue.push_back(pci);
+                        enqueued[pci] = true;
+                    }
+                }
+            }
+        }
+
+        // Materialize the chosen term from the root.
+        let root_pos = self.class_pos[&egraph.find(root)];
+        chosen[root_pos]?;
+        let mut expr = RecExpr::new();
+        let mut built: HashMap<usize, Id> = HashMap::new();
+        self.materialize(root_pos, &chosen, &mut built, &mut expr);
+        Some(expr)
+    }
+
+    fn materialize(
+        &self,
+        ci: usize,
+        chosen: &[Option<usize>],
+        built: &mut HashMap<usize, Id>,
+        expr: &mut RecExpr<BoolLang>,
+    ) -> Id {
+        if let Some(&id) = built.get(&ci) {
+            return id;
+        }
+        let ni = chosen[ci].expect("resolved class");
+        let (node, _) = &self.enodes[ci][ni];
+        let remapped = node.map_children(|c| {
+            // children here are canonical ids; translate to class positions
+            let pos = self.class_pos[&c];
+            self.materialize(pos, chosen, built, expr)
+        });
+        let id = expr.add(remapped);
+        built.insert(ci, id);
+        id
+    }
+}
+
+fn pick_tied_best(ready: &[usize], costs: &[f64], rng: &mut StdRng) -> usize {
+    let best = costs.iter().copied().fold(f64::INFINITY, f64::min);
+    let tied: Vec<usize> = ready
+        .iter()
+        .zip(costs)
+        .filter(|(_, &c)| c <= best + 1e-12)
+        .map(|(&r, _)| r)
+        .collect();
+    tied[rng.gen_range(0..tied.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::ConstFold;
+    use crate::lang::{network_to_recexpr, recexpr_to_network};
+    use crate::rules::all_rules;
+    use esyn_cec::{check_equivalence, EquivResult};
+    use esyn_egraph::Runner;
+    use esyn_eqn::parse_eqn;
+
+    fn saturated_runner(src: &str) -> Runner<BoolLang, ConstFold> {
+        let net = parse_eqn(src).unwrap();
+        let expr = network_to_recexpr(&net);
+        Runner::with_analysis(ConstFold)
+            .with_expr(&expr)
+            .with_iter_limit(10)
+            .with_node_limit(20_000)
+            .run(&all_rules())
+    }
+
+    #[test]
+    fn pool_contains_extremes_and_samples() {
+        let runner =
+            saturated_runner("INORDER = a b c;\nOUTORDER = f;\nf = (a*b) + (a*c);\n");
+        let pool = extract_pool(
+            &runner.egraph,
+            runner.roots[0],
+            &PoolConfig::with_samples(40, 3),
+        );
+        assert!(pool.len() >= 3, "pool has only {} candidates", pool.len());
+        // all candidates distinct
+        let set: HashSet<_> = pool.iter().collect();
+        assert_eq!(set.len(), pool.len());
+    }
+
+    #[test]
+    fn every_candidate_is_equivalent_to_the_input() {
+        let src = "INORDER = a b c d;\nOUTORDER = f g;\nf = (a*b) + (!a*c);\ng = (a+d)*(b+c);\n";
+        let original = parse_eqn(src).unwrap();
+        let runner = saturated_runner(src);
+        let pool = extract_pool(
+            &runner.egraph,
+            runner.roots[0],
+            &PoolConfig::with_samples(30, 11),
+        );
+        let names: Vec<String> =
+            original.outputs().iter().map(|(n, _)| n.clone()).collect();
+        for (i, cand) in pool.iter().enumerate() {
+            let net = recexpr_to_network(cand, &names);
+            assert_eq!(
+                check_equivalence(&original, &net),
+                EquivResult::Equivalent,
+                "candidate {i} not equivalent: {cand}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_seed() {
+        let src = "INORDER = a b c;\nOUTORDER = f;\nf = (a + b) * (a + c);\n";
+        let runner = saturated_runner(src);
+        let p1 = extract_pool(&runner.egraph, runner.roots[0], &PoolConfig::with_samples(20, 5));
+        let p2 = extract_pool(&runner.egraph, runner.roots[0], &PoolConfig::with_samples(20, 5));
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn different_seeds_reach_different_pools() {
+        let src =
+            "INORDER = a b c d;\nOUTORDER = f;\nf = (a*b) + (c*d) + (a*c) + (b*d);\n";
+        let runner = saturated_runner(src);
+        let p1 = extract_pool(&runner.egraph, runner.roots[0], &PoolConfig::with_samples(25, 1));
+        let p2 = extract_pool(&runner.egraph, runner.roots[0], &PoolConfig::with_samples(25, 2));
+        // The deterministic extremes agree; the sampled tails should differ
+        // for a circuit with this many equivalent forms.
+        assert_ne!(p1, p2, "distinct seeds should explore different forms");
+    }
+
+    #[test]
+    fn bigger_pools_find_no_fewer_forms() {
+        let src = "INORDER = a b c;\nOUTORDER = f;\nf = (a*b) + (a*c);\n";
+        let runner = saturated_runner(src);
+        let small = extract_pool(&runner.egraph, runner.roots[0], &PoolConfig::with_samples(5, 9));
+        let large =
+            extract_pool(&runner.egraph, runner.roots[0], &PoolConfig::with_samples(80, 9));
+        assert!(large.len() >= small.len());
+    }
+
+    #[test]
+    fn dag_extreme_joins_pool_and_stays_equivalent() {
+        // Reconvergent sharing: (a+b) feeds both products.
+        let src = "INORDER = a b c d;\nOUTORDER = f;\nf = ((a+b)*c) + ((a+b)*d);\n";
+        let original = parse_eqn(src).unwrap();
+        let runner = saturated_runner(src);
+        let cfg = PoolConfig {
+            include_dag_extreme: true,
+            ..PoolConfig::with_samples(10, 7)
+        };
+        let pool = extract_pool(&runner.egraph, runner.roots[0], &cfg);
+        let names: Vec<String> =
+            original.outputs().iter().map(|(n, _)| n.clone()).collect();
+        for cand in &pool {
+            let net = recexpr_to_network(cand, &names);
+            assert_eq!(check_equivalence(&original, &net), EquivResult::Equivalent);
+        }
+        // With the option off, the pool is a (non-strict) subset situation:
+        // the dag extreme may add at most one extra candidate.
+        let base = extract_pool(
+            &runner.egraph,
+            runner.roots[0],
+            &PoolConfig::with_samples(10, 7),
+        );
+        assert!(pool.len() >= base.len());
+        assert!(pool.len() <= base.len() + 1);
+    }
+
+    #[test]
+    fn best_size_candidate_is_first_and_smallest() {
+        let src = "INORDER = a b c;\nOUTORDER = f;\nf = (a*b) + (a*c);\n";
+        let runner = saturated_runner(src);
+        let pool = extract_pool(
+            &runner.egraph,
+            runner.roots[0],
+            &PoolConfig::with_samples(30, 17),
+        );
+        let first_size = pool[0].len();
+        for cand in &pool {
+            assert!(cand.len() >= first_size, "{cand}");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Per-e-class analysis data, in the style of egg's `Analysis` trait.
+//!
+//! An analysis attaches a value from a join-semilattice to every e-class
+//! and keeps it consistent across merges. The canonical example in this
+//! workspace is constant folding for the Boolean language (in `esyn-core`),
+//! which lets saturation collapse e-classes that are provably constant.
+
+use crate::egraph::EGraph;
+use crate::language::{Id, Language};
+use std::fmt::Debug;
+
+/// Semilattice data attached to each e-class.
+///
+/// `make` computes the data for a freshly added e-node from its children's
+/// data; `merge` joins the data of two e-classes being unioned and reports
+/// which side(s) changed; `modify` may mutate the e-graph after data
+/// changes (e.g. inject a constant e-node).
+pub trait Analysis<L: Language>: Sized {
+    /// The per-e-class value.
+    type Data: Clone + Debug + PartialEq;
+
+    /// Data for a newly inserted e-node (children already carry data).
+    fn make(egraph: &EGraph<L, Self>, enode: &L) -> Self::Data;
+
+    /// Joins `a` (the surviving class's data, updated in place) with `b`.
+    /// Returns `(a_changed, b_would_change)` — i.e. whether the merged
+    /// value differs from the original `a` and from `b` respectively.
+    fn merge(&mut self, a: &mut Self::Data, b: Self::Data) -> (bool, bool);
+
+    /// Hook called after an e-class's data may have changed; may add
+    /// e-nodes / unions (used for constant folding).
+    fn modify(egraph: &mut EGraph<L, Self>, id: Id) {
+        let _ = (egraph, id);
+    }
+}
+
+/// The trivial analysis: attaches `()` to every class.
+impl<L: Language> Analysis<L> for () {
+    type Data = ();
+
+    fn make(_egraph: &EGraph<L, Self>, _enode: &L) -> Self::Data {}
+
+    fn merge(&mut self, _a: &mut Self::Data, _b: Self::Data) -> (bool, bool) {
+        (false, false)
+    }
+}

@@ -1,0 +1,446 @@
+//! The e-graph data structure: hash-consed e-nodes, e-classes, and
+//! deferred congruence-closure maintenance (`rebuild`), following the
+//! algorithm of the egg paper (POPL 2021).
+
+use crate::analysis::Analysis;
+use crate::language::{Id, Language, RecExpr};
+use crate::unionfind::UnionFind;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An equivalence class of e-nodes.
+///
+/// `nodes` holds the e-nodes belonging to this class. Between
+/// [`EGraph::rebuild`] calls the stored children may be stale (point at
+/// non-canonical ids); after a rebuild they are canonical, sorted and
+/// deduplicated.
+#[derive(Clone, Debug)]
+pub struct EClass<L, D> {
+    /// The canonical id of this class.
+    pub id: Id,
+    /// E-nodes in this class.
+    pub(crate) nodes: Vec<L>,
+    /// Analysis data for this class.
+    pub data: D,
+    /// Parent e-nodes (as originally added) and the class they live in.
+    pub(crate) parents: Vec<(L, Id)>,
+}
+
+impl<L: Language, D> EClass<L, D> {
+    /// The e-nodes in this class.
+    pub fn nodes(&self) -> &[L] {
+        &self.nodes
+    }
+
+    /// Number of e-nodes in this class.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the class holds no e-nodes (never the case for classes
+    /// observed through [`EGraph::classes`]).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates over the e-nodes in this class.
+    pub fn iter(&self) -> std::slice::Iter<'_, L> {
+        self.nodes.iter()
+    }
+}
+
+/// A hash-consed e-graph over language `L` with analysis `N`.
+///
+/// See the [crate docs](crate) for an overview and example.
+pub struct EGraph<L: Language, N: Analysis<L> = ()> {
+    /// The analysis instance (rule-accessible state lives here).
+    pub analysis: N,
+    unionfind: UnionFind,
+    memo: HashMap<L, Id>,
+    classes: Vec<Option<EClass<L, N::Data>>>,
+    /// Worklist of parent e-nodes whose children were unioned.
+    pending: Vec<(L, Id)>,
+    /// Worklist of e-nodes whose analysis data must be re-made.
+    analysis_pending: Vec<(L, Id)>,
+    clean: bool,
+}
+
+impl<L: Language, N: Analysis<L> + Default> Default for EGraph<L, N> {
+    fn default() -> Self {
+        Self::with_analysis(N::default())
+    }
+}
+
+impl<L: Language, N: Analysis<L> + Default> EGraph<L, N> {
+    /// Creates an empty e-graph with a default analysis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<L: Language, N: Analysis<L>> EGraph<L, N> {
+    /// Creates an empty e-graph with the given analysis instance.
+    pub fn with_analysis(analysis: N) -> Self {
+        EGraph {
+            analysis,
+            unionfind: UnionFind::new(),
+            memo: HashMap::new(),
+            classes: Vec::new(),
+            pending: Vec::new(),
+            analysis_pending: Vec::new(),
+            clean: true,
+        }
+    }
+
+    /// Number of e-classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Number of distinct (hash-consed) e-nodes. Between rebuilds this may
+    /// slightly overcount because stale memo entries linger, matching egg's
+    /// behaviour for limit checks.
+    pub fn total_nodes(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// True when no e-nodes have been added.
+    pub fn is_empty(&self) -> bool {
+        self.memo.is_empty()
+    }
+
+    /// The canonical id of `id`.
+    pub fn find(&self, id: Id) -> Id {
+        self.unionfind.find(id)
+    }
+
+    /// Iterates over all canonical e-classes in ascending id order
+    /// (deterministic).
+    pub fn classes(&self) -> impl Iterator<Item = &EClass<L, N::Data>> {
+        self.classes.iter().filter_map(Option::as_ref)
+    }
+
+    /// The e-class of (the canonical form of) `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never issued by this e-graph.
+    pub fn class(&self, id: Id) -> &EClass<L, N::Data> {
+        let id = self.find(id);
+        self.classes[usize::from(id)]
+            .as_ref()
+            .expect("canonical id must have a class")
+    }
+
+    /// Canonicalizes the children of `enode`.
+    fn canonicalize(&mut self, enode: &L) -> L {
+        enode.map_children(|c| self.unionfind.find_mut(c))
+    }
+
+    /// Looks up an e-node (children need not be canonical); returns its
+    /// class if present.
+    pub fn lookup(&self, enode: &L) -> Option<Id> {
+        let canon = enode.map_children(|c| self.unionfind.find(c));
+        self.memo.get(&canon).map(|&id| self.find(id))
+    }
+
+    /// Adds `enode` (hash-consed); returns the id of its e-class.
+    pub fn add(&mut self, enode: L) -> Id {
+        let canon = self.canonicalize(&enode);
+        if let Some(&existing) = self.memo.get(&canon) {
+            return self.unionfind.find_mut(existing);
+        }
+        let id = self.unionfind.make_set();
+        debug_assert_eq!(usize::from(id), self.classes.len());
+        let data = N::make(self, &canon);
+        for &child in canon.children() {
+            let child_class = self.classes[usize::from(child)]
+                .as_mut()
+                .expect("children must be canonical classes");
+            child_class.parents.push((canon.clone(), id));
+        }
+        self.classes.push(Some(EClass {
+            id,
+            nodes: vec![canon.clone()],
+            data,
+            parents: Vec::new(),
+        }));
+        self.memo.insert(canon, id);
+        N::modify(self, id);
+        id
+    }
+
+    /// Adds a whole [`RecExpr`], returning the e-class of its root.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty expression.
+    pub fn add_expr(&mut self, expr: &RecExpr<L>) -> Id {
+        let nodes = expr.as_ref();
+        assert!(!nodes.is_empty(), "cannot add an empty RecExpr");
+        let mut ids: Vec<Id> = Vec::with_capacity(nodes.len());
+        for node in nodes {
+            let remapped = node.map_children(|c| ids[usize::from(c)]);
+            ids.push(self.add(remapped));
+        }
+        *ids.last().unwrap()
+    }
+
+    /// Unions the classes of `a` and `b`; returns `(canonical_id, changed)`.
+    pub fn union(&mut self, a: Id, b: Id) -> (Id, bool) {
+        let a = self.unionfind.find_mut(a);
+        let b = self.unionfind.find_mut(b);
+        if a == b {
+            return (a, false);
+        }
+        self.clean = false;
+        let keep = self.unionfind.union(a, b);
+        let merge = if keep == a { b } else { a };
+
+        let merged = self.classes[usize::from(merge)]
+            .take()
+            .expect("merged class must exist");
+        // Parents of the absorbed class must be re-canonicalized.
+        self.pending.extend(merged.parents.iter().cloned());
+
+        let kept = self.classes[usize::from(keep)]
+            .as_mut()
+            .expect("kept class must exist");
+        let (a_changed, b_changed) = self.analysis.merge(&mut kept.data, merged.data);
+        if a_changed {
+            // Data of the kept class changed: its existing parents must
+            // re-make their data.
+            self.analysis_pending.extend(kept.parents.iter().cloned());
+        }
+        if b_changed {
+            self.analysis_pending.extend(merged.parents.iter().cloned());
+        }
+        kept.nodes.extend(merged.nodes);
+        kept.parents.extend(merged.parents);
+        N::modify(self, keep);
+        (keep, true)
+    }
+
+    /// Restores the congruence invariant and refreshes analysis data.
+    ///
+    /// Must be called after a batch of [`EGraph::union`]s before searching
+    /// patterns again; [`crate::Runner`] does this automatically each
+    /// iteration. Returns the number of unions performed during repair.
+    pub fn rebuild(&mut self) -> usize {
+        let mut repairs = 0;
+        while !self.pending.is_empty() || !self.analysis_pending.is_empty() {
+            while let Some((node, class)) = self.pending.pop() {
+                let canon = self.canonicalize(&node);
+                let class = self.unionfind.find_mut(class);
+                if let Some(old) = self.memo.insert(canon, class) {
+                    let (_, changed) = self.union(old, class);
+                    if changed {
+                        repairs += 1;
+                    }
+                }
+            }
+            while let Some((node, class)) = self.analysis_pending.pop() {
+                let canon = self.canonicalize(&node);
+                // The node may have been merged away; its class is still
+                // valid through find.
+                let class_id = self.unionfind.find_mut(class);
+                let node_data = N::make(self, &canon);
+                let eclass = self.classes[usize::from(class_id)]
+                    .as_mut()
+                    .expect("class must exist");
+                let (changed, _) = self.analysis.merge(&mut eclass.data, node_data);
+                if changed {
+                    self.analysis_pending.extend(eclass.parents.iter().cloned());
+                    N::modify(self, class_id);
+                }
+            }
+        }
+        self.rebuild_classes();
+        self.clean = true;
+        repairs
+    }
+
+    fn rebuild_classes(&mut self) {
+        // Canonicalize, sort and dedup every class's node list.
+        for slot in &mut self.classes {
+            let Some(class) = slot else { continue };
+            for node in &mut class.nodes {
+                for c in node.children_mut() {
+                    *c = self.unionfind.find(*c);
+                }
+            }
+            class.nodes.sort();
+            class.nodes.dedup();
+        }
+    }
+
+    /// True when the e-graph is congruent (no pending repairs).
+    pub fn is_clean(&self) -> bool {
+        self.clean
+    }
+
+    /// Extracts any concrete expression represented by class `id`
+    /// (an arbitrary but deterministic choice; mainly for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the e-graph is not clean, or on a malformed e-graph where
+    /// some class has no extractable node.
+    pub fn id_to_expr(&self, id: Id) -> RecExpr<L> {
+        let (_, expr) = crate::extract::Extractor::new(self, crate::extract::AstSize)
+            .find_best(id)
+            .expect("class must be extractable");
+        expr
+    }
+
+    /// Checks that two expressions are represented in the same e-class.
+    pub fn equivs(&self, a: &RecExpr<L>, b: &RecExpr<L>) -> bool {
+        let (Some(ia), Some(ib)) = (self.lookup_expr(a), self.lookup_expr(b)) else {
+            return false;
+        };
+        ia == ib
+    }
+
+    /// Looks up a whole expression without adding anything; `None` if any
+    /// node along the way is absent.
+    pub fn lookup_expr(&self, expr: &RecExpr<L>) -> Option<Id> {
+        let nodes = expr.as_ref();
+        let mut ids: Vec<Id> = Vec::with_capacity(nodes.len());
+        for node in nodes {
+            let remapped = node.map_children(|c| ids[usize::from(c)]);
+            ids.push(self.lookup(&remapped)?);
+        }
+        ids.last().copied()
+    }
+}
+
+impl<L: Language, N: Analysis<L>> fmt::Debug for EGraph<L, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EGraph {{ classes: {}, nodes: {} }}",
+            self.num_classes(),
+            self.total_nodes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::language::SymbolLang;
+
+    fn leaf(g: &mut EGraph<SymbolLang>, name: &str) -> Id {
+        g.add(SymbolLang::leaf(name))
+    }
+
+    #[test]
+    fn add_hash_conses() {
+        let mut g = EGraph::<SymbolLang>::new();
+        let x1 = leaf(&mut g, "x");
+        let x2 = leaf(&mut g, "x");
+        assert_eq!(x1, x2);
+        assert_eq!(g.total_nodes(), 1);
+        assert_eq!(g.num_classes(), 1);
+    }
+
+    #[test]
+    fn union_merges_classes() {
+        let mut g = EGraph::<SymbolLang>::new();
+        let x = leaf(&mut g, "x");
+        let y = leaf(&mut g, "y");
+        assert_ne!(g.find(x), g.find(y));
+        let (root, changed) = g.union(x, y);
+        assert!(changed);
+        g.rebuild();
+        assert_eq!(g.find(x), g.find(y));
+        assert_eq!(g.find(x), root);
+        assert_eq!(g.num_classes(), 1);
+        assert_eq!(g.class(x).len(), 2);
+    }
+
+    #[test]
+    fn congruence_closure_via_rebuild() {
+        // f(x), f(y): union x=y must make f(x) = f(y) after rebuild.
+        let mut g = EGraph::<SymbolLang>::new();
+        let x = leaf(&mut g, "x");
+        let y = leaf(&mut g, "y");
+        let fx = g.add(SymbolLang::new("f", vec![x]));
+        let fy = g.add(SymbolLang::new("f", vec![y]));
+        assert_ne!(g.find(fx), g.find(fy));
+        g.union(x, y);
+        g.rebuild();
+        assert_eq!(g.find(fx), g.find(fy), "congruence must propagate");
+    }
+
+    #[test]
+    fn congruence_cascades_upward() {
+        // g(f(x)), g(f(y)): one union at the leaves collapses two levels.
+        let mut g = EGraph::<SymbolLang>::new();
+        let x = leaf(&mut g, "x");
+        let y = leaf(&mut g, "y");
+        let fx = g.add(SymbolLang::new("f", vec![x]));
+        let fy = g.add(SymbolLang::new("f", vec![y]));
+        let gfx = g.add(SymbolLang::new("g", vec![fx]));
+        let gfy = g.add(SymbolLang::new("g", vec![fy]));
+        g.union(x, y);
+        g.rebuild();
+        assert_eq!(g.find(gfx), g.find(gfy));
+        assert!(g.is_clean());
+    }
+
+    #[test]
+    fn add_expr_and_lookup_expr() {
+        let mut g = EGraph::<SymbolLang>::new();
+        let e: RecExpr<SymbolLang> = "(+ (* x y) z)".parse().unwrap();
+        let id = g.add_expr(&e);
+        assert_eq!(g.lookup_expr(&e), Some(id));
+        let missing: RecExpr<SymbolLang> = "(- a b)".parse().unwrap();
+        assert_eq!(g.lookup_expr(&missing), None);
+    }
+
+    #[test]
+    fn equivs_after_union() {
+        let mut g = EGraph::<SymbolLang>::new();
+        let a: RecExpr<SymbolLang> = "(+ x y)".parse().unwrap();
+        let b: RecExpr<SymbolLang> = "(+ y x)".parse().unwrap();
+        let ia = g.add_expr(&a);
+        let ib = g.add_expr(&b);
+        assert!(!g.equivs(&a, &b));
+        g.union(ia, ib);
+        g.rebuild();
+        assert!(g.equivs(&a, &b));
+    }
+
+    #[test]
+    fn self_union_is_noop() {
+        let mut g = EGraph::<SymbolLang>::new();
+        let x = leaf(&mut g, "x");
+        let (_, changed) = g.union(x, x);
+        assert!(!changed);
+        assert!(g.is_clean());
+    }
+
+    #[test]
+    fn rebuild_dedups_class_nodes() {
+        // f(x) and f(y) become identical nodes after x=y; the merged class
+        // must contain one copy.
+        let mut g = EGraph::<SymbolLang>::new();
+        let x = leaf(&mut g, "x");
+        let y = leaf(&mut g, "y");
+        let fx = g.add(SymbolLang::new("f", vec![x]));
+        let _fy = g.add(SymbolLang::new("f", vec![y]));
+        g.union(x, y);
+        g.rebuild();
+        assert_eq!(g.class(fx).len(), 1);
+    }
+
+    #[test]
+    fn id_to_expr_roundtrip() {
+        let mut g = EGraph::<SymbolLang>::new();
+        let e: RecExpr<SymbolLang> = "(f (g a) b)".parse().unwrap();
+        let id = g.add_expr(&e);
+        g.rebuild();
+        assert_eq!(g.id_to_expr(id).to_string(), "(f (g a) b)");
+    }
+}

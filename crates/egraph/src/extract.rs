@@ -1,0 +1,264 @@
+//! Bottom-up optimal extraction with monotone cost functions.
+//!
+//! This is the "vanilla extractor" of the paper's Figure 5: it chooses,
+//! per e-class, the e-node minimizing a local cost (AST size or depth) and
+//! is provably optimal only for monotone, local cost functions. The
+//! pool-based extraction that supports *arbitrary* cost models (the paper's
+//! contribution) is built on top of the internals exposed here, in
+//! `esyn-core`.
+
+use crate::analysis::Analysis;
+use crate::egraph::EGraph;
+use crate::language::{Id, Language, RecExpr};
+use std::collections::HashMap;
+use std::fmt::Debug;
+
+/// A local cost function over e-nodes.
+///
+/// `cost` receives the e-node and a callback providing the (already
+/// minimal) cost of each child e-class. Extraction is optimal when the
+/// function is monotone: the cost must not decrease when a child's cost
+/// increases.
+pub trait CostFunction<L: Language> {
+    /// Total cost type; `f64` or `usize` in practice.
+    type Cost: PartialOrd + Clone + Debug;
+
+    /// Cost of `enode` given its children's costs.
+    fn cost<C>(&mut self, enode: &L, costs: C) -> Self::Cost
+    where
+        C: FnMut(Id) -> Self::Cost;
+}
+
+/// Counts AST nodes (every e-node costs 1 plus its children).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AstSize;
+
+impl<L: Language> CostFunction<L> for AstSize {
+    type Cost = usize;
+
+    fn cost<C>(&mut self, enode: &L, mut costs: C) -> usize
+    where
+        C: FnMut(Id) -> usize,
+    {
+        let mut total = 1usize;
+        for &c in enode.children() {
+            total = total.saturating_add(costs(c));
+        }
+        total
+    }
+}
+
+/// Measures AST depth (leaves cost 1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AstDepth;
+
+impl<L: Language> CostFunction<L> for AstDepth {
+    type Cost = usize;
+
+    fn cost<C>(&mut self, enode: &L, mut costs: C) -> usize
+    where
+        C: FnMut(Id) -> usize,
+    {
+        1 + enode
+            .children()
+            .iter()
+            .map(|&c| costs(c))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Computes, for every e-class, the cheapest representable term under a
+/// [`CostFunction`], then materializes best terms on demand.
+pub struct Extractor<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> {
+    egraph: &'a EGraph<L, N>,
+    cost_fn: CF,
+    costs: HashMap<Id, (CF::Cost, L)>,
+}
+
+impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> Extractor<'a, L, N, CF> {
+    /// Builds the extractor and runs the cost fixpoint over the e-graph.
+    pub fn new(egraph: &'a EGraph<L, N>, cost_fn: CF) -> Self {
+        let mut ext = Extractor {
+            egraph,
+            cost_fn,
+            costs: HashMap::new(),
+        };
+        ext.run_fixpoint();
+        ext
+    }
+
+    fn run_fixpoint(&mut self) {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for class in self.egraph.classes() {
+                for node in class.nodes() {
+                    let Some(new_cost) = self.node_cost(node) else {
+                        continue;
+                    };
+                    match self.costs.get(&class.id) {
+                        Some((old, _)) if !cost_lt(&new_cost, old) => {}
+                        _ => {
+                            self.costs.insert(class.id, (new_cost, node.clone()));
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn node_cost(&mut self, node: &L) -> Option<CF::Cost> {
+        // All children must already have a cost.
+        for &c in node.children() {
+            let c = self.egraph.find(c);
+            if !self.costs.contains_key(&c) {
+                return None;
+            }
+        }
+        let egraph = self.egraph;
+        let costs = &self.costs;
+        Some(self.cost_fn.cost(node, |id| {
+            costs[&egraph.find(id)].0.clone()
+        }))
+    }
+
+    /// The cheapest cost of e-class `id`, if one has been found.
+    pub fn cost_of(&self, id: Id) -> Option<CF::Cost> {
+        self.costs
+            .get(&self.egraph.find(id))
+            .map(|(c, _)| c.clone())
+    }
+
+    /// The chosen best e-node of e-class `id`.
+    pub fn best_node(&self, id: Id) -> Option<&L> {
+        self.costs.get(&self.egraph.find(id)).map(|(_, n)| n)
+    }
+
+    /// Extracts the cheapest term rooted at `root`, sharing repeated
+    /// sub-terms in the returned [`RecExpr`].
+    ///
+    /// Returns `None` when `root`'s class has no extractable term (only
+    /// possible on a malformed / mid-rebuild e-graph).
+    pub fn find_best(&self, root: Id) -> Option<(CF::Cost, RecExpr<L>)> {
+        let root = self.egraph.find(root);
+        let root_cost = self.cost_of(root)?;
+        let mut expr = RecExpr::new();
+        let mut built: HashMap<Id, Id> = HashMap::new(); // class -> expr id
+
+        // Iterative post-order over chosen nodes.
+        enum Frame {
+            Visit(Id),
+            Emit(Id),
+        }
+        let mut stack = vec![Frame::Visit(root)];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Visit(class) => {
+                    let class = self.egraph.find(class);
+                    if built.contains_key(&class) {
+                        continue;
+                    }
+                    let node = self.best_node(class)?;
+                    stack.push(Frame::Emit(class));
+                    for &c in node.children() {
+                        stack.push(Frame::Visit(c));
+                    }
+                }
+                Frame::Emit(class) => {
+                    if built.contains_key(&class) {
+                        continue;
+                    }
+                    let node = self.best_node(class)?.clone();
+                    let remapped = node.map_children(|c| built[&self.egraph.find(c)]);
+                    let id = expr.add(remapped);
+                    built.insert(class, id);
+                }
+            }
+        }
+        Some((root_cost, expr))
+    }
+}
+
+fn cost_lt<C: PartialOrd + Debug>(a: &C, b: &C) -> bool {
+    a.partial_cmp(b)
+        .unwrap_or_else(|| panic!("incomparable costs: {a:?} vs {b:?}"))
+        .is_lt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::language::SymbolLang;
+
+    #[test]
+    fn ast_size_picks_smaller_form() {
+        let mut g = EGraph::<SymbolLang>::new();
+        let big: RecExpr<SymbolLang> = "(+ (* x one) zero)".parse().unwrap();
+        let small: RecExpr<SymbolLang> = "x".parse().unwrap();
+        let a = g.add_expr(&big);
+        let b = g.add_expr(&small);
+        g.union(a, b);
+        g.rebuild();
+        let ext = Extractor::new(&g, AstSize);
+        let (cost, best) = ext.find_best(a).unwrap();
+        assert_eq!(cost, 1);
+        assert_eq!(best.to_string(), "x");
+    }
+
+    #[test]
+    fn ast_depth_prefers_balanced() {
+        let mut g = EGraph::<SymbolLang>::new();
+        let chain: RecExpr<SymbolLang> = "(+ (+ (+ a b) c) d)".parse().unwrap();
+        let tree: RecExpr<SymbolLang> = "(+ (+ a b) (+ c d))".parse().unwrap();
+        let a = g.add_expr(&chain);
+        let b = g.add_expr(&tree);
+        g.union(a, b);
+        g.rebuild();
+        let ext = Extractor::new(&g, AstDepth);
+        let (depth, best) = ext.find_best(a).unwrap();
+        assert_eq!(depth, 3);
+        assert_eq!(best.to_string(), "(+ (+ a b) (+ c d))");
+    }
+
+    #[test]
+    fn extraction_shares_subterms() {
+        let mut g = EGraph::<SymbolLang>::new();
+        // (* (+ x y) (+ x y)) — the two children are one e-class.
+        let e: RecExpr<SymbolLang> = "(* (+ x y) (+ x y))".parse().unwrap();
+        let id = g.add_expr(&e);
+        g.rebuild();
+        let ext = Extractor::new(&g, AstSize);
+        let (cost, best) = ext.find_best(id).unwrap();
+        // AstSize counts per reference: (+ x y)=3, twice + 1 = 7.
+        assert_eq!(cost, 7);
+        // ...but the RecExpr shares: x, y, +, * = 4 distinct nodes.
+        assert_eq!(best.len(), 4);
+    }
+
+    #[test]
+    fn cyclic_class_still_extractable() {
+        // x = f(x) creates a cycle; extraction must find the leaf way out.
+        let mut g = EGraph::<SymbolLang>::new();
+        let x = g.add(SymbolLang::leaf("x"));
+        let fx = g.add(SymbolLang::new("f", vec![x]));
+        g.union(x, fx);
+        g.rebuild();
+        let ext = Extractor::new(&g, AstSize);
+        let (cost, best) = ext.find_best(fx).unwrap();
+        assert_eq!(cost, 1);
+        assert_eq!(best.to_string(), "x");
+    }
+
+    #[test]
+    fn cost_of_and_best_node_agree() {
+        let mut g = EGraph::<SymbolLang>::new();
+        let e: RecExpr<SymbolLang> = "(+ a b)".parse().unwrap();
+        let id = g.add_expr(&e);
+        g.rebuild();
+        let ext = Extractor::new(&g, AstSize);
+        assert_eq!(ext.cost_of(id), Some(3));
+        assert_eq!(ext.best_node(id).unwrap().op_str(), "+");
+    }
+}

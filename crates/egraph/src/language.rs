@@ -1,0 +1,422 @@
+//! The [`Language`] trait, e-class ids and the flat AST type [`RecExpr`].
+
+use std::fmt;
+use std::hash::Hash;
+use std::str::FromStr;
+
+/// An e-class id. Dense, issued by the e-graph's union-find.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Id(u32);
+
+impl From<usize> for Id {
+    fn from(v: usize) -> Self {
+        Id(u32::try_from(v).expect("id exceeds u32::MAX"))
+    }
+}
+
+impl From<Id> for usize {
+    fn from(id: Id) -> usize {
+        id.0 as usize
+    }
+}
+
+impl fmt::Debug for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An e-node operator type.
+///
+/// Implementors are small enum-like values whose children are [`Id`]s.
+/// Equality and hashing must cover the operator *and* the children —
+/// hash-consing relies on it. [`Language::matches`] compares operators
+/// while *ignoring* children (used by e-matching).
+pub trait Language: fmt::Debug + Clone + Eq + Ord + Hash {
+    /// True when `self` and `other` have the same operator and arity,
+    /// regardless of child ids.
+    fn matches(&self, other: &Self) -> bool;
+
+    /// The children of this e-node.
+    fn children(&self) -> &[Id];
+
+    /// Mutable access to the children of this e-node.
+    fn children_mut(&mut self) -> &mut [Id];
+
+    /// The operator name used for printing and pattern parsing.
+    fn op_str(&self) -> &str;
+
+    /// Builds an e-node from an operator token and child ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `op` is unknown for this language or the
+    /// arity does not fit.
+    fn from_op(op: &str, children: Vec<Id>) -> Result<Self, String>;
+
+    /// True for e-nodes without children.
+    fn is_leaf(&self) -> bool {
+        self.children().is_empty()
+    }
+
+    /// Calls `f` on each child.
+    fn for_each(&self, f: impl FnMut(Id)) {
+        self.children().iter().copied().for_each(f);
+    }
+
+    /// Returns a copy with every child mapped through `f`.
+    fn map_children(&self, mut f: impl FnMut(Id) -> Id) -> Self {
+        let mut out = self.clone();
+        for c in out.children_mut() {
+            *c = f(*c);
+        }
+        out
+    }
+}
+
+/// A flattened expression: nodes stored in a `Vec` where children always
+/// precede parents and the *last* node is the root. Sharing is allowed
+/// (two parents may point at the same index), so a `RecExpr` can represent
+/// a DAG, not just a tree.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct RecExpr<L> {
+    nodes: Vec<L>,
+}
+
+impl<L> Default for RecExpr<L> {
+    fn default() -> Self {
+        RecExpr { nodes: Vec::new() }
+    }
+}
+
+impl<L: Language> RecExpr<L> {
+    /// Creates an empty expression.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a node whose children must already be present, returning its
+    /// index as an [`Id`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a child id is out of range (i.e. refers to a node that has
+    /// not been added yet).
+    pub fn add(&mut self, node: L) -> Id {
+        for &c in node.children() {
+            assert!(
+                usize::from(c) < self.nodes.len(),
+                "child {c} out of range when adding node"
+            );
+        }
+        self.nodes.push(node);
+        Id::from(self.nodes.len() - 1)
+    }
+
+    /// The nodes in child-first order.
+    pub fn as_ref(&self) -> &[L] {
+        &self.nodes
+    }
+
+    /// Number of nodes (counting shared nodes once).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes have been added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The root node (the last one added).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty expression.
+    pub fn root(&self) -> Id {
+        assert!(!self.nodes.is_empty(), "empty RecExpr has no root");
+        Id::from(self.nodes.len() - 1)
+    }
+
+    /// The node stored at `id`.
+    pub fn node(&self, id: Id) -> &L {
+        &self.nodes[usize::from(id)]
+    }
+
+    /// Tree depth of the expression (leaves at depth 1), computed over the
+    /// DAG in one pass.
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let child_max = node
+                .children()
+                .iter()
+                .map(|&c| depth[usize::from(c)])
+                .max()
+                .unwrap_or(0);
+            depth[i] = 1 + child_max;
+        }
+        depth.last().copied().unwrap_or(0)
+    }
+
+    /// Number of *tree* nodes if sharing were expanded; saturates at
+    /// `u64::MAX`. Useful to gauge how much sharing a DAG contains.
+    pub fn tree_size(&self) -> u64 {
+        let mut size = vec![0u64; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let mut s: u64 = 1;
+            for &c in node.children() {
+                s = s.saturating_add(size[usize::from(c)]);
+            }
+            size[i] = s;
+        }
+        size.last().copied().unwrap_or(0)
+    }
+}
+
+impl<L: Language> fmt::Display for RecExpr<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.nodes.is_empty() {
+            return write!(f, "()");
+        }
+        fn go<L: Language>(
+            nodes: &[L],
+            id: Id,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            let node = &nodes[usize::from(id)];
+            if node.is_leaf() {
+                write!(f, "{}", node.op_str())
+            } else {
+                write!(f, "({}", node.op_str())?;
+                for &c in node.children() {
+                    write!(f, " ")?;
+                    go(nodes, c, f)?;
+                }
+                write!(f, ")")
+            }
+        }
+        go(&self.nodes, self.root(), f)
+    }
+}
+
+impl<L: Language> fmt::Debug for RecExpr<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RecExpr[{self}]")
+    }
+}
+
+/// Error type returned when parsing a [`RecExpr`] from S-expression text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecExprParseError(pub String);
+
+impl fmt::Display for RecExprParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rec-expr parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RecExprParseError {}
+
+impl<L: Language> FromStr for RecExpr<L> {
+    type Err = RecExprParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut expr = RecExpr::new();
+        let mut toks = sexpr_tokens(s);
+        let root = parse_into(&mut toks, &mut expr)?;
+        if let Some(t) = toks.first() {
+            return Err(RecExprParseError(format!("trailing input `{t}`")));
+        }
+        let _ = root;
+        Ok(expr)
+    }
+}
+
+pub(crate) fn sexpr_tokens(s: &str) -> Vec<String> {
+    let mut toks = Vec::new();
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '(' | ')' => {
+                if !cur.is_empty() {
+                    toks.push(std::mem::take(&mut cur));
+                }
+                toks.push(c.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    toks.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        toks.push(cur);
+    }
+    toks
+}
+
+fn parse_into<L: Language>(
+    toks: &mut Vec<String>,
+    expr: &mut RecExpr<L>,
+) -> Result<Id, RecExprParseError> {
+    if toks.is_empty() {
+        return Err(RecExprParseError("unexpected end of input".into()));
+    }
+    let t = toks.remove(0);
+    match t.as_str() {
+        "(" => {
+            if toks.is_empty() {
+                return Err(RecExprParseError("missing operator after `(`".into()));
+            }
+            let op = toks.remove(0);
+            let mut children = Vec::new();
+            loop {
+                match toks.first().map(String::as_str) {
+                    Some(")") => {
+                        toks.remove(0);
+                        break;
+                    }
+                    Some(_) => children.push(parse_into(toks, expr)?),
+                    None => return Err(RecExprParseError("unbalanced `(`".into())),
+                }
+            }
+            let node = L::from_op(&op, children).map_err(RecExprParseError)?;
+            Ok(expr.add(node))
+        }
+        ")" => Err(RecExprParseError("unexpected `)`".into())),
+        atom => {
+            let node = L::from_op(atom, Vec::new()).map_err(RecExprParseError)?;
+            Ok(expr.add(node))
+        }
+    }
+}
+
+/// A simple string-operator language, mirroring egg's `SymbolLang`.
+///
+/// Useful for tests and generic tooling; the Boolean language used by
+/// E-Syn proper lives in `esyn-core`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymbolLang {
+    /// Operator name.
+    pub op: String,
+    /// Child e-class ids.
+    pub children: Vec<Id>,
+}
+
+impl SymbolLang {
+    /// A leaf node with the given operator name.
+    pub fn leaf(op: impl Into<String>) -> Self {
+        SymbolLang {
+            op: op.into(),
+            children: Vec::new(),
+        }
+    }
+
+    /// An interior node.
+    pub fn new(op: impl Into<String>, children: Vec<Id>) -> Self {
+        SymbolLang {
+            op: op.into(),
+            children,
+        }
+    }
+}
+
+impl Language for SymbolLang {
+    fn matches(&self, other: &Self) -> bool {
+        self.op == other.op && self.children.len() == other.children.len()
+    }
+
+    fn children(&self) -> &[Id] {
+        &self.children
+    }
+
+    fn children_mut(&mut self) -> &mut [Id] {
+        &mut self.children
+    }
+
+    fn op_str(&self) -> &str {
+        &self.op
+    }
+
+    fn from_op(op: &str, children: Vec<Id>) -> Result<Self, String> {
+        Ok(SymbolLang {
+            op: op.to_owned(),
+            children,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recexpr_add_and_display() {
+        let mut e = RecExpr::<SymbolLang>::new();
+        let x = e.add(SymbolLang::leaf("x"));
+        let y = e.add(SymbolLang::leaf("y"));
+        let _plus = e.add(SymbolLang::new("+", vec![x, y]));
+        assert_eq!(e.to_string(), "(+ x y)");
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.depth(), 2);
+    }
+
+    #[test]
+    fn recexpr_parse_roundtrip() {
+        let src = "(+ (* x y) (* x z))";
+        let e: RecExpr<SymbolLang> = src.parse().unwrap();
+        assert_eq!(e.to_string(), src);
+        assert_eq!(e.len(), 7);
+        assert_eq!(e.depth(), 3);
+    }
+
+    #[test]
+    fn recexpr_sharing_tree_size() {
+        let mut e = RecExpr::<SymbolLang>::new();
+        let x = e.add(SymbolLang::leaf("x"));
+        let mut cur = x;
+        // chain of 10 doublings: tree size 2^10 + ... but dag size 11
+        for _ in 0..10 {
+            cur = e.add(SymbolLang::new("+", vec![cur, cur]));
+        }
+        assert_eq!(e.len(), 11);
+        assert_eq!(e.tree_size(), 2047);
+    }
+
+    #[test]
+    fn recexpr_parse_errors() {
+        assert!("(+ x".parse::<RecExpr<SymbolLang>>().is_err());
+        assert!(")".parse::<RecExpr<SymbolLang>>().is_err());
+        assert!("".parse::<RecExpr<SymbolLang>>().is_err());
+        assert!("x y".parse::<RecExpr<SymbolLang>>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "child")]
+    fn recexpr_rejects_forward_children() {
+        let mut e = RecExpr::<SymbolLang>::new();
+        e.add(SymbolLang::new("+", vec![Id::from(5), Id::from(6)]));
+    }
+
+    #[test]
+    fn language_helpers() {
+        let n = SymbolLang::new("f", vec![Id::from(0), Id::from(1)]);
+        assert!(!n.is_leaf());
+        let mut seen = Vec::new();
+        n.for_each(|c| seen.push(c));
+        assert_eq!(seen, vec![Id::from(0), Id::from(1)]);
+        let mapped = n.map_children(|c| Id::from(usize::from(c) + 10));
+        assert_eq!(mapped.children(), &[Id::from(10), Id::from(11)]);
+        assert!(n.matches(&mapped));
+        assert!(!n.matches(&SymbolLang::leaf("f")));
+    }
+}

@@ -1,0 +1,65 @@
+//! An e-graph (equality-graph) engine with equality saturation.
+//!
+//! This crate is the workspace's substitute for the `egg` library [Willsey
+//! et al., POPL 2021] that the E-Syn paper builds on. It provides the same
+//! conceptual pieces with a compatible design:
+//!
+//! * [`Language`] — a trait for e-node operator types, plus the flat
+//!   AST representation [`RecExpr`];
+//! * [`EGraph`] — hash-consed e-nodes grouped into e-classes by a
+//!   union-find, with deferred congruence-closure maintenance
+//!   ([`EGraph::rebuild`]) as in the egg paper;
+//! * [`Analysis`] — optional per-e-class semilattice data (e.g. constant
+//!   folding);
+//! * [`Pattern`] / [`Rewrite`] — syntactic rewrite rules with backtracking
+//!   e-matching;
+//! * [`Runner`] — an equality-saturation driver with node/iteration/time
+//!   limits and a match-throttling [`BackoffScheduler`];
+//! * [`Extractor`] — bottom-up optimal extraction for monotone
+//!   [`CostFunction`]s (the "vanilla extractor" the paper compares
+//!   against). The paper's *pool extraction* lives in `esyn-core` and uses
+//!   the e-class internals exposed here ([`EGraph::classes`],
+//!   [`EClass::nodes`]);
+//! * [`DagExtractor`] / [`extract_exact`] — DAG-cost extraction that
+//!   charges shared e-classes once: a greedy heuristic and an exact
+//!   branch-and-bound equivalent to the ILP extraction the paper cites as
+//!   prior work ("extractor (2)").
+//!
+//! # Example
+//!
+//! ```
+//! use esyn_egraph::{EGraph, Pattern, RecExpr, Rewrite, Runner, SymbolLang};
+//!
+//! let rules = vec![
+//!     Rewrite::<SymbolLang>::parse("comm-add", "(+ ?a ?b)", "(+ ?b ?a)").unwrap(),
+//!     Rewrite::parse("add-zero", "(+ ?a zero)", "?a").unwrap(),
+//! ];
+//! let expr: RecExpr<SymbolLang> = "(+ (+ x zero) y)".parse().unwrap();
+//! let runner = Runner::new().with_expr(&expr).run(&rules);
+//! let (best_cost, best) = runner.extract_best(esyn_egraph::AstSize);
+//! assert_eq!(best.to_string(), "(+ x y)");
+//! assert_eq!(best_cost, 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod analysis;
+mod dag_extract;
+mod egraph;
+mod extract;
+mod language;
+mod pattern;
+mod rewrite;
+mod runner;
+mod unionfind;
+
+pub use analysis::Analysis;
+pub use dag_extract::{extract_exact, DagCostFunction, DagExtractor, DagSize, ExactExtractError};
+pub use egraph::{EClass, EGraph};
+pub use extract::{AstDepth, AstSize, CostFunction, Extractor};
+pub use language::{Id, Language, RecExpr, RecExprParseError, SymbolLang};
+pub use pattern::{Pattern, PatternNode, PatternParseError, SearchMatches, Subst, Var};
+pub use rewrite::Rewrite;
+pub use runner::{BackoffScheduler, IterationStats, Runner, RunnerLimits, StopReason};
+pub use unionfind::UnionFind;

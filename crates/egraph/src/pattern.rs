@@ -1,0 +1,419 @@
+//! Syntactic patterns and backtracking e-matching.
+
+use crate::analysis::Analysis;
+use crate::egraph::EGraph;
+use crate::language::{sexpr_tokens, Id, Language};
+use std::fmt;
+
+/// A pattern variable, written `?name` in pattern text.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub String);
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// One node of a pattern AST: either a variable or a language e-node whose
+/// "children" ids index back into the pattern's own node list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PatternNode<L> {
+    /// A pattern variable that matches any e-class.
+    Var(Var),
+    /// A concrete operator that must match an e-node.
+    ENode(L),
+}
+
+/// A parsed pattern (child-first node list; the last node is the root).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pattern<L> {
+    nodes: Vec<PatternNode<L>>,
+}
+
+/// A variable binding produced by matching.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Subst {
+    entries: Vec<(Var, Id)>,
+}
+
+impl Subst {
+    /// The binding for `var`, if present.
+    pub fn get(&self, var: &Var) -> Option<Id> {
+        self.entries
+            .iter()
+            .find(|(v, _)| v == var)
+            .map(|&(_, id)| id)
+    }
+
+    /// Adds a binding (caller must ensure the var is unbound).
+    fn insert(&mut self, var: Var, id: Id) {
+        debug_assert!(self.get(&var).is_none());
+        self.entries.push((var, id));
+    }
+
+    /// Iterates over the bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, Id)> {
+        self.entries.iter().map(|(v, id)| (v, *id))
+    }
+
+    fn normalized(mut self) -> Self {
+        self.entries.sort();
+        self
+    }
+}
+
+/// All matches of a pattern inside one e-class.
+#[derive(Clone, Debug)]
+pub struct SearchMatches {
+    /// The e-class in which the pattern root matched.
+    pub class: Id,
+    /// One substitution per distinct way of matching.
+    pub substs: Vec<Subst>,
+}
+
+/// Error from [`Pattern::parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatternParseError(pub String);
+
+impl fmt::Display for PatternParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PatternParseError {}
+
+impl<L: Language> Pattern<L> {
+    /// Parses pattern text such as `(* ?a (+ ?b 1))`.
+    ///
+    /// Atoms beginning with `?` become [`Var`]s; everything else must be
+    /// accepted by [`Language::from_op`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternParseError`] on malformed S-expressions or unknown
+    /// operators.
+    pub fn parse(text: &str) -> Result<Self, PatternParseError> {
+        let mut toks = sexpr_tokens(text);
+        let mut nodes = Vec::new();
+        let root = Self::parse_into(&mut toks, &mut nodes)?;
+        if let Some(t) = toks.first() {
+            return Err(PatternParseError(format!("trailing input `{t}`")));
+        }
+        debug_assert_eq!(usize::from(root), nodes.len() - 1);
+        Ok(Pattern { nodes })
+    }
+
+    fn parse_into(
+        toks: &mut Vec<String>,
+        nodes: &mut Vec<PatternNode<L>>,
+    ) -> Result<Id, PatternParseError> {
+        if toks.is_empty() {
+            return Err(PatternParseError("unexpected end of pattern".into()));
+        }
+        let t = toks.remove(0);
+        match t.as_str() {
+            "(" => {
+                if toks.is_empty() {
+                    return Err(PatternParseError("missing operator after `(`".into()));
+                }
+                let op = toks.remove(0);
+                let mut children = Vec::new();
+                loop {
+                    match toks.first().map(String::as_str) {
+                        Some(")") => {
+                            toks.remove(0);
+                            break;
+                        }
+                        Some(_) => children.push(Self::parse_into(toks, nodes)?),
+                        None => return Err(PatternParseError("unbalanced `(`".into())),
+                    }
+                }
+                let enode = L::from_op(&op, children).map_err(PatternParseError)?;
+                nodes.push(PatternNode::ENode(enode));
+                Ok(Id::from(nodes.len() - 1))
+            }
+            ")" => Err(PatternParseError("unexpected `)`".into())),
+            atom => {
+                if let Some(name) = atom.strip_prefix('?') {
+                    if name.is_empty() {
+                        return Err(PatternParseError("`?` needs a variable name".into()));
+                    }
+                    nodes.push(PatternNode::Var(Var(name.to_owned())));
+                } else {
+                    let enode = L::from_op(atom, Vec::new()).map_err(PatternParseError)?;
+                    nodes.push(PatternNode::ENode(enode));
+                }
+                Ok(Id::from(nodes.len() - 1))
+            }
+        }
+    }
+
+    /// The variables appearing in this pattern.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut vars: Vec<Var> = self
+            .nodes
+            .iter()
+            .filter_map(|n| match n {
+                PatternNode::Var(v) => Some(v.clone()),
+                PatternNode::ENode(_) => None,
+            })
+            .collect();
+        vars.sort();
+        vars.dedup();
+        vars
+    }
+
+    /// Root node index.
+    fn root(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Searches every e-class; returns matches for classes with at least
+    /// one substitution.
+    pub fn search<N: Analysis<L>>(&self, egraph: &EGraph<L, N>) -> Vec<SearchMatches> {
+        egraph
+            .classes()
+            .filter_map(|class| {
+                let substs = self.search_class(egraph, class.id);
+                if substs.is_empty() {
+                    None
+                } else {
+                    Some(SearchMatches {
+                        class: class.id,
+                        substs,
+                    })
+                }
+            })
+            .collect()
+    }
+
+    /// All distinct substitutions under which this pattern matches e-class
+    /// `class`.
+    pub fn search_class<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        class: Id,
+    ) -> Vec<Subst> {
+        let mut results = self.match_idx(egraph, self.root(), class, Subst::default());
+        for s in &mut results {
+            *s = std::mem::take(s).normalized();
+        }
+        results.sort_by(|a, b| a.entries.cmp(&b.entries));
+        results.dedup();
+        results
+    }
+
+    fn match_idx<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        pat: usize,
+        class: Id,
+        subst: Subst,
+    ) -> Vec<Subst> {
+        let class = egraph.find(class);
+        match &self.nodes[pat] {
+            PatternNode::Var(v) => match subst.get(v) {
+                Some(bound) => {
+                    if egraph.find(bound) == class {
+                        vec![subst]
+                    } else {
+                        Vec::new()
+                    }
+                }
+                None => {
+                    let mut s = subst;
+                    s.insert(v.clone(), class);
+                    vec![s]
+                }
+            },
+            PatternNode::ENode(pnode) => {
+                let mut out = Vec::new();
+                for enode in egraph.class(class).nodes() {
+                    if !enode.matches(pnode) {
+                        continue;
+                    }
+                    let mut partial = vec![subst.clone()];
+                    for (&pchild, &echild) in
+                        pnode.children().iter().zip(enode.children())
+                    {
+                        let mut next = Vec::new();
+                        for s in partial {
+                            next.extend(self.match_idx(
+                                egraph,
+                                usize::from(pchild),
+                                echild,
+                                s,
+                            ));
+                        }
+                        partial = next;
+                        if partial.is_empty() {
+                            break;
+                        }
+                    }
+                    out.extend(partial);
+                }
+                out
+            }
+        }
+    }
+
+    /// Instantiates this pattern under `subst`, adding e-nodes to the
+    /// e-graph; returns the e-class of the instantiated root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pattern variable is unbound in `subst` (rewrite
+    /// construction guarantees this cannot happen for right-hand sides).
+    pub fn instantiate<N: Analysis<L>>(
+        &self,
+        egraph: &mut EGraph<L, N>,
+        subst: &Subst,
+    ) -> Id {
+        let mut ids: Vec<Id> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let id = match node {
+                PatternNode::Var(v) => subst
+                    .get(v)
+                    .unwrap_or_else(|| panic!("unbound pattern variable {v}")),
+                PatternNode::ENode(n) => {
+                    let remapped = n.map_children(|c| ids[usize::from(c)]);
+                    egraph.add(remapped)
+                }
+            };
+            ids.push(id);
+        }
+        *ids.last().expect("pattern is non-empty")
+    }
+}
+
+impl<L: Language> fmt::Display for Pattern<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go<L: Language>(
+            nodes: &[PatternNode<L>],
+            idx: usize,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            match &nodes[idx] {
+                PatternNode::Var(v) => write!(f, "{v}"),
+                PatternNode::ENode(n) if n.is_leaf() => write!(f, "{}", n.op_str()),
+                PatternNode::ENode(n) => {
+                    write!(f, "({}", n.op_str())?;
+                    for &c in n.children() {
+                        write!(f, " ")?;
+                        go(nodes, usize::from(c), f)?;
+                    }
+                    write!(f, ")")
+                }
+            }
+        }
+        go(&self.nodes, self.root(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::language::{RecExpr, SymbolLang};
+
+    fn graph_of(exprs: &[&str]) -> (EGraph<SymbolLang>, Vec<Id>) {
+        let mut g = EGraph::new();
+        let ids = exprs
+            .iter()
+            .map(|s| {
+                let e: RecExpr<SymbolLang> = s.parse().unwrap();
+                g.add_expr(&e)
+            })
+            .collect();
+        g.rebuild();
+        (g, ids)
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let p = Pattern::<SymbolLang>::parse("(* ?a (+ ?b c))").unwrap();
+        assert_eq!(p.to_string(), "(* ?a (+ ?b c))");
+        assert_eq!(
+            p.vars(),
+            vec![Var("a".to_owned()), Var("b".to_owned())]
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Pattern::<SymbolLang>::parse("(+ ?a").is_err());
+        assert!(Pattern::<SymbolLang>::parse("?").is_err());
+        assert!(Pattern::<SymbolLang>::parse("(+ ?a ?b) junk").is_err());
+    }
+
+    #[test]
+    fn matches_simple() {
+        let (g, ids) = graph_of(&["(+ x y)"]);
+        let p = Pattern::<SymbolLang>::parse("(+ ?a ?b)").unwrap();
+        let substs = p.search_class(&g, ids[0]);
+        assert_eq!(substs.len(), 1);
+        let s = &substs[0];
+        assert_eq!(g.find(s.get(&Var("a".into())).unwrap()), g.find(g.lookup(&SymbolLang::leaf("x")).unwrap()));
+    }
+
+    #[test]
+    fn nonlinear_pattern_requires_same_class() {
+        let (g, ids) = graph_of(&["(+ x x)", "(+ x y)"]);
+        let p = Pattern::<SymbolLang>::parse("(+ ?a ?a)").unwrap();
+        assert_eq!(p.search_class(&g, ids[0]).len(), 1);
+        assert_eq!(p.search_class(&g, ids[1]).len(), 0);
+    }
+
+    #[test]
+    fn nonlinear_pattern_matches_after_union() {
+        let (mut g, ids) = graph_of(&["(+ x y)"]);
+        let p = Pattern::<SymbolLang>::parse("(+ ?a ?a)").unwrap();
+        assert!(p.search_class(&g, ids[0]).is_empty());
+        let x = g.lookup(&SymbolLang::leaf("x")).unwrap();
+        let y = g.lookup(&SymbolLang::leaf("y")).unwrap();
+        g.union(x, y);
+        g.rebuild();
+        assert_eq!(p.search_class(&g, ids[0]).len(), 1);
+    }
+
+    #[test]
+    fn search_finds_all_classes() {
+        let (g, _) = graph_of(&["(+ a b)", "(+ c d)", "(* e f)"]);
+        let p = Pattern::<SymbolLang>::parse("(+ ?x ?y)").unwrap();
+        let matches = p.search(&g);
+        assert_eq!(matches.len(), 2);
+    }
+
+    #[test]
+    fn multiple_substs_in_one_class() {
+        // Class contains both (+ a b) and (+ c d) after a union: pattern
+        // must return two substitutions.
+        let (mut g, ids) = graph_of(&["(+ a b)", "(+ c d)"]);
+        g.union(ids[0], ids[1]);
+        g.rebuild();
+        let p = Pattern::<SymbolLang>::parse("(+ ?x ?y)").unwrap();
+        let substs = p.search_class(&g, ids[0]);
+        assert_eq!(substs.len(), 2);
+    }
+
+    #[test]
+    fn instantiate_adds_structure() {
+        let (mut g, ids) = graph_of(&["(+ x y)"]);
+        let lhs = Pattern::<SymbolLang>::parse("(+ ?a ?b)").unwrap();
+        let rhs = Pattern::<SymbolLang>::parse("(+ ?b ?a)").unwrap();
+        let substs = lhs.search_class(&g, ids[0]);
+        let new_id = rhs.instantiate(&mut g, &substs[0]);
+        g.rebuild();
+        let commuted: RecExpr<SymbolLang> = "(+ y x)".parse().unwrap();
+        assert_eq!(g.lookup_expr(&commuted), Some(g.find(new_id)));
+    }
+
+    #[test]
+    fn leaf_pattern_matches_leaf_only() {
+        let (g, _) = graph_of(&["(+ x y)", "x"]);
+        let p = Pattern::<SymbolLang>::parse("x").unwrap();
+        let matches = p.search(&g);
+        assert_eq!(matches.len(), 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Rewrite rules: a searcher pattern and an applier pattern.
+
+use crate::analysis::Analysis;
+use crate::egraph::EGraph;
+use crate::language::Language;
+use crate::pattern::{Pattern, PatternParseError, SearchMatches};
+
+/// A named rewrite `lhs => rhs`.
+///
+/// Bidirectional rules (the paper's "⇔") are represented as two `Rewrite`
+/// values, one per direction, exactly like egg's `rewrite!(...; ..<=>..)`
+/// expansion.
+#[derive(Clone, Debug)]
+pub struct Rewrite<L> {
+    /// Rule name, used in scheduler statistics and reports.
+    pub name: String,
+    searcher: Pattern<L>,
+    applier: Pattern<L>,
+}
+
+impl<L: Language> Rewrite<L> {
+    /// Builds a rewrite from two pattern strings.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either pattern fails to parse or when the
+    /// right-hand side uses a variable the left-hand side does not bind.
+    pub fn parse(name: &str, lhs: &str, rhs: &str) -> Result<Self, PatternParseError> {
+        let searcher = Pattern::parse(lhs)?;
+        let applier = Pattern::parse(rhs)?;
+        let bound = searcher.vars();
+        for v in applier.vars() {
+            if !bound.contains(&v) {
+                return Err(PatternParseError(format!(
+                    "rewrite {name}: rhs variable {v} is not bound by the lhs"
+                )));
+            }
+        }
+        Ok(Rewrite {
+            name: name.to_owned(),
+            searcher,
+            applier,
+        })
+    }
+
+    /// The left-hand side pattern.
+    pub fn lhs(&self) -> &Pattern<L> {
+        &self.searcher
+    }
+
+    /// The right-hand side pattern.
+    pub fn rhs(&self) -> &Pattern<L> {
+        &self.applier
+    }
+
+    /// Searches the e-graph for all matches of the left-hand side.
+    pub fn search<N: Analysis<L>>(&self, egraph: &EGraph<L, N>) -> Vec<SearchMatches> {
+        self.searcher.search(egraph)
+    }
+
+    /// Applies this rule to previously found matches; returns the number
+    /// of unions that changed the e-graph.
+    pub fn apply<N: Analysis<L>>(
+        &self,
+        egraph: &mut EGraph<L, N>,
+        matches: &[SearchMatches],
+    ) -> usize {
+        let mut changed = 0;
+        for m in matches {
+            for subst in &m.substs {
+                let new_id = self.applier.instantiate(egraph, subst);
+                let (_, did) = egraph.union(m.class, new_id);
+                if did {
+                    changed += 1;
+                }
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::language::{RecExpr, SymbolLang};
+
+    #[test]
+    fn parse_checks_rhs_vars() {
+        assert!(Rewrite::<SymbolLang>::parse("ok", "(+ ?a ?b)", "(+ ?b ?a)").is_ok());
+        let err = Rewrite::<SymbolLang>::parse("bad", "(+ ?a ?b)", "(+ ?a ?c)").unwrap_err();
+        assert!(err.0.contains("?c"), "{err}");
+    }
+
+    #[test]
+    fn apply_unions_matched_class() {
+        let mut g = EGraph::<SymbolLang>::new();
+        let e: RecExpr<SymbolLang> = "(+ x zero)".parse().unwrap();
+        let id = g.add_expr(&e);
+        g.rebuild();
+        let rw = Rewrite::<SymbolLang>::parse("add-zero", "(+ ?a zero)", "?a").unwrap();
+        let matches = rw.search(&g);
+        assert_eq!(matches.len(), 1);
+        let changed = rw.apply(&mut g, &matches);
+        assert_eq!(changed, 1);
+        g.rebuild();
+        let x: RecExpr<SymbolLang> = "x".parse().unwrap();
+        assert_eq!(g.lookup_expr(&x), Some(g.find(id)));
+    }
+
+    #[test]
+    fn apply_is_idempotent_on_same_match() {
+        let mut g = EGraph::<SymbolLang>::new();
+        let e: RecExpr<SymbolLang> = "(+ x y)".parse().unwrap();
+        g.add_expr(&e);
+        g.rebuild();
+        let rw = Rewrite::<SymbolLang>::parse("comm", "(+ ?a ?b)", "(+ ?b ?a)").unwrap();
+        let m1 = rw.search(&g);
+        assert_eq!(rw.apply(&mut g, &m1), 1);
+        g.rebuild();
+        // Re-applying produces no change: (+ y x) already in the class.
+        let m2 = rw.search(&g);
+        assert_eq!(rw.apply(&mut g, &m2), 0);
+    }
+}

@@ -1,0 +1,405 @@
+//! The equality-saturation driver, mirroring egg's `Runner`.
+
+use crate::analysis::Analysis;
+use crate::egraph::EGraph;
+use crate::extract::{CostFunction, Extractor};
+use crate::language::{Id, Language, RecExpr};
+use crate::rewrite::Rewrite;
+use std::time::{Duration, Instant};
+
+/// Resource limits for a saturation run.
+///
+/// Defaults mirror the paper's setup scaled to unit-test size; the E-Syn
+/// flows override them (the paper used a 300 s time limit and a 2 500 000
+/// e-node limit, §4.1).
+#[derive(Clone, Copy, Debug)]
+pub struct RunnerLimits {
+    /// Maximum number of search/apply/rebuild iterations.
+    pub iter_limit: usize,
+    /// Stop when the e-graph holds at least this many e-nodes.
+    pub node_limit: usize,
+    /// Wall-clock budget for the whole run.
+    pub time_limit: Duration,
+}
+
+impl Default for RunnerLimits {
+    fn default() -> Self {
+        RunnerLimits {
+            iter_limit: 30,
+            node_limit: 10_000,
+            time_limit: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Why a run stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// No rule application changed the e-graph (a fixpoint).
+    Saturated,
+    /// The iteration limit was reached.
+    IterationLimit,
+    /// The node limit was reached.
+    NodeLimit,
+    /// The time limit was reached.
+    TimeLimit,
+}
+
+/// Per-iteration statistics, useful for plots and debugging.
+#[derive(Clone, Debug)]
+pub struct IterationStats {
+    /// E-nodes after this iteration.
+    pub nodes: usize,
+    /// E-classes after this iteration.
+    pub classes: usize,
+    /// Number of e-graph-changing unions applied by rules.
+    pub applied: usize,
+    /// Number of repair unions performed during rebuild.
+    pub rebuilds: usize,
+    /// Wall-clock time of this iteration.
+    pub elapsed: Duration,
+}
+
+/// Match-throttling scheduler in the style of egg's `BackoffScheduler`.
+///
+/// A rule producing more than `match_limit << times_banned` substitutions
+/// in one iteration is banned for `ban_length << times_banned` iterations.
+/// This keeps explosive rules (commutativity/associativity) from drowning
+/// out the rest.
+#[derive(Clone, Debug)]
+pub struct BackoffScheduler {
+    /// Base per-iteration match budget per rule.
+    pub match_limit: usize,
+    /// Base ban duration, in iterations.
+    pub ban_length: usize,
+    stats: Vec<RuleStats>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct RuleStats {
+    times_banned: u32,
+    banned_until: usize,
+}
+
+impl Default for BackoffScheduler {
+    fn default() -> Self {
+        BackoffScheduler {
+            match_limit: 1_000,
+            ban_length: 5,
+            stats: Vec::new(),
+        }
+    }
+}
+
+impl BackoffScheduler {
+    fn ensure(&mut self, n: usize) {
+        if self.stats.len() < n {
+            self.stats.resize(n, RuleStats::default());
+        }
+    }
+
+    fn is_banned(&self, rule: usize, iteration: usize) -> bool {
+        self.stats
+            .get(rule)
+            .is_some_and(|s| iteration < s.banned_until)
+    }
+
+    fn any_banned(&self, iteration: usize) -> bool {
+        self.stats.iter().any(|s| iteration < s.banned_until)
+    }
+
+    /// Returns true when the matches fit the budget; otherwise bans the
+    /// rule and returns false.
+    fn admit(&mut self, rule: usize, iteration: usize, total_substs: usize) -> bool {
+        let s = &mut self.stats[rule];
+        let limit = self.match_limit.saturating_shl_usize(s.times_banned);
+        if total_substs > limit {
+            let length = self.ban_length.saturating_shl_usize(s.times_banned);
+            s.times_banned += 1;
+            s.banned_until = iteration + length;
+            false
+        } else {
+            true
+        }
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl_usize(self, shift: u32) -> usize;
+}
+
+impl SaturatingShl for usize {
+    fn saturating_shl_usize(self, shift: u32) -> usize {
+        self.checked_shl(shift).unwrap_or(usize::MAX)
+    }
+}
+
+/// Drives equality saturation: iteratively search all rules, apply the
+/// matches, rebuild, and stop on saturation or a resource limit.
+#[derive(Debug)]
+pub struct Runner<L: Language, N: Analysis<L> = ()> {
+    /// The e-graph being saturated.
+    pub egraph: EGraph<L, N>,
+    /// Root e-classes registered through [`Runner::with_expr`].
+    pub roots: Vec<Id>,
+    /// Statistics for each completed iteration.
+    pub iterations: Vec<IterationStats>,
+    /// Why the last [`Runner::run`] stopped (`None` before any run).
+    pub stop_reason: Option<StopReason>,
+    limits: RunnerLimits,
+    scheduler: Option<BackoffScheduler>,
+}
+
+impl<L: Language, N: Analysis<L> + Default> Default for Runner<L, N> {
+    fn default() -> Self {
+        Self::with_analysis(N::default())
+    }
+}
+
+impl<L: Language> Runner<L, ()> {
+    /// Creates a runner with default limits, no analysis and the backoff
+    /// scheduler enabled. (Pinned to the `()` analysis so type inference
+    /// works at call sites; use [`Runner::with_analysis`] otherwise.)
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<L: Language, N: Analysis<L>> Runner<L, N> {
+    /// Creates a runner with the given analysis instance.
+    pub fn with_analysis(analysis: N) -> Self {
+        Runner {
+            egraph: EGraph::with_analysis(analysis),
+            roots: Vec::new(),
+            iterations: Vec::new(),
+            stop_reason: None,
+            limits: RunnerLimits::default(),
+            scheduler: Some(BackoffScheduler::default()),
+        }
+    }
+
+    /// Adds `expr` to the e-graph and registers its class as a root.
+    pub fn with_expr(mut self, expr: &RecExpr<L>) -> Self {
+        let id = self.egraph.add_expr(expr);
+        self.roots.push(id);
+        self
+    }
+
+    /// Overrides the resource limits.
+    pub fn with_limits(mut self, limits: RunnerLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Sets the iteration limit.
+    pub fn with_iter_limit(mut self, iters: usize) -> Self {
+        self.limits.iter_limit = iters;
+        self
+    }
+
+    /// Sets the e-node limit.
+    pub fn with_node_limit(mut self, nodes: usize) -> Self {
+        self.limits.node_limit = nodes;
+        self
+    }
+
+    /// Sets the wall-clock limit.
+    pub fn with_time_limit(mut self, time: Duration) -> Self {
+        self.limits.time_limit = time;
+        self
+    }
+
+    /// Replaces the default backoff scheduler.
+    pub fn with_scheduler(mut self, scheduler: BackoffScheduler) -> Self {
+        self.scheduler = Some(scheduler);
+        self
+    }
+
+    /// Disables match throttling entirely (every match is applied each
+    /// iteration — egg's `SimpleScheduler`).
+    pub fn without_scheduler(mut self) -> Self {
+        self.scheduler = None;
+        self
+    }
+
+    /// Runs equality saturation with `rules` until saturation or a limit.
+    pub fn run(mut self, rules: &[Rewrite<L>]) -> Self {
+        let start = Instant::now();
+        if let Some(s) = &mut self.scheduler {
+            s.ensure(rules.len());
+        }
+        self.egraph.rebuild();
+
+        for iteration in 0..self.limits.iter_limit {
+            let iter_start = Instant::now();
+            if start.elapsed() > self.limits.time_limit {
+                self.stop_reason = Some(StopReason::TimeLimit);
+                return self;
+            }
+            if self.egraph.total_nodes() >= self.limits.node_limit {
+                self.stop_reason = Some(StopReason::NodeLimit);
+                return self;
+            }
+
+            // Search phase (immutable).
+            let mut all_matches = Vec::with_capacity(rules.len());
+            for (ri, rule) in rules.iter().enumerate() {
+                if self
+                    .scheduler
+                    .as_ref()
+                    .is_some_and(|s| s.is_banned(ri, iteration))
+                {
+                    all_matches.push(Vec::new());
+                    continue;
+                }
+                let matches = rule.search(&self.egraph);
+                let total: usize = matches.iter().map(|m| m.substs.len()).sum();
+                let admitted = match &mut self.scheduler {
+                    Some(s) => s.admit(ri, iteration, total),
+                    None => true,
+                };
+                all_matches.push(if admitted { matches } else { Vec::new() });
+            }
+
+            // Apply phase.
+            let mut applied = 0;
+            for (rule, matches) in rules.iter().zip(&all_matches) {
+                applied += rule.apply(&mut self.egraph, matches);
+            }
+
+            let rebuilds = self.egraph.rebuild();
+
+            self.iterations.push(IterationStats {
+                nodes: self.egraph.total_nodes(),
+                classes: self.egraph.num_classes(),
+                applied,
+                rebuilds,
+                elapsed: iter_start.elapsed(),
+            });
+
+            let banned = self
+                .scheduler
+                .as_ref()
+                .is_some_and(|s| s.any_banned(iteration + 1));
+            if applied == 0 && rebuilds == 0 && !banned {
+                self.stop_reason = Some(StopReason::Saturated);
+                return self;
+            }
+        }
+        self.stop_reason = Some(StopReason::IterationLimit);
+        self
+    }
+
+    /// Extracts the best expression for the first root under `cost_fn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no root was registered.
+    pub fn extract_best<CF: CostFunction<L>>(&self, cost_fn: CF) -> (CF::Cost, RecExpr<L>) {
+        let root = *self.roots.first().expect("runner has no roots");
+        Extractor::new(&self.egraph, cost_fn)
+            .find_best(root)
+            .expect("root class must be extractable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::AstSize;
+    use crate::language::SymbolLang;
+
+    fn rules() -> Vec<Rewrite<SymbolLang>> {
+        vec![
+            Rewrite::parse("comm-add", "(+ ?a ?b)", "(+ ?b ?a)").unwrap(),
+            Rewrite::parse("assoc-add", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))").unwrap(),
+            Rewrite::parse("add-zero", "(+ ?a zero)", "?a").unwrap(),
+            Rewrite::parse("mul-one", "(* ?a one)", "?a").unwrap(),
+            Rewrite::parse("mul-zero", "(* ?a zero)", "zero").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn saturates_small_workload() {
+        let expr: RecExpr<SymbolLang> = "(+ x (+ y zero))".parse().unwrap();
+        let runner = Runner::new().with_expr(&expr).run(&rules());
+        assert_eq!(runner.stop_reason, Some(StopReason::Saturated));
+        let (cost, best) = runner.extract_best(AstSize);
+        assert_eq!(cost, 3);
+        // Both (+ x y) and (+ y x) are size-3; either is acceptable.
+        let s = best.to_string();
+        assert!(s == "(+ x y)" || s == "(+ y x)", "{s}");
+    }
+
+    #[test]
+    fn simplifies_through_rule_chain() {
+        let expr: RecExpr<SymbolLang> = "(+ zero (* (+ a zero) one))".parse().unwrap();
+        let runner = Runner::new().with_expr(&expr).run(&rules());
+        let (cost, best) = runner.extract_best(AstSize);
+        assert_eq!(cost, 1);
+        assert_eq!(best.to_string(), "a");
+    }
+
+    #[test]
+    fn node_limit_stops_run() {
+        let expr: RecExpr<SymbolLang> = "(+ a (+ b (+ c (+ d (+ e f)))))".parse().unwrap();
+        let runner = Runner::new()
+            .with_expr(&expr)
+            .with_node_limit(12)
+            .run(&rules());
+        assert_eq!(runner.stop_reason, Some(StopReason::NodeLimit));
+    }
+
+    #[test]
+    fn iter_limit_stops_run() {
+        let expr: RecExpr<SymbolLang> = "(+ a (+ b (+ c d)))".parse().unwrap();
+        let runner = Runner::new()
+            .with_expr(&expr)
+            .with_iter_limit(1)
+            .run(&rules());
+        assert_eq!(runner.stop_reason, Some(StopReason::IterationLimit));
+        assert_eq!(runner.iterations.len(), 1);
+    }
+
+    #[test]
+    fn time_limit_stops_run() {
+        let expr: RecExpr<SymbolLang> = "(+ a (+ b (+ c d)))".parse().unwrap();
+        let runner = Runner::new()
+            .with_expr(&expr)
+            .with_time_limit(Duration::ZERO)
+            .run(&rules());
+        assert_eq!(runner.stop_reason, Some(StopReason::TimeLimit));
+    }
+
+    #[test]
+    fn equivalent_exprs_end_in_same_class() {
+        let a: RecExpr<SymbolLang> = "(+ (+ x y) z)".parse().unwrap();
+        let b: RecExpr<SymbolLang> = "(+ z (+ y x))".parse().unwrap();
+        let mut runner = Runner::<SymbolLang>::new().with_expr(&a).with_expr(&b);
+        runner = runner.run(&rules());
+        assert_eq!(
+            runner.egraph.find(runner.roots[0]),
+            runner.egraph.find(runner.roots[1])
+        );
+    }
+
+    #[test]
+    fn without_scheduler_still_saturates() {
+        let expr: RecExpr<SymbolLang> = "(+ x zero)".parse().unwrap();
+        let runner = Runner::new()
+            .with_expr(&expr)
+            .without_scheduler()
+            .run(&rules());
+        assert_eq!(runner.stop_reason, Some(StopReason::Saturated));
+    }
+
+    #[test]
+    fn iteration_stats_recorded() {
+        let expr: RecExpr<SymbolLang> = "(+ x (+ y zero))".parse().unwrap();
+        let runner = Runner::new().with_expr(&expr).run(&rules());
+        assert!(!runner.iterations.is_empty());
+        let last = runner.iterations.last().unwrap();
+        assert!(last.nodes > 0);
+        assert!(last.classes > 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Union-find over e-class ids with path compression.
+
+use crate::language::Id;
+
+/// A disjoint-set forest over dense [`Id`]s.
+///
+/// Union by *id order*: the smaller canonical id wins, which keeps canonical
+/// ids stable-ish and makes behaviour deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct UnionFind {
+    parents: Vec<Id>,
+}
+
+impl UnionFind {
+    /// Creates an empty forest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of ids ever issued.
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// True if no ids have been issued.
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// Issues a fresh id in its own singleton set.
+    pub fn make_set(&mut self) -> Id {
+        let id = Id::from(self.parents.len());
+        self.parents.push(id);
+        id
+    }
+
+    /// Canonical representative of `id`, without path compression.
+    pub fn find(&self, mut id: Id) -> Id {
+        while self.parents[usize::from(id)] != id {
+            id = self.parents[usize::from(id)];
+        }
+        id
+    }
+
+    /// Canonical representative of `id`, compressing paths along the way.
+    pub fn find_mut(&mut self, mut id: Id) -> Id {
+        let mut root = id;
+        while self.parents[usize::from(root)] != root {
+            root = self.parents[usize::from(root)];
+        }
+        while self.parents[usize::from(id)] != id {
+            let next = self.parents[usize::from(id)];
+            self.parents[usize::from(id)] = root;
+            id = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`; returns the canonical id of the
+    /// merged set (the smaller of the two roots).
+    pub fn union(&mut self, a: Id, b: Id) -> Id {
+        let ra = self.find_mut(a);
+        let rb = self.find_mut(b);
+        if ra == rb {
+            return ra;
+        }
+        let (keep, merge) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parents[usize::from(merge)] = keep;
+        keep
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn same(&self, a: Id, b: Id) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_distinct() {
+        let mut uf = UnionFind::new();
+        let a = uf.make_set();
+        let b = uf.make_set();
+        assert_ne!(uf.find(a), uf.find(b));
+        assert!(!uf.same(a, b));
+        assert_eq!(uf.len(), 2);
+    }
+
+    #[test]
+    fn union_prefers_smaller_root() {
+        let mut uf = UnionFind::new();
+        let ids: Vec<Id> = (0..10).map(|_| uf.make_set()).collect();
+        assert_eq!(uf.union(ids[3], ids[7]), ids[3]);
+        assert_eq!(uf.union(ids[7], ids[1]), ids[1]);
+        assert_eq!(uf.find(ids[3]), ids[1]);
+        assert!(uf.same(ids[1], ids[7]));
+        assert!(!uf.same(ids[0], ids[1]));
+    }
+
+    #[test]
+    fn path_compression_flattens() {
+        let mut uf = UnionFind::new();
+        let ids: Vec<Id> = (0..100).map(|_| uf.make_set()).collect();
+        for w in ids.windows(2) {
+            uf.union(w[0], w[1]);
+        }
+        for &id in &ids {
+            assert_eq!(uf.find_mut(id), ids[0]);
+        }
+        // After compression every parent points at the root directly.
+        for &id in &ids {
+            assert_eq!(uf.parents[usize::from(id)], ids[0]);
+        }
+    }
+
+    #[test]
+    fn union_idempotent() {
+        let mut uf = UnionFind::new();
+        let a = uf.make_set();
+        let b = uf.make_set();
+        let r1 = uf.union(a, b);
+        let r2 = uf.union(a, b);
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,672 @@
+//! BLIF (Berkeley Logic Interchange Format) reader and writer.
+//!
+//! The LGSynth / ISCAS benchmark suites the paper evaluates on are
+//! distributed as BLIF; this module lets [`Network`]s round-trip through
+//! that format. Only the combinational subset is supported — `.model`,
+//! `.inputs`, `.outputs`, `.names` with single-output SOP covers, and
+//! `.end` — matching what the benchmark files use. Sequential and
+//! hierarchical constructs (`.latch`, `.subckt`, `.gate`, …) are rejected
+//! with a [`ParseError`] naming the unsupported directive.
+//!
+//! # Example
+//!
+//! ```
+//! use esyn_eqn::{parse_blif, write_blif, Network};
+//!
+//! # fn main() -> Result<(), esyn_eqn::ParseError> {
+//! let mut net = Network::new();
+//! let a = net.input("a");
+//! let b = net.input("b");
+//! let f = net.xor(a, b);
+//! net.output("f", f);
+//!
+//! let text = write_blif(&net, "xor2");
+//! let back = parse_blif(&text)?;
+//! assert_eq!(back.num_inputs(), 2);
+//! assert_eq!(back.truth_tables(), net.truth_tables());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::ParseError;
+use crate::network::Network;
+use crate::node::{Node, NodeId};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// Serializes `net` as a single-model BLIF description.
+///
+/// Primary inputs and outputs keep their names; internal nets are named
+/// `_n<k>`, renamed with extra underscores if that would collide with a
+/// user-visible name. Every output is driven through an explicit buffer
+/// cover so output names never clash with internal net names.
+///
+/// The output can be fed back through [`parse_blif`] and to external
+/// tools; names containing whitespace or `#` would produce malformed BLIF
+/// and are the caller's responsibility to avoid (the workspace's parsers
+/// never produce such names).
+pub fn write_blif(net: &Network, model: &str) -> String {
+    let mut reserved: HashSet<&str> = net.input_names().iter().map(String::as_str).collect();
+    reserved.extend(net.outputs().iter().map(|(n, _)| n.as_str()));
+
+    // Name every reachable node's net.
+    let order = net.topo_order();
+    let mut names: HashMap<NodeId, String> = HashMap::new();
+    for &id in &order {
+        let name = match net.node(id) {
+            Node::Input(idx) => net.input_name(idx).to_owned(),
+            Node::Const(_) => continue, // only ever referenced by outputs
+            _ => {
+                let mut n = format!("_n{}", id.index());
+                while reserved.contains(n.as_str()) {
+                    n.insert(0, '_');
+                }
+                n
+            }
+        };
+        names.insert(id, name);
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {model}");
+    let _ = writeln!(out, ".inputs {}", net.input_names().join(" "));
+    let _ = writeln!(
+        out,
+        ".outputs {}",
+        net.outputs()
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    for &id in &order {
+        match net.node(id) {
+            Node::Const(_) | Node::Input(_) => {}
+            Node::Not(a) => {
+                let _ = writeln!(out, ".names {} {}\n0 1", names[&a], names[&id]);
+            }
+            Node::And(a, b) => {
+                let _ = writeln!(out, ".names {} {} {}\n11 1", names[&a], names[&b], names[&id]);
+            }
+            Node::Or(a, b) => {
+                let _ = writeln!(
+                    out,
+                    ".names {} {} {}\n1- 1\n-1 1",
+                    names[&a], names[&b], names[&id]
+                );
+            }
+        }
+    }
+    for (name, id) in net.outputs() {
+        match net.node(*id) {
+            Node::Const(true) => {
+                let _ = writeln!(out, ".names {name}\n1");
+            }
+            Node::Const(false) => {
+                let _ = writeln!(out, ".names {name}");
+            }
+            _ => {
+                let _ = writeln!(out, ".names {} {}\n1 1", names[id], name);
+            }
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+/// One `.names` block: fanin nets, output net, and the cover rows.
+struct NamesBlock {
+    inputs: Vec<String>,
+    output: String,
+    /// (input plane over `{0,1,-}`, output phase) per row.
+    rows: Vec<(String, char)>,
+    line: usize,
+}
+
+/// Parses the first model of a combinational BLIF description.
+///
+/// Primary inputs keep their declaration order; outputs keep theirs.
+/// `.names` blocks may appear in any order (nets may be used before they
+/// are defined), as the format allows.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] (with a 1-based line number) on:
+///
+/// * unsupported directives (`.latch`, `.subckt`, `.gate`, `.exdc`, …),
+/// * a net that is used but neither defined nor declared an input,
+/// * a net defined twice, or a definition of a declared input,
+/// * combinational cycles,
+/// * malformed covers (wrong plane width, characters outside `{0,1,-}`,
+///   rows mixing output phases).
+pub fn parse_blif(text: &str) -> Result<Network, ParseError> {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut blocks: Vec<NamesBlock> = Vec::new();
+    let mut saw_model = false;
+    let mut ended = false;
+
+    // Pre-pass: strip comments, join `\` continuations, keep line numbers.
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let no_comment = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        let mut chunk = no_comment.trim_end().to_owned();
+        let continued = chunk.ends_with('\\');
+        if continued {
+            chunk.pop();
+        }
+        match pending.take() {
+            Some((start, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(&chunk);
+                if continued {
+                    pending = Some((start, acc));
+                } else {
+                    lines.push((start, acc));
+                }
+            }
+            None => {
+                if continued {
+                    pending = Some((line_no, chunk));
+                } else {
+                    lines.push((line_no, chunk));
+                }
+            }
+        }
+    }
+    if let Some((start, acc)) = pending {
+        lines.push((start, acc));
+    }
+
+    for (line_no, line) in lines {
+        if ended {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let head = toks.next().expect("non-empty line has a token");
+        if let Some(directive) = head.strip_prefix('.') {
+            match directive {
+                "model" => {
+                    if saw_model {
+                        // Multi-model files: keep the first model only.
+                        ended = true;
+                    }
+                    saw_model = true;
+                }
+                "inputs" => inputs.extend(toks.map(str::to_owned)),
+                "outputs" => outputs.extend(toks.map(str::to_owned)),
+                "names" => {
+                    let mut nets: Vec<String> = toks.map(str::to_owned).collect();
+                    let Some(output) = nets.pop() else {
+                        return Err(ParseError::new(line_no, 1, ".names needs an output net"));
+                    };
+                    blocks.push(NamesBlock {
+                        inputs: nets,
+                        output,
+                        rows: Vec::new(),
+                        line: line_no,
+                    });
+                }
+                "end" => ended = true,
+                other => {
+                    return Err(ParseError::new(
+                        line_no,
+                        1,
+                        format!("unsupported BLIF directive `.{other}` (combinational subset only)"),
+                    ));
+                }
+            }
+            continue;
+        }
+
+        // A cover row for the most recent .names block.
+        let Some(block) = blocks.last_mut() else {
+            return Err(ParseError::new(
+                line_no,
+                1,
+                format!("cover row `{line}` outside a .names block"),
+            ));
+        };
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let (plane, out_tok) = match (block.inputs.len(), fields.as_slice()) {
+            (0, [o]) => (String::new(), *o),
+            (_, [p, o]) => ((*p).to_owned(), *o),
+            _ => {
+                return Err(ParseError::new(
+                    line_no,
+                    1,
+                    format!(
+                        "cover row `{line}` must be `<plane> <phase>` for {} inputs",
+                        block.inputs.len()
+                    ),
+                ));
+            }
+        };
+        if plane.len() != block.inputs.len() {
+            return Err(ParseError::new(
+                line_no,
+                1,
+                format!(
+                    "plane `{plane}` has {} columns, block has {} inputs",
+                    plane.len(),
+                    block.inputs.len()
+                ),
+            ));
+        }
+        if let Some(bad) = plane.chars().find(|c| !matches!(c, '0' | '1' | '-')) {
+            return Err(ParseError::new(
+                line_no,
+                1,
+                format!("invalid plane character `{bad}` (expected 0, 1 or -)"),
+            ));
+        }
+        let phase = match out_tok {
+            "0" => '0',
+            "1" => '1',
+            other => {
+                return Err(ParseError::new(
+                    line_no,
+                    1,
+                    format!("invalid output phase `{other}` (expected 0 or 1)"),
+                ));
+            }
+        };
+        if let Some((_, p)) = block.rows.first() {
+            if *p != phase {
+                return Err(ParseError::new(
+                    line_no,
+                    1,
+                    "cover mixes output phases 0 and 1",
+                ));
+            }
+        }
+        block.rows.push((plane, phase));
+    }
+
+    // Index definitions and check for conflicts.
+    let input_set: HashSet<&str> = inputs.iter().map(String::as_str).collect();
+    let mut def: HashMap<&str, usize> = HashMap::new();
+    for (bi, b) in blocks.iter().enumerate() {
+        if input_set.contains(b.output.as_str()) {
+            return Err(ParseError::new(
+                b.line,
+                1,
+                format!("net `{}` is declared .inputs but defined by .names", b.output),
+            ));
+        }
+        if def.insert(b.output.as_str(), bi).is_some() {
+            return Err(ParseError::new(
+                b.line,
+                1,
+                format!("net `{}` defined twice", b.output),
+            ));
+        }
+    }
+
+    let mut net = Network::new();
+    let mut resolved: HashMap<String, NodeId> = HashMap::new();
+    for name in &inputs {
+        let id = net.input(name.clone());
+        resolved.insert(name.clone(), id);
+    }
+
+    // Iterative post-order resolution from the outputs, since .names
+    // blocks may be listed in any order.
+    enum Phase<'a> {
+        Enter(&'a str, usize),
+        Exit(usize),
+    }
+    let mut on_path: HashSet<&str> = HashSet::new();
+    for out_name in &outputs {
+        if resolved.contains_key(out_name) {
+            continue;
+        }
+        let mut stack: Vec<Phase<'_>> = vec![Phase::Enter(out_name, 0)];
+        while let Some(phase) = stack.pop() {
+            match phase {
+                Phase::Enter(name, use_line) => {
+                    if resolved.contains_key(name) {
+                        continue;
+                    }
+                    let Some(&bi) = def.get(name) else {
+                        return Err(ParseError::new(
+                            use_line,
+                            1,
+                            format!("net `{name}` is used but never defined"),
+                        ));
+                    };
+                    if !on_path.insert(blocks[bi].output.as_str()) {
+                        return Err(ParseError::new(
+                            blocks[bi].line,
+                            1,
+                            format!("combinational cycle through net `{name}`"),
+                        ));
+                    }
+                    stack.push(Phase::Exit(bi));
+                    for dep in &blocks[bi].inputs {
+                        stack.push(Phase::Enter(dep, blocks[bi].line));
+                    }
+                }
+                Phase::Exit(bi) => {
+                    let b = &blocks[bi];
+                    let deps: Vec<NodeId> =
+                        b.inputs.iter().map(|d| resolved[d.as_str()]).collect();
+                    let id = build_cover(&mut net, b, &deps);
+                    on_path.remove(b.output.as_str());
+                    resolved.insert(b.output.clone(), id);
+                }
+            }
+        }
+    }
+
+    for name in &outputs {
+        let id = resolved[name.as_str()];
+        net.output(name.clone(), id);
+    }
+    Ok(net)
+}
+
+/// Builds the Boolean function of one `.names` cover over resolved fanins.
+fn build_cover(net: &mut Network, block: &NamesBlock, deps: &[NodeId]) -> NodeId {
+    if block.rows.is_empty() {
+        return net.constant(false);
+    }
+    let phase = block.rows[0].1;
+    let mut products = Vec::with_capacity(block.rows.len());
+    for (plane, _) in &block.rows {
+        let mut literals = Vec::new();
+        for (i, c) in plane.chars().enumerate() {
+            match c {
+                '1' => literals.push(deps[i]),
+                '0' => {
+                    let l = net.not(deps[i]);
+                    literals.push(l);
+                }
+                _ => {}
+            }
+        }
+        products.push(net.and_many(&literals));
+    }
+    let sum = net.or_many(&products);
+    if phase == '1' {
+        sum
+    } else {
+        // Off-set cover: the rows list where the output is 0.
+        net.not(sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Network {
+        let mut net = Network::new();
+        let a = net.input("a");
+        let b = net.input("b");
+        let c = net.input("c");
+        let s = net.xor(a, b);
+        let s2 = net.xor(s, c);
+        let maj = net.maj(a, b, c);
+        net.output("sum", s2);
+        net.output("carry", maj);
+        net
+    }
+
+    fn equivalent(x: &Network, y: &Network) -> bool {
+        assert_eq!(x.num_inputs(), y.num_inputs());
+        x.truth_tables() == y.truth_tables()
+    }
+
+    #[test]
+    fn roundtrip_preserves_function() {
+        let net = sample();
+        let text = write_blif(&net, "fa");
+        let back = parse_blif(&text).unwrap();
+        assert_eq!(back.input_names(), net.input_names());
+        assert_eq!(
+            back.outputs().iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+            vec!["sum".to_owned(), "carry".to_owned()]
+        );
+        assert!(equivalent(&net, &back));
+    }
+
+    #[test]
+    fn writer_emits_expected_skeleton() {
+        let mut net = Network::new();
+        let a = net.input("a");
+        let b = net.input("b");
+        let f = net.and(a, b);
+        net.output("f", f);
+        let text = write_blif(&net, "and2");
+        assert!(text.starts_with(".model and2\n"));
+        assert!(text.contains(".inputs a b\n"));
+        assert!(text.contains(".outputs f\n"));
+        assert!(text.contains("11 1\n"));
+        assert!(text.trim_end().ends_with(".end"));
+    }
+
+    #[test]
+    fn parses_multi_input_cover() {
+        // 3-input majority as an on-set cover.
+        let text = "\
+.model maj3
+.inputs a b c
+.outputs m
+.names a b c m
+11- 1
+1-1 1
+-11 1
+.end
+";
+        let parsed = parse_blif(text).unwrap();
+        let mut reference = Network::new();
+        let a = reference.input("a");
+        let b = reference.input("b");
+        let c = reference.input("c");
+        let m = reference.maj(a, b, c);
+        reference.output("m", m);
+        assert!(equivalent(&reference, &parsed));
+    }
+
+    #[test]
+    fn parses_offset_cover() {
+        // f is 0 exactly when a=b=0, i.e. f = a | b.
+        let text = ".model t\n.inputs a b\n.outputs f\n.names a b f\n00 0\n.end\n";
+        let parsed = parse_blif(text).unwrap();
+        let mut reference = Network::new();
+        let a = reference.input("a");
+        let b = reference.input("b");
+        let f = reference.or(a, b);
+        reference.output("f", f);
+        assert!(equivalent(&reference, &parsed));
+    }
+
+    #[test]
+    fn parses_constant_covers() {
+        let text = ".model k\n.inputs a\n.outputs one zero\n.names one\n1\n.names zero\n.end\n";
+        let parsed = parse_blif(text).unwrap();
+        let tts = parsed.truth_tables();
+        assert!(tts[0].is_ones());
+        assert!(tts[1].is_zero());
+    }
+
+    #[test]
+    fn roundtrips_constant_outputs() {
+        let mut net = Network::new();
+        let a = net.input("a");
+        let na = net.not(a);
+        let zero = net.and(a, na);
+        let one = net.or(a, na);
+        net.output("zero", zero);
+        net.output("one", one);
+        let back = parse_blif(&write_blif(&net, "consts")).unwrap();
+        let tts = back.truth_tables();
+        assert!(tts[0].is_zero());
+        assert!(tts[1].is_ones());
+    }
+
+    #[test]
+    fn blocks_in_any_order_resolve() {
+        // g uses h, which is defined later.
+        let text = "\
+.model order
+.inputs a b
+.outputs g
+.names h a g
+11 1
+.names b h
+0 1
+.end
+";
+        let parsed = parse_blif(text).unwrap();
+        let mut reference = Network::new();
+        let a = reference.input("a");
+        let b = reference.input("b");
+        let h = reference.not(b);
+        let g = reference.and(h, a);
+        reference.output("g", g);
+        assert!(equivalent(&reference, &parsed));
+    }
+
+    #[test]
+    fn continuation_and_comments() {
+        let text = "\
+# adder fragment
+.model c
+.inputs a \\
+b
+.outputs f # trailing comment
+.names a b f
+11 1
+.end
+";
+        let parsed = parse_blif(text).unwrap();
+        assert_eq!(parsed.input_names(), &["a".to_owned(), "b".to_owned()]);
+        assert_eq!(parsed.num_outputs(), 1);
+    }
+
+    #[test]
+    fn output_fed_directly_by_input() {
+        let mut net = Network::new();
+        let a = net.input("a");
+        net.output("f", a);
+        let back = parse_blif(&write_blif(&net, "wire")).unwrap();
+        assert!(equivalent(&net, &back));
+    }
+
+    #[test]
+    fn rejects_latch_and_subckt() {
+        for directive in [".latch a b 0", ".subckt sub x=a", ".gate NAND2 a=x"] {
+            let text = format!(".model m\n.inputs a\n.outputs f\n{directive}\n.end\n");
+            let err = parse_blif(&text).unwrap_err();
+            assert!(err.to_string().contains("unsupported"), "{err}");
+        }
+    }
+
+    #[test]
+    fn rejects_undefined_net() {
+        let text = ".model m\n.inputs a\n.outputs f\n.names a ghost f\n11 1\n.end\n";
+        let err = parse_blif(text).unwrap_err();
+        assert!(err.to_string().contains("ghost"), "{err}");
+    }
+
+    #[test]
+    fn rejects_combinational_cycle() {
+        let text = "\
+.model m
+.inputs a
+.outputs f
+.names g a f
+11 1
+.names f g
+1 1
+.end
+";
+        let err = parse_blif(text).unwrap_err();
+        assert!(err.to_string().contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_covers() {
+        // wrong plane width
+        let t1 = ".model m\n.inputs a b\n.outputs f\n.names a b f\n1 1\n.end\n";
+        assert!(parse_blif(t1).unwrap_err().to_string().contains("columns"));
+        // bad character
+        let t2 = ".model m\n.inputs a b\n.outputs f\n.names a b f\n1x 1\n.end\n";
+        assert!(parse_blif(t2).unwrap_err().to_string().contains("invalid plane"));
+        // mixed phases
+        let t3 = ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n00 0\n.end\n";
+        assert!(parse_blif(t3).unwrap_err().to_string().contains("mixes"));
+        // redefinition
+        let t4 = ".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n.names a f\n0 1\n.end\n";
+        assert!(parse_blif(t4).unwrap_err().to_string().contains("twice"));
+        // defining an input
+        let t5 = ".model m\n.inputs a b\n.outputs f\n.names b a\n1 1\n.names a f\n1 1\n.end\n";
+        assert!(parse_blif(t5).unwrap_err().to_string().contains("declared .inputs"));
+    }
+
+    #[test]
+    fn adversarial_names_still_roundtrip() {
+        // An input named like the writer's internal nets must not collide.
+        let mut net = Network::new();
+        let a = net.input("_n2");
+        let b = net.input("b");
+        let f = net.and(a, b);
+        net.output("_n3", f);
+        let back = parse_blif(&write_blif(&net, "adv")).unwrap();
+        assert!(equivalent(&net, &back));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_network() -> impl Strategy<Value = Network> {
+            (2usize..6, proptest::collection::vec(any::<(u8, u8, u8)>(), 1..24)).prop_map(
+                |(num_inputs, raw_ops)| {
+                    let mut net = Network::new();
+                    let mut pool: Vec<NodeId> =
+                        (0..num_inputs).map(|i| net.input(format!("x{i}"))).collect();
+                    for (kind, i, j) in raw_ops {
+                        let a = pool[i as usize % pool.len()];
+                        let b = pool[j as usize % pool.len()];
+                        let id = match kind % 4 {
+                            0 => net.and(a, b),
+                            1 => net.or(a, b),
+                            2 => net.not(a),
+                            _ => net.xor(a, b),
+                        };
+                        pool.push(id);
+                    }
+                    let last = *pool.last().expect("non-empty pool");
+                    net.output("f", last);
+                    let second = pool[pool.len() / 2];
+                    net.output("g", second);
+                    net
+                },
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn blif_roundtrip_is_equivalent(net in arb_network()) {
+                let text = write_blif(&net, "prop");
+                let back = parse_blif(&text).unwrap();
+                prop_assert_eq!(back.num_inputs(), net.num_inputs());
+                prop_assert_eq!(back.truth_tables(), net.truth_tables());
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Parse-error type shared by the eqn and S-expression parsers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing equation-format or S-expression text.
+///
+/// Carries a 1-based line/column of the offending token where available
+/// (`line == 0` means "no position information").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the error, or 0 if unknown.
+    pub line: usize,
+    /// 1-based column of the error, or 0 if unknown.
+    pub col: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: usize, col: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn nopos(message: impl Into<String>) -> Self {
+        ParseError::new(0, 0, message)
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "parse error: {}", self.message)
+        } else {
+            write!(
+                f,
+                "parse error at {}:{}: {}",
+                self.line, self.col, self.message
+            )
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_position() {
+        let e = ParseError::new(3, 14, "unexpected token `;`");
+        assert_eq!(e.to_string(), "parse error at 3:14: unexpected token `;`");
+        let e = ParseError::nopos("empty input");
+        assert_eq!(e.to_string(), "parse error: empty input");
+    }
+}

@@ -1,0 +1,62 @@
+//! Boolean expression IR for the E-Syn logic-synthesis flow.
+//!
+//! This crate is the lingua franca of the workspace: every other crate
+//! (e-graph rewriting, AIG optimisation, technology mapping, equivalence
+//! checking, benchmark generators) consumes or produces a [`Network`].
+//!
+//! A [`Network`] is a hash-consed DAG of Boolean nodes over the operator set
+//! {AND, OR, NOT} plus constants and named primary inputs, with an ordered
+//! list of named primary outputs. The operator set deliberately matches the
+//! paper's choice ("we decide to loosen the requirement on the operators and
+//! allow free use of AND, OR and NOT", §3.1).
+//!
+//! Supported text formats:
+//!
+//! * **ABC equation format** (`INORDER = ...; OUTORDER = ...; f = a*b + !c;`)
+//!   via [`parse_eqn`] / [`Network::to_eqn`]. This is what ABC's
+//!   `write_eqn` emits and what the paper uses to exchange circuits between
+//!   ABC and the e-graph rewriter (Figure 2).
+//! * **S-expressions** (`(+ (* a b) (! c))`) via [`parse_sexpr`] /
+//!   [`Network::to_sexpr`], the input format of the e-graph layer.
+//! * **Structural Verilog** (write-only) via [`Network::to_verilog`] for
+//!   netlist inspection.
+//!
+//! Bit-parallel simulation ([`Network::simulate`], [`Network::truth_tables`])
+//! evaluates 64 input patterns per word and underpins both the equivalence
+//! checker's random-simulation filter and the test suites.
+//!
+//! # Example
+//!
+//! ```
+//! use esyn_eqn::Network;
+//!
+//! let mut net = Network::new();
+//! let a = net.input("a");
+//! let b = net.input("b");
+//! let g = net.and(a, b);
+//! net.output("g", g);
+//!
+//! let text = net.to_eqn();
+//! let parsed = esyn_eqn::parse_eqn(&text).unwrap();
+//! assert_eq!(parsed.num_outputs(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod blif;
+mod error;
+mod network;
+mod node;
+mod parse_eqn;
+mod parse_sexpr;
+mod print;
+mod sim;
+
+pub use blif::{parse_blif, write_blif};
+pub use error::ParseError;
+pub use network::{Network, NetworkStats};
+pub use node::{Node, NodeId};
+pub use parse_eqn::parse_eqn;
+pub use parse_sexpr::{parse_sexpr, parse_sexpr_network, SExpr};
+pub use sim::{TruthTable, MAX_TT_INPUTS};

@@ -1,0 +1,549 @@
+//! The hash-consed multi-output Boolean network.
+
+use crate::node::{Node, NodeId};
+use std::collections::HashMap;
+
+/// A combinational Boolean network over {AND, OR, NOT}.
+///
+/// Nodes live in an append-only arena and are hash-consed: building the same
+/// structure twice yields the same [`NodeId`]. The constructors apply *local*
+/// zero-cost simplifications (constant folding, double-negation removal,
+/// idempotence, structural complement detection) so that generated circuits
+/// do not accumulate trivially redundant nodes; they never perform global
+/// restructuring — that is the job of the optimisation crates.
+///
+/// # Example
+///
+/// ```
+/// use esyn_eqn::Network;
+///
+/// let mut net = Network::new();
+/// let a = net.input("a");
+/// let b = net.input("b");
+/// let s = net.xor(a, b);
+/// let c = net.and(a, b);
+/// net.output("sum", s);
+/// net.output("carry", c);
+/// assert_eq!(net.num_inputs(), 2);
+/// assert_eq!(net.num_outputs(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Network {
+    nodes: Vec<Node>,
+    memo: HashMap<Node, NodeId>,
+    input_names: Vec<String>,
+    input_lookup: HashMap<String, NodeId>,
+    outputs: Vec<(String, NodeId)>,
+}
+
+/// Summary statistics of a network, as reported by [`Network::stats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct NetworkStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Reachable AND nodes.
+    pub ands: usize,
+    /// Reachable OR nodes.
+    pub ors: usize,
+    /// Reachable NOT nodes.
+    pub nots: usize,
+    /// Longest input-to-output path counting every operator node as 1.
+    pub depth: usize,
+}
+
+impl NetworkStats {
+    /// Total reachable operator nodes (AND + OR + NOT).
+    pub fn gates(&self) -> usize {
+        self.ands + self.ors + self.nots
+    }
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes in the arena (including unreachable ones).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the arena holds no nodes at all.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node stored at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this network.
+    pub fn node(&self, id: NodeId) -> Node {
+        self.nodes[id.index()]
+    }
+
+    /// Ordered primary-input names (the `INORDER` line of the eqn format).
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.input_names.len()
+    }
+
+    /// Named primary outputs in declaration order.
+    pub fn outputs(&self) -> &[(String, NodeId)] {
+        &self.outputs
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Name of input `idx` (the payload of [`Node::Input`]).
+    pub fn input_name(&self, idx: u32) -> &str {
+        &self.input_names[idx as usize]
+    }
+
+    fn intern(&mut self, node: Node) -> NodeId {
+        if let Some(&id) = self.memo.get(&node) {
+            return id;
+        }
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(node);
+        self.memo.insert(node, id);
+        id
+    }
+
+    /// Returns the node for constant `value`.
+    pub fn constant(&mut self, value: bool) -> NodeId {
+        self.intern(Node::Const(value))
+    }
+
+    /// Returns the primary input named `name`, creating it on first use.
+    pub fn input(&mut self, name: impl Into<String>) -> NodeId {
+        let name = name.into();
+        if let Some(&id) = self.input_lookup.get(&name) {
+            return id;
+        }
+        let idx = u32::try_from(self.input_names.len()).expect("too many inputs");
+        self.input_names.push(name.clone());
+        let id = self.intern(Node::Input(idx));
+        self.input_lookup.insert(name, id);
+        id
+    }
+
+    /// Declares `id` as a primary output named `name`.
+    ///
+    /// Output names need not be unique, matching ABC's permissiveness, but
+    /// generators in this workspace always use distinct names.
+    pub fn output(&mut self, name: impl Into<String>, id: NodeId) {
+        self.outputs.push((name.into(), id));
+    }
+
+    /// True if `a` is the structural complement of `b` (one is `Not` of the
+    /// other). This is a local check, not a semantic one.
+    fn complements(&self, a: NodeId, b: NodeId) -> bool {
+        self.nodes[a.index()] == Node::Not(b) || self.nodes[b.index()] == Node::Not(a)
+    }
+
+    /// Logical NOT with double-negation and constant folding.
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        match self.nodes[a.index()] {
+            Node::Const(v) => self.constant(!v),
+            Node::Not(inner) => inner,
+            _ => self.intern(Node::Not(a)),
+        }
+    }
+
+    /// Logical AND with local simplification (`a*1 = a`, `a*0 = 0`,
+    /// `a*a = a`, `a*!a = 0`). Operands are ordered canonically so the
+    /// hash-cons map treats `a*b` and `b*a` as the same node.
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        match (self.nodes[a.index()], self.nodes[b.index()]) {
+            (Node::Const(false), _) | (_, Node::Const(false)) => self.constant(false),
+            (Node::Const(true), _) => b,
+            (_, Node::Const(true)) => a,
+            _ if a == b => a,
+            _ if self.complements(a, b) => self.constant(false),
+            _ => {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                self.intern(Node::And(lo, hi))
+            }
+        }
+    }
+
+    /// Logical OR with local simplification (`a+0 = a`, `a+1 = 1`,
+    /// `a+a = a`, `a+!a = 1`), operands canonically ordered.
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        match (self.nodes[a.index()], self.nodes[b.index()]) {
+            (Node::Const(true), _) | (_, Node::Const(true)) => self.constant(true),
+            (Node::Const(false), _) => b,
+            (_, Node::Const(false)) => a,
+            _ if a == b => a,
+            _ if self.complements(a, b) => self.constant(true),
+            _ => {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                self.intern(Node::Or(lo, hi))
+            }
+        }
+    }
+
+    /// `!(a & b)`.
+    pub fn nand(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let x = self.and(a, b);
+        self.not(x)
+    }
+
+    /// `!(a | b)`.
+    pub fn nor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let x = self.or(a, b);
+        self.not(x)
+    }
+
+    /// Exclusive OR, built as `(a & !b) | (!a & b)`.
+    pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let nb = self.not(b);
+        let na = self.not(a);
+        let l = self.and(a, nb);
+        let r = self.and(na, b);
+        self.or(l, r)
+    }
+
+    /// Exclusive NOR.
+    pub fn xnor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let x = self.xor(a, b);
+        self.not(x)
+    }
+
+    /// 2:1 multiplexer `sel ? t : e`, built as `(sel & t) | (!sel & e)`.
+    pub fn mux(&mut self, sel: NodeId, t: NodeId, e: NodeId) -> NodeId {
+        let ns = self.not(sel);
+        let l = self.and(sel, t);
+        let r = self.and(ns, e);
+        self.or(l, r)
+    }
+
+    /// Majority of three, `ab + ac + bc`.
+    pub fn maj(&mut self, a: NodeId, b: NodeId, c: NodeId) -> NodeId {
+        let ab = self.and(a, b);
+        let ac = self.and(a, c);
+        let bc = self.and(b, c);
+        let t = self.or(ab, ac);
+        self.or(t, bc)
+    }
+
+    /// Conjunction of all operands; the constant `true` for an empty slice.
+    /// Builds a balanced tree to keep depth logarithmic.
+    pub fn and_many(&mut self, ids: &[NodeId]) -> NodeId {
+        self.reduce_balanced(ids, true)
+    }
+
+    /// Disjunction of all operands; the constant `false` for an empty slice.
+    /// Builds a balanced tree to keep depth logarithmic.
+    pub fn or_many(&mut self, ids: &[NodeId]) -> NodeId {
+        self.reduce_balanced(ids, false)
+    }
+
+    fn reduce_balanced(&mut self, ids: &[NodeId], is_and: bool) -> NodeId {
+        match ids.len() {
+            0 => self.constant(is_and),
+            1 => ids[0],
+            _ => {
+                let mut level: Vec<NodeId> = ids.to_vec();
+                while level.len() > 1 {
+                    let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                    for pair in level.chunks(2) {
+                        let combined = if pair.len() == 2 {
+                            if is_and {
+                                self.and(pair[0], pair[1])
+                            } else {
+                                self.or(pair[0], pair[1])
+                            }
+                        } else {
+                            pair[0]
+                        };
+                        next.push(combined);
+                    }
+                    level = next;
+                }
+                level[0]
+            }
+        }
+    }
+
+    /// Nodes reachable from the outputs, in topological (fanin-first) order.
+    ///
+    /// Because the arena is append-only and constructors only reference
+    /// already-existing nodes, ascending id order *is* a topological order;
+    /// this method additionally filters to the reachable subset.
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        let mut reachable = vec![false; self.nodes.len()];
+        let mut stack: Vec<NodeId> = self.outputs.iter().map(|&(_, id)| id).collect();
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut reachable[id.index()], true) {
+                continue;
+            }
+            stack.extend(self.nodes[id.index()].fanins());
+        }
+        (0..self.nodes.len())
+            .filter(|&i| reachable[i])
+            .map(NodeId::from_index)
+            .collect()
+    }
+
+    /// Per-node depth (leaves at 0, each operator adds 1) for all reachable
+    /// nodes; unreachable entries are 0.
+    pub fn depths(&self) -> Vec<usize> {
+        let mut depth = vec![0usize; self.nodes.len()];
+        for id in self.topo_order() {
+            let node = self.nodes[id.index()];
+            if !node.is_leaf() {
+                depth[id.index()] = 1 + node
+                    .fanins()
+                    .map(|f| depth[f.index()])
+                    .max()
+                    .unwrap_or(0);
+            }
+        }
+        depth
+    }
+
+    /// Computes reachable-node statistics.
+    pub fn stats(&self) -> NetworkStats {
+        let order = self.topo_order();
+        let depths = self.depths();
+        let mut stats = NetworkStats {
+            inputs: self.input_names.len(),
+            outputs: self.outputs.len(),
+            ..Default::default()
+        };
+        for &id in &order {
+            match self.nodes[id.index()] {
+                Node::And(..) => stats.ands += 1,
+                Node::Or(..) => stats.ors += 1,
+                Node::Not(_) => stats.nots += 1,
+                _ => {}
+            }
+        }
+        stats.depth = self
+            .outputs
+            .iter()
+            .map(|&(_, id)| depths[id.index()])
+            .max()
+            .unwrap_or(0);
+        stats
+    }
+
+    /// Copies the cone of `roots` from `src` into `self`, returning the
+    /// translated ids in the same order. Input nodes are translated by name.
+    pub fn import(&mut self, src: &Network, roots: &[NodeId]) -> Vec<NodeId> {
+        let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+        // Compute reachable set restricted to the requested roots, then walk
+        // in ascending id order (a valid topological order of `src`).
+        let mut reachable = vec![false; src.nodes.len()];
+        let mut stack: Vec<NodeId> = roots.to_vec();
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut reachable[id.index()], true) {
+                continue;
+            }
+            stack.extend(src.nodes[id.index()].fanins());
+        }
+        for i in 0..src.nodes.len() {
+            if !reachable[i] {
+                continue;
+            }
+            let id = NodeId::from_index(i);
+            let new_id = match src.nodes[i] {
+                Node::Const(v) => self.constant(v),
+                Node::Input(idx) => {
+                    let name = src.input_name(idx).to_owned();
+                    self.input(name)
+                }
+                Node::Not(a) => {
+                    let a = map[&a];
+                    self.not(a)
+                }
+                Node::And(a, b) => {
+                    let (a, b) = (map[&a], map[&b]);
+                    self.and(a, b)
+                }
+                Node::Or(a, b) => {
+                    let (a, b) = (map[&a], map[&b]);
+                    self.or(a, b)
+                }
+            };
+            map.insert(id, new_id);
+        }
+        roots.iter().map(|r| map[r]).collect()
+    }
+
+    /// Returns a copy of this network containing only nodes reachable from
+    /// the outputs, with the same input order for inputs that remain in use
+    /// and the same output names.
+    pub fn cleaned(&self) -> Network {
+        let mut out = Network::new();
+        // Preserve the primary-input order: declare all inputs up front so
+        // simulation patterns line up between original and cleaned networks.
+        for name in &self.input_names {
+            out.input(name.clone());
+        }
+        let roots: Vec<NodeId> = self.outputs.iter().map(|&(_, id)| id).collect();
+        let new_roots = out.import(self, &roots);
+        for ((name, _), new_id) in self.outputs.iter().zip(new_roots) {
+            out.output(name.clone(), new_id);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_dedups() {
+        let mut net = Network::new();
+        let a = net.input("a");
+        let b = net.input("b");
+        let x = net.and(a, b);
+        let y = net.and(b, a); // commuted -> same node
+        assert_eq!(x, y);
+        assert_eq!(net.len(), 3);
+    }
+
+    #[test]
+    fn local_simplifications() {
+        let mut net = Network::new();
+        let a = net.input("a");
+        let t = net.constant(true);
+        let f = net.constant(false);
+
+        assert_eq!(net.and(a, t), a);
+        assert_eq!(net.and(a, f), f);
+        assert_eq!(net.or(a, f), a);
+        assert_eq!(net.or(a, t), t);
+        assert_eq!(net.and(a, a), a);
+        assert_eq!(net.or(a, a), a);
+
+        let na = net.not(a);
+        assert_eq!(net.and(a, na), f);
+        assert_eq!(net.or(a, na), t);
+        assert_eq!(net.not(na), a);
+
+        let nt = net.not(t);
+        assert_eq!(nt, f);
+    }
+
+    #[test]
+    fn xor_mux_maj_shapes() {
+        let mut net = Network::new();
+        let a = net.input("a");
+        let b = net.input("b");
+        let c = net.input("c");
+        let x = net.xor(a, b);
+        net.output("x", x);
+        let m = net.mux(a, b, c);
+        net.output("m", m);
+        let j = net.maj(a, b, c);
+        net.output("j", j);
+        let stats = net.stats();
+        assert!(stats.gates() > 0);
+        assert_eq!(stats.inputs, 3);
+        assert_eq!(stats.outputs, 3);
+    }
+
+    #[test]
+    fn and_many_balanced_depth() {
+        let mut net = Network::new();
+        let leaves: Vec<_> = (0..16).map(|i| net.input(format!("i{i}"))).collect();
+        let root = net.and_many(&leaves);
+        net.output("f", root);
+        // 16 leaves -> balanced tree of depth exactly 4.
+        assert_eq!(net.stats().depth, 4);
+    }
+
+    #[test]
+    fn and_many_empty_and_singleton() {
+        let mut net = Network::new();
+        let t = net.constant(true);
+        assert_eq!(net.and_many(&[]), t);
+        let f = net.constant(false);
+        assert_eq!(net.or_many(&[]), f);
+        let a = net.input("a");
+        assert_eq!(net.and_many(&[a]), a);
+        assert_eq!(net.or_many(&[a]), a);
+    }
+
+    #[test]
+    fn topo_order_parents_after_children() {
+        let mut net = Network::new();
+        let a = net.input("a");
+        let b = net.input("b");
+        let x = net.and(a, b);
+        let y = net.not(x);
+        net.output("y", y);
+        let order = net.topo_order();
+        let pos =
+            |id: NodeId| order.iter().position(|&o| o == id).expect("node in order");
+        assert!(pos(a) < pos(x));
+        assert!(pos(b) < pos(x));
+        assert!(pos(x) < pos(y));
+    }
+
+    #[test]
+    fn cleaned_drops_unreachable() {
+        let mut net = Network::new();
+        let a = net.input("a");
+        let b = net.input("b");
+        let keep = net.and(a, b);
+        let _dead = net.or(a, b); // never used as an output
+        net.output("f", keep);
+        let cleaned = net.cleaned();
+        assert_eq!(cleaned.stats().gates(), 1);
+        // Input order preserved even if an input is dangling.
+        assert_eq!(cleaned.input_names(), net.input_names());
+    }
+
+    #[test]
+    fn import_translates_by_input_name() {
+        let mut src = Network::new();
+        let a = src.input("a");
+        let b = src.input("b");
+        let f = src.or(a, b);
+        src.output("f", f);
+
+        let mut dst = Network::new();
+        let b2 = dst.input("b"); // note: reversed declaration order
+        let _ = b2;
+        let roots = dst.import(&src, &[f]);
+        dst.output("f", roots[0]);
+        // "a" was created on demand in dst.
+        assert_eq!(dst.num_inputs(), 2);
+        assert_eq!(dst.input_names()[0], "b");
+        assert_eq!(dst.input_names()[1], "a");
+    }
+
+    #[test]
+    fn stats_counts_each_kind() {
+        let mut net = Network::new();
+        let a = net.input("a");
+        let b = net.input("b");
+        let x = net.and(a, b);
+        let y = net.or(a, b);
+        let z = net.not(x);
+        let w = net.and(z, y);
+        net.output("w", w);
+        let s = net.stats();
+        assert_eq!(s.ands, 2);
+        assert_eq!(s.ors, 1);
+        assert_eq!(s.nots, 1);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.gates(), 4);
+    }
+}

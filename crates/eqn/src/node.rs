@@ -1,0 +1,144 @@
+//! Node and node-id types for the hash-consed Boolean DAG.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node inside a [`crate::Network`] arena.
+///
+/// Ids are dense, start at zero and are only meaningful relative to the
+/// network that issued them. The `u32` representation keeps node footprints
+/// small; practical circuits in this workspace stay far below `u32::MAX`
+/// nodes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Returns the raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a `NodeId` from a raw arena index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A single Boolean node.
+///
+/// `Input` nodes carry an index into the network's ordered primary-input
+/// list rather than a name, so nodes stay `Copy` and hash-consing stays
+/// cheap.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Node {
+    /// Boolean constant `false` / `true`.
+    Const(bool),
+    /// Primary input, by position in [`crate::Network::input_names`].
+    Input(u32),
+    /// Logical negation.
+    Not(NodeId),
+    /// Logical conjunction.
+    And(NodeId, NodeId),
+    /// Logical disjunction.
+    Or(NodeId, NodeId),
+}
+
+impl Node {
+    /// The fanin node ids of this node (empty for leaves).
+    pub fn fanins(&self) -> FaninIter {
+        let (buf, len) = match *self {
+            Node::Const(_) | Node::Input(_) => ([NodeId(0); 2], 0),
+            Node::Not(a) => ([a, NodeId(0)], 1),
+            Node::And(a, b) | Node::Or(a, b) => ([a, b], 2),
+        };
+        FaninIter { buf, len, pos: 0 }
+    }
+
+    /// True for `Const` and `Input` nodes.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Const(_) | Node::Input(_))
+    }
+
+    /// True for `And` and `Or` nodes (the two-input logic operators).
+    pub fn is_binary(&self) -> bool {
+        matches!(self, Node::And(..) | Node::Or(..))
+    }
+}
+
+/// Iterator over the fanins of a [`Node`]; at most two elements.
+#[derive(Clone, Debug)]
+pub struct FaninIter {
+    buf: [NodeId; 2],
+    len: u8,
+    pos: u8,
+}
+
+impl Iterator for FaninIter {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.pos < self.len {
+            let id = self.buf[self.pos as usize];
+            self.pos += 1;
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.len - self.pos) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for FaninIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "n42");
+        assert_eq!(format!("{id:?}"), "n42");
+    }
+
+    #[test]
+    fn fanin_iter_lengths() {
+        assert_eq!(Node::Const(true).fanins().len(), 0);
+        assert_eq!(Node::Input(0).fanins().len(), 0);
+        assert_eq!(Node::Not(NodeId(3)).fanins().len(), 1);
+        assert_eq!(Node::And(NodeId(1), NodeId(2)).fanins().len(), 2);
+        let v: Vec<_> = Node::Or(NodeId(5), NodeId(9)).fanins().collect();
+        assert_eq!(v, vec![NodeId(5), NodeId(9)]);
+    }
+
+    #[test]
+    fn leaf_classification() {
+        assert!(Node::Const(false).is_leaf());
+        assert!(Node::Input(7).is_leaf());
+        assert!(!Node::Not(NodeId(0)).is_leaf());
+        assert!(Node::And(NodeId(0), NodeId(1)).is_binary());
+        assert!(Node::Or(NodeId(0), NodeId(1)).is_binary());
+        assert!(!Node::Not(NodeId(0)).is_binary());
+    }
+}

@@ -1,0 +1,488 @@
+//! Parser for the ABC equation format (`write_eqn` / `read_eqn`).
+//!
+//! The grammar accepted here is the one ABC emits plus a few tolerated
+//! extensions that appear in the wild:
+//!
+//! ```text
+//! file     := { statement }
+//! statement:= "INORDER"  "=" ident* ";"
+//!           | "OUTORDER" "=" ident* ";"
+//!           | ident "=" expr ";"
+//! expr     := term   { "+" term }           // OR, lowest precedence
+//! term     := factor { "*" factor }         // AND
+//! factor   := "!" factor | atom { "'" }     // prefix ! and postfix '
+//! atom     := ident | "0" | "1" | "(" expr ")"
+//! ```
+//!
+//! `#`-to-end-of-line comments are skipped. Identifiers assigned before use
+//! act as intermediate wires; identifiers never assigned are primary inputs
+//! (they must be listed in `INORDER` if an `INORDER` line is present).
+
+use crate::error::ParseError;
+use crate::network::Network;
+use crate::node::NodeId;
+use std::collections::HashMap;
+
+/// Parses ABC equation-format text into a [`Network`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with line/column information on malformed
+/// input, on use of an identifier that is neither a declared input nor a
+/// previously assigned wire, and on `OUTORDER` entries that are never
+/// defined.
+///
+/// # Example
+///
+/// ```
+/// let net = esyn_eqn::parse_eqn(
+///     "INORDER = a b c;\nOUTORDER = f;\nf = a*b + !c;\n",
+/// )?;
+/// assert_eq!(net.num_inputs(), 3);
+/// assert_eq!(net.num_outputs(), 1);
+/// # Ok::<(), esyn_eqn::ParseError>(())
+/// ```
+pub fn parse_eqn(text: &str) -> Result<Network, ParseError> {
+    let toks = lex(text)?;
+    Parser { toks, pos: 0 }.parse()
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Equals,
+    Semi,
+    Plus,
+    Star,
+    Bang,
+    Tick,
+    LParen,
+    RParen,
+    Zero,
+    One,
+}
+
+#[derive(Clone, Debug)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+fn lex(text: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        let (tline, tcol) = (line, col);
+        let bump = |c: char, line: &mut usize, col: &mut usize| {
+            if c == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                chars.next();
+                bump(c, &mut line, &mut col);
+            }
+            '#' => {
+                // comment to end of line
+                while let Some(&c) = chars.peek() {
+                    chars.next();
+                    bump(c, &mut line, &mut col);
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            '=' | ';' | '+' | '*' | '!' | '\'' | '(' | ')' => {
+                chars.next();
+                bump(c, &mut line, &mut col);
+                let tok = match c {
+                    '=' => Tok::Equals,
+                    ';' => Tok::Semi,
+                    '+' => Tok::Plus,
+                    '*' => Tok::Star,
+                    '!' => Tok::Bang,
+                    '\'' => Tok::Tick,
+                    '(' => Tok::LParen,
+                    _ => Tok::RParen,
+                };
+                out.push(Spanned {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '&' => {
+                // tolerated synonym for '*'
+                chars.next();
+                bump(c, &mut line, &mut col);
+                out.push(Spanned {
+                    tok: Tok::Star,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '|' => {
+                chars.next();
+                bump(c, &mut line, &mut col);
+                out.push(Spanned {
+                    tok: Tok::Plus,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            _ if c.is_alphanumeric() || c == '_' || c == '[' || c == ']' || c == '.' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '[' || c == ']' || c == '.' {
+                        ident.push(c);
+                        chars.next();
+                        bump(c, &mut line, &mut col);
+                    } else {
+                        break;
+                    }
+                }
+                let tok = match ident.as_str() {
+                    "0" => Tok::Zero,
+                    "1" => Tok::One,
+                    _ => Tok::Ident(ident),
+                };
+                out.push(Spanned {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            other => {
+                return Err(ParseError::new(
+                    tline,
+                    tcol,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.toks.get(self.pos)
+    }
+
+    fn next_tok(&mut self) -> Option<Spanned> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        match self.next_tok() {
+            Some(s) if &s.tok == want => Ok(()),
+            Some(s) => Err(ParseError::new(
+                s.line,
+                s.col,
+                format!("expected {what}, found {:?}", s.tok),
+            )),
+            None => Err(ParseError::nopos(format!(
+                "unexpected end of input, expected {what}"
+            ))),
+        }
+    }
+
+    fn parse(mut self) -> Result<Network, ParseError> {
+        let mut net = Network::new();
+        let mut wires: HashMap<String, NodeId> = HashMap::new();
+        let mut inorder: Option<Vec<String>> = None;
+        let mut outorder: Option<Vec<String>> = None;
+        let mut assigns: Vec<(String, NodeId)> = Vec::new();
+
+        while let Some(s) = self.next_tok() {
+            let (line, col) = (s.line, s.col);
+            match s.tok {
+                Tok::Ident(name) if name == "INORDER" => {
+                    self.expect(&Tok::Equals, "`=` after INORDER")?;
+                    let names = self.ident_list()?;
+                    for n in &names {
+                        let id = net.input(n.clone());
+                        wires.insert(n.clone(), id);
+                    }
+                    inorder = Some(names);
+                }
+                Tok::Ident(name) if name == "OUTORDER" => {
+                    self.expect(&Tok::Equals, "`=` after OUTORDER")?;
+                    outorder = Some(self.ident_list()?);
+                }
+                Tok::Ident(name) => {
+                    self.expect(&Tok::Equals, "`=` in assignment")?;
+                    let id = self.expr(&mut net, &wires, inorder.is_some())?;
+                    self.expect(&Tok::Semi, "`;` after expression")?;
+                    if wires.insert(name.clone(), id).is_some() && inorder.is_some() {
+                        return Err(ParseError::new(
+                            line,
+                            col,
+                            format!("`{name}` assigned more than once"),
+                        ));
+                    }
+                    assigns.push((name, id));
+                }
+                other => {
+                    return Err(ParseError::new(
+                        line,
+                        col,
+                        format!("expected statement, found {other:?}"),
+                    ));
+                }
+            }
+        }
+
+        match outorder {
+            Some(names) => {
+                for n in names {
+                    let id = wires.get(&n).copied().ok_or_else(|| {
+                        ParseError::nopos(format!("OUTORDER signal `{n}` is never defined"))
+                    })?;
+                    net.output(n, id);
+                }
+            }
+            None => {
+                // ABC always emits OUTORDER; this branch only serves
+                // hand-written snippets, where "every assignment is an
+                // output" is the useful default.
+                for (n, id) in assigns {
+                    net.output(n, id);
+                }
+            }
+        }
+        Ok(net)
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut names = Vec::new();
+        loop {
+            match self.next_tok() {
+                Some(Spanned {
+                    tok: Tok::Ident(n), ..
+                }) => names.push(n),
+                Some(Spanned { tok: Tok::Semi, .. }) => return Ok(names),
+                Some(s) => {
+                    return Err(ParseError::new(
+                        s.line,
+                        s.col,
+                        format!("expected identifier or `;`, found {:?}", s.tok),
+                    ));
+                }
+                None => {
+                    return Err(ParseError::nopos(
+                        "unexpected end of input in identifier list",
+                    ));
+                }
+            }
+        }
+    }
+
+    /// expr := term { '+' term }
+    fn expr(
+        &mut self,
+        net: &mut Network,
+        wires: &HashMap<String, NodeId>,
+        strict_inputs: bool,
+    ) -> Result<NodeId, ParseError> {
+        let mut acc = self.term(net, wires, strict_inputs)?;
+        while matches!(self.peek().map(|s| &s.tok), Some(Tok::Plus)) {
+            self.next_tok();
+            let rhs = self.term(net, wires, strict_inputs)?;
+            acc = net.or(acc, rhs);
+        }
+        Ok(acc)
+    }
+
+    /// term := factor { '*' factor }
+    fn term(
+        &mut self,
+        net: &mut Network,
+        wires: &HashMap<String, NodeId>,
+        strict_inputs: bool,
+    ) -> Result<NodeId, ParseError> {
+        let mut acc = self.factor(net, wires, strict_inputs)?;
+        while matches!(self.peek().map(|s| &s.tok), Some(Tok::Star)) {
+            self.next_tok();
+            let rhs = self.factor(net, wires, strict_inputs)?;
+            acc = net.and(acc, rhs);
+        }
+        Ok(acc)
+    }
+
+    /// factor := '!' factor | atom { '\'' }
+    fn factor(
+        &mut self,
+        net: &mut Network,
+        wires: &HashMap<String, NodeId>,
+        strict_inputs: bool,
+    ) -> Result<NodeId, ParseError> {
+        if matches!(self.peek().map(|s| &s.tok), Some(Tok::Bang)) {
+            self.next_tok();
+            let inner = self.factor(net, wires, strict_inputs)?;
+            return Ok(net.not(inner));
+        }
+        let mut id = self.atom(net, wires, strict_inputs)?;
+        while matches!(self.peek().map(|s| &s.tok), Some(Tok::Tick)) {
+            self.next_tok();
+            id = net.not(id);
+        }
+        Ok(id)
+    }
+
+    fn atom(
+        &mut self,
+        net: &mut Network,
+        wires: &HashMap<String, NodeId>,
+        strict_inputs: bool,
+    ) -> Result<NodeId, ParseError> {
+        match self.next_tok() {
+            Some(Spanned { tok: Tok::Zero, .. }) => Ok(net.constant(false)),
+            Some(Spanned { tok: Tok::One, .. }) => Ok(net.constant(true)),
+            Some(Spanned {
+                tok: Tok::Ident(n),
+                line,
+                col,
+            }) => {
+                if let Some(&id) = wires.get(&n) {
+                    Ok(id)
+                } else if strict_inputs {
+                    Err(ParseError::new(
+                        line,
+                        col,
+                        format!("`{n}` used before definition and not in INORDER"),
+                    ))
+                } else {
+                    Ok(net.input(n))
+                }
+            }
+            Some(Spanned {
+                tok: Tok::LParen, ..
+            }) => {
+                let id = self.expr(net, wires, strict_inputs)?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(id)
+            }
+            Some(s) => Err(ParseError::new(
+                s.line,
+                s.col,
+                format!("expected operand, found {:?}", s.tok),
+            )),
+            None => Err(ParseError::nopos("unexpected end of input in expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_file() {
+        let net = parse_eqn("INORDER = a b c;\nOUTORDER = f;\nf = a*b + !c;\n").unwrap();
+        assert_eq!(net.num_inputs(), 3);
+        assert_eq!(net.num_outputs(), 1);
+        let s = net.stats();
+        assert_eq!(s.ands, 1);
+        assert_eq!(s.ors, 1);
+        assert_eq!(s.nots, 1);
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        // a + b*c must parse as a + (b*c)
+        let n1 = parse_eqn("INORDER = a b c;\nOUTORDER = f;\nf = a + b*c;\n").unwrap();
+        let n2 = parse_eqn("INORDER = a b c;\nOUTORDER = f;\nf = a + (b*c);\n").unwrap();
+        assert_eq!(n1.truth_tables(), n2.truth_tables());
+        let n3 = parse_eqn("INORDER = a b c;\nOUTORDER = f;\nf = (a + b)*c;\n").unwrap();
+        assert_ne!(n1.truth_tables(), n3.truth_tables());
+    }
+
+    #[test]
+    fn postfix_tick_and_prefix_bang_agree() {
+        let n1 = parse_eqn("INORDER = a;\nOUTORDER = f;\nf = !a;\n").unwrap();
+        let n2 = parse_eqn("INORDER = a;\nOUTORDER = f;\nf = a';\n").unwrap();
+        assert_eq!(n1.truth_tables(), n2.truth_tables());
+    }
+
+    #[test]
+    fn intermediate_wires() {
+        let net = parse_eqn(
+            "INORDER = a b;\nOUTORDER = f;\nw1 = a * b;\nw2 = !w1;\nf = w2 + a;\n",
+        )
+        .unwrap();
+        assert_eq!(net.num_outputs(), 1);
+    }
+
+    #[test]
+    fn comments_and_synonym_operators() {
+        let net = parse_eqn(
+            "# a comment\nINORDER = a b; # trailing\nOUTORDER = f;\nf = a & b | !a;\n",
+        )
+        .unwrap();
+        assert_eq!(net.num_inputs(), 2);
+    }
+
+    #[test]
+    fn constants() {
+        let net = parse_eqn("INORDER = a;\nOUTORDER = f g;\nf = a * 1;\ng = a + 0;\n").unwrap();
+        // both fold to `a`
+        let tts = net.truth_tables();
+        assert_eq!(tts[0], tts[1]);
+    }
+
+    #[test]
+    fn error_undefined_signal() {
+        let err = parse_eqn("INORDER = a;\nOUTORDER = f;\nf = a * ghost;\n").unwrap_err();
+        assert!(err.message.contains("ghost"), "{err}");
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn error_missing_outorder_signal() {
+        let err = parse_eqn("INORDER = a;\nOUTORDER = f;\ng = a;\n").unwrap_err();
+        assert!(err.message.contains('f'), "{err}");
+    }
+
+    #[test]
+    fn error_double_assignment() {
+        let err = parse_eqn("INORDER = a;\nOUTORDER = f;\nf = a;\nf = !a;\n").unwrap_err();
+        assert!(err.message.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn error_garbage_character() {
+        let err = parse_eqn("INORDER = a;\nOUTORDER = f;\nf = a @ a;\n").unwrap_err();
+        assert!(err.message.contains('@'), "{err}");
+    }
+
+    #[test]
+    fn no_outorder_means_all_assigned_are_outputs() {
+        let net = parse_eqn("f = a * b;\ng = !a;\n").unwrap();
+        assert_eq!(net.num_outputs(), 2);
+        assert_eq!(net.num_inputs(), 2);
+    }
+
+    #[test]
+    fn bracketed_bus_names() {
+        let net =
+            parse_eqn("INORDER = x[0] x[1];\nOUTORDER = y[0];\ny[0] = x[0] * x[1];\n").unwrap();
+        assert_eq!(net.input_names()[0], "x[0]");
+    }
+}

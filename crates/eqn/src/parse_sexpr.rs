@@ -1,0 +1,343 @@
+//! S-expression parser — the interchange format between the equation world
+//! and the e-graph rewriter (paper §3.3: "transformed into nested
+//! S-expressions in Common Lisp").
+//!
+//! Grammar:
+//!
+//! ```text
+//! sexpr := atom | "(" op sexpr* ")"
+//! op    := "*" | "&" | "AND" | "+" | "|" | "OR" | "!" | "~" | "NOT" | "outs"
+//! atom  := identifier | "0" | "1" | "true" | "false"
+//! ```
+//!
+//! `*`/`+`/`!` follow the paper's Figure 3 notation (AND/OR/NOT); the
+//! synonyms make hand-written tests pleasant. The variadic `outs` head wraps
+//! a multi-output network into a single term.
+
+use crate::error::ParseError;
+use crate::network::Network;
+use crate::node::NodeId;
+
+/// A parsed S-expression tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SExpr {
+    /// Constant `0` / `1`.
+    Const(bool),
+    /// A variable reference.
+    Var(String),
+    /// `(! x)`
+    Not(Box<SExpr>),
+    /// `(* x y ...)` — n-ary in the text, folded left-associatively.
+    And(Vec<SExpr>),
+    /// `(+ x y ...)` — n-ary in the text, folded left-associatively.
+    Or(Vec<SExpr>),
+    /// `(outs f g ...)` — multi-output wrapper.
+    Outs(Vec<SExpr>),
+}
+
+impl SExpr {
+    /// Number of nodes in this tree (every `Const`, `Var` and operator
+    /// application counts as one).
+    pub fn size(&self) -> usize {
+        match self {
+            SExpr::Const(_) | SExpr::Var(_) => 1,
+            SExpr::Not(x) => 1 + x.size(),
+            SExpr::And(xs) | SExpr::Or(xs) | SExpr::Outs(xs) => {
+                1 + xs.iter().map(SExpr::size).sum::<usize>()
+            }
+        }
+    }
+
+    /// Tree depth (leaves have depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            SExpr::Const(_) | SExpr::Var(_) => 1,
+            SExpr::Not(x) => 1 + x.depth(),
+            SExpr::And(xs) | SExpr::Or(xs) | SExpr::Outs(xs) => {
+                1 + xs.iter().map(SExpr::depth).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for SExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SExpr::Const(false) => write!(f, "0"),
+            SExpr::Const(true) => write!(f, "1"),
+            SExpr::Var(v) => write!(f, "{v}"),
+            SExpr::Not(x) => write!(f, "(! {x})"),
+            SExpr::And(xs) => write_list(f, "*", xs),
+            SExpr::Or(xs) => write_list(f, "+", xs),
+            SExpr::Outs(xs) => write_list(f, "outs", xs),
+        }
+    }
+}
+
+fn write_list(f: &mut std::fmt::Formatter<'_>, head: &str, xs: &[SExpr]) -> std::fmt::Result {
+    write!(f, "({head}")?;
+    for x in xs {
+        write!(f, " {x}")?;
+    }
+    write!(f, ")")
+}
+
+/// Parses one S-expression from `text`.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on unbalanced parentheses, unknown operator heads,
+/// arity violations (`!` takes exactly one argument; `*`, `+` take at least
+/// two) or trailing garbage.
+///
+/// # Example
+///
+/// ```
+/// use esyn_eqn::{parse_sexpr, SExpr};
+/// let e = parse_sexpr("(+ (* x y) (* x z))")?;
+/// assert_eq!(e.size(), 7);
+/// assert_eq!(e.depth(), 3);
+/// # Ok::<(), esyn_eqn::ParseError>(())
+/// ```
+pub fn parse_sexpr(text: &str) -> Result<SExpr, ParseError> {
+    let mut toks = tokenize(text);
+    let expr = parse_expr(&mut toks)?;
+    if let Some((t, line, col)) = toks.first() {
+        return Err(ParseError::new(
+            *line,
+            *col,
+            format!("trailing input after S-expression: `{t}`"),
+        ));
+    }
+    Ok(expr)
+}
+
+/// Parses an S-expression and converts it into a [`Network`].
+///
+/// A top-level `(outs ...)` wrapper produces one output per argument, named
+/// `po0`, `po1`, ...; any other expression produces a single output named
+/// `po0`.
+///
+/// # Errors
+///
+/// Propagates [`parse_sexpr`] errors.
+pub fn parse_sexpr_network(text: &str) -> Result<Network, ParseError> {
+    let expr = parse_sexpr(text)?;
+    let mut net = Network::new();
+    let roots: Vec<SExpr> = match expr {
+        SExpr::Outs(xs) => xs,
+        other => vec![other],
+    };
+    for (i, root) in roots.iter().enumerate() {
+        let id = build(&mut net, root);
+        net.output(format!("po{i}"), id);
+    }
+    Ok(net)
+}
+
+fn build(net: &mut Network, e: &SExpr) -> NodeId {
+    match e {
+        SExpr::Const(v) => net.constant(*v),
+        SExpr::Var(v) => net.input(v.clone()),
+        SExpr::Not(x) => {
+            let inner = build(net, x);
+            net.not(inner)
+        }
+        SExpr::And(xs) => {
+            let ids: Vec<NodeId> = xs.iter().map(|x| build(net, x)).collect();
+            ids.into_iter()
+                .reduce(|a, b| net.and(a, b))
+                .expect("And arity checked by parser")
+        }
+        SExpr::Or(xs) => {
+            let ids: Vec<NodeId> = xs.iter().map(|x| build(net, x)).collect();
+            ids.into_iter()
+                .reduce(|a, b| net.or(a, b))
+                .expect("Or arity checked by parser")
+        }
+        SExpr::Outs(_) => unreachable!("nested outs rejected by parser"),
+    }
+}
+
+type Token = (String, usize, usize);
+
+fn tokenize(text: &str) -> Vec<Token> {
+    let mut toks = Vec::new();
+    let mut cur = String::new();
+    let (mut line, mut col) = (1usize, 1usize);
+    let (mut tline, mut tcol) = (1usize, 1usize);
+    for c in text.chars() {
+        match c {
+            '(' | ')' => {
+                if !cur.is_empty() {
+                    toks.push((std::mem::take(&mut cur), tline, tcol));
+                }
+                toks.push((c.to_string(), line, col));
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    toks.push((std::mem::take(&mut cur), tline, tcol));
+                }
+            }
+            _ => {
+                if cur.is_empty() {
+                    tline = line;
+                    tcol = col;
+                }
+                cur.push(c);
+            }
+        }
+        if c == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    if !cur.is_empty() {
+        toks.push((cur, tline, tcol));
+    }
+    toks
+}
+
+fn parse_expr(toks: &mut Vec<Token>) -> Result<SExpr, ParseError> {
+    parse_expr_inner(toks, 0)
+}
+
+fn parse_expr_inner(toks: &mut Vec<Token>, depth: usize) -> Result<SExpr, ParseError> {
+    if toks.is_empty() {
+        return Err(ParseError::nopos("unexpected end of S-expression input"));
+    }
+    let (t, line, col) = toks.remove(0);
+    match t.as_str() {
+        "(" => {
+            let (head, hline, hcol) = toks
+                .first()
+                .cloned()
+                .ok_or_else(|| ParseError::nopos("missing operator after `(`"))?;
+            toks.remove(0);
+            let mut args = Vec::new();
+            loop {
+                match toks.first() {
+                    Some((t, ..)) if t == ")" => {
+                        toks.remove(0);
+                        break;
+                    }
+                    Some(_) => args.push(parse_expr_inner(toks, depth + 1)?),
+                    None => {
+                        return Err(ParseError::nopos("unbalanced `(` in S-expression"));
+                    }
+                }
+            }
+            match head.as_str() {
+                "*" | "&" | "AND" | "and" => {
+                    if args.len() < 2 {
+                        return Err(ParseError::new(hline, hcol, "`*` needs >= 2 arguments"));
+                    }
+                    Ok(SExpr::And(args))
+                }
+                "+" | "|" | "OR" | "or" => {
+                    if args.len() < 2 {
+                        return Err(ParseError::new(hline, hcol, "`+` needs >= 2 arguments"));
+                    }
+                    Ok(SExpr::Or(args))
+                }
+                "!" | "~" | "NOT" | "not" => {
+                    if args.len() != 1 {
+                        return Err(ParseError::new(
+                            hline,
+                            hcol,
+                            "`!` needs exactly 1 argument",
+                        ));
+                    }
+                    Ok(SExpr::Not(Box::new(args.into_iter().next().unwrap())))
+                }
+                "outs" | "OUTS" => {
+                    if depth != 0 {
+                        return Err(ParseError::new(
+                            hline,
+                            hcol,
+                            "`outs` is only allowed at the top level",
+                        ));
+                    }
+                    if args.is_empty() {
+                        return Err(ParseError::new(hline, hcol, "`outs` needs >= 1 argument"));
+                    }
+                    Ok(SExpr::Outs(args))
+                }
+                other => Err(ParseError::new(
+                    hline,
+                    hcol,
+                    format!("unknown operator `{other}`"),
+                )),
+            }
+        }
+        ")" => Err(ParseError::new(line, col, "unexpected `)`")),
+        "0" | "false" => Ok(SExpr::Const(false)),
+        "1" | "true" => Ok(SExpr::Const(true)),
+        v => Ok(SExpr::Var(v.to_owned())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_figure3_example() {
+        // the paper's Figure 3 function: xy + xz
+        let e = parse_sexpr("(+ (* x y) (* x z))").unwrap();
+        assert_eq!(e.to_string(), "(+ (* x y) (* x z))");
+        assert_eq!(e.size(), 7);
+        assert_eq!(e.depth(), 3);
+    }
+
+    #[test]
+    fn operator_synonyms() {
+        let a = parse_sexpr("(& a (| b (~ c)))").unwrap();
+        let b = parse_sexpr("(* a (+ b (! c)))").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nary_fold_matches_binary_nest() {
+        let nary = parse_sexpr_network("(* a b c)").unwrap();
+        let nested = parse_sexpr_network("(* (* a b) c)").unwrap();
+        assert_eq!(nary.truth_tables(), nested.truth_tables());
+    }
+
+    #[test]
+    fn constants_and_bools() {
+        assert_eq!(parse_sexpr("0").unwrap(), SExpr::Const(false));
+        assert_eq!(parse_sexpr("true").unwrap(), SExpr::Const(true));
+    }
+
+    #[test]
+    fn outs_builds_multi_output_network() {
+        let net = parse_sexpr_network("(outs (* a b) (+ a b) (! a))").unwrap();
+        assert_eq!(net.num_outputs(), 3);
+        assert_eq!(net.outputs()[0].0, "po0");
+        assert_eq!(net.outputs()[2].0, "po2");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_sexpr("(* a)").is_err());
+        assert!(parse_sexpr("(! a b)").is_err());
+        assert!(parse_sexpr("(foo a b)").is_err());
+        assert!(parse_sexpr("(* a b").is_err());
+        assert!(parse_sexpr(")").is_err());
+        assert!(parse_sexpr("(* a b) extra").is_err());
+        assert!(parse_sexpr("(* (outs a b) c)").is_err(), "nested outs");
+        assert!(parse_sexpr("").is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let src = "(outs (+ (* x y) (! (+ x 0))) (* 1 z))";
+        let e = parse_sexpr(src).unwrap();
+        let printed = e.to_string();
+        let e2 = parse_sexpr(&printed).unwrap();
+        assert_eq!(e, e2);
+    }
+}

@@ -1,0 +1,435 @@
+//! Bit-parallel simulation and exhaustive truth tables.
+
+use crate::network::Network;
+use crate::node::Node;
+
+/// Maximum input count for exhaustive truth-table computation.
+///
+/// `2^16` patterns = 1024 words per signal; enough for every unit test and
+/// equivalence-check fast path in this workspace while keeping memory flat.
+pub const MAX_TT_INPUTS: usize = 16;
+
+/// An exhaustive truth table over `num_vars` inputs, bit-packed into `u64`
+/// words. Bit `i` of the table is the function value under the input
+/// assignment whose binary encoding is `i` (input 0 is the least-significant
+/// position, i.e. input `k` toggles with period `2^k`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    num_vars: usize,
+    words: Vec<u64>,
+}
+
+impl TruthTable {
+    /// Builds a table from raw words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` does not match `num_vars` (one word for
+    /// `num_vars <= 6`, `2^(num_vars-6)` words otherwise) or if `num_vars`
+    /// exceeds [`MAX_TT_INPUTS`].
+    pub fn from_words(num_vars: usize, words: Vec<u64>) -> Self {
+        assert!(num_vars <= MAX_TT_INPUTS, "too many inputs for truth table");
+        assert_eq!(words.len(), words_for(num_vars), "word count mismatch");
+        let mut tt = TruthTable { num_vars, words };
+        tt.mask_tail();
+        tt
+    }
+
+    /// The all-zero (constant false) table.
+    pub fn zeros(num_vars: usize) -> Self {
+        TruthTable::from_words(num_vars, vec![0; words_for(num_vars)])
+    }
+
+    /// The table of input variable `var` (`0`-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn var(num_vars: usize, var: usize) -> Self {
+        assert!(var < num_vars);
+        let nwords = words_for(num_vars);
+        let mut words = vec![0u64; nwords];
+        if var < 6 {
+            let pattern = VAR_PATTERNS[var];
+            for w in &mut words {
+                *w = pattern;
+            }
+        } else {
+            let period = 1usize << (var - 6); // in words
+            for (i, w) in words.iter_mut().enumerate() {
+                if (i / period) % 2 == 1 {
+                    *w = u64::MAX;
+                }
+            }
+        }
+        TruthTable::from_words(num_vars, words)
+    }
+
+    /// Number of input variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The packed function bits.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of input assignments for which the function is true.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Function value under the assignment encoded by `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^num_vars`.
+    pub fn bit(&self, index: usize) -> bool {
+        assert!(index < 1usize << self.num_vars);
+        (self.words[index / 64] >> (index % 64)) & 1 == 1
+    }
+
+    /// Bitwise complement.
+    pub fn not(&self) -> Self {
+        let words = self.words.iter().map(|w| !w).collect();
+        TruthTable::from_words(self.num_vars, words)
+    }
+
+    /// Bitwise AND of two tables over the same variable set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ.
+    pub fn and(&self, other: &Self) -> Self {
+        assert_eq!(self.num_vars, other.num_vars);
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & b)
+            .collect();
+        TruthTable::from_words(self.num_vars, words)
+    }
+
+    /// Bitwise OR of two tables over the same variable set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ.
+    pub fn or(&self, other: &Self) -> Self {
+        assert_eq!(self.num_vars, other.num_vars);
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a | b)
+            .collect();
+        TruthTable::from_words(self.num_vars, words)
+    }
+
+    /// True when the function is constant false.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// True when the function is constant true.
+    pub fn is_ones(&self) -> bool {
+        self.not().is_zero()
+    }
+
+    /// The cofactor with variable `var` fixed to `value`; the result is
+    /// still expressed over all `num_vars` variables (it simply no longer
+    /// depends on `var`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn cofactor(&self, var: usize, value: bool) -> Self {
+        assert!(var < self.num_vars);
+        let mut out = self.clone();
+        if var < 6 {
+            let shift = 1usize << var;
+            let keep = if value {
+                VAR_PATTERNS[var]
+            } else {
+                !VAR_PATTERNS[var]
+            };
+            for w in &mut out.words {
+                let kept = *w & keep;
+                *w = if value {
+                    kept | (kept >> shift)
+                } else {
+                    kept | (kept << shift)
+                };
+            }
+        } else {
+            let period = 1usize << (var - 6); // words per half-block
+            let n = out.words.len();
+            let mut i = 0;
+            while i < n {
+                // block [i, i+period) has var=0, [i+period, i+2*period) var=1
+                for j in 0..period {
+                    if value {
+                        out.words[i + j] = self.words[i + period + j];
+                    } else {
+                        out.words[i + period + j] = self.words[i + j];
+                    }
+                }
+                i += 2 * period;
+            }
+        }
+        out.mask_tail();
+        out
+    }
+
+    /// True when the function depends on variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn depends_on(&self, var: usize) -> bool {
+        self.cofactor(var, false) != self.cofactor(var, true)
+    }
+
+    fn mask_tail(&mut self) {
+        if self.num_vars < 6 {
+            let bits = 1usize << self.num_vars;
+            self.words[0] &= (1u64 << bits) - 1;
+        }
+    }
+}
+
+impl std::fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TruthTable({} vars, ", self.num_vars)?;
+        for w in self.words.iter().rev() {
+            write!(f, "{w:016x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Standard bit patterns for the first six variables in a 64-bit word.
+const VAR_PATTERNS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+fn words_for(num_vars: usize) -> usize {
+    if num_vars <= 6 {
+        1
+    } else {
+        1 << (num_vars - 6)
+    }
+}
+
+impl Network {
+    /// Simulates one 64-pattern word: `input_words[i]` holds 64 stimulus
+    /// bits for input `i`; the result holds 64 response bits per output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len() != self.num_inputs()`.
+    pub fn simulate(&self, input_words: &[u64]) -> Vec<u64> {
+        assert_eq!(
+            input_words.len(),
+            self.num_inputs(),
+            "one stimulus word per input required"
+        );
+        let mut values = vec![0u64; self.len()];
+        for id in self.topo_order() {
+            let v = match self.node(id) {
+                Node::Const(false) => 0,
+                Node::Const(true) => u64::MAX,
+                Node::Input(idx) => input_words[idx as usize],
+                Node::Not(a) => !values[a.index()],
+                Node::And(a, b) => values[a.index()] & values[b.index()],
+                Node::Or(a, b) => values[a.index()] | values[b.index()],
+            };
+            values[id.index()] = v;
+        }
+        self.outputs()
+            .iter()
+            .map(|&(_, id)| values[id.index()])
+            .collect()
+    }
+
+    /// Exhaustive truth table of every output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has more than [`MAX_TT_INPUTS`] inputs — use
+    /// random simulation or the SAT-based equivalence checker beyond that.
+    pub fn truth_tables(&self) -> Vec<TruthTable> {
+        let n = self.num_inputs();
+        assert!(
+            n <= MAX_TT_INPUTS,
+            "{n} inputs exceed truth-table limit {MAX_TT_INPUTS}"
+        );
+        let nwords = words_for(n);
+        let mut outs: Vec<TruthTable> = (0..self.num_outputs())
+            .map(|_| TruthTable::zeros(n))
+            .collect();
+        for w in 0..nwords {
+            let input_words: Vec<u64> = (0..n)
+                .map(|v| {
+                    if v < 6 {
+                        VAR_PATTERNS[v]
+                    } else {
+                        let period = 1usize << (v - 6);
+                        if (w / period) % 2 == 1 {
+                            u64::MAX
+                        } else {
+                            0
+                        }
+                    }
+                })
+                .collect();
+            let res = self.simulate(&input_words);
+            for (o, word) in res.into_iter().enumerate() {
+                outs[o].words[w] = word;
+            }
+        }
+        for tt in &mut outs {
+            tt.mask_tail();
+        }
+        outs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_eqn;
+
+    #[test]
+    fn var_patterns_are_correct() {
+        for v in 0..6 {
+            let tt = TruthTable::var(6, v);
+            for idx in 0..64 {
+                assert_eq!(tt.bit(idx), (idx >> v) & 1 == 1, "var {v} index {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn var_patterns_above_word_boundary() {
+        let tt = TruthTable::var(8, 7);
+        for idx in 0..256 {
+            assert_eq!(tt.bit(idx), (idx >> 7) & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn tail_masking_small_tables() {
+        let tt = TruthTable::var(2, 0).not();
+        // 4 valid bits only; upper bits must be zero.
+        assert_eq!(tt.words()[0] >> 4, 0);
+        assert_eq!(tt.count_ones(), 2);
+    }
+
+    #[test]
+    fn simulate_and_or_not() {
+        let net = parse_eqn("INORDER = a b;\nOUTORDER = f g h;\nf = a*b;\ng = a+b;\nh = !a;\n")
+            .unwrap();
+        let res = net.simulate(&[0b1100, 0b1010]);
+        assert_eq!(res[0] & 0xF, 0b1000);
+        assert_eq!(res[1] & 0xF, 0b1110);
+        assert_eq!(res[2] & 0xF, !0b1100u64 & 0xF);
+    }
+
+    #[test]
+    fn truth_table_matches_naive_eval() {
+        let net = parse_eqn(
+            "INORDER = a b c d;\nOUTORDER = f;\nf = (a * b) + (!c * d) + (a * !d);\n",
+        )
+        .unwrap();
+        let tt = &net.truth_tables()[0];
+        for idx in 0..16usize {
+            let a = idx & 1 == 1;
+            let b = (idx >> 1) & 1 == 1;
+            let c = (idx >> 2) & 1 == 1;
+            let d = (idx >> 3) & 1 == 1;
+            let expect = (a && b) || (!c && d) || (a && !d);
+            assert_eq!(tt.bit(idx), expect, "index {idx}");
+        }
+    }
+
+    #[test]
+    fn truth_table_seven_inputs_multiword() {
+        // parity of 7 inputs — exercises the multi-word path
+        let mut net = Network::new();
+        let inputs: Vec<_> = (0..7).map(|i| net.input(format!("i{i}"))).collect();
+        let mut acc = inputs[0];
+        for &x in &inputs[1..] {
+            acc = net.xor(acc, x);
+        }
+        net.output("p", acc);
+        let tt = &net.truth_tables()[0];
+        for idx in 0..128usize {
+            assert_eq!(tt.bit(idx), (idx.count_ones() % 2) == 1, "index {idx}");
+        }
+    }
+
+    #[test]
+    fn tt_algebra() {
+        let a = TruthTable::var(3, 0);
+        let b = TruthTable::var(3, 1);
+        let ab = a.and(&b);
+        let a_or_b = a.or(&b);
+        assert_eq!(ab.count_ones(), 2);
+        assert_eq!(a_or_b.count_ones(), 6);
+        assert_eq!(a.not().count_ones(), 4);
+        // De Morgan on tables
+        assert_eq!(ab.not(), a.not().or(&b.not()));
+    }
+
+    #[test]
+    #[should_panic(expected = "one stimulus word per input")]
+    fn simulate_wrong_arity_panics() {
+        let net = parse_eqn("INORDER = a b;\nOUTORDER = f;\nf = a*b;\n").unwrap();
+        let _ = net.simulate(&[0]);
+    }
+
+    #[test]
+    fn cofactor_small_vars() {
+        // f = a ? b : c  over vars (a,b,c) = (0,1,2)
+        let a = TruthTable::var(3, 0);
+        let b = TruthTable::var(3, 1);
+        let c = TruthTable::var(3, 2);
+        let f = a.and(&b).or(&a.not().and(&c));
+        assert_eq!(f.cofactor(0, true), b);
+        assert_eq!(f.cofactor(0, false), c);
+        assert!(f.depends_on(0));
+        assert!(f.depends_on(1));
+        assert!(!b.depends_on(0), "b must not depend on a");
+    }
+
+    #[test]
+    fn cofactor_word_level_vars() {
+        // 8-var function: f = x7 ? x0 : x6
+        let x0 = TruthTable::var(8, 0);
+        let x6 = TruthTable::var(8, 6);
+        let x7 = TruthTable::var(8, 7);
+        let f = x7.and(&x0).or(&x7.not().and(&x6));
+        assert_eq!(f.cofactor(7, true), x0);
+        assert_eq!(f.cofactor(7, false), x6);
+        assert_eq!(f.cofactor(6, true).cofactor(7, false), TruthTable::zeros(8).not());
+        assert!(!x0.depends_on(7));
+    }
+
+    #[test]
+    fn is_zero_is_ones() {
+        assert!(TruthTable::zeros(4).is_zero());
+        assert!(TruthTable::zeros(4).not().is_ones());
+        assert!(!TruthTable::var(4, 2).is_zero());
+        assert!(!TruthTable::var(4, 2).is_ones());
+        // tail masking: 2-var all-ones table must report is_ones
+        assert!(TruthTable::zeros(2).not().is_ones());
+    }
+}

@@ -1,0 +1,155 @@
+//! Training data container.
+
+use std::error::Error;
+use std::fmt;
+
+/// A dense regression dataset: rows of features plus one label per row.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    rows: Vec<Vec<f64>>,
+    labels: Vec<f64>,
+    num_features: usize,
+}
+
+/// Error constructing a [`Dataset`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DatasetError {
+    /// No rows were provided.
+    Empty,
+    /// Row/label counts differ.
+    LengthMismatch,
+    /// Some row has a different number of features.
+    RaggedRows,
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Empty => write!(f, "dataset has no rows"),
+            DatasetError::LengthMismatch => write!(f, "rows and labels differ in length"),
+            DatasetError::RaggedRows => write!(f, "rows have inconsistent feature counts"),
+        }
+    }
+}
+
+impl Error for DatasetError {}
+
+impl Dataset {
+    /// Builds a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError`] on empty input, mismatched lengths or
+    /// ragged rows.
+    pub fn new(rows: Vec<Vec<f64>>, labels: Vec<f64>) -> Result<Self, DatasetError> {
+        if rows.is_empty() {
+            return Err(DatasetError::Empty);
+        }
+        if rows.len() != labels.len() {
+            return Err(DatasetError::LengthMismatch);
+        }
+        let num_features = rows[0].len();
+        if rows.iter().any(|r| r.len() != num_features) {
+            return Err(DatasetError::RaggedRows);
+        }
+        Ok(Dataset {
+            rows,
+            labels,
+            num_features,
+        })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the dataset holds no rows (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of features per row.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Feature row `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i]
+    }
+
+    /// Label of row `i`.
+    pub fn label(&self, i: usize) -> f64 {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[f64] {
+        &self.labels
+    }
+
+    /// Splits into (train, test) by taking every `k`-th row as test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` (no test rows would make the split pointless) or
+    /// if either side would be empty.
+    pub fn split_every_kth(&self, k: usize) -> (Dataset, Dataset) {
+        assert!(k >= 2, "k must be >= 2");
+        let mut train_rows = Vec::new();
+        let mut train_labels = Vec::new();
+        let mut test_rows = Vec::new();
+        let mut test_labels = Vec::new();
+        for i in 0..self.len() {
+            if i % k == 0 {
+                test_rows.push(self.rows[i].clone());
+                test_labels.push(self.labels[i]);
+            } else {
+                train_rows.push(self.rows[i].clone());
+                train_labels.push(self.labels[i]);
+            }
+        }
+        (
+            Dataset::new(train_rows, train_labels).expect("train side non-empty"),
+            Dataset::new(test_rows, test_labels).expect("test side non-empty"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validation() {
+        assert!(matches!(
+            Dataset::new(vec![], vec![]),
+            Err(DatasetError::Empty)
+        ));
+        assert!(matches!(
+            Dataset::new(vec![vec![1.0]], vec![]),
+            Err(DatasetError::LengthMismatch)
+        ));
+        assert!(matches!(
+            Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0.0, 1.0]),
+            Err(DatasetError::RaggedRows)
+        ));
+        let d = Dataset::new(vec![vec![1.0, 2.0]], vec![3.0]).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.num_features(), 2);
+        assert_eq!(d.label(0), 3.0);
+    }
+
+    #[test]
+    fn split_every_kth_partitions() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let labels: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let d = Dataset::new(rows, labels).unwrap();
+        let (train, test) = d.split_every_kth(5);
+        assert_eq!(test.len(), 2);
+        assert_eq!(train.len(), 8);
+        assert_eq!(test.row(0)[0], 0.0);
+        assert_eq!(test.row(1)[0], 5.0);
+    }
+}

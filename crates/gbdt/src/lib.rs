@@ -1,0 +1,38 @@
+//! Gradient-boosted regression trees — the XGBoost substitute used for the
+//! paper's technology-aware cost models (§3.2.1: "two separate XGBoost
+//! regression models to predict area and delay ... Each contains 200
+//! estimators and has a maximum depth of 5").
+//!
+//! The implementation follows the XGBoost formulation for squared loss:
+//! per-boosting-round gradients `g = ŷ − y` and hessians `h = 1`, exact
+//! greedy split search maximising
+//! `gain = G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ) − γ`,
+//! leaf weights `w = −G/(H+λ)`, shrinkage `η`, optional row subsampling.
+//!
+//! # Example
+//!
+//! ```
+//! use esyn_gbdt::{Dataset, GbdtParams, GbdtRegressor};
+//!
+//! // y = 2*x0 + x1
+//! let rows: Vec<Vec<f64>> = (0..200)
+//!     .map(|i| vec![(i % 17) as f64, (i % 5) as f64])
+//!     .collect();
+//! let labels: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + r[1]).collect();
+//! let data = Dataset::new(rows, labels)?;
+//! let model = GbdtRegressor::fit(&data, &GbdtParams::default(), 42);
+//! let pred = model.predict(&[8.0, 3.0]);
+//! assert!((pred - 19.0).abs() < 1.5);
+//! # Ok::<(), esyn_gbdt::DatasetError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod dataset;
+mod model;
+mod tree;
+
+pub use dataset::{Dataset, DatasetError};
+pub use model::{pearson_r, GbdtParams, GbdtRegressor, ModelParseError};
+pub use tree::RegressionTree;

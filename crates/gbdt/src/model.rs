@@ -1,0 +1,467 @@
+//! The boosted ensemble: fitting, prediction, persistence, metrics.
+
+use crate::dataset::Dataset;
+use crate::tree::{RegressionTree, TreeNode, TreeParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// Boosting hyper-parameters.
+///
+/// Defaults match the paper's XGBoost setup: 200 estimators, maximum depth
+/// 5 (§3.2.1); the remaining knobs use the XGBoost defaults.
+#[derive(Clone, Copy, Debug)]
+pub struct GbdtParams {
+    /// Number of boosting rounds (trees).
+    pub n_estimators: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Learning rate (shrinkage) η.
+    pub learning_rate: f64,
+    /// L2 leaf regularisation λ.
+    pub lambda: f64,
+    /// Minimum split gain γ.
+    pub gamma: f64,
+    /// Minimum hessian (row count, for squared loss) per child.
+    pub min_child_weight: f64,
+    /// Row subsampling fraction per round (1.0 = off).
+    pub subsample: f64,
+}
+
+impl Default for GbdtParams {
+    fn default() -> Self {
+        GbdtParams {
+            n_estimators: 200,
+            max_depth: 5,
+            learning_rate: 0.1,
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 1.0,
+            subsample: 1.0,
+        }
+    }
+}
+
+/// A fitted gradient-boosted regression model.
+#[derive(Clone, Debug, Default)]
+pub struct GbdtRegressor {
+    base_score: f64,
+    learning_rate: f64,
+    trees: Vec<RegressionTree>,
+    num_features: usize,
+}
+
+impl GbdtRegressor {
+    /// Fits a model with squared loss.
+    ///
+    /// `seed` drives row subsampling; with `subsample == 1.0` the fit is
+    /// fully deterministic regardless of the seed.
+    pub fn fit(data: &Dataset, params: &GbdtParams, seed: u64) -> Self {
+        let n = data.len();
+        let base_score = data.labels().iter().sum::<f64>() / n as f64;
+        let mut preds = vec![base_score; n];
+        let mut trees = Vec::with_capacity(params.n_estimators);
+        let tree_params = TreeParams {
+            max_depth: params.max_depth,
+            lambda: params.lambda,
+            gamma: params.gamma,
+            min_child_weight: params.min_child_weight,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut grad = vec![0.0f64; n];
+
+        for _ in 0..params.n_estimators {
+            for i in 0..n {
+                grad[i] = preds[i] - data.label(i); // d/dŷ ½(ŷ−y)²
+            }
+            let rows: Vec<usize> = if params.subsample >= 1.0 {
+                (0..n).collect()
+            } else {
+                let keep: Vec<usize> = (0..n)
+                    .filter(|_| rng.gen_bool(params.subsample))
+                    .collect();
+                if keep.is_empty() {
+                    (0..n).collect()
+                } else {
+                    keep
+                }
+            };
+            let tree = RegressionTree::fit(data, &grad, &rows, &tree_params);
+            for i in 0..n {
+                preds[i] += params.learning_rate * tree.predict(data.row(i));
+            }
+            trees.push(tree);
+        }
+        GbdtRegressor {
+            base_score,
+            learning_rate: params.learning_rate,
+            trees,
+            num_features: data.num_features(),
+        }
+    }
+
+    /// Predicts the label for one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is shorter than the feature count seen in training.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        assert!(
+            row.len() >= self.num_features,
+            "expected {} features, got {}",
+            self.num_features,
+            row.len()
+        );
+        self.base_score
+            + self.learning_rate
+                * self
+                    .trees
+                    .iter()
+                    .map(|t| t.predict(row))
+                    .sum::<f64>()
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Number of features the model was trained on.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Split-count feature importance, normalised to sum to 1 (all zeros
+    /// when the ensemble never split).
+    pub fn feature_importance(&self) -> Vec<f64> {
+        let mut imp = vec![0.0; self.num_features];
+        for t in &self.trees {
+            t.accumulate_importance(&mut imp);
+        }
+        let total: f64 = imp.iter().sum();
+        if total > 0.0 {
+            for v in &mut imp {
+                *v /= total;
+            }
+        }
+        imp
+    }
+
+    /// Mean squared error over a dataset.
+    pub fn mse(&self, data: &Dataset) -> f64 {
+        let n = data.len() as f64;
+        (0..data.len())
+            .map(|i| {
+                let e = self.predict(data.row(i)) - data.label(i);
+                e * e
+            })
+            .sum::<f64>()
+            / n
+    }
+
+    /// Serialises the model to a plain-text format (the offline crate set
+    /// has no serde data format, so the format is a simple line protocol).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "gbdt v1 base={} lr={} features={} trees={}",
+            self.base_score,
+            self.learning_rate,
+            self.num_features,
+            self.trees.len()
+        );
+        for t in &self.trees {
+            let _ = writeln!(s, "tree {}", t.nodes.len());
+            for n in &t.nodes {
+                match n {
+                    TreeNode::Leaf { weight } => {
+                        let _ = writeln!(s, "leaf {weight}");
+                    }
+                    TreeNode::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => {
+                        let _ = writeln!(s, "split {feature} {threshold} {left} {right}");
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    /// Parses a model serialised by [`GbdtRegressor::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelParseError`] on malformed input.
+    pub fn from_text(text: &str) -> Result<Self, ModelParseError> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| err("empty input"))?;
+        let mut base_score = None;
+        let mut learning_rate = None;
+        let mut num_features = None;
+        let mut num_trees = None;
+        for tok in header.split_whitespace() {
+            if let Some(v) = tok.strip_prefix("base=") {
+                base_score = Some(parse_f64(v)?);
+            } else if let Some(v) = tok.strip_prefix("lr=") {
+                learning_rate = Some(parse_f64(v)?);
+            } else if let Some(v) = tok.strip_prefix("features=") {
+                num_features = Some(parse_usize(v)?);
+            } else if let Some(v) = tok.strip_prefix("trees=") {
+                num_trees = Some(parse_usize(v)?);
+            }
+        }
+        let (Some(base_score), Some(learning_rate), Some(num_features), Some(num_trees)) =
+            (base_score, learning_rate, num_features, num_trees)
+        else {
+            return Err(err("incomplete header"));
+        };
+        let mut trees = Vec::with_capacity(num_trees);
+        for _ in 0..num_trees {
+            let tline = lines.next().ok_or_else(|| err("missing tree header"))?;
+            let count = tline
+                .strip_prefix("tree ")
+                .ok_or_else(|| err("expected `tree N`"))
+                .and_then(parse_usize)?;
+            let mut nodes = Vec::with_capacity(count);
+            for _ in 0..count {
+                let nline = lines.next().ok_or_else(|| err("missing node line"))?;
+                let mut parts = nline.split_whitespace();
+                match parts.next() {
+                    Some("leaf") => {
+                        let w = parse_f64(parts.next().ok_or_else(|| err("leaf weight"))?)?;
+                        nodes.push(TreeNode::Leaf { weight: w });
+                    }
+                    Some("split") => {
+                        let feature =
+                            parse_usize(parts.next().ok_or_else(|| err("split feature"))?)?;
+                        let threshold =
+                            parse_f64(parts.next().ok_or_else(|| err("split threshold"))?)?;
+                        let left =
+                            parse_usize(parts.next().ok_or_else(|| err("split left"))?)?;
+                        let right =
+                            parse_usize(parts.next().ok_or_else(|| err("split right"))?)?;
+                        if left >= count || right >= count {
+                            return Err(err("child index out of range"));
+                        }
+                        nodes.push(TreeNode::Split {
+                            feature,
+                            threshold,
+                            left,
+                            right,
+                        });
+                    }
+                    _ => return Err(err("expected `leaf` or `split`")),
+                }
+            }
+            trees.push(RegressionTree { nodes });
+        }
+        Ok(GbdtRegressor {
+            base_score,
+            learning_rate,
+            trees,
+            num_features,
+        })
+    }
+}
+
+impl FromStr for GbdtRegressor {
+    type Err = ModelParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        GbdtRegressor::from_text(s)
+    }
+}
+
+/// Error parsing a serialised model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelParseError(pub String);
+
+impl fmt::Display for ModelParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "model parse error: {}", self.0)
+    }
+}
+
+impl Error for ModelParseError {}
+
+fn err(msg: &str) -> ModelParseError {
+    ModelParseError(msg.to_owned())
+}
+
+fn parse_f64(s: &str) -> Result<f64, ModelParseError> {
+    s.parse()
+        .map_err(|_| ModelParseError(format!("bad float `{s}`")))
+}
+
+fn parse_usize(s: &str) -> Result<usize, ModelParseError> {
+    s.trim()
+        .parse()
+        .map_err(|_| ModelParseError(format!("bad integer `{s}`")))
+}
+
+/// Pearson correlation coefficient between two equal-length slices — the
+/// "R-value" metric the paper reports for its cost models (0.78 delay,
+/// 0.76 area).
+///
+/// Returns 0 when either side has zero variance.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn pearson_r(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    assert!(!xs.is_empty(), "empty input");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_dataset(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i % 23) as f64, ((i * 7) % 11) as f64, (i % 3) as f64])
+            .collect();
+        let labels: Vec<f64> = rows
+            .iter()
+            .map(|r| 3.0 * r[0] - 2.0 * r[1] + 0.5 * r[2] + 10.0)
+            .collect();
+        Dataset::new(rows, labels).unwrap()
+    }
+
+    #[test]
+    fn fits_linear_function_closely() {
+        let data = linear_dataset(400);
+        let model = GbdtRegressor::fit(&data, &GbdtParams::default(), 1);
+        assert!(model.mse(&data) < 1.0, "mse = {}", model.mse(&data));
+        let preds: Vec<f64> = (0..data.len()).map(|i| model.predict(data.row(i))).collect();
+        let r = pearson_r(&preds, data.labels());
+        assert!(r > 0.99, "r = {r}");
+    }
+
+    #[test]
+    fn generalises_to_test_split() {
+        let data = linear_dataset(600);
+        let (train, test) = data.split_every_kth(5);
+        let model = GbdtRegressor::fit(&train, &GbdtParams::default(), 2);
+        let preds: Vec<f64> = (0..test.len()).map(|i| model.predict(test.row(i))).collect();
+        let r = pearson_r(&preds, test.labels());
+        assert!(r > 0.95, "r = {r}");
+    }
+
+    #[test]
+    fn deterministic_without_subsample() {
+        let data = linear_dataset(100);
+        let m1 = GbdtRegressor::fit(&data, &GbdtParams::default(), 1);
+        let m2 = GbdtRegressor::fit(&data, &GbdtParams::default(), 999);
+        for i in 0..data.len() {
+            assert_eq!(m1.predict(data.row(i)), m2.predict(data.row(i)));
+        }
+    }
+
+    #[test]
+    fn subsample_changes_with_seed_but_still_fits() {
+        let data = linear_dataset(300);
+        let params = GbdtParams {
+            subsample: 0.7,
+            ..Default::default()
+        };
+        let m1 = GbdtRegressor::fit(&data, &params, 1);
+        let m2 = GbdtRegressor::fit(&data, &params, 2);
+        assert!(m1.mse(&data) < 5.0);
+        assert!(m2.mse(&data) < 5.0);
+        // different subsamples → (almost surely) different models
+        let differs = (0..data.len())
+            .any(|i| (m1.predict(data.row(i)) - m2.predict(data.row(i))).abs() > 1e-12);
+        assert!(differs);
+    }
+
+    #[test]
+    fn text_roundtrip_is_exact() {
+        let data = linear_dataset(150);
+        let params = GbdtParams {
+            n_estimators: 20,
+            ..Default::default()
+        };
+        let model = GbdtRegressor::fit(&data, &params, 3);
+        let text = model.to_text();
+        let back = GbdtRegressor::from_text(&text).unwrap();
+        for i in 0..data.len() {
+            assert_eq!(model.predict(data.row(i)), back.predict(data.row(i)));
+        }
+        assert_eq!(back.num_trees(), 20);
+        assert_eq!(back.num_features(), 3);
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(GbdtRegressor::from_text("").is_err());
+        assert!(GbdtRegressor::from_text("gbdt v1 base=x lr=0.1").is_err());
+        assert!(
+            GbdtRegressor::from_text("gbdt v1 base=0 lr=0.1 features=2 trees=1\ntree 1\nsplit 0 1.0 5 6\n")
+                .is_err(),
+            "child out of range"
+        );
+    }
+
+    #[test]
+    fn feature_importance_finds_informative_feature() {
+        // label depends only on feature 1
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 7) as f64, (i % 13) as f64])
+            .collect();
+        let labels: Vec<f64> = rows.iter().map(|r| r[1] * 4.0).collect();
+        let data = Dataset::new(rows, labels).unwrap();
+        let model = GbdtRegressor::fit(&data, &GbdtParams::default(), 5);
+        let imp = model.feature_importance();
+        assert!(imp[1] > 0.8, "importance {imp:?}");
+        let total: f64 = imp.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_r_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((pearson_r(&xs, &xs) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson_r(&xs, &neg) + 1.0).abs() < 1e-12);
+        let flat = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(pearson_r(&xs, &flat), 0.0);
+    }
+
+    #[test]
+    fn nonlinear_target_learnable() {
+        // y = x0 * x1 (interaction) — trees handle this, linear models not
+        let rows: Vec<Vec<f64>> = (0..500)
+            .map(|i| vec![(i % 21) as f64, ((i / 21) % 17) as f64])
+            .collect();
+        let labels: Vec<f64> = rows.iter().map(|r| r[0] * r[1]).collect();
+        let data = Dataset::new(rows, labels).unwrap();
+        let model = GbdtRegressor::fit(&data, &GbdtParams::default(), 9);
+        let preds: Vec<f64> = (0..data.len()).map(|i| model.predict(data.row(i))).collect();
+        assert!(pearson_r(&preds, data.labels()) > 0.98);
+    }
+}

@@ -1,0 +1,299 @@
+//! A single regression tree with exact greedy split finding.
+
+use crate::dataset::Dataset;
+
+/// Parameters a tree needs from the boosting level.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct TreeParams {
+    pub max_depth: usize,
+    pub lambda: f64,
+    pub gamma: f64,
+    pub min_child_weight: f64,
+}
+
+/// A node of a regression tree, stored in a flat arena.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum TreeNode {
+    /// Split on `feature < threshold`: left child if true.
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+    /// Leaf with an output weight.
+    Leaf { weight: f64 },
+}
+
+/// A fitted regression tree.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct RegressionTree {
+    pub(crate) nodes: Vec<TreeNode>,
+}
+
+impl RegressionTree {
+    /// Predicts the tree output for one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a split references a feature index `row` does not have.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                TreeNode::Leaf { weight } => return *weight,
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if row[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (splits + leaves).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for a tree with no nodes (an unfitted tree).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Depth of the tree (a single leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        fn go(nodes: &[TreeNode], idx: usize) -> usize {
+            match &nodes[idx] {
+                TreeNode::Leaf { .. } => 1,
+                TreeNode::Split { left, right, .. } => {
+                    1 + go(nodes, *left).max(go(nodes, *right))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            go(&self.nodes, 0)
+        }
+    }
+
+    /// Adds `feature -> gain` contributions into `importance` (summed
+    /// squared-gain importance, XGBoost's `total_gain` flavour is
+    /// approximated by counting splits weighted equally here).
+    pub(crate) fn accumulate_importance(&self, importance: &mut [f64]) {
+        for n in &self.nodes {
+            if let TreeNode::Split { feature, .. } = n {
+                importance[*feature] += 1.0;
+            }
+        }
+    }
+
+    /// Fits a tree to gradients `g` (hessians are all 1 for squared loss)
+    /// over the rows listed in `rows`.
+    pub(crate) fn fit(
+        data: &Dataset,
+        grad: &[f64],
+        rows: &[usize],
+        params: &TreeParams,
+    ) -> RegressionTree {
+        let mut tree = RegressionTree { nodes: Vec::new() };
+        tree.build(data, grad, rows, params, 1);
+        tree
+    }
+
+    /// Recursively builds the subtree for `rows`; returns its node index.
+    fn build(
+        &mut self,
+        data: &Dataset,
+        grad: &[f64],
+        rows: &[usize],
+        params: &TreeParams,
+        depth: usize,
+    ) -> usize {
+        let g_sum: f64 = rows.iter().map(|&r| grad[r]).sum();
+        let h_sum = rows.len() as f64;
+        let leaf_weight = -g_sum / (h_sum + params.lambda);
+
+        if depth >= params.max_depth || rows.len() < 2 {
+            return self.push_leaf(leaf_weight);
+        }
+        match best_split(data, grad, rows, params) {
+            None => self.push_leaf(leaf_weight),
+            Some((feature, threshold)) => {
+                let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
+                    .iter()
+                    .partition(|&&r| data.row(r)[feature] < threshold);
+                debug_assert!(!left_rows.is_empty() && !right_rows.is_empty());
+                // reserve the split slot before children so the root stays
+                // at index 0
+                let slot = self.nodes.len();
+                self.nodes.push(TreeNode::Leaf { weight: 0.0 }); // placeholder
+                let left = self.build(data, grad, &left_rows, params, depth + 1);
+                let right = self.build(data, grad, &right_rows, params, depth + 1);
+                self.nodes[slot] = TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                slot
+            }
+        }
+    }
+
+    fn push_leaf(&mut self, weight: f64) -> usize {
+        self.nodes.push(TreeNode::Leaf { weight });
+        self.nodes.len() - 1
+    }
+}
+
+/// Exact greedy split search: maximises the XGBoost gain over all
+/// (feature, threshold) candidates. Returns `None` when no split beats the
+/// `gamma` regularisation or satisfies `min_child_weight`.
+fn best_split(
+    data: &Dataset,
+    grad: &[f64],
+    rows: &[usize],
+    params: &TreeParams,
+) -> Option<(usize, f64)> {
+    let g_total: f64 = rows.iter().map(|&r| grad[r]).sum();
+    let h_total = rows.len() as f64;
+    let parent_score = g_total * g_total / (h_total + params.lambda);
+
+    let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+    let mut order: Vec<usize> = rows.to_vec();
+    for feature in 0..data.num_features() {
+        order.sort_by(|&a, &b| {
+            data.row(a)[feature]
+                .partial_cmp(&data.row(b)[feature])
+                .expect("features must not be NaN")
+        });
+        let mut g_left = 0.0f64;
+        let mut h_left = 0.0f64;
+        for i in 0..order.len() - 1 {
+            let r = order[i];
+            g_left += grad[r];
+            h_left += 1.0;
+            let v = data.row(r)[feature];
+            let v_next = data.row(order[i + 1])[feature];
+            if v == v_next {
+                continue; // cannot split between equal values
+            }
+            let h_right = h_total - h_left;
+            if h_left < params.min_child_weight || h_right < params.min_child_weight {
+                continue;
+            }
+            let g_right = g_total - g_left;
+            let gain = g_left * g_left / (h_left + params.lambda)
+                + g_right * g_right / (h_right + params.lambda)
+                - parent_score
+                - params.gamma;
+            if gain > 0.0 && best.is_none_or(|(bg, _, _)| gain > bg) {
+                best = Some((gain, feature, 0.5 * (v + v_next)));
+            }
+        }
+    }
+    best.map(|(_, f, t)| (f, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> TreeParams {
+        TreeParams {
+            max_depth: 5,
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 1.0,
+        }
+    }
+
+    #[test]
+    fn fits_a_step_function() {
+        // y = 10 for x < 5, else -10; gradients of first round = -y
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let grad: Vec<f64> = (0..20).map(|i| if i < 5 { -10.0 } else { 10.0 }).collect();
+        let all: Vec<usize> = (0..20).collect();
+        let data = Dataset::new(rows, vec![0.0; 20]).unwrap();
+        let tree = RegressionTree::fit(&data, &grad, &all, &params());
+        // prediction = -G/(H+λ): left ≈ 10*5/6 ≈ 8.33, right ≈ -10*15/16
+        assert!(tree.predict(&[2.0]) > 5.0);
+        assert!(tree.predict(&[9.0]) < -5.0);
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let grad: Vec<f64> = (0..64).map(|i| (i as f64).sin()).collect();
+        let all: Vec<usize> = (0..64).collect();
+        let data = Dataset::new(rows, vec![0.0; 64]).unwrap();
+        let p = TreeParams {
+            max_depth: 3,
+            ..params()
+        };
+        let tree = RegressionTree::fit(&data, &grad, &all, &p);
+        assert!(tree.depth() <= 3);
+    }
+
+    #[test]
+    fn constant_gradients_make_single_leaf() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let grad = vec![2.0; 10];
+        let all: Vec<usize> = (0..10).collect();
+        let data = Dataset::new(rows, vec![0.0; 10]).unwrap();
+        let tree = RegressionTree::fit(&data, &grad, &all, &params());
+        assert_eq!(tree.depth(), 1);
+        // leaf = -G/(H+λ) = -20/11
+        assert!((tree.predict(&[3.0]) + 20.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_blocks_weak_splits() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        // tiny signal
+        let grad: Vec<f64> = (0..10).map(|i| if i < 5 { -0.01 } else { 0.01 }).collect();
+        let all: Vec<usize> = (0..10).collect();
+        let data = Dataset::new(rows, vec![0.0; 10]).unwrap();
+        let p = TreeParams {
+            gamma: 10.0,
+            ..params()
+        };
+        let tree = RegressionTree::fit(&data, &grad, &all, &p);
+        assert_eq!(tree.depth(), 1, "gamma must suppress the split");
+    }
+
+    #[test]
+    fn equal_feature_values_cannot_split() {
+        let rows: Vec<Vec<f64>> = (0..8).map(|_| vec![1.0]).collect();
+        let grad: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let all: Vec<usize> = (0..8).collect();
+        let data = Dataset::new(rows, vec![0.0; 8]).unwrap();
+        let tree = RegressionTree::fit(&data, &grad, &all, &params());
+        assert_eq!(tree.depth(), 1);
+    }
+
+    #[test]
+    fn importance_counts_splits() {
+        let rows: Vec<Vec<f64>> = (0..16)
+            .map(|i| vec![i as f64, 0.0]) // feature 1 is useless
+            .collect();
+        let grad: Vec<f64> = (0..16).map(|i| if i < 8 { -1.0 } else { 1.0 }).collect();
+        let all: Vec<usize> = (0..16).collect();
+        let data = Dataset::new(rows, vec![0.0; 16]).unwrap();
+        let tree = RegressionTree::fit(&data, &grad, &all, &params());
+        let mut imp = vec![0.0; 2];
+        tree.accumulate_importance(&mut imp);
+        assert!(imp[0] >= 1.0);
+        assert_eq!(imp[1], 0.0);
+    }
+}

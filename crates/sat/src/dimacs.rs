@@ -1,0 +1,176 @@
+//! DIMACS CNF parsing and printing.
+
+use crate::solver::Solver;
+use crate::types::{Lit, Var};
+use std::fmt;
+
+/// Error parsing DIMACS text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DimacsError(pub String);
+
+impl fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dimacs error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// A parsed CNF: variable count plus clauses of DIMACS-style literals.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Declared variable count.
+    pub num_vars: usize,
+    /// Clauses; literals use the solver's [`Lit`] encoding.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Parses DIMACS text (`c` comments, `p cnf V C` header, clauses
+    /// terminated by `0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimacsError`] on missing/malformed headers, literals out
+    /// of the declared range, or unterminated clauses.
+    pub fn parse(text: &str) -> Result<Cnf, DimacsError> {
+        let mut num_vars: Option<usize> = None;
+        let mut declared_clauses = 0usize;
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        let mut current: Vec<Lit> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('p') {
+                if num_vars.is_some() {
+                    return Err(DimacsError("duplicate `p` header".into()));
+                }
+                let mut parts = rest.split_whitespace();
+                if parts.next() != Some("cnf") {
+                    return Err(DimacsError("expected `p cnf V C`".into()));
+                }
+                let v: usize = parts
+                    .next()
+                    .ok_or_else(|| DimacsError("missing variable count".into()))?
+                    .parse()
+                    .map_err(|_| DimacsError("bad variable count".into()))?;
+                declared_clauses = parts
+                    .next()
+                    .ok_or_else(|| DimacsError("missing clause count".into()))?
+                    .parse()
+                    .map_err(|_| DimacsError("bad clause count".into()))?;
+                num_vars = Some(v);
+                continue;
+            }
+            let v = num_vars.ok_or_else(|| DimacsError("clause before header".into()))?;
+            for tok in line.split_whitespace() {
+                let x: i64 = tok
+                    .parse()
+                    .map_err(|_| DimacsError(format!("bad literal `{tok}`")))?;
+                if x == 0 {
+                    clauses.push(std::mem::take(&mut current));
+                } else {
+                    let var_idx = x.unsigned_abs() as usize;
+                    if var_idx > v {
+                        return Err(DimacsError(format!(
+                            "literal {x} exceeds declared variable count {v}"
+                        )));
+                    }
+                    current.push(Lit::with_sign(Var((var_idx - 1) as u32), x < 0));
+                }
+            }
+        }
+        if !current.is_empty() {
+            return Err(DimacsError("unterminated clause (missing 0)".into()));
+        }
+        let num_vars = num_vars.ok_or_else(|| DimacsError("missing `p cnf` header".into()))?;
+        if clauses.len() != declared_clauses {
+            // Tolerated in the wild, but flag gross mismatches.
+            if clauses.len() > declared_clauses * 2 + 8 {
+                return Err(DimacsError(format!(
+                    "clause count {} far from declared {declared_clauses}",
+                    clauses.len()
+                )));
+            }
+        }
+        Ok(Cnf { num_vars, clauses })
+    }
+
+    /// Renders DIMACS text.
+    pub fn to_dimacs(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for clause in &self.clauses {
+            for &l in clause {
+                let v = l.var().index() as i64 + 1;
+                let _ = write!(s, "{} ", if l.is_neg() { -v } else { v });
+            }
+            let _ = writeln!(s, "0");
+        }
+        s
+    }
+
+    /// Loads this CNF into a fresh solver.
+    pub fn into_solver(&self) -> Solver {
+        let mut solver = Solver::new();
+        for _ in 0..self.num_vars {
+            solver.new_var();
+        }
+        for clause in &self.clauses {
+            solver.add_clause(clause);
+        }
+        solver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_solve_sat() {
+        let cnf = Cnf::parse("c demo\np cnf 2 2\n1 2 0\n-1 2 0\n").unwrap();
+        assert_eq!(cnf.num_vars, 2);
+        assert_eq!(cnf.clauses.len(), 2);
+        let mut s = cnf.into_solver();
+        assert!(s.solve());
+        assert_eq!(s.value(Var(1)), Some(true));
+    }
+
+    #[test]
+    fn parse_and_solve_unsat() {
+        let cnf = Cnf::parse("p cnf 1 2\n1 0\n-1 0\n").unwrap();
+        let mut s = cnf.into_solver();
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let src = "p cnf 3 3\n1 -2 0\n2 3 0\n-1 -3 0\n";
+        let cnf = Cnf::parse(src).unwrap();
+        let printed = cnf.to_dimacs();
+        let again = Cnf::parse(&printed).unwrap();
+        assert_eq!(cnf, again);
+    }
+
+    #[test]
+    fn multi_clause_per_line_and_split_clauses() {
+        let cnf = Cnf::parse("p cnf 2 2\n1 0 -1 2 0\n").unwrap();
+        assert_eq!(cnf.clauses.len(), 2);
+        let cnf2 = Cnf::parse("p cnf 2 1\n1\n2 0\n").unwrap();
+        assert_eq!(cnf2.clauses.len(), 1);
+        assert_eq!(cnf2.clauses[0].len(), 2);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(Cnf::parse("").is_err());
+        assert!(Cnf::parse("1 2 0").is_err(), "clause before header");
+        assert!(Cnf::parse("p cnf 1 1\n5 0\n").is_err(), "var out of range");
+        assert!(Cnf::parse("p cnf 1 1\n1\n").is_err(), "unterminated");
+        assert!(Cnf::parse("p dnf 1 1\n1 0\n").is_err(), "bad format tag");
+    }
+}

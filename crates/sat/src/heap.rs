@@ -1,0 +1,140 @@
+//! Indexed max-heap over variable activities (the VSIDS order).
+
+/// A binary max-heap of variable indices keyed by an external activity
+/// array, with an index map for `decrease`/`increase` in O(log n).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ActivityHeap {
+    heap: Vec<u32>,
+    /// position of var in `heap`, or `usize::MAX` when absent
+    index: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl ActivityHeap {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn grow_to(&mut self, num_vars: usize) {
+        if self.index.len() < num_vars {
+            self.index.resize(num_vars, ABSENT);
+        }
+    }
+
+    pub(crate) fn contains(&self, v: u32) -> bool {
+        self.index[v as usize] != ABSENT
+    }
+
+    pub(crate) fn insert(&mut self, v: u32, act: &[f64]) {
+        debug_assert!(!self.contains(v));
+        self.index[v as usize] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    pub(crate) fn pop_max(&mut self, act: &[f64]) -> Option<u32> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("heap non-empty");
+        self.index[top as usize] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.index[last as usize] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order after `v`'s activity increased.
+    pub(crate) fn bubble_up(&mut self, v: u32, act: &[f64]) {
+        if let Some(&pos) = self.index.get(v as usize) {
+            if pos != ABSENT {
+                self.sift_up(pos, act);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut pos: usize, act: &[f64]) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if act[self.heap[pos] as usize] > act[self.heap[parent] as usize] {
+                self.swap(pos, parent);
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize, act: &[f64]) {
+        loop {
+            let l = 2 * pos + 1;
+            let r = 2 * pos + 2;
+            let mut best = pos;
+            if l < self.heap.len() && act[self.heap[l] as usize] > act[self.heap[best] as usize]
+            {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r] as usize] > act[self.heap[best] as usize]
+            {
+                best = r;
+            }
+            if best == pos {
+                break;
+            }
+            self.swap(pos, best);
+            pos = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.index[self.heap[a] as usize] = a;
+        self.index[self.heap[b] as usize] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let act = vec![0.5, 3.0, 1.0, 2.0];
+        let mut h = ActivityHeap::new();
+        h.grow_to(4);
+        for v in 0..4 {
+            h.insert(v, &act);
+        }
+        assert_eq!(h.pop_max(&act), Some(1));
+        assert_eq!(h.pop_max(&act), Some(3));
+        assert_eq!(h.pop_max(&act), Some(2));
+        assert_eq!(h.pop_max(&act), Some(0));
+        assert_eq!(h.pop_max(&act), None);
+    }
+
+    #[test]
+    fn bubble_up_after_activity_bump() {
+        let mut act = vec![1.0, 2.0, 3.0];
+        let mut h = ActivityHeap::new();
+        h.grow_to(3);
+        for v in 0..3 {
+            h.insert(v, &act);
+        }
+        act[0] = 10.0; // bump var 0 to the top
+        h.bubble_up(0, &act);
+        assert_eq!(h.pop_max(&act), Some(0));
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let act = vec![1.0, 2.0];
+        let mut h = ActivityHeap::new();
+        h.grow_to(2);
+        h.insert(0, &act);
+        assert!(h.contains(0));
+        assert!(!h.contains(1));
+        h.pop_max(&act);
+        assert!(!h.contains(0));
+    }
+}

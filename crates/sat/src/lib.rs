@@ -1,0 +1,43 @@
+//! A CDCL SAT solver in the MiniSat lineage.
+//!
+//! Implements the standard modern architecture: two-watched-literal unit
+//! propagation, first-UIP conflict analysis with recursive clause
+//! minimisation, VSIDS variable activity with an indexed binary heap,
+//! phase saving, Luby-sequence restarts, and activity-driven deletion of
+//! learnt clauses. Assumption-based incremental solving
+//! ([`Solver::solve_with_assumptions`]) supports the combinational
+//! equivalence checker's per-output queries.
+//!
+//! This crate is the workspace's substitute for the SAT engine embedded in
+//! ABC (`cec`), as described in DESIGN.md.
+//!
+//! # Example
+//!
+//! ```
+//! use esyn_sat::{Lit, Solver};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! // (a | b) & (!a | b) & (a | !b)
+//! s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+//! s.add_clause(&[Lit::neg(a), Lit::pos(b)]);
+//! s.add_clause(&[Lit::pos(a), Lit::neg(b)]);
+//! assert!(s.solve());
+//! assert!(s.value(a).unwrap() && s.value(b).unwrap());
+//! // adding (!a | !b) makes it unsatisfiable
+//! s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+//! assert!(!s.solve());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod dimacs;
+mod heap;
+mod solver;
+mod types;
+
+pub use dimacs::{Cnf, DimacsError};
+pub use solver::Solver;
+pub use types::{Lit, Var};

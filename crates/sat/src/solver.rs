@@ -1,0 +1,803 @@
+//! The CDCL solver core.
+
+use crate::heap::ActivityHeap;
+use crate::types::{LBool, Lit, Var};
+
+#[derive(Clone, Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+    deleted: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    clause: usize,
+    /// A literal of the clause other than the watched one; if it is already
+    /// true the clause is satisfied and the watch scan can be skipped.
+    blocker: Lit,
+}
+
+/// A CDCL SAT solver. See the [crate docs](crate) for an example.
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>, // indexed by Lit::index
+    assigns: Vec<LBool>,        // per var
+    phase: Vec<bool>,           // saved phase per var
+    level: Vec<u32>,            // per var
+    reason: Vec<Option<usize>>, // per var
+    activity: Vec<f64>,         // per var
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    order: ActivityHeap,
+    var_inc: f64,
+    cla_inc: f64,
+    seen: Vec<bool>,
+    unsat: bool,
+    num_learnts: usize,
+    model: Vec<bool>,
+    /// Total conflicts seen (exposed for statistics).
+    conflicts: u64,
+    /// Total decisions made (exposed for statistics).
+    decisions: u64,
+    /// Total literals propagated (exposed for statistics).
+    propagations: u64,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            order: ActivityHeap::new(),
+            ..Default::default()
+        }
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of problem (non-learnt) clauses currently alive.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses
+            .iter()
+            .filter(|c| !c.learnt && !c.deleted)
+            .count()
+    }
+
+    /// Total conflicts across all `solve` calls.
+    pub fn conflict_count(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Total decisions across all `solve` calls.
+    pub fn decision_count(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Total propagated literals across all `solve` calls.
+    pub fn propagation_count(&self) -> u64 {
+        self.propagations
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.grow_to(self.assigns.len());
+        self.order.insert(v.0, &self.activity);
+        v
+    }
+
+    fn value_lit(&self, l: Lit) -> LBool {
+        match self.assigns[l.var().index()] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if l.is_neg() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+            LBool::False => {
+                if l.is_neg() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+        }
+    }
+
+    /// The model value of `var` from the last satisfiable [`Solver::solve`]
+    /// call, or `None` if no model is available.
+    pub fn value(&self, var: Var) -> Option<bool> {
+        self.model.get(var.index()).copied()
+    }
+
+    /// Adds a clause (an OR of literals).
+    ///
+    /// Returns `false` if the formula is already unsatisfiable at level 0
+    /// (further calls are no-ops and `solve` will return `false`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a solve is in progress (never possible
+    /// through the public API) or with literals of unknown variables.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        assert_eq!(self.decision_level(), 0, "clauses must be added at level 0");
+        if self.unsat {
+            return false;
+        }
+        // Sort/dedup; detect tautology; drop false lits; detect satisfied.
+        let mut ls: Vec<Lit> = lits.to_vec();
+        ls.sort();
+        ls.dedup();
+        let mut filtered = Vec::with_capacity(ls.len());
+        for (i, &l) in ls.iter().enumerate() {
+            assert!(l.var().index() < self.num_vars(), "unknown variable");
+            if i + 1 < ls.len() && ls[i + 1] == !l {
+                return true; // tautology: contains l and !l
+            }
+            match self.value_lit(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {}          // drop
+                LBool::Undef => filtered.push(l),
+            }
+        }
+        match filtered.len() {
+            0 => {
+                self.unsat = true;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(filtered[0], None);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                self.attach_clause(filtered, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> usize {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len();
+        let w0 = Watcher {
+            clause: cref,
+            blocker: lits[1],
+        };
+        let w1 = Watcher {
+            clause: cref,
+            blocker: lits[0],
+        };
+        self.watches[(!lits[0]).index()].push(w0);
+        self.watches[(!lits[1]).index()].push(w1);
+        if learnt {
+            self.num_learnts += 1;
+        }
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+            deleted: false,
+        });
+        cref
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: Option<usize>) {
+        debug_assert_eq!(self.value_lit(l), LBool::Undef);
+        let v = l.var().index();
+        self.assigns[v] = LBool::from_bool(!l.is_neg());
+        self.level[v] = self.decision_level() as u32;
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    fn propagate(&mut self) -> Option<usize> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+
+            let ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut kept = Vec::with_capacity(ws.len());
+            let mut i = 0;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                if self.value_lit(w.blocker) == LBool::True {
+                    kept.push(w);
+                    continue;
+                }
+                let cref = w.clause;
+                if self.clauses[cref].deleted {
+                    continue; // lazily drop watchers of deleted clauses
+                }
+                // Ensure the false literal (!p) is at position 1.
+                {
+                    let c = &mut self.clauses[cref];
+                    if c.lits[0] == !p {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], !p);
+                }
+                let first = self.clauses[cref].lits[0];
+                if first != w.blocker && self.value_lit(first) == LBool::True {
+                    kept.push(Watcher {
+                        clause: cref,
+                        blocker: first,
+                    });
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[cref].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref].lits[k];
+                    if self.value_lit(lk) != LBool::False {
+                        self.clauses[cref].lits.swap(1, k);
+                        self.watches[(!lk).index()].push(Watcher {
+                            clause: cref,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // Clause is unit or conflicting.
+                kept.push(Watcher {
+                    clause: cref,
+                    blocker: first,
+                });
+                if self.value_lit(first) == LBool::False {
+                    // Conflict: keep remaining watchers and bail out.
+                    kept.extend_from_slice(&ws[i..]);
+                    self.qhead = self.trail.len();
+                    conflict = Some(cref);
+                    break;
+                }
+                self.unchecked_enqueue(first, Some(cref));
+            }
+            // Merge: new watchers may have been pushed for p while scanning.
+            let slot = &mut self.watches[p.index()];
+            kept.append(slot);
+            *slot = kept;
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    fn var_bump(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.bubble_up(v as u32, &self.activity);
+    }
+
+    fn cla_bump(&mut self, cref: usize) {
+        let c = &mut self.clauses[cref];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis; returns (learnt clause, backtrack level).
+    fn analyze(&mut self, mut confl: usize) -> (Vec<Lit>, usize) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for the asserting literal
+        let mut path_c = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut to_clear: Vec<usize> = Vec::new();
+
+        loop {
+            if self.clauses[confl].learnt {
+                self.cla_bump(confl);
+            }
+            let start = usize::from(p.is_some());
+            for j in start..self.clauses[confl].lits.len() {
+                let q = self.clauses[confl].lits[j];
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.var_bump(v);
+                    self.seen[v] = true;
+                    to_clear.push(v);
+                    if self.level[v] as usize >= self.decision_level() {
+                        path_c += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Next literal on the trail to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            let v = pl.var().index();
+            self.seen[v] = false;
+            path_c -= 1;
+            p = Some(pl);
+            if path_c == 0 {
+                break;
+            }
+            confl = self.reason[v].expect("non-decision must have a reason");
+        }
+        learnt[0] = !p.expect("analysis visits at least one literal");
+
+        // Conflict-clause minimisation (basic, local): a literal is
+        // redundant if its reason clause is fully covered by the learnt
+        // clause / level-0 assignments.
+        let keep: Vec<Lit> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&q| !self.literal_redundant(q))
+            .collect();
+        learnt.truncate(1);
+        learnt.extend(keep);
+
+        for v in to_clear {
+            self.seen[v] = false;
+        }
+
+        // Backtrack level: highest level among learnt[1..].
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()] as usize
+        };
+        (learnt, bt)
+    }
+
+    fn literal_redundant(&self, q: Lit) -> bool {
+        let v = q.var().index();
+        let Some(cref) = self.reason[v] else {
+            return false;
+        };
+        self.clauses[cref].lits[1..].iter().all(|&l| {
+            let lv = l.var().index();
+            self.seen[lv] || self.level[lv] == 0
+        })
+    }
+
+    fn cancel_until(&mut self, level: usize) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level];
+        for idx in (lim..self.trail.len()).rev() {
+            let l = self.trail[idx];
+            let v = l.var().index();
+            self.phase[v] = !l.is_neg();
+            self.assigns[v] = LBool::Undef;
+            self.reason[v] = None;
+            if !self.order.contains(v as u32) {
+                self.order.insert(v as u32, &self.activity);
+            }
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.assigns[v as usize] == LBool::Undef {
+                return Some(Var(v));
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        let mut learnt_refs: Vec<usize> = (0..self.clauses.len())
+            .filter(|&i| {
+                let c = &self.clauses[i];
+                c.learnt && !c.deleted && c.lits.len() > 2 && !self.is_locked(i)
+            })
+            .collect();
+        learnt_refs.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .expect("activities are finite")
+        });
+        let to_delete = learnt_refs.len() / 2;
+        for &cref in &learnt_refs[..to_delete] {
+            self.clauses[cref].deleted = true;
+            self.num_learnts -= 1;
+        }
+        // Watchers of deleted clauses are dropped lazily in propagate.
+    }
+
+    fn is_locked(&self, cref: usize) -> bool {
+        let first = self.clauses[cref].lits[0];
+        self.value_lit(first) == LBool::True
+            && self.reason[first.var().index()] == Some(cref)
+    }
+
+    /// Solves the formula; returns `true` when satisfiable (the model is
+    /// then available through [`Solver::value`]).
+    pub fn solve(&mut self) -> bool {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under the given assumption literals. The assumptions are
+    /// treated as temporary unit decisions; the solver state is reusable
+    /// afterwards (incremental solving).
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> bool {
+        if self.unsat {
+            return false;
+        }
+        let mut restarts = 0u32;
+        let result = loop {
+            let budget = 100 * luby(2, restarts);
+            match self.search(budget, assumptions) {
+                Some(sat) => break sat,
+                None => restarts += 1, // restart
+            }
+        };
+        if result {
+            self.model = self
+                .assigns
+                .iter()
+                .map(|&a| a == LBool::True)
+                .collect();
+        }
+        self.cancel_until(0);
+        result
+    }
+
+    /// Runs CDCL until a result or `budget` conflicts (then returns `None`
+    /// to signal a restart).
+    fn search(&mut self, budget: u64, assumptions: &[Lit]) -> Option<bool> {
+        let mut conflicts_here = 0u64;
+        let max_learnts = (self.clauses.len() / 3).max(1000) + (self.conflicts / 2) as usize;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    return Some(false);
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.cancel_until(bt);
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(learnt[0], None);
+                } else {
+                    let asserting = learnt[0];
+                    let cref = self.attach_clause(learnt, true);
+                    self.cla_bump(cref);
+                    self.unchecked_enqueue(asserting, Some(cref));
+                }
+                self.var_inc /= 0.95; // var activity decay
+                self.cla_inc /= 0.999;
+            } else {
+                if conflicts_here >= budget {
+                    self.cancel_until(0);
+                    return None; // restart
+                }
+                if self.num_learnts > max_learnts {
+                    self.reduce_db();
+                }
+                // Honor assumptions as forced decisions.
+                let mut next: Option<Lit> = None;
+                while self.decision_level() < assumptions.len() {
+                    let a = assumptions[self.decision_level()];
+                    match self.value_lit(a) {
+                        LBool::True => {
+                            // already satisfied; open a dummy level
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            // conflicts with current trail → UNSAT under
+                            // assumptions
+                            self.cancel_until(0);
+                            return Some(false);
+                        }
+                        LBool::Undef => {
+                            next = Some(a);
+                            break;
+                        }
+                    }
+                }
+                let decision = match next {
+                    Some(l) => l,
+                    None => match self.pick_branch_var() {
+                        Some(v) => Lit::with_sign(v, !self.phase[v.index()]),
+                        None => return Some(true), // all assigned: SAT
+                    },
+                };
+                self.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                self.unchecked_enqueue(decision, None);
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence: 1 1 2 1 1 2 4 ... scaled by powers of `y`.
+fn luby(y: u64, mut x: u32) -> u64 {
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < (x as u64) + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x as u64 {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x = (x as u64 % size) as u32;
+    }
+    y.pow(seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &mut Solver, vars: &mut Vec<Var>, idx: usize, neg: bool) -> Lit {
+        while vars.len() <= idx {
+            vars.push(s.new_var());
+        }
+        Lit::with_sign(vars[idx], neg)
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let seq: Vec<u64> = (0..15).map(|i| luby(2, i)).collect();
+        assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[Lit::pos(a)]);
+        assert!(s.solve());
+        assert_eq!(s.value(a), Some(true));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[Lit::pos(a)]));
+        assert!(!s.add_clause(&[Lit::neg(a)]));
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        let _ = s.new_var();
+        assert!(!s.add_clause(&[]));
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn tautology_is_dropped() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[Lit::pos(a), Lit::neg(a)]));
+        assert!(s.solve());
+    }
+
+    #[test]
+    fn no_clauses_is_sat() {
+        let mut s = Solver::new();
+        let _ = s.new_var();
+        assert!(s.solve());
+    }
+
+    #[test]
+    fn three_sat_instance() {
+        // (a|b|c) & (!a|b) & (!b|c) & (!c|a) & (!a|!b|!c) is satisfiable?
+        // a=T,b=T,c=T violates the last clause; try a=F: then !c|a → !c,
+        // c=F; !b|c → !b, b=F; a|b|c=F → conflict. a=T,b=T,c=T fails last.
+        // a=T,b=F: !a|b fails. So UNSAT.
+        let mut s = Solver::new();
+        let mut v = Vec::new();
+        let c = |s: &mut Solver, v: &mut Vec<Var>, spec: &[(usize, bool)]| {
+            let lits: Vec<Lit> = spec.iter().map(|&(i, n)| lit(s, v, i, n)).collect();
+            s.add_clause(&lits);
+        };
+        c(&mut s, &mut v, &[(0, false), (1, false), (2, false)]);
+        c(&mut s, &mut v, &[(0, true), (1, false)]);
+        c(&mut s, &mut v, &[(1, true), (2, false)]);
+        c(&mut s, &mut v, &[(2, true), (0, false)]);
+        c(&mut s, &mut v, &[(0, true), (1, true), (2, true)]);
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p[i][j]: pigeon i in hole j. Each pigeon somewhere; no two share.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..3)
+            .map(|_| (0..2).map(|_| s.new_var()).collect())
+            .collect();
+        for i in 0..3 {
+            s.add_clause(&[Lit::pos(p[i][0]), Lit::pos(p[i][1])]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert!(!s.solve());
+        assert!(s.conflict_count() > 0);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_3_sat() {
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..3)
+            .map(|_| (0..3).map(|_| s.new_var()).collect())
+            .collect();
+        for i in 0..3 {
+            let row: Vec<Lit> = (0..3).map(|j| Lit::pos(p[i][j])).collect();
+            s.add_clause(&row);
+        }
+        for j in 0..3 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert!(s.solve());
+        // verify model: each pigeon in >=1 hole, no hole with two pigeons
+        for i in 0..3 {
+            assert!((0..3).any(|j| s.value(p[i][j]).unwrap()));
+        }
+        for j in 0..3 {
+            let count = (0..3).filter(|&i| s.value(p[i][j]).unwrap()).count();
+            assert!(count <= 1);
+        }
+    }
+
+    #[test]
+    fn assumptions_are_temporary() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        assert!(s.solve_with_assumptions(&[Lit::neg(a)]));
+        assert_eq!(s.value(a), Some(false));
+        assert_eq!(s.value(b), Some(true));
+        // Contradictory assumptions: UNSAT, but state is reusable.
+        assert!(!s.solve_with_assumptions(&[Lit::neg(a), Lit::neg(b)]));
+        assert!(s.solve());
+    }
+
+    #[test]
+    fn assumption_conflicting_with_unit_clause() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[Lit::pos(a)]);
+        assert!(!s.solve_with_assumptions(&[Lit::neg(a)]));
+        assert!(s.solve_with_assumptions(&[Lit::pos(a)]));
+    }
+
+    #[test]
+    fn xor_chain_instance() {
+        // x0 ^ x1 = 1, x1 ^ x2 = 1, ..., and x0 = x_{n} forced equal ends:
+        // for odd chain lengths this is UNSAT when ends are tied equal.
+        let n = 12;
+        let mut s = Solver::new();
+        let xs: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+        for i in 0..n - 1 {
+            // xi ^ xi+1 = 1  ⇔  (xi | xi+1) & (!xi | !xi+1)
+            s.add_clause(&[Lit::pos(xs[i]), Lit::pos(xs[i + 1])]);
+            s.add_clause(&[Lit::neg(xs[i]), Lit::neg(xs[i + 1])]);
+        }
+        // tie ends equal: x0 = x_{n-1}
+        s.add_clause(&[Lit::neg(xs[0]), Lit::pos(xs[n - 1])]);
+        s.add_clause(&[Lit::pos(xs[0]), Lit::neg(xs[n - 1])]);
+        // chain of 11 xors flips parity 11 times → x0 != x11, so UNSAT.
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn random_instances_agree_with_brute_force() {
+        // Deterministic xorshift RNG; 3-SAT on 8 vars, compare to brute force.
+        let mut state = 0x12345678u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _case in 0..30 {
+            let nv = 8usize;
+            let nc = 30usize;
+            let mut clauses: Vec<Vec<(usize, bool)>> = Vec::new();
+            for _ in 0..nc {
+                let mut cl = Vec::new();
+                for _ in 0..3 {
+                    cl.push(((rnd() as usize) % nv, rnd() % 2 == 0));
+                }
+                clauses.push(cl);
+            }
+            // brute force
+            let mut expect = false;
+            'outer: for m in 0..(1u32 << nv) {
+                for cl in &clauses {
+                    if !cl
+                        .iter()
+                        .any(|&(v, neg)| ((m >> v) & 1 == 1) != neg)
+                    {
+                        continue 'outer;
+                    }
+                }
+                expect = true;
+                break;
+            }
+            // solver
+            let mut s = Solver::new();
+            let vars: Vec<Var> = (0..nv).map(|_| s.new_var()).collect();
+            for cl in &clauses {
+                let lits: Vec<Lit> =
+                    cl.iter().map(|&(v, neg)| Lit::with_sign(vars[v], neg)).collect();
+                s.add_clause(&lits);
+            }
+            let got = s.solve();
+            assert_eq!(got, expect, "clauses: {clauses:?}");
+            if got {
+                // model must satisfy every clause
+                for cl in &clauses {
+                    assert!(cl
+                        .iter()
+                        .any(|&(v, neg)| s.value(vars[v]).unwrap() != neg));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, issued densely by [`crate::Solver::new_var`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation, packed as `var << 1 | sign`
+/// (sign bit set means negated).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn pos(var: Var) -> Self {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn neg(var: Var) -> Self {
+        Lit(var.0 << 1 | 1)
+    }
+
+    /// Builds a literal with an explicit sign; `negated = false` gives the
+    /// positive literal.
+    pub fn with_sign(var: Var, negated: bool) -> Self {
+        Lit(var.0 << 1 | negated as u32)
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// True when this is a negated literal.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Dense index (distinct for the two polarities), used for watch lists.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "!v{}", self.0 >> 1)
+        } else {
+            write!(f, "v{}", self.0 >> 1)
+        }
+    }
+}
+
+/// Three-valued assignment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+impl LBool {
+    pub(crate) fn from_bool(b: bool) -> Self {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_packing() {
+        let v = Var(7);
+        let p = Lit::pos(v);
+        let n = Lit::neg(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(!p.is_neg());
+        assert!(n.is_neg());
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert_ne!(p.index(), n.index());
+        assert_eq!(Lit::with_sign(v, true), n);
+        assert_eq!(Lit::with_sign(v, false), p);
+    }
+
+    #[test]
+    fn debug_formatting() {
+        assert_eq!(format!("{:?}", Lit::pos(Var(3))), "v3");
+        assert_eq!(format!("{:?}", Lit::neg(Var(3))), "!v3");
+    }
+}

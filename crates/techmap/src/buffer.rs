@@ -1,0 +1,436 @@
+//! Fanout buffering — the `buffer` step of the paper's §4.3 baseline flow.
+//!
+//! The linear delay model charges every driver `resistance × load`; a net
+//! with dozens of sinks therefore dominates the critical path no matter
+//! how the driver is sized. `buffer` rebuilds the netlist with buffer
+//! trees on nets whose fanout count or capacitive load exceeds the
+//! configured limits, exactly like ABC's `buffer` command runs between
+//! mapping and sizing. Inserted buffers start at the smallest drive; the
+//! subsequent `upsize` pass resizes them like any other gate.
+//!
+//! Buffering never changes logic function: trees are built from the
+//! library's BUF cell, or from inverter pairs when the library has no
+//! non-inverting buffer.
+
+use crate::library::Library;
+use crate::netlist::{Netlist, Signal};
+use std::collections::HashMap;
+
+/// Limits that trigger buffer insertion on a net.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BufferConfig {
+    /// Maximum number of sink pins a single driver may feed.
+    pub max_fanout: usize,
+    /// Maximum capacitive load on a single driver (`None` = unlimited).
+    pub max_load: Option<f64>,
+    /// Also buffer primary-input nets. Off by default: the STA models PIs
+    /// as ideal (zero-resistance) drivers, so splitting their fanout can
+    /// only add buffer delay — the same reason ABC leaves PI nets alone
+    /// unless an input drive is specified.
+    pub buffer_inputs: bool,
+}
+
+impl Default for BufferConfig {
+    /// Fanout limit 8, no load limit, gate-output nets only — comparable
+    /// to ABC's default fanout-driven buffering.
+    fn default() -> Self {
+        BufferConfig {
+            max_fanout: 8,
+            max_load: None,
+            buffer_inputs: false,
+        }
+    }
+}
+
+/// A sink pin fed by some net.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum SinkRef {
+    /// Input `pin` of gate `gate` (old-netlist indices).
+    Pin { gate: u32, pin: u32 },
+    /// Primary output `index`.
+    Po(u32),
+}
+
+/// An element a driver must feed while a tree is being balanced: either a
+/// real sink or a planned buffer subtree.
+enum Item {
+    Sink(SinkRef, f64),
+    Buf(Vec<Item>),
+}
+
+impl Item {
+    fn cap(&self, buf_in_cap: f64) -> f64 {
+        match self {
+            Item::Sink(_, c) => *c,
+            Item::Buf(_) => buf_in_cap,
+        }
+    }
+}
+
+/// Rebuilds `nl` with buffer trees on every gate-output net exceeding
+/// `cfg`'s limits (primary-input nets too, when `cfg.buffer_inputs` is
+/// set) and returns the buffered netlist.
+///
+/// The result computes the same function; only fanout topology changes.
+/// Nets already within limits are untouched, so a netlist that needs no
+/// buffering round-trips with an identical gate count.
+pub fn buffer(nl: &Netlist, lib: &Library, po_cap: f64, cfg: &BufferConfig) -> Netlist {
+    let buf_cell = lib.buffer();
+    let buf_is_real = {
+        let c = &lib.cells()[buf_cell];
+        c.num_inputs == 1 && c.eval(0b1) && !c.eval(0b0)
+    };
+    let inv_cell = lib.inverter();
+    let buf_in_cap = if buf_is_real {
+        lib.cells()[buf_cell].input_cap
+    } else {
+        lib.cells()[inv_cell].input_cap
+    };
+
+    // Collect the sinks of every PI and gate net in the original netlist.
+    let mut pi_sinks: Vec<Vec<(SinkRef, f64)>> = vec![Vec::new(); nl.input_names().len()];
+    let mut gate_sinks: Vec<Vec<(SinkRef, f64)>> = vec![Vec::new(); nl.num_gates()];
+    for (i, g) in nl.gates().iter().enumerate() {
+        for (p, s) in g.inputs.iter().enumerate() {
+            let sink = SinkRef::Pin {
+                gate: i as u32,
+                pin: p as u32,
+            };
+            let cap = lib.cells()[g.cell].input_cap;
+            match s {
+                Signal::Pi(k) => pi_sinks[*k as usize].push((sink, cap)),
+                Signal::Gate(j) => gate_sinks[*j as usize].push((sink, cap)),
+                Signal::Const(_) => {}
+            }
+        }
+    }
+    for (k, (_, s)) in nl.outputs().iter().enumerate() {
+        let sink = (SinkRef::Po(k as u32), po_cap);
+        match s {
+            Signal::Pi(i) => pi_sinks[*i as usize].push(sink),
+            Signal::Gate(j) => gate_sinks[*j as usize].push(sink),
+            Signal::Const(_) => {}
+        }
+    }
+
+    let mut out = Netlist::new();
+    // Which signal each (old-netlist) sink reads after buffering.
+    let mut assign: HashMap<SinkRef, Signal> = HashMap::new();
+
+    let emit_buffer = |out: &mut Netlist, input: Signal| -> Signal {
+        if buf_is_real {
+            out.add_gate(buf_cell, vec![input])
+        } else {
+            let n = out.add_gate(inv_cell, vec![input]);
+            out.add_gate(inv_cell, vec![n])
+        }
+    };
+
+    // Builds a buffer tree over `sinks` driven by `driver`, recording the
+    // final driving signal of every sink in `assign`.
+    let attach = |out: &mut Netlist,
+                      assign: &mut HashMap<SinkRef, Signal>,
+                      driver: Signal,
+                      sinks: &[(SinkRef, f64)]| {
+        let fits = |items: &[Item]| {
+            items.len() <= cfg.max_fanout
+                && cfg.max_load.is_none_or(|ml| {
+                    items.iter().map(|i| i.cap(buf_in_cap)).sum::<f64>() <= ml + 1e-12
+                })
+        };
+        let mut items: Vec<Item> = sinks.iter().map(|&(r, c)| Item::Sink(r, c)).collect();
+        while !fits(&items) {
+            // Greedy packing into groups that each satisfy the limits (a
+            // single over-weight item forms its own group and is attached
+            // as-is — it cannot be split).
+            let mut groups: Vec<Vec<Item>> = Vec::new();
+            let mut cur: Vec<Item> = Vec::new();
+            let mut cur_cap = 0.0;
+            for it in items {
+                let c = it.cap(buf_in_cap);
+                let over_count = cur.len() + 1 > cfg.max_fanout;
+                let over_load =
+                    cfg.max_load.is_some_and(|ml| !cur.is_empty() && cur_cap + c > ml + 1e-12);
+                if over_count || over_load {
+                    groups.push(std::mem::take(&mut cur));
+                    cur_cap = 0.0;
+                }
+                cur_cap += c;
+                cur.push(it);
+            }
+            if !cur.is_empty() {
+                groups.push(cur);
+            }
+            if groups.len() <= 1 {
+                items = groups.pop().unwrap_or_default();
+                break;
+            }
+            items = groups.into_iter().map(Item::Buf).collect();
+        }
+        // Emit top-down: the driver feeds the top-level items; each Buf
+        // materializes one buffer and recursively feeds its children.
+        let mut stack: Vec<(Signal, Item)> = items.into_iter().map(|i| (driver, i)).collect();
+        while let Some((sig, item)) = stack.pop() {
+            match item {
+                Item::Sink(r, _) => {
+                    assign.insert(r, sig);
+                }
+                Item::Buf(children) => {
+                    let b = emit_buffer(out, sig);
+                    for ch in children {
+                        stack.push((b, ch));
+                    }
+                }
+            }
+        }
+    };
+
+    // PIs keep their indices; buffer their nets first when requested,
+    // otherwise wire every PI sink straight through.
+    for (k, name) in nl.input_names().iter().enumerate() {
+        let pi = out.add_input(name.clone());
+        debug_assert_eq!(pi, Signal::Pi(k as u32));
+        if cfg.buffer_inputs {
+            attach(&mut out, &mut assign, pi, &pi_sinks[k]);
+        } else {
+            for &(r, _) in &pi_sinks[k] {
+                assign.insert(r, pi);
+            }
+        }
+    }
+
+    // Emit gates in the original topological order, resolving each input
+    // through the assignment table, then buffer the fresh net.
+    for (i, g) in nl.gates().iter().enumerate() {
+        let inputs: Vec<Signal> = g
+            .inputs
+            .iter()
+            .enumerate()
+            .map(|(p, s)| match s {
+                Signal::Const(b) => Signal::Const(*b),
+                _ => assign[&SinkRef::Pin {
+                    gate: i as u32,
+                    pin: p as u32,
+                }],
+            })
+            .collect();
+        let new_sig = out.add_gate(g.cell, inputs);
+        attach(&mut out, &mut assign, new_sig, &gate_sinks[i]);
+    }
+
+    for (k, (name, s)) in nl.outputs().iter().enumerate() {
+        let sig = match s {
+            Signal::Const(b) => Signal::Const(*b),
+            _ => assign[&SinkRef::Po(k as u32)],
+        };
+        out.add_output(name.clone(), sig);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::MapMode;
+    use crate::library::Library;
+    use crate::mapper::map_aig;
+    use crate::sizing::{dnsize, upsize};
+    use crate::sta::sta;
+    use esyn_aig::Aig;
+    use esyn_eqn::parse_eqn;
+
+    /// a*b fanning out to `n` output functions.
+    fn high_fanout_aig(n: usize) -> Aig {
+        let mut text = String::from("INORDER = a b");
+        for i in 0..n {
+            text.push_str(&format!(" c{i}"));
+        }
+        text.push_str(";\nOUTORDER =");
+        for i in 0..n {
+            text.push_str(&format!(" f{i}"));
+        }
+        text.push_str(";\n");
+        for i in 0..n {
+            text.push_str(&format!("f{i} = (a*b) * c{i};\n"));
+        }
+        Aig::from_network(&parse_eqn(&text).unwrap())
+    }
+
+    fn fanout_counts(nl: &Netlist) -> Vec<usize> {
+        let mut counts = vec![0usize; nl.num_gates()];
+        for g in nl.gates() {
+            for s in &g.inputs {
+                if let Signal::Gate(j) = s {
+                    counts[*j as usize] += 1;
+                }
+            }
+        }
+        for (_, s) in nl.outputs() {
+            if let Signal::Gate(j) = s {
+                counts[*j as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    #[test]
+    fn respects_fanout_limit() {
+        let lib = Library::asap7_like();
+        let aig = high_fanout_aig(40);
+        let nl = map_aig(&aig, &lib, MapMode::Area);
+        let cfg = BufferConfig {
+            max_fanout: 6,
+            ..BufferConfig::default()
+        };
+        let buffered = buffer(&nl, &lib, 1.2, &cfg);
+        assert!(buffered.num_gates() > nl.num_gates(), "buffers were inserted");
+        for (g, &n) in fanout_counts(&buffered).iter().enumerate() {
+            assert!(n <= 6, "gate {g} has fanout {n} > 6");
+        }
+    }
+
+    #[test]
+    fn preserves_function() {
+        let lib = Library::asap7_like();
+        let aig = high_fanout_aig(24);
+        let nl = map_aig(&aig, &lib, MapMode::Delay);
+        let cfg = BufferConfig {
+            max_fanout: 4,
+            max_load: Some(3.0),
+            ..BufferConfig::default()
+        };
+        let buffered = buffer(&nl, &lib, 1.2, &cfg);
+        let words: Vec<u64> = (0..26u64)
+            .map(|i| (i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        assert_eq!(nl.simulate(&lib, &words), buffered.simulate(&lib, &words));
+    }
+
+    #[test]
+    fn no_op_when_within_limits() {
+        let lib = Library::asap7_like();
+        let aig = high_fanout_aig(3);
+        let nl = map_aig(&aig, &lib, MapMode::Area);
+        let buffered = buffer(&nl, &lib, 1.2, &BufferConfig::default());
+        assert_eq!(buffered.num_gates(), nl.num_gates());
+        assert_eq!(buffered.levels(), nl.levels());
+    }
+
+    #[test]
+    fn reduces_delay_on_heavily_loaded_net() {
+        let lib = Library::asap7_like();
+        let aig = high_fanout_aig(48);
+        let nl = map_aig(&aig, &lib, MapMode::Area);
+        let before = sta(&nl, &lib, 1.2).delay;
+        let cfg = BufferConfig {
+            max_fanout: 8,
+            ..BufferConfig::default()
+        };
+        let buffered = buffer(&nl, &lib, 1.2, &cfg);
+        let after = sta(&buffered, &lib, 1.2).delay;
+        assert!(
+            after < before,
+            "buffering a 48-sink net must cut delay: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn buffers_primary_input_nets() {
+        let lib = Library::asap7_like();
+        // `a` feeds every function directly.
+        let mut text = String::from("INORDER = a");
+        for i in 0..20 {
+            text.push_str(&format!(" c{i}"));
+        }
+        text.push_str(";\nOUTORDER =");
+        for i in 0..20 {
+            text.push_str(&format!(" f{i}"));
+        }
+        text.push_str(";\n");
+        for i in 0..20 {
+            text.push_str(&format!("f{i} = a * c{i};\n"));
+        }
+        let aig = Aig::from_network(&parse_eqn(&text).unwrap());
+        let nl = map_aig(&aig, &lib, MapMode::Area);
+        let pi_fanout = |nl: &Netlist| {
+            nl.gates()
+                .iter()
+                .flat_map(|g| &g.inputs)
+                .filter(|s| matches!(s, Signal::Pi(0)))
+                .count()
+        };
+        assert!(pi_fanout(&nl) > 8);
+        // By default PI nets are left alone (PIs are ideal drivers)...
+        let untouched = buffer(&nl, &lib, 1.2, &BufferConfig::default());
+        assert_eq!(pi_fanout(&untouched), pi_fanout(&nl));
+        // ...and buffered when explicitly requested.
+        let cfg = BufferConfig {
+            max_fanout: 8,
+            buffer_inputs: true,
+            ..BufferConfig::default()
+        };
+        let buffered = buffer(&nl, &lib, 1.2, &cfg);
+        assert!(pi_fanout(&buffered) <= 8);
+        let words: Vec<u64> = (0..21u64).map(|i| i.wrapping_mul(0xABCD_EF01_2345)).collect();
+        assert_eq!(nl.simulate(&lib, &words), buffered.simulate(&lib, &words));
+    }
+
+    #[test]
+    fn inverter_pair_fallback_preserves_polarity() {
+        // nand_inv has no BUF cell; buffering must use INV pairs.
+        let lib = Library::nand_inv();
+        let net = parse_eqn(
+            "INORDER = a b c d;\nOUTORDER = w x y z;\n\
+             w = (a*b)*c;\nx = (a*b)*d;\ny = (a*b)+c;\nz = (a*b)+d;\n",
+        )
+        .unwrap();
+        let aig = Aig::from_network(&net);
+        let nl = map_aig(&aig, &lib, MapMode::Area);
+        let cfg = BufferConfig {
+            max_fanout: 2,
+            ..BufferConfig::default()
+        };
+        let buffered = buffer(&nl, &lib, 1.2, &cfg);
+        let words: Vec<u64> = (0..4u64).map(|i| (i + 7).wrapping_mul(0x1357_9BDF)).collect();
+        assert_eq!(nl.simulate(&lib, &words), buffered.simulate(&lib, &words));
+        // every cell in nand_inv is NAND2 or INV, so buffers are INV pairs
+        assert!(buffered.num_gates() > nl.num_gates());
+    }
+
+    #[test]
+    fn buffered_netlist_sizes_cleanly() {
+        let lib = Library::asap7_like();
+        let aig = high_fanout_aig(32);
+        let mut nl = map_aig(&aig, &lib, MapMode::Delay);
+        let cfg = BufferConfig {
+            max_fanout: 8,
+            ..BufferConfig::default()
+        };
+        nl = buffer(&nl, &lib, 1.2, &cfg);
+        let before = sta(&nl, &lib, 1.2).delay;
+        let after = upsize(&mut nl, &lib, 1.2, None, 100);
+        let _ = dnsize(&mut nl, &lib, 1.2, None);
+        assert!(after <= before + 1e-9);
+        let words: Vec<u64> = (0..34u64).map(|i| i.wrapping_mul(0x0F1E_2D3C_4B5A)).collect();
+        let aig_out = aig.simulate(&words);
+        assert_eq!(aig_out, nl.simulate(&lib, &words));
+    }
+
+    #[test]
+    fn load_limit_splits_heavy_nets() {
+        let lib = Library::asap7_like();
+        let aig = high_fanout_aig(30);
+        let nl = map_aig(&aig, &lib, MapMode::Area);
+        let cfg = BufferConfig {
+            max_fanout: usize::MAX,
+            max_load: Some(2.5),
+            ..BufferConfig::default()
+        };
+        let buffered = buffer(&nl, &lib, 1.2, &cfg);
+        let loads = buffered.loads(&lib, 1.2);
+        for (g, &l) in loads.iter().enumerate() {
+            assert!(l <= 2.5 + 1e-9, "gate {g} load {l} exceeds limit");
+        }
+        assert!(buffered.num_gates() > nl.num_gates());
+    }
+}

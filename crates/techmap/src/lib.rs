@@ -1,0 +1,51 @@
+//! Technology mapping, static timing analysis and gate sizing.
+//!
+//! This crate is the workspace's substitute for the ABC backend the paper
+//! uses to measure post-mapping QoR:
+//! `strash; dch -f; map; topo; upsize; dnsize; stime` (§4.2) — cut-based
+//! structural mapping onto a standard-cell library, followed by greedy
+//! drive-strength assignment and a timing/area report.
+//!
+//! The cell [`Library`] is a synthetic 7-nm-flavoured library
+//! ([`Library::asap7_like`]): the real ASAP7 PDK is not redistributable,
+//! so cell areas and delays here follow its qualitative shape (see
+//! DESIGN.md, substitution notes) — INV/NAND cheapest, XOR/MUX expensive,
+//! drive strengths x1/x2/x4 (x8 for inverters/buffers) with load-dependent
+//! linear delay. Every experiment in the paper is a *relative* comparison
+//! evaluated through one fixed backend, which this crate provides.
+//!
+//! # Example
+//!
+//! ```
+//! use esyn_aig::Aig;
+//! use esyn_eqn::parse_eqn;
+//! use esyn_techmap::{map_and_size, Library, MapMode};
+//!
+//! let net = parse_eqn("INORDER = a b c;\nOUTORDER = f;\nf = a*b + !c;\n")?;
+//! let aig = Aig::from_network(&net);
+//! let lib = Library::asap7_like();
+//! let (netlist, qor) = map_and_size(&aig, &lib, MapMode::Delay, None);
+//! assert!(qor.area > 0.0 && qor.delay > 0.0);
+//! assert_eq!(netlist.outputs().len(), 1);
+//! # Ok::<(), esyn_eqn::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod buffer;
+mod flow;
+mod library;
+mod mapper;
+mod netlist;
+mod sizing;
+mod sta;
+mod verilog;
+
+pub use buffer::{buffer, BufferConfig};
+pub use flow::{map_and_size, map_buffer_size, map_choices_and_size, MapMode, QorReport};
+pub use library::{Cell, Library};
+pub use mapper::{map_aig, map_choices};
+pub use netlist::{Gate, Netlist, Signal};
+pub use sizing::{dnsize, upsize};
+pub use sta::{sta, sta_with_target, TimingReport, PO_CAP};

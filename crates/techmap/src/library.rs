@@ -1,0 +1,428 @@
+//! Standard-cell library with NPN-based Boolean matching tables.
+
+use std::collections::HashMap;
+
+/// A standard cell: a single-output combinational gate with up to four
+/// inputs, a linear delay model `delay = intrinsic + resistance * load`,
+/// and per-pin input capacitance.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Cell name, e.g. `NAND2_x2`.
+    pub name: String,
+    /// Gate family without the drive suffix, e.g. `NAND2`.
+    pub family: String,
+    /// Drive strength multiplier (1, 2, 4, 8).
+    pub drive: u32,
+    /// Number of input pins (1..=4).
+    pub num_inputs: usize,
+    /// Function truth table over `num_inputs` variables, in the low
+    /// `2^num_inputs` bits (pin `i` = variable `i`).
+    pub tt: u16,
+    /// Cell area in µm².
+    pub area: f64,
+    /// Intrinsic delay in ps.
+    pub intrinsic: f64,
+    /// Output resistance in ps per unit load.
+    pub resistance: f64,
+    /// Input capacitance per pin, in load units.
+    pub input_cap: f64,
+}
+
+impl Cell {
+    /// Pin-to-output delay under `load`.
+    pub fn delay(&self, load: f64) -> f64 {
+        self.intrinsic + self.resistance * load
+    }
+
+    /// Evaluates the cell function for packed input bits (bit `i` = pin `i`).
+    pub fn eval(&self, inputs: u16) -> bool {
+        (self.tt >> inputs) & 1 == 1
+    }
+}
+
+/// A match of a cut function against a library cell: connect cell pin `i`
+/// to cut leaf `pin_to_leaf[i]`, complementing it when bit `i` of
+/// `input_neg` is set; complement the output when `output_neg` is set.
+#[derive(Clone, Copy, Debug)]
+pub struct CellMatch {
+    /// Index of the matched cell in [`Library::cells`].
+    pub cell: usize,
+    /// For each cell pin, the index of the cut leaf it connects to.
+    pub pin_to_leaf: [u8; 4],
+    /// Bitmask of complemented input pins.
+    pub input_neg: u8,
+    /// Whether the cell output must be complemented to realise the cut
+    /// function (callers typically search both polarities instead of using
+    /// matches with `output_neg` set).
+    pub output_neg: bool,
+}
+
+/// A cell library with precomputed matching tables.
+///
+/// The matching table maps `(num_vars, truth_table)` to every way any
+/// library cell can realise that function via input permutation and
+/// negation (the NPN orbit, expanded).
+#[derive(Clone, Debug)]
+pub struct Library {
+    cells: Vec<Cell>,
+    matches: HashMap<(usize, u16), Vec<CellMatch>>,
+    inv: usize,
+    buf: usize,
+}
+
+impl Library {
+    /// Builds a library from cell descriptions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no inverter (1-input cell computing NOT) is present, or a
+    /// cell has more than 4 inputs.
+    pub fn new(cells: Vec<Cell>) -> Self {
+        let inv = cells
+            .iter()
+            .position(|c| c.num_inputs == 1 && c.tt & 0b11 == 0b01)
+            .expect("library must contain an inverter");
+        let buf = cells
+            .iter()
+            .position(|c| c.num_inputs == 1 && c.tt & 0b11 == 0b10)
+            .unwrap_or(inv);
+        let mut lib = Library {
+            cells,
+            matches: HashMap::new(),
+            inv,
+            buf,
+        };
+        lib.build_match_table();
+        lib
+    }
+
+    /// All cells.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Index of the smallest inverter.
+    pub fn inverter(&self) -> usize {
+        self.inv
+    }
+
+    /// Index of the smallest buffer (falls back to the inverter if the
+    /// library has no buffer).
+    pub fn buffer(&self) -> usize {
+        self.buf
+    }
+
+    /// All matches realising the function `tt` over `num_vars` cut leaves
+    /// (only matches with `output_neg == false`; search the complement
+    /// table for the other polarity).
+    pub fn matches(&self, num_vars: usize, tt: u16) -> &[CellMatch] {
+        self.matches
+            .get(&(num_vars, tt))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Drive variants of the same family as `cell`, sorted by drive.
+    pub fn drive_variants(&self, cell: usize) -> Vec<usize> {
+        let family = &self.cells[cell].family;
+        let mut v: Vec<usize> = self
+            .cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| &c.family == family)
+            .map(|(i, _)| i)
+            .collect();
+        v.sort_by_key(|&i| self.cells[i].drive);
+        v
+    }
+
+    fn build_match_table(&mut self) {
+        let mut table: HashMap<(usize, u16), Vec<CellMatch>> = HashMap::new();
+        for (ci, cell) in self.cells.iter().enumerate() {
+            // Only match minimum-drive cells; sizing swaps drives later.
+            if cell.drive != 1 {
+                continue;
+            }
+            let n = cell.num_inputs;
+            assert!(n >= 1 && n <= 4, "cell {} has {} inputs", cell.name, n);
+            let perms = permutations(n);
+            for perm in &perms {
+                for neg in 0..(1u8 << n) {
+                    // realized(x_0..x_{n-1}) where cell pin i reads
+                    // x_{perm[i]} ^ neg_i
+                    let mut tt: u16 = 0;
+                    for idx in 0..(1u16 << n) {
+                        let mut pins: u16 = 0;
+                        for (i, &p) in perm.iter().enumerate() {
+                            let bit = ((idx >> p) & 1) ^ u16::from((neg >> i) & 1);
+                            pins |= bit << i;
+                        }
+                        if cell.eval(pins) {
+                            tt |= 1 << idx;
+                        }
+                    }
+                    let mut pin_to_leaf = [0u8; 4];
+                    for (i, &p) in perm.iter().enumerate() {
+                        pin_to_leaf[i] = p as u8;
+                    }
+                    let mask = (1u32 << (1 << n)) - 1;
+                    for (f, out_neg) in [(tt, false), ((!tt) & mask as u16, true)] {
+                        let entry = table.entry((n, f)).or_default();
+                        // Avoid exact duplicates (different perms of
+                        // symmetric pins produce the same realization).
+                        if !entry.iter().any(|m| {
+                            m.cell == ci
+                                && m.pin_to_leaf == pin_to_leaf
+                                && m.input_neg == neg
+                                && m.output_neg == out_neg
+                        }) {
+                            entry.push(CellMatch {
+                                cell: ci,
+                                pin_to_leaf,
+                                input_neg: neg,
+                                output_neg: out_neg,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Keep only output_neg == false entries in the primary table; the
+        // complement polarity is looked up by complementing the query.
+        for v in table.values_mut() {
+            v.retain(|m| !m.output_neg);
+        }
+        table.retain(|_, v| !v.is_empty());
+        self.matches = table;
+    }
+
+    /// The synthetic 7-nm-flavoured library used throughout the
+    /// reproduction (see crate docs for the modelling rationale).
+    pub fn asap7_like() -> Self {
+        let mut cells = Vec::new();
+        // (family, n, tt over n vars, area, intrinsic ps, resistance, cap)
+        let defs: &[(&str, usize, u16, f64, f64, f64, f64)] = &[
+            ("INV", 1, 0b01, 0.70, 3.8, 1.10, 0.85),
+            ("BUF", 1, 0b10, 1.10, 7.4, 0.95, 0.80),
+            ("NAND2", 2, 0b0111, 0.94, 5.6, 1.30, 0.92),
+            ("NOR2", 2, 0b0001, 0.94, 6.4, 1.55, 0.92),
+            ("AND2", 2, 0b1000, 1.40, 8.9, 1.15, 0.88),
+            ("OR2", 2, 0b1110, 1.40, 9.6, 1.20, 0.88),
+            ("NAND3", 3, 0b0111_1111, 1.30, 7.1, 1.45, 0.95),
+            ("NOR3", 3, 0b0000_0001, 1.30, 8.6, 1.80, 0.95),
+            ("AND3", 3, 0b1000_0000, 1.75, 10.2, 1.25, 0.90),
+            ("OR3", 3, 0b1111_1110, 1.75, 11.3, 1.30, 0.90),
+            ("NAND4", 4, 0x7FFF, 1.68, 8.8, 1.60, 1.00),
+            ("NOR4", 4, 0x0001, 1.68, 10.9, 2.05, 1.00),
+            // AOI21: !((a & b) | c) ; pins a=0,b=1,c=2
+            ("AOI21", 3, 0b0001_0101, 1.26, 7.7, 1.50, 0.94),
+            // OAI21: !((a | b) & c)
+            ("OAI21", 3, 0b0001_0111, 1.26, 7.9, 1.50, 0.94),
+            // AOI22: !((a&b) | (c&d))
+            ("AOI22", 4, 0x0777, 1.62, 9.1, 1.65, 0.97),
+            // OAI22: !((a|b) & (c|d))
+            ("OAI22", 4, 0x1117, 1.62, 9.3, 1.65, 0.97),
+            ("XOR2", 2, 0b0110, 2.34, 12.7, 1.40, 1.10),
+            ("XNOR2", 2, 0b1001, 2.34, 12.9, 1.40, 1.10),
+            // MUX2: s ? b : a ; pins a=0, b=1, s=2
+            ("MUX2", 3, 0b1011_0010, 2.20, 11.8, 1.35, 1.05),
+            // MAJ3: at least two of three
+            ("MAJ3", 3, 0b1110_1000, 2.48, 13.1, 1.45, 1.08),
+        ];
+        for &(family, n, tt, area, intrinsic, res, cap) in defs {
+            let drives: &[u32] = if family == "INV" || family == "BUF" {
+                &[1, 2, 4, 8]
+            } else {
+                &[1, 2, 4]
+            };
+            for &d in drives {
+                let s = d as f64;
+                cells.push(Cell {
+                    name: format!("{family}_x{d}"),
+                    family: family.to_owned(),
+                    drive: d,
+                    num_inputs: n,
+                    tt,
+                    // Area grows sub-linearly with drive; resistance drops
+                    // inversely; pin capacitance grows with transistor width.
+                    area: area * (0.55 + 0.45 * s),
+                    intrinsic: intrinsic * (1.0 + 0.04 * (s - 1.0)),
+                    resistance: res / s,
+                    input_cap: cap * (0.70 + 0.30 * s),
+                });
+            }
+        }
+        Library::new(cells)
+    }
+
+    /// A minimal NAND2 + INV library, useful in tests: every function is
+    /// still mappable through 2-input cuts.
+    pub fn nand_inv() -> Self {
+        Library::new(vec![
+            Cell {
+                name: "INV_x1".into(),
+                family: "INV".into(),
+                drive: 1,
+                num_inputs: 1,
+                tt: 0b01,
+                area: 0.7,
+                intrinsic: 3.8,
+                resistance: 1.1,
+                input_cap: 0.85,
+            },
+            Cell {
+                name: "NAND2_x1".into(),
+                family: "NAND2".into(),
+                drive: 1,
+                num_inputs: 2,
+                tt: 0b0111,
+                area: 0.94,
+                intrinsic: 5.6,
+                resistance: 1.3,
+                input_cap: 0.92,
+            },
+        ])
+    }
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut items: Vec<usize> = (0..n).collect();
+    permute(&mut items, 0, &mut out);
+    out
+}
+
+fn permute(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+    if k == items.len() {
+        out.push(items.clone());
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, out);
+        items.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asap7_like_has_all_drives() {
+        let lib = Library::asap7_like();
+        let invs: Vec<_> = lib
+            .cells()
+            .iter()
+            .filter(|c| c.family == "INV")
+            .collect();
+        assert_eq!(invs.len(), 4);
+        let nands: Vec<_> = lib
+            .cells()
+            .iter()
+            .filter(|c| c.family == "NAND2")
+            .collect();
+        assert_eq!(nands.len(), 3);
+    }
+
+    #[test]
+    fn higher_drive_is_bigger_and_stronger() {
+        let lib = Library::asap7_like();
+        let nand1 = lib
+            .cells()
+            .iter()
+            .find(|c| c.name == "NAND2_x1")
+            .unwrap();
+        let nand4 = lib
+            .cells()
+            .iter()
+            .find(|c| c.name == "NAND2_x4")
+            .unwrap();
+        assert!(nand4.area > nand1.area);
+        assert!(nand4.resistance < nand1.resistance);
+        assert!(nand4.input_cap > nand1.input_cap);
+        // at high load the x4 must be faster
+        assert!(nand4.delay(20.0) < nand1.delay(20.0));
+    }
+
+    #[test]
+    fn matches_and_function() {
+        let lib = Library::asap7_like();
+        // AND of two vars: tt = 0b1000 over 2 vars
+        let ms = lib.matches(2, 0b1000);
+        assert!(!ms.is_empty());
+        // every match must realise the function
+        for m in ms {
+            let cell = &lib.cells()[m.cell];
+            for idx in 0..4u16 {
+                let mut pins = 0u16;
+                for pin in 0..cell.num_inputs {
+                    let leaf = m.pin_to_leaf[pin] as usize;
+                    let bit = ((idx >> leaf) & 1) ^ u16::from((m.input_neg >> pin) & 1);
+                    pins |= bit << pin;
+                }
+                let val = cell.eval(pins);
+                let expect = (idx & 0b11) == 0b11;
+                assert_eq!(val, expect, "cell {} idx {idx}", cell.name);
+            }
+        }
+    }
+
+    #[test]
+    fn xor_matches_xor_cell() {
+        let lib = Library::asap7_like();
+        let ms = lib.matches(2, 0b0110);
+        assert!(
+            ms.iter().any(|m| lib.cells()[m.cell].family == "XOR2"),
+            "xor function should match the XOR2 cell"
+        );
+    }
+
+    #[test]
+    fn aoi21_matches_its_function() {
+        let lib = Library::asap7_like();
+        // !((x0 & x1) | x2) over 3 vars
+        let mut tt = 0u16;
+        for idx in 0..8u16 {
+            let a = idx & 1 == 1;
+            let b = (idx >> 1) & 1 == 1;
+            let c = (idx >> 2) & 1 == 1;
+            if !((a && b) || c) {
+                tt |= 1 << idx;
+            }
+        }
+        let ms = lib.matches(3, tt);
+        assert!(ms.iter().any(|m| lib.cells()[m.cell].family == "AOI21"));
+    }
+
+    #[test]
+    fn nand_inv_library_is_complete_for_and2() {
+        let lib = Library::nand_inv();
+        // AND needs output negation of NAND: primary table holds NAND for
+        // the complement polarity.
+        assert!(!lib.matches(2, 0b0111).is_empty(), "NAND function");
+        assert!(lib.matches(2, 0b1000).is_empty(), "AND needs the INV path");
+    }
+
+    #[test]
+    fn inverter_and_buffer_indices() {
+        let lib = Library::asap7_like();
+        assert_eq!(lib.cells()[lib.inverter()].family, "INV");
+        assert_eq!(lib.cells()[lib.buffer()].family, "BUF");
+        let lib2 = Library::nand_inv();
+        assert_eq!(lib2.cells()[lib2.buffer()].family, "INV"); // fallback
+    }
+
+    #[test]
+    fn drive_variants_sorted() {
+        let lib = Library::asap7_like();
+        let nand1 = lib
+            .cells()
+            .iter()
+            .position(|c| c.name == "NAND2_x2")
+            .unwrap();
+        let variants = lib.drive_variants(nand1);
+        let drives: Vec<u32> = variants.iter().map(|&i| lib.cells()[i].drive).collect();
+        assert_eq!(drives, vec![1, 2, 4]);
+    }
+}

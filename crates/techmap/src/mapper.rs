@@ -1,0 +1,680 @@
+//! Cut-based structural technology mapping.
+//!
+//! Classic two-phase mapping: every AND node is considered in both output
+//! polarities; 4-feasible cuts are matched against the library via the
+//! precomputed permutation/negation tables; the cover is chosen by dynamic
+//! programming on arrival time (delay mode) or area flow (area mode), with
+//! inverters bridging phases where needed.
+
+use crate::flow::MapMode;
+use crate::library::{CellMatch, Library};
+use crate::netlist::{Netlist, Signal};
+use esyn_aig::{Aig, ChoiceAig, Cut, CutConfig};
+use esyn_eqn::TruthTable;
+use std::collections::HashMap;
+
+/// Assumed output load during matching (final timing uses real loads).
+const EST_LOAD: f64 = 2.0;
+
+#[derive(Clone, Debug)]
+enum Choice {
+    /// Constant output (constant node or constant PO).
+    Const(bool),
+    /// Directly a primary input (phase 0 of a PI node).
+    Pi(u32),
+    /// Inverter over the opposite phase of the same node.
+    FromInv,
+    /// This phase is exactly some cut leaf's phase (wire).
+    Alias { leaf: u32, leaf_phase: bool },
+    /// A library cell over cut leaves.
+    Cell {
+        m: CellMatch,
+        /// For each used cell pin: (leaf node, leaf phase).
+        pins: Vec<(u32, bool)>,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Best {
+    arrival: f64,
+    area_flow: f64,
+    choice: Choice,
+}
+
+/// Maps an AIG onto `lib`, returning a gate-level netlist.
+///
+/// # Panics
+///
+/// Panics if the library cannot realise a 2-input AND in either polarity
+/// (a [`Library`] always can, since it is required to contain an inverter
+/// and is checked to contain a 2-input cell at construction).
+pub fn map_aig(aig: &Aig, lib: &Library, mode: MapMode) -> Netlist {
+    let cuts = aig.k_cuts(&CutConfig { k: 4, max_cuts: 8 });
+    let refs = fanout_estimates(aig);
+    let live = live_mask(aig);
+    let inv = &lib.cells()[lib.inverter()];
+    let inv_delay = inv.delay(EST_LOAD);
+
+    let mut best: Vec<[Option<Best>; 2]> = vec![[None, None]; aig.len()];
+
+    // Constant node.
+    best[0] = [
+        Some(Best {
+            arrival: 0.0,
+            area_flow: 0.0,
+            choice: Choice::Const(false),
+        }),
+        Some(Best {
+            arrival: 0.0,
+            area_flow: 0.0,
+            choice: Choice::Const(true),
+        }),
+    ];
+
+    for n in 1..aig.len() as u32 {
+        if aig.is_pi(n) {
+            let pi_idx = n - 1;
+            best[n as usize][0] = Some(Best {
+                arrival: 0.0,
+                area_flow: 0.0,
+                choice: Choice::Pi(pi_idx),
+            });
+            best[n as usize][1] = Some(Best {
+                arrival: inv_delay,
+                area_flow: inv.area,
+                choice: Choice::FromInv,
+            });
+            continue;
+        }
+        debug_assert!(aig.is_and(n));
+        if !live[n as usize] {
+            continue; // dead logic is never realized
+        }
+        let node_refs = refs[n as usize].max(1) as f64;
+        map_and_node(n, &cuts[n as usize], &mut best, node_refs, lib, mode);
+    }
+
+    // --- Cover extraction. ---
+    let mut nl = Netlist::new();
+    for name in aig.pi_names() {
+        nl.add_input(name.clone());
+    }
+    let mut memo: HashMap<(u32, bool), Signal> = HashMap::new();
+    let mut po_signals = Vec::new();
+    for (name, lit) in aig.outputs() {
+        let s = realize(lib, &best, lit.node(), lit.is_compl(), &mut memo, &mut nl);
+        po_signals.push((name.clone(), s));
+    }
+    for (name, s) in po_signals {
+        nl.add_output(name, s);
+    }
+    nl
+}
+
+/// Runs the cut DP for one AND node (or choice class) `n`: tries every
+/// non-trivial cut in both phases, then relaxes through inverters.
+///
+/// # Panics
+///
+/// Panics when neither phase is mappable (library lacks 2-input coverage).
+fn map_and_node(
+    n: u32,
+    node_cuts: &[Cut],
+    best: &mut [[Option<Best>; 2]],
+    node_refs: f64,
+    lib: &Library,
+    mode: MapMode,
+) {
+    let inv = &lib.cells()[lib.inverter()];
+    let inv_delay = inv.delay(EST_LOAD);
+    for phase in 0..2usize {
+        for cut in node_cuts {
+            if cut.is_unit(n) {
+                continue;
+            }
+            let tt = if phase == 1 {
+                cut.tt.not()
+            } else {
+                cut.tt.clone()
+            };
+            let (support, reduced) = support_reduce(&tt);
+            match support.len() {
+                0 => {
+                    // A live AND is never constant; skip defensively.
+                    continue;
+                }
+                1 => {
+                    let leaf = cut.leaves[support[0]];
+                    let leaf_phase = reduced == 0b01; // f = !x
+                    let Some(lb) = best[leaf as usize][leaf_phase as usize].as_ref()
+                    else {
+                        continue;
+                    };
+                    let cand = Best {
+                        arrival: lb.arrival,
+                        area_flow: lb.area_flow,
+                        choice: Choice::Alias { leaf, leaf_phase },
+                    };
+                    consider(&mut best[n as usize], phase, cand, mode);
+                }
+                m => {
+                    for mi in lib.matches(m, reduced) {
+                        let cell = &lib.cells()[mi.cell];
+                        let mut arrival = 0.0f64;
+                        let mut flow = cell.area;
+                        let mut pins = Vec::with_capacity(cell.num_inputs);
+                        let mut feasible = true;
+                        for pin in 0..cell.num_inputs {
+                            let leaf = cut.leaves[support[mi.pin_to_leaf[pin] as usize]];
+                            let pin_phase = (mi.input_neg >> pin) & 1 == 1;
+                            let Some(lb) = best[leaf as usize][pin_phase as usize].as_ref()
+                            else {
+                                feasible = false;
+                                break;
+                            };
+                            arrival = arrival.max(lb.arrival);
+                            flow += lb.area_flow;
+                            pins.push((leaf, pin_phase));
+                        }
+                        if !feasible {
+                            continue;
+                        }
+                        let cand = Best {
+                            arrival: arrival + cell.delay(EST_LOAD),
+                            area_flow: flow / node_refs,
+                            choice: Choice::Cell { m: *mi, pins },
+                        };
+                        consider(&mut best[n as usize], phase, cand, mode);
+                    }
+                }
+            }
+        }
+    }
+    // Inverter relaxation between the two phases (both directions).
+    for phase in 0..2usize {
+        let Some(other) = best[n as usize][1 - phase].as_ref() else {
+            continue;
+        };
+        let cand = Best {
+            arrival: other.arrival + inv_delay,
+            area_flow: other.area_flow + inv.area / node_refs,
+            choice: Choice::FromInv,
+        };
+        consider(&mut best[n as usize], phase, cand, mode);
+    }
+    assert!(
+        best[n as usize][0].is_some() && best[n as usize][1].is_some(),
+        "node {n} unmappable — library lacks 2-input coverage"
+    );
+}
+
+/// Maps a [`ChoiceAig`] onto `lib` — choice-aware technology mapping, the
+/// workspace's `&dch -f; &nf` substitute.
+///
+/// The cut DP runs over choice *classes* in topological order; every
+/// class's cut set is the union of its members' cuts
+/// ([`ChoiceAig::class_cuts`]), so the mapper freely mixes structures from
+/// different synthesis variants per node. The cover realizes only what
+/// the chosen cuts reference.
+///
+/// # Panics
+///
+/// Panics if the library cannot realise a 2-input AND in either polarity
+/// (a [`Library`] always can, by construction).
+pub fn map_choices(choice: &ChoiceAig, lib: &Library, mode: MapMode) -> Netlist {
+    let aig = choice.aig();
+    let cuts = choice.class_cuts(&CutConfig { k: 4, max_cuts: 8 });
+
+    // Reference estimates per class, counted over the representatives'
+    // structure only (one member per class). Counting every member would
+    // inflate the estimates and make area flow under-charge shared logic
+    // — measured as a 7-14 % area regression in the `ablation_choices`
+    // bench before this was fixed.
+    let mut refs = vec![0u32; aig.len()];
+    for &r in choice.class_order() {
+        if !aig.is_and(r) {
+            continue;
+        }
+        let (a, b) = aig.fanins(r);
+        refs[choice.repr_lit(a).node() as usize] += 1;
+        refs[choice.repr_lit(b).node() as usize] += 1;
+    }
+    for (_, l) in aig.outputs() {
+        refs[choice.repr_lit(*l).node() as usize] += 1;
+    }
+
+    // Two DP passes: the second recomputes reference estimates from the
+    // cover the first pass actually chose (choices from other variants
+    // shift the realized sharing away from the representative-structure
+    // estimate; one refinement pass is ABC's area-recovery idea in
+    // miniature and removes most of the area drift).
+    let mut best = run_class_dp(choice, &cuts, &refs, lib, mode);
+    let cover_refs = cover_reference_counts(choice, &best);
+    best = run_class_dp(choice, &cuts, &cover_refs, lib, mode);
+
+    // --- Cover extraction over classes. ---
+    let mut nl = Netlist::new();
+    for name in aig.pi_names() {
+        nl.add_input(name.clone());
+    }
+    let mut memo: HashMap<(u32, bool), Signal> = HashMap::new();
+    let mut po_signals = Vec::new();
+    for (name, lit) in choice.output_reprs() {
+        let s = realize(lib, &best, lit.node(), lit.is_compl(), &mut memo, &mut nl);
+        po_signals.push((name, s));
+    }
+    for (name, s) in po_signals {
+        nl.add_output(name, s);
+    }
+    nl
+}
+
+/// One full DP sweep over the choice classes with the given per-class
+/// reference estimates.
+fn run_class_dp(
+    choice: &ChoiceAig,
+    cuts: &[Vec<Cut>],
+    refs: &[u32],
+    lib: &Library,
+    mode: MapMode,
+) -> Vec<[Option<Best>; 2]> {
+    let aig = choice.aig();
+    let inv = &lib.cells()[lib.inverter()];
+    let inv_delay = inv.delay(EST_LOAD);
+    let mut best: Vec<[Option<Best>; 2]> = vec![[None, None]; aig.len()];
+    best[0] = [
+        Some(Best {
+            arrival: 0.0,
+            area_flow: 0.0,
+            choice: Choice::Const(false),
+        }),
+        Some(Best {
+            arrival: 0.0,
+            area_flow: 0.0,
+            choice: Choice::Const(true),
+        }),
+    ];
+    for &r in choice.class_order() {
+        if r == 0 {
+            continue; // constant class pre-seeded above
+        }
+        if aig.is_pi(r) {
+            best[r as usize][0] = Some(Best {
+                arrival: 0.0,
+                area_flow: 0.0,
+                choice: Choice::Pi(r - 1),
+            });
+            best[r as usize][1] = Some(Best {
+                arrival: inv_delay,
+                area_flow: inv.area,
+                choice: Choice::FromInv,
+            });
+            continue;
+        }
+        let node_refs = refs[r as usize].max(1) as f64;
+        map_and_node(r, &cuts[r as usize], &mut best, node_refs, lib, mode);
+    }
+    best
+}
+
+/// Counts, per class, how many consumers the cover chosen in `best`
+/// actually has (cut-leaf pins, phase-bridging inverters, primary
+/// outputs).
+fn cover_reference_counts(choice: &ChoiceAig, best: &[[Option<Best>; 2]]) -> Vec<u32> {
+    let aig = choice.aig();
+    let mut refs = vec![0u32; aig.len()];
+    let mut seen: HashMap<(u32, bool), ()> = HashMap::new();
+    let mut stack: Vec<(u32, bool)> = Vec::new();
+    for (_, l) in choice.output_reprs() {
+        refs[l.node() as usize] += 1;
+        stack.push((l.node(), l.is_compl()));
+    }
+    while let Some((c, p)) = stack.pop() {
+        if seen.insert((c, p), ()).is_some() {
+            continue;
+        }
+        let Some(b) = best[c as usize][p as usize].as_ref() else {
+            continue;
+        };
+        match &b.choice {
+            Choice::Const(_) | Choice::Pi(_) => {}
+            Choice::FromInv => {
+                refs[c as usize] += 1;
+                stack.push((c, !p));
+            }
+            Choice::Alias { leaf, leaf_phase } => {
+                refs[*leaf as usize] += 1;
+                stack.push((*leaf, *leaf_phase));
+            }
+            Choice::Cell { pins, .. } => {
+                for &(leaf, lphase) in pins {
+                    refs[leaf as usize] += 1;
+                    stack.push((leaf, lphase));
+                }
+            }
+        }
+    }
+    refs
+}
+
+fn consider(slot: &mut [Option<Best>; 2], phase: usize, cand: Best, mode: MapMode) {
+    let better = match &slot[phase] {
+        None => true,
+        Some(cur) => match mode {
+            MapMode::Delay => {
+                (cand.arrival, cand.area_flow) < (cur.arrival, cur.area_flow)
+            }
+            MapMode::Area => {
+                (cand.area_flow, cand.arrival) < (cur.area_flow, cur.arrival)
+            }
+        },
+    };
+    if better {
+        slot[phase] = Some(cand);
+    }
+}
+
+fn realize(
+    lib: &Library,
+    best: &[[Option<Best>; 2]],
+    node: u32,
+    phase: bool,
+    memo: &mut HashMap<(u32, bool), Signal>,
+    nl: &mut Netlist,
+) -> Signal {
+    if let Some(&s) = memo.get(&(node, phase)) {
+        return s;
+    }
+    let b = best[node as usize][phase as usize]
+        .as_ref()
+        .expect("mapped phase must exist");
+    let sig = match &b.choice {
+        Choice::Const(v) => Signal::Const(*v),
+        Choice::Pi(i) => Signal::Pi(*i),
+        Choice::FromInv => {
+            let base = realize(lib, best, node, !phase, memo, nl);
+            match base {
+                Signal::Const(v) => Signal::Const(!v),
+                _ => nl.add_gate(lib.inverter(), vec![base]),
+            }
+        }
+        Choice::Alias { leaf, leaf_phase } => {
+            realize(lib, best, *leaf, *leaf_phase, memo, nl)
+        }
+        Choice::Cell { m, pins } => {
+            let inputs: Vec<Signal> = pins
+                .iter()
+                .map(|&(leaf, lphase)| realize(lib, best, leaf, lphase, memo, nl))
+                .collect();
+            nl.add_gate(m.cell, inputs)
+        }
+    };
+    memo.insert((node, phase), sig);
+    sig
+}
+
+/// Nodes reachable from the primary outputs.
+fn live_mask(aig: &Aig) -> Vec<bool> {
+    let mut live = vec![false; aig.len()];
+    let mut stack: Vec<u32> = aig.outputs().iter().map(|(_, l)| l.node()).collect();
+    while let Some(n) = stack.pop() {
+        if std::mem::replace(&mut live[n as usize], true) {
+            continue;
+        }
+        if aig.is_and(n) {
+            let (a, b) = aig.fanins(n);
+            stack.push(a.node());
+            stack.push(b.node());
+        }
+    }
+    live
+}
+
+/// Live fanout counts used as reference estimates for area flow.
+fn fanout_estimates(aig: &Aig) -> Vec<u32> {
+    let mut refs = vec![0u32; aig.len()];
+    for n in 0..aig.len() as u32 {
+        if aig.is_and(n) {
+            let (a, b) = aig.fanins(n);
+            refs[a.node() as usize] += 1;
+            refs[b.node() as usize] += 1;
+        }
+    }
+    for (_, l) in aig.outputs() {
+        refs[l.node() as usize] += 1;
+    }
+    refs
+}
+
+/// Restricts `tt` to its support variables; returns the support positions
+/// (indices into the cut leaf list) and the reduced table packed in a u16.
+fn support_reduce(tt: &TruthTable) -> (Vec<usize>, u16) {
+    let k = tt.num_vars();
+    let support: Vec<usize> = (0..k).filter(|&v| tt.depends_on(v)).collect();
+    let m = support.len();
+    let mut reduced = 0u16;
+    for idx in 0..(1usize << m) {
+        let mut full = 0usize;
+        for (i, &v) in support.iter().enumerate() {
+            if (idx >> i) & 1 == 1 {
+                full |= 1 << v;
+            }
+        }
+        if tt.bit(full) {
+            reduced |= 1 << idx;
+        }
+    }
+    (support, reduced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::MapMode;
+    use esyn_eqn::parse_eqn;
+
+    fn equivalence_check(aig: &Aig, nl: &Netlist, lib: &Library) {
+        let n = aig.num_pis();
+        assert!(n <= 12);
+        let total = 1usize << n;
+        let mut idx = 0;
+        while idx < total {
+            let chunk = (total - idx).min(64);
+            let words: Vec<u64> = (0..n)
+                .map(|v| {
+                    let mut w = 0u64;
+                    for bit in 0..chunk {
+                        if ((idx + bit) >> v) & 1 == 1 {
+                            w |= 1 << bit;
+                        }
+                    }
+                    w
+                })
+                .collect();
+            let mask = if chunk == 64 { u64::MAX } else { (1u64 << chunk) - 1 };
+            let ra = aig.simulate(&words);
+            let rb = nl.simulate(lib, &words);
+            for (o, (x, y)) in ra.iter().zip(&rb).enumerate() {
+                assert_eq!(x & mask, y & mask, "output {o} base {idx}");
+            }
+            idx += chunk;
+        }
+    }
+
+    #[test]
+    fn maps_simple_and_or() {
+        let net =
+            parse_eqn("INORDER = a b c d;\nOUTORDER = f;\nf = a*b + c*d;\n").unwrap();
+        let aig = Aig::from_network(&net);
+        let lib = Library::asap7_like();
+        for mode in [MapMode::Delay, MapMode::Area] {
+            let nl = map_aig(&aig, &lib, mode);
+            equivalence_check(&aig, &nl, &lib);
+            assert!(nl.num_gates() >= 1);
+        }
+    }
+
+    #[test]
+    fn maps_with_minimal_library() {
+        let net = parse_eqn(
+            "INORDER = a b c;\nOUTORDER = f g;\nf = (a*b) + !c;\ng = !(a + (b*c));\n",
+        )
+        .unwrap();
+        let aig = Aig::from_network(&net);
+        let lib = Library::nand_inv();
+        let nl = map_aig(&aig, &lib, MapMode::Area);
+        equivalence_check(&aig, &nl, &lib);
+        // every gate must be NAND2 or INV
+        for g in nl.gates() {
+            let fam = &lib.cells()[g.cell].family;
+            assert!(fam == "NAND2" || fam == "INV");
+        }
+    }
+
+    #[test]
+    fn xor_maps_to_xor_cell_in_rich_library() {
+        let net = parse_eqn(
+            "INORDER = a b;\nOUTORDER = f;\nf = (a*!b) + (!a*b);\n",
+        )
+        .unwrap();
+        let aig = Aig::from_network(&net);
+        let lib = Library::asap7_like();
+        let nl = map_aig(&aig, &lib, MapMode::Area);
+        equivalence_check(&aig, &nl, &lib);
+        // area-mode mapping of an XOR over 3 AIG nodes should collapse to
+        // one XOR2 cell
+        assert_eq!(nl.num_gates(), 1);
+        assert_eq!(lib.cells()[nl.gates()[0].cell].family, "XOR2");
+    }
+
+    #[test]
+    fn constant_outputs_map_to_const_signals() {
+        let net = parse_eqn("INORDER = a;\nOUTORDER = f g;\nf = a * !a;\ng = a + !a;\n")
+            .unwrap();
+        let aig = Aig::from_network(&net);
+        let lib = Library::asap7_like();
+        let nl = map_aig(&aig, &lib, MapMode::Delay);
+        assert_eq!(nl.outputs()[0].1, Signal::Const(false));
+        assert_eq!(nl.outputs()[1].1, Signal::Const(true));
+        assert_eq!(nl.num_gates(), 0);
+    }
+
+    #[test]
+    fn inverted_pi_output_uses_one_inverter() {
+        let net = parse_eqn("INORDER = a;\nOUTORDER = f;\nf = !a;\n").unwrap();
+        let aig = Aig::from_network(&net);
+        let lib = Library::asap7_like();
+        let nl = map_aig(&aig, &lib, MapMode::Area);
+        assert_eq!(nl.num_gates(), 1);
+        assert_eq!(lib.cells()[nl.gates()[0].cell].family, "INV");
+    }
+
+    #[test]
+    fn delay_mode_is_no_slower_than_area_mode() {
+        let net = parse_eqn(
+            "INORDER = a b c d e f g h;\nOUTORDER = o;\n\
+             o = ((a*b) + (c*d)) * ((e + f) * (g + h)) + (a * h);\n",
+        )
+        .unwrap();
+        let aig = Aig::from_network(&net);
+        let lib = Library::asap7_like();
+        let nl_d = map_aig(&aig, &lib, MapMode::Delay);
+        let nl_a = map_aig(&aig, &lib, MapMode::Area);
+        equivalence_check(&aig, &nl_d, &lib);
+        equivalence_check(&aig, &nl_a, &lib);
+        let t_d = crate::sta::sta(&nl_d, &lib, 1.2).delay;
+        let t_a = crate::sta::sta(&nl_a, &lib, 1.2).delay;
+        let area_d = nl_d.area(&lib);
+        let area_a = nl_a.area(&lib);
+        assert!(t_d <= t_a + 1e-9, "delay mode slower: {t_d} vs {t_a}");
+        assert!(area_a <= area_d + 1e-9, "area mode bigger: {area_a} vs {area_d}");
+    }
+
+    #[test]
+    fn choice_mapping_preserves_function() {
+        let net = parse_eqn(
+            "INORDER = a b c d e;\nOUTORDER = f g;\n\
+             f = (((a*b)*c)*d)*e;\n\
+             g = (a*b) + (c*d) + (a*e);\n",
+        )
+        .unwrap();
+        let aig = Aig::from_network(&net);
+        let choice = esyn_aig::ChoiceAig::build(&aig, 17);
+        let lib = Library::asap7_like();
+        for mode in [MapMode::Delay, MapMode::Area] {
+            let nl = map_choices(&choice, &lib, mode);
+            equivalence_check(&aig, &nl, &lib);
+        }
+    }
+
+    #[test]
+    fn choice_mapping_beats_unbalanced_structure_on_delay() {
+        // A deep left-leaning AND chain: the balanced variant in the choice
+        // AIG lets the mapper cut the depth, which mapping the raw
+        // structure cannot.
+        let mut src = String::from("INORDER =");
+        for i in 0..12 {
+            src.push_str(&format!(" x{i}"));
+        }
+        src.push_str(";\nOUTORDER = f;\nf = x0");
+        for i in 1..12 {
+            src.push_str(&format!("*x{i}"));
+        }
+        src.push_str(";\n");
+        let aig = Aig::from_network(&parse_eqn(&src).unwrap());
+        let lib = Library::asap7_like();
+        let plain = map_aig(&aig, &lib, MapMode::Delay);
+        let choice = esyn_aig::ChoiceAig::build(&aig, 23);
+        assert!(choice.num_choices() > 0);
+        let chosen = map_choices(&choice, &lib, MapMode::Delay);
+        equivalence_check(&aig, &chosen, &lib);
+        let t_plain = crate::sta::sta(&plain, &lib, 1.2).delay;
+        let t_choice = crate::sta::sta(&chosen, &lib, 1.2).delay;
+        assert!(
+            t_choice < t_plain - 1e-9,
+            "choices must shorten the chain: {t_plain} vs {t_choice}"
+        );
+    }
+
+    #[test]
+    fn choice_mapping_with_minimal_library() {
+        let net = parse_eqn(
+            "INORDER = a b c d;\nOUTORDER = f;\nf = ((a*b)*c)*d + (a+b)*(c+d);\n",
+        )
+        .unwrap();
+        let aig = Aig::from_network(&net);
+        let choice = esyn_aig::ChoiceAig::build(&aig, 5);
+        let lib = Library::nand_inv();
+        let nl = map_choices(&choice, &lib, MapMode::Area);
+        equivalence_check(&aig, &nl, &lib);
+        for g in nl.gates() {
+            let fam = &lib.cells()[g.cell].family;
+            assert!(fam == "NAND2" || fam == "INV");
+        }
+    }
+
+    #[test]
+    fn support_reduction() {
+        // f = x1 (ignores x0, x2): support = [1], reduced = 0b10
+        let x1 = TruthTable::var(3, 1);
+        let (support, reduced) = support_reduce(&x1);
+        assert_eq!(support, vec![1]);
+        assert_eq!(reduced, 0b10);
+        let (s2, r2) = support_reduce(&x1.not());
+        assert_eq!(s2, vec![1]);
+        assert_eq!(r2, 0b01);
+    }
+
+    #[test]
+    fn shared_logic_is_reused_in_cover() {
+        // two outputs share a*b: the cover must not duplicate the AND gate
+        let net = parse_eqn(
+            "INORDER = a b c;\nOUTORDER = f g;\nf = (a*b)*c;\ng = (a*b)*!c;\n",
+        )
+        .unwrap();
+        let aig = Aig::from_network(&net);
+        let lib = Library::nand_inv();
+        let nl = map_aig(&aig, &lib, MapMode::Area);
+        equivalence_check(&aig, &nl, &lib);
+    }
+}

@@ -1,0 +1,280 @@
+//! Mapped gate-level netlists.
+
+use crate::library::Library;
+
+/// A signal in a mapped netlist.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Signal {
+    /// Constant false / true.
+    Const(bool),
+    /// Primary input by index.
+    Pi(u32),
+    /// Output of gate `GateId`.
+    Gate(u32),
+}
+
+/// One instantiated standard cell.
+#[derive(Clone, Debug)]
+pub struct Gate {
+    /// Index into [`Library::cells`].
+    pub cell: usize,
+    /// Input signals, one per cell pin.
+    pub inputs: Vec<Signal>,
+}
+
+/// A gate-level netlist over a [`Library`].
+///
+/// Gates are stored in topological order (inputs of gate `i` only refer to
+/// gates `< i`), which every analysis in this crate relies on.
+#[derive(Clone, Debug, Default)]
+pub struct Netlist {
+    gates: Vec<Gate>,
+    input_names: Vec<String>,
+    outputs: Vec<(String, Signal)>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a primary input; returns its signal.
+    pub fn add_input(&mut self, name: impl Into<String>) -> Signal {
+        self.input_names.push(name.into());
+        Signal::Pi(self.input_names.len() as u32 - 1)
+    }
+
+    /// Adds a gate; inputs must refer to existing gates/PIs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input refers to a gate that does not exist yet
+    /// (topological order violation).
+    pub fn add_gate(&mut self, cell: usize, inputs: Vec<Signal>) -> Signal {
+        for s in &inputs {
+            if let Signal::Gate(g) = s {
+                assert!((*g as usize) < self.gates.len(), "forward gate reference");
+            }
+        }
+        self.gates.push(Gate { cell, inputs });
+        Signal::Gate(self.gates.len() as u32 - 1)
+    }
+
+    /// Declares a primary output.
+    pub fn add_output(&mut self, name: impl Into<String>, signal: Signal) {
+        self.outputs.push((name.into(), signal));
+    }
+
+    /// The gates in topological order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Mutable gate access (used by sizing to swap drive variants).
+    pub(crate) fn gates_mut(&mut self) -> &mut [Gate] {
+        &mut self.gates
+    }
+
+    /// Primary-input names.
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// Primary outputs.
+    pub fn outputs(&self) -> &[(String, Signal)] {
+        &self.outputs
+    }
+
+    /// Number of gates.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Total cell area.
+    pub fn area(&self, lib: &Library) -> f64 {
+        self.gates.iter().map(|g| lib.cells()[g.cell].area).sum()
+    }
+
+    /// Logic depth in gates.
+    pub fn levels(&self) -> usize {
+        let mut level = vec![0usize; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            let m = g
+                .inputs
+                .iter()
+                .filter_map(|s| match s {
+                    Signal::Gate(j) => Some(level[*j as usize]),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0);
+            level[i] = m + 1;
+        }
+        self.outputs
+            .iter()
+            .filter_map(|(_, s)| match s {
+                Signal::Gate(j) => Some(level[*j as usize]),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Bit-parallel simulation: 64 patterns per word, one stimulus word per
+    /// input, one response word per output.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one word per input is supplied.
+    pub fn simulate(&self, lib: &Library, pi_words: &[u64]) -> Vec<u64> {
+        assert_eq!(pi_words.len(), self.input_names.len());
+        let mut vals = vec![0u64; self.gates.len()];
+        let read = |vals: &[u64], s: &Signal| -> u64 {
+            match s {
+                Signal::Const(false) => 0,
+                Signal::Const(true) => u64::MAX,
+                Signal::Pi(i) => pi_words[*i as usize],
+                Signal::Gate(g) => vals[*g as usize],
+            }
+        };
+        for (i, g) in self.gates.iter().enumerate() {
+            let cell = &lib.cells()[g.cell];
+            let ins: Vec<u64> = g.inputs.iter().map(|s| read(&vals, s)).collect();
+            let mut out = 0u64;
+            for bit in 0..64 {
+                let mut pins = 0u16;
+                for (p, w) in ins.iter().enumerate() {
+                    pins |= (((w >> bit) & 1) as u16) << p;
+                }
+                if cell.eval(pins) {
+                    out |= 1 << bit;
+                }
+            }
+            vals[i] = out;
+        }
+        self.outputs
+            .iter()
+            .map(|(_, s)| read(&vals, s))
+            .collect()
+    }
+
+    /// Per-gate output load: sum of the input capacitance of every sink
+    /// pin, plus `po_cap` for each primary-output connection.
+    pub fn loads(&self, lib: &Library, po_cap: f64) -> Vec<f64> {
+        let mut loads = vec![0.0f64; self.gates.len()];
+        for g in &self.gates {
+            let cap = lib.cells()[g.cell].input_cap;
+            for s in &g.inputs {
+                if let Signal::Gate(j) = s {
+                    loads[*j as usize] += cap;
+                }
+            }
+        }
+        for (_, s) in &self.outputs {
+            if let Signal::Gate(j) = s {
+                loads[*j as usize] += po_cap;
+            }
+        }
+        loads
+    }
+
+    /// Counts gates per cell family, for reports.
+    pub fn family_histogram(&self, lib: &Library) -> Vec<(String, usize)> {
+        let mut hist: Vec<(String, usize)> = Vec::new();
+        for g in &self.gates {
+            let fam = lib.cells()[g.cell].family.clone();
+            match hist.iter_mut().find(|(f, _)| *f == fam) {
+                Some((_, n)) => *n += 1,
+                None => hist.push((fam, 1)),
+            }
+        }
+        hist.sort();
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::Library;
+
+    fn cell_index(lib: &Library, name: &str) -> usize {
+        lib.cells().iter().position(|c| c.name == name).unwrap()
+    }
+
+    #[test]
+    fn build_and_simulate_nand_inv() {
+        let lib = Library::nand_inv();
+        let nand = cell_index(&lib, "NAND2_x1");
+        let inv = cell_index(&lib, "INV_x1");
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let n1 = nl.add_gate(nand, vec![a, b]);
+        let f = nl.add_gate(inv, vec![n1]); // AND
+        nl.add_output("f", f);
+        let res = nl.simulate(&lib, &[0b1100, 0b1010]);
+        assert_eq!(res[0] & 0xF, 0b1000);
+        assert_eq!(nl.num_gates(), 2);
+        assert_eq!(nl.levels(), 2);
+    }
+
+    #[test]
+    fn const_signals_simulate() {
+        let lib = Library::nand_inv();
+        let mut nl = Netlist::new();
+        let _a = nl.add_input("a");
+        nl.add_output("zero", Signal::Const(false));
+        nl.add_output("one", Signal::Const(true));
+        let res = nl.simulate(&lib, &[0xFFFF]);
+        assert_eq!(res[0], 0);
+        assert_eq!(res[1], u64::MAX);
+    }
+
+    #[test]
+    fn loads_accumulate_sink_caps() {
+        let lib = Library::nand_inv();
+        let nand = cell_index(&lib, "NAND2_x1");
+        let inv = cell_index(&lib, "INV_x1");
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let n1 = nl.add_gate(nand, vec![a, b]);
+        let i1 = nl.add_gate(inv, vec![n1]);
+        let _i2 = nl.add_gate(inv, vec![n1]);
+        nl.add_output("f", i1);
+        nl.add_output("g", n1);
+        let loads = nl.loads(&lib, 1.0);
+        // n1 drives two INV pins (0.85 each) and one PO (1.0)
+        assert!((loads[0] - (0.85 * 2.0 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward gate reference")]
+    fn rejects_forward_reference() {
+        let lib = Library::nand_inv();
+        let inv = cell_index(&lib, "INV_x1");
+        let mut nl = Netlist::new();
+        let _ = nl.add_input("a");
+        let _ = nl.add_gate(inv, vec![Signal::Gate(5)]);
+    }
+
+    #[test]
+    fn area_and_histogram() {
+        let lib = Library::nand_inv();
+        let nand = cell_index(&lib, "NAND2_x1");
+        let inv = cell_index(&lib, "INV_x1");
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let n1 = nl.add_gate(nand, vec![a, b]);
+        let f = nl.add_gate(inv, vec![n1]);
+        nl.add_output("f", f);
+        assert!((nl.area(&lib) - (0.94 + 0.7)).abs() < 1e-9);
+        assert_eq!(
+            nl.family_histogram(&lib),
+            vec![("INV".to_owned(), 1), ("NAND2".to_owned(), 1)]
+        );
+    }
+}

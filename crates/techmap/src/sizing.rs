@@ -1,0 +1,168 @@
+//! Greedy gate sizing: `upsize` speeds up the critical path, `dnsize`
+//! recovers area off the critical path — the ABC `upsize; dnsize` steps of
+//! the paper's evaluation command.
+
+use crate::library::Library;
+use crate::netlist::Netlist;
+use crate::sta::{sta, sta_with_target};
+
+/// Repeatedly upsizes the most beneficial critical-path gate until the
+/// `target` delay is met (if given) or no single swap improves the worst
+/// delay. Returns the final delay.
+pub fn upsize(
+    nl: &mut Netlist,
+    lib: &Library,
+    po_cap: f64,
+    target: Option<f64>,
+    max_iters: usize,
+) -> f64 {
+    let mut current = sta(nl, lib, po_cap).delay;
+    for _ in 0..max_iters {
+        if target.is_some_and(|t| current <= t) {
+            break;
+        }
+        let report = sta(nl, lib, po_cap);
+        let mut best_swap: Option<(u32, usize, f64)> = None; // (gate, cell, delay)
+        for &g in &report.critical {
+            let cur_cell = nl.gates()[g as usize].cell;
+            for &variant in &lib.drive_variants(cur_cell) {
+                if lib.cells()[variant].drive <= lib.cells()[cur_cell].drive {
+                    continue;
+                }
+                nl.gates_mut()[g as usize].cell = variant;
+                let d = sta(nl, lib, po_cap).delay;
+                nl.gates_mut()[g as usize].cell = cur_cell;
+                if d < current - 1e-9
+                    && best_swap.is_none_or(|(_, _, bd)| d < bd)
+                {
+                    best_swap = Some((g, variant, d));
+                }
+            }
+        }
+        match best_swap {
+            Some((g, variant, d)) => {
+                nl.gates_mut()[g as usize].cell = variant;
+                current = d;
+            }
+            None => break,
+        }
+    }
+    current
+}
+
+/// Downsizes gates wherever doing so does not push the circuit delay past
+/// `limit` (defaults to the current delay). Returns the final area.
+pub fn dnsize(nl: &mut Netlist, lib: &Library, po_cap: f64, limit: Option<f64>) -> f64 {
+    let base = sta(nl, lib, po_cap).delay;
+    let limit = limit.unwrap_or(base).max(base);
+    // Visit gates in decreasing area-saving potential; a single pass per
+    // drive step, repeated until stable.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for g in 0..nl.num_gates() {
+            let cur_cell = nl.gates()[g].cell;
+            let variants = lib.drive_variants(cur_cell);
+            // next smaller drive, if any
+            let smaller: Vec<usize> = variants
+                .iter()
+                .copied()
+                .filter(|&v| lib.cells()[v].drive < lib.cells()[cur_cell].drive)
+                .collect();
+            let Some(&next) = smaller.last() else { continue };
+            nl.gates_mut()[g].cell = next;
+            let t = sta_with_target(nl, lib, po_cap, Some(limit));
+            if t.delay <= limit + 1e-9 {
+                changed = true; // keep the downsize
+            } else {
+                nl.gates_mut()[g].cell = cur_cell;
+            }
+        }
+    }
+    nl.area(lib)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::MapMode;
+    use crate::library::Library;
+    use crate::mapper::map_aig;
+    use esyn_aig::Aig;
+    use esyn_eqn::parse_eqn;
+
+    fn wide_fanout_circuit() -> Aig {
+        // one signal driving many sinks: upsizing the driver should pay off
+        let mut text = String::from("INORDER = a b c0 c1 c2 c3 c4 c5;\nOUTORDER =");
+        for i in 0..6 {
+            text.push_str(&format!(" f{i}"));
+        }
+        text.push_str(";\n");
+        for i in 0..6 {
+            text.push_str(&format!("f{i} = (a*b) * c{i};\n"));
+        }
+        Aig::from_network(&parse_eqn(&text).unwrap())
+    }
+
+    #[test]
+    fn upsize_reduces_delay_on_loaded_paths() {
+        let lib = Library::asap7_like();
+        let aig = wide_fanout_circuit();
+        let mut nl = map_aig(&aig, &lib, MapMode::Area);
+        let before = sta(&nl, &lib, 1.2).delay;
+        let after = upsize(&mut nl, &lib, 1.2, None, 50);
+        assert!(after <= before);
+        assert!(after < before - 1e-9, "upsizing must help here: {before} -> {after}");
+    }
+
+    #[test]
+    fn upsize_respects_target_stop() {
+        let lib = Library::asap7_like();
+        let aig = wide_fanout_circuit();
+        let mut nl = map_aig(&aig, &lib, MapMode::Area);
+        let before = sta(&nl, &lib, 1.2).delay;
+        // target barely below current delay: at most a couple of swaps
+        let after = upsize(&mut nl, &lib, 1.2, Some(before * 0.98), 50);
+        assert!(after <= before);
+    }
+
+    #[test]
+    fn dnsize_recovers_area_without_hurting_delay() {
+        let lib = Library::asap7_like();
+        let aig = wide_fanout_circuit();
+        let mut nl = map_aig(&aig, &lib, MapMode::Delay);
+        let _ = upsize(&mut nl, &lib, 1.2, None, 50);
+        let delay_before = sta(&nl, &lib, 1.2).delay;
+        let area_before = nl.area(&lib);
+        let area_after = dnsize(&mut nl, &lib, 1.2, None);
+        let delay_after = sta(&nl, &lib, 1.2).delay;
+        assert!(area_after <= area_before + 1e-9);
+        assert!(delay_after <= delay_before + 1e-9);
+    }
+
+    #[test]
+    fn dnsize_with_relaxed_limit_saves_more() {
+        let lib = Library::asap7_like();
+        let aig = wide_fanout_circuit();
+        let mut nl1 = map_aig(&aig, &lib, MapMode::Delay);
+        let _ = upsize(&mut nl1, &lib, 1.2, None, 50);
+        let mut nl2 = nl1.clone();
+        let tight = dnsize(&mut nl1, &lib, 1.2, None);
+        let base = sta(&nl2, &lib, 1.2).delay;
+        let relaxed = dnsize(&mut nl2, &lib, 1.2, Some(base * 2.0));
+        assert!(relaxed <= tight + 1e-9);
+    }
+
+    #[test]
+    fn sizing_preserves_function() {
+        let lib = Library::asap7_like();
+        let aig = wide_fanout_circuit();
+        let mut nl = map_aig(&aig, &lib, MapMode::Delay);
+        let words: Vec<u64> = (0..8u64).map(|i| i.wrapping_mul(0x0123_4567_89AB)).collect();
+        let before = nl.simulate(&lib, &words);
+        let _ = upsize(&mut nl, &lib, 1.2, None, 30);
+        let _ = dnsize(&mut nl, &lib, 1.2, None);
+        let after = nl.simulate(&lib, &words);
+        assert_eq!(before, after, "sizing must only swap drive strengths");
+    }
+}

@@ -1,0 +1,235 @@
+//! Static timing analysis with the linear (load-dependent) delay model.
+
+use crate::library::Library;
+use crate::netlist::{Netlist, Signal};
+
+/// Default primary-output pin load, in the same units as cell input
+/// capacitance.
+pub const PO_CAP: f64 = 1.2;
+
+/// The result of a timing analysis run.
+#[derive(Clone, Debug)]
+pub struct TimingReport {
+    /// Arrival time at each gate output (ps).
+    pub arrivals: Vec<f64>,
+    /// Worst primary-output arrival (the circuit delay).
+    pub delay: f64,
+    /// Slack per gate against the worst arrival (or an explicit target).
+    pub slacks: Vec<f64>,
+    /// Gate ids along one worst path, from the endpoint backwards.
+    pub critical: Vec<u32>,
+}
+
+/// Runs STA: arrival times forward, required times backward, slack, and
+/// one critical path.
+///
+/// The delay of a gate is `intrinsic + resistance * load`, where load sums
+/// the input capacitance of all fanout pins plus `po_cap` per PO pin. The
+/// same delay applies to every input pin (pin-dependent tables are beyond
+/// the fidelity this reproduction needs).
+pub fn sta(nl: &Netlist, lib: &Library, po_cap: f64) -> TimingReport {
+    sta_with_target(nl, lib, po_cap, None)
+}
+
+/// Like [`sta`] but computes slacks against an explicit `target` delay
+/// instead of the worst arrival.
+pub fn sta_with_target(
+    nl: &Netlist,
+    lib: &Library,
+    po_cap: f64,
+    target: Option<f64>,
+) -> TimingReport {
+    let loads = nl.loads(lib, po_cap);
+    let n = nl.num_gates();
+    let mut arrivals = vec![0.0f64; n];
+    let mut worst_in: Vec<Option<u32>> = vec![None; n];
+
+    let sig_arrival = |arrivals: &[f64], s: &Signal| -> f64 {
+        match s {
+            Signal::Gate(g) => arrivals[*g as usize],
+            _ => 0.0,
+        }
+    };
+
+    for (i, g) in nl.gates().iter().enumerate() {
+        let cell = &lib.cells()[g.cell];
+        let mut arr: f64 = 0.0;
+        for s in &g.inputs {
+            let a = sig_arrival(&arrivals, s);
+            if a >= arr {
+                arr = a;
+                worst_in[i] = match s {
+                    Signal::Gate(j) => Some(*j),
+                    _ => None,
+                };
+            }
+        }
+        arrivals[i] = arr + cell.delay(loads[i]);
+    }
+
+    let mut delay = 0.0f64;
+    let mut worst_po: Option<u32> = None;
+    for (_, s) in nl.outputs() {
+        let a = sig_arrival(&arrivals, s);
+        if a >= delay {
+            delay = a;
+            worst_po = match s {
+                Signal::Gate(j) => Some(*j),
+                _ => None,
+            };
+        }
+    }
+
+    // Required times backward.
+    let horizon = target.unwrap_or(delay);
+    let mut required = vec![f64::INFINITY; n];
+    for (_, s) in nl.outputs() {
+        if let Signal::Gate(j) = s {
+            required[*j as usize] = required[*j as usize].min(horizon);
+        }
+    }
+    for i in (0..n).rev() {
+        let gate = &nl.gates()[i];
+        let cell = &lib.cells()[gate.cell];
+        if required[i].is_finite() {
+            let req_in = required[i] - cell.delay(loads[i]);
+            for s in &gate.inputs {
+                if let Signal::Gate(j) = s {
+                    required[*j as usize] = required[*j as usize].min(req_in);
+                }
+            }
+        }
+    }
+    let slacks: Vec<f64> = (0..n)
+        .map(|i| {
+            if required[i].is_finite() {
+                required[i] - arrivals[i]
+            } else {
+                f64::INFINITY // dangling gate
+            }
+        })
+        .collect();
+
+    // One critical path, endpoint backwards.
+    let mut critical = Vec::new();
+    let mut cursor = worst_po;
+    while let Some(g) = cursor {
+        critical.push(g);
+        cursor = worst_in[g as usize];
+    }
+
+    TimingReport {
+        arrivals,
+        delay,
+        slacks,
+        critical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::Library;
+    use crate::netlist::Netlist;
+
+    fn cell_index(lib: &Library, name: &str) -> usize {
+        lib.cells().iter().position(|c| c.name == name).unwrap()
+    }
+
+    /// inv chain: a -> INV -> INV -> f
+    fn inv_chain(lib: &Library, len: usize) -> Netlist {
+        let inv = cell_index(lib, "INV_x1");
+        let mut nl = Netlist::new();
+        let mut s = nl.add_input("a");
+        for _ in 0..len {
+            s = nl.add_gate(inv, vec![s]);
+        }
+        nl.add_output("f", s);
+        nl
+    }
+
+    #[test]
+    fn chain_delay_accumulates() {
+        let lib = Library::asap7_like();
+        let one = sta(&inv_chain(&lib, 1), &lib, 1.0);
+        let three = sta(&inv_chain(&lib, 3), &lib, 1.0);
+        assert!(three.delay > 2.0 * one.delay);
+        assert_eq!(three.critical.len(), 3);
+    }
+
+    #[test]
+    fn critical_path_slack_is_zero() {
+        let lib = Library::asap7_like();
+        let nl = inv_chain(&lib, 4);
+        let t = sta(&nl, &lib, 1.0);
+        for &g in &t.critical {
+            assert!(t.slacks[g as usize].abs() < 1e-9, "critical gate slack");
+        }
+    }
+
+    #[test]
+    fn off_path_gate_has_positive_slack() {
+        let lib = Library::asap7_like();
+        let inv = cell_index(&lib, "INV_x1");
+        let nand = cell_index(&lib, "NAND2_x1");
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        // long path: a -> 3 invs; short path: b -> 1 inv; nand joins them
+        let mut la = a;
+        for _ in 0..3 {
+            la = nl.add_gate(inv, vec![la]);
+        }
+        let lb = nl.add_gate(inv, vec![b]);
+        let f = nl.add_gate(nand, vec![la, lb]);
+        nl.add_output("f", f);
+        let t = sta(&nl, &lib, 1.0);
+        // the single b-side inverter must have positive slack
+        let b_inv = 3usize;
+        assert!(t.slacks[b_inv] > 1.0, "slack {}", t.slacks[b_inv]);
+    }
+
+    #[test]
+    fn load_increases_delay() {
+        let lib = Library::asap7_like();
+        let inv = cell_index(&lib, "INV_x1");
+        // one inverter driving 1 PO vs driving 4 fanout inverters
+        let mut light = Netlist::new();
+        let a = light.add_input("a");
+        let g = light.add_gate(inv, vec![a]);
+        light.add_output("f", g);
+
+        let mut heavy = Netlist::new();
+        let a2 = heavy.add_input("a");
+        let g2 = heavy.add_gate(inv, vec![a2]);
+        for i in 0..4 {
+            let s = heavy.add_gate(inv, vec![g2]);
+            heavy.add_output(format!("f{i}"), s);
+        }
+        let t_light = sta(&light, &lib, 1.0);
+        let t_heavy = sta(&heavy, &lib, 1.0);
+        assert!(t_heavy.arrivals[0] > t_light.arrivals[0]);
+    }
+
+    #[test]
+    fn target_shifts_slack() {
+        let lib = Library::asap7_like();
+        let nl = inv_chain(&lib, 2);
+        let base = sta(&nl, &lib, 1.0);
+        let relaxed = sta_with_target(&nl, &lib, 1.0, Some(base.delay + 10.0));
+        for (s1, s2) in base.slacks.iter().zip(&relaxed.slacks) {
+            assert!((s2 - s1 - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_netlist_zero_delay() {
+        let lib = Library::asap7_like();
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        nl.add_output("f", a);
+        let t = sta(&nl, &lib, 1.0);
+        assert_eq!(t.delay, 0.0);
+        assert!(t.critical.is_empty());
+    }
+}

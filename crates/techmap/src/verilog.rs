@@ -1,0 +1,101 @@
+//! Gate-level structural Verilog writer for mapped netlists.
+
+use crate::library::Library;
+use crate::netlist::{Netlist, Signal};
+use std::fmt::Write as _;
+
+impl Netlist {
+    /// Renders the netlist as a structural Verilog module instantiating
+    /// library cells. Cell pins are named `A`, `B`, `C`, `D` (inputs, in
+    /// pin order) and `Y` (output), the usual generic-liberty convention.
+    pub fn to_verilog(&self, lib: &Library, module: &str) -> String {
+        let sanitize = |s: &str| -> String {
+            s.chars()
+                .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+                .collect()
+        };
+        let mut v = String::new();
+        let _ = writeln!(v, "module {module} (");
+        for name in self.input_names() {
+            let _ = writeln!(v, "  input wire {},", sanitize(name));
+        }
+        for (i, (name, _)) in self.outputs().iter().enumerate() {
+            let comma = if i + 1 == self.outputs().len() { "" } else { "," };
+            let _ = writeln!(v, "  output wire {}{comma}", sanitize(name));
+        }
+        let _ = writeln!(v, ");");
+
+        let signal = |s: &Signal| -> String {
+            match s {
+                Signal::Const(false) => "1'b0".to_owned(),
+                Signal::Const(true) => "1'b1".to_owned(),
+                Signal::Pi(i) => sanitize(&self.input_names()[*i as usize]),
+                Signal::Gate(g) => format!("n{g}"),
+            }
+        };
+
+        for (g, gate) in self.gates().iter().enumerate() {
+            let _ = writeln!(v, "  wire n{g};");
+            let cell = &lib.cells()[gate.cell];
+            let mut pins = String::new();
+            for (p, s) in gate.inputs.iter().enumerate() {
+                let pin_name = (b'A' + p as u8) as char;
+                let _ = write!(pins, ".{pin_name}({}), ", signal(s));
+            }
+            let _ = writeln!(v, "  {} g{g} ({pins}.Y(n{g}));", cell.name);
+        }
+        for (name, s) in self.outputs() {
+            let _ = writeln!(v, "  assign {} = {};", sanitize(name), signal(s));
+        }
+        let _ = writeln!(v, "endmodule");
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::MapMode;
+    use crate::mapper::map_aig;
+    use esyn_aig::Aig;
+    use esyn_eqn::parse_eqn;
+
+    #[test]
+    fn emits_instances_and_assigns() {
+        let net = parse_eqn("INORDER = a b c;\nOUTORDER = f;\nf = (a*b) + !c;\n").unwrap();
+        let aig = Aig::from_network(&net);
+        let lib = Library::asap7_like();
+        let nl = map_aig(&aig, &lib, MapMode::Area);
+        let v = nl.to_verilog(&lib, "mapped");
+        assert!(v.starts_with("module mapped ("));
+        assert!(v.contains(".Y(n0)"), "{v}");
+        assert!(v.contains("assign f = "), "{v}");
+        assert!(v.trim_end().ends_with("endmodule"));
+        // one instance per gate
+        assert_eq!(v.matches(" g").count(), nl.num_gates());
+    }
+
+    #[test]
+    fn constant_outputs_become_literals() {
+        let net = parse_eqn("INORDER = a;\nOUTORDER = f;\nf = a * !a;\n").unwrap();
+        let aig = Aig::from_network(&net);
+        let lib = Library::asap7_like();
+        let nl = map_aig(&aig, &lib, MapMode::Area);
+        let v = nl.to_verilog(&lib, "m");
+        assert!(v.contains("assign f = 1'b0;"), "{v}");
+    }
+
+    #[test]
+    fn bus_names_are_sanitized() {
+        let net = parse_eqn(
+            "INORDER = x[0] x[1];\nOUTORDER = y[0];\ny[0] = x[0] * x[1];\n",
+        )
+        .unwrap();
+        let aig = Aig::from_network(&net);
+        let lib = Library::asap7_like();
+        let nl = map_aig(&aig, &lib, MapMode::Area);
+        let v = nl.to_verilog(&lib, "m");
+        assert!(v.contains("x_0_"));
+        assert!(!v.contains("x[0]"));
+    }
+}

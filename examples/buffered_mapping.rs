@@ -1,0 +1,65 @@
+//! Fanout buffering in the mapping backend — the `buffer` step of the
+//! paper's §4.3 baseline script (`buffer; upsize; dnsize`).
+//!
+//! Maps a fanout-heavy circuit with and without buffer insertion and
+//! compares post-sizing QoR; the buffered flow should win on delay at a
+//! modest area premium.
+//!
+//! ```text
+//! cargo run --release --example buffered_mapping
+//! ```
+
+use e_syn::aig::Aig;
+use e_syn::eqn::parse_eqn;
+use e_syn::techmap::{map_and_size, map_buffer_size, BufferConfig, Library, MapMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One shared product (sel = a*b) fanning out to 48 output cones: a
+    // worst case for the linear load-dependent delay model.
+    let n = 48;
+    let mut src = String::from("INORDER = a b");
+    for i in 0..n {
+        src.push_str(&format!(" x{i}"));
+    }
+    src.push_str(";\nOUTORDER =");
+    for i in 0..n {
+        src.push_str(&format!(" f{i}"));
+    }
+    src.push_str(";\n");
+    for i in 0..n {
+        src.push_str(&format!("f{i} = (a*b) * x{i};\n"));
+    }
+    let net = parse_eqn(&src)?;
+    let aig = Aig::from_network(&net);
+    let lib = Library::asap7_like();
+
+    println!("{:<24} {:>8} {:>12} {:>12} {:>8}", "flow", "gates", "area (um2)", "delay (ps)", "levels");
+    for mode in [MapMode::Delay, MapMode::Area] {
+        let (plain_nl, plain) = map_and_size(&aig, &lib, mode, None);
+        let cfg = BufferConfig::default();
+        let (buf_nl, buffered) = map_buffer_size(&aig, &lib, mode, None, &cfg);
+        println!(
+            "{:<24} {:>8} {:>12.2} {:>12.2} {:>8}",
+            format!("{mode:?} (no buffer)"),
+            plain.gates, plain.area, plain.delay, plain.levels
+        );
+        println!(
+            "{:<24} {:>8} {:>12.2} {:>12.2} {:>8}",
+            format!("{mode:?} (buffered)"),
+            buffered.gates, buffered.area, buffered.delay, buffered.levels
+        );
+
+        // Both netlists must still compute the original function.
+        let words: Vec<u64> = (0..(n as u64 + 2))
+            .map(|i| (i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        assert_eq!(aig.simulate(&words), plain_nl.simulate(&lib, &words));
+        assert_eq!(aig.simulate(&words), buf_nl.simulate(&lib, &words));
+    }
+    println!(
+        "area-mode mapping shares (a*b) into one 48-sink net, so buffering cuts its delay\n\
+         sharply for a few buffers of area; delay-mode mapping duplicated the AND per cone\n\
+         (fanout sits on the ideal-driver PIs), so buffering is correctly a no-op there"
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Format converters (§3.3): one circuit through every representation in
+//! the workspace — equation format, e-graph S-expressions, BLIF and AIGER
+//! — with a combinational equivalence check after each round-trip.
+//!
+//! ```text
+//! cargo run --release --example format_roundtrip
+//! ```
+
+use e_syn::aig::Aig;
+use e_syn::cec::{check_equivalence, EquivResult};
+use e_syn::core::{network_to_recexpr, recexpr_to_network, BoolLang};
+use e_syn::egraph::RecExpr;
+use e_syn::eqn::{parse_blif, parse_eqn, write_blif, Network};
+
+fn assert_equiv(stage: &str, a: &Network, b: &Network) {
+    match check_equivalence(a, b) {
+        EquivResult::Equivalent => println!("  [ok] {stage}: equivalent"),
+        other => panic!("{stage} broke the function: {other:?}"),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A carry-select-style fragment with shared subterms.
+    let src = "INORDER = a b c cin;\n\
+               OUTORDER = sum cout;\n\
+               sum = (a*!b + !a*b)*!cin + !(a*!b + !a*b)*cin;\n\
+               cout = (a*b) + (cin*(a*!b + !a*b)) + c*0;\n";
+    let net = parse_eqn(src)?;
+    let stats = net.stats();
+    println!(
+        "parsed eqn: {} inputs, {} outputs, {} gates, depth {}",
+        stats.inputs, stats.outputs, stats.gates(), stats.depth
+    );
+
+    // --- equation format (ABC write_eqn / read_eqn) ----------------------
+    let eqn_text = net.to_eqn();
+    let back = parse_eqn(&eqn_text)?;
+    assert_equiv("eqn -> text -> eqn", &net, &back);
+
+    // --- S-expressions (the egg interchange of Figure 2) -----------------
+    let expr = network_to_recexpr(&net);
+    let sexpr_text = expr.to_string();
+    println!("  s-expression: {} chars, {} DAG nodes", sexpr_text.len(), expr.len());
+    let reparsed: RecExpr<BoolLang> = sexpr_text.parse()?;
+    let names: Vec<String> = net.outputs().iter().map(|(n, _)| n.clone()).collect();
+    let back = recexpr_to_network(&reparsed, &names);
+    assert_equiv("network -> sexpr -> network", &net, &back);
+
+    // --- BLIF (the LGSynth/ISCAS distribution format) --------------------
+    let blif_text = write_blif(&net, "roundtrip");
+    println!("  blif: {} lines", blif_text.lines().count());
+    let back = parse_blif(&blif_text)?;
+    assert_equiv("network -> blif -> network", &net, &back);
+
+    // --- AIGER (the aigfuzz/training pipeline format) --------------------
+    let aig = Aig::from_network(&net);
+    let ascii = aig.to_aiger_ascii();
+    println!(
+        "  aiger: {} ands as aag ({} bytes), binary {} bytes",
+        aig.num_ands(),
+        ascii.len(),
+        aig.to_aiger_binary().len()
+    );
+    let back = Aig::from_aiger_ascii(&ascii)?.to_network();
+    assert_equiv("network -> aag -> network", &net, &back);
+    let back = Aig::from_aiger_binary(&aig.to_aiger_binary())?.to_network();
+    assert_equiv("network -> aig(binary) -> network", &net, &back);
+
+    println!("all format round-trips preserve the function");
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Diagnostic: dump every pool candidate of a circuit with its features,
+//! model-predicted costs and measured post-backend QoR, plus the rank
+//! correlation between prediction and measurement.
+//!
+//! ```text
+//! cargo run --release --example inspect_pool -- bar
+//! ```
+
+use e_syn::core::{
+    extract_pool_with, flow::measure_pool, lang::network_to_recexpr, rules::all_rules,
+    saturate, CandidateCost, Features, Objective, PoolConfig, SaturationLimits,
+};
+use e_syn::core::{train_cost_models, CostModels, TrainConfig};
+use e_syn::gbdt::pearson_r;
+use e_syn::techmap::Library;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "bar".to_owned());
+    let net = e_syn::circuits::by_name(&name).ok_or_else(|| format!("unknown `{name}`"))?;
+    let lib = Library::asap7_like();
+    // Full-scale models; cached on disk between runs.
+    let cache = std::path::Path::new("target/esyn-models");
+    let models = CostModels::load(cache).unwrap_or_else(|| {
+        eprintln!("training cost models (cached under {})...", cache.display());
+        let m = train_cost_models(&TrainConfig::default(), &lib);
+        m.save(cache).ok();
+        m
+    });
+
+    let expr = network_to_recexpr(&net);
+    let runner = saturate(&expr, &all_rules(), &SaturationLimits::default());
+    let pool = extract_pool_with(
+        &runner.egraph,
+        runner.roots[0],
+        Some(&expr),
+        &PoolConfig::with_samples(40, 0xD1A6),
+    );
+    let names: Vec<String> = net.outputs().iter().map(|(n, _)| n.clone()).collect();
+    let qors = measure_pool(&pool, &names, &lib, Objective::Delay, None);
+
+    println!(
+        "{:>4} {:>7} {:>6} {:>9} {:>9} | {:>9} {:>9}",
+        "cand", "nodes", "depth", "pred-d", "pred-a", "meas-d", "meas-a"
+    );
+    let mut pred_d = Vec::new();
+    let mut pred_a = Vec::new();
+    let mut meas_d = Vec::new();
+    let mut meas_a = Vec::new();
+    for (i, (cand, q)) in pool.iter().zip(&qors).enumerate() {
+        let f = Features::from_expr(cand);
+        let pd = models.delay.cost(&f);
+        let pa = models.area.cost(&f);
+        println!(
+            "{i:>4} {:>7} {:>6} {pd:>9.1} {pa:>9.1} | {:>9.2} {:>9.2}",
+            f.num_nodes, f.depth, q.delay, q.area
+        );
+        pred_d.push(pd);
+        pred_a.push(pa);
+        meas_d.push(q.delay);
+        meas_a.push(q.area);
+    }
+    println!();
+    println!(
+        "prediction-measurement correlation: delay R = {:.3}, area R = {:.3}",
+        pearson_r(&pred_d, &meas_d),
+        pearson_r(&pred_a, &meas_a)
+    );
+    let best_pred_d = (0..pool.len())
+        .min_by(|&a, &b| pred_d[a].partial_cmp(&pred_d[b]).unwrap())
+        .unwrap();
+    let best_meas_d = (0..pool.len())
+        .min_by(|&a, &b| meas_d[a].partial_cmp(&meas_d[b]).unwrap())
+        .unwrap();
+    let best_pred_a = (0..pool.len())
+        .min_by(|&a, &b| pred_a[a].partial_cmp(&pred_a[b]).unwrap())
+        .unwrap();
+    let best_meas_a = (0..pool.len())
+        .min_by(|&a, &b| meas_a[a].partial_cmp(&meas_a[b]).unwrap())
+        .unwrap();
+    println!(
+        "delay: model picks #{best_pred_d} ({:.2}), oracle picks #{best_meas_d} ({:.2}) — regret {:+.2}%",
+        meas_d[best_pred_d],
+        meas_d[best_meas_d],
+        100.0 * (meas_d[best_pred_d] - meas_d[best_meas_d]) / meas_d[best_meas_d]
+    );
+    println!(
+        "area:  model picks #{best_pred_a} ({:.2}), oracle picks #{best_meas_a} ({:.2}) — regret {:+.2}%",
+        meas_a[best_pred_a],
+        meas_a[best_meas_a],
+        100.0 * (meas_a[best_pred_a] - meas_a[best_meas_a]) / meas_a[best_meas_a]
+    );
+    Ok(())
+}

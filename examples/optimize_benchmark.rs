@@ -1,0 +1,83 @@
+//! Optimise any named benchmark circuit from the paper's evaluation
+//! (§4.1) and print the ABC-baseline vs E-Syn comparison.
+//!
+//! ```text
+//! cargo run --release --example optimize_benchmark -- max delay
+//! cargo run --release --example optimize_benchmark -- 5_5 area
+//! ```
+//!
+//! Run without arguments to list the available circuits.
+
+use e_syn::circuits;
+use e_syn::core::{
+    abc_baseline, esyn_optimize, train_cost_models, EsynConfig, Objective, TrainConfig,
+};
+use e_syn::techmap::Library;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let Some(name) = args.next() else {
+        println!("usage: optimize_benchmark <circuit> [delay|area|balanced]");
+        println!("available circuits:");
+        for b in circuits::all_benchmarks() {
+            let s = b.network.stats();
+            println!(
+                "  {:8} ({:10}) — {:4} inputs, {:4} outputs, {:5} gates",
+                b.name,
+                b.suite,
+                s.inputs,
+                s.outputs,
+                s.gates()
+            );
+        }
+        return Ok(());
+    };
+    let objective = match args.next().as_deref() {
+        None | Some("delay") => Objective::Delay,
+        Some("area") => Objective::Area,
+        Some("balanced") => Objective::Balanced,
+        Some(other) => return Err(format!("unknown objective `{other}`").into()),
+    };
+
+    let net = circuits::by_name(&name).ok_or_else(|| format!("unknown circuit `{name}`"))?;
+    let stats = net.stats();
+    println!(
+        "{name}: {} inputs, {} outputs, {} gates, depth {}",
+        stats.inputs,
+        stats.outputs,
+        stats.gates(),
+        stats.depth
+    );
+
+    let lib = Library::asap7_like();
+    println!("training cost models...");
+    let models = train_cost_models(&TrainConfig::tiny(), &lib);
+
+    println!("running baseline ABC flow ({objective:?})...");
+    let baseline = abc_baseline(&net, &lib, objective, None);
+    println!("running E-Syn flow ({objective:?})...");
+    let result = esyn_optimize(&net, &models, &lib, objective, &EsynConfig::default());
+
+    println!();
+    println!("              {:>12} {:>12} {:>8} {:>8}", "area/um2", "delay/ps", "gates", "levels");
+    println!(
+        "ABC baseline  {:12.2} {:12.2} {:8} {:8}",
+        baseline.area, baseline.delay, baseline.gates, baseline.levels
+    );
+    println!(
+        "E-Syn         {:12.2} {:12.2} {:8} {:8}",
+        result.qor.area, result.qor.delay, result.qor.gates, result.qor.levels
+    );
+    println!(
+        "e-graph: {} nodes / {} classes, pool {}, stop {:?}, verified {:?}",
+        result.egraph_nodes,
+        result.egraph_classes,
+        result.pool_size,
+        result.stop_reason,
+        result.verified
+    );
+    let d_gain = 100.0 * (baseline.delay - result.qor.delay) / baseline.delay;
+    let a_gain = 100.0 * (baseline.area - result.qor.area) / baseline.area;
+    println!("delay gain {d_gain:+.2}%  area gain {a_gain:+.2}%");
+    Ok(())
+}

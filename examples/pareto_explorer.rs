@@ -1,0 +1,58 @@
+//! Design-space exploration in the style of the paper's Figure 6: sweep
+//! the baseline flow over delay targets, scatter every E-Syn pool
+//! candidate, and compare the Pareto frontiers.
+//!
+//! ```text
+//! cargo run --release --example pareto_explorer -- frg2
+//! ```
+
+use e_syn::circuits;
+use e_syn::core::{
+    abc_baseline, extract_pool, flow::measure_pool, lang::network_to_recexpr,
+    pareto_front, rules::all_rules, saturate, Objective, PoolConfig, SaturationLimits,
+};
+use e_syn::core::pareto::frontier_dominates;
+use e_syn::techmap::Library;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "frg2".to_owned());
+    let net = circuits::by_name(&name).ok_or_else(|| format!("unknown circuit `{name}`"))?;
+    let lib = Library::asap7_like();
+
+    // --- Baseline design points: sweep the delay target. ---
+    println!("# baseline ABC flow, delay-target sweep");
+    let reference = abc_baseline(&net, &lib, Objective::Delay, None);
+    let mut abc_points = Vec::new();
+    for k in 0..8 {
+        let target = reference.delay * (0.85 + 0.15 * k as f64);
+        let q = abc_baseline(&net, &lib, Objective::Delay, Some(target));
+        println!("abc point: area {:9.2}  delay {:9.2}  (target {:8.2})", q.area, q.delay, target);
+        abc_points.push((q.delay, q.area));
+    }
+
+    // --- E-Syn pool candidates. ---
+    println!("# e-syn pool candidates");
+    let expr = network_to_recexpr(&net);
+    let runner = saturate(&expr, &all_rules(), &SaturationLimits::default());
+    let pool = extract_pool(&runner.egraph, runner.roots[0], &PoolConfig::with_samples(60, 6));
+    let names: Vec<String> = net.outputs().iter().map(|(n, _)| n.clone()).collect();
+    let qors = measure_pool(&pool, &names, &lib, Objective::Delay, None);
+    let esyn_points: Vec<(f64, f64)> = qors.iter().map(|q| (q.delay, q.area)).collect();
+    for q in &qors {
+        println!("esyn point: area {:9.2}  delay {:9.2}", q.area, q.delay);
+    }
+
+    let abc_front = pareto_front(&abc_points);
+    let esyn_front = pareto_front(&esyn_points);
+    println!("# frontiers (delay, area)");
+    println!("abc frontier:  {abc_front:?}");
+    println!("esyn frontier: {esyn_front:?}");
+    if frontier_dominates(&esyn_front, &abc_front) {
+        println!("verdict: E-Syn frontier dominates the baseline frontier");
+    } else if frontier_dominates(&abc_front, &esyn_front) {
+        println!("verdict: baseline frontier dominates E-Syn");
+    } else {
+        println!("verdict: frontiers cross");
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Quickstart: optimise a small circuit with E-Syn and compare it against
+//! the ABC-style baseline flow.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use e_syn::core::{
+    abc_baseline, esyn_optimize, train_cost_models, EsynConfig, Objective, TrainConfig,
+};
+use e_syn::eqn::parse_eqn;
+use e_syn::techmap::Library;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A multiplexer-rich function with obvious factoring opportunities.
+    let net = parse_eqn(
+        "INORDER = a b c d e;\n\
+         OUTORDER = f g;\n\
+         f = (a*b) + (a*c) + (a*d) + (a*e);\n\
+         g = ((a+b) * (a+c)) + ((!a*d) + (!a*e));\n",
+    )?;
+    println!("input: {} gates, depth {}", net.stats().gates(), net.stats().depth);
+
+    let lib = Library::asap7_like();
+    println!("training technology-aware cost models (tiny corpus)...");
+    let models = train_cost_models(&TrainConfig::tiny(), &lib);
+    println!(
+        "  delay model R = {:.3}, area model R = {:.3} (paper: 0.78 / 0.76)",
+        models.r_delay, models.r_area
+    );
+
+    for objective in [Objective::Delay, Objective::Area, Objective::Balanced] {
+        let baseline = abc_baseline(&net, &lib, objective, None);
+        let result = esyn_optimize(&net, &models, &lib, objective, &EsynConfig::small());
+        println!(
+            "{objective:?}: baseline area {:8.2} um2, delay {:8.2} ps | e-syn area {:8.2} um2, delay {:8.2} ps  (pool {}, e-graph {} nodes, verified {:?})",
+            baseline.area,
+            baseline.delay,
+            result.qor.area,
+            result.qor.delay,
+            result.pool_size,
+            result.egraph_nodes,
+            result.verified,
+        );
+    }
+    Ok(())
+}

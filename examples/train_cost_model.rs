@@ -1,0 +1,52 @@
+//! Train the technology-aware cost models exactly as §3.2.1 describes:
+//! fuzz random circuits, label them through the mapping backend, fit two
+//! GBDT regressors, and report the paper's R-value metric plus feature
+//! importances.
+//!
+//! ```text
+//! cargo run --release --example train_cost_model -- 400
+//! ```
+
+use e_syn::core::{train_cost_models, Features, TrainConfig};
+use e_syn::techmap::Library;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let num_circuits: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(300);
+
+    let lib = Library::asap7_like();
+    let cfg = TrainConfig {
+        num_circuits,
+        ..Default::default()
+    };
+    println!(
+        "generating {num_circuits} fuzzed circuits and mapping them (paper: 50000 aigfuzz circuits)..."
+    );
+    let t0 = std::time::Instant::now();
+    let models = train_cost_models(&cfg, &lib);
+    println!("trained in {:.1}s", t0.elapsed().as_secs_f64());
+    println!();
+    println!("delay model: R = {:.3}   (paper reports 0.78)", models.r_delay);
+    println!("area  model: R = {:.3}   (paper reports 0.76)", models.r_area);
+    println!();
+
+    let names = [
+        "num_and", "num_or", "num_not", "num_nodes", "depth", "density", "edge_sum",
+    ];
+    assert_eq!(names.len(), Features::LEN);
+    println!("feature importances (split counts, normalised):");
+    let imp_d = models.delay.model().feature_importance();
+    let imp_a = models.area.model().feature_importance();
+    println!("  {:>10} {:>8} {:>8}", "feature", "delay", "area");
+    for (i, n) in names.iter().enumerate() {
+        println!("  {:>10} {:8.3} {:8.3}", n, imp_d[i], imp_a[i]);
+    }
+
+    let dir = std::path::Path::new("target/esyn-models");
+    models.save(dir)?;
+    println!("\nmodels saved to {}", dir.display());
+    Ok(())
+}

@@ -1,0 +1,305 @@
+//! `esyn` — command-line front-end to the E-Syn reproduction.
+//!
+//! Circuit files are read by extension: `.eqn` (ABC equation format),
+//! `.blif` (combinational BLIF), `.aag`/`.aig` (AIGER ASCII/binary).
+//!
+//! ```text
+//! esyn stats    <file>                             # parse + report
+//! esyn optimize <file> [delay|area|balanced]       # full E-Syn flow
+//!               [--models DIR] [--out FILE] [--verilog FILE] [--choices]
+//! esyn baseline <file> [delay|area|balanced] [--choices]   # ABC-style baseline
+//! esyn cec      <a> <b>                            # equivalence check
+//! esyn bench    <circuit-name>                     # write a named benchmark as eqn
+//! esyn convert  <in> <out>                         # convert between formats
+//! esyn aig      <file> <out.aag|out.aig>           # strash + AIGER export
+//! ```
+
+use e_syn::aig::Aig;
+use e_syn::cec::{check_equivalence, EquivResult};
+use e_syn::core::{
+    abc_baseline, abc_baseline_choices, esyn_optimize, train_cost_models, CostModels,
+    EsynConfig, Objective, TrainConfig,
+};
+use e_syn::eqn::{parse_blif, parse_eqn, write_blif, Network};
+use e_syn::techmap::Library;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage (circuit files: .eqn, .blif, .aag, .aig):");
+    eprintln!("  esyn stats    <file>");
+    eprintln!("  esyn optimize <file> [delay|area|balanced] [--models DIR] [--out FILE] [--verilog FILE] [--choices]");
+    eprintln!("  esyn baseline <file> [delay|area|balanced] [--choices]");
+    eprintln!("  esyn cec      <a> <b>");
+    eprintln!("  esyn bench    <circuit-name> (or `list`)");
+    eprintln!("  esyn convert  <in> <out.eqn|out.blif|out.aag|out.aig|out.v>");
+    eprintln!("  esyn aig      <file> <out.aag|out.aig>");
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "stats" => stats(args.get(1).ok_or("missing input file")?),
+        "optimize" => optimize(&args[1..]),
+        "baseline" => baseline(&args[1..]),
+        "cec" => cec(
+            args.get(1).ok_or("missing first file")?,
+            args.get(2).ok_or("missing second file")?,
+        ),
+        "bench" => bench(args.get(1).map(String::as_str).unwrap_or("list")),
+        "convert" => convert(
+            args.get(1).ok_or("missing input file")?,
+            args.get(2).ok_or("missing output file")?,
+        ),
+        "aig" => aig_export(
+            args.get(1).ok_or("missing input file")?,
+            args.get(2).ok_or("missing output file")?,
+        ),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn load(path: &str) -> Result<Network, String> {
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
+    match ext {
+        "blif" => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            parse_blif(&text).map_err(|e| format!("{path}: {e}"))
+        }
+        "aag" => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Ok(Aig::from_aiger_ascii(&text)
+                .map_err(|e| format!("{path}: {e}"))?
+                .to_network())
+        }
+        "aig" => {
+            let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+            Ok(Aig::from_aiger_binary(&bytes)
+                .map_err(|e| format!("{path}: {e}"))?
+                .to_network())
+        }
+        _ => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            parse_eqn(&text).map_err(|e| format!("{path}: {e}"))
+        }
+    }
+}
+
+fn convert(input: &str, output: &str) -> Result<(), String> {
+    let net = load(input)?;
+    let stem = Path::new(output)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("top")
+        .to_owned();
+    let ext = Path::new(output)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
+    match ext {
+        "eqn" => std::fs::write(output, net.to_eqn()),
+        "blif" => std::fs::write(output, write_blif(&net, &stem)),
+        "v" => std::fs::write(output, net.to_verilog(&stem)),
+        "aag" => std::fs::write(output, Aig::from_network(&net).cleanup().to_aiger_ascii()),
+        "aig" => std::fs::write(output, Aig::from_network(&net).cleanup().to_aiger_binary()),
+        other => return Err(format!("unknown output format `.{other}`")),
+    }
+    .map_err(|e| format!("{output}: {e}"))?;
+    let s = net.stats();
+    println!(
+        "converted {input} -> {output} ({} inputs, {} outputs, {} gates)",
+        s.inputs,
+        s.outputs,
+        s.gates()
+    );
+    Ok(())
+}
+
+fn parse_objective(s: Option<&String>) -> Result<Objective, String> {
+    match s.map(String::as_str) {
+        None | Some("delay") => Ok(Objective::Delay),
+        Some("area") => Ok(Objective::Area),
+        Some("balanced") => Ok(Objective::Balanced),
+        Some(other) => Err(format!("unknown objective `{other}`")),
+    }
+}
+
+fn stats(path: &str) -> Result<(), String> {
+    let net = load(path)?;
+    let s = net.stats();
+    println!("{path}:");
+    println!("  inputs  {}", s.inputs);
+    println!("  outputs {}", s.outputs);
+    println!("  gates   {} (and {}, or {}, not {})", s.gates(), s.ands, s.ors, s.nots);
+    println!("  depth   {}", s.depth);
+    let aig = Aig::from_network(&net);
+    println!("  aig     {} ands, {} levels", aig.num_ands(), aig.num_levels());
+    Ok(())
+}
+
+fn models_for(dir: Option<&str>, lib: &Library) -> CostModels {
+    let dir = dir
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| Path::new("target/esyn-models").to_path_buf());
+    CostModels::load(&dir).unwrap_or_else(|| {
+        eprintln!("training cost models (cached under {})...", dir.display());
+        let m = train_cost_models(&TrainConfig::default(), lib);
+        m.save(&dir).ok();
+        m
+    })
+}
+
+fn optimize(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing input file")?;
+    let mut objective_arg = None;
+    let mut models_dir = None;
+    let mut out_file = None;
+    let mut verilog_file = None;
+    let mut use_choices = false;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--models" => models_dir = Some(it.next().ok_or("--models needs a value")?.clone()),
+            "--out" => out_file = Some(it.next().ok_or("--out needs a value")?.clone()),
+            "--verilog" => {
+                verilog_file = Some(it.next().ok_or("--verilog needs a value")?.clone())
+            }
+            "--choices" => use_choices = true,
+            other if objective_arg.is_none() => objective_arg = Some(other.to_owned()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let objective = parse_objective(objective_arg.as_ref())?;
+    let net = load(path)?;
+    let lib = Library::asap7_like();
+    let models = models_for(models_dir.as_deref(), &lib);
+
+    let cfg = EsynConfig {
+        use_choices,
+        ..EsynConfig::default()
+    };
+    let result = esyn_optimize(&net, &models, &lib, objective, &cfg);
+    println!(
+        "{objective:?}: area {:.2} um2, delay {:.2} ps, {} gates, {} levels",
+        result.qor.area, result.qor.delay, result.qor.gates, result.qor.levels
+    );
+    println!(
+        "e-graph {} nodes / {} classes, pool {}, stop {:?}, verified {:?}",
+        result.egraph_nodes,
+        result.egraph_classes,
+        result.pool_size,
+        result.stop_reason,
+        result.verified
+    );
+    if let Some(out) = out_file {
+        std::fs::write(&out, result.network.to_eqn()).map_err(|e| format!("{out}: {e}"))?;
+        println!("wrote optimised equation file to {out}");
+    }
+    if let Some(vf) = verilog_file {
+        let (nl, _) =
+            e_syn::core::flow::esyn_backend(&result.network, &lib, objective, None);
+        std::fs::write(&vf, nl.to_verilog(&lib, "esyn_top")).map_err(|e| format!("{vf}: {e}"))?;
+        println!("wrote mapped Verilog netlist to {vf}");
+    }
+    Ok(())
+}
+
+fn baseline(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing input file")?;
+    let use_choices = args.iter().any(|a| a == "--choices");
+    let objective_arg: Option<&String> = args.get(1).filter(|a| a.as_str() != "--choices");
+    let objective = parse_objective(objective_arg)?;
+    let net = load(path)?;
+    let lib = Library::asap7_like();
+    let q = if use_choices {
+        abc_baseline_choices(&net, &lib, objective, None)
+    } else {
+        abc_baseline(&net, &lib, objective, None)
+    };
+    println!(
+        "{objective:?}: area {:.2} um2, delay {:.2} ps, {} gates, {} levels",
+        q.area, q.delay, q.gates, q.levels
+    );
+    Ok(())
+}
+
+fn cec(a: &str, b: &str) -> Result<(), String> {
+    let na = load(a)?;
+    let nb = load(b)?;
+    match check_equivalence(&na, &nb) {
+        EquivResult::Equivalent => {
+            println!("EQUIVALENT");
+            Ok(())
+        }
+        EquivResult::NotEquivalent {
+            output,
+            counterexample,
+        } => {
+            println!("NOT EQUIVALENT (output #{output})");
+            let assignment: Vec<String> = na
+                .input_names()
+                .iter()
+                .zip(&counterexample)
+                .map(|(n, v)| format!("{n}={}", u8::from(*v)))
+                .collect();
+            println!("counterexample: {}", assignment.join(" "));
+            Err("circuits differ".into())
+        }
+        EquivResult::Incompatible(msg) => Err(format!("incompatible interfaces: {msg}")),
+    }
+}
+
+fn bench(name: &str) -> Result<(), String> {
+    if name == "list" {
+        for b in e_syn::circuits::all_benchmarks() {
+            let s = b.network.stats();
+            println!(
+                "{:8} {:10} {:4} in {:4} out {:5} gates depth {}",
+                b.name,
+                b.suite,
+                s.inputs,
+                s.outputs,
+                s.gates(),
+                s.depth
+            );
+        }
+        return Ok(());
+    }
+    let net =
+        e_syn::circuits::by_name(name).ok_or_else(|| format!("unknown circuit `{name}`"))?;
+    print!("{}", net.to_eqn());
+    Ok(())
+}
+
+fn aig_export(path: &str, out: &str) -> Result<(), String> {
+    let net = load(path)?;
+    let aig = Aig::from_network(&net).cleanup();
+    if out.ends_with(".aag") {
+        std::fs::write(out, aig.to_aiger_ascii()).map_err(|e| format!("{out}: {e}"))?;
+    } else {
+        std::fs::write(out, aig.to_aiger_binary()).map_err(|e| format!("{out}: {e}"))?;
+    }
+    println!(
+        "wrote {} ({} ands, {} levels)",
+        out,
+        aig.num_ands(),
+        aig.num_levels()
+    );
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! # E-Syn (reproduction)
+//!
+//! A from-scratch Rust reproduction of *E-Syn: E-Graph Rewriting with
+//! Technology-Aware Cost Functions for Logic Synthesis* (DAC 2024),
+//! including every substrate the paper depends on: an e-graph engine
+//! (with tree-, DAG- and exact extraction), an AIG optimiser (with
+//! fraiging, structural choices and AIGER I/O), a technology mapper with
+//! STA, buffering and sizing, a CDCL SAT solver, an equivalence checker,
+//! a GBDT regressor, eqn/S-expression/BLIF format converters, and
+//! generators for the benchmark circuits. See `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! This facade crate re-exports the workspace members under stable paths;
+//! depend on the individual `esyn-*` crates for finer-grained builds.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use e_syn::core::{abc_baseline, esyn_optimize, EsynConfig, Objective};
+//! use e_syn::core::{train_cost_models, TrainConfig};
+//! use e_syn::techmap::Library;
+//!
+//! let net = e_syn::eqn::parse_eqn(
+//!     "INORDER = a b c;\nOUTORDER = f;\nf = (a*b) + (a*c);\n",
+//! )?;
+//! let lib = Library::asap7_like();
+//! let models = train_cost_models(&TrainConfig::tiny(), &lib);
+//! let result = esyn_optimize(&net, &models, &lib, Objective::Delay, &EsynConfig::small());
+//! let baseline = abc_baseline(&net, &lib, Objective::Delay, None);
+//! assert!(result.qor.delay > 0.0 && baseline.delay > 0.0);
+//! # Ok::<(), e_syn::eqn::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Boolean expression IR, parsers and simulation ([`esyn_eqn`]).
+pub use esyn_eqn as eqn;
+
+/// E-graph engine with equality saturation ([`esyn_egraph`]).
+pub use esyn_egraph as egraph;
+
+/// And-Inverter Graph optimisation ([`esyn_aig`]).
+pub use esyn_aig as aig;
+
+/// Technology mapping, STA and sizing ([`esyn_techmap`]).
+pub use esyn_techmap as techmap;
+
+/// CDCL SAT solver ([`esyn_sat`]).
+pub use esyn_sat as sat;
+
+/// Combinational equivalence checking ([`esyn_cec`]).
+pub use esyn_cec as cec;
+
+/// Gradient-boosted regression trees ([`esyn_gbdt`]).
+pub use esyn_gbdt as gbdt;
+
+/// Benchmark circuit generators ([`esyn_circuits`]).
+pub use esyn_circuits as circuits;
+
+/// The E-Syn core: rules, pool extraction, cost models, flows
+/// ([`esyn_core`]).
+pub use esyn_core as core;
