@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI entry point — the exact checks .github/workflows/ci.yml runs.
+# Everything is offline: the workspace has no registry dependencies.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo build --benches --examples"
+cargo build --benches --examples
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> smoke-run micro bench (ESYN_BENCH_FAST=1)"
+ESYN_BENCH_FAST=1 cargo bench -q -p esyn-bench --bench micro >/dev/null
+
+echo "ci.sh: all checks passed"

@@ -182,10 +182,7 @@ impl Aig {
     pub fn lookup_and(&self, a: AigLit, b: AigLit) -> Option<AigLit> {
         match Self::normalize(a, b) {
             AndForm::Const(l) | AndForm::Alias(l) => Some(l),
-            AndForm::Pair(x, y) => self
-                .strash
-                .get(&(x, y))
-                .map(|&n| AigLit::new(n, false)),
+            AndForm::Pair(x, y) => self.strash.get(&(x, y)).map(|&n| AigLit::new(n, false)),
         }
     }
 
@@ -294,8 +291,7 @@ impl Aig {
         let mut levels = vec![0u32; self.nodes.len()];
         for n in 0..self.nodes.len() {
             if let NodeKind::And(a, b) = self.nodes[n] {
-                levels[n] =
-                    1 + levels[a.node() as usize].max(levels[b.node() as usize]);
+                levels[n] = 1 + levels[a.node() as usize].max(levels[b.node() as usize]);
             }
         }
         levels

@@ -262,12 +262,8 @@ impl Aig {
             let lhs = 2 * (i as u64 + 1 + k as u64);
             let d0 = read_delta(bytes, &mut pos).ok_or_else(|| err("truncated and"))?;
             let d1 = read_delta(bytes, &mut pos).ok_or_else(|| err("truncated and"))?;
-            let rhs0 = lhs
-                .checked_sub(d0)
-                .ok_or_else(|| err("delta underflow"))?;
-            let rhs1 = rhs0
-                .checked_sub(d1)
-                .ok_or_else(|| err("delta underflow"))?;
+            let rhs0 = lhs.checked_sub(d0).ok_or_else(|| err("delta underflow"))?;
+            let rhs1 = rhs0.checked_sub(d1).ok_or_else(|| err("delta underflow"))?;
             let fa = AigLit::new((rhs0 / 2) as u32, rhs0 & 1 == 1);
             let fb = AigLit::new((rhs1 / 2) as u32, rhs1 & 1 == 1);
             aig.push_raw_and(fa, fb);
@@ -316,7 +312,10 @@ impl AigLit {
     }
 }
 
-fn parse_header(line: &str, magic: &str) -> Result<(usize, usize, usize, usize, usize), AigerError> {
+fn parse_header(
+    line: &str,
+    magic: &str,
+) -> Result<(usize, usize, usize, usize, usize), AigerError> {
     let mut parts = line.split_whitespace();
     let tag = parts.next().ok_or_else(|| err("missing magic"))?;
     if tag != magic {
@@ -444,9 +443,18 @@ mod tests {
     #[test]
     fn rejects_malformed_input() {
         assert!(Aig::from_aiger_ascii("").is_err());
-        assert!(Aig::from_aiger_ascii("aig 1 1 0 0 0\n2\n").is_err(), "wrong magic");
-        assert!(Aig::from_aiger_ascii("aag 2 1 1 0 0\n2\n").is_err(), "latches");
-        assert!(Aig::from_aiger_ascii("aag 9 1 0 0 1\n2\n").is_err(), "bad M");
+        assert!(
+            Aig::from_aiger_ascii("aig 1 1 0 0 0\n2\n").is_err(),
+            "wrong magic"
+        );
+        assert!(
+            Aig::from_aiger_ascii("aag 2 1 1 0 0\n2\n").is_err(),
+            "latches"
+        );
+        assert!(
+            Aig::from_aiger_ascii("aag 9 1 0 0 1\n2\n").is_err(),
+            "bad M"
+        );
         // and gate referencing undefined variable
         assert!(
             Aig::from_aiger_ascii("aag 2 1 0 1 1\n2\n4\n4 6 2\n").is_err(),

@@ -60,10 +60,8 @@ impl Aig {
                             .unwrap_or_else(|p| p);
                         items.insert(pos, (lvl, combined));
                     }
-                    map[n as usize] = items
-                        .pop()
-                        .map(|(_, l)| l)
-                        .unwrap_or(AigLit::TRUE); // empty product = true
+                    map[n as usize] = items.pop().map(|(_, l)| l).unwrap_or(AigLit::TRUE);
+                    // empty product = true
                 }
             }
         }
@@ -84,9 +82,7 @@ fn collect_supergate(
     leaves: &mut Vec<AigLit>,
 ) {
     let n = lit.node();
-    let expandable = aig.is_and(n)
-        && !lit.is_compl()
-        && (is_root || refs[n as usize] <= 1);
+    let expandable = aig.is_and(n) && !lit.is_compl() && (is_root || refs[n as usize] <= 1);
     if expandable {
         let (a, b) = aig.fanins(n);
         collect_supergate(aig, a, false, refs, leaves);
@@ -120,7 +116,11 @@ mod tests {
                     w
                 })
                 .collect();
-            let mask = if chunk == 64 { u64::MAX } else { (1u64 << chunk) - 1 };
+            let mask = if chunk == 64 {
+                u64::MAX
+            } else {
+                (1u64 << chunk) - 1
+            };
             for (x, y) in a.simulate(&words).iter().zip(b.simulate(&words)) {
                 assert_eq!(x & mask, y & mask);
             }
@@ -131,10 +131,8 @@ mod tests {
     #[test]
     fn balances_linear_and_chain() {
         // ((((a*b)*c)*d)*e)*f — depth 5 chain balances to depth 3.
-        let net = parse_eqn(
-            "INORDER = a b c d e f;\nOUTORDER = o;\no = ((((a*b)*c)*d)*e)*f;\n",
-        )
-        .unwrap();
+        let net =
+            parse_eqn("INORDER = a b c d e f;\nOUTORDER = o;\no = ((((a*b)*c)*d)*e)*f;\n").unwrap();
         let aig = Aig::from_network(&net);
         assert_eq!(aig.num_levels(), 5);
         let bal = aig.balance();
@@ -146,8 +144,7 @@ mod tests {
     #[test]
     fn balances_or_chains_via_demorgan() {
         // a + b + c + d parsed left-assoc: depth 3 → balanced depth 2.
-        let net =
-            parse_eqn("INORDER = a b c d;\nOUTORDER = o;\no = a + b + c + d;\n").unwrap();
+        let net = parse_eqn("INORDER = a b c d;\nOUTORDER = o;\no = a + b + c + d;\n").unwrap();
         let aig = Aig::from_network(&net);
         let bal = aig.balance();
         assert!(bal.num_levels() <= aig.num_levels());
@@ -158,10 +155,9 @@ mod tests {
     fn preserves_shared_nodes() {
         // shared = a*b feeds two outputs; balancing must not duplicate it
         // blindly (it stays a super-gate boundary because fanout > 1).
-        let net = parse_eqn(
-            "INORDER = a b c d;\nOUTORDER = f g;\nf = ((a*b)*c)*d;\ng = (a*b)*!c;\n",
-        )
-        .unwrap();
+        let net =
+            parse_eqn("INORDER = a b c d;\nOUTORDER = f g;\nf = ((a*b)*c)*d;\ng = (a*b)*!c;\n")
+                .unwrap();
         let aig = Aig::from_network(&net);
         let bal = aig.balance();
         assert_equiv(&aig, &bal);

@@ -167,7 +167,10 @@ impl ChoiceAig {
                 continue;
             }
             let (fa, fb) = aig.fanins(n);
-            let dn = [repr[fa.node() as usize].node(), repr[fb.node() as usize].node()];
+            let dn = [
+                repr[fa.node() as usize].node(),
+                repr[fb.node() as usize].node(),
+            ];
             loop {
                 let (canon, inverted) = canonical_signature(&signatures[n as usize]);
                 if canon.iter().all(|&w| w == 0) {
@@ -352,12 +355,8 @@ impl ChoiceAig {
                 }
                 for ca in &cuts[ra.node() as usize] {
                     for cb in &cuts[rb.node() as usize] {
-                        let mut leaves: Vec<u32> = ca
-                            .leaves
-                            .iter()
-                            .chain(cb.leaves.iter())
-                            .copied()
-                            .collect();
+                        let mut leaves: Vec<u32> =
+                            ca.leaves.iter().chain(cb.leaves.iter()).copied().collect();
                         leaves.sort_unstable();
                         leaves.dedup();
                         if leaves.len() > cfg.k {
@@ -430,12 +429,7 @@ fn reaches(deps: &[Vec<u32>], from: u32, target: u32) -> bool {
 }
 
 /// Topological order of classes, fanin classes first.
-fn topo_classes(
-    aig: &Aig,
-    repr: &[AigLit],
-    members: &[Vec<u32>],
-    deps: &[Vec<u32>],
-) -> Vec<u32> {
+fn topo_classes(aig: &Aig, repr: &[AigLit], members: &[Vec<u32>], deps: &[Vec<u32>]) -> Vec<u32> {
     let n = aig.len();
     let mut order = Vec::new();
     // 0 = unvisited, 1 = on stack, 2 = done
@@ -498,7 +492,11 @@ mod tests {
                     w
                 })
                 .collect();
-            let mask = if chunk == 64 { u64::MAX } else { (1u64 << chunk) - 1 };
+            let mask = if chunk == 64 {
+                u64::MAX
+            } else {
+                (1u64 << chunk) - 1
+            };
             let vals = aig.simulate_nodes(&words);
             for &r in choice.class_order() {
                 for &node in choice.members(r) {
@@ -545,7 +543,9 @@ mod tests {
         let choice = ChoiceAig::build(&base, 7);
         assert_eq!(choice.aig().num_pos(), base.num_pos());
         // Combined AIG computes the same outputs as the base.
-        let words: Vec<u64> = (0..4u64).map(|i| (i + 1).wrapping_mul(0xA5A5_5A5A_1234)).collect();
+        let words: Vec<u64> = (0..4u64)
+            .map(|i| (i + 1).wrapping_mul(0xA5A5_5A5A_1234))
+            .collect();
         assert_eq!(base.simulate(&words), choice.aig().simulate(&words));
     }
 
@@ -638,10 +638,8 @@ mod tests {
         // ((a*b) + !a + !b); its class is the constant class, which has no
         // cuts. The consuming class must still get usable cuts through
         // the surviving fanin (f reduces to x).
-        let net = parse_eqn(
-            "INORDER = x a b;\nOUTORDER = f;\nf = x * ((a*b) + (!a + !b));\n",
-        )
-        .unwrap();
+        let net =
+            parse_eqn("INORDER = x a b;\nOUTORDER = f;\nf = x * ((a*b) + (!a + !b));\n").unwrap();
         let aig = Aig::from_network(&net);
         let choice = ChoiceAig::build(&aig, 9);
         assert_classes_sound(&choice);
@@ -660,9 +658,8 @@ mod tests {
     #[test]
     fn from_variants_rejects_mismatched_interfaces() {
         let a = sample();
-        let other = Aig::from_network(
-            &parse_eqn("INORDER = x y;\nOUTORDER = f;\nf = x*y;\n").unwrap(),
-        );
+        let other =
+            Aig::from_network(&parse_eqn("INORDER = x y;\nOUTORDER = f;\nf = x*y;\n").unwrap());
         let err = ChoiceAig::from_variants(&[a, other], 1).unwrap_err();
         assert!(err.to_string().contains("primary inputs"));
         assert!(ChoiceAig::from_variants(&[], 1).is_err());

@@ -91,12 +91,8 @@ fn enumerate_cuts_impl(aig: &Aig, cfg: &CutConfig) -> Vec<Vec<Cut>> {
                     let mut seen: HashSet<Vec<u32>> = HashSet::new();
                     for ca in &cuts[a.node() as usize] {
                         for cb in &cuts[b.node() as usize] {
-                            let mut leaves: Vec<u32> = ca
-                                .leaves
-                                .iter()
-                                .chain(cb.leaves.iter())
-                                .copied()
-                                .collect();
+                            let mut leaves: Vec<u32> =
+                                ca.leaves.iter().chain(cb.leaves.iter()).copied().collect();
                             leaves.sort_unstable();
                             leaves.dedup();
                             if leaves.len() > cfg.k {
@@ -238,8 +234,7 @@ mod tests {
 
     fn sample_aig() -> Aig {
         // f = (a & b) | (c & d)
-        let net =
-            parse_eqn("INORDER = a b c d;\nOUTORDER = f;\nf = a*b + c*d;\n").unwrap();
+        let net = parse_eqn("INORDER = a b c d;\nOUTORDER = f;\nf = a*b + c*d;\n").unwrap();
         Aig::from_network(&net)
     }
 

@@ -20,11 +20,7 @@ const SIM_WORDS: usize = 8;
 /// Tseitin-encodes the live cone of `aig` into `solver`, one variable per
 /// live node (PIs always included). Shared by fraiging and choice-class
 /// detection.
-pub(crate) fn encode_live_cnf(
-    aig: &Aig,
-    solver: &mut Solver,
-    live: &[bool],
-) -> HashMap<u32, Var> {
+pub(crate) fn encode_live_cnf(aig: &Aig, solver: &mut Solver, live: &[bool]) -> HashMap<u32, Var> {
     let mut sat_var: HashMap<u32, Var> = HashMap::new();
     for n in 0..aig.len() as u32 {
         if !live[n as usize] && !matches!(aig.nodes[n as usize], NodeKind::Pi(_)) {
@@ -95,8 +91,7 @@ impl Aig {
                     let assume = if inverted { Lit::neg(vn) } else { Lit::pos(vn) };
                     if !solver.solve_with_assumptions(&[assume]) {
                         // n is constant (FALSE if not inverted).
-                        merge_with[n as usize] =
-                            Some(AigLit::FALSE.xor_compl(inverted));
+                        merge_with[n as usize] = Some(AigLit::FALSE.xor_compl(inverted));
                         break;
                     }
                     // counterexample distinguishes n from the constant
@@ -130,8 +125,7 @@ impl Aig {
                         let q2 = [Lit::neg(vn), Lit::with_sign(vr, compl)];
                         if !solver.solve_with_assumptions(&q1) {
                             if !solver.solve_with_assumptions(&q2) {
-                                merge_with[n as usize] =
-                                    Some(AigLit::new(r, compl));
+                                merge_with[n as usize] = Some(AigLit::new(r, compl));
                                 break;
                             }
                         }
@@ -164,9 +158,7 @@ impl Aig {
                         continue;
                     }
                     map[n as usize] = match merge_with[n as usize] {
-                        Some(target) => {
-                            map[target.node() as usize].xor_compl(target.is_compl())
-                        }
+                        Some(target) => map[target.node() as usize].xor_compl(target.is_compl()),
                         None => {
                             let fa = map[a.node() as usize].xor_compl(a.is_compl());
                             let fb = map[b.node() as usize].xor_compl(b.is_compl());
@@ -271,7 +263,11 @@ mod tests {
                     w
                 })
                 .collect();
-            let mask = if chunk == 64 { u64::MAX } else { (1u64 << chunk) - 1 };
+            let mask = if chunk == 64 {
+                u64::MAX
+            } else {
+                (1u64 << chunk) - 1
+            };
             for (x, y) in a.simulate(&words).iter().zip(b.simulate(&words)) {
                 assert_eq!(x & mask, y & mask);
             }
@@ -283,10 +279,8 @@ mod tests {
     fn merges_structurally_different_equal_nodes() {
         // f = a*(b+c), g = a*b + a*c: same function, different structure.
         // strash alone cannot merge them; fraig must.
-        let net = parse_eqn(
-            "INORDER = a b c;\nOUTORDER = f g;\nf = a*(b+c);\ng = a*b + a*c;\n",
-        )
-        .unwrap();
+        let net =
+            parse_eqn("INORDER = a b c;\nOUTORDER = f g;\nf = a*(b+c);\ng = a*b + a*c;\n").unwrap();
         let aig = Aig::from_network(&net);
         let fr = aig.fraig(7);
         assert_equiv(&aig, &fr);
@@ -300,10 +294,7 @@ mod tests {
     fn detects_constant_nodes() {
         // f = (a & b) & (!a) is constant false but written so strash
         // cannot see it locally through one AND.
-        let net = parse_eqn(
-            "INORDER = a b;\nOUTORDER = f;\nf = (a*b) * (!a + !b) ;\n",
-        )
-        .unwrap();
+        let net = parse_eqn("INORDER = a b;\nOUTORDER = f;\nf = (a*b) * (!a + !b) ;\n").unwrap();
         let aig = Aig::from_network(&net);
         let fr = aig.fraig(3);
         assert_eq!(fr.num_ands(), 0, "constant must be proven");
@@ -314,10 +305,7 @@ mod tests {
     fn detects_complement_equivalence() {
         // g = !(a*b) written as !a + !b: g should merge with f = a*b
         // (complemented).
-        let net = parse_eqn(
-            "INORDER = a b;\nOUTORDER = f g;\nf = a*b;\ng = !a + !b;\n",
-        )
-        .unwrap();
+        let net = parse_eqn("INORDER = a b;\nOUTORDER = f g;\nf = a*b;\ng = !a + !b;\n").unwrap();
         let aig = Aig::from_network(&net);
         let fr = aig.fraig(11);
         assert_equiv(&aig, &fr);

@@ -61,8 +61,7 @@ impl Aig {
                         continue;
                     }
                     let node_cuts: Vec<Cut> = match mode {
-                        ResynthMode::Cuts(_) => cuts.as_ref().expect("enumerated")
-                            [n as usize]
+                        ResynthMode::Cuts(_) => cuts.as_ref().expect("enumerated")[n as usize]
                             .iter()
                             .filter(|c| !c.is_unit(n))
                             .cloned()
@@ -77,11 +76,8 @@ impl Aig {
                     let mut best: Option<(isize, &Cut, FactorTree, bool)> = None;
                     for cut in &node_cuts {
                         let mffc = mffc_size(self, n, &cut.leaves, &mut refs) as isize;
-                        let leaf_lits: Vec<AigLit> = cut
-                            .leaves
-                            .iter()
-                            .map(|&l| map[l as usize])
-                            .collect();
+                        let leaf_lits: Vec<AigLit> =
+                            cut.leaves.iter().map(|&l| map[l as usize]).collect();
                         for (tree, compl) in candidate_trees(&cut.tt) {
                             let cost = dry_run_cost(&out, &tree, &leaf_lits) as isize;
                             let gain = mffc - cost;
@@ -97,11 +93,8 @@ impl Aig {
 
                     map[n as usize] = match best {
                         Some((_, cut, tree, compl)) => {
-                            let leaf_lits: Vec<AigLit> = cut
-                                .leaves
-                                .iter()
-                                .map(|&l| map[l as usize])
-                                .collect();
+                            let leaf_lits: Vec<AigLit> =
+                                cut.leaves.iter().map(|&l| map[l as usize]).collect();
                             let lit = build_tree_real(&mut out, &tree, &leaf_lits);
                             lit.xor_compl(compl)
                         }
@@ -348,7 +341,11 @@ mod tests {
                 .collect();
             let ra = a.simulate(&words);
             let rb = b.simulate(&words);
-            let mask = if chunk == 64 { u64::MAX } else { (1u64 << chunk) - 1 };
+            let mask = if chunk == 64 {
+                u64::MAX
+            } else {
+                (1u64 << chunk) - 1
+            };
             for (o, (x, y)) in ra.iter().zip(&rb).enumerate() {
                 assert_eq!(x & mask, y & mask, "output {o} differs at base {idx}");
             }
@@ -359,10 +356,7 @@ mod tests {
     #[test]
     fn rewrite_removes_redundant_logic() {
         // f = (a*b) + ((a*b)*c) == a*b : rewriting must shrink this.
-        let net = parse_eqn(
-            "INORDER = a b c;\nOUTORDER = f;\nf = (a*b) + ((a*b)*c);\n",
-        )
-        .unwrap();
+        let net = parse_eqn("INORDER = a b c;\nOUTORDER = f;\nf = (a*b) + ((a*b)*c);\n").unwrap();
         let aig = Aig::from_network(&net);
         let rewritten = aig.rewrite(false);
         assert!(rewritten.num_ands() < aig.num_ands());
@@ -408,10 +402,9 @@ mod tests {
 
     #[test]
     fn refactor_preserves_function() {
-        let net = parse_eqn(
-            "INORDER = a b c d e;\nOUTORDER = f;\nf = (a*b) + (a*c) + (a*d) + (a*e);\n",
-        )
-        .unwrap();
+        let net =
+            parse_eqn("INORDER = a b c d e;\nOUTORDER = f;\nf = (a*b) + (a*c) + (a*d) + (a*e);\n")
+                .unwrap();
         let aig = Aig::from_network(&net);
         let rf = aig.refactor(false, 8);
         assert_equiv(&aig, &rf);
@@ -451,10 +444,19 @@ mod tests {
         // candidate: (a & b) & c — a&b exists, the top AND does not.
         let tree = FactorTree::And(
             Box::new(FactorTree::And(
-                Box::new(FactorTree::Lit { var: 0, negated: false }),
-                Box::new(FactorTree::Lit { var: 1, negated: false }),
+                Box::new(FactorTree::Lit {
+                    var: 0,
+                    negated: false,
+                }),
+                Box::new(FactorTree::Lit {
+                    var: 1,
+                    negated: false,
+                }),
             )),
-            Box::new(FactorTree::Lit { var: 2, negated: false }),
+            Box::new(FactorTree::Lit {
+                var: 2,
+                negated: false,
+            }),
         );
         let cost = dry_run_cost(&out, &tree, &[a, b, c]);
         assert_eq!(cost, 1, "a&b is reused; only the top AND is new");
@@ -462,10 +464,7 @@ mod tests {
 
     #[test]
     fn rewrite_idempotent_after_convergence() {
-        let net = parse_eqn(
-            "INORDER = a b c;\nOUTORDER = f;\nf = (a*b) + ((a*b)*c);\n",
-        )
-        .unwrap();
+        let net = parse_eqn("INORDER = a b c;\nOUTORDER = f;\nf = (a*b) + ((a*b)*c);\n").unwrap();
         let one = Aig::from_network(&net).rewrite(false);
         let two = one.rewrite(false);
         assert_eq!(one.num_ands(), two.num_ands());

@@ -68,7 +68,11 @@ mod tests {
                     w
                 })
                 .collect();
-            let mask = if chunk == 64 { u64::MAX } else { (1u64 << chunk) - 1 };
+            let mask = if chunk == 64 {
+                u64::MAX
+            } else {
+                (1u64 << chunk) - 1
+            };
             for (x, y) in a.simulate(&words).iter().zip(b.simulate(&words)) {
                 assert_eq!(x & mask, y & mask);
             }

@@ -154,9 +154,7 @@ impl FactorTree {
         match self {
             FactorTree::Const(_) => 0,
             FactorTree::Lit { .. } => 1,
-            FactorTree::And(a, b) | FactorTree::Or(a, b) => {
-                a.num_leaves() + b.num_leaves()
-            }
+            FactorTree::And(a, b) | FactorTree::Or(a, b) => a.num_leaves() + b.num_leaves(),
         }
     }
 
@@ -252,7 +250,11 @@ fn factor_cubes(cubes: &[Cube]) -> FactorTree {
         let mut quotient = Vec::new();
         let mut remainder = Vec::new();
         for c in cubes {
-            let has = if neg { c.neg & bit != 0 } else { c.pos & bit != 0 };
+            let has = if neg {
+                c.neg & bit != 0
+            } else {
+                c.pos & bit != 0
+            };
             if has {
                 let mut q = *c;
                 if neg {
@@ -321,7 +323,11 @@ mod tests {
     use super::*;
 
     fn tt_of(num_vars: usize, f: impl Fn(usize) -> bool) -> TruthTable {
-        let nwords = if num_vars <= 6 { 1 } else { 1 << (num_vars - 6) };
+        let nwords = if num_vars <= 6 {
+            1
+        } else {
+            1 << (num_vars - 6)
+        };
         let mut words = vec![0u64; nwords];
         for idx in 0..(1usize << num_vars) {
             if f(idx) {
@@ -422,15 +428,14 @@ mod tests {
     #[test]
     fn factor_constants() {
         assert_eq!(factor_cubes(&[]), FactorTree::Const(false));
-        assert_eq!(
-            factor_cubes(&[Cube::tautology()]),
-            FactorTree::Const(true)
-        );
+        assert_eq!(factor_cubes(&[Cube::tautology()]), FactorTree::Const(true));
     }
 
     #[test]
     fn cube_api() {
-        let c = Cube::tautology().with_literal(0, false).with_literal(3, true);
+        let c = Cube::tautology()
+            .with_literal(0, false)
+            .with_literal(3, true);
         assert_eq!(c.num_literals(), 2);
         assert!(c.eval(0b0001));
         assert!(!c.eval(0b1001)); // var3 = 1 violates the negative literal

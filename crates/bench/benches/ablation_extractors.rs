@@ -19,8 +19,8 @@
 
 use esyn_bench::{bench_limits, hr, QorCache};
 use esyn_core::{
-    extract_pool_with, lang::network_to_recexpr, rules::all_rules, saturate, BoolLang,
-    Objective, PoolConfig, SaturationLimits,
+    extract_pool_with, lang::network_to_recexpr, rules::all_rules, saturate, BoolLang, Objective,
+    PoolConfig, SaturationLimits,
 };
 use esyn_egraph::{extract_exact, AstDepth, AstSize, DagExtractor, DagSize, Extractor, RecExpr};
 use esyn_techmap::Library;

@@ -11,8 +11,7 @@
 
 use esyn_bench::{bench_limits, hr, QorCache};
 use esyn_core::{
-    extract_pool, lang::network_to_recexpr, rules::all_rules, saturate, Objective,
-    PoolConfig,
+    extract_pool, lang::network_to_recexpr, rules::all_rules, saturate, Objective, PoolConfig,
 };
 use esyn_techmap::Library;
 
@@ -37,12 +36,12 @@ fn main() {
         let mut cache = QorCache::new();
 
         let variants: [(f64, (u32, u32)); 6] = [
-            (0.0, (1, 0)),  // only strategy (a): no sub-optimal exploration
-            (0.0, (1, 3)),  // paper ratio but p = 0 (b degenerates to a)
-            (0.2, (1, 3)),  // the paper's setting
-            (0.2, (0, 1)),  // only strategy (b)
-            (0.5, (1, 3)),  // aggressive exploration
-            (0.9, (1, 3)),  // near-random choices
+            (0.0, (1, 0)), // only strategy (a): no sub-optimal exploration
+            (0.0, (1, 3)), // paper ratio but p = 0 (b degenerates to a)
+            (0.2, (1, 3)), // the paper's setting
+            (0.2, (0, 1)), // only strategy (b)
+            (0.5, (1, 3)), // aggressive exploration
+            (0.9, (1, 3)), // near-random choices
         ];
         for (p, ratio) in variants {
             let cfg = PoolConfig {

@@ -7,11 +7,9 @@
 //! ```
 
 use esyn_bench::{bench_limits, hr, QorCache};
-use esyn_core::{
-    extract_pool, lang::network_to_recexpr, rules, saturate, Objective, PoolConfig,
-};
-use esyn_egraph::Rewrite;
 use esyn_core::BoolLang;
+use esyn_core::{extract_pool, lang::network_to_recexpr, rules, saturate, Objective, PoolConfig};
+use esyn_egraph::Rewrite;
 use esyn_techmap::Library;
 
 fn main() {

@@ -34,10 +34,7 @@ fn main() {
         for &n in &sizes {
             let pool = sat.pool(n, 0xF16_4);
             let qors = cache.measure(&pool, &names, &lib, Objective::Delay);
-            let best_delay = qors
-                .iter()
-                .map(|q| q.delay)
-                .fold(f64::INFINITY, f64::min);
+            let best_delay = qors.iter().map(|q| q.delay).fold(f64::INFINITY, f64::min);
             let best_area = qors.iter().map(|q| q.area).fold(f64::INFINITY, f64::min);
             println!(
                 "{:<8} {:>6} {:>10.2} {:>10.2} {:>8}",

@@ -12,9 +12,12 @@
 
 use esyn_bench::{bench_limits, geomean, hr, shared_models};
 use esyn_core::{
-    abc_baseline, flow::esyn_backend, lang::{network_to_recexpr, recexpr_to_network},
-    pool::extract_pool_with, rules::all_rules, saturate, CandidateCost, Features,
-    Objective, PoolConfig,
+    abc_baseline,
+    flow::esyn_backend,
+    lang::{network_to_recexpr, recexpr_to_network},
+    pool::extract_pool_with,
+    rules::all_rules,
+    saturate, CandidateCost, Features, Objective, PoolConfig,
 };
 use esyn_egraph::{AstDepth, AstSize, Extractor};
 use esyn_techmap::Library;
@@ -24,8 +27,8 @@ fn main() {
     let models = shared_models(&lib);
     // Figure 5's x-axis circuit order.
     let order = [
-        "5_5", "cavlc", "C432", "3_3", "qdiv", "adder", "b12", "c7552", "C5315",
-        "i7", "max", "frg2", "c2670", "bar",
+        "5_5", "cavlc", "C432", "3_3", "qdiv", "adder", "b12", "c7552", "C5315", "i7", "max",
+        "frg2", "c2670", "bar",
     ];
     let benches = esyn_circuits::table2_benchmarks();
 
@@ -49,8 +52,7 @@ fn main() {
             .find(|b| b.name == name)
             .expect("figure 5 circuit exists");
         eprintln!("[fig5] {name}...");
-        let names: Vec<String> =
-            b.network.outputs().iter().map(|(n, _)| n.clone()).collect();
+        let names: Vec<String> = b.network.outputs().iter().map(|(n, _)| n.clone()).collect();
 
         // Baseline ABC flow.
         let abc_d = abc_baseline(&b.network, &lib, Objective::Delay, None);
@@ -68,10 +70,20 @@ fn main() {
         let (_, size_best) = Extractor::new(&runner.egraph, AstSize)
             .find_best(root)
             .expect("extractable");
-        let van_d =
-            esyn_backend(&recexpr_to_network(&depth_best, &names), &lib, Objective::Delay, None).1;
-        let van_a =
-            esyn_backend(&recexpr_to_network(&size_best, &names), &lib, Objective::Area, None).1;
+        let van_d = esyn_backend(
+            &recexpr_to_network(&depth_best, &names),
+            &lib,
+            Objective::Delay,
+            None,
+        )
+        .1;
+        let van_a = esyn_backend(
+            &recexpr_to_network(&size_best, &names),
+            &lib,
+            Objective::Area,
+            None,
+        )
+        .1;
 
         // Pool extraction with the regression models.
         let pool = extract_pool_with(

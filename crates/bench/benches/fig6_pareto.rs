@@ -48,8 +48,16 @@ fn main() {
 
         let abc_front = pareto_front(&abc_points);
         let esyn_front = pareto_front(&esyn_points);
-        println!("abc-frontier  ({} points): {:?}", abc_front.len(), abc_front);
-        println!("esyn-frontier ({} points): {:?}", esyn_front.len(), esyn_front);
+        println!(
+            "abc-frontier  ({} points): {:?}",
+            abc_front.len(),
+            abc_front
+        );
+        println!(
+            "esyn-frontier ({} points): {:?}",
+            esyn_front.len(),
+            esyn_front
+        );
 
         let spread = |pts: &[(f64, f64)]| {
             let dmin = pts.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);

@@ -1,16 +1,19 @@
-//! Criterion micro-benchmarks of the substrate crates: e-graph
+//! Micro-benchmarks of the substrate crates: e-graph
 //! saturation/matching/extraction, AIG passes, cut enumeration,
 //! technology mapping, SAT solving and parser round-trips.
+//!
+//! Runs on the in-repo criterion-compatible harness
+//! (`esyn_bench::harness`); set `ESYN_BENCH_FAST=1` for a smoke run.
 //!
 //! ```text
 //! cargo bench -p esyn-bench --bench micro
 //! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use esyn_aig::{Aig, ChoiceAig, CutConfig};
+use esyn_bench::{criterion_group, criterion_main, Criterion};
 use esyn_core::{
-    extract_pool, lang::network_to_recexpr, rules::all_rules, saturate, ConstFold,
-    PoolConfig, SaturationLimits,
+    extract_pool, lang::network_to_recexpr, rules::all_rules, saturate, ConstFold, PoolConfig,
+    SaturationLimits,
 };
 use esyn_egraph::{AstSize, DagExtractor, DagSize, Extractor, Pattern, Runner};
 use esyn_eqn::{parse_blif, parse_eqn, write_blif};

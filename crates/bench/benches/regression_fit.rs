@@ -41,7 +41,13 @@ fn main() {
         &lib,
     );
     let names = [
-        "num_and", "num_or", "num_not", "num_nodes", "depth", "density", "edge_sum",
+        "num_and",
+        "num_or",
+        "num_not",
+        "num_nodes",
+        "depth",
+        "density",
+        "edge_sum",
     ];
     assert_eq!(names.len(), Features::LEN);
     println!("feature importances at 120 circuits:");

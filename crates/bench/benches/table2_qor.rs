@@ -10,9 +10,7 @@
 //! ```
 
 use esyn_bench::{bench_limits, geomean, hr, shared_models};
-use esyn_core::{
-    abc_baseline, esyn_optimize, EsynConfig, Objective, PoolConfig,
-};
+use esyn_core::{abc_baseline, esyn_optimize, EsynConfig, Objective, PoolConfig};
 use esyn_techmap::{Library, QorReport};
 
 fn main() {

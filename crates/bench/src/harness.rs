@@ -1,0 +1,199 @@
+//! A minimal, dependency-free stand-in for the parts of `criterion` the
+//! micro-bench uses: [`Criterion`] with `bench_function`, plus
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: warm up for `warm_up_time`, size each sample so the
+//! whole run fits in roughly `measurement_time`, then report the min /
+//! median / max nanoseconds per iteration over `sample_size` samples.
+//!
+//! Set `ESYN_BENCH_FAST=1` to collapse every benchmark to a single
+//! iteration — used by CI to smoke-run bench binaries without paying
+//! measurement time.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver configuration and result sink (criterion-compatible
+/// subset).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time run before measurement starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    fn fast_mode() -> bool {
+        std::env::var_os("ESYN_BENCH_FAST").is_some_and(|v| v != "0" && !v.is_empty())
+    }
+
+    /// Runs one named benchmark; `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] exactly once with the workload.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            cfg: if Self::fast_mode() {
+                Criterion {
+                    sample_size: 1,
+                    measurement_time: Duration::ZERO,
+                    warm_up_time: Duration::ZERO,
+                }
+            } else {
+                self.clone()
+            },
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            Some(r) => println!(
+                "{name:<40} {:>12} ns/iter  (min {}, max {}; {} samples x {} iters)",
+                fmt_ns(r.median_ns),
+                fmt_ns(r.min_ns),
+                fmt_ns(r.max_ns),
+                r.samples,
+                r.iters_per_sample,
+            ),
+            None => println!("{name:<40} <no measurement: Bencher::iter never called>"),
+        }
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+struct Report {
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// Times a single workload closure; handed to `bench_function` callbacks.
+pub struct Bencher {
+    cfg: Criterion,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Measures `f`, recording per-iteration wall time.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Warm-up, which doubles as the per-iteration cost estimate.
+        let warm_start = Instant::now();
+        std::hint::black_box(f());
+        let mut warm_iters = 1u32;
+        while warm_start.elapsed() < self.cfg.warm_up_time {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / f64::from(warm_iters);
+
+        let samples = self.cfg.sample_size;
+        let target_sample_secs = self.cfg.measurement_time.as_secs_f64() / samples as f64;
+        let iters_per_sample = if per_iter > 0.0 {
+            ((target_sample_secs / per_iter) as u64).clamp(1, 1_000_000)
+        } else {
+            1
+        };
+
+        let mut ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            ns.push(t0.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+        ns.sort_by(|a, b| a.total_cmp(b));
+        self.report = Some(Report {
+            median_ns: ns[ns.len() / 2],
+            min_ns: ns[0],
+            max_ns: ns[ns.len() - 1],
+            samples,
+            iters_per_sample,
+        });
+    }
+}
+
+/// Declares a bench group function (criterion-compatible named form):
+/// builds the configured [`Criterion`] and runs each target with it.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `fn main` running the given bench groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_runs_workload() {
+        std::env::set_var("ESYN_BENCH_FAST", "1");
+        let mut hits = 0u64;
+        Criterion::default().bench_function("harness/self-test", |b| {
+            b.iter(|| {
+                hits += 1;
+                hits
+            })
+        });
+        assert!(hits > 0, "workload closure never ran");
+    }
+}

@@ -8,10 +8,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod harness;
+pub use harness::{Bencher, Criterion};
+
 use esyn_core::{
-    extract_pool_with, lang::network_to_recexpr, rules::all_rules, saturate,
-    train_cost_models, BoolLang, CostModels, Objective, PoolConfig, SaturationLimits,
-    TrainConfig,
+    extract_pool_with, lang::network_to_recexpr, rules::all_rules, saturate, train_cost_models,
+    BoolLang, CostModels, Objective, PoolConfig, SaturationLimits, TrainConfig,
 };
 use esyn_egraph::RecExpr;
 use esyn_eqn::Network;
@@ -129,8 +131,7 @@ impl QorCache {
             .cloned()
             .collect();
         if !missing.is_empty() {
-            let qors =
-                esyn_core::flow::measure_pool(&missing, names, lib, objective, None);
+            let qors = esyn_core::flow::measure_pool(&missing, names, lib, objective, None);
             for (cand, q) in missing.into_iter().zip(qors) {
                 self.map.insert(cand, q);
             }
@@ -169,8 +170,7 @@ mod tests {
     #[test]
     fn qor_cache_dedups() {
         let lib = Library::asap7_like();
-        let net =
-            esyn_eqn::parse_eqn("INORDER = a b;\nOUTORDER = f;\nf = a*b;\n").unwrap();
+        let net = esyn_eqn::parse_eqn("INORDER = a b;\nOUTORDER = f;\nf = a*b;\n").unwrap();
         let (pool, names) = saturate_and_pool(&net, 4, 1);
         let mut cache = QorCache::new();
         let q1 = cache.measure(&pool, &names, &lib, Objective::Delay);

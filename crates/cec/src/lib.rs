@@ -235,10 +235,7 @@ mod tests {
             "INORDER = {inputs};\nOUTORDER = o;\no = {all_and};\n"
         ))
         .unwrap();
-        let y = parse_eqn(&format!(
-            "INORDER = {inputs};\nOUTORDER = o;\no = 0;\n"
-        ))
-        .unwrap();
+        let y = parse_eqn(&format!("INORDER = {inputs};\nOUTORDER = o;\no = 0;\n")).unwrap();
         match check_equivalence(&x, &y) {
             EquivResult::NotEquivalent { counterexample, .. } => {
                 assert!(counterexample.iter().all(|&v| v), "only all-ones differs");

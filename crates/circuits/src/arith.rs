@@ -148,12 +148,7 @@ pub fn restoring_divider(bits: usize) -> Network {
 }
 
 /// One-bit full adder; returns (sum, carry).
-pub(crate) fn full_adder(
-    net: &mut Network,
-    a: NodeId,
-    b: NodeId,
-    cin: NodeId,
-) -> (NodeId, NodeId) {
+pub(crate) fn full_adder(net: &mut Network, a: NodeId, b: NodeId, cin: NodeId) -> (NodeId, NodeId) {
     let axb = net.xor(a, b);
     let s = net.xor(axb, cin);
     let g = net.and(a, b);
@@ -163,12 +158,7 @@ pub(crate) fn full_adder(
 }
 
 /// One-bit full subtractor computing `a - b - bin`; returns (diff, borrow).
-fn full_subtractor(
-    net: &mut Network,
-    a: NodeId,
-    b: NodeId,
-    bin: NodeId,
-) -> (NodeId, NodeId) {
+fn full_subtractor(net: &mut Network, a: NodeId, b: NodeId, bin: NodeId) -> (NodeId, NodeId) {
     let axb = net.xor(a, b);
     let d = net.xor(axb, bin);
     let na = net.not(a);
@@ -184,13 +174,7 @@ mod tests {
     use super::*;
     use crate::buses::{read_bus_response, stimulus_for};
 
-    fn drive_two_buses(
-        net: &Network,
-        wa: usize,
-        wb: usize,
-        av: &[u64],
-        bv: &[u64],
-    ) -> Vec<u64> {
+    fn drive_two_buses(net: &Network, wa: usize, wb: usize, av: &[u64], bv: &[u64]) -> Vec<u64> {
         let mut words = stimulus_for(wa, av);
         words.extend(stimulus_for(wb, bv));
         net.simulate(&words)

@@ -31,9 +31,7 @@ mod control;
 mod rand_logic;
 mod registry;
 
-pub use arith::{
-    array_multiplier, carry_lookahead_adder, restoring_divider, ripple_adder,
-};
+pub use arith::{array_multiplier, carry_lookahead_adder, restoring_divider, ripple_adder};
 pub use buses::{input_bus, output_bus, read_bus_response, stimulus_for};
 pub use control::{alu, barrel_shifter, max_unit, parity_tree, priority_encoder};
 pub use rand_logic::random_control;

@@ -198,8 +198,8 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "adder", "bar", "max", "cavlc", "3_3", "5_5", "qdiv", "C5315", "i7",
-                "c7552", "c2670", "frg2", "C432", "b12"
+                "adder", "bar", "max", "cavlc", "3_3", "5_5", "qdiv", "C5315", "i7", "c7552",
+                "c2670", "frg2", "C432", "b12"
             ]
         );
     }

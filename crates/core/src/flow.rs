@@ -271,12 +271,7 @@ pub fn esyn_backend_choices(
                 esyn_techmap::map_choices_and_size(&choice, lib, MapMode::Delay, target_delay);
             balanced_recovery(nl, q, lib)
         }
-        _ => esyn_techmap::map_choices_and_size(
-            &choice,
-            lib,
-            objective.map_mode(),
-            target_delay,
-        ),
+        _ => esyn_techmap::map_choices_and_size(&choice, lib, objective.map_mode(), target_delay),
     }
 }
 
@@ -336,10 +331,7 @@ pub fn abc_baseline_choices(
                 esyn_techmap::map_choices_and_size(&choice, lib, MapMode::Delay, target_delay);
             balanced_recovery(nl, q, lib).1
         }
-        _ => {
-            esyn_techmap::map_choices_and_size(&choice, lib, objective.map_mode(), target_delay)
-                .1
-        }
+        _ => esyn_techmap::map_choices_and_size(&choice, lib, objective.map_mode(), target_delay).1,
     }
 }
 
@@ -398,9 +390,7 @@ mod tests {
 
     fn models() -> &'static CostModels {
         static MODELS: OnceLock<CostModels> = OnceLock::new();
-        MODELS.get_or_init(|| {
-            train_cost_models(&TrainConfig::tiny(), &Library::asap7_like())
-        })
+        MODELS.get_or_init(|| train_cost_models(&TrainConfig::tiny(), &Library::asap7_like()))
     }
 
     fn sample_net() -> Network {
@@ -504,8 +494,12 @@ mod tests {
         let net = sample_net();
         let expr = network_to_recexpr(&net);
         let runner = saturate(&expr, &all_rules(), &SaturationLimits::small());
-        let pool =
-            extract_pool_with(&runner.egraph, runner.roots[0], Some(&expr), &PoolConfig::small(3));
+        let pool = extract_pool_with(
+            &runner.egraph,
+            runner.roots[0],
+            Some(&expr),
+            &PoolConfig::small(3),
+        );
         let names: Vec<String> = net.outputs().iter().map(|(n, _)| n.clone()).collect();
         let qors = measure_pool(&pool, &names, &lib, Objective::Delay, None);
         assert_eq!(qors.len(), pool.len());

@@ -149,7 +149,10 @@ impl Language for BoolLang {
             if children.len() == n {
                 Ok(())
             } else {
-                Err(format!("`{op}` expects {n} children, got {}", children.len()))
+                Err(format!(
+                    "`{op}` expects {n} children, got {}",
+                    children.len()
+                ))
             }
         };
         match op {
@@ -306,10 +309,9 @@ mod tests {
 
     #[test]
     fn network_roundtrip_preserves_function() {
-        let net = parse_eqn(
-            "INORDER = a b c;\nOUTORDER = f g;\nf = (a*b) + !c;\ng = !(a + b*c);\n",
-        )
-        .unwrap();
+        let net =
+            parse_eqn("INORDER = a b c;\nOUTORDER = f g;\nf = (a*b) + !c;\ng = !(a + b*c);\n")
+                .unwrap();
         let expr = network_to_recexpr(&net);
         let names: Vec<String> = net.outputs().iter().map(|(n, _)| n.clone()).collect();
         let back = recexpr_to_network(&expr, &names);
@@ -336,10 +338,7 @@ mod tests {
     #[test]
     fn sharing_is_preserved_in_conversion() {
         // (a*b) feeds two outputs: the term must reference it once.
-        let net = parse_eqn(
-            "INORDER = a b;\nOUTORDER = f g;\nf = (a*b);\ng = !(a*b);\n",
-        )
-        .unwrap();
+        let net = parse_eqn("INORDER = a b;\nOUTORDER = f g;\nf = (a*b);\ng = !(a*b);\n").unwrap();
         let expr = network_to_recexpr(&net);
         // nodes: a, b, and, not, outs = 5 (no duplicate AND)
         assert_eq!(expr.len(), 5);

@@ -190,9 +190,7 @@ impl LocalCost {
                     .map(|&c| child_cost(c))
                     .fold(0.0, f64::max)
             }
-            LocalCost::Size => {
-                1.0 + node.children().iter().map(|&c| child_cost(c)).sum::<f64>()
-            }
+            LocalCost::Size => 1.0 + node.children().iter().map(|&c| child_cost(c)).sum::<f64>(),
             LocalCost::WeightedOps => {
                 let w = WeightedOpsCost::default();
                 let own = match node {
@@ -226,8 +224,7 @@ impl SampleIndex {
             .enumerate()
             .map(|(i, &id)| (id, i))
             .collect();
-        let mut enodes: Vec<Vec<(BoolLang, Vec<usize>)>> =
-            Vec::with_capacity(class_ids.len());
+        let mut enodes: Vec<Vec<(BoolLang, Vec<usize>)>> = Vec::with_capacity(class_ids.len());
         for &cid in &class_ids {
             let class = egraph.class(cid);
             let list = class
@@ -403,8 +400,7 @@ mod tests {
 
     #[test]
     fn pool_contains_extremes_and_samples() {
-        let runner =
-            saturated_runner("INORDER = a b c;\nOUTORDER = f;\nf = (a*b) + (a*c);\n");
+        let runner = saturated_runner("INORDER = a b c;\nOUTORDER = f;\nf = (a*b) + (a*c);\n");
         let pool = extract_pool(
             &runner.egraph,
             runner.roots[0],
@@ -426,8 +422,7 @@ mod tests {
             runner.roots[0],
             &PoolConfig::with_samples(30, 11),
         );
-        let names: Vec<String> =
-            original.outputs().iter().map(|(n, _)| n.clone()).collect();
+        let names: Vec<String> = original.outputs().iter().map(|(n, _)| n.clone()).collect();
         for (i, cand) in pool.iter().enumerate() {
             let net = recexpr_to_network(cand, &names);
             assert_eq!(
@@ -442,18 +437,33 @@ mod tests {
     fn sampling_is_deterministic_in_seed() {
         let src = "INORDER = a b c;\nOUTORDER = f;\nf = (a + b) * (a + c);\n";
         let runner = saturated_runner(src);
-        let p1 = extract_pool(&runner.egraph, runner.roots[0], &PoolConfig::with_samples(20, 5));
-        let p2 = extract_pool(&runner.egraph, runner.roots[0], &PoolConfig::with_samples(20, 5));
+        let p1 = extract_pool(
+            &runner.egraph,
+            runner.roots[0],
+            &PoolConfig::with_samples(20, 5),
+        );
+        let p2 = extract_pool(
+            &runner.egraph,
+            runner.roots[0],
+            &PoolConfig::with_samples(20, 5),
+        );
         assert_eq!(p1, p2);
     }
 
     #[test]
     fn different_seeds_reach_different_pools() {
-        let src =
-            "INORDER = a b c d;\nOUTORDER = f;\nf = (a*b) + (c*d) + (a*c) + (b*d);\n";
+        let src = "INORDER = a b c d;\nOUTORDER = f;\nf = (a*b) + (c*d) + (a*c) + (b*d);\n";
         let runner = saturated_runner(src);
-        let p1 = extract_pool(&runner.egraph, runner.roots[0], &PoolConfig::with_samples(25, 1));
-        let p2 = extract_pool(&runner.egraph, runner.roots[0], &PoolConfig::with_samples(25, 2));
+        let p1 = extract_pool(
+            &runner.egraph,
+            runner.roots[0],
+            &PoolConfig::with_samples(25, 1),
+        );
+        let p2 = extract_pool(
+            &runner.egraph,
+            runner.roots[0],
+            &PoolConfig::with_samples(25, 2),
+        );
         // The deterministic extremes agree; the sampled tails should differ
         // for a circuit with this many equivalent forms.
         assert_ne!(p1, p2, "distinct seeds should explore different forms");
@@ -463,9 +473,16 @@ mod tests {
     fn bigger_pools_find_no_fewer_forms() {
         let src = "INORDER = a b c;\nOUTORDER = f;\nf = (a*b) + (a*c);\n";
         let runner = saturated_runner(src);
-        let small = extract_pool(&runner.egraph, runner.roots[0], &PoolConfig::with_samples(5, 9));
-        let large =
-            extract_pool(&runner.egraph, runner.roots[0], &PoolConfig::with_samples(80, 9));
+        let small = extract_pool(
+            &runner.egraph,
+            runner.roots[0],
+            &PoolConfig::with_samples(5, 9),
+        );
+        let large = extract_pool(
+            &runner.egraph,
+            runner.roots[0],
+            &PoolConfig::with_samples(80, 9),
+        );
         assert!(large.len() >= small.len());
     }
 
@@ -480,8 +497,7 @@ mod tests {
             ..PoolConfig::with_samples(10, 7)
         };
         let pool = extract_pool(&runner.egraph, runner.roots[0], &cfg);
-        let names: Vec<String> =
-            original.outputs().iter().map(|(n, _)| n.clone()).collect();
+        let names: Vec<String> = original.outputs().iter().map(|(n, _)| n.clone()).collect();
         for cand in &pool {
             let net = recexpr_to_network(cand, &names);
             assert_eq!(check_equivalence(&original, &net), EquivResult::Equivalent);

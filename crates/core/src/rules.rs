@@ -126,9 +126,7 @@ pub fn rules_for(classes: &[RuleClass]) -> Vec<Rewrite<BoolLang>> {
     classes
         .iter()
         .flat_map(|&c| specs(c).iter())
-        .map(|(name, lhs, rhs)| {
-            Rewrite::parse(name, lhs, rhs).expect("built-in rule must parse")
-        })
+        .map(|(name, lhs, rhs)| Rewrite::parse(name, lhs, rhs).expect("built-in rule must parse"))
         .collect()
 }
 
@@ -219,14 +217,8 @@ mod tests {
     fn rules_parse_as_patterns() {
         for &class in &ALL_CLASSES {
             for (name, lhs, rhs) in specs(class) {
-                assert!(
-                    Pattern::<BoolLang>::parse(lhs).is_ok(),
-                    "{name} lhs parses"
-                );
-                assert!(
-                    Pattern::<BoolLang>::parse(rhs).is_ok(),
-                    "{name} rhs parses"
-                );
+                assert!(Pattern::<BoolLang>::parse(lhs).is_ok(), "{name} lhs parses");
+                assert!(Pattern::<BoolLang>::parse(rhs).is_ok(), "{name} rhs parses");
             }
         }
     }

@@ -100,14 +100,11 @@ impl CostModels {
     /// Loads models previously written by [`CostModels::save`]; `None` when
     /// absent or malformed.
     pub fn load(dir: &Path) -> Option<CostModels> {
-        let delay = GbdtRegressor::from_text(
-            &std::fs::read_to_string(dir.join("delay.model")).ok()?,
-        )
-        .ok()?;
-        let area = GbdtRegressor::from_text(
-            &std::fs::read_to_string(dir.join("area.model")).ok()?,
-        )
-        .ok()?;
+        let delay =
+            GbdtRegressor::from_text(&std::fs::read_to_string(dir.join("delay.model")).ok()?)
+                .ok()?;
+        let area = GbdtRegressor::from_text(&std::fs::read_to_string(dir.join("area.model")).ok()?)
+            .ok()?;
         let metrics = std::fs::read_to_string(dir.join("metrics.txt")).ok()?;
         let mut r_delay = f64::NAN;
         let mut r_area = f64::NAN;
@@ -202,7 +199,9 @@ fn generate_corpus(cfg: &TrainConfig, lib: &Library) -> Vec<(Vec<f64>, f64, f64)
 /// sheer volume; this smaller corpus injects it explicitly.
 fn generate_rows(cfg: &TrainConfig, lib: &Library, idx: u64) -> Vec<(Vec<f64>, f64, f64)> {
     // Derive per-circuit shape deterministically from the index.
-    let mix = idx.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(cfg.seed);
+    let mix = idx
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(cfg.seed);
     let span = |lo: usize, hi: usize, salt: u64| -> usize {
         lo + (mix.rotate_left(salt as u32) as usize) % (hi - lo + 1)
     };
@@ -322,7 +321,11 @@ mod tests {
         };
         let a = generate_corpus(&cfg, &lib);
         let b = generate_corpus(&cfg, &lib);
-        assert!(a.len() >= 8 * 5, "several variants per circuit: {}", a.len());
+        assert!(
+            a.len() >= 8 * 5,
+            "several variants per circuit: {}",
+            a.len()
+        );
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.0, y.0);
             assert_eq!(x.1, y.1);

@@ -119,9 +119,10 @@ impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> Extractor<'a, L, N, C
         }
         let egraph = self.egraph;
         let costs = &self.costs;
-        Some(self.cost_fn.cost(node, |id| {
-            costs[&egraph.find(id)].0.clone()
-        }))
+        Some(
+            self.cost_fn
+                .cost(node, |id| costs[&egraph.find(id)].0.clone()),
+        )
     }
 
     /// The cheapest cost of e-class `id`, if one has been found.

@@ -185,11 +185,7 @@ impl<L: Language> fmt::Display for RecExpr<L> {
         if self.nodes.is_empty() {
             return write!(f, "()");
         }
-        fn go<L: Language>(
-            nodes: &[L],
-            id: Id,
-            f: &mut fmt::Formatter<'_>,
-        ) -> fmt::Result {
+        fn go<L: Language>(nodes: &[L], id: Id, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             let node = &nodes[usize::from(id)];
             if node.is_leaf() {
                 write!(f, "{}", node.op_str())

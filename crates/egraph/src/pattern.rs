@@ -191,11 +191,7 @@ impl<L: Language> Pattern<L> {
 
     /// All distinct substitutions under which this pattern matches e-class
     /// `class`.
-    pub fn search_class<N: Analysis<L>>(
-        &self,
-        egraph: &EGraph<L, N>,
-        class: Id,
-    ) -> Vec<Subst> {
+    pub fn search_class<N: Analysis<L>>(&self, egraph: &EGraph<L, N>, class: Id) -> Vec<Subst> {
         let mut results = self.match_idx(egraph, self.root(), class, Subst::default());
         for s in &mut results {
             *s = std::mem::take(s).normalized();
@@ -235,17 +231,10 @@ impl<L: Language> Pattern<L> {
                         continue;
                     }
                     let mut partial = vec![subst.clone()];
-                    for (&pchild, &echild) in
-                        pnode.children().iter().zip(enode.children())
-                    {
+                    for (&pchild, &echild) in pnode.children().iter().zip(enode.children()) {
                         let mut next = Vec::new();
                         for s in partial {
-                            next.extend(self.match_idx(
-                                egraph,
-                                usize::from(pchild),
-                                echild,
-                                s,
-                            ));
+                            next.extend(self.match_idx(egraph, usize::from(pchild), echild, s));
                         }
                         partial = next;
                         if partial.is_empty() {
@@ -266,11 +255,7 @@ impl<L: Language> Pattern<L> {
     ///
     /// Panics if a pattern variable is unbound in `subst` (rewrite
     /// construction guarantees this cannot happen for right-hand sides).
-    pub fn instantiate<N: Analysis<L>>(
-        &self,
-        egraph: &mut EGraph<L, N>,
-        subst: &Subst,
-    ) -> Id {
+    pub fn instantiate<N: Analysis<L>>(&self, egraph: &mut EGraph<L, N>, subst: &Subst) -> Id {
         let mut ids: Vec<Id> = Vec::with_capacity(self.nodes.len());
         for node in &self.nodes {
             let id = match node {
@@ -334,10 +319,7 @@ mod tests {
     fn parse_and_display() {
         let p = Pattern::<SymbolLang>::parse("(* ?a (+ ?b c))").unwrap();
         assert_eq!(p.to_string(), "(* ?a (+ ?b c))");
-        assert_eq!(
-            p.vars(),
-            vec![Var("a".to_owned()), Var("b".to_owned())]
-        );
+        assert_eq!(p.vars(), vec![Var("a".to_owned()), Var("b".to_owned())]);
     }
 
     #[test]
@@ -354,7 +336,10 @@ mod tests {
         let substs = p.search_class(&g, ids[0]);
         assert_eq!(substs.len(), 1);
         let s = &substs[0];
-        assert_eq!(g.find(s.get(&Var("a".into())).unwrap()), g.find(g.lookup(&SymbolLang::leaf("x")).unwrap()));
+        assert_eq!(
+            g.find(s.get(&Var("a".into())).unwrap()),
+            g.find(g.lookup(&SymbolLang::leaf("x")).unwrap())
+        );
     }
 
     #[test]

@@ -304,11 +304,7 @@ impl Network {
         for id in self.topo_order() {
             let node = self.nodes[id.index()];
             if !node.is_leaf() {
-                depth[id.index()] = 1 + node
-                    .fanins()
-                    .map(|f| depth[f.index()])
-                    .max()
-                    .unwrap_or(0);
+                depth[id.index()] = 1 + node.fanins().map(|f| depth[f.index()]).max().unwrap_or(0);
             }
         }
         depth
@@ -489,8 +485,7 @@ mod tests {
         let y = net.not(x);
         net.output("y", y);
         let order = net.topo_order();
-        let pos =
-            |id: NodeId| order.iter().position(|&o| o == id).expect("node in order");
+        let pos = |id: NodeId| order.iter().position(|&o| o == id).expect("node in order");
         assert!(pos(a) < pos(x));
         assert!(pos(b) < pos(x));
         assert!(pos(x) < pos(y));

@@ -1,6 +1,5 @@
 //! Node and node-id types for the hash-consed Boolean DAG.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a node inside a [`crate::Network`] arena.
@@ -9,7 +8,7 @@ use std::fmt;
 /// network that issued them. The `u32` representation keeps node footprints
 /// small; practical circuits in this workspace stay far below `u32::MAX`
 /// nodes.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub(crate) u32);
 
 impl NodeId {
@@ -45,7 +44,7 @@ impl fmt::Display for NodeId {
 /// `Input` nodes carry an index into the network's ordered primary-input
 /// list rather than a name, so nodes stay `Copy` and hash-consing stays
 /// cheap.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Node {
     /// Boolean constant `false` / `true`.
     Const(bool),

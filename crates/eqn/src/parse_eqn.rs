@@ -423,19 +423,16 @@ mod tests {
 
     #[test]
     fn intermediate_wires() {
-        let net = parse_eqn(
-            "INORDER = a b;\nOUTORDER = f;\nw1 = a * b;\nw2 = !w1;\nf = w2 + a;\n",
-        )
-        .unwrap();
+        let net = parse_eqn("INORDER = a b;\nOUTORDER = f;\nw1 = a * b;\nw2 = !w1;\nf = w2 + a;\n")
+            .unwrap();
         assert_eq!(net.num_outputs(), 1);
     }
 
     #[test]
     fn comments_and_synonym_operators() {
-        let net = parse_eqn(
-            "# a comment\nINORDER = a b; # trailing\nOUTORDER = f;\nf = a & b | !a;\n",
-        )
-        .unwrap();
+        let net =
+            parse_eqn("# a comment\nINORDER = a b; # trailing\nOUTORDER = f;\nf = a & b | !a;\n")
+                .unwrap();
         assert_eq!(net.num_inputs(), 2);
     }
 

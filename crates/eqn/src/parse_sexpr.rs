@@ -244,11 +244,7 @@ fn parse_expr_inner(toks: &mut Vec<Token>, depth: usize) -> Result<SExpr, ParseE
                 }
                 "!" | "~" | "NOT" | "not" => {
                     if args.len() != 1 {
-                        return Err(ParseError::new(
-                            hline,
-                            hcol,
-                            "`!` needs exactly 1 argument",
-                        ));
+                        return Err(ParseError::new(hline, hcol, "`!` needs exactly 1 argument"));
                     }
                     Ok(SExpr::Not(Box::new(args.into_iter().next().unwrap())))
                 }

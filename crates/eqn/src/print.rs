@@ -137,7 +137,13 @@ impl Network {
     pub fn to_verilog(&self, name: &str) -> String {
         let sanitize = |s: &str| {
             s.chars()
-                .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+                .map(|c| {
+                    if c.is_alphanumeric() || c == '_' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
                 .collect::<String>()
         };
         let mut text = String::new();
@@ -230,7 +236,10 @@ mod tests {
         net.output("x", x);
         net.output("y", y);
         let text = net.to_eqn();
-        assert!(text.contains("new_n"), "shared node should get a wire:\n{text}");
+        assert!(
+            text.contains("new_n"),
+            "shared node should get a wire:\n{text}"
+        );
         let reparsed = parse_eqn(&text).unwrap();
         assert_eq!(net.truth_tables(), reparsed.truth_tables());
     }
@@ -257,7 +266,10 @@ mod tests {
             .iter()
             .map(|n| by_name[n.as_str()])
             .collect();
-        assert_eq!(net.simulate(&patterns), reparsed.simulate(&reparsed_patterns));
+        assert_eq!(
+            net.simulate(&patterns),
+            reparsed.simulate(&reparsed_patterns)
+        );
     }
 
     #[test]

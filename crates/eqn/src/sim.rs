@@ -335,8 +335,8 @@ mod tests {
 
     #[test]
     fn simulate_and_or_not() {
-        let net = parse_eqn("INORDER = a b;\nOUTORDER = f g h;\nf = a*b;\ng = a+b;\nh = !a;\n")
-            .unwrap();
+        let net =
+            parse_eqn("INORDER = a b;\nOUTORDER = f g h;\nf = a*b;\ng = a+b;\nh = !a;\n").unwrap();
         let res = net.simulate(&[0b1100, 0b1010]);
         assert_eq!(res[0] & 0xF, 0b1000);
         assert_eq!(res[1] & 0xF, 0b1110);
@@ -345,10 +345,9 @@ mod tests {
 
     #[test]
     fn truth_table_matches_naive_eval() {
-        let net = parse_eqn(
-            "INORDER = a b c d;\nOUTORDER = f;\nf = (a * b) + (!c * d) + (a * !d);\n",
-        )
-        .unwrap();
+        let net =
+            parse_eqn("INORDER = a b c d;\nOUTORDER = f;\nf = (a * b) + (!c * d) + (a * !d);\n")
+                .unwrap();
         let tt = &net.truth_tables()[0];
         for idx in 0..16usize {
             let a = idx & 1 == 1;
@@ -419,7 +418,10 @@ mod tests {
         let f = x7.and(&x0).or(&x7.not().and(&x6));
         assert_eq!(f.cofactor(7, true), x0);
         assert_eq!(f.cofactor(7, false), x6);
-        assert_eq!(f.cofactor(6, true).cofactor(7, false), TruthTable::zeros(8).not());
+        assert_eq!(
+            f.cofactor(6, true).cofactor(7, false),
+            TruthTable::zeros(8).not()
+        );
         assert!(!x0.depends_on(7));
     }
 

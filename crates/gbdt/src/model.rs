@@ -79,9 +79,7 @@ impl GbdtRegressor {
             let rows: Vec<usize> = if params.subsample >= 1.0 {
                 (0..n).collect()
             } else {
-                let keep: Vec<usize> = (0..n)
-                    .filter(|_| rng.gen_bool(params.subsample))
-                    .collect();
+                let keep: Vec<usize> = (0..n).filter(|_| rng.gen_bool(params.subsample)).collect();
                 if keep.is_empty() {
                     (0..n).collect()
                 } else {
@@ -115,12 +113,7 @@ impl GbdtRegressor {
             row.len()
         );
         self.base_score
-            + self.learning_rate
-                * self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict(row))
-                    .sum::<f64>()
+            + self.learning_rate * self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
     }
 
     /// Number of trees in the ensemble.
@@ -244,10 +237,8 @@ impl GbdtRegressor {
                             parse_usize(parts.next().ok_or_else(|| err("split feature"))?)?;
                         let threshold =
                             parse_f64(parts.next().ok_or_else(|| err("split threshold"))?)?;
-                        let left =
-                            parse_usize(parts.next().ok_or_else(|| err("split left"))?)?;
-                        let right =
-                            parse_usize(parts.next().ok_or_else(|| err("split right"))?)?;
+                        let left = parse_usize(parts.next().ok_or_else(|| err("split left"))?)?;
+                        let right = parse_usize(parts.next().ok_or_else(|| err("split right"))?)?;
                         if left >= count || right >= count {
                             return Err(err("child index out of range"));
                         }
@@ -357,7 +348,9 @@ mod tests {
         let data = linear_dataset(400);
         let model = GbdtRegressor::fit(&data, &GbdtParams::default(), 1);
         assert!(model.mse(&data) < 1.0, "mse = {}", model.mse(&data));
-        let preds: Vec<f64> = (0..data.len()).map(|i| model.predict(data.row(i))).collect();
+        let preds: Vec<f64> = (0..data.len())
+            .map(|i| model.predict(data.row(i)))
+            .collect();
         let r = pearson_r(&preds, data.labels());
         assert!(r > 0.99, "r = {r}");
     }
@@ -367,7 +360,9 @@ mod tests {
         let data = linear_dataset(600);
         let (train, test) = data.split_every_kth(5);
         let model = GbdtRegressor::fit(&train, &GbdtParams::default(), 2);
-        let preds: Vec<f64> = (0..test.len()).map(|i| model.predict(test.row(i))).collect();
+        let preds: Vec<f64> = (0..test.len())
+            .map(|i| model.predict(test.row(i)))
+            .collect();
         let r = pearson_r(&preds, test.labels());
         assert!(r > 0.95, "r = {r}");
     }
@@ -421,8 +416,10 @@ mod tests {
         assert!(GbdtRegressor::from_text("").is_err());
         assert!(GbdtRegressor::from_text("gbdt v1 base=x lr=0.1").is_err());
         assert!(
-            GbdtRegressor::from_text("gbdt v1 base=0 lr=0.1 features=2 trees=1\ntree 1\nsplit 0 1.0 5 6\n")
-                .is_err(),
+            GbdtRegressor::from_text(
+                "gbdt v1 base=0 lr=0.1 features=2 trees=1\ntree 1\nsplit 0 1.0 5 6\n"
+            )
+            .is_err(),
             "child out of range"
         );
     }
@@ -461,7 +458,9 @@ mod tests {
         let labels: Vec<f64> = rows.iter().map(|r| r[0] * r[1]).collect();
         let data = Dataset::new(rows, labels).unwrap();
         let model = GbdtRegressor::fit(&data, &GbdtParams::default(), 9);
-        let preds: Vec<f64> = (0..data.len()).map(|i| model.predict(data.row(i))).collect();
+        let preds: Vec<f64> = (0..data.len())
+            .map(|i| model.predict(data.row(i)))
+            .collect();
         assert!(pearson_r(&preds, data.labels()) > 0.98);
     }
 }

@@ -73,9 +73,7 @@ impl RegressionTree {
         fn go(nodes: &[TreeNode], idx: usize) -> usize {
             match &nodes[idx] {
                 TreeNode::Leaf { .. } => 1,
-                TreeNode::Split { left, right, .. } => {
-                    1 + go(nodes, *left).max(go(nodes, *right))
-                }
+                TreeNode::Split { left, right, .. } => 1 + go(nodes, *left).max(go(nodes, *right)),
             }
         }
         if self.nodes.is_empty() {

@@ -1,0 +1,346 @@
+//! A tiny, dependency-free, *deterministic* PRNG crate exposing the subset
+//! of the `rand` crate surface this workspace uses: [`rngs::StdRng`],
+//! [`Rng`] and [`SeedableRng`].
+//!
+//! The build environment has no access to crates.io, so workspace members
+//! depend on this crate under the name `rand` (via a Cargo dependency
+//! rename) and keep their `use rand::…` imports unchanged.
+//!
+//! Two deliberate differences from upstream `rand`:
+//!
+//! 1. **No entropy-based constructors.** There is no `from_entropy`,
+//!    `thread_rng` or `OsRng`; the only way to build a generator is from an
+//!    explicit seed. Every RNG-consuming path in the workspace is therefore
+//!    reproducible by construction.
+//! 2. **A fixed, documented algorithm.** `StdRng` is xoshiro256** seeded by
+//!    SplitMix64, so streams are stable across compilers and platforms and
+//!    test expectations never rot.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Expands a 64-bit seed into well-mixed 64-bit words (Steele et al.,
+/// *Fast splittable pseudorandom number generators*, OOPSLA 2014).
+///
+/// Used to initialise [`rngs::StdRng`] state from a single `u64` so that
+/// nearby seeds (0, 1, 2, …) still produce uncorrelated streams.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a raw 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A source of raw 64-bit randomness; object-safe core of [`Rng`].
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seed-only construction, mirroring `rand::SeedableRng`.
+///
+/// Unlike upstream there is deliberately no `from_entropy`: determinism is
+/// a workspace-wide invariant and every generator must be handed its seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling of a "standard-distribution" value, backing [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniformly random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A range that [`Rng::gen_range`] can sample from, mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform integer in `[0, span)` without modulo bias (rejection sampling
+/// on the widening-multiply scheme of Lemire 2019).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let m = (rng.next_u64() as u128) * (span as u128);
+        let lo = m as u64;
+        // Reject iff lo < (2^64 - span) % span; that threshold is < span,
+        // so `lo >= span` short-circuits the modulo in the common case.
+        if lo >= span || lo >= span.wrapping_neg() % span {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain: every output is in range.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+// Signed types work through the same macro: `as u64` sign-extends, so the
+// wrapping span/offset arithmetic is exact in two's complement.
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = f64::sample(rng);
+        let v = self.start + unit * (self.end - self.start);
+        // The scale-and-shift can round up to `end` (e.g. a near-1 unit
+        // against a wide range); keep the half-open contract.
+        if v < self.end {
+            v
+        } else {
+            self.end.next_down().max(self.start)
+        }
+    }
+}
+
+/// Convenience sampling methods, mirroring `rand::Rng`.
+///
+/// Blanket-implemented for every [`RngCore`], so `use rand::Rng;` brings
+/// `gen`, `gen_bool` and `gen_range` into scope exactly as with upstream.
+pub trait Rng: RngCore {
+    /// Draws a standard-distribution value (`u64`/`u32`: uniform over the
+    /// full domain, `bool`: fair coin, `f64`: uniform in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} not in [0, 1]");
+        f64::sample(self) < p
+    }
+
+    /// Draws a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete deterministic generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng, SplitMix64};
+
+    /// The workspace's standard generator: xoshiro256** (Blackman &
+    /// Vigna), state seeded via [`SplitMix64`].
+    ///
+    /// Constructible **only** from an explicit seed — see the crate docs
+    /// for why there is no entropy-based constructor.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut mix = SplitMix64::new(seed);
+            StdRng {
+                s: [
+                    mix.next_u64(),
+                    mix.next_u64(),
+                    mix.next_u64(),
+                    mix.next_u64(),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub use rngs::StdRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(
+            same < 4,
+            "adjacent seeds should decorrelate, {same}/64 equal"
+        );
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(2usize..=5);
+            assert!((2..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all of 0..10 should appear: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!(
+            (23_000..27_000).contains(&hits),
+            "p=0.25 gave {hits}/100000"
+        );
+        assert!((0..1000).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_range_never_hits_exclusive_bound() {
+        // A wide range where scale-and-shift of a near-1 unit rounds up
+        // to the bound; the sampler must still honour [start, end).
+        let mut rng = StdRng::seed_from_u64(23);
+        let (start, end) = (1e16, 1e16 + 4.0);
+        for _ in 0..100_000 {
+            let v = rng.gen_range(start..end);
+            assert!(v >= start && v < end, "{v} outside [{start}, {end})");
+        }
+    }
+
+    #[test]
+    fn known_splitmix_vector() {
+        // Reference values from the public-domain splitmix64.c with seed 0.
+        let mut mix = SplitMix64::new(0);
+        assert_eq!(mix.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(mix.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    }
+}

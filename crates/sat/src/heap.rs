@@ -71,12 +71,10 @@ impl ActivityHeap {
             let l = 2 * pos + 1;
             let r = 2 * pos + 2;
             let mut best = pos;
-            if l < self.heap.len() && act[self.heap[l] as usize] > act[self.heap[best] as usize]
-            {
+            if l < self.heap.len() && act[self.heap[l] as usize] > act[self.heap[best] as usize] {
                 best = l;
             }
-            if r < self.heap.len() && act[self.heap[r] as usize] > act[self.heap[best] as usize]
-            {
+            if r < self.heap.len() && act[self.heap[r] as usize] > act[self.heap[best] as usize] {
                 best = r;
             }
             if best == pos {

@@ -381,8 +381,7 @@ impl Solver {
         } else {
             let mut max_i = 1;
             for i in 2..learnt.len() {
-                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()]
-                {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
                     max_i = i;
                 }
             }
@@ -455,8 +454,7 @@ impl Solver {
 
     fn is_locked(&self, cref: usize) -> bool {
         let first = self.clauses[cref].lits[0];
-        self.value_lit(first) == LBool::True
-            && self.reason[first.var().index()] == Some(cref)
+        self.value_lit(first) == LBool::True && self.reason[first.var().index()] == Some(cref)
     }
 
     /// Solves the formula; returns `true` when satisfiable (the model is
@@ -481,11 +479,7 @@ impl Solver {
             }
         };
         if result {
-            self.model = self
-                .assigns
-                .iter()
-                .map(|&a| a == LBool::True)
-                .collect();
+            self.model = self.assigns.iter().map(|&a| a == LBool::True).collect();
         }
         self.cancel_until(0);
         result
@@ -770,10 +764,7 @@ mod tests {
             let mut expect = false;
             'outer: for m in 0..(1u32 << nv) {
                 for cl in &clauses {
-                    if !cl
-                        .iter()
-                        .any(|&(v, neg)| ((m >> v) & 1 == 1) != neg)
-                    {
+                    if !cl.iter().any(|&(v, neg)| ((m >> v) & 1 == 1) != neg) {
                         continue 'outer;
                     }
                 }
@@ -784,8 +775,10 @@ mod tests {
             let mut s = Solver::new();
             let vars: Vec<Var> = (0..nv).map(|_| s.new_var()).collect();
             for cl in &clauses {
-                let lits: Vec<Lit> =
-                    cl.iter().map(|&(v, neg)| Lit::with_sign(vars[v], neg)).collect();
+                let lits: Vec<Lit> = cl
+                    .iter()
+                    .map(|&(v, neg)| Lit::with_sign(vars[v], neg))
+                    .collect();
                 s.add_clause(&lits);
             }
             let got = s.solve();
@@ -793,9 +786,7 @@ mod tests {
             if got {
                 // model must satisfy every clause
                 for cl in &clauses {
-                    assert!(cl
-                        .iter()
-                        .any(|&(v, neg)| s.value(vars[v]).unwrap() != neg));
+                    assert!(cl.iter().any(|&(v, neg)| s.value(vars[v]).unwrap() != neg));
                 }
             }
         }

@@ -129,9 +129,9 @@ pub fn buffer(nl: &Netlist, lib: &Library, po_cap: f64, cfg: &BufferConfig) -> N
     // Builds a buffer tree over `sinks` driven by `driver`, recording the
     // final driving signal of every sink in `assign`.
     let attach = |out: &mut Netlist,
-                      assign: &mut HashMap<SinkRef, Signal>,
-                      driver: Signal,
-                      sinks: &[(SinkRef, f64)]| {
+                  assign: &mut HashMap<SinkRef, Signal>,
+                  driver: Signal,
+                  sinks: &[(SinkRef, f64)]| {
         let fits = |items: &[Item]| {
             items.len() <= cfg.max_fanout
                 && cfg.max_load.is_none_or(|ml| {
@@ -149,8 +149,9 @@ pub fn buffer(nl: &Netlist, lib: &Library, po_cap: f64, cfg: &BufferConfig) -> N
             for it in items {
                 let c = it.cap(buf_in_cap);
                 let over_count = cur.len() + 1 > cfg.max_fanout;
-                let over_load =
-                    cfg.max_load.is_some_and(|ml| !cur.is_empty() && cur_cap + c > ml + 1e-12);
+                let over_load = cfg
+                    .max_load
+                    .is_some_and(|ml| !cur.is_empty() && cur_cap + c > ml + 1e-12);
                 if over_count || over_load {
                     groups.push(std::mem::take(&mut cur));
                     cur_cap = 0.0;
@@ -208,10 +209,12 @@ pub fn buffer(nl: &Netlist, lib: &Library, po_cap: f64, cfg: &BufferConfig) -> N
             .enumerate()
             .map(|(p, s)| match s {
                 Signal::Const(b) => Signal::Const(*b),
-                _ => assign[&SinkRef::Pin {
-                    gate: i as u32,
-                    pin: p as u32,
-                }],
+                _ => {
+                    assign[&SinkRef::Pin {
+                        gate: i as u32,
+                        pin: p as u32,
+                    }]
+                }
             })
             .collect();
         let new_sig = out.add_gate(g.cell, inputs);
@@ -283,7 +286,10 @@ mod tests {
             ..BufferConfig::default()
         };
         let buffered = buffer(&nl, &lib, 1.2, &cfg);
-        assert!(buffered.num_gates() > nl.num_gates(), "buffers were inserted");
+        assert!(
+            buffered.num_gates() > nl.num_gates(),
+            "buffers were inserted"
+        );
         for (g, &n) in fanout_counts(&buffered).iter().enumerate() {
             assert!(n <= 6, "gate {g} has fanout {n} > 6");
         }
@@ -371,7 +377,9 @@ mod tests {
         };
         let buffered = buffer(&nl, &lib, 1.2, &cfg);
         assert!(pi_fanout(&buffered) <= 8);
-        let words: Vec<u64> = (0..21u64).map(|i| i.wrapping_mul(0xABCD_EF01_2345)).collect();
+        let words: Vec<u64> = (0..21u64)
+            .map(|i| i.wrapping_mul(0xABCD_EF01_2345))
+            .collect();
         assert_eq!(nl.simulate(&lib, &words), buffered.simulate(&lib, &words));
     }
 
@@ -391,7 +399,9 @@ mod tests {
             ..BufferConfig::default()
         };
         let buffered = buffer(&nl, &lib, 1.2, &cfg);
-        let words: Vec<u64> = (0..4u64).map(|i| (i + 7).wrapping_mul(0x1357_9BDF)).collect();
+        let words: Vec<u64> = (0..4u64)
+            .map(|i| (i + 7).wrapping_mul(0x1357_9BDF))
+            .collect();
         assert_eq!(nl.simulate(&lib, &words), buffered.simulate(&lib, &words));
         // every cell in nand_inv is NAND2 or INV, so buffers are INV pairs
         assert!(buffered.num_gates() > nl.num_gates());
@@ -411,7 +421,9 @@ mod tests {
         let after = upsize(&mut nl, &lib, 1.2, None, 100);
         let _ = dnsize(&mut nl, &lib, 1.2, None);
         assert!(after <= before + 1e-9);
-        let words: Vec<u64> = (0..34u64).map(|i| i.wrapping_mul(0x0F1E_2D3C_4B5A)).collect();
+        let words: Vec<u64> = (0..34u64)
+            .map(|i| i.wrapping_mul(0x0F1E_2D3C_4B5A))
+            .collect();
         let aig_out = aig.simulate(&words);
         assert_eq!(aig_out, nl.simulate(&lib, &words));
     }

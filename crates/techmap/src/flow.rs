@@ -180,8 +180,9 @@ mod tests {
         let aig = sample();
         for mode in [MapMode::Delay, MapMode::Area] {
             let (nl, _) = map_and_size(&aig, &lib, mode, None);
-            let words: Vec<u64> =
-                (0..6u64).map(|i| i.wrapping_mul(0xDEAD_BEEF_1234)).collect();
+            let words: Vec<u64> = (0..6u64)
+                .map(|i| i.wrapping_mul(0xDEAD_BEEF_1234))
+                .collect();
             assert_eq!(aig.simulate(&words), nl.simulate(&lib, &words));
         }
     }

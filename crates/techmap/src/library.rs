@@ -311,33 +311,17 @@ mod tests {
     #[test]
     fn asap7_like_has_all_drives() {
         let lib = Library::asap7_like();
-        let invs: Vec<_> = lib
-            .cells()
-            .iter()
-            .filter(|c| c.family == "INV")
-            .collect();
+        let invs: Vec<_> = lib.cells().iter().filter(|c| c.family == "INV").collect();
         assert_eq!(invs.len(), 4);
-        let nands: Vec<_> = lib
-            .cells()
-            .iter()
-            .filter(|c| c.family == "NAND2")
-            .collect();
+        let nands: Vec<_> = lib.cells().iter().filter(|c| c.family == "NAND2").collect();
         assert_eq!(nands.len(), 3);
     }
 
     #[test]
     fn higher_drive_is_bigger_and_stronger() {
         let lib = Library::asap7_like();
-        let nand1 = lib
-            .cells()
-            .iter()
-            .find(|c| c.name == "NAND2_x1")
-            .unwrap();
-        let nand4 = lib
-            .cells()
-            .iter()
-            .find(|c| c.name == "NAND2_x4")
-            .unwrap();
+        let nand1 = lib.cells().iter().find(|c| c.name == "NAND2_x1").unwrap();
+        let nand4 = lib.cells().iter().find(|c| c.name == "NAND2_x4").unwrap();
         assert!(nand4.area > nand1.area);
         assert!(nand4.resistance < nand1.resistance);
         assert!(nand4.input_cap > nand1.input_cap);

@@ -146,8 +146,7 @@ fn map_and_node(
                 1 => {
                     let leaf = cut.leaves[support[0]];
                     let leaf_phase = reduced == 0b01; // f = !x
-                    let Some(lb) = best[leaf as usize][leaf_phase as usize].as_ref()
-                    else {
+                    let Some(lb) = best[leaf as usize][leaf_phase as usize].as_ref() else {
                         continue;
                     };
                     let cand = Best {
@@ -167,8 +166,7 @@ fn map_and_node(
                         for pin in 0..cell.num_inputs {
                             let leaf = cut.leaves[support[mi.pin_to_leaf[pin] as usize]];
                             let pin_phase = (mi.input_neg >> pin) & 1 == 1;
-                            let Some(lb) = best[leaf as usize][pin_phase as usize].as_ref()
-                            else {
+                            let Some(lb) = best[leaf as usize][pin_phase as usize].as_ref() else {
                                 feasible = false;
                                 break;
                             };
@@ -361,12 +359,8 @@ fn consider(slot: &mut [Option<Best>; 2], phase: usize, cand: Best, mode: MapMod
     let better = match &slot[phase] {
         None => true,
         Some(cur) => match mode {
-            MapMode::Delay => {
-                (cand.arrival, cand.area_flow) < (cur.arrival, cur.area_flow)
-            }
-            MapMode::Area => {
-                (cand.area_flow, cand.arrival) < (cur.area_flow, cur.arrival)
-            }
+            MapMode::Delay => (cand.arrival, cand.area_flow) < (cur.arrival, cur.area_flow),
+            MapMode::Area => (cand.area_flow, cand.arrival) < (cur.area_flow, cur.arrival),
         },
     };
     if better {
@@ -398,9 +392,7 @@ fn realize(
                 _ => nl.add_gate(lib.inverter(), vec![base]),
             }
         }
-        Choice::Alias { leaf, leaf_phase } => {
-            realize(lib, best, *leaf, *leaf_phase, memo, nl)
-        }
+        Choice::Alias { leaf, leaf_phase } => realize(lib, best, *leaf, *leaf_phase, memo, nl),
         Choice::Cell { m, pins } => {
             let inputs: Vec<Signal> = pins
                 .iter()
@@ -491,7 +483,11 @@ mod tests {
                     w
                 })
                 .collect();
-            let mask = if chunk == 64 { u64::MAX } else { (1u64 << chunk) - 1 };
+            let mask = if chunk == 64 {
+                u64::MAX
+            } else {
+                (1u64 << chunk) - 1
+            };
             let ra = aig.simulate(&words);
             let rb = nl.simulate(lib, &words);
             for (o, (x, y)) in ra.iter().zip(&rb).enumerate() {
@@ -503,8 +499,7 @@ mod tests {
 
     #[test]
     fn maps_simple_and_or() {
-        let net =
-            parse_eqn("INORDER = a b c d;\nOUTORDER = f;\nf = a*b + c*d;\n").unwrap();
+        let net = parse_eqn("INORDER = a b c d;\nOUTORDER = f;\nf = a*b + c*d;\n").unwrap();
         let aig = Aig::from_network(&net);
         let lib = Library::asap7_like();
         for mode in [MapMode::Delay, MapMode::Area] {
@@ -516,10 +511,9 @@ mod tests {
 
     #[test]
     fn maps_with_minimal_library() {
-        let net = parse_eqn(
-            "INORDER = a b c;\nOUTORDER = f g;\nf = (a*b) + !c;\ng = !(a + (b*c));\n",
-        )
-        .unwrap();
+        let net =
+            parse_eqn("INORDER = a b c;\nOUTORDER = f g;\nf = (a*b) + !c;\ng = !(a + (b*c));\n")
+                .unwrap();
         let aig = Aig::from_network(&net);
         let lib = Library::nand_inv();
         let nl = map_aig(&aig, &lib, MapMode::Area);
@@ -533,10 +527,7 @@ mod tests {
 
     #[test]
     fn xor_maps_to_xor_cell_in_rich_library() {
-        let net = parse_eqn(
-            "INORDER = a b;\nOUTORDER = f;\nf = (a*!b) + (!a*b);\n",
-        )
-        .unwrap();
+        let net = parse_eqn("INORDER = a b;\nOUTORDER = f;\nf = (a*!b) + (!a*b);\n").unwrap();
         let aig = Aig::from_network(&net);
         let lib = Library::asap7_like();
         let nl = map_aig(&aig, &lib, MapMode::Area);
@@ -549,8 +540,7 @@ mod tests {
 
     #[test]
     fn constant_outputs_map_to_const_signals() {
-        let net = parse_eqn("INORDER = a;\nOUTORDER = f g;\nf = a * !a;\ng = a + !a;\n")
-            .unwrap();
+        let net = parse_eqn("INORDER = a;\nOUTORDER = f g;\nf = a * !a;\ng = a + !a;\n").unwrap();
         let aig = Aig::from_network(&net);
         let lib = Library::asap7_like();
         let nl = map_aig(&aig, &lib, MapMode::Delay);
@@ -587,7 +577,10 @@ mod tests {
         let area_d = nl_d.area(&lib);
         let area_a = nl_a.area(&lib);
         assert!(t_d <= t_a + 1e-9, "delay mode slower: {t_d} vs {t_a}");
-        assert!(area_a <= area_d + 1e-9, "area mode bigger: {area_a} vs {area_d}");
+        assert!(
+            area_a <= area_d + 1e-9,
+            "area mode bigger: {area_a} vs {area_d}"
+        );
     }
 
     #[test]
@@ -638,10 +631,8 @@ mod tests {
 
     #[test]
     fn choice_mapping_with_minimal_library() {
-        let net = parse_eqn(
-            "INORDER = a b c d;\nOUTORDER = f;\nf = ((a*b)*c)*d + (a+b)*(c+d);\n",
-        )
-        .unwrap();
+        let net = parse_eqn("INORDER = a b c d;\nOUTORDER = f;\nf = ((a*b)*c)*d + (a+b)*(c+d);\n")
+            .unwrap();
         let aig = Aig::from_network(&net);
         let choice = esyn_aig::ChoiceAig::build(&aig, 5);
         let lib = Library::nand_inv();
@@ -668,10 +659,8 @@ mod tests {
     #[test]
     fn shared_logic_is_reused_in_cover() {
         // two outputs share a*b: the cover must not duplicate the AND gate
-        let net = parse_eqn(
-            "INORDER = a b c;\nOUTORDER = f g;\nf = (a*b)*c;\ng = (a*b)*!c;\n",
-        )
-        .unwrap();
+        let net =
+            parse_eqn("INORDER = a b c;\nOUTORDER = f g;\nf = (a*b)*c;\ng = (a*b)*!c;\n").unwrap();
         let aig = Aig::from_network(&net);
         let lib = Library::nand_inv();
         let nl = map_aig(&aig, &lib, MapMode::Area);

@@ -153,10 +153,7 @@ impl Netlist {
             }
             vals[i] = out;
         }
-        self.outputs
-            .iter()
-            .map(|(_, s)| read(&vals, s))
-            .collect()
+        self.outputs.iter().map(|(_, s)| read(&vals, s)).collect()
     }
 
     /// Per-gate output load: sum of the input capacitance of every sink

@@ -32,9 +32,7 @@ pub fn upsize(
                 nl.gates_mut()[g as usize].cell = variant;
                 let d = sta(nl, lib, po_cap).delay;
                 nl.gates_mut()[g as usize].cell = cur_cell;
-                if d < current - 1e-9
-                    && best_swap.is_none_or(|(_, _, bd)| d < bd)
-                {
+                if d < current - 1e-9 && best_swap.is_none_or(|(_, _, bd)| d < bd) {
                     best_swap = Some((g, variant, d));
                 }
             }
@@ -69,7 +67,9 @@ pub fn dnsize(nl: &mut Netlist, lib: &Library, po_cap: f64, limit: Option<f64>) 
                 .copied()
                 .filter(|&v| lib.cells()[v].drive < lib.cells()[cur_cell].drive)
                 .collect();
-            let Some(&next) = smaller.last() else { continue };
+            let Some(&next) = smaller.last() else {
+                continue;
+            };
             nl.gates_mut()[g].cell = next;
             let t = sta_with_target(nl, lib, po_cap, Some(limit));
             if t.delay <= limit + 1e-9 {
@@ -112,7 +112,10 @@ mod tests {
         let before = sta(&nl, &lib, 1.2).delay;
         let after = upsize(&mut nl, &lib, 1.2, None, 50);
         assert!(after <= before);
-        assert!(after < before - 1e-9, "upsizing must help here: {before} -> {after}");
+        assert!(
+            after < before - 1e-9,
+            "upsizing must help here: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -158,7 +161,9 @@ mod tests {
         let lib = Library::asap7_like();
         let aig = wide_fanout_circuit();
         let mut nl = map_aig(&aig, &lib, MapMode::Delay);
-        let words: Vec<u64> = (0..8u64).map(|i| i.wrapping_mul(0x0123_4567_89AB)).collect();
+        let words: Vec<u64> = (0..8u64)
+            .map(|i| i.wrapping_mul(0x0123_4567_89AB))
+            .collect();
         let before = nl.simulate(&lib, &words);
         let _ = upsize(&mut nl, &lib, 1.2, None, 30);
         let _ = dnsize(&mut nl, &lib, 1.2, None);

@@ -11,7 +11,13 @@ impl Netlist {
     pub fn to_verilog(&self, lib: &Library, module: &str) -> String {
         let sanitize = |s: &str| -> String {
             s.chars()
-                .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+                .map(|c| {
+                    if c.is_alphanumeric() || c == '_' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
                 .collect()
         };
         let mut v = String::new();
@@ -20,7 +26,11 @@ impl Netlist {
             let _ = writeln!(v, "  input wire {},", sanitize(name));
         }
         for (i, (name, _)) in self.outputs().iter().enumerate() {
-            let comma = if i + 1 == self.outputs().len() { "" } else { "," };
+            let comma = if i + 1 == self.outputs().len() {
+                ""
+            } else {
+                ","
+            };
             let _ = writeln!(v, "  output wire {}{comma}", sanitize(name));
         }
         let _ = writeln!(v, ");");
@@ -87,10 +97,8 @@ mod tests {
 
     #[test]
     fn bus_names_are_sanitized() {
-        let net = parse_eqn(
-            "INORDER = x[0] x[1];\nOUTORDER = y[0];\ny[0] = x[0] * x[1];\n",
-        )
-        .unwrap();
+        let net =
+            parse_eqn("INORDER = x[0] x[1];\nOUTORDER = y[0];\ny[0] = x[0] * x[1];\n").unwrap();
         let aig = Aig::from_network(&net);
         let lib = Library::asap7_like();
         let nl = map_aig(&aig, &lib, MapMode::Area);

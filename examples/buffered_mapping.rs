@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let aig = Aig::from_network(&net);
     let lib = Library::asap7_like();
 
-    println!("{:<24} {:>8} {:>12} {:>12} {:>8}", "flow", "gates", "area (um2)", "delay (ps)", "levels");
+    println!(
+        "{:<24} {:>8} {:>12} {:>12} {:>8}",
+        "flow", "gates", "area (um2)", "delay (ps)", "levels"
+    );
     for mode in [MapMode::Delay, MapMode::Area] {
         let (plain_nl, plain) = map_and_size(&aig, &lib, mode, None);
         let cfg = BufferConfig::default();
@@ -41,12 +44,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:<24} {:>8} {:>12.2} {:>12.2} {:>8}",
             format!("{mode:?} (no buffer)"),
-            plain.gates, plain.area, plain.delay, plain.levels
+            plain.gates,
+            plain.area,
+            plain.delay,
+            plain.levels
         );
         println!(
             "{:<24} {:>8} {:>12.2} {:>12.2} {:>8}",
             format!("{mode:?} (buffered)"),
-            buffered.gates, buffered.area, buffered.delay, buffered.levels
+            buffered.gates,
+            buffered.area,
+            buffered.delay,
+            buffered.levels
         );
 
         // Both netlists must still compute the original function.

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = net.stats();
     println!(
         "parsed eqn: {} inputs, {} outputs, {} gates, depth {}",
-        stats.inputs, stats.outputs, stats.gates(), stats.depth
+        stats.inputs,
+        stats.outputs,
+        stats.gates(),
+        stats.depth
     );
 
     // --- equation format (ABC write_eqn / read_eqn) ----------------------
@@ -40,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- S-expressions (the egg interchange of Figure 2) -----------------
     let expr = network_to_recexpr(&net);
     let sexpr_text = expr.to_string();
-    println!("  s-expression: {} chars, {} DAG nodes", sexpr_text.len(), expr.len());
+    println!(
+        "  s-expression: {} chars, {} DAG nodes",
+        sexpr_text.len(),
+        expr.len()
+    );
     let reparsed: RecExpr<BoolLang> = sexpr_text.parse()?;
     let names: Vec<String> = net.outputs().iter().map(|(n, _)| n.clone()).collect();
     let back = recexpr_to_network(&reparsed, &names);

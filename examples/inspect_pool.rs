@@ -7,8 +7,8 @@
 //! ```
 
 use e_syn::core::{
-    extract_pool_with, flow::measure_pool, lang::network_to_recexpr, rules::all_rules,
-    saturate, CandidateCost, Features, Objective, PoolConfig, SaturationLimits,
+    extract_pool_with, flow::measure_pool, lang::network_to_recexpr, rules::all_rules, saturate,
+    CandidateCost, Features, Objective, PoolConfig, SaturationLimits,
 };
 use e_syn::core::{train_cost_models, CostModels, TrainConfig};
 use e_syn::gbdt::pearson_r;

@@ -59,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = esyn_optimize(&net, &models, &lib, objective, &EsynConfig::default());
 
     println!();
-    println!("              {:>12} {:>12} {:>8} {:>8}", "area/um2", "delay/ps", "gates", "levels");
+    println!(
+        "              {:>12} {:>12} {:>8} {:>8}",
+        "area/um2", "delay/ps", "gates", "levels"
+    );
     println!(
         "ABC baseline  {:12.2} {:12.2} {:8} {:8}",
         baseline.area, baseline.delay, baseline.gates, baseline.levels

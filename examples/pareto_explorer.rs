@@ -7,11 +7,11 @@
 //! ```
 
 use e_syn::circuits;
-use e_syn::core::{
-    abc_baseline, extract_pool, flow::measure_pool, lang::network_to_recexpr,
-    pareto_front, rules::all_rules, saturate, Objective, PoolConfig, SaturationLimits,
-};
 use e_syn::core::pareto::frontier_dominates;
+use e_syn::core::{
+    abc_baseline, extract_pool, flow::measure_pool, lang::network_to_recexpr, pareto_front,
+    rules::all_rules, saturate, Objective, PoolConfig, SaturationLimits,
+};
 use e_syn::techmap::Library;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for k in 0..8 {
         let target = reference.delay * (0.85 + 0.15 * k as f64);
         let q = abc_baseline(&net, &lib, Objective::Delay, Some(target));
-        println!("abc point: area {:9.2}  delay {:9.2}  (target {:8.2})", q.area, q.delay, target);
+        println!(
+            "abc point: area {:9.2}  delay {:9.2}  (target {:8.2})",
+            q.area, q.delay, target
+        );
         abc_points.push((q.delay, q.area));
     }
 
@@ -34,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("# e-syn pool candidates");
     let expr = network_to_recexpr(&net);
     let runner = saturate(&expr, &all_rules(), &SaturationLimits::default());
-    let pool = extract_pool(&runner.egraph, runner.roots[0], &PoolConfig::with_samples(60, 6));
+    let pool = extract_pool(
+        &runner.egraph,
+        runner.roots[0],
+        &PoolConfig::with_samples(60, 6),
+    );
     let names: Vec<String> = net.outputs().iter().map(|(n, _)| n.clone()).collect();
     let qors = measure_pool(&pool, &names, &lib, Objective::Delay, None);
     let esyn_points: Vec<(f64, f64)> = qors.iter().map(|q| (q.delay, q.area)).collect();

@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          f = (a*b) + (a*c) + (a*d) + (a*e);\n\
          g = ((a+b) * (a+c)) + ((!a*d) + (!a*e));\n",
     )?;
-    println!("input: {} gates, depth {}", net.stats().gates(), net.stats().depth);
+    println!(
+        "input: {} gates, depth {}",
+        net.stats().gates(),
+        net.stats().depth
+    );
 
     let lib = Library::asap7_like();
     println!("training technology-aware cost models (tiny corpus)...");

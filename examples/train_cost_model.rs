@@ -29,12 +29,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let models = train_cost_models(&cfg, &lib);
     println!("trained in {:.1}s", t0.elapsed().as_secs_f64());
     println!();
-    println!("delay model: R = {:.3}   (paper reports 0.78)", models.r_delay);
-    println!("area  model: R = {:.3}   (paper reports 0.76)", models.r_area);
+    println!(
+        "delay model: R = {:.3}   (paper reports 0.78)",
+        models.r_delay
+    );
+    println!(
+        "area  model: R = {:.3}   (paper reports 0.76)",
+        models.r_area
+    );
     println!();
 
     let names = [
-        "num_and", "num_or", "num_not", "num_nodes", "depth", "density", "edge_sum",
+        "num_and",
+        "num_or",
+        "num_not",
+        "num_nodes",
+        "depth",
+        "density",
+        "edge_sum",
     ];
     assert_eq!(names.len(), Features::LEN);
     println!("feature importances (split counts, normalised):");

@@ -17,8 +17,8 @@
 use e_syn::aig::Aig;
 use e_syn::cec::{check_equivalence, EquivResult};
 use e_syn::core::{
-    abc_baseline, abc_baseline_choices, esyn_optimize, train_cost_models, CostModels,
-    EsynConfig, Objective, TrainConfig,
+    abc_baseline, abc_baseline_choices, esyn_optimize, train_cost_models, CostModels, EsynConfig,
+    Objective, TrainConfig,
 };
 use e_syn::eqn::{parse_blif, parse_eqn, write_blif, Network};
 use e_syn::techmap::Library;
@@ -146,10 +146,20 @@ fn stats(path: &str) -> Result<(), String> {
     println!("{path}:");
     println!("  inputs  {}", s.inputs);
     println!("  outputs {}", s.outputs);
-    println!("  gates   {} (and {}, or {}, not {})", s.gates(), s.ands, s.ors, s.nots);
+    println!(
+        "  gates   {} (and {}, or {}, not {})",
+        s.gates(),
+        s.ands,
+        s.ors,
+        s.nots
+    );
     println!("  depth   {}", s.depth);
     let aig = Aig::from_network(&net);
-    println!("  aig     {} ands, {} levels", aig.num_ands(), aig.num_levels());
+    println!(
+        "  aig     {} ands, {} levels",
+        aig.num_ands(),
+        aig.num_levels()
+    );
     Ok(())
 }
 
@@ -177,9 +187,7 @@ fn optimize(args: &[String]) -> Result<(), String> {
         match a.as_str() {
             "--models" => models_dir = Some(it.next().ok_or("--models needs a value")?.clone()),
             "--out" => out_file = Some(it.next().ok_or("--out needs a value")?.clone()),
-            "--verilog" => {
-                verilog_file = Some(it.next().ok_or("--verilog needs a value")?.clone())
-            }
+            "--verilog" => verilog_file = Some(it.next().ok_or("--verilog needs a value")?.clone()),
             "--choices" => use_choices = true,
             other if objective_arg.is_none() => objective_arg = Some(other.to_owned()),
             other => return Err(format!("unexpected argument `{other}`")),
@@ -212,8 +220,7 @@ fn optimize(args: &[String]) -> Result<(), String> {
         println!("wrote optimised equation file to {out}");
     }
     if let Some(vf) = verilog_file {
-        let (nl, _) =
-            e_syn::core::flow::esyn_backend(&result.network, &lib, objective, None);
+        let (nl, _) = e_syn::core::flow::esyn_backend(&result.network, &lib, objective, None);
         std::fs::write(&vf, nl.to_verilog(&lib, "esyn_top")).map_err(|e| format!("{vf}: {e}"))?;
         println!("wrote mapped Verilog netlist to {vf}");
     }
@@ -281,8 +288,7 @@ fn bench(name: &str) -> Result<(), String> {
         }
         return Ok(());
     }
-    let net =
-        e_syn::circuits::by_name(name).ok_or_else(|| format!("unknown circuit `{name}`"))?;
+    let net = e_syn::circuits::by_name(name).ok_or_else(|| format!("unknown circuit `{name}`"))?;
     print!("{}", net.to_eqn());
     Ok(())
 }

@@ -1,5 +1,9 @@
 //! Property-based integration tests: random Boolean networks pushed
 //! through every transformation layer must keep their function.
+//!
+//! The properties run as seeded loops over the in-repo deterministic PRNG
+//! (`esyn-rand`); every case derives its generator from the test name and
+//! case index, so a failure message's `case N` reproduces exactly.
 
 use e_syn::aig::{Aig, ChoiceAig};
 use e_syn::cec::{check_equivalence, EquivResult};
@@ -8,8 +12,22 @@ use e_syn::core::{extract_pool, rules::all_rules, saturate, PoolConfig, Saturati
 use e_syn::egraph::{DagExtractor, DagSize};
 use e_syn::eqn::{parse_blif, write_blif, Network, NodeId};
 use e_syn::techmap::{buffer, map_aig, map_choices, BufferConfig, Library, MapMode};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::time::Duration;
+
+/// Cases per property (matches the seed's proptest budget).
+const CASES: u64 = 24;
+
+/// Deterministic per-case generator: FNV-1a over the test name, mixed
+/// with the case index.
+fn case_rng(test: &str, case: u64) -> StdRng {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
 
 /// A recipe for building a random network over `n` inputs.
 #[derive(Clone, Debug)]
@@ -18,6 +36,24 @@ enum Op {
     Or(usize, usize),
     Not(usize),
     Xor(usize, usize),
+}
+
+/// Draws `len_range`-many random ops with operand indices in `0..64`
+/// (resolved modulo the live node pool by [`build_net`]).
+fn random_ops(rng: &mut StdRng, min_len: usize, max_len: usize) -> Vec<Op> {
+    let len = rng.gen_range(min_len..max_len);
+    (0..len)
+        .map(|_| {
+            let a = rng.gen_range(0usize..64);
+            let b = rng.gen_range(0usize..64);
+            match rng.gen_range(0u32..4) {
+                0 => Op::And(a, b),
+                1 => Op::Or(a, b),
+                2 => Op::Not(a),
+                _ => Op::Xor(a, b),
+            }
+        })
+        .collect()
 }
 
 fn build_net(num_inputs: usize, ops: &[Op], num_outputs: usize) -> Network {
@@ -54,99 +90,120 @@ fn build_net(num_inputs: usize, ops: &[Op], num_outputs: usize) -> Network {
     net
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0usize..64, 0usize..64).prop_map(|(a, b)| Op::And(a, b)),
-        (0usize..64, 0usize..64).prop_map(|(a, b)| Op::Or(a, b)),
-        (0usize..64).prop_map(Op::Not),
-        (0usize..64, 0usize..64).prop_map(|(a, b)| Op::Xor(a, b)),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn aig_roundtrip_preserves_function(
-        ops in prop::collection::vec(op_strategy(), 1..40),
-        num_inputs in 2usize..6,
-        num_outputs in 1usize..4,
-    ) {
+#[test]
+fn aig_roundtrip_preserves_function() {
+    for case in 0..CASES {
+        let mut rng = case_rng("aig_roundtrip", case);
+        let ops = random_ops(&mut rng, 1, 40);
+        let num_inputs = rng.gen_range(2usize..6);
+        let num_outputs = rng.gen_range(1usize..4);
         let net = build_net(num_inputs, &ops, num_outputs);
         let aig = Aig::from_network(&net);
         let back = aig.to_network();
-        prop_assert_eq!(check_equivalence(&net, &back), EquivResult::Equivalent);
+        assert_eq!(
+            check_equivalence(&net, &back),
+            EquivResult::Equivalent,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn aig_optimisation_preserves_function(
-        ops in prop::collection::vec(op_strategy(), 1..40),
-        num_inputs in 2usize..6,
-    ) {
+#[test]
+fn aig_optimisation_preserves_function() {
+    for case in 0..CASES {
+        let mut rng = case_rng("aig_optimisation", case);
+        let ops = random_ops(&mut rng, 1, 40);
+        let num_inputs = rng.gen_range(2usize..6);
         let net = build_net(num_inputs, &ops, 2);
         let aig = Aig::from_network(&net);
-        for opt in [aig.rewrite(false), aig.balance(), aig.refactor(false, 6)] {
+        for (i, opt) in [aig.rewrite(false), aig.balance(), aig.refactor(false, 6)]
+            .into_iter()
+            .enumerate()
+        {
             let back = opt.to_network();
-            prop_assert_eq!(check_equivalence(&net, &back), EquivResult::Equivalent);
+            assert_eq!(
+                check_equivalence(&net, &back),
+                EquivResult::Equivalent,
+                "case {case}, pass {i}"
+            );
         }
     }
+}
 
-    #[test]
-    fn mapping_preserves_function(
-        ops in prop::collection::vec(op_strategy(), 1..30),
-        num_inputs in 2usize..6,
-    ) {
-        let lib = Library::asap7_like();
+#[test]
+fn mapping_preserves_function() {
+    let lib = Library::asap7_like();
+    for case in 0..CASES {
+        let mut rng = case_rng("mapping", case);
+        let ops = random_ops(&mut rng, 1, 30);
+        let num_inputs = rng.gen_range(2usize..6);
         let net = build_net(num_inputs, &ops, 2);
         let aig = Aig::from_network(&net);
         let nl = map_aig(&aig, &lib, MapMode::Delay);
         let words: Vec<u64> = (0..num_inputs as u64)
             .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
             .collect();
-        prop_assert_eq!(aig.simulate(&words), nl.simulate(&lib, &words));
+        assert_eq!(
+            aig.simulate(&words),
+            nl.simulate(&lib, &words),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn fraig_and_choice_mapping_preserve_function(
-        ops in prop::collection::vec(op_strategy(), 1..24),
-        num_inputs in 2usize..6,
-        seed in 0u64..1000,
-    ) {
-        let lib = Library::asap7_like();
+#[test]
+fn fraig_and_choice_mapping_preserve_function() {
+    let lib = Library::asap7_like();
+    for case in 0..CASES {
+        let mut rng = case_rng("fraig_and_choice", case);
+        let ops = random_ops(&mut rng, 1, 24);
+        let num_inputs = rng.gen_range(2usize..6);
+        let seed = rng.gen_range(0u64..1000);
         let net = build_net(num_inputs, &ops, 2);
         let aig = Aig::from_network(&net);
         let fraiged = aig.fraig(seed);
-        prop_assert_eq!(
+        assert_eq!(
             check_equivalence(&net, &fraiged.to_network()),
-            EquivResult::Equivalent
+            EquivResult::Equivalent,
+            "case {case}, seed {seed}"
         );
         let choice = ChoiceAig::build(&aig, seed);
         let nl = map_choices(&choice, &lib, MapMode::Area);
         let words: Vec<u64> = (0..num_inputs as u64)
             .map(|i| (i + seed).wrapping_mul(0x9E37_79B9_7F4A_7C15))
             .collect();
-        prop_assert_eq!(aig.simulate(&words), nl.simulate(&lib, &words));
+        assert_eq!(
+            aig.simulate(&words),
+            nl.simulate(&lib, &words),
+            "case {case}, seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn buffering_preserves_function_and_fanout_limit(
-        ops in prop::collection::vec(op_strategy(), 4..40),
-        num_inputs in 2usize..6,
-        max_fanout in 2usize..6,
-    ) {
-        let lib = Library::asap7_like();
+#[test]
+fn buffering_preserves_function_and_fanout_limit() {
+    let lib = Library::asap7_like();
+    for case in 0..CASES {
+        let mut rng = case_rng("buffering", case);
+        let ops = random_ops(&mut rng, 4, 40);
+        let num_inputs = rng.gen_range(2usize..6);
+        let max_fanout = rng.gen_range(2usize..6);
         let net = build_net(num_inputs, &ops, 3);
         let aig = Aig::from_network(&net);
         let nl = map_aig(&aig, &lib, MapMode::Area);
-        let cfg = BufferConfig { max_fanout, ..BufferConfig::default() };
+        let cfg = BufferConfig {
+            max_fanout,
+            ..BufferConfig::default()
+        };
         let buffered = buffer(&nl, &lib, 1.2, &cfg);
         let words: Vec<u64> = (0..num_inputs as u64)
             .map(|i| i.wrapping_mul(0x0123_4567_89AB_CDEF))
             .collect();
-        prop_assert_eq!(nl.simulate(&lib, &words), buffered.simulate(&lib, &words));
+        assert_eq!(
+            nl.simulate(&lib, &words),
+            buffered.simulate(&lib, &words),
+            "case {case}"
+        );
         // Every gate-output net respects the limit (PIs and POs counted).
         let mut counts = vec![0usize; buffered.num_gates()];
         for g in buffered.gates() {
@@ -162,38 +219,51 @@ proptest! {
             }
         }
         for (g, &c) in counts.iter().enumerate() {
-            prop_assert!(c <= max_fanout, "gate {} fanout {} > {}", g, c, max_fanout);
+            assert!(
+                c <= max_fanout,
+                "case {case}: gate {g} fanout {c} > {max_fanout}"
+            );
         }
     }
+}
 
-    #[test]
-    fn aiger_and_blif_roundtrips_preserve_function(
-        ops in prop::collection::vec(op_strategy(), 1..40),
-        num_inputs in 2usize..6,
-    ) {
+#[test]
+fn aiger_and_blif_roundtrips_preserve_function() {
+    for case in 0..CASES {
+        let mut rng = case_rng("aiger_blif_roundtrip", case);
+        let ops = random_ops(&mut rng, 1, 40);
+        let num_inputs = rng.gen_range(2usize..6);
         let net = build_net(num_inputs, &ops, 2);
         // BLIF round-trip at the network level.
         let back = parse_blif(&write_blif(&net, "prop")).expect("writer output parses");
-        prop_assert_eq!(check_equivalence(&net, &back), EquivResult::Equivalent);
+        assert_eq!(
+            check_equivalence(&net, &back),
+            EquivResult::Equivalent,
+            "case {case} (blif)"
+        );
         // AIGER round-trips (ASCII and binary) at the AIG level.
         let aig = Aig::from_network(&net);
         let ascii = Aig::from_aiger_ascii(&aig.to_aiger_ascii()).expect("aag parses");
-        prop_assert_eq!(
+        assert_eq!(
             check_equivalence(&net, &ascii.to_network()),
-            EquivResult::Equivalent
+            EquivResult::Equivalent,
+            "case {case} (aag)"
         );
         let binary = Aig::from_aiger_binary(&aig.to_aiger_binary()).expect("aig parses");
-        prop_assert_eq!(
+        assert_eq!(
             check_equivalence(&net, &binary.to_network()),
-            EquivResult::Equivalent
+            EquivResult::Equivalent,
+            "case {case} (aig)"
         );
     }
+}
 
-    #[test]
-    fn dag_extraction_stays_equivalent_and_reports_its_own_cost(
-        ops in prop::collection::vec(op_strategy(), 1..16),
-        num_inputs in 2usize..5,
-    ) {
+#[test]
+fn dag_extraction_stays_equivalent_and_reports_its_own_cost() {
+    for case in 0..CASES {
+        let mut rng = case_rng("dag_extraction", case);
+        let ops = random_ops(&mut rng, 1, 16);
+        let num_inputs = rng.gen_range(2usize..5);
         let net = build_net(num_inputs, &ops, 1);
         let expr = network_to_recexpr(&net);
         let limits = SaturationLimits {
@@ -207,22 +277,24 @@ proptest! {
         // The reported cost is the distinct-node count of the term built
         // (greedy-DAG carries no guarantee against the tree extractor —
         // independently minimal sub-DAGs may overlap less).
-        prop_assert_eq!(dag_cost, dag_best.len() as f64);
+        assert_eq!(dag_cost, dag_best.len() as f64, "case {case}");
         let names: Vec<String> = net.outputs().iter().map(|(n, _)| n.clone()).collect();
         let dag_net = recexpr_to_network(&dag_best, &names);
-        prop_assert_eq!(
+        assert_eq!(
             check_equivalence(&net, &dag_net),
             EquivResult::Equivalent,
-            "dag-extracted candidate not equivalent"
+            "case {case}: dag-extracted candidate not equivalent"
         );
     }
+}
 
-    #[test]
-    fn saturation_and_pool_candidates_stay_equivalent(
-        ops in prop::collection::vec(op_strategy(), 1..20),
-        num_inputs in 2usize..5,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn saturation_and_pool_candidates_stay_equivalent() {
+    for case in 0..CASES {
+        let mut rng = case_rng("saturation_pool", case);
+        let ops = random_ops(&mut rng, 1, 20);
+        let num_inputs = rng.gen_range(2usize..5);
+        let seed = rng.gen_range(0u64..1000);
         let net = build_net(num_inputs, &ops, 1);
         let expr = network_to_recexpr(&net);
         let limits = SaturationLimits {
@@ -239,10 +311,10 @@ proptest! {
         let names: Vec<String> = net.outputs().iter().map(|(n, _)| n.clone()).collect();
         for cand in &pool {
             let cnet = recexpr_to_network(cand, &names);
-            prop_assert_eq!(
+            assert_eq!(
                 check_equivalence(&net, &cnet),
                 EquivResult::Equivalent,
-                "candidate {} not equivalent", cand
+                "case {case}: candidate {cand} not equivalent"
             );
         }
     }

@@ -1,0 +1,70 @@
+//! Smoke test: every file in `examples/` must build AND run to
+//! completion, so the examples can never silently rot.
+//!
+//! Each test shells out to `cargo run --example` (dev profile — the
+//! binaries were already compiled as part of this `cargo test`
+//! invocation, so this adds no build time) with the smallest benchmark
+//! arguments so the whole suite stays in smoke-test territory.
+
+use std::process::Command;
+
+/// Runs one example to completion and asserts a zero exit status.
+fn run_example(name: &str, args: &[&str]) {
+    let cargo = env!("CARGO");
+    let mut cmd = Command::new(cargo);
+    cmd.current_dir(env!("CARGO_MANIFEST_DIR"))
+        .args(["run", "--quiet", "--example", name]);
+    if !args.is_empty() {
+        cmd.arg("--").args(args);
+    }
+    let out = cmd
+        .output()
+        .unwrap_or_else(|e| panic!("spawning {name}: {e}"));
+    assert!(
+        out.status.success(),
+        "example {name} {args:?} exited with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
+
+#[test]
+fn example_quickstart() {
+    run_example("quickstart", &[]);
+}
+
+#[test]
+fn example_format_roundtrip() {
+    run_example("format_roundtrip", &[]);
+}
+
+#[test]
+fn example_equivalence_check() {
+    run_example("equivalence_check", &[]);
+}
+
+#[test]
+fn example_buffered_mapping() {
+    run_example("buffered_mapping", &[]);
+}
+
+#[test]
+fn example_inspect_pool() {
+    run_example("inspect_pool", &["3_3"]);
+}
+
+#[test]
+fn example_pareto_explorer() {
+    run_example("pareto_explorer", &["3_3"]);
+}
+
+#[test]
+fn example_optimize_benchmark() {
+    run_example("optimize_benchmark", &["3_3", "area"]);
+}
+
+#[test]
+fn example_train_cost_model() {
+    run_example("train_cost_model", &["20"]);
+}
