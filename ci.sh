@@ -16,7 +16,16 @@ cargo build --benches --examples
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q (ESYN_THREADS=1, exact serial path)"
+# The parallel subsystem guarantees bit-identical results at any thread
+# count; running the suite again fully serialised keeps the ESYN_THREADS
+# override and the serial fallback from rotting.
+ESYN_THREADS=1 cargo test -q
+
 echo "==> smoke-run micro bench (ESYN_BENCH_FAST=1)"
 ESYN_BENCH_FAST=1 cargo bench -q -p esyn-bench --bench micro >/dev/null
+
+echo "==> smoke-run parallel bench (ESYN_BENCH_FAST=1)"
+ESYN_BENCH_FAST=1 cargo bench -q -p esyn-bench --bench parallel >/dev/null
 
 echo "ci.sh: all checks passed"

@@ -58,6 +58,7 @@ fn main() {
         verify: true,
         target_delay: None,
         use_choices: false,
+        parallelism: esyn_core::Parallelism::Auto,
     };
     let delay_opt = esyn_optimize(&net, &models, &lib, Objective::Delay, &cfg);
     let area_opt = esyn_optimize(&net, &models, &lib, Objective::Area, &cfg);

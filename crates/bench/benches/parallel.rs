@@ -1,0 +1,100 @@
+//! Serial-vs-parallel wall-clock for the `esyn-par` hot paths: pool
+//! extraction on the `adder` generator and CEC on the `5_5` multiplier
+//! (against its dc2-resynthesised form), swept over 1/2/4/8 worker
+//! threads. Alongside each timing the bench re-checks the determinism
+//! contract — every thread count must produce the identical pool and the
+//! identical verdict.
+//!
+//! Record results in EXPERIMENTS.md (§ "Parallel subsystem"). Speedups
+//! are only meaningful when the host grants multiple hardware threads;
+//! the bench prints the live count so records stay honest.
+
+use esyn_bench::bench_limits;
+use esyn_cec::{check_equivalence_par, EquivResult, DEFAULT_SIM_SEED};
+use esyn_core::{
+    extract_pool_with, lang::network_to_recexpr, rules::all_rules, saturate, Parallelism,
+    PoolConfig,
+};
+use std::time::{Duration, Instant};
+
+/// Minimum wall-clock over `reps` runs of `f`.
+fn time(reps: usize, mut f: impl FnMut()) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+fn main() {
+    let fast = std::env::var_os("ESYN_BENCH_FAST").is_some_and(|v| v != "0" && !v.is_empty());
+    let reps = if fast { 1 } else { 3 };
+    let threads: &[usize] = if fast { &[1, 2] } else { &[1, 2, 4, 8] };
+    println!(
+        "parallel: host hardware threads = {}, reps = {reps}",
+        esyn_par::hardware_threads()
+    );
+
+    // --- extract_pool on the adder generator ---
+    let net = esyn_circuits::by_name("adder").expect("adder generator");
+    let expr = network_to_recexpr(&net);
+    let runner = saturate(&expr, &all_rules(), &bench_limits());
+    println!(
+        "adder saturated: {} e-nodes / {} classes",
+        runner.egraph.total_nodes(),
+        runner.egraph.num_classes()
+    );
+    let samples = if fast { 16 } else { 100 };
+    let pool_at = |t: usize| {
+        let cfg = PoolConfig {
+            parallelism: Parallelism::Fixed(t),
+            ..PoolConfig::with_samples(samples, 0xE5F1)
+        };
+        extract_pool_with(&runner.egraph, runner.roots[0], Some(&expr), &cfg)
+    };
+    let reference = pool_at(1);
+    let mut serial_ns = 0.0f64;
+    for &t in threads {
+        assert_eq!(pool_at(t), reference, "pool differs at {t} threads");
+        let d = time(reps, || {
+            std::hint::black_box(pool_at(t).len());
+        });
+        let ns = d.as_nanos() as f64;
+        if t == 1 {
+            serial_ns = ns;
+        }
+        println!(
+            "extract_pool/adder/{samples} samples/{t} threads: {:>10.3} ms  (speedup x{:.2})",
+            ns / 1e6,
+            serial_ns / ns
+        );
+    }
+
+    // --- CEC: multiplier vs its dc2 form ---
+    let mul = esyn_circuits::by_name("5_5").expect("5_5 multiplier generator");
+    let opt = esyn_aig::scripts::dc2(&esyn_aig::Aig::from_network(&mul)).to_network();
+    let mut serial_ns = 0.0f64;
+    for &t in threads {
+        let verdict = check_equivalence_par(&mul, &opt, DEFAULT_SIM_SEED, Parallelism::Fixed(t));
+        assert_eq!(verdict, EquivResult::Equivalent, "CEC broke at {t} threads");
+        let d = time(reps, || {
+            std::hint::black_box(check_equivalence_par(
+                &mul,
+                &opt,
+                DEFAULT_SIM_SEED,
+                Parallelism::Fixed(t),
+            ));
+        });
+        let ns = d.as_nanos() as f64;
+        if t == 1 {
+            serial_ns = ns;
+        }
+        println!(
+            "cec/5_5 vs dc2/{t} threads:           {:>10.3} ms  (speedup x{:.2})",
+            ns / 1e6,
+            serial_ns / ns
+        );
+    }
+}

@@ -37,6 +37,7 @@ fn main() {
                 verify: true,
                 target_delay: None,
                 use_choices: false,
+                parallelism: esyn_core::Parallelism::Auto,
             };
             let esyn = esyn_optimize(&b.network, &models, &lib, obj, &cfg);
             per_obj.push((abc, esyn.qor));

@@ -7,11 +7,30 @@
 //!
 //! 1. a fast random-simulation filter that finds most inequivalences in
 //!    microseconds, then
-//! 2. a SAT miter per output pair (Tseitin-encoded into the workspace's
-//!    CDCL solver) for the proof.
+//! 2. a SAT miter per output (Tseitin-encoded into the workspace's CDCL
+//!    solver) for the proof.
 //!
 //! Networks are matched by *input name* (declaration order may differ) and
 //! by output position.
+//!
+//! # Parallel architecture
+//!
+//! Both phases are embarrassingly parallel and run on
+//! [`esyn_par::par_map`] (see [`check_equivalence_par`]):
+//!
+//! * each **simulation round** owns a private RNG seeded from
+//!   `split_seeds(seed, round)`, so a round's patterns are a pure
+//!   function of `(seed, round)`;
+//! * each **output miter** is solved by a worker that owns its own
+//!   [`Solver`] and Tseitin-encodes only that output's
+//!   cone of influence — no solver state is ever shared, so a verdict
+//!   (and its counterexample) depends only on `(networks, output)`.
+//!
+//! The first failing round / lowest failing output wins, picked from the
+//! order-preserving map results. Verdicts and counterexamples are
+//! therefore **bit-identical at any thread count**, including the
+//! `ESYN_THREADS=1` serial fallback — proven by
+//! `tests/parallel_determinism.rs` at the workspace root.
 //!
 //! # Example
 //!
@@ -24,15 +43,36 @@
 //! assert_eq!(check_equivalence(&a, &b), EquivResult::Equivalent);
 //! # Ok::<(), esyn_eqn::ParseError>(())
 //! ```
+//!
+//! Inequivalent pairs come back with a concrete counterexample in the
+//! first network's input order:
+//!
+//! ```
+//! use esyn_cec::{check_equivalence, EquivResult};
+//! use esyn_eqn::parse_eqn;
+//!
+//! let a = parse_eqn("INORDER = x y;\nOUTORDER = f;\nf = x*y;\n")?;
+//! let b = parse_eqn("INORDER = x y;\nOUTORDER = f;\nf = x+y;\n")?;
+//! let EquivResult::NotEquivalent { output, counterexample } = check_equivalence(&a, &b)
+//! else {
+//!     panic!("AND and OR differ");
+//! };
+//! assert_eq!(output, 0);
+//! // The assignment really distinguishes f = x*y from f = x+y …
+//! let words: Vec<u64> = counterexample.iter().map(|&v| v as u64).collect();
+//! assert_ne!(a.simulate(&words)[0] & 1, b.simulate(&words)[0] & 1);
+//! # Ok::<(), esyn_eqn::ParseError>(())
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use esyn_eqn::{Network, Node};
+use esyn_eqn::{Network, Node, NodeId};
+use esyn_par::{par_map, Parallelism};
 use esyn_sat::{Lit, Solver, Var};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use rand::{split_seeds, Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
 
 /// Outcome of an equivalence check.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -55,17 +95,40 @@ pub enum EquivResult {
 /// Number of 64-pattern random simulation words tried before SAT.
 const SIM_ROUNDS: usize = 64;
 
+/// Simulation rounds submitted per scheduling chunk; a mismatch found in
+/// one chunk skips all later chunks.
+const SIM_CHUNK: usize = 16;
+
+/// Below this combined node count the simulation filter runs inline:
+/// 64 rounds over a small network finish faster than a thread spawn.
+const PAR_MIN_SIM_NODES: usize = 2048;
+
+/// Below this combined node count the per-output SAT miters run inline.
+const PAR_MIN_SAT_NODES: usize = 256;
+
+/// The random-simulation seed [`check_equivalence`] uses.
+pub const DEFAULT_SIM_SEED: u64 = 0xE5E5_1234_ABCD_0001;
+
 /// Checks combinational equivalence of two networks.
 ///
 /// Inputs are matched by name (an input present in only one network is
 /// fine — the other network simply ignores it); outputs are matched by
 /// position and must agree in count.
 pub fn check_equivalence(a: &Network, b: &Network) -> EquivResult {
-    check_equivalence_seeded(a, b, 0xE5E5_1234_ABCD_0001)
+    check_equivalence_seeded(a, b, DEFAULT_SIM_SEED)
 }
 
 /// [`check_equivalence`] with an explicit random-simulation seed.
 pub fn check_equivalence_seeded(a: &Network, b: &Network, seed: u64) -> EquivResult {
+    check_equivalence_par(a, b, seed, Parallelism::Auto)
+}
+
+/// [`check_equivalence`] with an explicit seed and thread budget.
+///
+/// The verdict — including which output is reported and the exact
+/// counterexample — is a pure function of `(a, b, seed)`; `par` only
+/// changes wall-clock time. Tiny instances ignore `par` and run inline.
+pub fn check_equivalence_par(a: &Network, b: &Network, seed: u64, par: Parallelism) -> EquivResult {
     if a.num_outputs() != b.num_outputs() {
         return EquivResult::Incompatible(format!(
             "output count mismatch: {} vs {}",
@@ -73,71 +136,144 @@ pub fn check_equivalence_seeded(a: &Network, b: &Network, seed: u64) -> EquivRes
             b.num_outputs()
         ));
     }
-    // --- Phase 1: random simulation. ---
-    let mut rng = StdRng::seed_from_u64(seed);
-    for _ in 0..SIM_ROUNDS {
-        let wa: Vec<u64> = (0..a.num_inputs()).map(|_| rng.gen()).collect();
-        let wb: Vec<u64> = b
-            .input_names()
-            .iter()
-            .map(|n| match a.input_names().iter().position(|m| m == n) {
-                Some(i) => wa[i],
-                None => rng.gen(), // input only b knows; value is free
-            })
-            .collect();
-        let ra = a.simulate(&wa);
-        let rb = b.simulate(&wb);
-        for (o, (x, y)) in ra.iter().zip(&rb).enumerate() {
-            if x != y {
-                let bit = (x ^ y).trailing_zeros();
-                let cex = (0..a.num_inputs())
-                    .map(|i| (wa[i] >> bit) & 1 == 1)
-                    .collect();
-                return EquivResult::NotEquivalent {
-                    output: o,
-                    counterexample: cex,
-                };
-            }
+    let size = a.len() + b.len();
+
+    // Both phases run chunk by chunk with a check in between: the first
+    // `Some` in index order wins no matter where the chunk boundaries
+    // fall or how a chunk was scheduled, so the verdict stays
+    // thread-count-invariant while an early mismatch still short-circuits
+    // the remaining work (the pre-parallel code's early exit).
+
+    // --- Phase 1: random simulation, one private RNG per round. ---
+    let round_seeds = split_seeds(seed, SIM_ROUNDS);
+    let sim_par = par.when(size >= PAR_MIN_SIM_NODES);
+    for chunk in round_seeds.chunks(SIM_CHUNK) {
+        let failures = par_map(sim_par, chunk, |_, &round_seed| {
+            simulate_round(a, b, round_seed)
+        });
+        if let Some(fail) = failures.into_iter().flatten().next() {
+            return fail;
         }
     }
 
-    // --- Phase 2: SAT miter. ---
+    // --- Phase 2: SAT miter per output, each worker owns its solver. ---
+    let outputs: Vec<usize> = (0..a.num_outputs()).collect();
+    let sat_par = par.when(outputs.len() > 1 && size >= PAR_MIN_SAT_NODES);
+    // Miters are expensive, so the chunk tracks the worker count (double,
+    // to absorb per-output cost skew without a hard barrier every few
+    // items). Chunking affects how much work runs past the first failing
+    // output — never which verdict is returned.
+    let sat_chunk = sat_par.threads().max(1) * 2;
+    for chunk in outputs.chunks(sat_chunk) {
+        let verdicts = par_map(sat_par, chunk, |_, &o| solve_output_miter(a, b, o));
+        if let Some(fail) = verdicts.into_iter().flatten().next() {
+            return fail;
+        }
+    }
+    EquivResult::Equivalent
+}
+
+/// Runs one 64-pattern simulation round; `Some(NotEquivalent)` when a
+/// differing output is found. Independent of every other round.
+fn simulate_round(a: &Network, b: &Network, round_seed: u64) -> Option<EquivResult> {
+    let mut rng = StdRng::seed_from_u64(round_seed);
+    let wa: Vec<u64> = (0..a.num_inputs()).map(|_| rng.gen()).collect();
+    let wb: Vec<u64> = b
+        .input_names()
+        .iter()
+        .map(|n| match a.input_names().iter().position(|m| m == n) {
+            Some(i) => wa[i],
+            None => rng.gen(), // input only b knows; value is free
+        })
+        .collect();
+    let ra = a.simulate(&wa);
+    let rb = b.simulate(&wb);
+    for (o, (x, y)) in ra.iter().zip(&rb).enumerate() {
+        if x != y {
+            let bit = (x ^ y).trailing_zeros();
+            let cex = (0..a.num_inputs())
+                .map(|i| (wa[i] >> bit) & 1 == 1)
+                .collect();
+            return Some(EquivResult::NotEquivalent {
+                output: o,
+                counterexample: cex,
+            });
+        }
+    }
+    None
+}
+
+/// Builds and solves the miter for output `o` in a fresh solver:
+/// `Some(NotEquivalent)` when the outputs can differ, `None` when proven
+/// equal. Self-contained so per-output verdicts (and counterexample
+/// models) cannot depend on queries for other outputs — the property
+/// that makes the parallel sweep thread-count-invariant.
+fn solve_output_miter(a: &Network, b: &Network, o: usize) -> Option<EquivResult> {
     let mut solver = Solver::new();
-    // shared input variables, keyed by name
+    // shared input variables, keyed by name, allocated in a stable order
     let mut input_vars: HashMap<String, Var> = HashMap::new();
     for name in a.input_names().iter().chain(b.input_names()) {
         input_vars
             .entry(name.clone())
             .or_insert_with(|| solver.new_var());
     }
-    let lits_a = encode(a, &mut solver, &input_vars);
-    let lits_b = encode(b, &mut solver, &input_vars);
+    let la = encode_output_cone(a, o, &mut solver, &input_vars);
+    let lb = encode_output_cone(b, o, &mut solver, &input_vars);
 
-    for (o, (la, lb)) in lits_a.iter().zip(&lits_b).enumerate() {
-        // different? two assumption queries: (la & !lb) then (!la & lb)
-        for (x, y) in [(*la, !*lb), (!*la, *lb)] {
-            if solver.solve_with_assumptions(&[x, y]) {
-                let cex = a
-                    .input_names()
-                    .iter()
-                    .map(|n| solver.value(input_vars[n]).unwrap_or(false))
-                    .collect();
-                return EquivResult::NotEquivalent {
-                    output: o,
-                    counterexample: cex,
-                };
+    // different? two assumption queries: (la & !lb) then (!la & lb)
+    for (x, y) in [(la, !lb), (!la, lb)] {
+        if solver.solve_with_assumptions(&[x, y]) {
+            let cex = a
+                .input_names()
+                .iter()
+                .map(|n| solver.value(input_vars[n]).unwrap_or(false))
+                .collect();
+            return Some(EquivResult::NotEquivalent {
+                output: o,
+                counterexample: cex,
+            });
+        }
+    }
+    None
+}
+
+/// Node ids in the transitive fanin of output `o` (including the output
+/// node itself).
+fn output_cone(net: &Network, o: usize) -> HashSet<NodeId> {
+    let mut cone = HashSet::new();
+    let mut stack = vec![net.outputs()[o].1];
+    while let Some(id) = stack.pop() {
+        if !cone.insert(id) {
+            continue;
+        }
+        match net.node(id) {
+            Node::Const(_) | Node::Input(_) => {}
+            Node::Not(x) => stack.push(x),
+            Node::And(x, y) | Node::Or(x, y) => {
+                stack.push(x);
+                stack.push(y);
             }
         }
     }
-    EquivResult::Equivalent
+    cone
 }
 
-/// Tseitin-encodes a network over shared input variables; returns one
-/// literal per output.
-fn encode(net: &Network, solver: &mut Solver, inputs: &HashMap<String, Var>) -> Vec<Lit> {
+/// Tseitin-encodes the cone of output `o` over shared input variables;
+/// returns that output's literal. Restricting the encoding to the cone
+/// keeps the per-output miters from re-encoding logic they never query.
+fn encode_output_cone(
+    net: &Network,
+    o: usize,
+    solver: &mut Solver,
+    inputs: &HashMap<String, Var>,
+) -> Lit {
+    let cone = output_cone(net, o);
     let mut lit_of: HashMap<esyn_eqn::NodeId, Lit> = HashMap::new();
     let mut const_lit: Option<Lit> = None;
     for id in net.topo_order() {
+        if !cone.contains(&id) {
+            continue;
+        }
         let lit = match net.node(id) {
             Node::Const(v) => {
                 let base = *const_lit.get_or_insert_with(|| {
@@ -174,7 +310,7 @@ fn encode(net: &Network, solver: &mut Solver, inputs: &HashMap<String, Var>) -> 
         };
         lit_of.insert(id, lit);
     }
-    net.outputs().iter().map(|(_, id)| lit_of[id]).collect()
+    lit_of[&net.outputs()[o].1]
 }
 
 #[cfg(test)]

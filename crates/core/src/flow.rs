@@ -9,9 +9,10 @@ use crate::pool::{extract_pool_with, PoolConfig};
 use crate::rules::all_rules;
 use crate::train::CostModels;
 use esyn_aig::{scripts, Aig};
-use esyn_cec::{check_equivalence, EquivResult};
+use esyn_cec::{check_equivalence_par, EquivResult, DEFAULT_SIM_SEED};
 use esyn_egraph::{RecExpr, Rewrite, Runner, RunnerLimits, StopReason};
 use esyn_eqn::Network;
+use esyn_par::{par_map, Parallelism};
 use esyn_techmap::{map_and_size, Library, MapMode, QorReport};
 use std::time::Duration;
 
@@ -115,6 +116,11 @@ pub struct EsynConfig {
     /// calibrated paper experiments keep the documented `dc2`
     /// approximation (see DESIGN.md, substitution notes).
     pub use_choices: bool,
+    /// Worker threads for the flow's parallel stages — pool sampling,
+    /// candidate scoring, and CEC verification (overriding
+    /// [`PoolConfig::parallelism`] so the flow has one knob). Results are
+    /// bit-identical at any setting; see `esyn-par`.
+    pub parallelism: Parallelism,
 }
 
 impl Default for EsynConfig {
@@ -125,6 +131,7 @@ impl Default for EsynConfig {
             verify: true,
             target_delay: None,
             use_choices: false,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -178,7 +185,11 @@ pub fn esyn_optimize(
 ) -> EsynResult {
     let expr = network_to_recexpr(net);
     let runner = saturate(&expr, &all_rules(), &cfg.limits);
-    let pool = extract_pool_with(&runner.egraph, runner.roots[0], Some(&expr), &cfg.pool);
+    let pool_cfg = PoolConfig {
+        parallelism: cfg.parallelism,
+        ..cfg.pool
+    };
+    let pool = extract_pool_with(&runner.egraph, runner.roots[0], Some(&expr), &pool_cfg);
 
     let score = |cand: &RecExpr<BoolLang>| -> f64 {
         let feats = Features::from_expr(cand);
@@ -190,10 +201,14 @@ pub fn esyn_optimize(
             }
         }
     };
-    let (best_idx, predicted_cost) = pool
-        .iter()
+    // Feature extraction + model evaluation per candidate is independent
+    // work; the serial min-reduce over the ordered scores keeps candidate
+    // selection thread-count-invariant. Small pools score inline.
+    let score_par = cfg.parallelism.when(pool.len() >= 32);
+    let scores = par_map(score_par, &pool, |_, cand| score(cand));
+    let (best_idx, predicted_cost) = scores
+        .into_iter()
         .enumerate()
-        .map(|(i, c)| (i, score(c)))
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
         .expect("pool is never empty");
 
@@ -201,7 +216,7 @@ pub fn esyn_optimize(
     let chosen = recexpr_to_network(&pool[best_idx], &names);
 
     let verified = if cfg.verify {
-        let verdict = check_equivalence(net, &chosen);
+        let verdict = check_equivalence_par(net, &chosen, DEFAULT_SIM_SEED, cfg.parallelism);
         assert_eq!(
             verdict,
             EquivResult::Equivalent,
@@ -336,8 +351,9 @@ pub fn abc_baseline_choices(
 }
 
 /// Maps every pool candidate through the backend and reports its
-/// `(area, delay)` — the measurement behind Figures 4 and 6. Runs on a
-/// small thread pool; order matches `pool`.
+/// `(area, delay)` — the measurement behind Figures 4 and 6. Candidates
+/// are measured by parallel workers ([`Parallelism::Auto`], so
+/// `ESYN_THREADS` applies); order matches `pool`.
 pub fn measure_pool(
     pool: &[RecExpr<BoolLang>],
     output_names: &[String],
@@ -345,40 +361,11 @@ pub fn measure_pool(
     objective: Objective,
     target_delay: Option<f64>,
 ) -> Vec<QorReport> {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(8)
-        .min(pool.len().max(1));
-    let chunk = pool.len().div_ceil(threads);
-    let mut out: Vec<(usize, QorReport)> = Vec::with_capacity(pool.len());
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(pool.len());
-            if lo >= hi {
-                break;
-            }
-            let slice = &pool[lo..hi];
-            handles.push(scope.spawn(move || {
-                slice
-                    .iter()
-                    .enumerate()
-                    .map(|(i, cand)| {
-                        let net = recexpr_to_network(cand, output_names);
-                        let (_, q) = esyn_backend(&net, lib, objective, target_delay);
-                        (lo + i, q)
-                    })
-                    .collect::<Vec<_>>()
-            }));
-        }
-        for h in handles {
-            out.extend(h.join().expect("measure worker"));
-        }
-    });
-    out.sort_by_key(|&(i, _)| i);
-    out.into_iter().map(|(_, q)| q).collect()
+    par_map(Parallelism::Auto, pool, |_, cand| {
+        let net = recexpr_to_network(cand, output_names);
+        let (_, q) = esyn_backend(&net, lib, objective, target_delay);
+        q
+    })
 }
 
 #[cfg(test)]

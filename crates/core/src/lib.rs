@@ -52,6 +52,7 @@ pub mod train;
 
 pub use analysis::ConstFold;
 pub use cost::{AstDepthCost, AstSizeCost, CandidateCost, GbdtCost, WeightedOpsCost};
+pub use esyn_par::Parallelism;
 pub use features::Features;
 pub use flow::{
     abc_baseline, abc_baseline_choices, esyn_backend, esyn_backend_choices, esyn_optimize,

@@ -18,14 +18,25 @@
 //!
 //! Every candidate is returned for scoring by an arbitrary cost model —
 //! which is the whole point: the model need not be linear or monotone.
+//!
+//! # Parallel sampling
+//!
+//! Samples are drawn in parallel ([`PoolConfig::parallelism`]): sample
+//! `k` owns a private RNG seeded from `split_seeds(cfg.seed, …)[k]`, so
+//! each draw is a pure function of `(e-graph, seed, k)` and the pool is
+//! bit-identical at any thread count (deduplication runs serially over
+//! the order-preserving [`esyn_par::par_map`] output). Pre-splitting
+//! also makes sample streams prefix-closed: growing `num_samples` never
+//! changes the samples already drawn.
 
 use crate::cost::WeightedOpsCost;
 use crate::lang::BoolLang;
 use esyn_egraph::{
     Analysis, AstDepth, AstSize, DagExtractor, DagSize, EGraph, Extractor, Id, Language, RecExpr,
 };
+use esyn_par::{par_map, Parallelism};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{split_seeds, Rng, SeedableRng};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Pool-extraction parameters; defaults follow the paper (p = 0.2,
@@ -51,6 +62,11 @@ pub struct PoolConfig {
     /// default so the calibrated paper experiments are unchanged; the
     /// `ablation_pool` bench measures its effect.
     pub include_dag_extreme: bool,
+    /// Worker threads for stochastic sampling. The pool is bit-identical
+    /// at any setting (see the module docs); this knob trades wall-clock
+    /// only. Defaults to [`Parallelism::Auto`] (`ESYN_THREADS` override,
+    /// else the hardware count).
+    pub parallelism: Parallelism,
 }
 
 impl Default for PoolConfig {
@@ -62,6 +78,7 @@ impl Default for PoolConfig {
             seed: 0xE5F1,
             include_original: true,
             include_dag_extreme: false,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -93,23 +110,35 @@ impl PoolConfig {
 ///
 /// Panics if the e-graph is dirty (call `rebuild` first; the runner does)
 /// or if `root`'s class is not extractable.
-pub fn extract_pool<N: Analysis<BoolLang>>(
+pub fn extract_pool<N>(
     egraph: &EGraph<BoolLang, N>,
     root: Id,
     cfg: &PoolConfig,
-) -> Vec<RecExpr<BoolLang>> {
+) -> Vec<RecExpr<BoolLang>>
+where
+    N: Analysis<BoolLang> + Sync,
+    N::Data: Sync,
+{
     extract_pool_with(egraph, root, None, cfg)
 }
+
+/// Below this much total sampling work (samples × e-nodes) the samples
+/// are drawn inline: spawning workers would cost more than the draws.
+const PAR_MIN_WORK: usize = 1 << 16;
 
 /// [`extract_pool`] with the input form available: when
 /// `cfg.include_original` is set and `original` is provided, the input
 /// term joins the pool (deduplicated like every other candidate).
-pub fn extract_pool_with<N: Analysis<BoolLang>>(
+pub fn extract_pool_with<N>(
     egraph: &EGraph<BoolLang, N>,
     root: Id,
     original: Option<&RecExpr<BoolLang>>,
     cfg: &PoolConfig,
-) -> Vec<RecExpr<BoolLang>> {
+) -> Vec<RecExpr<BoolLang>>
+where
+    N: Analysis<BoolLang> + Sync,
+    N::Data: Sync,
+{
     assert!(egraph.is_clean(), "rebuild the e-graph before extraction");
     let mut pool: Vec<RecExpr<BoolLang>> = Vec::new();
     let mut seen: HashSet<RecExpr<BoolLang>> = HashSet::new();
@@ -144,10 +173,15 @@ pub fn extract_pool_with<N: Analysis<BoolLang>>(
     }
 
     let index = SampleIndex::build(egraph);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
     let (ra, rb) = cfg.ratio;
     let cycle = (ra + rb).max(1);
-    for k in 0..cfg.num_samples {
+    // One private seed per sample: draw k is a pure function of
+    // (e-graph, cfg.seed, k), so the par_map below is schedule-invariant.
+    let seeds = split_seeds(cfg.seed, cfg.num_samples);
+    let par = cfg
+        .parallelism
+        .when(cfg.num_samples.saturating_mul(egraph.total_nodes()) >= PAR_MIN_WORK);
+    let samples = par_map(par, &seeds, |k, &sample_seed| {
         let strategy = if (k as u32) % cycle < ra {
             Strategy::RandomTiedBest
         } else {
@@ -158,10 +192,12 @@ pub fn extract_pool_with<N: Analysis<BoolLang>>(
             1 => LocalCost::Size,
             _ => LocalCost::WeightedOps,
         };
-        if let Some(expr) = index.sample(egraph, root, strategy, cost_kind, &mut rng) {
-            if seen.insert(expr.clone()) {
-                pool.push(expr);
-            }
+        let mut rng = StdRng::seed_from_u64(sample_seed);
+        index.sample(egraph, root, strategy, cost_kind, &mut rng)
+    });
+    for expr in samples.into_iter().flatten() {
+        if seen.insert(expr.clone()) {
+            pool.push(expr);
         }
     }
     pool
@@ -511,6 +547,47 @@ mod tests {
         );
         assert!(pool.len() >= base.len());
         assert!(pool.len() <= base.len() + 1);
+    }
+
+    #[test]
+    fn pool_is_identical_at_any_thread_count() {
+        let src = "INORDER = a b c d;\nOUTORDER = f;\nf = (a*b) + (c*d) + (a*c) + (b*d);\n";
+        let runner = saturated_runner(src);
+        let pool_at = |par: esyn_par::Parallelism| {
+            let cfg = PoolConfig {
+                parallelism: par,
+                ..PoolConfig::with_samples(40, 21)
+            };
+            extract_pool(&runner.egraph, runner.roots[0], &cfg)
+        };
+        let serial = pool_at(esyn_par::Parallelism::Serial);
+        for t in [2, 4, 8] {
+            assert_eq!(
+                pool_at(esyn_par::Parallelism::Fixed(t)),
+                serial,
+                "pool differs at {t} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_streams_are_prefix_closed() {
+        // Growing the pool must never change the samples already drawn —
+        // the property Figure 4's prefix sweep relies on, guaranteed by
+        // per-sample seed splitting.
+        let src = "INORDER = a b c d;\nOUTORDER = f;\nf = (a*b) + (c*d) + (a*c) + (b*d);\n";
+        let runner = saturated_runner(src);
+        let small = extract_pool(
+            &runner.egraph,
+            runner.roots[0],
+            &PoolConfig::with_samples(10, 9),
+        );
+        let large = extract_pool(
+            &runner.egraph,
+            runner.roots[0],
+            &PoolConfig::with_samples(60, 9),
+        );
+        assert_eq!(large[..small.len()], small[..]);
     }
 
     #[test]

@@ -161,34 +161,16 @@ pub fn train_cost_models(cfg: &TrainConfig, lib: &Library) -> CostModels {
 }
 
 /// `(features, delay_label, area_label)` per generated circuit.
+///
+/// Circuits are generated by parallel workers; each circuit's rows are a
+/// pure function of `(cfg, lib, index)`, and the order-preserving map
+/// plus serial flatten keep the corpus identical at any thread count.
 fn generate_corpus(cfg: &TrainConfig, lib: &Library) -> Vec<(Vec<f64>, f64, f64)> {
-    let n = cfg.num_circuits;
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(8)
-        .min(n.max(1));
-    let chunk = n.div_ceil(threads);
-    let mut out: Vec<(Vec<f64>, f64, f64)> = Vec::with_capacity(n);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(n);
-            if lo >= hi {
-                break;
-            }
-            handles.push(scope.spawn(move || {
-                (lo..hi)
-                    .flat_map(|i| generate_rows(cfg, lib, i as u64))
-                    .collect::<Vec<_>>()
-            }));
-        }
-        for h in handles {
-            out.extend(h.join().expect("corpus worker"));
-        }
+    let indices: Vec<u64> = (0..cfg.num_circuits as u64).collect();
+    let per_circuit = esyn_par::par_map(esyn_par::Parallelism::Auto, &indices, |_, &i| {
+        generate_rows(cfg, lib, i)
     });
-    out
+    per_circuit.into_iter().flatten().collect()
 }
 
 /// Generates the training rows for one random circuit: the raw form plus

@@ -1,14 +1,20 @@
 //! Seed-determinism guarantees: the candidate pool is a pure function of
 //! (circuit, saturation limits, `PoolConfig`) — two runs with the same
 //! seed must agree node-for-node, whether the e-graph is shared or
-//! rebuilt from scratch.
+//! rebuilt from scratch, and **at any worker-thread count**.
 //!
 //! This is load-bearing for the whole evaluation story: every experiment
 //! bench reports numbers keyed by a seed, and the `esyn-rand` shim has no
 //! entropy-based constructors precisely so this property can't erode.
+//! The thread-count sweep uses `Parallelism::Fixed` as the in-process
+//! stand-in for `ESYN_THREADS ∈ {1, 2, 8}` (mutating the environment
+//! would race the parallel test harness); CI's second `ESYN_THREADS=1`
+//! test run covers the environment-variable path end to end.
 
 use esyn_core::lang::network_to_recexpr;
-use esyn_core::{extract_pool, rules::all_rules, saturate, PoolConfig, SaturationLimits};
+use esyn_core::{
+    extract_pool, rules::all_rules, saturate, Parallelism, PoolConfig, SaturationLimits,
+};
 use esyn_eqn::parse_eqn;
 use std::time::Duration;
 
@@ -44,6 +50,33 @@ fn same_seed_same_pool_on_shared_egraph() {
             render(&b),
             "seed {seed}: two extractions from the same e-graph differ"
         );
+    }
+}
+
+#[test]
+fn pool_identical_across_thread_counts() {
+    let net = parse_eqn(EQN).expect("test circuit parses");
+    let expr = network_to_recexpr(&net);
+    let runner = saturate(&expr, &all_rules(), &limits());
+    // Enough samples that num_samples × e-nodes clears the sampler's
+    // serial gate and the sweep really exercises worker threads.
+    let pool_at = |threads: usize, seed: u64| {
+        let cfg = PoolConfig {
+            parallelism: Parallelism::Fixed(threads),
+            ..PoolConfig::with_samples(128, seed)
+        };
+        render(&extract_pool(&runner.egraph, runner.roots[0], &cfg))
+    };
+    for seed in [0u64, 7, 0xE5F1] {
+        let serial = pool_at(1, seed);
+        assert!(!serial.is_empty());
+        for threads in [2usize, 8] {
+            assert_eq!(
+                pool_at(threads, seed),
+                serial,
+                "seed {seed}: pool at {threads} threads differs from serial"
+            );
+        }
     }
 }
 

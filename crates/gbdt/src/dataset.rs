@@ -1,4 +1,8 @@
-//! Training data container.
+//! Training data container: dense feature rows plus labels, validated on
+//! construction (non-empty, rectangular, one label per row) so the
+//! fitting loops can index without checks. `split_every_kth` provides
+//! the deterministic held-out split used for the paper's Pearson-R
+//! reporting.
 
 use std::error::Error;
 use std::fmt;

@@ -1,7 +1,14 @@
 //! The boosted ensemble: fitting, prediction, persistence, metrics.
+//!
+//! Boosting itself is inherently sequential (each tree fits the previous
+//! round's residuals), so the parallelism lives one level down in the
+//! per-node split search across features — see
+//! [`GbdtParams::parallelism`] and the `tree` module docs. Fitted models
+//! are bit-identical at any thread count.
 
 use crate::dataset::Dataset;
 use crate::tree::{RegressionTree, TreeNode, TreeParams};
+use esyn_par::Parallelism;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::error::Error;
@@ -12,6 +19,25 @@ use std::str::FromStr;
 ///
 /// Defaults match the paper's XGBoost setup: 200 estimators, maximum depth
 /// 5 (§3.2.1); the remaining knobs use the XGBoost defaults.
+///
+/// ```
+/// use esyn_gbdt::{Dataset, GbdtParams, GbdtRegressor};
+///
+/// // A tiny 2-tree ensemble on a step function.
+/// let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+/// let labels: Vec<f64> = (0..64).map(|i| if i < 32 { -1.0 } else { 1.0 }).collect();
+/// let data = Dataset::new(rows, labels)?;
+/// let params = GbdtParams {
+///     n_estimators: 2,
+///     learning_rate: 0.5,
+///     ..Default::default()
+/// };
+/// let model = GbdtRegressor::fit(&data, &params, 0);
+/// assert_eq!(model.num_trees(), 2);
+/// assert!(model.predict(&[10.0]) < 0.0);
+/// assert!(model.predict(&[50.0]) > 0.0);
+/// # Ok::<(), esyn_gbdt::DatasetError>(())
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct GbdtParams {
     /// Number of boosting rounds (trees).
@@ -28,6 +54,9 @@ pub struct GbdtParams {
     pub min_child_weight: f64,
     /// Row subsampling fraction per round (1.0 = off).
     pub subsample: f64,
+    /// Worker threads for the per-node split search. The fitted model is
+    /// bit-identical at any setting; this only trades wall-clock.
+    pub parallelism: Parallelism,
 }
 
 impl Default for GbdtParams {
@@ -40,6 +69,7 @@ impl Default for GbdtParams {
             gamma: 0.0,
             min_child_weight: 1.0,
             subsample: 1.0,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -68,6 +98,7 @@ impl GbdtRegressor {
             lambda: params.lambda,
             gamma: params.gamma,
             min_child_weight: params.min_child_weight,
+            parallelism: params.parallelism,
         };
         let mut rng = StdRng::seed_from_u64(seed);
         let mut grad = vec![0.0f64; n];

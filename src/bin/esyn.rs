@@ -7,18 +7,24 @@
 //! esyn stats    <file>                             # parse + report
 //! esyn optimize <file> [delay|area|balanced]       # full E-Syn flow
 //!               [--models DIR] [--out FILE] [--verilog FILE] [--choices]
+//!               [--threads N]
 //! esyn baseline <file> [delay|area|balanced] [--choices]   # ABC-style baseline
-//! esyn cec      <a> <b>                            # equivalence check
+//! esyn cec      <a> <b> [--threads N]              # equivalence check
 //! esyn bench    <circuit-name>                     # write a named benchmark as eqn
 //! esyn convert  <in> <out>                         # convert between formats
 //! esyn aig      <file> <out.aag|out.aig>           # strash + AIGER export
 //! ```
+//!
+//! `--threads N` pins the worker count for the parallel stages (pool
+//! sampling, candidate scoring, CEC); without it the `ESYN_THREADS`
+//! environment variable applies, then the hardware count. Results are
+//! bit-identical at any thread count.
 
 use e_syn::aig::Aig;
-use e_syn::cec::{check_equivalence, EquivResult};
+use e_syn::cec::{check_equivalence_par, EquivResult, DEFAULT_SIM_SEED};
 use e_syn::core::{
     abc_baseline, abc_baseline_choices, esyn_optimize, train_cost_models, CostModels, EsynConfig,
-    Objective, TrainConfig,
+    Objective, Parallelism, TrainConfig,
 };
 use e_syn::eqn::{parse_blif, parse_eqn, write_blif, Network};
 use e_syn::techmap::Library;
@@ -41,9 +47,9 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!("usage (circuit files: .eqn, .blif, .aag, .aig):");
     eprintln!("  esyn stats    <file>");
-    eprintln!("  esyn optimize <file> [delay|area|balanced] [--models DIR] [--out FILE] [--verilog FILE] [--choices]");
+    eprintln!("  esyn optimize <file> [delay|area|balanced] [--models DIR] [--out FILE] [--verilog FILE] [--choices] [--threads N]");
     eprintln!("  esyn baseline <file> [delay|area|balanced] [--choices]");
-    eprintln!("  esyn cec      <a> <b>");
+    eprintln!("  esyn cec      <a> <b> [--threads N]");
     eprintln!("  esyn bench    <circuit-name> (or `list`)");
     eprintln!("  esyn convert  <in> <out.eqn|out.blif|out.aag|out.aig|out.v>");
     eprintln!("  esyn aig      <file> <out.aag|out.aig>");
@@ -55,10 +61,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "stats" => stats(args.get(1).ok_or("missing input file")?),
         "optimize" => optimize(&args[1..]),
         "baseline" => baseline(&args[1..]),
-        "cec" => cec(
-            args.get(1).ok_or("missing first file")?,
-            args.get(2).ok_or("missing second file")?,
-        ),
+        "cec" => cec(&args[1..]),
         "bench" => bench(args.get(1).map(String::as_str).unwrap_or("list")),
         "convert" => convert(
             args.get(1).ok_or("missing input file")?,
@@ -131,6 +134,16 @@ fn convert(input: &str, output: &str) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_threads(s: &str) -> Result<Parallelism, String> {
+    let n: usize = s
+        .parse()
+        .map_err(|_| format!("--threads needs a positive integer, got `{s}`"))?;
+    if n == 0 {
+        return Err("--threads needs a positive integer".into());
+    }
+    Ok(Parallelism::Fixed(n))
+}
+
 fn parse_objective(s: Option<&String>) -> Result<Objective, String> {
     match s.map(String::as_str) {
         None | Some("delay") => Ok(Objective::Delay),
@@ -182,6 +195,7 @@ fn optimize(args: &[String]) -> Result<(), String> {
     let mut out_file = None;
     let mut verilog_file = None;
     let mut use_choices = false;
+    let mut parallelism = Parallelism::Auto;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -189,6 +203,9 @@ fn optimize(args: &[String]) -> Result<(), String> {
             "--out" => out_file = Some(it.next().ok_or("--out needs a value")?.clone()),
             "--verilog" => verilog_file = Some(it.next().ok_or("--verilog needs a value")?.clone()),
             "--choices" => use_choices = true,
+            "--threads" => {
+                parallelism = parse_threads(it.next().ok_or("--threads needs a value")?)?
+            }
             other if objective_arg.is_none() => objective_arg = Some(other.to_owned()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
@@ -200,6 +217,7 @@ fn optimize(args: &[String]) -> Result<(), String> {
 
     let cfg = EsynConfig {
         use_choices,
+        parallelism,
         ..EsynConfig::default()
     };
     let result = esyn_optimize(&net, &models, &lib, objective, &cfg);
@@ -246,10 +264,24 @@ fn baseline(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cec(a: &str, b: &str) -> Result<(), String> {
+fn cec(args: &[String]) -> Result<(), String> {
+    let mut files: Vec<&String> = Vec::new();
+    let mut parallelism = Parallelism::Auto;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                parallelism = parse_threads(it.next().ok_or("--threads needs a value")?)?
+            }
+            _ => files.push(a),
+        }
+    }
+    let [a, b] = files[..] else {
+        return Err("cec needs exactly two circuit files".into());
+    };
     let na = load(a)?;
     let nb = load(b)?;
-    match check_equivalence(&na, &nb) {
+    match check_equivalence_par(&na, &nb, DEFAULT_SIM_SEED, parallelism) {
         EquivResult::Equivalent => {
             println!("EQUIVALENT");
             Ok(())

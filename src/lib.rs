@@ -7,11 +7,21 @@
 //! fraiging, structural choices and AIGER I/O), a technology mapper with
 //! STA, buffering and sizing, a CDCL SAT solver, an equivalence checker,
 //! a GBDT regressor, eqn/S-expression/BLIF format converters, and
-//! generators for the benchmark circuits. See `DESIGN.md` for the system
-//! inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+//! generators for the benchmark circuits, and a deterministic parallel
+//! execution layer. See `ARCHITECTURE.md` for a guided tour of the
+//! pipeline, `DESIGN.md` for the system inventory and `EXPERIMENTS.md`
+//! for the paper-vs-measured record.
 //!
 //! This facade crate re-exports the workspace members under stable paths;
 //! depend on the individual `esyn-*` crates for finer-grained builds.
+//!
+//! ## Parallelism
+//!
+//! The hot loops (pool sampling, CEC, GBDT split search, candidate
+//! measurement) run on [`par`]'s scoped workers. Results are
+//! **bit-identical at any thread count**: set `ESYN_THREADS=1` for the
+//! exact serial path, or pass a [`par::Parallelism`] through
+//! [`core::EsynConfig`] / the `esyn --threads` flag.
 //!
 //! ## Quickstart
 //!
@@ -57,6 +67,9 @@ pub use esyn_gbdt as gbdt;
 
 /// Benchmark circuit generators ([`esyn_circuits`]).
 pub use esyn_circuits as circuits;
+
+/// Deterministic fork–join parallelism primitives ([`esyn_par`]).
+pub use esyn_par as par;
 
 /// The E-Syn core: rules, pool extraction, cost models, flows
 /// ([`esyn_core`]).

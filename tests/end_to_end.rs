@@ -27,6 +27,7 @@ fn fast_config() -> EsynConfig {
         verify: true,
         target_delay: None,
         use_choices: false,
+        parallelism: e_syn::par::Parallelism::Auto,
     }
 }
 
@@ -83,6 +84,7 @@ fn esyn_and_baseline_comparable_on_max() {
         verify: true,
         target_delay: None,
         use_choices: false,
+        parallelism: e_syn::par::Parallelism::Auto,
     };
     let esyn = esyn_optimize(&net, models(), &lib, Objective::Delay, &cfg);
     assert!(

@@ -1,0 +1,139 @@
+//! The `esyn-par` contract, proven end to end: pools, CEC verdicts
+//! (including counterexamples) and GBDT models are **bit-identical at
+//! any worker-thread count**. Parallelism trades wall-clock only.
+//!
+//! `Parallelism::Fixed` is the in-process stand-in for sweeping
+//! `ESYN_THREADS` (mutating the environment would race the parallel test
+//! harness); CI additionally runs the whole suite under `ESYN_THREADS=1`
+//! to pin the environment-variable path.
+
+use e_syn::aig::{scripts, Aig};
+use e_syn::cec::{check_equivalence_par, EquivResult, DEFAULT_SIM_SEED};
+use e_syn::core::{
+    extract_pool_with, lang::network_to_recexpr, rules::all_rules, saturate, PoolConfig,
+    SaturationLimits,
+};
+use e_syn::gbdt::{Dataset, GbdtParams, GbdtRegressor};
+use e_syn::par::Parallelism;
+
+const SWEEP: [Parallelism; 3] = [
+    Parallelism::Serial,
+    Parallelism::Fixed(2),
+    Parallelism::Fixed(8),
+];
+
+#[test]
+fn pool_extraction_is_thread_count_invariant_on_a_real_circuit() {
+    let net = e_syn::circuits::by_name("qadd").expect("qadd generator");
+    let expr = network_to_recexpr(&net);
+    let runner = saturate(&expr, &all_rules(), &SaturationLimits::small());
+    let pool_at = |par: Parallelism| {
+        let cfg = PoolConfig {
+            parallelism: par,
+            ..PoolConfig::with_samples(96, 0xE5F1)
+        };
+        extract_pool_with(&runner.egraph, runner.roots[0], Some(&expr), &cfg)
+    };
+    let serial = pool_at(Parallelism::Serial);
+    assert!(serial.len() >= 3, "pool too small: {}", serial.len());
+    for par in SWEEP {
+        assert_eq!(pool_at(par), serial, "pool differs under {par:?}");
+    }
+}
+
+#[test]
+fn cec_verdict_is_thread_count_invariant_on_equivalent_networks() {
+    // A multiplier against its dc2-resynthesised form: structurally very
+    // different, functionally identical — every output miter does real
+    // SAT work.
+    let net = e_syn::circuits::by_name("3_3").expect("3_3 multiplier");
+    let opt = scripts::dc2(&Aig::from_network(&net)).to_network();
+    let verdicts: Vec<EquivResult> = SWEEP
+        .iter()
+        .map(|&par| check_equivalence_par(&net, &opt, DEFAULT_SIM_SEED, par))
+        .collect();
+    for v in &verdicts {
+        assert_eq!(*v, EquivResult::Equivalent);
+    }
+}
+
+#[test]
+fn cec_counterexample_is_thread_count_invariant() {
+    // An adder with one corrupted sum bit: the verdict must name the
+    // same output and the same counterexample at every thread count.
+    let good = e_syn::circuits::by_name("qadd").expect("qadd generator");
+    let mut src = good.to_eqn();
+    // Corrupt one internal definition: swap an AND for an OR on the
+    // first gate line that uses `*`.
+    let corrupted = {
+        let mut done = false;
+        src = src
+            .lines()
+            .map(|l| {
+                if !done
+                    && !l.starts_with("INORDER")
+                    && !l.starts_with("OUTORDER")
+                    && l.contains('*')
+                {
+                    done = true;
+                    l.replacen('*', "+", 1)
+                } else {
+                    l.to_owned()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(done, "no gate line found to corrupt");
+        e_syn::eqn::parse_eqn(&src).expect("corrupted eqn still parses")
+    };
+    let results: Vec<EquivResult> = SWEEP
+        .iter()
+        .map(|&par| check_equivalence_par(&good, &corrupted, DEFAULT_SIM_SEED, par))
+        .collect();
+    let EquivResult::NotEquivalent {
+        output,
+        counterexample,
+    } = &results[0]
+    else {
+        panic!("corruption must be detectable, got {:?}", results[0]);
+    };
+    // the counterexample really distinguishes the two networks
+    let words: Vec<u64> = counterexample.iter().map(|&v| v as u64).collect();
+    assert_ne!(
+        good.simulate(&words)[*output] & 1,
+        corrupted.simulate(&words)[*output] & 1
+    );
+    for r in &results[1..] {
+        assert_eq!(r, &results[0], "verdict depends on thread count");
+    }
+}
+
+#[test]
+fn gbdt_model_is_thread_count_invariant() {
+    // Large enough that the split search clears its serial work gate
+    // (rows × features ≥ 2^16) at the upper tree nodes.
+    let rows: Vec<Vec<f64>> = (0..8400)
+        .map(|i| {
+            (0..8)
+                .map(|f| ((i * (2 * f + 1) + 7 * f) % 101) as f64)
+                .collect::<Vec<f64>>()
+        })
+        .collect();
+    let labels: Vec<f64> = rows
+        .iter()
+        .map(|r| 2.0 * r[0] - r[3] + 0.25 * r[5] * r[7])
+        .collect();
+    let data = Dataset::new(rows, labels).unwrap();
+    let fit_at = |par: Parallelism| {
+        let params = GbdtParams {
+            n_estimators: 25,
+            parallelism: par,
+            ..Default::default()
+        };
+        GbdtRegressor::fit(&data, &params, 11).to_text()
+    };
+    let serial = fit_at(Parallelism::Serial);
+    for par in &SWEEP[1..] {
+        assert_eq!(fit_at(*par), serial, "model differs under {par:?}");
+    }
+}
