@@ -28,4 +28,14 @@ ESYN_BENCH_FAST=1 cargo bench -q -p esyn-bench --bench micro >/dev/null
 echo "==> smoke-run parallel bench (ESYN_BENCH_FAST=1)"
 ESYN_BENCH_FAST=1 cargo bench -q -p esyn-bench --bench parallel >/dev/null
 
+echo "==> smoke-run saturation bench (ESYN_BENCH_FAST=1)"
+ESYN_BENCH_FAST=1 cargo bench -q -p esyn-bench --bench saturation >/dev/null
+
+echo "==> smoke-run saturation bench (ESYN_BENCH_FAST=1, ESYN_THREADS=1)"
+# The bench asserts its Fixed{1,2,...} thread sweep is bit-identical and
+# additionally runs a Parallelism::Auto saturation; this second pass
+# drives that Auto run through the ESYN_THREADS override so the
+# env-resolution path of the Runner's parallel search stays covered.
+ESYN_BENCH_FAST=1 ESYN_THREADS=1 cargo bench -q -p esyn-bench --bench saturation >/dev/null
+
 echo "ci.sh: all checks passed"

@@ -1,0 +1,145 @@
+//! Saturation-engine throughput: e-matching (the read-only search phase
+//! over the full Table-1 rule set) and end-to-end equality saturation on
+//! registry circuits, swept over worker-thread counts.
+//!
+//! This is the before/after yardstick for the indexed-matching work
+//! (EXPERIMENTS.md § "Saturation engine"): `search-phase` times one full
+//! pass of `Rewrite::search` for all 26 rules over a saturated e-graph —
+//! the inner loop `Runner::run` repeats every iteration — and `saturate`
+//! times the whole run. The thread sweep re-checks the determinism
+//! contract: every thread count must produce identical iteration
+//! statistics, stop reason and best extraction. Set `ESYN_BENCH_FAST=1`
+//! for a smoke run.
+//!
+//! ```text
+//! cargo bench -p esyn-bench --bench saturation
+//! ```
+
+use esyn_core::{
+    lang::network_to_recexpr, rules::all_rules, saturate_par, Parallelism, SaturationLimits,
+};
+use esyn_egraph::AstSize;
+use std::time::{Duration, Instant};
+
+/// Minimum wall-clock over `reps` runs of `f`.
+fn time(reps: usize, mut f: impl FnMut()) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+fn limits(fast: bool) -> SaturationLimits {
+    if fast {
+        SaturationLimits {
+            iter_limit: 4,
+            node_limit: 2_000,
+            time_limit: Duration::from_secs(5),
+        }
+    } else {
+        SaturationLimits {
+            iter_limit: 12,
+            node_limit: 20_000,
+            time_limit: Duration::from_secs(30),
+        }
+    }
+}
+
+fn main() {
+    let fast = std::env::var_os("ESYN_BENCH_FAST").is_some_and(|v| v != "0" && !v.is_empty());
+    let reps = if fast { 1 } else { 5 };
+    let circuits: &[&str] = if fast {
+        &["3_3"]
+    } else {
+        &["3_3", "qadd", "C432"]
+    };
+    let threads: &[usize] = if fast { &[1, 2] } else { &[1, 2, 4] };
+    let rules = all_rules();
+    println!(
+        "saturation: rules = {}, reps = {reps}, host hardware threads = {}",
+        rules.len(),
+        esyn_par::hardware_threads()
+    );
+
+    for name in circuits {
+        let net = esyn_circuits::by_name(name).expect("registry circuit");
+        let expr = network_to_recexpr(&net);
+        let run_at = |t: usize| saturate_par(&expr, &rules, &limits(fast), Parallelism::Fixed(t));
+
+        // End-to-end saturation (search + apply + rebuild per iteration),
+        // across thread counts; outcomes must be bit-identical.
+        let reference = run_at(1);
+        let fingerprint = |r: &esyn_egraph::Runner<esyn_core::BoolLang, esyn_core::ConstFold>| {
+            let stats: Vec<(usize, usize, usize, usize)> = r
+                .iterations
+                .iter()
+                .map(|i| (i.nodes, i.classes, i.applied, i.rebuilds))
+                .collect();
+            let (cost, best) = r.extract_best(AstSize);
+            (stats, r.stop_reason, cost, best.to_string())
+        };
+        let expect = fingerprint(&reference);
+        let mut serial_ns = 0.0f64;
+        for &t in threads {
+            let runner = run_at(t);
+            assert_eq!(
+                fingerprint(&runner),
+                expect,
+                "saturation differs at {t} threads"
+            );
+            let d = time(reps, || {
+                std::hint::black_box(run_at(t).egraph.total_nodes());
+            });
+            let ns = d.as_nanos() as f64;
+            if t == 1 {
+                serial_ns = ns;
+            }
+            println!(
+                "saturate/{name}/{t} threads: {:>10.3} ms  (speedup x{:.2}; {} e-nodes / {} classes, {} iters, stop {:?})",
+                ns / 1e6,
+                serial_ns / ns,
+                runner.egraph.total_nodes(),
+                runner.egraph.num_classes(),
+                runner.iterations.len(),
+                runner.stop_reason.expect("runner finished"),
+            );
+        }
+
+        // The env-driven path: `Parallelism::Auto` is what resolves
+        // `ESYN_THREADS` (CI's second smoke pass runs this bench with
+        // ESYN_THREADS=1), and its outcome must match the Fixed sweep.
+        let auto = saturate_par(&expr, &rules, &limits(fast), Parallelism::Auto);
+        assert_eq!(
+            fingerprint(&auto),
+            expect,
+            "saturation differs under Parallelism::Auto (ESYN_THREADS = {:?})",
+            std::env::var("ESYN_THREADS").ok()
+        );
+
+        // Search phase only: all rules matched once over the final
+        // e-graph — the loop the operator index + compiled machine speed
+        // up, timed single-threaded so the win is purely algorithmic.
+        let count_matches = || -> usize {
+            rules
+                .iter()
+                .map(|r| {
+                    r.search(&reference.egraph)
+                        .iter()
+                        .map(|m| m.substs.len())
+                        .sum::<usize>()
+                })
+                .sum()
+        };
+        let matches = count_matches();
+        let search = time(reps, || {
+            std::hint::black_box(count_matches());
+        });
+        println!(
+            "search-phase/{name}: {:>10.3} ms  ({matches} substitutions)",
+            search.as_nanos() as f64 / 1e6,
+        );
+    }
+}

@@ -10,7 +10,7 @@ use crate::rules::all_rules;
 use crate::train::CostModels;
 use esyn_aig::{scripts, Aig};
 use esyn_cec::{check_equivalence_par, EquivResult, DEFAULT_SIM_SEED};
-use esyn_egraph::{RecExpr, Rewrite, Runner, RunnerLimits, StopReason};
+use esyn_egraph::{IterationStats, RecExpr, Rewrite, Runner, RunnerLimits, StopReason};
 use esyn_eqn::Network;
 use esyn_par::{par_map, Parallelism};
 use esyn_techmap::{map_and_size, Library, MapMode, QorReport};
@@ -62,14 +62,32 @@ impl SaturationLimits {
 }
 
 /// Runs equality saturation over `expr` with the given rules and limits,
-/// using the constant-folding analysis.
+/// using the constant-folding analysis. Rule search fans out per
+/// [`Parallelism::Auto`] (so `ESYN_THREADS` applies); see [`saturate_par`]
+/// for an explicit policy.
 pub fn saturate(
     expr: &RecExpr<BoolLang>,
     rules: &[Rewrite<BoolLang>],
     limits: &SaturationLimits,
 ) -> Runner<BoolLang, ConstFold> {
+    saturate_par(expr, rules, limits, Parallelism::Auto)
+}
+
+/// [`saturate`] with an explicit worker-thread policy for the per-rule
+/// search phase. Saturation outcomes (iteration statistics, stop reason,
+/// the e-graph itself) are bit-identical at any setting — only wall-clock
+/// changes; see `esyn-par`. As with any wall-clock cutoff, that holds
+/// when the iteration/node caps bind: a `TimeLimit` stop is inherently
+/// schedule-dependent (see `Runner::with_parallelism`).
+pub fn saturate_par(
+    expr: &RecExpr<BoolLang>,
+    rules: &[Rewrite<BoolLang>],
+    limits: &SaturationLimits,
+    parallelism: Parallelism,
+) -> Runner<BoolLang, ConstFold> {
     Runner::with_analysis(ConstFold)
         .with_expr(expr)
+        .with_parallelism(parallelism)
         .with_limits(RunnerLimits {
             iter_limit: limits.iter_limit,
             node_limit: limits.node_limit,
@@ -116,10 +134,12 @@ pub struct EsynConfig {
     /// calibrated paper experiments keep the documented `dc2`
     /// approximation (see DESIGN.md, substitution notes).
     pub use_choices: bool,
-    /// Worker threads for the flow's parallel stages — pool sampling,
-    /// candidate scoring, and CEC verification (overriding
-    /// [`PoolConfig::parallelism`] so the flow has one knob). Results are
-    /// bit-identical at any setting; see `esyn-par`.
+    /// Worker threads for the flow's parallel stages — saturation rule
+    /// search, pool sampling, candidate scoring, and CEC verification
+    /// (overriding [`PoolConfig::parallelism`] so the flow has one knob).
+    /// Results are bit-identical at any setting (provided saturation
+    /// stops on its iteration/node cap rather than the wall-clock
+    /// [`SaturationLimits::time_limit`]); see `esyn-par`.
     pub parallelism: Parallelism,
 }
 
@@ -156,6 +176,9 @@ pub struct EsynResult {
     pub qor: QorReport,
     /// Why saturation stopped.
     pub stop_reason: StopReason,
+    /// Per-iteration saturation statistics (`esyn optimize --verbose`
+    /// prints these).
+    pub iterations: Vec<IterationStats>,
     /// Number of distinct candidates in the pool.
     pub pool_size: usize,
     /// E-graph size at extraction time.
@@ -184,7 +207,7 @@ pub fn esyn_optimize(
     cfg: &EsynConfig,
 ) -> EsynResult {
     let expr = network_to_recexpr(net);
-    let runner = saturate(&expr, &all_rules(), &cfg.limits);
+    let runner = saturate_par(&expr, &all_rules(), &cfg.limits, cfg.parallelism);
     let pool_cfg = PoolConfig {
         parallelism: cfg.parallelism,
         ..cfg.pool
@@ -236,6 +259,7 @@ pub fn esyn_optimize(
         network: chosen,
         qor,
         stop_reason: runner.stop_reason.expect("runner finished"),
+        iterations: runner.iterations,
         pool_size: pool.len(),
         egraph_nodes: runner.egraph.total_nodes(),
         egraph_classes: runner.egraph.num_classes(),

@@ -5,59 +5,33 @@
 use esyn_egraph::{Id, Language, RecExpr};
 use esyn_eqn::{Network, Node as EqnNode, NodeId};
 use std::collections::HashMap;
-use std::fmt;
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 
-/// An interned variable name. Symbols are process-global, cheap to copy
-/// and compare, and resolve back to their string via [`Symbol::as_str`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Symbol(u32);
+// The interner moved into `esyn-egraph` when operators became interned
+// engine-wide; re-exported here so `esyn_core::{lang::,}Symbol` keeps
+// working.
+pub use esyn_egraph::Symbol;
 
-struct Interner {
-    by_name: HashMap<&'static str, u32>,
-    names: Vec<&'static str>,
+/// The fixed operator symbols of [`BoolLang`], interned once.
+struct OpSyms {
+    zero: Symbol,
+    one: Symbol,
+    not: Symbol,
+    and: Symbol,
+    or: Symbol,
+    outs: Symbol,
 }
 
-fn interner() -> &'static Mutex<Interner> {
-    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
-    INTERNER.get_or_init(|| {
-        Mutex::new(Interner {
-            by_name: HashMap::new(),
-            names: Vec::new(),
-        })
+fn ops() -> &'static OpSyms {
+    static OPS: OnceLock<OpSyms> = OnceLock::new();
+    OPS.get_or_init(|| OpSyms {
+        zero: Symbol::intern("0"),
+        one: Symbol::intern("1"),
+        not: Symbol::intern("!"),
+        and: Symbol::intern("*"),
+        or: Symbol::intern("+"),
+        outs: Symbol::intern("outs"),
     })
-}
-
-impl Symbol {
-    /// Interns `name`, returning its symbol.
-    pub fn intern(name: &str) -> Symbol {
-        let mut i = interner().lock().expect("interner lock");
-        if let Some(&id) = i.by_name.get(name) {
-            return Symbol(id);
-        }
-        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
-        let id = i.names.len() as u32;
-        i.names.push(leaked);
-        i.by_name.insert(leaked, id);
-        Symbol(id)
-    }
-
-    /// The interned string.
-    pub fn as_str(self) -> &'static str {
-        interner().lock().expect("interner lock").names[self.0 as usize]
-    }
-}
-
-impl fmt::Debug for Symbol {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.as_str())
-    }
-}
-
-impl fmt::Display for Symbol {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.as_str())
-    }
 }
 
 /// E-node operators of the Boolean language, matching the paper's choice
@@ -144,7 +118,24 @@ impl Language for BoolLang {
         }
     }
 
-    fn from_op(op: &str, children: Vec<Id>) -> Result<Self, String> {
+    fn op_sym(&self) -> Symbol {
+        // Variable names may not shadow an operator spelling (`from_op`
+        // only accepts alphanumeric-leading names and maps `0`/`1` to
+        // constants first), so together with the arity this discriminates
+        // exactly like `matches` — the invariant `op_key` needs.
+        match self {
+            BoolLang::Const(false) => ops().zero,
+            BoolLang::Const(true) => ops().one,
+            BoolLang::Var(s) => *s,
+            BoolLang::Not(_) => ops().not,
+            BoolLang::And(_) => ops().and,
+            BoolLang::Or(_) => ops().or,
+            BoolLang::Outs(_) => ops().outs,
+        }
+    }
+
+    fn from_op(op: Symbol, children: Vec<Id>) -> Result<Self, String> {
+        let op = op.as_str();
         let arity = |n: usize| {
             if children.len() == n {
                 Ok(())

@@ -52,11 +52,12 @@ pub mod train;
 
 pub use analysis::ConstFold;
 pub use cost::{AstDepthCost, AstSizeCost, CandidateCost, GbdtCost, WeightedOpsCost};
+pub use esyn_egraph::{IterationStats, StopReason};
 pub use esyn_par::Parallelism;
 pub use features::Features;
 pub use flow::{
     abc_baseline, abc_baseline_choices, esyn_backend, esyn_backend_choices, esyn_optimize,
-    saturate, EsynConfig, EsynResult, Objective, SaturationLimits,
+    saturate, saturate_par, EsynConfig, EsynResult, Objective, SaturationLimits,
 };
 pub use lang::{network_to_recexpr, recexpr_to_network, BoolLang, Symbol};
 pub use pareto::pareto_front;

@@ -26,8 +26,8 @@
 
 use crate::analysis::Analysis;
 use crate::egraph::EGraph;
+use crate::fxhash::FxHashMap;
 use crate::language::{Id, Language, RecExpr};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Comparison slack for `f64` cost improvement tests.
@@ -148,7 +148,7 @@ impl fmt::Debug for BitSet {
 /// indices, and validated per-node costs.
 struct DenseView<L> {
     ids: Vec<Id>,
-    index: HashMap<Id, usize>,
+    index: FxHashMap<Id, usize>,
     /// `nodes[c][k]` = (e-node, dense child indices, cost).
     nodes: Vec<Vec<(L, Vec<usize>, f64)>>,
 }
@@ -160,7 +160,8 @@ impl<L: Language> DenseView<L> {
         CF: DagCostFunction<L>,
     {
         let mut ids = Vec::with_capacity(egraph.num_classes());
-        let mut index = HashMap::with_capacity(egraph.num_classes());
+        let mut index =
+            FxHashMap::with_capacity_and_hasher(egraph.num_classes(), Default::default());
         for class in egraph.classes() {
             let canon = egraph.find(class.id);
             index.insert(canon, ids.len());
@@ -561,7 +562,7 @@ fn build_expr<L: Language>(
     choice: impl Fn(usize) -> usize,
 ) -> RecExpr<L> {
     let mut expr = RecExpr::new();
-    let mut built: HashMap<usize, Id> = HashMap::new();
+    let mut built: FxHashMap<usize, Id> = FxHashMap::default();
     enum Frame {
         Visit(usize),
         Emit(usize),

@@ -3,9 +3,9 @@
 //! algorithm of the egg paper (POPL 2021).
 
 use crate::analysis::Analysis;
-use crate::language::{Id, Language, RecExpr};
+use crate::fxhash::FxHashMap;
+use crate::language::{Id, Language, OpKey, RecExpr};
 use crate::unionfind::UnionFind;
-use std::collections::HashMap;
 use std::fmt;
 
 /// An equivalence class of e-nodes.
@@ -56,8 +56,14 @@ pub struct EGraph<L: Language, N: Analysis<L> = ()> {
     /// The analysis instance (rule-accessible state lives here).
     pub analysis: N,
     unionfind: UnionFind,
-    memo: HashMap<L, Id>,
+    memo: FxHashMap<L, Id>,
     classes: Vec<Option<EClass<L, N::Data>>>,
+    /// Operator index: for every [`OpKey`], the e-classes containing at
+    /// least one e-node with that operator. Kept exact (canonical,
+    /// sorted, deduplicated) by [`EGraph::rebuild`]; entries appended by
+    /// [`EGraph::add`] between rebuilds may be stale, so readers
+    /// canonicalize (see [`EGraph::classes_with_op`]).
+    classes_by_op: FxHashMap<OpKey, Vec<Id>>,
     /// Worklist of parent e-nodes whose children were unioned.
     pending: Vec<(L, Id)>,
     /// Worklist of e-nodes whose analysis data must be re-made.
@@ -84,8 +90,9 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         EGraph {
             analysis,
             unionfind: UnionFind::new(),
-            memo: HashMap::new(),
+            memo: FxHashMap::default(),
             classes: Vec::new(),
+            classes_by_op: FxHashMap::default(),
             pending: Vec::new(),
             analysis_pending: Vec::new(),
             clean: true,
@@ -165,6 +172,10 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             data,
             parents: Vec::new(),
         }));
+        self.classes_by_op
+            .entry(canon.op_key())
+            .or_default()
+            .push(id);
         self.memo.insert(canon, id);
         N::modify(self, id);
         id
@@ -272,6 +283,34 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             class.nodes.sort();
             class.nodes.dedup();
         }
+        // Re-derive the operator index from the canonical classes. The
+        // sweep above already touches every e-node, so this keeps the
+        // index exact at no extra asymptotic cost; vectors stay allocated
+        // across rebuilds. Ascending class order makes every entry list
+        // sorted, so the `last()` check is a full dedup.
+        for ids in self.classes_by_op.values_mut() {
+            ids.clear();
+        }
+        let classes_by_op = &mut self.classes_by_op;
+        for class in self.classes.iter().filter_map(Option::as_ref) {
+            for node in &class.nodes {
+                let ids = classes_by_op.entry(node.op_key()).or_default();
+                if ids.last() != Some(&class.id) {
+                    ids.push(class.id);
+                }
+            }
+        }
+    }
+
+    /// The e-classes containing at least one e-node whose operator has
+    /// key `key` — the candidate set indexed e-matching starts from.
+    ///
+    /// On a clean e-graph (see [`EGraph::is_clean`]) the returned ids are
+    /// canonical, sorted and exact. Between rebuilds the list may contain
+    /// stale or duplicate ids (never miss a class): callers must map ids
+    /// through [`EGraph::find`] and dedup.
+    pub fn classes_with_op(&self, key: OpKey) -> &[Id] {
+        self.classes_by_op.get(&key).map_or(&[], Vec::as_slice)
     }
 
     /// True when the e-graph is congruent (no pending repairs).

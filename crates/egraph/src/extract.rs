@@ -9,8 +9,8 @@
 
 use crate::analysis::Analysis;
 use crate::egraph::EGraph;
+use crate::fxhash::FxHashMap;
 use crate::language::{Id, Language, RecExpr};
-use std::collections::HashMap;
 use std::fmt::Debug;
 
 /// A local cost function over e-nodes.
@@ -73,7 +73,7 @@ impl<L: Language> CostFunction<L> for AstDepth {
 pub struct Extractor<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> {
     egraph: &'a EGraph<L, N>,
     cost_fn: CF,
-    costs: HashMap<Id, (CF::Cost, L)>,
+    costs: FxHashMap<Id, (CF::Cost, L)>,
 }
 
 impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> Extractor<'a, L, N, CF> {
@@ -82,7 +82,7 @@ impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> Extractor<'a, L, N, C
         let mut ext = Extractor {
             egraph,
             cost_fn,
-            costs: HashMap::new(),
+            costs: FxHashMap::default(),
         };
         ext.run_fixpoint();
         ext
@@ -146,7 +146,7 @@ impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> Extractor<'a, L, N, C
         let root = self.egraph.find(root);
         let root_cost = self.cost_of(root)?;
         let mut expr = RecExpr::new();
-        let mut built: HashMap<Id, Id> = HashMap::new(); // class -> expr id
+        let mut built: FxHashMap<Id, Id> = FxHashMap::default(); // class -> expr id
 
         // Iterative post-order over chosen nodes.
         enum Frame {

@@ -1,0 +1,144 @@
+//! A deterministic, in-repo FxHash-style hasher for the saturation hot
+//! paths.
+//!
+//! `std`'s default `HashMap` hasher is SipHash-1-3 with a per-process
+//! random seed — robust against hash-flooding, but an order of magnitude
+//! slower than needed for the small integer-heavy keys the e-graph
+//! hashes millions of times per run (e-nodes are an interned operator
+//! plus a couple of `u32` ids). [`FxHasher`] reimplements the well-known
+//! Firefox/rustc "Fx" scheme: fold each 8-byte word into the state with
+//! a rotate, xor and multiply by a single odd constant. It is **not**
+//! DoS-resistant; every key hashed here comes from the program itself,
+//! never from untrusted input (see DESIGN.md, substitution notes).
+//!
+//! The state is fixed-width `u64` with no random seeding, so hashes —
+//! and therefore map iteration orders — are identical across runs and
+//! platforms. Nothing in the workspace may *rely* on iteration order,
+//! but determinism here means an accidental dependence cannot fluctuate
+//! run-to-run.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplier of the Fx scheme (`0x51_7cc1_b7_2722_0a95`), chosen by
+/// the Firefox authors as an odd constant with good bit dispersion.
+const K: u64 = 0x51_7cc1_b727_220a_95;
+
+/// A fast, deterministic, non-cryptographic hasher (FxHash scheme).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add_word(v as u64);
+        self.add_word((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, no seed).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_ne!(hash_of(&42u32), hash_of(&43u32));
+        assert_ne!(hash_of(&"and"), hash_of(&"or"));
+        // Byte-stream and word writes agree with themselves across calls.
+        assert_eq!(hash_of(&[1u8, 2, 3, 4, 5, 6, 7, 8, 9]), {
+            hash_of(&[1u8, 2, 3, 4, 5, 6, 7, 8, 9])
+        });
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<&str, usize> = FxHashMap::default();
+        m.insert("a", 1);
+        m.insert("b", 2);
+        assert_eq!(m.get("a"), Some(&1));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn iteration_order_is_reproducible() {
+        // No random seed: two identically-built maps iterate identically.
+        let build = || {
+            let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+            for i in 0u32..1000 {
+                m.insert(i.wrapping_mul(2654435761), i);
+            }
+            m.into_iter().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,5 +1,6 @@
 //! The [`Language`] trait, e-class ids and the flat AST type [`RecExpr`].
 
+use crate::symbol::Symbol;
 use std::fmt;
 use std::hash::Hash;
 use std::str::FromStr;
@@ -32,6 +33,21 @@ impl fmt::Display for Id {
     }
 }
 
+/// The operator identity of an e-node: its interned operator symbol plus
+/// its arity. The e-graph's operator index ([`crate::EGraph`]) and the
+/// e-matching machine key on this, so implementations must uphold
+/// `a.matches(b) ⟺ a.op_key() == b.op_key()` (the default `op_key`
+/// derives both parts from [`Language::op_sym`] and the child count,
+/// which satisfies that whenever `op_sym` discriminates exactly like
+/// `matches` does).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct OpKey {
+    /// The interned operator.
+    pub op: Symbol,
+    /// Number of children.
+    pub arity: u32,
+}
+
 /// An e-node operator type.
 ///
 /// Implementors are small enum-like values whose children are [`Id`]s.
@@ -40,7 +56,8 @@ impl fmt::Display for Id {
 /// while *ignoring* children (used by e-matching).
 pub trait Language: fmt::Debug + Clone + Eq + Ord + Hash {
     /// True when `self` and `other` have the same operator and arity,
-    /// regardless of child ids.
+    /// regardless of child ids. Must agree with [`Language::op_key`]:
+    /// `a.matches(b)` exactly when `a.op_key() == b.op_key()`.
     fn matches(&self, other: &Self) -> bool;
 
     /// The children of this e-node.
@@ -49,16 +66,33 @@ pub trait Language: fmt::Debug + Clone + Eq + Ord + Hash {
     /// Mutable access to the children of this e-node.
     fn children_mut(&mut self) -> &mut [Id];
 
-    /// The operator name used for printing and pattern parsing.
-    fn op_str(&self) -> &str;
+    /// The interned operator symbol (payload-discriminating: two leaf
+    /// variants with different payloads — say the constants `0` and `1`,
+    /// or two differently-named variables — must report different
+    /// symbols).
+    fn op_sym(&self) -> Symbol;
 
-    /// Builds an e-node from an operator token and child ids.
+    /// The operator name used for printing and pattern parsing.
+    fn op_str(&self) -> &str {
+        self.op_sym().as_str()
+    }
+
+    /// The key the e-graph's operator→classes index files this node
+    /// under. Do not override; see [`OpKey`].
+    fn op_key(&self) -> OpKey {
+        OpKey {
+            op: self.op_sym(),
+            arity: u32::try_from(self.children().len()).expect("arity exceeds u32::MAX"),
+        }
+    }
+
+    /// Builds an e-node from an interned operator token and child ids.
     ///
     /// # Errors
     ///
     /// Returns a message when `op` is unknown for this language or the
     /// arity does not fit.
-    fn from_op(op: &str, children: Vec<Id>) -> Result<Self, String>;
+    fn from_op(op: Symbol, children: Vec<Id>) -> Result<Self, String>;
 
     /// True for e-nodes without children.
     fn is_leaf(&self) -> bool {
@@ -210,11 +244,29 @@ impl<L: Language> fmt::Debug for RecExpr<L> {
 
 /// Error type returned when parsing a [`RecExpr`] from S-expression text.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct RecExprParseError(pub String);
+pub struct RecExprParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset of the offending token in the input (`None` when the
+    /// input ended unexpectedly).
+    pub position: Option<usize>,
+}
+
+impl RecExprParseError {
+    pub(crate) fn new(message: impl Into<String>, position: Option<usize>) -> Self {
+        RecExprParseError {
+            message: message.into(),
+            position,
+        }
+    }
+}
 
 impl fmt::Display for RecExprParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "rec-expr parse error: {}", self.0)
+        match self.position {
+            Some(p) => write!(f, "rec-expr parse error at byte {p}: {}", self.message),
+            None => write!(f, "rec-expr parse error at end of input: {}", self.message),
+        }
     }
 }
 
@@ -225,92 +277,130 @@ impl<L: Language> FromStr for RecExpr<L> {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut expr = RecExpr::new();
-        let mut toks = sexpr_tokens(s);
-        let root = parse_into(&mut toks, &mut expr)?;
-        if let Some(t) = toks.first() {
-            return Err(RecExprParseError(format!("trailing input `{t}`")));
+        let mut toks = SexprCursor::new(s);
+        parse_into(&mut toks, &mut expr)?;
+        if let Some((pos, t)) = toks.peek() {
+            return Err(RecExprParseError::new(
+                format!("trailing input `{t}`"),
+                Some(pos),
+            ));
         }
-        let _ = root;
         Ok(expr)
     }
 }
 
-pub(crate) fn sexpr_tokens(s: &str) -> Vec<String> {
-    let mut toks = Vec::new();
-    let mut cur = String::new();
-    for c in s.chars() {
-        match c {
-            '(' | ')' => {
-                if !cur.is_empty() {
-                    toks.push(std::mem::take(&mut cur));
+/// A token stream over S-expression text: `(`, `)` and atoms, each tagged
+/// with its byte offset in the input.
+pub(crate) struct SexprCursor {
+    toks: Vec<(usize, String)>,
+    next: usize,
+}
+
+impl SexprCursor {
+    pub(crate) fn new(s: &str) -> Self {
+        let mut toks = Vec::new();
+        let mut cur = String::new();
+        let mut cur_start = 0;
+        for (pos, c) in s.char_indices() {
+            match c {
+                '(' | ')' => {
+                    if !cur.is_empty() {
+                        toks.push((cur_start, std::mem::take(&mut cur)));
+                    }
+                    toks.push((pos, c.to_string()));
                 }
-                toks.push(c.to_string());
-            }
-            c if c.is_whitespace() => {
-                if !cur.is_empty() {
-                    toks.push(std::mem::take(&mut cur));
+                c if c.is_whitespace() => {
+                    if !cur.is_empty() {
+                        toks.push((cur_start, std::mem::take(&mut cur)));
+                    }
+                }
+                _ => {
+                    if cur.is_empty() {
+                        cur_start = pos;
+                    }
+                    cur.push(c);
                 }
             }
-            _ => cur.push(c),
         }
+        if !cur.is_empty() {
+            toks.push((cur_start, cur));
+        }
+        SexprCursor { toks, next: 0 }
     }
-    if !cur.is_empty() {
-        toks.push(cur);
+
+    /// The next token and its byte offset, without consuming it.
+    pub(crate) fn peek(&self) -> Option<(usize, &str)> {
+        self.toks.get(self.next).map(|(p, t)| (*p, t.as_str()))
     }
-    toks
+
+    /// Consumes and returns the next token.
+    pub(crate) fn take(&mut self) -> Option<(usize, &str)> {
+        let t = self.toks.get(self.next).map(|(p, t)| (*p, t.as_str()));
+        if t.is_some() {
+            self.next += 1;
+        }
+        t
+    }
 }
 
 fn parse_into<L: Language>(
-    toks: &mut Vec<String>,
+    toks: &mut SexprCursor,
     expr: &mut RecExpr<L>,
 ) -> Result<Id, RecExprParseError> {
-    if toks.is_empty() {
-        return Err(RecExprParseError("unexpected end of input".into()));
-    }
-    let t = toks.remove(0);
-    match t.as_str() {
+    let Some((pos, t)) = toks.take() else {
+        return Err(RecExprParseError::new("unexpected end of input", None));
+    };
+    match t {
         "(" => {
-            if toks.is_empty() {
-                return Err(RecExprParseError("missing operator after `(`".into()));
+            let Some((op_pos, op)) = toks.take() else {
+                return Err(RecExprParseError::new("missing operator after `(`", None));
+            };
+            if op == "(" || op == ")" {
+                return Err(RecExprParseError::new(
+                    format!("expected operator after `(`, got `{op}`"),
+                    Some(op_pos),
+                ));
             }
-            let op = toks.remove(0);
+            let op = Symbol::intern(op);
             let mut children = Vec::new();
             loop {
-                match toks.first().map(String::as_str) {
-                    Some(")") => {
-                        toks.remove(0);
+                match toks.peek() {
+                    Some((_, ")")) => {
+                        toks.take();
                         break;
                     }
                     Some(_) => children.push(parse_into(toks, expr)?),
-                    None => return Err(RecExprParseError("unbalanced `(`".into())),
+                    None => return Err(RecExprParseError::new("unbalanced `(`", Some(pos))),
                 }
             }
-            let node = L::from_op(&op, children).map_err(RecExprParseError)?;
+            let node =
+                L::from_op(op, children).map_err(|e| RecExprParseError::new(e, Some(op_pos)))?;
             Ok(expr.add(node))
         }
-        ")" => Err(RecExprParseError("unexpected `)`".into())),
+        ")" => Err(RecExprParseError::new("unexpected `)`", Some(pos))),
         atom => {
-            let node = L::from_op(atom, Vec::new()).map_err(RecExprParseError)?;
+            let node = L::from_op(Symbol::intern(atom), Vec::new())
+                .map_err(|e| RecExprParseError::new(e, Some(pos)))?;
             Ok(expr.add(node))
         }
     }
 }
 
-/// A simple string-operator language, mirroring egg's `SymbolLang`.
+/// A simple interned-operator language, mirroring egg's `SymbolLang`.
 ///
 /// Useful for tests and generic tooling; the Boolean language used by
 /// E-Syn proper lives in `esyn-core`.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SymbolLang {
-    /// Operator name.
-    pub op: String,
+    /// Interned operator name.
+    pub op: Symbol,
     /// Child e-class ids.
     pub children: Vec<Id>,
 }
 
 impl SymbolLang {
     /// A leaf node with the given operator name.
-    pub fn leaf(op: impl Into<String>) -> Self {
+    pub fn leaf(op: impl Into<Symbol>) -> Self {
         SymbolLang {
             op: op.into(),
             children: Vec::new(),
@@ -318,7 +408,7 @@ impl SymbolLang {
     }
 
     /// An interior node.
-    pub fn new(op: impl Into<String>, children: Vec<Id>) -> Self {
+    pub fn new(op: impl Into<Symbol>, children: Vec<Id>) -> Self {
         SymbolLang {
             op: op.into(),
             children,
@@ -339,15 +429,12 @@ impl Language for SymbolLang {
         &mut self.children
     }
 
-    fn op_str(&self) -> &str {
-        &self.op
+    fn op_sym(&self) -> Symbol {
+        self.op
     }
 
-    fn from_op(op: &str, children: Vec<Id>) -> Result<Self, String> {
-        Ok(SymbolLang {
-            op: op.to_owned(),
-            children,
-        })
+    fn from_op(op: Symbol, children: Vec<Id>) -> Result<Self, String> {
+        Ok(SymbolLang { op, children })
     }
 }
 
@@ -397,6 +484,24 @@ mod tests {
     }
 
     #[test]
+    fn parse_errors_carry_token_positions() {
+        let err = "(+ x".parse::<RecExpr<SymbolLang>>().unwrap_err();
+        assert_eq!(err.position, Some(0), "unbalanced `(` points at the `(`");
+        assert!(err.to_string().contains("at byte 0"), "{err}");
+
+        let err = "  )".parse::<RecExpr<SymbolLang>>().unwrap_err();
+        assert_eq!(err.position, Some(2));
+
+        let err = "(+ x y) junk".parse::<RecExpr<SymbolLang>>().unwrap_err();
+        assert_eq!(err.position, Some(8));
+        assert!(err.to_string().contains("junk"), "{err}");
+
+        let err = "".parse::<RecExpr<SymbolLang>>().unwrap_err();
+        assert_eq!(err.position, None);
+        assert!(err.to_string().contains("end of input"), "{err}");
+    }
+
+    #[test]
     #[should_panic(expected = "child")]
     fn recexpr_rejects_forward_children() {
         let mut e = RecExpr::<SymbolLang>::new();
@@ -414,5 +519,18 @@ mod tests {
         assert_eq!(mapped.children(), &[Id::from(10), Id::from(11)]);
         assert!(n.matches(&mapped));
         assert!(!n.matches(&SymbolLang::leaf("f")));
+    }
+
+    #[test]
+    fn op_key_agrees_with_matches() {
+        let a = SymbolLang::new("f", vec![Id::from(0), Id::from(1)]);
+        let b = SymbolLang::new("f", vec![Id::from(2), Id::from(3)]);
+        let c = SymbolLang::leaf("f");
+        let d = SymbolLang::leaf("g");
+        for (x, y) in [(&a, &b), (&a, &c), (&c, &d), (&b, &d)] {
+            assert_eq!(x.matches(y), x.op_key() == y.op_key());
+        }
+        assert_eq!(a.op_key().arity, 2);
+        assert_eq!(a.op_key().op, Symbol::intern("f"));
     }
 }

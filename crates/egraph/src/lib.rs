@@ -11,10 +11,17 @@
 //!   ([`EGraph::rebuild`]) as in the egg paper;
 //! * [`Analysis`] — optional per-e-class semilattice data (e.g. constant
 //!   folding);
-//! * [`Pattern`] / [`Rewrite`] — syntactic rewrite rules with backtracking
-//!   e-matching;
+//! * [`Symbol`] — a global deterministic string interner; operators and
+//!   pattern variables are `u32` handles, so e-node hashing/equality and
+//!   substitution lookups are integer ops (hashed with the in-repo
+//!   [`FxHasher`] rather than `std`'s SipHash);
+//! * [`Pattern`] / [`Rewrite`] — syntactic rewrite rules, compiled at
+//!   parse time into bind/compare e-matching programs and searched
+//!   through the e-graph's operator index ([`EGraph::classes_with_op`])
+//!   so only candidate classes are visited;
 //! * [`Runner`] — an equality-saturation driver with node/iteration/time
-//!   limits and a match-throttling [`BackoffScheduler`];
+//!   limits, a match-throttling [`BackoffScheduler`], and a rule-parallel
+//!   search phase (deterministic; see `esyn-par`);
 //! * [`Extractor`] — bottom-up optimal extraction for monotone
 //!   [`CostFunction`]s (the "vanilla extractor" the paper compares
 //!   against). The paper's *pool extraction* lives in `esyn-core` and uses
@@ -48,18 +55,23 @@ mod analysis;
 mod dag_extract;
 mod egraph;
 mod extract;
+mod fxhash;
 mod language;
+mod machine;
 mod pattern;
 mod rewrite;
 mod runner;
+mod symbol;
 mod unionfind;
 
 pub use analysis::Analysis;
 pub use dag_extract::{extract_exact, DagCostFunction, DagExtractor, DagSize, ExactExtractError};
 pub use egraph::{EClass, EGraph};
 pub use extract::{AstDepth, AstSize, CostFunction, Extractor};
-pub use language::{Id, Language, RecExpr, RecExprParseError, SymbolLang};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use language::{Id, Language, OpKey, RecExpr, RecExprParseError, SymbolLang};
 pub use pattern::{Pattern, PatternNode, PatternParseError, SearchMatches, Subst, Var};
 pub use rewrite::Rewrite;
 pub use runner::{BackoffScheduler, IterationStats, Runner, RunnerLimits, StopReason};
+pub use symbol::Symbol;
 pub use unionfind::UnionFind;

@@ -1,0 +1,137 @@
+//! Compiled e-matching: a pattern becomes a small bind/compare
+//! instruction program executed against one e-class (the abstract-machine
+//! approach of egg's `machine.rs`, after de Moura & Bjørner's e-matching
+//! code trees).
+//!
+//! Compilation happens once at [`crate::Pattern`] parse time; matching
+//! then never walks the pattern AST again. Registers hold candidate
+//! e-class ids: `Bind` scans the e-nodes of the class in register `i` for
+//! operator matches and writes their (canonicalized) children into fresh
+//! registers, backtracking over alternatives; `Compare` enforces
+//! non-linear patterns (the same variable twice) by requiring two
+//! registers to name the same class. A full instruction sequence having
+//! executed means a match: the substitution is read straight out of the
+//! registers recorded per variable at compile time.
+
+use crate::analysis::Analysis;
+use crate::egraph::EGraph;
+use crate::language::{Id, Language};
+use crate::pattern::{PatternNode, Subst, Var};
+
+/// A register index (slot in the machine's e-class id array).
+type Reg = usize;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Instruction<L> {
+    /// Find e-nodes in the class held in register `i` whose operator
+    /// matches `node`; for each, write its children into registers
+    /// `out..out + arity` and continue (backtracking point).
+    Bind { node: L, i: Reg, out: Reg },
+    /// Require registers `i` and `j` to hold the same e-class.
+    Compare { i: Reg, j: Reg },
+}
+
+/// A compiled pattern: instruction sequence plus the variable→register
+/// map used to materialize substitutions on success.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Program<L> {
+    instructions: Vec<Instruction<L>>,
+    /// For each pattern variable, the register holding its binding after
+    /// a complete match (in order of first occurrence during compilation).
+    subst_regs: Vec<(Var, Reg)>,
+    n_regs: usize,
+}
+
+impl<L: Language> Program<L> {
+    /// Compiles a pattern's node list (child-first, root last).
+    pub(crate) fn compile(nodes: &[PatternNode<L>]) -> Program<L> {
+        let root = nodes.len() - 1;
+        let mut instructions = Vec::new();
+        let mut subst_regs: Vec<(Var, Reg)> = Vec::new();
+        let mut next_reg: Reg = 1; // register 0 is the root class
+        let mut todo: Vec<(Reg, usize)> = vec![(0, root)];
+        while let Some((reg, idx)) = todo.pop() {
+            match &nodes[idx] {
+                PatternNode::Var(v) => {
+                    match subst_regs.iter().find(|(bound, _)| bound == v) {
+                        // Later occurrence of a variable: constrain, don't bind.
+                        Some(&(_, j)) => instructions.push(Instruction::Compare { i: reg, j }),
+                        None => subst_regs.push((v.clone(), reg)),
+                    }
+                }
+                PatternNode::ENode(n) => {
+                    let out = next_reg;
+                    next_reg += n.children().len();
+                    instructions.push(Instruction::Bind {
+                        node: n.clone(),
+                        i: reg,
+                        out,
+                    });
+                    for (k, &c) in n.children().iter().enumerate() {
+                        todo.push((out + k, usize::from(c)));
+                    }
+                }
+            }
+        }
+        Program {
+            instructions,
+            subst_regs,
+            n_regs: next_reg,
+        }
+    }
+
+    /// Runs the program against e-class `class`, appending one [`Subst`]
+    /// per match to `out` (not deduplicated; the caller normalizes).
+    /// `regs` is caller-provided scratch so a search over many candidate
+    /// classes reuses one allocation.
+    pub(crate) fn run<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        class: Id,
+        regs: &mut Vec<Id>,
+        out: &mut Vec<Subst>,
+    ) {
+        regs.clear();
+        regs.resize(self.n_regs, Id::from(0usize));
+        regs[0] = egraph.find(class);
+        self.step(egraph, 0, regs, out);
+    }
+
+    fn step<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        pc: usize,
+        regs: &mut Vec<Id>,
+        out: &mut Vec<Subst>,
+    ) {
+        let Some(instr) = self.instructions.get(pc) else {
+            // Every constraint satisfied: read the substitution out of the
+            // registers.
+            out.push(Subst::from_bindings(
+                self.subst_regs
+                    .iter()
+                    .map(|&(ref v, r)| (v.clone(), egraph.find(regs[r]))),
+            ));
+            return;
+        };
+        match instr {
+            Instruction::Compare { i, j } => {
+                if egraph.find(regs[*i]) == egraph.find(regs[*j]) {
+                    self.step(egraph, pc + 1, regs, out);
+                }
+            }
+            Instruction::Bind { node, i, out: o } => {
+                let class = egraph.class(regs[*i]);
+                for enode in class.nodes() {
+                    if !enode.matches(node) {
+                        continue;
+                    }
+                    for (k, &c) in enode.children().iter().enumerate() {
+                        regs[o + k] = egraph.find(c);
+                    }
+                    self.step(egraph, pc + 1, regs, out);
+                }
+            }
+        }
+    }
+}

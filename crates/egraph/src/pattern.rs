@@ -1,13 +1,46 @@
-//! Syntactic patterns and backtracking e-matching.
+//! Syntactic patterns, compiled to e-matching programs at parse time.
+//!
+//! A [`Pattern`] keeps its parsed AST (for display, [`Pattern::vars`] and
+//! instantiation) *and* a compiled [`machine`](crate::machine) program
+//! used for searching. Search is index-driven: only e-classes that
+//! contain an e-node with the pattern root's operator (per the e-graph's
+//! operator index) are visited at all.
 
 use crate::analysis::Analysis;
 use crate::egraph::EGraph;
-use crate::language::{sexpr_tokens, Id, Language};
+use crate::language::{Id, Language, SexprCursor};
+use crate::machine::Program;
+use crate::symbol::Symbol;
 use std::fmt;
 
-/// A pattern variable, written `?name` in pattern text.
+/// A pattern variable, written `?name` in pattern text. The name is
+/// interned: copies are cheap and comparisons are integer ops.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Var(pub String);
+pub struct Var(pub Symbol);
+
+impl Var {
+    /// A variable with the given name (without the leading `?`).
+    pub fn new(name: &str) -> Var {
+        Var(Symbol::intern(name))
+    }
+
+    /// The variable name (without the leading `?`).
+    pub fn as_str(&self) -> &'static str {
+        self.0.as_str()
+    }
+}
+
+impl From<&str> for Var {
+    fn from(name: &str) -> Var {
+        Var::new(name)
+    }
+}
+
+impl From<String> for Var {
+    fn from(name: String) -> Var {
+        Var::new(&name)
+    }
+}
 
 impl fmt::Display for Var {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -25,10 +58,12 @@ pub enum PatternNode<L> {
     ENode(L),
 }
 
-/// A parsed pattern (child-first node list; the last node is the root).
+/// A parsed pattern (child-first node list; the last node is the root),
+/// carrying its compiled e-matching program.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Pattern<L> {
     nodes: Vec<PatternNode<L>>,
+    program: Program<L>,
 }
 
 /// A variable binding produced by matching.
@@ -46,10 +81,11 @@ impl Subst {
             .map(|&(_, id)| id)
     }
 
-    /// Adds a binding (caller must ensure the var is unbound).
-    fn insert(&mut self, var: Var, id: Id) {
-        debug_assert!(self.get(&var).is_none());
-        self.entries.push((var, id));
+    /// Builds a substitution from distinct bindings.
+    pub(crate) fn from_bindings(bindings: impl Iterator<Item = (Var, Id)>) -> Subst {
+        Subst {
+            entries: bindings.collect(),
+        }
     }
 
     /// Iterates over the bindings.
@@ -84,65 +120,79 @@ impl fmt::Display for PatternParseError {
 
 impl std::error::Error for PatternParseError {}
 
+fn err_at(msg: impl fmt::Display, pos: Option<usize>) -> PatternParseError {
+    match pos {
+        Some(p) => PatternParseError(format!("{msg} (at byte {p})")),
+        None => PatternParseError(format!("{msg} (at end of input)")),
+    }
+}
+
 impl<L: Language> Pattern<L> {
-    /// Parses pattern text such as `(* ?a (+ ?b 1))`.
+    /// Parses pattern text such as `(* ?a (+ ?b 1))` and compiles it.
     ///
     /// Atoms beginning with `?` become [`Var`]s; everything else must be
     /// accepted by [`Language::from_op`].
     ///
     /// # Errors
     ///
-    /// Returns [`PatternParseError`] on malformed S-expressions or unknown
-    /// operators.
+    /// Returns [`PatternParseError`] (with the offending token's byte
+    /// position) on malformed S-expressions or unknown operators.
     pub fn parse(text: &str) -> Result<Self, PatternParseError> {
-        let mut toks = sexpr_tokens(text);
+        let mut toks = SexprCursor::new(text);
         let mut nodes = Vec::new();
         let root = Self::parse_into(&mut toks, &mut nodes)?;
-        if let Some(t) = toks.first() {
-            return Err(PatternParseError(format!("trailing input `{t}`")));
+        if let Some((pos, t)) = toks.peek() {
+            return Err(err_at(format!("trailing input `{t}`"), Some(pos)));
         }
         debug_assert_eq!(usize::from(root), nodes.len() - 1);
-        Ok(Pattern { nodes })
+        let program = Program::compile(&nodes);
+        Ok(Pattern { nodes, program })
     }
 
     fn parse_into(
-        toks: &mut Vec<String>,
+        toks: &mut SexprCursor,
         nodes: &mut Vec<PatternNode<L>>,
     ) -> Result<Id, PatternParseError> {
-        if toks.is_empty() {
-            return Err(PatternParseError("unexpected end of pattern".into()));
-        }
-        let t = toks.remove(0);
-        match t.as_str() {
+        let Some((pos, t)) = toks.take() else {
+            return Err(err_at("unexpected end of pattern", None));
+        };
+        match t {
             "(" => {
-                if toks.is_empty() {
-                    return Err(PatternParseError("missing operator after `(`".into()));
+                let Some((op_pos, op)) = toks.take() else {
+                    return Err(err_at("missing operator after `(`", None));
+                };
+                if op == "(" || op == ")" {
+                    return Err(err_at(
+                        format!("expected operator after `(`, got `{op}`"),
+                        Some(op_pos),
+                    ));
                 }
-                let op = toks.remove(0);
+                let op = Symbol::intern(op);
                 let mut children = Vec::new();
                 loop {
-                    match toks.first().map(String::as_str) {
-                        Some(")") => {
-                            toks.remove(0);
+                    match toks.peek() {
+                        Some((_, ")")) => {
+                            toks.take();
                             break;
                         }
                         Some(_) => children.push(Self::parse_into(toks, nodes)?),
-                        None => return Err(PatternParseError("unbalanced `(`".into())),
+                        None => return Err(err_at("unbalanced `(`", Some(pos))),
                     }
                 }
-                let enode = L::from_op(&op, children).map_err(PatternParseError)?;
+                let enode = L::from_op(op, children).map_err(|e| err_at(e, Some(op_pos)))?;
                 nodes.push(PatternNode::ENode(enode));
                 Ok(Id::from(nodes.len() - 1))
             }
-            ")" => Err(PatternParseError("unexpected `)`".into())),
+            ")" => Err(err_at("unexpected `)`", Some(pos))),
             atom => {
                 if let Some(name) = atom.strip_prefix('?') {
                     if name.is_empty() {
-                        return Err(PatternParseError("`?` needs a variable name".into()));
+                        return Err(err_at("`?` needs a variable name", Some(pos)));
                     }
-                    nodes.push(PatternNode::Var(Var(name.to_owned())));
+                    nodes.push(PatternNode::Var(Var::new(name)));
                 } else {
-                    let enode = L::from_op(atom, Vec::new()).map_err(PatternParseError)?;
+                    let enode = L::from_op(Symbol::intern(atom), Vec::new())
+                        .map_err(|e| err_at(e, Some(pos)))?;
                     nodes.push(PatternNode::ENode(enode));
                 }
                 Ok(Id::from(nodes.len() - 1))
@@ -150,7 +200,7 @@ impl<L: Language> Pattern<L> {
         }
     }
 
-    /// The variables appearing in this pattern.
+    /// The variables appearing in this pattern, sorted by name.
     pub fn vars(&self) -> Vec<Var> {
         let mut vars: Vec<Var> = self
             .nodes
@@ -160,7 +210,7 @@ impl<L: Language> Pattern<L> {
                 PatternNode::ENode(_) => None,
             })
             .collect();
-        vars.sort();
+        vars.sort_by_key(|v| v.as_str());
         vars.dedup();
         vars
     }
@@ -170,82 +220,79 @@ impl<L: Language> Pattern<L> {
         self.nodes.len() - 1
     }
 
-    /// Searches every e-class; returns matches for classes with at least
-    /// one substitution.
+    /// Searches the e-graph; returns matches for classes with at least
+    /// one substitution, in ascending class-id order.
+    ///
+    /// When the pattern root is a concrete operator, only the candidate
+    /// classes from the e-graph's operator index are visited — the
+    /// asymptotic win over scanning every class.
     pub fn search<N: Analysis<L>>(&self, egraph: &EGraph<L, N>) -> Vec<SearchMatches> {
-        egraph
-            .classes()
-            .filter_map(|class| {
-                let substs = self.search_class(egraph, class.id);
-                if substs.is_empty() {
-                    None
+        let mut regs = Vec::new();
+        let mut matched = Vec::new();
+        match &self.nodes[self.root()] {
+            PatternNode::ENode(n) => {
+                let indexed = egraph.classes_with_op(n.op_key());
+                if egraph.is_clean() {
+                    // After a rebuild the index is canonical, sorted and
+                    // exact: match straight off the slice.
+                    for &class in indexed {
+                        self.append_matches(egraph, class, &mut regs, &mut matched);
+                    }
                 } else {
-                    Some(SearchMatches {
-                        class: class.id,
-                        substs,
-                    })
+                    // Candidate ids may be stale between rebuilds:
+                    // canonicalize and dedup before matching.
+                    let mut candidates: Vec<Id> =
+                        indexed.iter().map(|&id| egraph.find(id)).collect();
+                    candidates.sort_unstable();
+                    candidates.dedup();
+                    for class in candidates {
+                        self.append_matches(egraph, class, &mut regs, &mut matched);
+                    }
                 }
-            })
-            .collect()
+            }
+            // A bare-variable pattern matches every class.
+            PatternNode::Var(_) => {
+                for class in egraph.classes() {
+                    self.append_matches(egraph, class.id, &mut regs, &mut matched);
+                }
+            }
+        }
+        matched
+    }
+
+    fn append_matches<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        class: Id,
+        regs: &mut Vec<Id>,
+        matched: &mut Vec<SearchMatches>,
+    ) {
+        let substs = self.matches_in(egraph, class, regs);
+        if !substs.is_empty() {
+            matched.push(SearchMatches { class, substs });
+        }
     }
 
     /// All distinct substitutions under which this pattern matches e-class
     /// `class`.
     pub fn search_class<N: Analysis<L>>(&self, egraph: &EGraph<L, N>, class: Id) -> Vec<Subst> {
-        let mut results = self.match_idx(egraph, self.root(), class, Subst::default());
+        self.matches_in(egraph, class, &mut Vec::new())
+    }
+
+    fn matches_in<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        class: Id,
+        regs: &mut Vec<Id>,
+    ) -> Vec<Subst> {
+        let mut results = Vec::new();
+        self.program.run(egraph, class, regs, &mut results);
         for s in &mut results {
             *s = std::mem::take(s).normalized();
         }
         results.sort_by(|a, b| a.entries.cmp(&b.entries));
         results.dedup();
         results
-    }
-
-    fn match_idx<N: Analysis<L>>(
-        &self,
-        egraph: &EGraph<L, N>,
-        pat: usize,
-        class: Id,
-        subst: Subst,
-    ) -> Vec<Subst> {
-        let class = egraph.find(class);
-        match &self.nodes[pat] {
-            PatternNode::Var(v) => match subst.get(v) {
-                Some(bound) => {
-                    if egraph.find(bound) == class {
-                        vec![subst]
-                    } else {
-                        Vec::new()
-                    }
-                }
-                None => {
-                    let mut s = subst;
-                    s.insert(v.clone(), class);
-                    vec![s]
-                }
-            },
-            PatternNode::ENode(pnode) => {
-                let mut out = Vec::new();
-                for enode in egraph.class(class).nodes() {
-                    if !enode.matches(pnode) {
-                        continue;
-                    }
-                    let mut partial = vec![subst.clone()];
-                    for (&pchild, &echild) in pnode.children().iter().zip(enode.children()) {
-                        let mut next = Vec::new();
-                        for s in partial {
-                            next.extend(self.match_idx(egraph, usize::from(pchild), echild, s));
-                        }
-                        partial = next;
-                        if partial.is_empty() {
-                            break;
-                        }
-                    }
-                    out.extend(partial);
-                }
-                out
-            }
-        }
     }
 
     /// Instantiates this pattern under `subst`, adding e-nodes to the
@@ -319,7 +366,7 @@ mod tests {
     fn parse_and_display() {
         let p = Pattern::<SymbolLang>::parse("(* ?a (+ ?b c))").unwrap();
         assert_eq!(p.to_string(), "(* ?a (+ ?b c))");
-        assert_eq!(p.vars(), vec![Var("a".to_owned()), Var("b".to_owned())]);
+        assert_eq!(p.vars(), vec![Var::new("a"), Var::new("b")]);
     }
 
     #[test]
@@ -330,6 +377,14 @@ mod tests {
     }
 
     #[test]
+    fn parse_errors_name_positions() {
+        let err = Pattern::<SymbolLang>::parse("(+ ?a ?b) junk").unwrap_err();
+        assert!(err.0.contains("at byte 10"), "{err}");
+        let err = Pattern::<SymbolLang>::parse("(+ ?a").unwrap_err();
+        assert!(err.0.contains("at byte 0"), "{err}");
+    }
+
+    #[test]
     fn matches_simple() {
         let (g, ids) = graph_of(&["(+ x y)"]);
         let p = Pattern::<SymbolLang>::parse("(+ ?a ?b)").unwrap();
@@ -337,7 +392,7 @@ mod tests {
         assert_eq!(substs.len(), 1);
         let s = &substs[0];
         assert_eq!(
-            g.find(s.get(&Var("a".into())).unwrap()),
+            g.find(s.get(&Var::new("a")).unwrap()),
             g.find(g.lookup(&SymbolLang::leaf("x")).unwrap())
         );
     }
@@ -371,6 +426,38 @@ mod tests {
     }
 
     #[test]
+    fn search_skips_classes_without_the_operator() {
+        // The op index must keep the `*` class out of the `+` search's
+        // candidate set entirely (same result, fewer classes visited).
+        let (g, _) = graph_of(&["(+ a b)", "(* e f)"]);
+        let plus = Pattern::<SymbolLang>::parse("(+ ?x ?y)").unwrap();
+        let star = Pattern::<SymbolLang>::parse("(* ?x ?y)").unwrap();
+        assert_eq!(plus.search(&g).len(), 1);
+        assert_eq!(star.search(&g).len(), 1);
+        let minus = Pattern::<SymbolLang>::parse("(- ?x ?y)").unwrap();
+        assert!(minus.search(&g).is_empty());
+    }
+
+    #[test]
+    fn bare_variable_pattern_matches_every_class() {
+        let (g, _) = graph_of(&["(+ a b)"]);
+        let p = Pattern::<SymbolLang>::parse("?x").unwrap();
+        assert_eq!(p.search(&g).len(), g.num_classes());
+    }
+
+    #[test]
+    fn search_works_between_rebuilds() {
+        // After a union but before rebuild, index candidates are stale;
+        // search must still canonicalize and find matches exactly once.
+        let (mut g, ids) = graph_of(&["(+ a b)", "(+ c d)"]);
+        g.union(ids[0], ids[1]);
+        let p = Pattern::<SymbolLang>::parse("(+ ?x ?y)").unwrap();
+        let matches = p.search(&g);
+        assert_eq!(matches.len(), 1, "one merged class");
+        assert_eq!(matches[0].substs.len(), 2);
+    }
+
+    #[test]
     fn multiple_substs_in_one_class() {
         // Class contains both (+ a b) and (+ c d) after a union: pattern
         // must return two substitutions.
@@ -400,5 +487,15 @@ mod tests {
         let p = Pattern::<SymbolLang>::parse("x").unwrap();
         let matches = p.search(&g);
         assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn deep_pattern_matches_through_structure() {
+        let (g, ids) = graph_of(&["(* (+ a b) (+ a c))"]);
+        let p = Pattern::<SymbolLang>::parse("(* (+ ?x ?y) (+ ?x ?z))").unwrap();
+        let substs = p.search_class(&g, ids[0]);
+        assert_eq!(substs.len(), 1);
+        let a = g.lookup(&SymbolLang::leaf("a")).unwrap();
+        assert_eq!(substs[0].get(&Var::new("x")), Some(a));
     }
 }

@@ -5,7 +5,14 @@ use crate::egraph::EGraph;
 use crate::extract::{CostFunction, Extractor};
 use crate::language::{Id, Language, RecExpr};
 use crate::rewrite::Rewrite;
+use esyn_par::{par_map, Parallelism};
 use std::time::{Duration, Instant};
+
+/// Minimum e-graph size (e-nodes) before the search phase fans out over
+/// worker threads; below this the per-iteration search is far cheaper
+/// than thread spawn cost and runs inline. A scheduling knob only —
+/// results are bit-identical either way (see `esyn-par`).
+const PAR_SEARCH_MIN_NODES: usize = 1024;
 
 /// Resource limits for a saturation run.
 ///
@@ -148,6 +155,7 @@ pub struct Runner<L: Language, N: Analysis<L> = ()> {
     pub stop_reason: Option<StopReason>,
     limits: RunnerLimits,
     scheduler: Option<BackoffScheduler>,
+    parallelism: Parallelism,
 }
 
 impl<L: Language, N: Analysis<L> + Default> Default for Runner<L, N> {
@@ -175,6 +183,7 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             stop_reason: None,
             limits: RunnerLimits::default(),
             scheduler: Some(BackoffScheduler::default()),
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -222,8 +231,37 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
         self
     }
 
+    /// Sets the worker-thread policy for the search phase of
+    /// [`Runner::run`]. Searching is a pure function of
+    /// `(rule, &egraph)`, so fanning the rules out over workers changes
+    /// wall-clock time only: iteration statistics, stop reason and the
+    /// final e-graph are bit-identical at any setting (the scheduler's
+    /// match-budget decisions and the whole apply phase stay serial in
+    /// rule order). Defaults to [`Parallelism::Auto`] (`ESYN_THREADS`).
+    ///
+    /// One caveat: the guarantee requires the iteration or node limit to
+    /// bind. A [`StopReason::TimeLimit`] stop is inherently
+    /// schedule-dependent — thread count changes wall-clock, hence *when*
+    /// the budget runs out — exactly as any wall-clock cutoff already
+    /// was. Size time limits as a safety net, not the binding cap, where
+    /// reproducibility matters.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
     /// Runs equality saturation with `rules` until saturation or a limit.
-    pub fn run(mut self, rules: &[Rewrite<L>]) -> Self {
+    ///
+    /// Each iteration searches every (non-banned) rule — fanned out over
+    /// worker threads per [`Runner::with_parallelism`], since searching
+    /// never mutates the e-graph — then applies all matches and rebuilds,
+    /// serially in rule order.
+    pub fn run(mut self, rules: &[Rewrite<L>]) -> Self
+    where
+        L: Sync,
+        N: Sync,
+        N::Data: Sync,
+    {
         let start = Instant::now();
         if let Some(s) = &mut self.scheduler {
             s.ensure(rules.len());
@@ -241,9 +279,29 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
                 return self;
             }
 
-            // Search phase (immutable).
+            // Search phase (read-only): every non-banned rule is searched
+            // independently — a pure function of (rule, &egraph) — so the
+            // rules fan out over workers. Banned rules yield no matches
+            // without touching the e-graph, exactly as when serial.
+            let par = self
+                .parallelism
+                .when(rules.len() >= 2 && self.egraph.total_nodes() >= PAR_SEARCH_MIN_NODES);
+            let searched = {
+                let egraph = &self.egraph;
+                let scheduler = self.scheduler.as_ref();
+                par_map(par, rules, |ri, rule| {
+                    if scheduler.is_some_and(|s| s.is_banned(ri, iteration)) {
+                        Vec::new()
+                    } else {
+                        rule.search(egraph)
+                    }
+                })
+            };
+            // Match-budget admission stays serial, in rule order: `admit`
+            // mutates the backoff statistics, and its decisions must not
+            // depend on how the search was scheduled.
             let mut all_matches = Vec::with_capacity(rules.len());
-            for (ri, rule) in rules.iter().enumerate() {
+            for (ri, matches) in searched.into_iter().enumerate() {
                 if self
                     .scheduler
                     .as_ref()
@@ -252,7 +310,6 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
                     all_matches.push(Vec::new());
                     continue;
                 }
-                let matches = rule.search(&self.egraph);
                 let total: usize = matches.iter().map(|m| m.substs.len()).sum();
                 let admitted = match &mut self.scheduler {
                     Some(s) => s.admit(ri, iteration, total),

@@ -1,0 +1,106 @@
+//! A global, deterministic string interner and the [`Symbol`] handle.
+//!
+//! Operators and pattern variables are hot in e-matching: every
+//! hash-cons lookup hashes the operator and every substitution lookup
+//! compares variable names. Interning turns both into `u32` operations —
+//! a [`Symbol`] is a dense handle into a process-global table, assigned
+//! in first-intern order (deterministic for a deterministic program, as
+//! everything in this workspace is).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string. Cheap to copy, hash and compare (a `u32`), and
+/// resolvable back to its text via [`Symbol::as_str`].
+///
+/// Ordering (`PartialOrd`/`Ord`) is by intern id — i.e. first-intern
+/// order, **not** lexicographic. That is stable within a run (the only
+/// thing determinism needs) but callers that want alphabetical output
+/// must sort by [`Symbol::as_str`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    by_name: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            by_name: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name`, returning its symbol. Interning the same string
+    /// twice returns the same handle.
+    pub fn intern(name: &str) -> Symbol {
+        let mut i = interner().lock().expect("interner lock");
+        if let Some(&id) = i.by_name.get(name) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = u32::try_from(i.names.len()).expect("interner full");
+        i.names.push(leaked);
+        i.by_name.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().lock().expect("interner lock").names[self.0 as usize]
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::intern(&s)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a1 = Symbol::intern("egraph-symbol-alpha");
+        let a2 = Symbol::intern("egraph-symbol-alpha");
+        let b = Symbol::intern("egraph-symbol-beta");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(a1.as_str(), "egraph-symbol-alpha");
+        assert_eq!(format!("{b}"), "egraph-symbol-beta");
+        assert_eq!(format!("{b:?}"), "egraph-symbol-beta");
+    }
+
+    #[test]
+    fn from_impls_intern() {
+        let a: Symbol = "egraph-symbol-from".into();
+        let b: Symbol = String::from("egraph-symbol-from").into();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,122 @@
+//! Seeded-loop property tests for `RecExpr` parse/display round-trips:
+//! random nested expressions survive `display → parse → display`
+//! unchanged, whitespace never matters, and parse errors carry token
+//! positions. Each case derives from a per-iteration seed, so a failure
+//! report reproduces deterministically.
+
+use esyn_egraph::{Id, RecExpr, SymbolLang};
+use rand::{Rng, SeedableRng, StdRng};
+
+const OPS: [&str; 6] = ["+", "*", "f", "g", "neg", "select"];
+const LEAVES: [&str; 5] = ["x", "y", "z", "a0", "b_1"];
+
+/// A random expression of up to `max_nodes` nodes; later nodes may share
+/// earlier nodes as children (a DAG, which display expands to a tree).
+fn random_expr(rng: &mut StdRng, max_nodes: usize) -> RecExpr<SymbolLang> {
+    let mut e = RecExpr::new();
+    let n = rng.gen_range(1..=max_nodes);
+    for i in 0..n {
+        let arity = if i == 0 { 0 } else { rng.gen_range(0..=3usize) };
+        let node = if arity == 0 {
+            SymbolLang::leaf(LEAVES[rng.gen_range(0..LEAVES.len())])
+        } else {
+            let children: Vec<Id> = (0..arity).map(|_| Id::from(rng.gen_range(0..i))).collect();
+            SymbolLang::new(OPS[rng.gen_range(0..OPS.len())], children)
+        };
+        e.add(node);
+    }
+    e
+}
+
+/// Re-tokenizes `text` with random whitespace between tokens (including
+/// none where legal).
+fn rewhitespace(rng: &mut StdRng, text: &str) -> String {
+    const WS: [&str; 4] = ["", " ", "\t ", "\n  "];
+    let mut out = String::new();
+    for c in text.chars() {
+        match c {
+            '(' | ')' => {
+                out.push_str(WS[rng.gen_range(0..WS.len())]);
+                out.push(c);
+                out.push_str(WS[rng.gen_range(0..WS.len())]);
+            }
+            ' ' => out.push_str(WS[rng.gen_range(1..WS.len())]),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[test]
+fn display_parse_display_is_identity() {
+    for case in 0u64..300 {
+        let mut rng = StdRng::seed_from_u64(0xEC5E_0000 + case);
+        let expr = random_expr(&mut rng, 12);
+        let text = expr.to_string();
+        let parsed: RecExpr<SymbolLang> = text
+            .parse()
+            .unwrap_or_else(|e| panic!("case {case}: `{text}` failed to parse: {e}"));
+        assert_eq!(parsed.to_string(), text, "case {case}");
+    }
+}
+
+#[test]
+fn whitespace_is_insignificant() {
+    for case in 0u64..300 {
+        let mut rng = StdRng::seed_from_u64(0xEC5E_1000 + case);
+        let expr = random_expr(&mut rng, 10);
+        let text = expr.to_string();
+        let noisy = rewhitespace(&mut rng, &text);
+        let parsed: RecExpr<SymbolLang> = noisy
+            .parse()
+            .unwrap_or_else(|e| panic!("case {case}: `{noisy}` failed to parse: {e}"));
+        assert_eq!(parsed.to_string(), text, "case {case}: `{noisy}`");
+    }
+}
+
+#[test]
+fn leaf_only_expressions_roundtrip() {
+    for case in 0u64..100 {
+        let mut rng = StdRng::seed_from_u64(0xEC5E_2000 + case);
+        let leaf = LEAVES[rng.gen_range(0..LEAVES.len())];
+        let parsed: RecExpr<SymbolLang> = leaf.parse().unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed.to_string(), leaf);
+        // ...and with noise around it.
+        let noisy = format!("  {leaf}\n");
+        let parsed: RecExpr<SymbolLang> = noisy.parse().unwrap();
+        assert_eq!(parsed.to_string(), leaf);
+    }
+}
+
+#[test]
+fn corrupted_text_fails_with_a_position() {
+    // Deterministic corruptions of valid expressions must fail, and the
+    // error must point inside the input (or report end-of-input).
+    for case in 0u64..200 {
+        let mut rng = StdRng::seed_from_u64(0xEC5E_3000 + case);
+        let expr = random_expr(&mut rng, 10);
+        let text = expr.to_string();
+        if !text.contains('(') {
+            continue; // a bare leaf has no bracket to corrupt
+        }
+        let (corrupted, expect_pos) = match rng.gen_range(0..3u32) {
+            // Drop the final `)` → unbalanced `(`.
+            0 => (text[..text.len() - 1].to_owned(), true),
+            // Trailing garbage after a complete expression.
+            1 => (format!("{text} )"), true),
+            // Stray `)` in front.
+            _ => (format!(") {text}"), true),
+        };
+        let err = corrupted
+            .parse::<RecExpr<SymbolLang>>()
+            .expect_err(&format!("case {case}: `{corrupted}` must not parse"));
+        if expect_pos {
+            let pos = err
+                .position
+                .unwrap_or_else(|| panic!("case {case}: error lacks a position: {err}"));
+            assert!(pos < corrupted.len(), "case {case}: {pos} out of range");
+            assert!(err.to_string().contains("at byte"), "case {case}: {err}");
+        }
+    }
+}

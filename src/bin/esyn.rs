@@ -7,7 +7,7 @@
 //! esyn stats    <file>                             # parse + report
 //! esyn optimize <file> [delay|area|balanced]       # full E-Syn flow
 //!               [--models DIR] [--out FILE] [--verilog FILE] [--choices]
-//!               [--threads N]
+//!               [--threads N] [--verbose]
 //! esyn baseline <file> [delay|area|balanced] [--choices]   # ABC-style baseline
 //! esyn cec      <a> <b> [--threads N]              # equivalence check
 //! esyn bench    <circuit-name>                     # write a named benchmark as eqn
@@ -15,10 +15,12 @@
 //! esyn aig      <file> <out.aag|out.aig>           # strash + AIGER export
 //! ```
 //!
-//! `--threads N` pins the worker count for the parallel stages (pool
-//! sampling, candidate scoring, CEC); without it the `ESYN_THREADS`
-//! environment variable applies, then the hardware count. Results are
-//! bit-identical at any thread count.
+//! `--threads N` pins the worker count for the parallel stages
+//! (saturation rule search, pool sampling, candidate scoring, CEC);
+//! without it the `ESYN_THREADS` environment variable applies, then the
+//! hardware count. Results are bit-identical at any thread count.
+//! `--verbose` prints per-iteration saturation statistics and the stop
+//! reason.
 
 use e_syn::aig::Aig;
 use e_syn::cec::{check_equivalence_par, EquivResult, DEFAULT_SIM_SEED};
@@ -47,7 +49,7 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!("usage (circuit files: .eqn, .blif, .aag, .aig):");
     eprintln!("  esyn stats    <file>");
-    eprintln!("  esyn optimize <file> [delay|area|balanced] [--models DIR] [--out FILE] [--verilog FILE] [--choices] [--threads N]");
+    eprintln!("  esyn optimize <file> [delay|area|balanced] [--models DIR] [--out FILE] [--verilog FILE] [--choices] [--threads N] [--verbose]");
     eprintln!("  esyn baseline <file> [delay|area|balanced] [--choices]");
     eprintln!("  esyn cec      <a> <b> [--threads N]");
     eprintln!("  esyn bench    <circuit-name> (or `list`)");
@@ -195,6 +197,7 @@ fn optimize(args: &[String]) -> Result<(), String> {
     let mut out_file = None;
     let mut verilog_file = None;
     let mut use_choices = false;
+    let mut verbose = false;
     let mut parallelism = Parallelism::Auto;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
@@ -203,6 +206,7 @@ fn optimize(args: &[String]) -> Result<(), String> {
             "--out" => out_file = Some(it.next().ok_or("--out needs a value")?.clone()),
             "--verilog" => verilog_file = Some(it.next().ok_or("--verilog needs a value")?.clone()),
             "--choices" => use_choices = true,
+            "--verbose" => verbose = true,
             "--threads" => {
                 parallelism = parse_threads(it.next().ok_or("--threads needs a value")?)?
             }
@@ -221,6 +225,21 @@ fn optimize(args: &[String]) -> Result<(), String> {
         ..EsynConfig::default()
     };
     let result = esyn_optimize(&net, &models, &lib, objective, &cfg);
+    if verbose {
+        println!("saturation ({} iterations):", result.iterations.len());
+        for (i, it) in result.iterations.iter().enumerate() {
+            println!(
+                "  iter {:>3}: {:>8} e-nodes, {:>7} e-classes, {:>6} applied, {:>5} rebuilds  ({:.3} ms)",
+                i + 1,
+                it.nodes,
+                it.classes,
+                it.applied,
+                it.rebuilds,
+                it.elapsed.as_secs_f64() * 1e3,
+            );
+        }
+        println!("stop reason: {:?}", result.stop_reason);
+    }
     println!(
         "{objective:?}: area {:.2} um2, delay {:.2} ps, {} gates, {} levels",
         result.qor.area, result.qor.delay, result.qor.gates, result.qor.levels

@@ -17,9 +17,11 @@
 //!
 //! ## Parallelism
 //!
-//! The hot loops (pool sampling, CEC, GBDT split search, candidate
-//! measurement) run on [`par`]'s scoped workers. Results are
-//! **bit-identical at any thread count**: set `ESYN_THREADS=1` for the
+//! The hot loops (saturation rule search, pool sampling, CEC, GBDT
+//! split search, candidate measurement) run on [`par`]'s scoped workers.
+//! Results are
+//! **bit-identical at any thread count** (wall-clock `TimeLimit` stops
+//! excepted — size those as safety nets): set `ESYN_THREADS=1` for the
 //! exact serial path, or pass a [`par::Parallelism`] through
 //! [`core::EsynConfig`] / the `esyn --threads` flag.
 //!

@@ -10,9 +10,10 @@
 use e_syn::aig::{scripts, Aig};
 use e_syn::cec::{check_equivalence_par, EquivResult, DEFAULT_SIM_SEED};
 use e_syn::core::{
-    extract_pool_with, lang::network_to_recexpr, rules::all_rules, saturate, PoolConfig,
-    SaturationLimits,
+    extract_pool_with, lang::network_to_recexpr, rules::all_rules, saturate, saturate_par,
+    PoolConfig, SaturationLimits,
 };
+use e_syn::egraph::{AstDepth, AstSize};
 use e_syn::gbdt::{Dataset, GbdtParams, GbdtRegressor};
 use e_syn::par::Parallelism;
 
@@ -21,6 +22,40 @@ const SWEEP: [Parallelism; 3] = [
     Parallelism::Fixed(2),
     Parallelism::Fixed(8),
 ];
+
+#[test]
+fn saturation_is_thread_count_invariant_on_a_real_circuit() {
+    // The rule-search phase of `Runner::run` fans out over workers; the
+    // whole saturation outcome — per-iteration statistics, stop reason,
+    // and the expressions extracted from the final e-graph — must be
+    // bit-identical at every thread count (`ESYN_THREADS` ∈ {1, 2, 4},
+    // pinned in-process via `Parallelism::Fixed`).
+    let net = e_syn::circuits::by_name("qadd").expect("qadd generator");
+    let expr = network_to_recexpr(&net);
+    let fingerprint = |par: Parallelism| {
+        let runner = saturate_par(&expr, &all_rules(), &SaturationLimits::small(), par);
+        let stats: Vec<(usize, usize, usize, usize)> = runner
+            .iterations
+            .iter()
+            .map(|i| (i.nodes, i.classes, i.applied, i.rebuilds))
+            .collect();
+        let (size_cost, best_size) = runner.extract_best(AstSize);
+        let (depth_cost, best_depth) = runner.extract_best(AstDepth);
+        (
+            stats,
+            runner.stop_reason.expect("runner finished"),
+            runner.egraph.total_nodes(),
+            runner.egraph.num_classes(),
+            (size_cost, best_size.to_string()),
+            (depth_cost, best_depth.to_string()),
+        )
+    };
+    let serial = fingerprint(Parallelism::Fixed(1));
+    assert!(!serial.0.is_empty(), "saturation must record iterations");
+    for par in [Parallelism::Fixed(2), Parallelism::Fixed(4)] {
+        assert_eq!(fingerprint(par), serial, "saturation differs under {par:?}");
+    }
+}
 
 #[test]
 fn pool_extraction_is_thread_count_invariant_on_a_real_circuit() {
