@@ -38,4 +38,20 @@ echo "==> smoke-run saturation bench (ESYN_BENCH_FAST=1, ESYN_THREADS=1)"
 # env-resolution path of the Runner's parallel search stays covered.
 ESYN_BENCH_FAST=1 ESYN_THREADS=1 cargo bench -q -p esyn-bench --bench saturation >/dev/null
 
+echo "==> smoke-run extraction-gym bench (ESYN_BENCH_FAST=1)"
+# Races every esyn-extract engine on two small registry circuits and
+# asserts each result passes the shared validator.
+ESYN_BENCH_FAST=1 cargo bench -q -p esyn-bench --bench gym >/dev/null
+
+echo "==> smoke-run extraction-gym bench (ESYN_BENCH_FAST=1, ESYN_THREADS=1)"
+ESYN_BENCH_FAST=1 ESYN_THREADS=1 cargo bench -q -p esyn-bench --bench gym >/dev/null
+
+echo "==> esyn gym smoke (small registry slice)"
+# The CLI gym re-checks every engine and fails if any exact engine comes
+# out worse than the best greedy incumbent.
+cargo run --release --bin esyn -- gym adder qdiv >/dev/null
+
+echo "==> esyn gym smoke (ESYN_THREADS=1)"
+ESYN_THREADS=1 cargo run --release --bin esyn -- gym adder qdiv >/dev/null
+
 echo "ci.sh: all checks passed"

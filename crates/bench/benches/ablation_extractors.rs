@@ -5,8 +5,8 @@
 //!
 //! * the vanilla greedy extractor with tree costs (AST size / AST depth)
 //!   — the paper's "extractor (1)";
-//! * greedy DAG-cost extraction (`DagExtractor`), which charges shared
-//!   e-classes once;
+//! * greedy DAG-cost extraction (the gym's `greedy-dag` engine), which
+//!   charges shared e-classes once;
 //! * exact branch-and-bound DAG extraction (`extract_exact`) — the
 //!   ILP-equivalent "extractor (2)" the paper cites as prior work, run at
 //!   a reduced saturation budget because it does not scale (which is
@@ -22,7 +22,8 @@ use esyn_core::{
     extract_pool_with, lang::network_to_recexpr, rules::all_rules, saturate, BoolLang, Objective,
     PoolConfig, SaturationLimits,
 };
-use esyn_egraph::{extract_exact, AstDepth, AstSize, DagExtractor, DagSize, Extractor, RecExpr};
+use esyn_egraph::{AstDepth, AstSize, Extractor, RecExpr};
+use esyn_extract::{extract_best, extract_exact, GreedyDag, UnitCost};
 use esyn_techmap::Library;
 use std::time::Duration;
 
@@ -75,7 +76,7 @@ fn main() {
         let (_, by_depth) = Extractor::new(egraph, AstDepth).find_best(root).unwrap();
         row("greedy ast-depth", vec![by_depth]);
 
-        let (_, by_dag) = DagExtractor::new(egraph, DagSize).find_best(root).unwrap();
+        let (_, by_dag) = extract_best(&GreedyDag, egraph, root, &UnitCost).unwrap();
         row("greedy dag-size", vec![by_dag]);
 
         let pool = extract_pool_with(
@@ -153,15 +154,15 @@ fn main() {
         let runner = saturate(expr, &all_rules(), limits);
         let (egraph, root) = (&runner.egraph, runner.roots[0]);
 
-        let (greedy_cost, _) = DagExtractor::new(egraph, DagSize).find_best(root).unwrap();
-        let (exact_str, gap_str, status) = match extract_exact(egraph, root, DagSize, EXACT_BUDGET)
-        {
-            Ok((exact_cost, _)) => {
-                let gap = (greedy_cost - exact_cost) / exact_cost.max(1.0) * 100.0;
-                (format!("{exact_cost:.0}"), format!("{gap:.1}%"), "optimal")
-            }
-            Err(_) => ("—".to_owned(), "—".to_owned(), "budget exhausted"),
-        };
+        let (greedy_cost, _) = extract_best(&GreedyDag, egraph, root, &UnitCost).unwrap();
+        let (exact_str, gap_str, status) =
+            match extract_exact(egraph, root, &UnitCost, EXACT_BUDGET) {
+                Ok((exact_cost, _)) => {
+                    let gap = (greedy_cost - exact_cost) / exact_cost.max(1.0) * 100.0;
+                    (format!("{exact_cost:.0}"), format!("{gap:.1}%"), "optimal")
+                }
+                Err(_) => ("—".to_owned(), "—".to_owned(), "budget exhausted"),
+            };
         println!(
             "{name:<10} {:>12} {greedy_cost:>14.0} {exact_str:>14} {gap_str:>14} {status:>16}",
             egraph.total_nodes()

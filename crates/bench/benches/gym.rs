@@ -1,0 +1,88 @@
+//! **The extraction gym**: race every `esyn-extract` engine on saturated
+//! registry e-graphs and tabulate QoR (DAG cost under unit node costs)
+//! against extraction time — the extraction-gym experiment shape, run on
+//! the workspace's own circuits.
+//!
+//! ```text
+//! cargo bench -p esyn-bench --bench gym
+//! ```
+//!
+//! Set `ESYN_BENCH_FAST=1` for the CI smoke shape (two small circuits at
+//! a reduced saturation budget). The `time(us)` column is wall-clock and
+//! machine-dependent; costs and check verdicts are deterministic at any
+//! thread count.
+
+use esyn_bench::{bench_limits, hr};
+use esyn_core::{lang::network_to_recexpr, rules::all_rules, saturate, SaturationLimits};
+use esyn_extract::{gym, UnitCost, ENGINE_NAMES};
+use esyn_par::Parallelism;
+use std::time::Duration;
+
+fn fast_mode() -> bool {
+    std::env::var_os("ESYN_BENCH_FAST").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+fn main() {
+    let (circuits, limits): (&[&str], SaturationLimits) = if fast_mode() {
+        (
+            &["qadd", "cavlc"],
+            SaturationLimits {
+                iter_limit: 4,
+                node_limit: 2_000,
+                time_limit: Duration::from_secs(5),
+            },
+        )
+    } else {
+        (
+            &[
+                "adder", "bar", "max", "cavlc", "3_3", "5_5", "qadd", "qdiv", "alu4",
+            ],
+            bench_limits(),
+        )
+    };
+
+    println!();
+    println!("The extraction gym: DAG cost (unit node costs) vs extraction time");
+    hr(78);
+
+    let mut failures = 0usize;
+    for name in circuits {
+        let net = esyn_circuits::by_name(name).expect("gym circuit");
+        let expr = network_to_recexpr(&net);
+        let runner = saturate(&expr, &all_rules(), &limits);
+        println!(
+            "{name}: {} e-nodes / {} e-classes",
+            runner.egraph.total_nodes(),
+            runner.egraph.num_classes()
+        );
+        println!(
+            "  {:<18} {:>10} {:>12} {:>10}  check",
+            "engine", "dag-cost", "tree-cost", "time(us)"
+        );
+        let rows = gym::race(
+            &runner.egraph,
+            &runner.roots,
+            &UnitCost,
+            &ENGINE_NAMES,
+            Parallelism::Auto,
+        );
+        for row in &rows {
+            let check = match &row.check {
+                Ok(()) => "ok",
+                Err(_) => {
+                    failures += 1;
+                    "FAIL"
+                }
+            };
+            println!(
+                "  {:<18} {:>10.1} {:>12.1} {:>10}  {check}",
+                row.engine, row.dag_cost, row.tree_cost, row.micros
+            );
+        }
+        hr(78);
+    }
+    println!("expected shape: the bottom-up engines are fastest and weakest (tree-blind),");
+    println!("the greedy-dag family trades time for sharing, global-greedy-dag and the");
+    println!("budgeted exact engines close the remaining gap at the highest latency.");
+    assert_eq!(failures, 0, "{failures} engine result(s) failed validation");
+}

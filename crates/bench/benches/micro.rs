@@ -15,8 +15,9 @@ use esyn_core::{
     extract_pool, lang::network_to_recexpr, rules::all_rules, saturate, ConstFold, PoolConfig,
     SaturationLimits,
 };
-use esyn_egraph::{AstSize, DagExtractor, DagSize, Extractor, Pattern, Runner};
+use esyn_egraph::{AstSize, Extractor, Pattern, Runner};
 use esyn_eqn::{parse_blif, parse_eqn, write_blif};
+use esyn_extract::{extract_best, GreedyDag, UnitCost};
 use esyn_sat::{Lit, Solver};
 use esyn_techmap::{map_aig, map_choices, Library, MapMode};
 use std::time::Duration;
@@ -65,8 +66,8 @@ fn bench_egraph(c: &mut Criterion) {
 
     c.bench_function("egraph/extract-dagsize-3_3", |b| {
         b.iter(|| {
-            let ext = DagExtractor::new(&runner.egraph, DagSize);
-            std::hint::black_box(ext.find_best(runner.roots[0]).map(|(c, _)| c))
+            let best = extract_best(&GreedyDag, &runner.egraph, runner.roots[0], &UnitCost);
+            std::hint::black_box(best.map(|(c, _)| c))
         })
     });
 

@@ -31,9 +31,8 @@
 
 use crate::cost::WeightedOpsCost;
 use crate::lang::BoolLang;
-use esyn_egraph::{
-    Analysis, AstDepth, AstSize, DagExtractor, DagSize, EGraph, Extractor, Id, Language, RecExpr,
-};
+use esyn_egraph::{Analysis, AstDepth, AstSize, EGraph, Extractor, Id, Language, RecExpr};
+use esyn_extract::{engine_by_name, extract_best, UnitCost};
 use esyn_par::{par_map, Parallelism};
 use rand::rngs::StdRng;
 use rand::{split_seeds, Rng, SeedableRng};
@@ -56,12 +55,20 @@ pub struct PoolConfig {
     /// original guarantees the pool never regresses below the un-rewritten
     /// circuit (see DESIGN.md, pool-composition note).
     pub include_original: bool,
-    /// Also add the greedy *DAG-cost* extreme ([`esyn_egraph::DagExtractor`]
-    /// with unit node costs): the candidate with the fewest *shared* nodes.
-    /// Complements the tree-cost extremes on sharing-heavy circuits. Off by
-    /// default so the calibrated paper experiments are unchanged; the
-    /// `ablation_pool` bench measures its effect.
+    /// Also add the greedy *DAG-cost* extreme (the [`dag_engine`] gym
+    /// engine under unit node costs): the candidate with the fewest
+    /// *shared* nodes. Complements the tree-cost extremes on sharing-heavy
+    /// circuits. Off by default so the calibrated paper experiments are
+    /// unchanged; the `ablation_pool` bench measures its effect.
+    ///
+    /// [`dag_engine`]: PoolConfig::dag_engine
     pub include_dag_extreme: bool,
+    /// Which `esyn-extract` gym engine draws the DAG-cost extreme when
+    /// [`include_dag_extreme`](PoolConfig::include_dag_extreme) is set.
+    /// Any name from [`esyn_extract::ENGINE_NAMES`]; the default
+    /// `"greedy-dag"` is the engine the former private extractor
+    /// implemented, so existing pools are unchanged.
+    pub dag_engine: &'static str,
     /// Worker threads for stochastic sampling. The pool is bit-identical
     /// at any setting (see the module docs); this knob trades wall-clock
     /// only. Defaults to [`Parallelism::Auto`] (`ESYN_THREADS` override,
@@ -78,6 +85,7 @@ impl Default for PoolConfig {
             seed: 0xE5F1,
             include_original: true,
             include_dag_extreme: false,
+            dag_engine: "greedy-dag",
             parallelism: Parallelism::Auto,
         }
     }
@@ -164,8 +172,9 @@ where
         pool.push(best_depth);
     }
     if cfg.include_dag_extreme {
-        let (_, best_dag) = DagExtractor::new(egraph, DagSize)
-            .find_best(root)
+        let (_, engine) = engine_by_name::<BoolLang>(cfg.dag_engine)
+            .unwrap_or_else(|| panic!("unknown extraction engine `{}`", cfg.dag_engine));
+        let (_, best_dag) = extract_best(engine.as_ref(), egraph, root, &UnitCost)
             .expect("root must be extractable");
         if seen.insert(best_dag.clone()) {
             pool.push(best_dag);
@@ -547,6 +556,26 @@ mod tests {
         );
         assert!(pool.len() >= base.len());
         assert!(pool.len() <= base.len() + 1);
+    }
+
+    #[test]
+    fn dag_extreme_engine_is_selectable() {
+        // The knob accepts any gym engine; the sharing-exact engine must
+        // also produce an equivalent candidate.
+        let src = "INORDER = a b c d;\nOUTORDER = f;\nf = ((a+b)*c) + ((a+b)*d);\n";
+        let original = parse_eqn(src).unwrap();
+        let runner = saturated_runner(src);
+        let cfg = PoolConfig {
+            include_dag_extreme: true,
+            dag_engine: "global-greedy-dag",
+            ..PoolConfig::with_samples(10, 7)
+        };
+        let pool = extract_pool(&runner.egraph, runner.roots[0], &cfg);
+        let names: Vec<String> = original.outputs().iter().map(|(n, _)| n.clone()).collect();
+        for cand in &pool {
+            let net = recexpr_to_network(cand, &names);
+            assert_eq!(check_equivalence(&original, &net), EquivResult::Equivalent);
+        }
     }
 
     #[test]

@@ -26,11 +26,9 @@
 //!   [`CostFunction`]s (the "vanilla extractor" the paper compares
 //!   against). The paper's *pool extraction* lives in `esyn-core` and uses
 //!   the e-class internals exposed here ([`EGraph::classes`],
-//!   [`EClass::nodes`]);
-//! * [`DagExtractor`] / [`extract_exact`] — DAG-cost extraction that
-//!   charges shared e-classes once: a greedy heuristic and an exact
-//!   branch-and-bound equivalent to the ILP extraction the paper cites as
-//!   prior work ("extractor (2)").
+//!   [`EClass::nodes`]). DAG-cost extraction (shared e-classes charged
+//!   once, greedy and exact) lives in the `esyn-extract` gym, which
+//!   snapshots e-graphs through the same internals.
 //!
 //! # Example
 //!
@@ -52,7 +50,6 @@
 #![warn(rust_2018_idioms)]
 
 mod analysis;
-mod dag_extract;
 mod egraph;
 mod extract;
 mod fxhash;
@@ -65,7 +62,6 @@ mod symbol;
 mod unionfind;
 
 pub use analysis::Analysis;
-pub use dag_extract::{extract_exact, DagCostFunction, DagExtractor, DagSize, ExactExtractError};
 pub use egraph::{EClass, EGraph};
 pub use extract::{AstDepth, AstSize, CostFunction, Extractor};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

@@ -1,0 +1,253 @@
+//! Exact DAG-cost extraction by branch-and-bound (`bnb`) — the
+//! ILP-equivalent baseline, ported from the former
+//! `esyn_egraph::extract_exact`.
+//!
+//! Depth-first search over per-class e-node choices with an admissible
+//! lower bound (selected cost plus the cheapest-node cost of every
+//! required-but-unassigned class) and explicit cycle checks. Seeds its
+//! incumbent with [`GreedyDag`] so the answer is never worse than greedy;
+//! as a gym engine it returns the incumbent when the step budget runs
+//! out, while the [`extract_exact`](crate::extract_exact) compatibility
+//! entry point keeps the original hard-error semantics for callers that
+//! need the optimality claim.
+
+use crate::graph::{BitSet, CostTable, ExtractGraph};
+use crate::result::{ExtractionResult, EPS};
+use crate::{Extractor, GreedyDag};
+use esyn_egraph::Language;
+use std::fmt;
+
+/// Error from [`crate::extract_exact`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExactExtractError {
+    /// The step budget ran out before the search space was exhausted.
+    /// Carries the configured budget.
+    Budget(u64),
+    /// The root e-class has no extractable (acyclic, grounded) term.
+    /// Only possible on a malformed or mid-rebuild e-graph.
+    NoTerm,
+}
+
+impl fmt::Display for ExactExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExactExtractError::Budget(b) => {
+                write!(f, "exact extraction exceeded its budget of {b} steps")
+            }
+            ExactExtractError::NoTerm => {
+                write!(f, "root e-class has no extractable term")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExactExtractError {}
+
+/// Branch-and-bound exact extraction with a greedy incumbent.
+#[derive(Clone, Copy, Debug)]
+pub struct BranchBound {
+    /// Search-node expansions allowed before the engine settles for its
+    /// incumbent. The problem is NP-hard; this bounds worst-case latency.
+    pub max_steps: u64,
+}
+
+impl Default for BranchBound {
+    fn default() -> Self {
+        BranchBound { max_steps: 500_000 }
+    }
+}
+
+/// Outcome of [`BranchBound::search`]: the improved selection (if the
+/// search found one) and whether the space was exhausted within budget.
+pub(crate) struct BnbOutcome {
+    pub(crate) improved: Option<Vec<Option<usize>>>,
+    pub(crate) exhausted: bool,
+}
+
+impl BranchBound {
+    /// Runs the raw search from `roots`, seeded with `incumbent_cost`.
+    pub(crate) fn search<L: Language>(
+        &self,
+        graph: &ExtractGraph<L>,
+        roots: &[usize],
+        costs: &CostTable,
+        mut incumbent_cost: f64,
+    ) -> BnbOutcome {
+        let n = graph.num_classes();
+        // Same admissibility concern as duplicate children: a repeated
+        // root must seed the bound (and `required`) exactly once.
+        let mut roots: Vec<usize> = roots.to_vec();
+        roots.sort_unstable();
+        roots.dedup();
+        let roots = &roots[..];
+        let min_cost: Vec<f64> = (0..n).map(|ci| costs.min_cost(ci)).collect();
+        let mut incumbent: Option<Vec<Option<usize>>> = None;
+        let mut search = Search {
+            graph,
+            costs,
+            min_cost: &min_cost,
+            assigned: vec![None; n],
+            required: vec![false; n],
+            pending: roots.to_vec(),
+            selected_cost: 0.0,
+            lower_bound: roots.iter().map(|&r| min_cost[r]).sum(),
+            steps: 0,
+            max_steps: self.max_steps,
+            incumbent_cost: &mut incumbent_cost,
+            incumbent: &mut incumbent,
+        };
+        for &r in roots {
+            search.required[r] = true;
+        }
+        let exhausted = search.run();
+        BnbOutcome {
+            improved: incumbent,
+            exhausted,
+        }
+    }
+}
+
+impl<L: Language> Extractor<L> for BranchBound {
+    fn extract(
+        &self,
+        graph: &ExtractGraph<L>,
+        roots: &[usize],
+        costs: &CostTable,
+    ) -> ExtractionResult {
+        let greedy = GreedyDag.extract(graph, roots, costs);
+        if greedy.check(graph, roots).is_err() {
+            // No grounded term at some root; nothing to search for.
+            return greedy;
+        }
+        let incumbent_cost = greedy.dag_cost(graph, costs, roots);
+        let outcome = self.search(graph, roots, costs, incumbent_cost);
+        match outcome.improved {
+            Some(assign) => ExtractionResult { choices: assign },
+            None => greedy,
+        }
+    }
+}
+
+struct Search<'a, L> {
+    graph: &'a ExtractGraph<L>,
+    costs: &'a CostTable,
+    min_cost: &'a [f64],
+    assigned: Vec<Option<usize>>,
+    required: Vec<bool>,
+    /// Required-but-possibly-unassigned classes (DFS order; may contain
+    /// already-assigned duplicates, skipped on pop).
+    pending: Vec<usize>,
+    selected_cost: f64,
+    /// Admissible bound: `selected_cost` + cheapest node of every
+    /// required-but-unassigned class.
+    lower_bound: f64,
+    steps: u64,
+    max_steps: u64,
+    incumbent_cost: &'a mut f64,
+    incumbent: &'a mut Option<Vec<Option<usize>>>,
+}
+
+impl<L: Language> Search<'_, L> {
+    /// Returns `true` when the budget ran out (search incomplete).
+    fn run(&mut self) -> bool {
+        if self.steps >= self.max_steps {
+            return true;
+        }
+        self.steps += 1;
+
+        // Next required, unassigned class.
+        let ci = loop {
+            match self.pending.pop() {
+                Some(c) if self.assigned[c].is_none() => break c,
+                Some(_) => continue,
+                None => {
+                    // Complete selection; acyclicity was enforced at every
+                    // assignment below.
+                    if self.selected_cost + EPS < *self.incumbent_cost {
+                        *self.incumbent_cost = self.selected_cost;
+                        *self.incumbent = Some(self.assigned.clone());
+                    }
+                    return false;
+                }
+            }
+        };
+
+        let mut exhausted = false;
+        // Cheapest candidates first so good incumbents arrive early.
+        let mut order: Vec<usize> = (0..self.graph.nodes(ci).len()).collect();
+        order.sort_by(|&a, &b| self.costs.cost(ci, a).total_cmp(&self.costs.cost(ci, b)));
+
+        for k in order {
+            let children = self.graph.nodes(ci)[k].children();
+            let cost = self.costs.cost(ci, k);
+            // Cycle check: following already-assigned choices from the
+            // children must not lead back to `ci`. The assignment that
+            // would close any cycle always sees the rest of that cycle
+            // assigned, so checking here catches every cycle.
+            if self.reaches(children, ci) {
+                continue;
+            }
+
+            // Deduplicate: an e-node may repeat a child slot (`(* a a)`),
+            // and counting that class's `min_cost` twice would push the
+            // bound above the true completion cost — unsound pruning.
+            let mut new_required: Vec<usize> = children
+                .iter()
+                .copied()
+                .filter(|&d| !self.required[d])
+                .collect();
+            new_required.sort_unstable();
+            new_required.dedup();
+            let saved_pending = self.pending.len();
+
+            self.assigned[ci] = Some(k);
+            self.selected_cost += cost;
+            self.lower_bound += cost - self.min_cost[ci];
+            for &d in &new_required {
+                self.required[d] = true;
+                self.lower_bound += self.min_cost[d];
+                self.pending.push(d);
+            }
+
+            if self.lower_bound + EPS < *self.incumbent_cost {
+                exhausted |= self.run();
+            }
+
+            // Undo.
+            self.pending.truncate(saved_pending);
+            for &d in &new_required {
+                self.required[d] = false;
+                self.lower_bound -= self.min_cost[d];
+            }
+            self.lower_bound -= cost - self.min_cost[ci];
+            self.selected_cost -= cost;
+            self.assigned[ci] = None;
+
+            if exhausted {
+                break;
+            }
+        }
+
+        self.pending.push(ci);
+        exhausted
+    }
+
+    /// Does following assigned choices from `from` reach `target`?
+    fn reaches(&self, from: &[usize], target: usize) -> bool {
+        let mut stack: Vec<usize> = from.to_vec();
+        let mut seen = BitSet::new(self.graph.num_classes());
+        while let Some(c) = stack.pop() {
+            if c == target {
+                return true;
+            }
+            if seen.contains(c) {
+                continue;
+            }
+            seen.insert(c);
+            if let Some(k) = self.assigned[c] {
+                stack.extend_from_slice(self.graph.nodes(c)[k].children());
+            }
+        }
+        false
+    }
+}

@@ -1,0 +1,108 @@
+//! The tree-cost baseline engines (`bottom-up`, `faster-bottom-up`).
+//!
+//! Both select, per class, the e-node minimizing *tree* cost (children
+//! charged per reference) and let the shared finisher ground the result.
+//! Under the gym's DAG-cost scoring they are the deliberately naive
+//! baseline: fast, cycle-free by construction, but blind to sharing —
+//! exactly the role `bottom_up` / `faster_bottom_up` play in the
+//! extraction-gym suite this crate ports.
+
+use crate::graph::{CostTable, ExtractGraph};
+use crate::result::{complete_selection, ExtractionResult, EPS};
+use crate::Extractor;
+use esyn_egraph::Language;
+use std::collections::VecDeque;
+
+/// Tree-cost saturation to fixpoint by repeated full sweeps over the
+/// classes — the simplest possible engine, kept as the reference point.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BottomUp;
+
+/// Tree costs can overflow `f64` on sharing-heavy e-graphs (a chain of k
+/// binary reuses doubles the cost k times); saturate instead so the
+/// comparison logic keeps working.
+const TREE_CAP: f64 = 1e300;
+
+fn tree_cost_of(
+    graph: &ExtractGraph<impl Language>,
+    costs: &CostTable,
+    best: &[f64],
+    ci: usize,
+    k: usize,
+) -> f64 {
+    let mut c = costs.cost(ci, k);
+    for &d in graph.nodes(ci)[k].children() {
+        c += best[d];
+    }
+    c.min(TREE_CAP)
+}
+
+impl<L: Language> Extractor<L> for BottomUp {
+    fn extract(
+        &self,
+        graph: &ExtractGraph<L>,
+        roots: &[usize],
+        costs: &CostTable,
+    ) -> ExtractionResult {
+        let n = graph.num_classes();
+        let mut best = vec![f64::INFINITY; n];
+        let mut choice: Vec<Option<usize>> = vec![None; n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for ci in 0..n {
+                for k in 0..graph.nodes(ci).len() {
+                    let c = tree_cost_of(graph, costs, &best, ci, k);
+                    if c.is_finite() && c + EPS < best[ci] {
+                        best[ci] = c;
+                        choice[ci] = Some(k);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        complete_selection(graph, costs, &choice, roots)
+    }
+}
+
+/// [`BottomUp`] driven by a parent worklist instead of full sweeps: a
+/// class is re-evaluated only when one of its children improved. Same
+/// selections, asymptotically less work on sparse graphs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FasterBottomUp;
+
+impl<L: Language> Extractor<L> for FasterBottomUp {
+    fn extract(
+        &self,
+        graph: &ExtractGraph<L>,
+        roots: &[usize],
+        costs: &CostTable,
+    ) -> ExtractionResult {
+        let n = graph.num_classes();
+        let mut best = vec![f64::INFINITY; n];
+        let mut choice: Vec<Option<usize>> = vec![None; n];
+        let mut queue: VecDeque<usize> = (0..n).collect();
+        let mut in_queue = vec![true; n];
+        while let Some(ci) = queue.pop_front() {
+            in_queue[ci] = false;
+            let mut improved = false;
+            for k in 0..graph.nodes(ci).len() {
+                let c = tree_cost_of(graph, costs, &best, ci, k);
+                if c.is_finite() && c + EPS < best[ci] {
+                    best[ci] = c;
+                    choice[ci] = Some(k);
+                    improved = true;
+                }
+            }
+            if improved {
+                for &(p, _) in graph.parents(ci) {
+                    if !in_queue[p] {
+                        in_queue[p] = true;
+                        queue.push_back(p);
+                    }
+                }
+            }
+        }
+        complete_selection(graph, costs, &choice, roots)
+    }
+}

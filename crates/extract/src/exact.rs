@@ -1,0 +1,366 @@
+//! The `exact` engine: SAT-backed optimal DAG extraction over `esyn-sat`.
+//!
+//! The e-boost recipe (see PAPERS.md): seed an exact solver with the best
+//! adaptive-heuristic incumbent, then let it tighten the bound for as
+//! long as its conflict budget allows. Concretely:
+//!
+//! 1. Run the whole greedy portfolio (both bottom-up engines, both
+//!    greedy-DAG engines, `global-greedy-dag`) and keep the cheapest
+//!    valid result as the incumbent — the engine's floor, so
+//!    **exact ≤ best greedy** holds unconditionally, budget or not.
+//! 2. Encode selection on the root-reachable sub-graph: one variable
+//!    `x[c][k]` per candidate e-node, root-coverage clauses, closure
+//!    clauses (`x[c][k] → ⋁_j x[d][j]` per child class `d`) and pairwise
+//!    at-most-one per class.
+//! 3. Costs become integers (×256, GCD-normalized) counted by a weighted
+//!    sequential-counter ladder built once at the incumbent's width; a
+//!    bound `sum ≤ B` is then a single assumption literal, so the descent
+//!    loop reuses every learnt clause across bounds.
+//! 4. Acyclicity is enforced lazily: a satisfying assignment whose chosen
+//!    sub-graph contains a cycle is excluded with a blocking clause over
+//!    the cycle's choices and the solve re-runs — the standard
+//!    cycle-elimination loop.
+//! 5. The loop descends (`B ← cost(model) − 1`) until UNSAT (incumbent
+//!    proven optimal), the conflict budget runs out, or the ladder would
+//!    be too large to build — in the latter two cases the incumbent is
+//!    returned as-is, exactly like a budget-exhausted `bnb`.
+
+use crate::graph::{BitSet, CostTable, ExtractGraph};
+use crate::result::{complete_selection, ExtractionResult, EPS};
+use crate::{BottomUp, Extractor, FasterBottomUp, FasterGreedyDag, GlobalGreedyDag, GreedyDag};
+use esyn_egraph::Language;
+use esyn_sat::{Lit, Solver, Var};
+
+/// SAT-backed exact extraction, incumbent-seeded and conflict-budgeted.
+#[derive(Clone, Copy, Debug)]
+pub struct SatExact {
+    /// Total solver conflicts the descent loop may spend before settling
+    /// for the incumbent.
+    pub conflict_budget: u64,
+    /// Cap on `(weighted items) × (scaled incumbent cost)` — the size of
+    /// the cardinality ladder. Above it the encoding is skipped and the
+    /// incumbent returned, keeping memory bounded on huge e-graphs.
+    pub max_ladder: u64,
+}
+
+impl Default for SatExact {
+    /// Budgets sized for interactive races (`esyn gym`, the `gym` bench,
+    /// CI smoke runs): encodings past ~400 k ladder positions or 20 k
+    /// conflicts are where mid-size registry e-graphs (~10 k e-nodes)
+    /// tip from sub-second solves into minutes, so the descent settles
+    /// for the portfolio incumbent there. Raise both for offline
+    /// optimality hunts.
+    fn default() -> Self {
+        SatExact {
+            conflict_budget: 20_000,
+            max_ladder: 400_000,
+        }
+    }
+}
+
+/// Fixed-point scale for `f64` costs. Costs are rounded to 1/256ths; the
+/// gym's models are unit or small rational weights, which this represents
+/// exactly.
+const SCALE: f64 = 256.0;
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+impl SatExact {
+    fn greedy_incumbent<L: Language>(
+        &self,
+        graph: &ExtractGraph<L>,
+        roots: &[usize],
+        costs: &CostTable,
+    ) -> Option<(ExtractionResult, f64)> {
+        let portfolio: [&dyn Extractor<L>; 5] = [
+            &BottomUp,
+            &FasterBottomUp,
+            &GreedyDag,
+            &FasterGreedyDag,
+            &GlobalGreedyDag,
+        ];
+        let mut best: Option<(ExtractionResult, f64)> = None;
+        for engine in portfolio {
+            let res = engine.extract(graph, roots, costs);
+            if res.check(graph, roots).is_err() {
+                continue;
+            }
+            let cost = res.dag_cost(graph, costs, roots);
+            if best.as_ref().is_none_or(|(_, bc)| cost + EPS < *bc) {
+                best = Some((res, cost));
+            }
+        }
+        best
+    }
+}
+
+impl<L: Language> Extractor<L> for SatExact {
+    fn extract(
+        &self,
+        graph: &ExtractGraph<L>,
+        roots: &[usize],
+        costs: &CostTable,
+    ) -> ExtractionResult {
+        let Some((mut incumbent, mut incumbent_cost)) = self.greedy_incumbent(graph, roots, costs)
+        else {
+            // No grounded term at some root; return an (invalid) empty
+            // result and let the caller's check report it.
+            return ExtractionResult::new(graph.num_classes());
+        };
+
+        // Restrict the encoding to classes reachable from the roots
+        // through *any* candidate e-node.
+        let n = graph.num_classes();
+        let mut live = BitSet::new(n);
+        let mut order: Vec<usize> = Vec::new();
+        let mut stack: Vec<usize> = roots.to_vec();
+        for &r in roots {
+            live.insert(r);
+        }
+        // (roots are deduplicated by the callers, but be safe)
+        stack.dedup();
+        while let Some(ci) = stack.pop() {
+            order.push(ci);
+            for node in graph.nodes(ci) {
+                for &d in node.children() {
+                    if !live.contains(d) {
+                        live.insert(d);
+                        stack.push(d);
+                    }
+                }
+            }
+        }
+
+        // Integer weights, GCD-normalized so unit-cost instances count in
+        // steps of 1 rather than 256.
+        let mut weights: Vec<Vec<u64>> = vec![Vec::new(); n];
+        let mut g = 0u64;
+        for &ci in &order {
+            weights[ci] = graph
+                .nodes(ci)
+                .iter()
+                .enumerate()
+                .map(|(k, _)| (costs.cost(ci, k) * SCALE).round() as u64)
+                .collect();
+            for &w in &weights[ci] {
+                g = gcd(g, w);
+            }
+        }
+        if g > 1 {
+            for &ci in &order {
+                for w in &mut weights[ci] {
+                    *w /= g;
+                }
+            }
+        }
+
+        let scaled_of = |res: &ExtractionResult| -> u64 {
+            let mut seen = BitSet::new(n);
+            let mut stack: Vec<usize> = roots.to_vec();
+            let mut total = 0u64;
+            while let Some(ci) = stack.pop() {
+                if seen.contains(ci) {
+                    continue;
+                }
+                seen.insert(ci);
+                let k = res.choices[ci].expect("incumbent covers reached classes");
+                total += weights[ci][k];
+                stack.extend_from_slice(graph.nodes(ci)[k].children());
+            }
+            total
+        };
+
+        let inc_scaled = scaled_of(&incumbent);
+        if inc_scaled == 0 {
+            return incumbent; // cost 0 cannot be improved
+        }
+        let width = inc_scaled; // ladder registers per item: 1..=width
+        let items: u64 = order
+            .iter()
+            .map(|&ci| weights[ci].iter().filter(|&&w| w > 0).count() as u64)
+            .sum();
+        if items.saturating_mul(width) > self.max_ladder {
+            return incumbent; // encoding too large; keep the greedy floor
+        }
+
+        // ---- Encode -----------------------------------------------------
+        let mut solver = Solver::new();
+        let mut x: Vec<Vec<Var>> = vec![Vec::new(); n];
+        for &ci in &order {
+            x[ci] = (0..graph.nodes(ci).len())
+                .map(|_| solver.new_var())
+                .collect();
+        }
+        for &r in roots {
+            let clause: Vec<Lit> = x[r].iter().map(|&v| Lit::pos(v)).collect();
+            solver.add_clause(&clause);
+        }
+        for &ci in &order {
+            // At most one choice per class (pairwise).
+            for a in 0..x[ci].len() {
+                for b in (a + 1)..x[ci].len() {
+                    solver.add_clause(&[Lit::neg(x[ci][a]), Lit::neg(x[ci][b])]);
+                }
+                // Closure: choosing node a forces every child class to
+                // choose something.
+                let mut kids: Vec<usize> = graph.nodes(ci)[a].children.clone();
+                kids.sort_unstable();
+                kids.dedup();
+                for d in kids {
+                    let mut clause: Vec<Lit> = vec![Lit::neg(x[ci][a])];
+                    clause.extend(x[d].iter().map(|&v| Lit::pos(v)));
+                    solver.add_clause(&clause);
+                }
+            }
+        }
+
+        // Weighted sequential counter: reg[j] ⇔ "sum of items so far
+        // ≥ j+1" (only the ≥ direction is encoded, which suffices to
+        // enforce upper bounds by refuting the overflow register).
+        let w = width as usize;
+        let mut reg: Vec<Var> = (0..w).map(|_| solver.new_var()).collect();
+        let mut first = true;
+        for &ci in &order {
+            for (k, &wk) in weights[ci].iter().enumerate() {
+                if wk == 0 {
+                    continue;
+                }
+                let wk = wk as usize;
+                let xi = Lit::pos(x[ci][k]);
+                if first {
+                    // reg starts as the counter of the first item alone.
+                    for (j, &r) in reg.iter().enumerate() {
+                        if j < wk {
+                            solver.add_clause(&[!xi, Lit::pos(r)]);
+                        }
+                    }
+                    first = false;
+                    continue;
+                }
+                let next: Vec<Var> = (0..w).map(|_| solver.new_var()).collect();
+                for j in 0..w {
+                    // carry: prior sum ≥ j+1 stays ≥ j+1.
+                    solver.add_clause(&[Lit::neg(reg[j]), Lit::pos(next[j])]);
+                    if j < wk {
+                        // item alone reaches j+1 ≤ wk.
+                        solver.add_clause(&[!xi, Lit::pos(next[j])]);
+                    } else {
+                        // item shifts the prior sum up by wk.
+                        solver.add_clause(&[!xi, Lit::neg(reg[j - wk]), Lit::pos(next[j])]);
+                    }
+                }
+                reg = next;
+            }
+        }
+        // reg[j] now means "total ≥ j+1"; bound total ≤ B by assuming
+        // ¬reg[B] (i.e. not ≥ B+1). B < width always holds in the loop.
+        let overflow = reg;
+
+        // ---- Descend ----------------------------------------------------
+        let start_conflicts = solver.conflict_count();
+        let mut bound = inc_scaled - 1;
+        loop {
+            let spent = solver.conflict_count() - start_conflicts;
+            let Some(budget_left) = self.conflict_budget.checked_sub(spent) else {
+                break;
+            };
+            if budget_left == 0 {
+                break;
+            }
+            let assumption = [Lit::neg(overflow[bound as usize])];
+            match solver.solve_limited(&assumption, budget_left) {
+                None => break,        // budget exhausted mid-solve
+                Some(false) => break, // no selection ≤ bound: incumbent optimal
+                Some(true) => {
+                    // Decode: the (at most one) chosen node per class.
+                    let mut choices: Vec<Option<usize>> = vec![None; n];
+                    for &ci in &order {
+                        choices[ci] = x[ci].iter().position(|&v| solver.value(v) == Some(true));
+                    }
+                    let res = ExtractionResult { choices };
+                    match res.check(graph, roots) {
+                        Err(_) => {
+                            // A cycle (closure/coverage hold by clause
+                            // construction): block this exact chosen cycle
+                            // and re-solve at the same bound.
+                            let Some(cycle) = find_cycle(graph, &res, roots) else {
+                                break; // defensive: only cycles are expected
+                            };
+                            let clause: Vec<Lit> = cycle
+                                .iter()
+                                .map(|&ci| Lit::neg(x[ci][res.choices[ci].unwrap()]))
+                                .collect();
+                            if !solver.add_clause(&clause) {
+                                break;
+                            }
+                        }
+                        Ok(()) => {
+                            let cost = res.dag_cost(graph, costs, roots);
+                            let scaled = scaled_of(&res);
+                            if cost + EPS < incumbent_cost {
+                                incumbent = res;
+                                incumbent_cost = cost;
+                            }
+                            if scaled == 0 {
+                                break;
+                            }
+                            bound = bound.min(scaled - 1);
+                        }
+                    }
+                }
+            }
+        }
+
+        // The SAT model decides only reachable-from-root classes; ground
+        // everything through the shared finisher for a uniform shape.
+        complete_selection(graph, costs, &incumbent.choices, roots)
+    }
+}
+
+/// Finds one cycle in the chosen sub-graph reachable from `roots`
+/// (classes on the cycle, in order). `None` when the selection is acyclic.
+fn find_cycle<L: Language>(
+    graph: &ExtractGraph<L>,
+    res: &ExtractionResult,
+    roots: &[usize],
+) -> Option<Vec<usize>> {
+    let n = graph.num_classes();
+    let mut color = vec![0u8; n];
+    for &start in roots {
+        if color[start] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        color[start] = 1;
+        while let Some(&mut (ci, ref mut next)) = stack.last_mut() {
+            let k = res.choices[ci]?;
+            let children = graph.nodes(ci)[k].children();
+            if *next < children.len() {
+                let d = children[*next];
+                *next += 1;
+                match color[d] {
+                    0 => {
+                        color[d] = 1;
+                        stack.push((d, 0));
+                    }
+                    1 => {
+                        // Unwind the explicit stack back to `d`.
+                        let pos = stack.iter().position(|&(c, _)| c == d)?;
+                        return Some(stack[pos..].iter().map(|&(c, _)| c).collect());
+                    }
+                    _ => {}
+                }
+            } else {
+                color[ci] = 2;
+                stack.pop();
+            }
+        }
+    }
+    None
+}

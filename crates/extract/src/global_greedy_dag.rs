@@ -1,0 +1,131 @@
+//! The `global-greedy-dag` engine: TermDag-style sharing-aware costing.
+//!
+//! Where [`greedy-dag`](crate::GreedyDag) summarizes a class's solution
+//! as a bitset costed from *current* per-class choices, this engine keeps
+//! the actual term each class would build: an explicit class→e-node map
+//! of its whole sub-DAG (the dense analogue of the extraction-gym
+//! `global_greedy_dag`'s `TermDag` reachable sets). A candidate's cost is
+//! computed from the *merged* map itself, so sharing between children is
+//! credited exactly, not approximated through stale chosen costs. Merging
+//! clones the biggest child's map and inserts the remaining children's
+//! entries first-wins, in child order — the priority-union that keeps the
+//! merged selection closed and acyclic.
+//!
+//! The price is memory and merge time proportional to sub-DAG sizes,
+//! which makes this the slowest greedy engine; run it where quality
+//! matters more than latency (the gym races make the trade visible).
+
+use crate::graph::{CostTable, ExtractGraph};
+use crate::result::{complete_selection, ExtractionResult, EPS};
+use crate::Extractor;
+use esyn_egraph::{FxHashMap, Language};
+use std::collections::VecDeque;
+
+/// A class's current best term: its full class→chosen-node map and cost.
+type Term = Option<(FxHashMap<usize, usize>, f64)>;
+
+#[derive(Clone, Copy, Debug, Default)]
+/// TermDag-style greedy extraction with exact sharing-aware costing.
+pub struct GlobalGreedyDag;
+
+/// Merges the children's term maps (biggest first, then first-wins in
+/// child order), rejecting candidates whose merged term would contain
+/// `ci` itself. Returns the merged map including `(ci, k)` plus its cost.
+fn merged_term(
+    costs: &CostTable,
+    terms: &[Term],
+    children: &[usize],
+    ci: usize,
+    k: usize,
+) -> Option<(FxHashMap<usize, usize>, f64)> {
+    if children.iter().any(|&d| terms[d].is_none()) {
+        return None;
+    }
+    let biggest = children
+        .iter()
+        .copied()
+        .max_by_key(|&d| terms[d].as_ref().unwrap().0.len());
+    let mut map: FxHashMap<usize, usize> = match biggest {
+        Some(d) => terms[d].as_ref().unwrap().0.clone(),
+        None => FxHashMap::default(),
+    };
+    for &d in children {
+        if Some(d) == biggest {
+            continue;
+        }
+        for (&c, &n) in &terms[d].as_ref().unwrap().0 {
+            map.entry(c).or_insert(n);
+        }
+    }
+    if map.contains_key(&ci) {
+        return None; // the candidate's own term would be cyclic
+    }
+    map.insert(ci, k);
+    let cost = map.iter().map(|(&c, &n)| costs.cost(c, n)).sum();
+    Some((map, cost))
+}
+
+impl<L: Language> Extractor<L> for GlobalGreedyDag {
+    fn extract(
+        &self,
+        graph: &ExtractGraph<L>,
+        roots: &[usize],
+        costs: &CostTable,
+    ) -> ExtractionResult {
+        let n = graph.num_classes();
+        let mut terms: Vec<Term> = vec![None; n];
+        let mut queue: VecDeque<usize> = (0..n).collect();
+        let mut in_queue = vec![true; n];
+        while let Some(ci) = queue.pop_front() {
+            in_queue[ci] = false;
+            let mut pick: Option<(FxHashMap<usize, usize>, f64)> = None;
+            for (k, node) in graph.nodes(ci).iter().enumerate() {
+                let Some((map, cost)) = merged_term(costs, &terms, node.children(), ci, k) else {
+                    continue;
+                };
+                if pick.as_ref().is_none_or(|(_, pc)| cost + EPS < *pc) {
+                    pick = Some((map, cost));
+                }
+            }
+            let Some((map, cost)) = pick else { continue };
+            let improved = match &terms[ci] {
+                Some((_, old)) => cost + EPS < *old,
+                None => true,
+            };
+            if improved {
+                terms[ci] = Some((map, cost));
+                for &(p, _) in graph.parents(ci) {
+                    if !in_queue[p] {
+                        in_queue[p] = true;
+                        queue.push_back(p);
+                    }
+                }
+            }
+        }
+        // Every root reads its choices straight out of its own term map —
+        // already closed and acyclic by construction; the shared finisher
+        // grounds the union across roots (maps may disagree on a shared
+        // class, in which case first-root-wins and repair handles any
+        // resulting staleness).
+        let mut prefer: Vec<Option<usize>> = vec![None; n];
+        for &r in roots {
+            if let Some((map, _)) = &terms[r] {
+                for (&c, &k) in map {
+                    if prefer[c].is_none() {
+                        prefer[c] = Some(k);
+                    }
+                }
+            }
+        }
+        // Classes outside every root's term keep their own best choice as
+        // a fallback so cycle repair has material to work with.
+        for ci in 0..n {
+            if prefer[ci].is_none() {
+                if let Some((map, _)) = &terms[ci] {
+                    prefer[ci] = map.get(&ci).copied();
+                }
+            }
+        }
+        complete_selection(graph, costs, &prefer, roots)
+    }
+}

@@ -1,0 +1,297 @@
+//! The dense extraction substrate every engine runs on.
+//!
+//! [`ExtractGraph`] snapshots an e-graph into index-addressed form:
+//! canonical class ids become contiguous `usize` indices, every candidate
+//! e-node carries its children as dense indices, and a parent index
+//! supports worklist engines. [`CostTable`] holds the validated per-node
+//! costs from a [`CostModel`], computed once (optionally in parallel) and
+//! shared by every engine in a race — engines themselves are pure
+//! functions of `(graph, roots, costs)`, which is what makes the gym's
+//! results comparable and bit-identical at any thread count.
+
+use esyn_egraph::{Analysis, EGraph, FxHashMap, Id, Language};
+use esyn_par::{par_map, Parallelism};
+use std::fmt;
+
+/// One candidate e-node of a class, with children as dense class indices.
+#[derive(Clone, Debug)]
+pub struct ENode<L> {
+    /// The operator (children still carry the original e-graph ids; use
+    /// [`ENode::children`] for dense indices).
+    pub op: L,
+    /// Dense child class indices, in child-slot order (duplicates kept so
+    /// the node can be rematerialized with [`Language::map_children`]).
+    pub children: Vec<usize>,
+}
+
+impl<L> ENode<L> {
+    /// The dense child indices, in slot order.
+    pub fn children(&self) -> &[usize] {
+        &self.children
+    }
+}
+
+/// Dense snapshot of an e-graph for extraction.
+pub struct ExtractGraph<L> {
+    ids: Vec<Id>,
+    index: FxHashMap<Id, usize>,
+    classes: Vec<Vec<ENode<L>>>,
+    /// `parents[c]` = distinct `(class, node)` pairs with `c` as a child.
+    parents: Vec<Vec<(usize, usize)>>,
+    total_nodes: usize,
+}
+
+impl<L: Language> ExtractGraph<L> {
+    /// Snapshots `egraph` (which must be clean — call `rebuild` first).
+    pub fn new<N: Analysis<L>>(egraph: &EGraph<L, N>) -> Self {
+        assert!(egraph.is_clean(), "rebuild the e-graph before extraction");
+        let mut ids = Vec::with_capacity(egraph.num_classes());
+        let mut index =
+            FxHashMap::with_capacity_and_hasher(egraph.num_classes(), Default::default());
+        for class in egraph.classes() {
+            let canon = egraph.find(class.id);
+            index.insert(canon, ids.len());
+            ids.push(canon);
+        }
+        let mut classes = Vec::with_capacity(ids.len());
+        let mut total_nodes = 0;
+        for &id in &ids {
+            let class = egraph.class(id);
+            let mut cands = Vec::with_capacity(class.len());
+            for node in class.nodes() {
+                let children: Vec<usize> = node
+                    .children()
+                    .iter()
+                    .map(|&c| index[&egraph.find(c)])
+                    .collect();
+                cands.push(ENode {
+                    op: node.clone(),
+                    children,
+                });
+            }
+            total_nodes += cands.len();
+            classes.push(cands);
+        }
+        let mut parents: Vec<Vec<(usize, usize)>> = vec![Vec::new(); ids.len()];
+        for (ci, cands) in classes.iter().enumerate() {
+            for (k, node) in cands.iter().enumerate() {
+                let mut kids = node.children.clone();
+                kids.sort_unstable();
+                kids.dedup();
+                for d in kids {
+                    parents[d].push((ci, k));
+                }
+            }
+        }
+        ExtractGraph {
+            ids,
+            index,
+            classes,
+            parents,
+            total_nodes,
+        }
+    }
+
+    /// Number of e-classes.
+    pub fn num_classes(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Total number of candidate e-nodes across all classes.
+    pub fn total_nodes(&self) -> usize {
+        self.total_nodes
+    }
+
+    /// The canonical e-graph id of dense class `ci`.
+    pub fn class_id(&self, ci: usize) -> Id {
+        self.ids[ci]
+    }
+
+    /// The dense index of (canonical) e-graph id `id`, if present.
+    ///
+    /// Pass ids through `egraph.find` first; the snapshot indexes
+    /// canonical representatives only.
+    pub fn class_index(&self, id: Id) -> Option<usize> {
+        self.index.get(&id).copied()
+    }
+
+    /// The candidate e-nodes of dense class `ci`.
+    pub fn nodes(&self, ci: usize) -> &[ENode<L>] {
+        &self.classes[ci]
+    }
+
+    /// Distinct `(class, node)` pairs having `ci` as a child.
+    pub fn parents(&self, ci: usize) -> &[(usize, usize)] {
+        &self.parents[ci]
+    }
+
+    /// Maps e-graph root ids to dense indices (canonicalizing through
+    /// `egraph.find`), deduplicated in first-seen order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a root id is not in the e-graph.
+    pub fn root_indices<N: Analysis<L>>(&self, egraph: &EGraph<L, N>, roots: &[Id]) -> Vec<usize> {
+        let mut out = Vec::with_capacity(roots.len());
+        for &r in roots {
+            let ri = self
+                .class_index(egraph.find(r))
+                .expect("root id not present in the e-graph");
+            if !out.contains(&ri) {
+                out.push(ri);
+            }
+        }
+        out
+    }
+}
+
+impl<L: fmt::Debug> fmt::Debug for ExtractGraph<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExtractGraph")
+            .field("classes", &self.ids.len())
+            .field("nodes", &self.total_nodes)
+            .finish()
+    }
+}
+
+/// A pluggable, linear per-e-node cost model.
+///
+/// The DAG cost of an extraction is the sum of `node_cost` over the
+/// chosen e-node of every e-class in the extracted DAG, each class
+/// counted once. Implementations must be `Sync` (cost tables may be
+/// built in parallel) and pure: the same e-node always gets the same
+/// cost. Any `Fn(&L) -> f64` closure qualifies.
+pub trait CostModel<L: Language>: Sync {
+    /// Cost of choosing `enode` for its e-class.
+    ///
+    /// Must be finite and non-negative; [`CostTable::build`] panics
+    /// otherwise, because both greedy pruning and branch-and-bound
+    /// silently misbehave on NaN/negative costs.
+    fn node_cost(&self, enode: &L) -> f64;
+}
+
+impl<L: Language, F: Fn(&L) -> f64 + Sync> CostModel<L> for F {
+    fn node_cost(&self, enode: &L) -> f64 {
+        self(enode)
+    }
+}
+
+/// Counts one unit per e-class in the extracted DAG (shared node count —
+/// the DAG analogue of AST size).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UnitCost;
+
+impl<L: Language> CostModel<L> for UnitCost {
+    fn node_cost(&self, _enode: &L) -> f64 {
+        1.0
+    }
+}
+
+/// Below this many e-nodes the cost table is filled inline: spawning
+/// workers would cost more than the model evaluations.
+const PAR_MIN_NODES: usize = 1 << 14;
+
+/// Validated per-node costs, indexed `(class, node)` like the graph.
+#[derive(Clone, Debug)]
+pub struct CostTable {
+    per_class: Vec<Vec<f64>>,
+}
+
+impl CostTable {
+    /// Evaluates `model` on every candidate e-node of `graph`.
+    ///
+    /// The per-class fan-out runs on `par` workers; the result is
+    /// bit-identical at any thread count ([`par_map`] preserves order and
+    /// the model is pure), so parallelism trades wall-clock only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model returns a NaN, infinite or negative cost.
+    pub fn build<L, M>(graph: &ExtractGraph<L>, model: &M, par: Parallelism) -> Self
+    where
+        L: Language + Sync,
+        M: CostModel<L> + ?Sized,
+    {
+        let indices: Vec<usize> = (0..graph.num_classes()).collect();
+        let par = par.when(graph.total_nodes() >= PAR_MIN_NODES);
+        let per_class = par_map(par, &indices, |_, &ci| {
+            graph
+                .nodes(ci)
+                .iter()
+                .map(|n| {
+                    let cost = model.node_cost(&n.op);
+                    assert!(
+                        cost.is_finite() && cost >= 0.0,
+                        "CostModel returned invalid cost {cost:?} for {:?}",
+                        n.op
+                    );
+                    cost
+                })
+                .collect()
+        });
+        CostTable { per_class }
+    }
+
+    /// The cost of candidate `k` of class `ci`.
+    pub fn cost(&self, ci: usize, k: usize) -> f64 {
+        self.per_class[ci][k]
+    }
+
+    /// The cheapest candidate cost of class `ci` (infinite for an empty
+    /// class, which a well-formed e-graph never has).
+    pub fn min_cost(&self, ci: usize) -> f64 {
+        self.per_class[ci]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Dense bitset over e-class indices, shared by the sub-DAG engines.
+#[derive(Clone, PartialEq, Eq)]
+pub(crate) struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    pub(crate) fn new(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    pub(crate) fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    pub(crate) fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    pub(crate) fn union_with(&mut self, other: &BitSet) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}

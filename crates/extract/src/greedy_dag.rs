@@ -1,0 +1,162 @@
+//! The greedy sub-DAG engines (`greedy-dag`, `faster-greedy-dag`).
+//!
+//! Every class tracks its cheapest known *sub-DAG* — a set of classes
+//! plus one chosen e-node per member — as a dense bitset. A candidate
+//! e-node's cost is its own cost plus the chosen cost of every class in
+//! the union of its children's sub-DAGs (each class once). Both engines
+//! are heuristics: they can miss selections where siblings profit from
+//! coordinating on a shared child (the `exact` engine exists for that),
+//! but they never over-count sharing the way tree cost does.
+//!
+//! `greedy-dag` re-sweeps every class until nothing anywhere improves —
+//! the port of the workspace's original `DagExtractor`. `faster-greedy-dag`
+//! replaces the full sweeps with a parent worklist; it re-evaluates a
+//! class only when a direct child improved, so stale *indirect* set
+//! members are not chased to the same fixpoint. The two can disagree
+//! slightly (either way), which is exactly the greedy_dag /
+//! faster_greedy_dag split in the extraction-gym suite.
+
+use crate::graph::{BitSet, CostTable, ExtractGraph};
+use crate::result::{complete_selection, ExtractionResult, EPS};
+use crate::Extractor;
+use esyn_egraph::Language;
+use std::collections::VecDeque;
+
+/// State per class: chosen candidate, its sub-DAG, its estimated cost.
+type Best = Option<(usize, BitSet, f64)>;
+
+/// Evaluates candidate `k` of `ci` against the current per-class
+/// solutions; `None` when a child is unsolved or the candidate would
+/// close a cycle through `ci`.
+fn candidate(
+    graph: &ExtractGraph<impl Language>,
+    costs: &CostTable,
+    best: &[Best],
+    chosen_cost: &[f64],
+    ci: usize,
+    k: usize,
+) -> Option<(BitSet, f64)> {
+    let children = graph.nodes(ci)[k].children();
+    let ok = children.iter().all(|&d| {
+        best[d]
+            .as_ref()
+            .is_some_and(|(_, set, _)| !set.contains(ci))
+    });
+    if !ok {
+        return None;
+    }
+    let mut set = BitSet::new(graph.num_classes());
+    for &d in children {
+        set.union_with(&best[d].as_ref().unwrap().1);
+    }
+    set.insert(ci);
+    let mut cost = costs.cost(ci, k);
+    for d in set.iter() {
+        if d != ci {
+            cost += chosen_cost[d];
+        }
+    }
+    Some((set, cost))
+}
+
+fn finish<L: Language>(
+    graph: &ExtractGraph<L>,
+    costs: &CostTable,
+    best: Vec<Best>,
+    roots: &[usize],
+) -> ExtractionResult {
+    let prefer: Vec<Option<usize>> = best.into_iter().map(|b| b.map(|(k, _, _)| k)).collect();
+    complete_selection(graph, costs, &prefer, roots)
+}
+
+/// Greedy sub-DAG fixpoint by full sweeps (the original `DagExtractor`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GreedyDag;
+
+impl<L: Language> Extractor<L> for GreedyDag {
+    fn extract(
+        &self,
+        graph: &ExtractGraph<L>,
+        roots: &[usize],
+        costs: &CostTable,
+    ) -> ExtractionResult {
+        let n = graph.num_classes();
+        let mut best: Vec<Best> = vec![None; n];
+        // Cost of the currently chosen node per class, used when summing a
+        // candidate set's cost. Members of a stale set are charged their
+        // *current* chosen cost; the fixpoint stays a heuristic either way
+        // and the finisher grounds whatever it produced.
+        let mut chosen_cost = vec![0.0f64; n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for ci in 0..n {
+                for k in 0..graph.nodes(ci).len() {
+                    let Some((set, cost)) = candidate(graph, costs, &best, &chosen_cost, ci, k)
+                    else {
+                        continue;
+                    };
+                    let better = match &best[ci] {
+                        Some((_, _, old)) => cost + EPS < *old,
+                        None => true,
+                    };
+                    if better {
+                        chosen_cost[ci] = costs.cost(ci, k);
+                        best[ci] = Some((k, set, cost));
+                        changed = true;
+                    }
+                }
+            }
+        }
+        finish(graph, costs, best, roots)
+    }
+}
+
+/// Greedy sub-DAG fixpoint driven by a parent worklist.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FasterGreedyDag;
+
+impl<L: Language> Extractor<L> for FasterGreedyDag {
+    fn extract(
+        &self,
+        graph: &ExtractGraph<L>,
+        roots: &[usize],
+        costs: &CostTable,
+    ) -> ExtractionResult {
+        let n = graph.num_classes();
+        let mut best: Vec<Best> = vec![None; n];
+        let mut chosen_cost = vec![0.0f64; n];
+        let mut queue: VecDeque<usize> = (0..n).collect();
+        let mut in_queue = vec![true; n];
+        while let Some(ci) = queue.pop_front() {
+            in_queue[ci] = false;
+            // Evaluate every candidate against one consistent snapshot and
+            // keep the cheapest (ties to the lowest index).
+            let mut pick: Option<(usize, BitSet, f64)> = None;
+            for k in 0..graph.nodes(ci).len() {
+                let Some((set, cost)) = candidate(graph, costs, &best, &chosen_cost, ci, k) else {
+                    continue;
+                };
+                if pick.as_ref().is_none_or(|(_, _, pc)| cost + EPS < *pc) {
+                    pick = Some((k, set, cost));
+                }
+            }
+            let Some((k, set, cost)) = pick else { continue };
+            let improved = match &best[ci] {
+                Some((_, _, old)) => cost + EPS < *old,
+                None => true,
+            };
+            if improved {
+                chosen_cost[ci] = costs.cost(ci, k);
+                best[ci] = Some((k, set, cost));
+                for &(p, _) in graph.parents(ci) {
+                    if !in_queue[p] {
+                        in_queue[p] = true;
+                        queue.push_back(p);
+                    }
+                }
+            }
+        }
+        finish(graph, costs, best, roots)
+    }
+}

@@ -1,0 +1,77 @@
+//! The gym: race every engine on one e-graph and tabulate QoR vs time.
+//!
+//! [`race`] builds the dense [`ExtractGraph`] and [`CostTable`] once
+//! (the table build is the parallel part, gated on `par`), then runs each
+//! requested engine serially and validates its result with the shared
+//! [`ExtractionResult::check`]. Timings are wall-clock per engine and
+//! exclude the shared setup; costs and check outcomes are deterministic
+//! and bit-identical at any thread count — only `micros` varies run to
+//! run, which is why the determinism tests fingerprint everything *but*
+//! the timings.
+
+use crate::graph::{CostModel, CostTable, ExtractGraph};
+use crate::result::CheckError;
+use crate::{engine_by_name, ExtractionResult};
+use esyn_egraph::{Analysis, EGraph, Id, Language};
+use esyn_par::Parallelism;
+use std::time::Instant;
+
+/// One engine's line in a gym race.
+#[derive(Clone, Debug)]
+pub struct GymRow {
+    /// Canonical engine name (from [`crate::ENGINE_NAMES`]).
+    pub engine: &'static str,
+    /// DAG cost (every reached class charged once) — the score that
+    /// matters under sharing.
+    pub dag_cost: f64,
+    /// Tree cost (children charged per reference), for contrast.
+    pub tree_cost: f64,
+    /// Outcome of the shared validator on this engine's selection.
+    pub check: Result<(), CheckError>,
+    /// Wall-clock time of the engine alone (setup excluded).
+    pub micros: u128,
+}
+
+/// Races `engine_names` on `egraph` from `roots` under `model`.
+///
+/// # Panics
+///
+/// Panics on an unknown engine name (resolve names up front with
+/// [`crate::canonical_engine_name`]) or an un-rebuilt e-graph.
+pub fn race<L: Language + Sync, N: Analysis<L>>(
+    egraph: &EGraph<L, N>,
+    roots: &[Id],
+    model: &dyn CostModel<L>,
+    engine_names: &[&str],
+    par: Parallelism,
+) -> Vec<GymRow> {
+    let graph = ExtractGraph::new(egraph);
+    let costs = CostTable::build(&graph, model, par);
+    let root_ix = graph.root_indices(egraph, roots);
+    engine_names
+        .iter()
+        .map(|&name| {
+            let (canonical, engine) = engine_by_name::<L>(name)
+                .unwrap_or_else(|| panic!("unknown extraction engine `{name}`"));
+            let start = Instant::now();
+            let result: ExtractionResult = engine.extract(&graph, &root_ix, &costs);
+            let micros = start.elapsed().as_micros();
+            let check = result.check(&graph, &root_ix);
+            let (dag_cost, tree_cost) = if check.is_ok() {
+                (
+                    result.dag_cost(&graph, &costs, &root_ix),
+                    result.tree_cost(&graph, &costs, &root_ix),
+                )
+            } else {
+                (f64::NAN, f64::NAN)
+            };
+            GymRow {
+                engine: canonical,
+                dag_cost,
+                tree_cost,
+                check,
+                micros,
+            }
+        })
+        .collect()
+}

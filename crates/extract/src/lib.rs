@@ -1,0 +1,170 @@
+//! # esyn-extract — the extraction gym
+//!
+//! One [`Extractor`] trait, one shared validator, and a family of
+//! DAG-cost extraction engines over a dense e-graph snapshot, in the
+//! spirit of the extraction-gym benchmark suite. Every engine is a pure
+//! function of `(graph, roots, costs)`:
+//!
+//! | name                | strategy                                        |
+//! |---------------------|-------------------------------------------------|
+//! | `bottom-up`         | tree-cost fixpoint by full sweeps (baseline)    |
+//! | `faster-bottom-up`  | tree-cost fixpoint on a parent worklist         |
+//! | `greedy-dag`        | greedy sub-DAG bitsets, full sweeps             |
+//! | `faster-greedy-dag` | greedy sub-DAG bitsets, parent worklist         |
+//! | `global-greedy-dag` | TermDag-style exact sharing-aware greedy        |
+//! | `bnb`               | branch-and-bound, greedy incumbent, step budget |
+//! | `exact`             | SAT descent over `esyn-sat`, greedy portfolio   |
+//!
+//! The heuristics run in linear-ish time and can miss coordination
+//! between siblings; `bnb` and `exact` close that gap under a budget and
+//! are seeded with greedy incumbents, so their answers are never worse
+//! than greedy. All engines return an [`ExtractionResult`] whose
+//! [`check`](ExtractionResult::check) enforces the gym contract — roots
+//! covered, selection closed, acyclic — and costs are scored under a
+//! pluggable [`CostModel`] via a shared, optionally parallel
+//! [`CostTable`].
+//!
+//! [`gym::race`] runs a set of engines on one e-graph and tabulates
+//! QoR/time; [`extract_best`] is the one-engine convenience used by the
+//! pool; [`extract_exact`] keeps the original hard-error contract of
+//! `esyn_egraph::extract_exact` for callers that need the optimality
+//! claim.
+
+mod bnb;
+mod bottom_up;
+mod exact;
+mod global_greedy_dag;
+mod graph;
+mod greedy_dag;
+pub mod gym;
+mod result;
+
+pub use bnb::{BranchBound, ExactExtractError};
+pub use bottom_up::{BottomUp, FasterBottomUp};
+pub use exact::SatExact;
+pub use global_greedy_dag::GlobalGreedyDag;
+pub use graph::{CostModel, CostTable, ENode, ExtractGraph, UnitCost};
+pub use greedy_dag::{FasterGreedyDag, GreedyDag};
+pub use gym::{race, GymRow};
+pub use result::{CheckError, ExtractionResult};
+
+use esyn_egraph::{Analysis, EGraph, Id, Language, RecExpr};
+use esyn_par::Parallelism;
+
+/// An extraction engine: pick one e-node per (relevant) e-class.
+///
+/// Engines are stateless values (configuration only), `Sync` so races can
+/// share them across threads, and deterministic: the same inputs always
+/// produce the same choices. Results are *not* trusted — run
+/// [`ExtractionResult::check`] before using one.
+pub trait Extractor<L: Language>: Sync {
+    /// Extracts from `graph` at `roots` (dense indices, deduplicated)
+    /// scoring e-nodes by `costs`.
+    fn extract(
+        &self,
+        graph: &ExtractGraph<L>,
+        roots: &[usize],
+        costs: &CostTable,
+    ) -> ExtractionResult;
+}
+
+/// Canonical names of every engine in the gym, registry order.
+///
+/// This is the single source of truth for engine selection: the CLI's
+/// `--extractor` flag, `esyn gym`, the pool's DAG-extreme knob and the
+/// benches all resolve names through [`engine_by_name`].
+pub const ENGINE_NAMES: [&str; 7] = [
+    "bottom-up",
+    "faster-bottom-up",
+    "greedy-dag",
+    "faster-greedy-dag",
+    "global-greedy-dag",
+    "bnb",
+    "exact",
+];
+
+/// Normalizes `name` to its canonical registry spelling (underscores are
+/// accepted for dashes, so extraction-gym spellings like `bottom_up`
+/// work). `None` for unknown engines.
+pub fn canonical_engine_name(name: &str) -> Option<&'static str> {
+    let name = name.replace('_', "-");
+    ENGINE_NAMES.iter().copied().find(|&n| n == name)
+}
+
+/// Instantiates the engine registered under `name` (canonical or
+/// underscore spelling) with its default configuration.
+pub fn engine_by_name<L: Language>(name: &str) -> Option<(&'static str, Box<dyn Extractor<L>>)> {
+    let canonical = canonical_engine_name(name)?;
+    let engine: Box<dyn Extractor<L>> = match canonical {
+        "bottom-up" => Box::new(BottomUp),
+        "faster-bottom-up" => Box::new(FasterBottomUp),
+        "greedy-dag" => Box::new(GreedyDag),
+        "faster-greedy-dag" => Box::new(FasterGreedyDag),
+        "global-greedy-dag" => Box::new(GlobalGreedyDag),
+        "bnb" => Box::new(BranchBound::default()),
+        "exact" => Box::new(SatExact::default()),
+        _ => unreachable!("canonical_engine_name returned a non-registry name"),
+    };
+    Some((canonical, engine))
+}
+
+/// Runs one engine on `egraph` at `root` and materializes the result:
+/// `(DAG cost, extracted term)`, or `None` when the root has no
+/// extractable term (malformed or mid-rebuild e-graph).
+///
+/// The cost table is built serially — this is the single-extraction
+/// convenience path (the pool, the CLI); races build their table once
+/// with explicit parallelism via [`gym::race`].
+pub fn extract_best<L, N>(
+    engine: &dyn Extractor<L>,
+    egraph: &EGraph<L, N>,
+    root: Id,
+    model: &dyn CostModel<L>,
+) -> Option<(f64, RecExpr<L>)>
+where
+    L: Language + Sync,
+    N: Analysis<L>,
+{
+    let graph = ExtractGraph::new(egraph);
+    let costs = CostTable::build(&graph, model, Parallelism::Serial);
+    let roots = graph.root_indices(egraph, &[root]);
+    let result = engine.extract(&graph, &roots, &costs);
+    result.check(&graph, &roots).ok()?;
+    let cost = result.dag_cost(&graph, &costs, &roots);
+    Some((cost, result.term(&graph, roots[0])))
+}
+
+/// Provably optimal DAG-cost extraction by branch-and-bound, with the
+/// original `esyn_egraph::extract_exact` contract: unlike the `bnb` gym
+/// engine (which settles for its incumbent), this errors with
+/// [`ExactExtractError::Budget`] when `max_steps` runs out before the
+/// search space is exhausted, so an `Ok` is an optimality certificate.
+pub fn extract_exact<L, N>(
+    egraph: &EGraph<L, N>,
+    root: Id,
+    model: &dyn CostModel<L>,
+    max_steps: u64,
+) -> Result<(f64, RecExpr<L>), ExactExtractError>
+where
+    L: Language + Sync,
+    N: Analysis<L>,
+{
+    let graph = ExtractGraph::new(egraph);
+    let costs = CostTable::build(&graph, model, Parallelism::Serial);
+    let roots = graph.root_indices(egraph, &[root]);
+    let greedy = GreedyDag.extract(&graph, &roots, &costs);
+    if greedy.check(&graph, &roots).is_err() {
+        return Err(ExactExtractError::NoTerm);
+    }
+    let incumbent_cost = greedy.dag_cost(&graph, &costs, &roots);
+    let outcome = BranchBound { max_steps }.search(&graph, &roots, &costs, incumbent_cost);
+    if outcome.exhausted {
+        return Err(ExactExtractError::Budget(max_steps));
+    }
+    let result = match outcome.improved {
+        Some(choices) => ExtractionResult { choices },
+        None => greedy,
+    };
+    let cost = result.dag_cost(&graph, &costs, &roots);
+    Ok((cost, result.term(&graph, roots[0])))
+}

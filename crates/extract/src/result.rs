@@ -1,0 +1,372 @@
+//! The engine output type and its shared validator.
+
+use crate::graph::{BitSet, CostTable, ExtractGraph};
+use esyn_egraph::{FxHashMap, Id, Language, RecExpr};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Comparison slack for `f64` cost improvement tests, shared by every
+/// engine in the crate.
+pub(crate) const EPS: f64 = 1e-9;
+
+/// What every engine returns: one chosen e-node per e-class (dense
+/// indices, `None` for classes the engine did not need to decide).
+///
+/// Validity is *not* implied by construction — callers run
+/// [`ExtractionResult::check`], the gym's shared validator, before
+/// trusting a result. Costs and terms are derived on demand so the same
+/// result can be scored under any [`CostTable`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExtractionResult {
+    /// `choices[ci]` = index of the chosen e-node of class `ci`.
+    pub choices: Vec<Option<usize>>,
+}
+
+/// Why an [`ExtractionResult`] failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckError {
+    /// A root class has no chosen e-node.
+    MissingRoot {
+        /// Dense index of the uncovered root class.
+        class: usize,
+    },
+    /// A chosen e-node's child class has no chosen e-node (the selection
+    /// is not closed).
+    MissingChild {
+        /// Dense index of the class whose chosen node is dangling.
+        class: usize,
+        /// Dense index of the unchosen child class.
+        child: usize,
+    },
+    /// A choice index is out of range for its class.
+    BadChoice {
+        /// Dense index of the offending class.
+        class: usize,
+        /// The out-of-range e-node index.
+        node: usize,
+    },
+    /// The chosen selection contains a cycle through this class, so it
+    /// materializes no finite term.
+    Cycle {
+        /// Dense index of a class on the cycle.
+        class: usize,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::MissingRoot { class } => {
+                write!(f, "root class {class} has no chosen e-node")
+            }
+            CheckError::MissingChild { class, child } => {
+                write!(
+                    f,
+                    "class {class} chose a node whose child {child} is unchosen"
+                )
+            }
+            CheckError::BadChoice { class, node } => {
+                write!(f, "class {class} chose out-of-range node {node}")
+            }
+            CheckError::Cycle { class } => {
+                write!(f, "selection is cyclic through class {class}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl ExtractionResult {
+    /// An empty result (no class decided) for a graph of `n` classes.
+    pub fn new(n: usize) -> Self {
+        ExtractionResult {
+            choices: vec![None; n],
+        }
+    }
+
+    /// The shared validator: every root is covered, the selection is
+    /// closed under chosen children, and it is acyclic. Only classes
+    /// reachable from `roots` are inspected — engines are free to leave
+    /// unreachable classes undecided.
+    pub fn check<L: Language>(
+        &self,
+        graph: &ExtractGraph<L>,
+        roots: &[usize],
+    ) -> Result<(), CheckError> {
+        for &r in roots {
+            if self.choices.get(r).copied().flatten().is_none() {
+                return Err(CheckError::MissingRoot { class: r });
+            }
+        }
+        // Closure + reachable set.
+        let n = graph.num_classes();
+        let mut reached = BitSet::new(n);
+        let mut queue: VecDeque<usize> = roots.iter().copied().collect();
+        for &r in roots {
+            reached.insert(r);
+        }
+        let mut order = Vec::new();
+        while let Some(ci) = queue.pop_front() {
+            order.push(ci);
+            let k = self.choices[ci].expect("reached classes are chosen");
+            if k >= graph.nodes(ci).len() {
+                return Err(CheckError::BadChoice { class: ci, node: k });
+            }
+            for &d in graph.nodes(ci)[k].children() {
+                if self.choices[d].is_none() {
+                    return Err(CheckError::MissingChild {
+                        class: ci,
+                        child: d,
+                    });
+                }
+                if !reached.contains(d) {
+                    reached.insert(d);
+                    queue.push_back(d);
+                }
+            }
+        }
+        // Acyclicity by iterative DFS with colors (0 = white, 1 = on
+        // stack, 2 = done) over the reached selection.
+        let mut color = vec![0u8; n];
+        for &start in &order {
+            if color[start] != 0 {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            color[start] = 1;
+            while let Some(&mut (ci, ref mut next)) = stack.last_mut() {
+                let k = self.choices[ci].expect("reached classes are chosen");
+                let children = graph.nodes(ci)[k].children();
+                if *next < children.len() {
+                    let d = children[*next];
+                    *next += 1;
+                    match color[d] {
+                        0 => {
+                            color[d] = 1;
+                            stack.push((d, 0));
+                        }
+                        1 => return Err(CheckError::Cycle { class: d }),
+                        _ => {}
+                    }
+                } else {
+                    color[ci] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// DAG cost of the selection from `roots`: every reachable class is
+    /// charged its chosen node's cost exactly once.
+    ///
+    /// Call after [`check`](Self::check) — unchosen reached classes panic.
+    pub fn dag_cost<L: Language>(
+        &self,
+        graph: &ExtractGraph<L>,
+        costs: &CostTable,
+        roots: &[usize],
+    ) -> f64 {
+        let mut seen = BitSet::new(graph.num_classes());
+        let mut stack: Vec<usize> = roots.to_vec();
+        let mut total = 0.0;
+        while let Some(ci) = stack.pop() {
+            if seen.contains(ci) {
+                continue;
+            }
+            seen.insert(ci);
+            let k = self.choices[ci].expect("selection must cover reached classes");
+            total += costs.cost(ci, k);
+            stack.extend_from_slice(graph.nodes(ci)[k].children());
+        }
+        total
+    }
+
+    /// Tree cost of the selection from `roots`: shared classes are charged
+    /// once *per reference* (the cost model of the vanilla tree
+    /// extractor), summed over the distinct roots. Saturates near
+    /// `1e300` instead of overflowing to infinity on sharing-heavy
+    /// graphs.
+    ///
+    /// Call after [`check`](Self::check) — cycles would loop forever.
+    pub fn tree_cost<L: Language>(
+        &self,
+        graph: &ExtractGraph<L>,
+        costs: &CostTable,
+        roots: &[usize],
+    ) -> f64 {
+        let n = graph.num_classes();
+        let mut memo: Vec<Option<f64>> = vec![None; n];
+        enum Frame {
+            Visit(usize),
+            Emit(usize),
+        }
+        let mut total = 0.0;
+        for &r in roots {
+            let mut stack = vec![Frame::Visit(r)];
+            while let Some(frame) = stack.pop() {
+                match frame {
+                    Frame::Visit(ci) => {
+                        if memo[ci].is_some() {
+                            continue;
+                        }
+                        stack.push(Frame::Emit(ci));
+                        let k = self.choices[ci].expect("selection must cover reached classes");
+                        for &d in graph.nodes(ci)[k].children() {
+                            stack.push(Frame::Visit(d));
+                        }
+                    }
+                    Frame::Emit(ci) => {
+                        if memo[ci].is_some() {
+                            continue;
+                        }
+                        let k = self.choices[ci].expect("selection must cover reached classes");
+                        let mut c = costs.cost(ci, k);
+                        for &d in graph.nodes(ci)[k].children() {
+                            c += memo[d].expect("children are emitted first");
+                        }
+                        memo[ci] = Some(c.min(1e300));
+                    }
+                }
+            }
+            total = (total + memo[r].expect("root emitted")).min(1e300);
+        }
+        total
+    }
+
+    /// Materializes the chosen term for `root` as a [`RecExpr`], sharing
+    /// sub-terms per class.
+    ///
+    /// Call after [`check`](Self::check).
+    pub fn term<L: Language>(&self, graph: &ExtractGraph<L>, root: usize) -> RecExpr<L> {
+        let mut expr = RecExpr::new();
+        let mut built: FxHashMap<usize, Id> = FxHashMap::default();
+        enum Frame {
+            Visit(usize),
+            Emit(usize),
+        }
+        let mut stack = vec![Frame::Visit(root)];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Visit(ci) => {
+                    if built.contains_key(&ci) {
+                        continue;
+                    }
+                    stack.push(Frame::Emit(ci));
+                    let k = self.choices[ci].expect("selection must cover reached classes");
+                    for &d in graph.nodes(ci)[k].children() {
+                        stack.push(Frame::Visit(d));
+                    }
+                }
+                Frame::Emit(ci) => {
+                    if built.contains_key(&ci) {
+                        continue;
+                    }
+                    let k = self.choices[ci].expect("selection must cover reached classes");
+                    let node = &graph.nodes(ci)[k];
+                    let mut it = node.children().iter();
+                    let remapped = node.op.map_children(|_| built[it.next().unwrap()]);
+                    let id = expr.add(remapped);
+                    built.insert(ci, id);
+                }
+            }
+        }
+        expr
+    }
+}
+
+/// Turns a per-class *preference* into a guaranteed-valid selection.
+///
+/// Engines compute `prefer[ci]` — the e-node they would like each class
+/// to use — but a preference driven by possibly-stale fixpoint state can
+/// be cyclic. This shared finisher grounds the selection bottom-up: a
+/// class is *done* once its preferred node has all children done; when
+/// the worklist stalls with a root still open, the cheapest grounded
+/// candidate of any open class is substituted (cycle repair) and
+/// propagation resumes. Classes without a preference are never selected.
+///
+/// The result covers every root whose class has a grounded term, so
+/// [`ExtractionResult::check`] passes whenever extraction is possible at
+/// all; an impossible root (no grounded term in its class) is simply left
+/// unchosen, which `check` then reports.
+pub(crate) fn complete_selection<L: Language>(
+    graph: &ExtractGraph<L>,
+    costs: &CostTable,
+    prefer: &[Option<usize>],
+    roots: &[usize],
+) -> ExtractionResult {
+    let n = graph.num_classes();
+    let mut done: Vec<Option<usize>> = vec![None; n];
+    // remaining[ci] = not-yet-done distinct children of the node `done`
+    // would take for ci (the preferred node until repair overrides it).
+    let mut take: Vec<Option<usize>> = prefer.to_vec();
+    let mut remaining: Vec<usize> = vec![usize::MAX; n];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+
+    let distinct_children = |ci: usize, k: usize| -> Vec<usize> {
+        let mut kids = graph.nodes(ci)[k].children.clone();
+        kids.sort_unstable();
+        kids.dedup();
+        kids
+    };
+
+    for ci in 0..n {
+        if let Some(k) = take[ci] {
+            let kids = distinct_children(ci, k);
+            remaining[ci] = kids.iter().filter(|&&d| done[d].is_none()).count();
+            if remaining[ci] == 0 {
+                queue.push_back(ci);
+            }
+        }
+    }
+
+    loop {
+        while let Some(ci) = queue.pop_front() {
+            if done[ci].is_some() {
+                continue;
+            }
+            let k = take[ci].expect("queued classes have a take");
+            done[ci] = Some(k);
+            for &(p, pk) in graph.parents(ci) {
+                if done[p].is_some() || take[p] != Some(pk) {
+                    continue;
+                }
+                // The parent index is deduplicated per (p, pk), so each
+                // distinct child fires exactly one decrement here.
+                remaining[p] -= 1;
+                if remaining[p] == 0 {
+                    queue.push_back(p);
+                }
+            }
+        }
+        if roots.iter().all(|&r| done[r].is_some()) {
+            break;
+        }
+        // Stalled with an open root: repair with the cheapest grounded
+        // candidate among open, preferring classes (same rule as the old
+        // DagExtractor cycle repair).
+        let mut repair: Option<(usize, usize, f64)> = None;
+        for ci in 0..n {
+            if done[ci].is_some() || prefer[ci].is_none() {
+                continue;
+            }
+            for (k, node) in graph.nodes(ci).iter().enumerate() {
+                if node.children().iter().all(|&d| done[d].is_some()) {
+                    let c = costs.cost(ci, k);
+                    if repair.is_none_or(|(_, _, rc)| c < rc) {
+                        repair = Some((ci, k, c));
+                    }
+                }
+            }
+        }
+        let Some((ci, k, _)) = repair else {
+            break; // some root has no grounded term; check will report it
+        };
+        take[ci] = Some(k);
+        remaining[ci] = 0;
+        queue.push_back(ci);
+    }
+
+    ExtractionResult { choices: done }
+}

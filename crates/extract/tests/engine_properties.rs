@@ -1,0 +1,337 @@
+//! The gym contract, engine by engine: every extraction passes the shared
+//! validator, exact engines lower-bound the greedy family, and reported
+//! costs always match the materialized terms. Ports the former
+//! `esyn_egraph::dag_extract` tests onto the `esyn-extract` API and adds
+//! whole-registry property sweeps in the workspace's seeded-loop style.
+
+use esyn_egraph::{AstSize, EGraph, Extractor as TreeExtractor, Id, Language, RecExpr, SymbolLang};
+use esyn_extract::{
+    canonical_engine_name, engine_by_name, extract_best, extract_exact, gym, BranchBound,
+    CostTable, ExactExtractError, ExtractGraph, GreedyDag, SatExact, UnitCost, ENGINE_NAMES,
+};
+use esyn_par::Parallelism;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dag_cost_of_expr(expr: &RecExpr<SymbolLang>) -> f64 {
+    expr.as_ref().len() as f64
+}
+
+#[test]
+fn registry_names_resolve_and_normalize() {
+    for name in ENGINE_NAMES {
+        let (canonical, _) = engine_by_name::<SymbolLang>(name).unwrap();
+        assert_eq!(canonical, name);
+        // Extraction-gym spellings (underscores) are accepted.
+        let gym_spelling = name.replace('-', "_");
+        assert_eq!(canonical_engine_name(&gym_spelling), Some(name));
+    }
+    assert_eq!(canonical_engine_name("ilp-cbc"), None);
+    assert!(engine_by_name::<SymbolLang>("no-such-engine").is_none());
+}
+
+#[test]
+fn agrees_with_tree_extractor_on_trees() {
+    let mut g = EGraph::<SymbolLang>::new();
+    let e: RecExpr<SymbolLang> = "(+ (* a b) c)".parse().unwrap();
+    let id = g.add_expr(&e);
+    g.rebuild();
+    let (dcost, dbest) = extract_best(&GreedyDag, &g, id, &UnitCost).unwrap();
+    let tree = TreeExtractor::new(&g, AstSize);
+    let (tcost, tbest) = tree.find_best(id).unwrap();
+    assert_eq!(dcost, tcost as f64);
+    assert_eq!(dbest.to_string(), tbest.to_string());
+}
+
+#[test]
+fn charges_shared_subterm_once() {
+    let mut g = EGraph::<SymbolLang>::new();
+    let e: RecExpr<SymbolLang> = "(* (+ x y) (+ x y))".parse().unwrap();
+    let id = g.add_expr(&e);
+    g.rebuild();
+    let (cost, best) = extract_best(&GreedyDag, &g, id, &UnitCost).unwrap();
+    // x, y, +, * — the shared (+ x y) counts once.
+    assert_eq!(cost, 4.0);
+    assert_eq!(best.len(), 4);
+    // The tree extractor reports 7 for the same term.
+    let tree = TreeExtractor::new(&g, AstSize);
+    assert_eq!(tree.cost_of(id), Some(7));
+}
+
+#[test]
+fn dag_engines_prefer_sharing_over_tree_choice() {
+    // Root can be (f s s) with an expensive shared child, or
+    // (g a b c d e) with five cheap distinct children. Tree cost
+    // double-counts s and prefers g; DAG cost charges s once and
+    // prefers f.
+    let mut g = EGraph::<SymbolLang>::new();
+    let shared: RecExpr<SymbolLang> = "(f (pack p q r) (pack p q r))".parse().unwrap();
+    let wide: RecExpr<SymbolLang> = "(g a b c d e)".parse().unwrap();
+    let x = g.add_expr(&shared);
+    let y = g.add_expr(&wide);
+    g.union(x, y);
+    g.rebuild();
+
+    let tree = TreeExtractor::new(&g, AstSize);
+    let (_, tbest) = tree.find_best(x).unwrap();
+    assert_eq!(tbest.node(tbest.root()).op_str(), "g"); // 6 < 9 tree-wise
+
+    for engine in [
+        "greedy-dag",
+        "faster-greedy-dag",
+        "global-greedy-dag",
+        "bnb",
+        "exact",
+    ] {
+        let (_, engine_box) = engine_by_name::<SymbolLang>(engine).unwrap();
+        let (dcost, dbest) = extract_best(engine_box.as_ref(), &g, x, &UnitCost).unwrap();
+        assert_eq!(dbest.node(dbest.root()).op_str(), "f", "{engine}"); // 5 < 6 dag-wise
+        assert_eq!(dcost, 5.0, "{engine}"); // f, pack, p, q, r
+    }
+    // The tree-cost baselines pick g — that is their documented blindness.
+    let (bcost, bbest) = extract_best(&esyn_extract::BottomUp, &g, x, &UnitCost).unwrap();
+    assert_eq!(bbest.node(bbest.root()).op_str(), "g");
+    assert_eq!(bcost, 6.0);
+}
+
+/// Builds the classic instance where per-class greedy misses the
+/// globally shared choice: A and B can each use the shared class C
+/// (cost 5) or private leaves (cost 3 each). Locally the private leaf
+/// wins; globally sharing C wins.
+fn coordination_trap() -> (EGraph<SymbolLang>, Id) {
+    let mut g = EGraph::<SymbolLang>::new();
+    let a1: RecExpr<SymbolLang> = "(f c5)".parse().unwrap();
+    let a2: RecExpr<SymbolLang> = "(g d3)".parse().unwrap();
+    let b1: RecExpr<SymbolLang> = "(p c5)".parse().unwrap();
+    let b2: RecExpr<SymbolLang> = "(q e3)".parse().unwrap();
+    let ia1 = g.add_expr(&a1);
+    let ia2 = g.add_expr(&a2);
+    let ib1 = g.add_expr(&b1);
+    let ib2 = g.add_expr(&b2);
+    g.union(ia1, ia2);
+    g.union(ib1, ib2);
+    let root = g.add(SymbolLang::new("r", vec![ia1, ib1]));
+    g.rebuild();
+    (g, root)
+}
+
+fn trap_cost(node: &SymbolLang) -> f64 {
+    match node.op_str() {
+        "c5" => 5.0,
+        "d3" | "e3" => 3.0,
+        _ => 1.0,
+    }
+}
+
+#[test]
+fn exact_engines_beat_greedy_on_coordination_trap() {
+    let (g, root) = coordination_trap();
+    let (greedy_cost, _) = extract_best(&GreedyDag, &g, root, &trap_cost).unwrap();
+    // Greedy: A picks (g d3)=4, B picks (q e3)=4, root r=1 → 9.
+    assert_eq!(greedy_cost, 9.0);
+
+    let (exact_cost, best) = extract_exact(&g, root, &trap_cost, 1 << 20).unwrap();
+    // Exact: share c5: r + f + p + c5 = 1+1+1+5 = 8.
+    assert_eq!(exact_cost, 8.0);
+    assert!(exact_cost < greedy_cost);
+    let ops: Vec<&str> = best.as_ref().iter().map(|n| n.op_str()).collect();
+    assert!(ops.contains(&"c5"));
+    assert!(!ops.contains(&"d3"));
+
+    // Both gym engines (budgeted, incumbent-returning) find the same
+    // optimum here — the instance is tiny.
+    for engine in ["bnb", "exact"] {
+        let (_, engine_box) = engine_by_name::<SymbolLang>(engine).unwrap();
+        let (cost, _) = extract_best(engine_box.as_ref(), &g, root, &trap_cost).unwrap();
+        assert_eq!(cost, 8.0, "{engine}");
+    }
+}
+
+#[test]
+fn exact_matches_greedy_on_trees() {
+    let mut g = EGraph::<SymbolLang>::new();
+    let e: RecExpr<SymbolLang> = "(+ (* a b) (* a b))".parse().unwrap();
+    let id = g.add_expr(&e);
+    g.rebuild();
+    let (gc, _) = extract_best(&GreedyDag, &g, id, &UnitCost).unwrap();
+    let (ec, _) = extract_exact(&g, id, &UnitCost, 1 << 20).unwrap();
+    assert_eq!(gc, ec);
+    assert_eq!(ec, 4.0);
+}
+
+#[test]
+fn cyclic_class_extracts_leaf_in_every_engine() {
+    let mut g = EGraph::<SymbolLang>::new();
+    let x = g.add(SymbolLang::leaf("x"));
+    let fx = g.add(SymbolLang::new("f", vec![x]));
+    g.union(x, fx);
+    g.rebuild();
+    for name in ENGINE_NAMES {
+        let (_, engine) = engine_by_name::<SymbolLang>(name).unwrap();
+        let (cost, best) = extract_best(engine.as_ref(), &g, fx, &UnitCost).unwrap();
+        assert_eq!(cost, 1.0, "{name}");
+        assert_eq!(best.to_string(), "x", "{name}");
+    }
+    let (ecost, ebest) = extract_exact(&g, fx, &UnitCost, 1 << 20).unwrap();
+    assert_eq!(ecost, 1.0);
+    assert_eq!(ebest.to_string(), "x");
+}
+
+#[test]
+fn budget_exhaustion_reports_error() {
+    let (g, root) = coordination_trap();
+    let res = extract_exact(&g, root, &trap_cost, 0);
+    assert_eq!(res, Err(ExactExtractError::Budget(0)));
+    assert!(res.unwrap_err().to_string().contains("budget"));
+    // The gym `bnb` engine instead settles for its greedy incumbent.
+    let (cost, _) = extract_best(&BranchBound { max_steps: 0 }, &g, root, &trap_cost).unwrap();
+    assert_eq!(cost, 9.0);
+}
+
+#[test]
+fn zero_conflict_exact_returns_greedy_incumbent() {
+    let (g, root) = coordination_trap();
+    let starved = SatExact {
+        conflict_budget: 0,
+        ..SatExact::default()
+    };
+    let (cost, _) = extract_best(&starved, &g, root, &trap_cost).unwrap();
+    // The portfolio incumbent is still valid — never worse than greedy.
+    assert!(cost <= 9.0 + 1e-9);
+}
+
+#[test]
+fn reported_cost_matches_materialized_expr() {
+    let (g, root) = coordination_trap();
+    for name in ENGINE_NAMES {
+        let (_, engine) = engine_by_name::<SymbolLang>(name).unwrap();
+        let (cost, best) = extract_best(engine.as_ref(), &g, root, &UnitCost).unwrap();
+        assert_eq!(cost, dag_cost_of_expr(&best), "{name}");
+    }
+}
+
+#[test]
+fn race_covers_every_engine_and_validates() {
+    let (g, root) = coordination_trap();
+    let rows = gym::race(&g, &[root], &trap_cost, &ENGINE_NAMES, Parallelism::Serial);
+    assert_eq!(rows.len(), ENGINE_NAMES.len());
+    for (row, name) in rows.iter().zip(ENGINE_NAMES) {
+        assert_eq!(row.engine, name);
+        assert!(row.check.is_ok(), "{name}: {:?}", row.check);
+        assert!(row.dag_cost.is_finite(), "{name}");
+        assert!(row.tree_cost + 1e-9 >= row.dag_cost, "{name}");
+    }
+    let best_greedy = rows[..5]
+        .iter()
+        .map(|r| r.dag_cost)
+        .fold(f64::INFINITY, f64::min);
+    assert_eq!(rows[5].dag_cost, 8.0); // bnb
+    assert_eq!(rows[6].dag_cost, 8.0); // exact
+    assert!(best_greedy >= 8.0);
+}
+
+/// Appends a small random expression over a fixed op alphabet to `e`,
+/// returning its root; depth-bounded like the seed's
+/// `prop_recursive(3, …)` strategy.
+fn random_subexpr(rng: &mut StdRng, e: &mut RecExpr<SymbolLang>, depth: usize) -> Id {
+    if depth == 0 || rng.gen_bool(0.3) {
+        let name = ["a", "b", "c"][rng.gen_range(0usize..3)];
+        e.add(SymbolLang::leaf(name))
+    } else {
+        let l = random_subexpr(rng, e, depth - 1);
+        let r = random_subexpr(rng, e, depth - 1);
+        let op = if rng.gen_bool(0.5) { "+" } else { "*" };
+        e.add(SymbolLang::new(op, vec![l, r]))
+    }
+}
+
+/// A random multi-node e-graph: two unioned random expressions plus a few
+/// extra random unions (semantics irrelevant for cost-ordering checks).
+fn random_egraph(rng: &mut StdRng) -> (EGraph<SymbolLang>, Id) {
+    let mut e1 = RecExpr::new();
+    random_subexpr(rng, &mut e1, 3);
+    let mut e2 = RecExpr::new();
+    random_subexpr(rng, &mut e2, 3);
+    let mut g = EGraph::<SymbolLang>::new();
+    let r1 = g.add_expr(&e1);
+    let r2 = g.add_expr(&e2);
+    g.union(r1, r2);
+    let ids: Vec<Id> = g.classes().map(|c| c.id).collect();
+    for _ in 0..rng.gen_range(0usize..4) {
+        let a = ids[rng.gen_range(0usize..ids.len())];
+        let b = ids[rng.gen_range(0usize..ids.len())];
+        g.union(a, b);
+    }
+    g.rebuild();
+    (g, r1)
+}
+
+/// Every engine's result passes the shared validator on random e-graphs,
+/// and its reported DAG cost matches the materialized term.
+#[test]
+fn every_engine_passes_check_on_random_egraphs() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0xE67_0000 ^ case);
+        let (g, root) = random_egraph(&mut rng);
+        let graph = ExtractGraph::new(&g);
+        let costs = CostTable::build(&graph, &UnitCost, Parallelism::Serial);
+        let roots = graph.root_indices(&g, &[root]);
+        for name in ENGINE_NAMES {
+            let (_, engine) = engine_by_name::<SymbolLang>(name).unwrap();
+            let result = engine.extract(&graph, &roots, &costs);
+            result
+                .check(&graph, &roots)
+                .unwrap_or_else(|e| panic!("case {case}, engine {name}: {e}"));
+            let cost = result.dag_cost(&graph, &costs, &roots);
+            let expr = result.term(&graph, roots[0]);
+            assert_eq!(cost, dag_cost_of_expr(&expr), "case {case}, engine {name}");
+        }
+    }
+}
+
+/// Exact is a lower bound on every heuristic's realized DAG cost (and on
+/// the tree extractor's), and `bnb` agrees with `exact` whenever the
+/// branch-and-bound certifies optimality. Ports the former
+/// `exact_lower_bounds_both_heuristics` property across the whole
+/// registry.
+#[test]
+fn exact_lower_bounds_the_whole_registry() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0xDA6_0000 ^ case);
+        let (g, root) = random_egraph(&mut rng);
+
+        let tree = TreeExtractor::new(&g, AstSize);
+        let (_, tbest) = tree.find_best(root).unwrap();
+        let tree_dag_cost = tbest.len() as f64;
+
+        let heuristic_costs: Vec<(&str, f64)> = ENGINE_NAMES[..5]
+            .iter()
+            .map(|&name| {
+                let (_, engine) = engine_by_name::<SymbolLang>(name).unwrap();
+                let (cost, best) = extract_best(engine.as_ref(), &g, root, &UnitCost).unwrap();
+                assert_eq!(cost, best.len() as f64, "case {case}, engine {name}");
+                (name, cost)
+            })
+            .collect();
+
+        // The exact search may hit its budget on adversarial instances;
+        // optimality is only asserted when it finishes.
+        if let Ok((ecost, ebest)) = extract_exact(&g, root, &UnitCost, 1 << 18) {
+            assert_eq!(ecost, ebest.len() as f64, "case {case}");
+            for (name, cost) in &heuristic_costs {
+                assert!(
+                    ecost <= cost + 1e-6,
+                    "case {case}: exact {ecost} worse than {name} {cost}"
+                );
+            }
+            assert!(
+                ecost <= tree_dag_cost + 1e-6,
+                "case {case}: exact {ecost} worse than tree-extracted dag {tree_dag_cost}"
+            );
+            // The SAT engine never returns worse than its greedy
+            // portfolio, and at these sizes it should reach the optimum.
+            let (scost, _) = extract_best(&SatExact::default(), &g, root, &UnitCost).unwrap();
+            assert_eq!(scost, ecost, "case {case}: sat-exact vs bnb optimum");
+        }
+    }
+}

@@ -6,7 +6,9 @@
 //! phase saving, Luby-sequence restarts, and activity-driven deletion of
 //! learnt clauses. Assumption-based incremental solving
 //! ([`Solver::solve_with_assumptions`]) supports the combinational
-//! equivalence checker's per-output queries.
+//! equivalence checker's per-output queries, and the conflict-budgeted
+//! variant ([`Solver::solve_limited`]) supports anytime optimization
+//! loops such as exact e-graph extraction (`esyn-extract`).
 //!
 //! This crate is the workspace's substitute for the SAT engine embedded in
 //! ABC (`cec`), as described in DESIGN.md.

@@ -467,11 +467,32 @@ impl Solver {
     /// treated as temporary unit decisions; the solver state is reusable
     /// afterwards (incremental solving).
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> bool {
+        self.solve_limited(assumptions, u64::MAX)
+            .expect("an unlimited solve always decides")
+    }
+
+    /// [`Solver::solve_with_assumptions`] with a conflict budget: gives up
+    /// and returns `None` once `max_conflicts` further conflicts have been
+    /// spent without deciding the query (checked at restart boundaries, so
+    /// the overshoot is at most one Luby segment). The solver state stays
+    /// reusable either way — clauses learnt before the budget ran out are
+    /// kept, so a retry resumes stronger rather than from scratch.
+    ///
+    /// This is the entry point for *optimization* loops (e.g. exact
+    /// e-graph extraction in `esyn-extract`) that probe a sequence of
+    /// tightening bounds and must degrade to their incumbent rather than
+    /// hang on a hard instance.
+    pub fn solve_limited(&mut self, assumptions: &[Lit], max_conflicts: u64) -> Option<bool> {
         if self.unsat {
-            return false;
+            return Some(false);
         }
+        let start = self.conflicts;
         let mut restarts = 0u32;
         let result = loop {
+            if self.conflicts - start >= max_conflicts {
+                self.cancel_until(0);
+                return None;
+            }
             let budget = 100 * luby(2, restarts);
             match self.search(budget, assumptions) {
                 Some(sat) => break sat,
@@ -482,7 +503,7 @@ impl Solver {
             self.model = self.assigns.iter().map(|&a| a == LBool::True).collect();
         }
         self.cancel_until(0);
-        result
+        Some(result)
     }
 
     /// Runs CDCL until a result or `budget` conflicts (then returns `None`
@@ -718,6 +739,32 @@ mod tests {
         s.add_clause(&[Lit::pos(a)]);
         assert!(!s.solve_with_assumptions(&[Lit::neg(a)]));
         assert!(s.solve_with_assumptions(&[Lit::pos(a)]));
+    }
+
+    #[test]
+    fn solve_limited_honors_budget_and_resumes() {
+        // Pigeonhole 5-into-4: hard enough to burn real conflicts.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..5)
+            .map(|_| (0..4).map(|_| s.new_var()).collect())
+            .collect();
+        for pigeon in &p {
+            let row: Vec<Lit> = pigeon.iter().map(|&v| Lit::pos(v)).collect();
+            s.add_clause(&row);
+        }
+        for j in 0..4 {
+            for i1 in 0..5 {
+                for i2 in (i1 + 1)..5 {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        // A zero budget gives up before deciding anything.
+        assert_eq!(s.solve_limited(&[], 0), None);
+        // An unlimited retry still decides (UNSAT), reusing learnt state.
+        assert_eq!(s.solve_limited(&[], u64::MAX), Some(false));
+        // Once level-0 UNSAT is known, even a zero budget reports it.
+        assert_eq!(s.solve_limited(&[], 0), Some(false));
     }
 
     #[test]

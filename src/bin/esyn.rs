@@ -7,13 +7,21 @@
 //! esyn stats    <file>                             # parse + report
 //! esyn optimize <file> [delay|area|balanced]       # full E-Syn flow
 //!               [--models DIR] [--out FILE] [--verilog FILE] [--choices]
-//!               [--threads N] [--verbose]
+//!               [--extractor NAME] [--threads N] [--verbose]
 //! esyn baseline <file> [delay|area|balanced] [--choices]   # ABC-style baseline
 //! esyn cec      <a> <b> [--threads N]              # equivalence check
 //! esyn bench    <circuit-name>                     # write a named benchmark as eqn
+//! esyn gym      [circuit ...] [--engines a,b,..]   # race the extraction gym
+//!               [--full] [--threads N]
 //! esyn convert  <in> <out>                         # convert between formats
 //! esyn aig      <file> <out.aag|out.aig>           # strash + AIGER export
 //! ```
+//!
+//! `optimize --extractor NAME` adds the named `esyn-extract` gym engine's
+//! DAG-cost extreme to the candidate pool; `esyn gym` with no circuit
+//! arguments races the whole benchmark registry. Engine names for both
+//! come from `esyn_extract::ENGINE_NAMES` (bottom-up, faster-bottom-up,
+//! greedy-dag, faster-greedy-dag, global-greedy-dag, bnb, exact).
 //!
 //! `--threads N` pins the worker count for the parallel stages
 //! (saturation rule search, pool sampling, candidate scoring, CEC);
@@ -28,7 +36,9 @@ use e_syn::core::{
     abc_baseline, abc_baseline_choices, esyn_optimize, train_cost_models, CostModels, EsynConfig,
     Objective, Parallelism, TrainConfig,
 };
+use e_syn::core::{all_rules, network_to_recexpr, saturate_par, SaturationLimits};
 use e_syn::eqn::{parse_blif, parse_eqn, write_blif, Network};
+use e_syn::extract::{canonical_engine_name, gym, UnitCost, ENGINE_NAMES};
 use e_syn::techmap::Library;
 use std::path::Path;
 use std::process::ExitCode;
@@ -49,10 +59,15 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!("usage (circuit files: .eqn, .blif, .aag, .aig):");
     eprintln!("  esyn stats    <file>");
-    eprintln!("  esyn optimize <file> [delay|area|balanced] [--models DIR] [--out FILE] [--verilog FILE] [--choices] [--threads N] [--verbose]");
+    eprintln!("  esyn optimize <file> [delay|area|balanced] [--models DIR] [--out FILE] [--verilog FILE] [--choices] [--extractor NAME] [--threads N] [--verbose]");
     eprintln!("  esyn baseline <file> [delay|area|balanced] [--choices]");
     eprintln!("  esyn cec      <a> <b> [--threads N]");
     eprintln!("  esyn bench    <circuit-name> (or `list`)");
+    eprintln!("  esyn gym      [circuit ...] [--engines a,b,..] [--full] [--threads N]");
+    eprintln!(
+        "                extraction engines (for gym and --extractor): {}",
+        ENGINE_NAMES.join(", ")
+    );
     eprintln!("  esyn convert  <in> <out.eqn|out.blif|out.aag|out.aig|out.v>");
     eprintln!("  esyn aig      <file> <out.aag|out.aig>");
 }
@@ -65,6 +80,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "baseline" => baseline(&args[1..]),
         "cec" => cec(&args[1..]),
         "bench" => bench(args.get(1).map(String::as_str).unwrap_or("list")),
+        "gym" => gym_cmd(&args[1..]),
         "convert" => convert(
             args.get(1).ok_or("missing input file")?,
             args.get(2).ok_or("missing output file")?,
@@ -190,6 +206,18 @@ fn models_for(dir: Option<&str>, lib: &Library) -> CostModels {
     })
 }
 
+/// Resolves an engine name against the gym registry, with an error that
+/// lists every available engine (the registry is the single source of
+/// truth — new engines show up here without CLI changes).
+fn parse_engine(s: &str) -> Result<&'static str, String> {
+    canonical_engine_name(s).ok_or_else(|| {
+        format!(
+            "unknown extraction engine `{s}` (available: {})",
+            ENGINE_NAMES.join(", ")
+        )
+    })
+}
+
 fn optimize(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("missing input file")?;
     let mut objective_arg = None;
@@ -198,6 +226,7 @@ fn optimize(args: &[String]) -> Result<(), String> {
     let mut verilog_file = None;
     let mut use_choices = false;
     let mut verbose = false;
+    let mut extractor = None;
     let mut parallelism = Parallelism::Auto;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
@@ -207,6 +236,9 @@ fn optimize(args: &[String]) -> Result<(), String> {
             "--verilog" => verilog_file = Some(it.next().ok_or("--verilog needs a value")?.clone()),
             "--choices" => use_choices = true,
             "--verbose" => verbose = true,
+            "--extractor" => {
+                extractor = Some(parse_engine(it.next().ok_or("--extractor needs a value")?)?)
+            }
             "--threads" => {
                 parallelism = parse_threads(it.next().ok_or("--threads needs a value")?)?
             }
@@ -219,11 +251,15 @@ fn optimize(args: &[String]) -> Result<(), String> {
     let lib = Library::asap7_like();
     let models = models_for(models_dir.as_deref(), &lib);
 
-    let cfg = EsynConfig {
+    let mut cfg = EsynConfig {
         use_choices,
         parallelism,
         ..EsynConfig::default()
     };
+    if let Some(engine) = extractor {
+        cfg.pool.include_dag_extreme = true;
+        cfg.pool.dag_engine = engine;
+    }
     let result = esyn_optimize(&net, &models, &lib, objective, &cfg);
     if verbose {
         println!("saturation ({} iterations):", result.iterations.len());
@@ -341,6 +377,106 @@ fn bench(name: &str) -> Result<(), String> {
     }
     let net = e_syn::circuits::by_name(name).ok_or_else(|| format!("unknown circuit `{name}`"))?;
     print!("{}", net.to_eqn());
+    Ok(())
+}
+
+/// `esyn gym` — saturate each requested registry circuit, then race the
+/// extraction engines on the resulting e-graph and print a QoR/time
+/// table. Fails (non-zero exit) if any engine's result flunks the shared
+/// validator or an exact engine comes out worse than the best greedy one.
+fn gym_cmd(args: &[String]) -> Result<(), String> {
+    let mut circuits: Vec<String> = Vec::new();
+    let mut engines: Option<Vec<&'static str>> = None;
+    let mut parallelism = Parallelism::Auto;
+    // Gym races are about extraction, not saturation: grow the e-graphs
+    // with a small budget by default so a full-registry race stays
+    // interactive; `--full` switches to the default optimization limits.
+    let mut limits = SaturationLimits::small();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--engines" => {
+                let list = it.next().ok_or("--engines needs a comma-separated list")?;
+                engines = Some(
+                    list.split(',')
+                        .map(parse_engine)
+                        .collect::<Result<Vec<_>, _>>()?,
+                );
+            }
+            "--full" => limits = SaturationLimits::default(),
+            "--threads" => {
+                parallelism = parse_threads(it.next().ok_or("--threads needs a value")?)?
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unexpected argument `{other}`"))
+            }
+            other => circuits.push(other.to_owned()),
+        }
+    }
+    let engines = engines.unwrap_or_else(|| ENGINE_NAMES.to_vec());
+    let benchmarks: Vec<(String, Network)> = if circuits.is_empty() {
+        e_syn::circuits::all_benchmarks()
+            .into_iter()
+            .map(|b| (b.name.to_owned(), b.network))
+            .collect()
+    } else {
+        circuits
+            .iter()
+            .map(|name| {
+                e_syn::circuits::by_name(name)
+                    .map(|net| (name.clone(), net))
+                    .ok_or_else(|| format!("unknown circuit `{name}` (try `esyn bench list`)"))
+            })
+            .collect::<Result<Vec<_>, _>>()?
+    };
+
+    let mut failures = 0usize;
+    for (name, net) in &benchmarks {
+        let expr = network_to_recexpr(net);
+        let t0 = std::time::Instant::now();
+        let runner = saturate_par(&expr, &all_rules(), &limits, parallelism);
+        let sat_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let egraph = &runner.egraph;
+        println!(
+            "{name}: {} e-nodes / {} e-classes after saturation ({sat_ms:.1} ms, stop {:?})",
+            egraph.total_nodes(),
+            egraph.num_classes(),
+            runner.stop_reason
+        );
+        let rows = gym::race(egraph, &runner.roots, &UnitCost, &engines, parallelism);
+        println!(
+            "  {:<18} {:>10} {:>12} {:>10}  check",
+            "engine", "dag-cost", "tree-cost", "time(us)"
+        );
+        let mut best_greedy = f64::INFINITY;
+        let mut best_exact = f64::INFINITY;
+        for row in &rows {
+            let check = match &row.check {
+                Ok(()) => "ok".to_owned(),
+                Err(e) => {
+                    failures += 1;
+                    format!("FAIL: {e}")
+                }
+            };
+            println!(
+                "  {:<18} {:>10.1} {:>12.1} {:>10}  {check}",
+                row.engine, row.dag_cost, row.tree_cost, row.micros
+            );
+            if row.check.is_ok() {
+                match row.engine {
+                    "bnb" | "exact" => best_exact = best_exact.min(row.dag_cost),
+                    _ => best_greedy = best_greedy.min(row.dag_cost),
+                }
+            }
+        }
+        if best_exact.is_finite() && best_greedy.is_finite() && best_exact > best_greedy + 1e-9 {
+            failures += 1;
+            println!("  FAIL: exact dag-cost {best_exact} worse than best greedy {best_greedy}");
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} gym check(s) failed"));
+    }
     Ok(())
 }
 

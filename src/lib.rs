@@ -64,6 +64,10 @@ pub use esyn_sat as sat;
 /// Combinational equivalence checking ([`esyn_cec`]).
 pub use esyn_cec as cec;
 
+/// The extraction gym: one `Extractor` trait, greedy/global/exact
+/// DAG-cost engines and the shared validator ([`esyn_extract`]).
+pub use esyn_extract as extract;
+
 /// Gradient-boosted regression trees ([`esyn_gbdt`]).
 pub use esyn_gbdt as gbdt;
 

@@ -9,8 +9,8 @@ use e_syn::aig::{Aig, ChoiceAig};
 use e_syn::cec::{check_equivalence, EquivResult};
 use e_syn::core::lang::{network_to_recexpr, recexpr_to_network};
 use e_syn::core::{extract_pool, rules::all_rules, saturate, PoolConfig, SaturationLimits};
-use e_syn::egraph::{DagExtractor, DagSize};
 use e_syn::eqn::{parse_blif, write_blif, Network, NodeId};
+use e_syn::extract::{engine_by_name, extract_best, UnitCost, ENGINE_NAMES};
 use e_syn::techmap::{buffer, map_aig, map_choices, BufferConfig, Library, MapMode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -272,19 +272,24 @@ fn dag_extraction_stays_equivalent_and_reports_its_own_cost() {
             time_limit: Duration::from_secs(3),
         };
         let runner = saturate(&expr, &all_rules(), &limits);
-        let dag = DagExtractor::new(&runner.egraph, DagSize);
-        let (dag_cost, dag_best) = dag.find_best(runner.roots[0]).expect("extractable");
-        // The reported cost is the distinct-node count of the term built
-        // (greedy-DAG carries no guarantee against the tree extractor —
-        // independently minimal sub-DAGs may overlap less).
-        assert_eq!(dag_cost, dag_best.len() as f64, "case {case}");
         let names: Vec<String> = net.outputs().iter().map(|(n, _)| n.clone()).collect();
-        let dag_net = recexpr_to_network(&dag_best, &names);
-        assert_eq!(
-            check_equivalence(&net, &dag_net),
-            EquivResult::Equivalent,
-            "case {case}: dag-extracted candidate not equivalent"
-        );
+        // Every gym engine's term must keep the circuit's function, and
+        // every reported cost is the distinct-node count of the term
+        // built. (Greedy-DAG carries no guarantee against the tree
+        // extractor — independently minimal sub-DAGs may overlap less.)
+        for name in ENGINE_NAMES {
+            let (_, engine) = engine_by_name(name).expect("registry name");
+            let (dag_cost, dag_best) =
+                extract_best(engine.as_ref(), &runner.egraph, runner.roots[0], &UnitCost)
+                    .expect("extractable");
+            assert_eq!(dag_cost, dag_best.len() as f64, "case {case}, {name}");
+            let dag_net = recexpr_to_network(&dag_best, &names);
+            assert_eq!(
+                check_equivalence(&net, &dag_net),
+                EquivResult::Equivalent,
+                "case {case}: {name}-extracted candidate not equivalent"
+            );
+        }
     }
 }
 

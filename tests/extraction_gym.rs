@@ -1,0 +1,82 @@
+//! The gym contract over the real benchmark registry: every engine's
+//! result passes the shared validator on every circuit, and the exact
+//! engines never come out worse than the best greedy heuristic (they are
+//! incumbent-seeded, so this holds even when their budgets bind).
+//!
+//! Saturation budgets here are deliberately small — these tests exercise
+//! *extraction* on realistically shaped e-graphs, not saturation depth;
+//! `esyn gym --full` and the `gym` bench target cover the larger setting.
+
+use e_syn::core::{all_rules, network_to_recexpr, saturate, SaturationLimits};
+use e_syn::extract::{gym, UnitCost, ENGINE_NAMES};
+use e_syn::par::Parallelism;
+use std::time::Duration;
+
+fn tiny_limits() -> SaturationLimits {
+    SaturationLimits {
+        iter_limit: 4,
+        node_limit: 3_000,
+        time_limit: Duration::from_secs(5),
+    }
+}
+
+#[test]
+fn every_engine_validates_on_the_whole_registry() {
+    for b in e_syn::circuits::all_benchmarks() {
+        let expr = network_to_recexpr(&b.network);
+        let runner = saturate(&expr, &all_rules(), &tiny_limits());
+        let rows = gym::race(
+            &runner.egraph,
+            &runner.roots,
+            &UnitCost,
+            &ENGINE_NAMES,
+            Parallelism::Serial,
+        );
+        assert_eq!(rows.len(), ENGINE_NAMES.len());
+
+        let mut cost_of = std::collections::HashMap::new();
+        for row in &rows {
+            assert!(
+                row.check.is_ok(),
+                "{}: engine {} failed check: {:?}",
+                b.name,
+                row.engine,
+                row.check
+            );
+            assert!(row.dag_cost.is_finite(), "{}: {}", b.name, row.engine);
+            // DAG cost charges shared classes once; tree cost charges per
+            // reference — it can never be smaller.
+            assert!(
+                row.tree_cost + 1e-9 >= row.dag_cost,
+                "{}: {} tree {} < dag {}",
+                b.name,
+                row.engine,
+                row.tree_cost,
+                row.dag_cost
+            );
+            cost_of.insert(row.engine, row.dag_cost);
+        }
+        // Each exact engine never regresses past its own incumbent,
+        // budget exhaustion or not: `bnb` is seeded with greedy-dag,
+        // `exact` with the whole greedy portfolio (so it lower-bounds
+        // every heuristic in the race).
+        assert!(
+            cost_of["bnb"] <= cost_of["greedy-dag"] + 1e-9,
+            "{}: bnb {} worse than its greedy-dag incumbent {}",
+            b.name,
+            cost_of["bnb"],
+            cost_of["greedy-dag"]
+        );
+        let best_heuristic = ENGINE_NAMES[..5]
+            .iter()
+            .map(|&n| cost_of[n])
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            cost_of["exact"] <= best_heuristic + 1e-9,
+            "{}: exact {} worse than best heuristic {}",
+            b.name,
+            cost_of["exact"],
+            best_heuristic
+        );
+    }
+}

@@ -77,6 +77,39 @@ fn pool_extraction_is_thread_count_invariant_on_a_real_circuit() {
 }
 
 #[test]
+fn extraction_gym_race_is_thread_count_invariant() {
+    // The gym's parallel fan-out is the shared cost-table build; every
+    // engine itself is a deterministic serial pass over the dense
+    // snapshot. Everything a race reports except wall-clock — engine
+    // order, DAG cost, tree cost, validator verdict — must be
+    // bit-identical at `ESYN_THREADS` ∈ {1, 2, 4} (pinned in-process via
+    // `Parallelism::Fixed`).
+    use e_syn::extract::{gym, UnitCost, ENGINE_NAMES};
+    let net = e_syn::circuits::by_name("qadd").expect("qadd generator");
+    let expr = network_to_recexpr(&net);
+    let runner = saturate(&expr, &all_rules(), &SaturationLimits::small());
+    let race_at = |par: Parallelism| -> Vec<(&'static str, u64, u64, bool)> {
+        gym::race(&runner.egraph, &runner.roots, &UnitCost, &ENGINE_NAMES, par)
+            .into_iter()
+            .map(|row| {
+                (
+                    row.engine,
+                    row.dag_cost.to_bits(),
+                    row.tree_cost.to_bits(),
+                    row.check.is_ok(),
+                )
+            })
+            .collect()
+    };
+    let serial = race_at(Parallelism::Fixed(1));
+    assert_eq!(serial.len(), ENGINE_NAMES.len());
+    assert!(serial.iter().all(|(_, _, _, ok)| *ok));
+    for par in [Parallelism::Fixed(2), Parallelism::Fixed(4)] {
+        assert_eq!(race_at(par), serial, "gym race differs under {par:?}");
+    }
+}
+
+#[test]
 fn cec_verdict_is_thread_count_invariant_on_equivalent_networks() {
     // A multiplier against its dc2-resynthesised form: structurally very
     // different, functionally identical — every output miter does real
