@@ -46,6 +46,25 @@ ESYN_BENCH_FAST=1 cargo bench -q -p esyn-bench --bench gym >/dev/null
 echo "==> smoke-run extraction-gym bench (ESYN_BENCH_FAST=1, ESYN_THREADS=1)"
 ESYN_BENCH_FAST=1 ESYN_THREADS=1 cargo bench -q -p esyn-bench --bench gym >/dev/null
 
+echo "==> smoke-run serve bench (ESYN_BENCH_FAST=1)"
+# Concurrent TCP clients against an in-process server; asserts every
+# warm-pass job is a cache hit and the cap-2 queue rejects under flood.
+ESYN_BENCH_FAST=1 cargo bench -q -p esyn-bench --bench serve >/dev/null
+
+echo "==> smoke-run serve bench (ESYN_BENCH_FAST=1, ESYN_THREADS=1)"
+ESYN_BENCH_FAST=1 ESYN_THREADS=1 cargo bench -q -p esyn-bench --bench serve >/dev/null
+
+echo "==> esyn serve stdio smoke"
+# Pipe a ping, a tiny submit and a stats query through the server's
+# stdin/stdout mode; EOF triggers the graceful drain, so the pipeline
+# exits only after the result line has been delivered.
+printf '%s\n%s\n%s\n' \
+    '{"op":"ping"}' \
+    '{"op":"submit","id":"smoke","format":"name","circuit":"3_3","config":{"iter_limit":3,"node_limit":2000,"samples":6}}' \
+    '{"op":"stats"}' \
+    | cargo run --release --bin esyn -- serve --stdio --train tiny \
+    | grep -q '"reply":"result","id":"smoke"'
+
 echo "==> esyn gym smoke (small registry slice)"
 # The CLI gym re-checks every engine and fails if any exact engine comes
 # out worse than the best greedy incumbent.

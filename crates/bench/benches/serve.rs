@@ -1,0 +1,182 @@
+//! Load test for the `esyn serve` batch service: concurrent TCP clients
+//! against an in-process server, timing a cold pass (every job computes)
+//! against a warm pass (every job replays cached bytes), plus a
+//! backpressure phase that drives a deliberately tiny queue to overflow.
+//!
+//! Record results in EXPERIMENTS.md (§ "Batch service"). The cold/warm
+//! ratio is the point of the content-addressed cache; on the 1-CPU CI
+//! container the absolute times are serialised upper bounds, so record
+//! the ratio and the hit counts, not wall-clock folklore.
+
+use esyn_core::{train_cost_models, TrainConfig};
+use esyn_serve::json::{self, Json};
+use esyn_serve::{serve_tcp, Engine, ServeConfig};
+use esyn_techmap::Library;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn submit_line(id: &str, circuit: &str, seed: u64) -> String {
+    format!(
+        r#"{{"op":"submit","id":"{id}","format":"name","circuit":"{circuit}","config":{{"iter_limit":3,"node_limit":2000,"samples":6,"seed":{seed}}}}}"#
+    )
+}
+
+/// One client: connect, submit, block for the result. Returns the
+/// reply's `cached` flag.
+fn run_client(addr: SocketAddr, line: String) -> bool {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut stream = stream;
+    writeln!(stream, "{line}").expect("send");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read reply");
+    let v = json::parse(reply.trim_end()).expect("reply JSON");
+    assert_eq!(
+        v.get("reply").and_then(Json::as_str),
+        Some("result"),
+        "expected a result line: {reply}"
+    );
+    v.get("cached")
+        .and_then(Json::as_bool)
+        .expect("cached flag")
+}
+
+/// Fans `jobs` out over one thread per client and waits for every
+/// result. Returns (wall-clock, cached-flag per job).
+fn fan_out(addr: SocketAddr, jobs: &[(String, String, u64)]) -> (Duration, Vec<bool>) {
+    let t0 = Instant::now();
+    let clients: Vec<_> = jobs
+        .iter()
+        .cloned()
+        .map(|(id, circuit, seed)| {
+            std::thread::spawn(move || run_client(addr, submit_line(&id, &circuit, seed)))
+        })
+        .collect();
+    let cached: Vec<bool> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+    (t0.elapsed(), cached)
+}
+
+fn main() {
+    let fast = std::env::var_os("ESYN_BENCH_FAST").is_some_and(|v| v != "0" && !v.is_empty());
+    let circuits: &[&str] = if fast {
+        &["3_3", "qadd"]
+    } else {
+        &["3_3", "qadd", "b12", "max"]
+    };
+    let clients = circuits.len() * 2; // two seeds per circuit
+    println!(
+        "serve: {clients} concurrent clients over {} registry circuits, host hardware threads = {}",
+        circuits.len(),
+        esyn_par::hardware_threads()
+    );
+
+    let lib = Library::asap7_like();
+    let models = train_cost_models(&TrainConfig::tiny(), &lib);
+
+    // --- cold vs warm: the content-addressed cache under load ---
+    let engine = Engine::new(
+        models.clone(),
+        lib.clone(),
+        ServeConfig {
+            workers: 2,
+            queue_cap: 64,
+            cache_cap: 256,
+            ..ServeConfig::default()
+        },
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("addr");
+    let server = {
+        let e = Arc::clone(&engine);
+        std::thread::spawn(move || serve_tcp(e, listener))
+    };
+
+    let jobs: Vec<(String, String, u64)> = (0..clients)
+        .map(|i| {
+            (
+                format!("c{i}"),
+                circuits[i % circuits.len()].to_owned(),
+                1 + (i / circuits.len()) as u64,
+            )
+        })
+        .collect();
+
+    let (cold, cold_cached) = fan_out(addr, &jobs);
+    let cold_hits = cold_cached.iter().filter(|&&c| c).count();
+    let (warm, warm_cached) = fan_out(addr, &jobs);
+    let warm_hits = warm_cached.iter().filter(|&&c| c).count();
+    assert_eq!(
+        warm_hits, clients,
+        "every warm job must be served from the cache (no saturation re-run)"
+    );
+    let s = engine.stats();
+    println!(
+        "cold: {:>8.1} ms  ({cold_hits}/{clients} cache hits)",
+        cold.as_secs_f64() * 1e3
+    );
+    println!(
+        "warm: {:>8.1} ms  ({warm_hits}/{clients} cache hits)  speedup {:.0}x",
+        warm.as_secs_f64() * 1e3,
+        cold.as_secs_f64() / warm.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "stats: submitted={} completed={} hits={} misses={} evictions={} cache_len={}",
+        s.submitted, s.completed, s.cache_hits, s.cache_misses, s.cache_evictions, s.cache_len
+    );
+
+    // Shut the server down cleanly so the bench exits.
+    {
+        let stream = TcpStream::connect(addr).expect("connect for shutdown");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut stream = stream;
+        writeln!(stream, r#"{{"op":"shutdown"}}"#).expect("send shutdown");
+        let mut ack = String::new();
+        reader.read_line(&mut ack).expect("read ack");
+    }
+    server.join().expect("acceptor").expect("serve_tcp");
+
+    // --- backpressure: a cap-2 queue under a deep flood ---
+    let engine = Engine::new(
+        models,
+        lib,
+        ServeConfig {
+            workers: 1,
+            queue_cap: 2,
+            cache_cap: 0,
+            ..ServeConfig::default()
+        },
+    );
+    let flood = if fast { 8 } else { 16 };
+    let (tx, rx) = std::sync::mpsc::channel();
+    let t0 = Instant::now();
+    for i in 0..flood {
+        engine.handle_line(&submit_line(&format!("f{i}"), circuits[0], 1), &tx);
+    }
+    let mut results = 0usize;
+    let mut busy = 0usize;
+    for _ in 0..flood {
+        let line = rx
+            .recv_timeout(Duration::from_secs(600))
+            .expect("reply within deadline");
+        let v = json::parse(&line).expect("reply JSON");
+        match v.get("reply").and_then(Json::as_str) {
+            Some("result") => results += 1,
+            Some("busy") => busy += 1,
+            other => panic!("unexpected reply {other:?}: {line}"),
+        }
+    }
+    assert!(
+        busy >= 1,
+        "a cap-2 queue under a {flood}-deep flood must reject"
+    );
+    println!(
+        "backpressure: flood={flood} queue_cap=2 workers=1 -> {results} results, {busy} busy rejections in {:.1} ms",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    engine.shutdown();
+}

@@ -1,0 +1,327 @@
+//! Content-addressing for optimize results: a structural hash over
+//! [`Network`]s and a canonical rendering of the full run configuration.
+//!
+//! `esyn-serve` keys its result cache on [`CacheKey`] — the pair of the
+//! circuit's [`structural_hash`] and the [`config_hash`] of
+//! `(Objective, EsynConfig)`. The contract the serve-layer cache tests
+//! pin down:
+//!
+//! * parsing the same circuit text twice yields the same circuit hash
+//!   (parsers and the hash-consed [`Network`] arena are deterministic);
+//! * *any* field of [`EsynConfig`] (or the objective) that differs
+//!   produces a different canonical string, and therefore — up to 64-bit
+//!   collisions — a different key: extractor choice, thread policy and
+//!   saturation budgets all separate, even though the thread policy
+//!   cannot change results (the `esyn-par` contract). Keys are
+//!   deliberately conservative: a wall-clock `time_limit` stop *is*
+//!   schedule-dependent, so aliasing configs that differ only in
+//!   scheduling knobs would be unsound.
+//!
+//! [`canonical_config`] destructures both structs exhaustively — adding
+//! a field to either without extending the rendering is a compile error,
+//! so the key can never silently under-approximate the configuration.
+
+use crate::flow::{EsynConfig, Objective, SaturationLimits};
+use crate::pool::PoolConfig;
+use esyn_egraph::FxHasher;
+use esyn_eqn::{Network, Node};
+use esyn_par::Parallelism;
+use std::hash::Hasher;
+
+/// The content address of one optimize request: circuit × configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// [`structural_hash`] of the input network.
+    pub circuit: u64,
+    /// [`config_hash`] of the objective and full [`EsynConfig`].
+    pub config: u64,
+}
+
+/// Computes the [`CacheKey`] for optimising `net` under `(objective, cfg)`.
+pub fn cache_key(net: &Network, objective: Objective, cfg: &EsynConfig) -> CacheKey {
+    CacheKey {
+        circuit: structural_hash(net),
+        config: config_hash(objective, cfg),
+    }
+}
+
+/// Hashes the reachable structure of `net`: ordered input names, the
+/// reachable operator DAG (nodes renumbered densely in topological
+/// order, so arena garbage and absolute [`esyn_eqn::NodeId`] values do
+/// not leak in), and the named outputs. Uses the workspace's
+/// deterministic [`FxHasher`] — stable across processes and platforms.
+///
+/// Two parses of the same circuit text always collide (everything on the
+/// path from text to [`Network`] is deterministic); functionally equal
+/// but structurally different circuits intentionally do *not*.
+pub fn structural_hash(net: &Network) -> u64 {
+    let order = net.topo_order();
+    // Dense renumbering: position in topo order. `topo_order` is
+    // ascending-id, so a node's fanins always precede it.
+    let mut dense = vec![u64::MAX; net.len()];
+    let mut h = FxHasher::default();
+    h.write_usize(net.num_inputs());
+    for name in net.input_names() {
+        h.write(name.as_bytes());
+        h.write_u8(0xFF); // name terminator (names cannot contain 0xFF)
+    }
+    for (pos, &id) in order.iter().enumerate() {
+        dense[id.index()] = pos as u64;
+        match net.node(id) {
+            Node::Const(v) => {
+                h.write_u8(1);
+                h.write_u8(u8::from(v));
+            }
+            Node::Input(i) => {
+                h.write_u8(2);
+                h.write_u32(i);
+            }
+            Node::Not(a) => {
+                h.write_u8(3);
+                h.write_u64(dense[a.index()]);
+            }
+            Node::And(a, b) => {
+                h.write_u8(4);
+                h.write_u64(dense[a.index()]);
+                h.write_u64(dense[b.index()]);
+            }
+            Node::Or(a, b) => {
+                h.write_u8(5);
+                h.write_u64(dense[a.index()]);
+                h.write_u64(dense[b.index()]);
+            }
+        }
+    }
+    h.write_usize(net.num_outputs());
+    for (name, id) in net.outputs() {
+        h.write(name.as_bytes());
+        h.write_u8(0xFE);
+        h.write_u64(dense[id.index()]);
+    }
+    h.finish()
+}
+
+/// [`canonical_config`], hashed with the deterministic [`FxHasher`].
+pub fn config_hash(objective: Objective, cfg: &EsynConfig) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(canonical_config(objective, cfg).as_bytes());
+    h.finish()
+}
+
+fn par_str(p: Parallelism) -> String {
+    match p {
+        Parallelism::Auto => "auto".to_owned(),
+        Parallelism::Serial => "serial".to_owned(),
+        Parallelism::Fixed(n) => format!("fixed{n}"),
+    }
+}
+
+/// Renders `(objective, cfg)` as a canonical `key=value` string: a fixed
+/// field order, exact bit-patterns for floats, and exhaustive
+/// destructuring so a new config field cannot be forgotten. Two configs
+/// produce the same string iff every field is identical.
+///
+/// ```
+/// use esyn_core::{canonical_config, EsynConfig, Objective};
+///
+/// let a = EsynConfig::default();
+/// let mut b = EsynConfig::default();
+/// b.pool.num_samples += 1;
+/// assert_ne!(
+///     canonical_config(Objective::Delay, &a),
+///     canonical_config(Objective::Delay, &b),
+/// );
+/// assert_eq!(
+///     canonical_config(Objective::Area, &a),
+///     canonical_config(Objective::Area, &EsynConfig::default()),
+/// );
+/// ```
+pub fn canonical_config(objective: Objective, cfg: &EsynConfig) -> String {
+    let EsynConfig {
+        limits:
+            SaturationLimits {
+                iter_limit,
+                node_limit,
+                time_limit,
+            },
+        pool:
+            PoolConfig {
+                num_samples,
+                p_suboptimal,
+                ratio,
+                seed,
+                include_original,
+                include_dag_extreme,
+                dag_engine,
+                parallelism: pool_par,
+            },
+        verify,
+        target_delay,
+        use_choices,
+        parallelism,
+    } = cfg;
+    let target = match target_delay {
+        None => "none".to_owned(),
+        Some(t) => format!("{:016x}", t.to_bits()),
+    };
+    format!(
+        "v1;obj={objective:?};iter={iter_limit};nodes={node_limit};time_ns={};\
+         samples={num_samples};p={:016x};ratio={}:{};seed={seed};orig={include_original};\
+         dagx={include_dag_extreme};engine={dag_engine};pool_par={};verify={verify};\
+         target={target};choices={use_choices};par={}",
+        time_limit.as_nanos(),
+        p_suboptimal.to_bits(),
+        ratio.0,
+        ratio.1,
+        par_str(*pool_par),
+        par_str(*parallelism),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esyn_eqn::parse_eqn;
+    use std::time::Duration;
+
+    fn net(src: &str) -> Network {
+        parse_eqn(src).unwrap()
+    }
+
+    #[test]
+    fn same_text_same_hash() {
+        let src = "INORDER = a b c;\nOUTORDER = f;\nf = (a*b) + (a*c);\n";
+        assert_eq!(structural_hash(&net(src)), structural_hash(&net(src)));
+    }
+
+    #[test]
+    fn structure_names_and_outputs_separate() {
+        let base = net("INORDER = a b;\nOUTORDER = f;\nf = a*b;\n");
+        let or_gate = net("INORDER = a b;\nOUTORDER = f;\nf = a+b;\n");
+        let renamed_out = net("INORDER = a b;\nOUTORDER = g;\ng = a*b;\n");
+        let renamed_in = net("INORDER = a c;\nOUTORDER = f;\nf = a*c;\n");
+        let h = structural_hash(&base);
+        assert_ne!(h, structural_hash(&or_gate));
+        assert_ne!(h, structural_hash(&renamed_out));
+        assert_ne!(h, structural_hash(&renamed_in));
+    }
+
+    #[test]
+    fn arena_garbage_does_not_leak_into_the_hash() {
+        // Build the same reachable function with and without a dead node.
+        let mut a = Network::new();
+        let x = a.input("x");
+        let y = a.input("y");
+        let f = a.and(x, y);
+        a.output("f", f);
+
+        let mut b = Network::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let f = b.and(x, y);
+        let _dead = b.or(x, y);
+        b.output("f", f);
+
+        assert_eq!(structural_hash(&a), structural_hash(&b));
+    }
+
+    #[test]
+    fn every_config_knob_separates_the_key() {
+        let base = EsynConfig::default();
+        let k = |c: &EsynConfig| config_hash(Objective::Delay, c);
+        let base_key = k(&base);
+
+        let variants: Vec<EsynConfig> = vec![
+            EsynConfig {
+                limits: SaturationLimits {
+                    iter_limit: base.limits.iter_limit + 1,
+                    ..base.limits
+                },
+                ..base.clone()
+            },
+            EsynConfig {
+                limits: SaturationLimits {
+                    node_limit: base.limits.node_limit + 1,
+                    ..base.limits
+                },
+                ..base.clone()
+            },
+            EsynConfig {
+                limits: SaturationLimits {
+                    time_limit: base.limits.time_limit + Duration::from_millis(1),
+                    ..base.limits
+                },
+                ..base.clone()
+            },
+            EsynConfig {
+                pool: PoolConfig {
+                    num_samples: base.pool.num_samples + 1,
+                    ..base.pool
+                },
+                ..base.clone()
+            },
+            EsynConfig {
+                pool: PoolConfig {
+                    seed: base.pool.seed ^ 1,
+                    ..base.pool
+                },
+                ..base.clone()
+            },
+            EsynConfig {
+                pool: PoolConfig {
+                    dag_engine: "exact",
+                    ..base.pool
+                },
+                ..base.clone()
+            },
+            EsynConfig {
+                verify: !base.verify,
+                ..base.clone()
+            },
+            EsynConfig {
+                target_delay: Some(123.5),
+                ..base.clone()
+            },
+            EsynConfig {
+                use_choices: !base.use_choices,
+                ..base.clone()
+            },
+            EsynConfig {
+                parallelism: Parallelism::Fixed(2),
+                ..base.clone()
+            },
+            EsynConfig {
+                parallelism: Parallelism::Fixed(4),
+                ..base.clone()
+            },
+            EsynConfig {
+                parallelism: Parallelism::Serial,
+                ..base.clone()
+            },
+        ];
+        let mut seen = vec![base_key];
+        for v in &variants {
+            let key = k(v);
+            assert_ne!(key, base_key, "variant aliases base: {v:?}");
+            assert!(!seen.contains(&key), "two variants alias: {v:?}");
+            seen.push(key);
+        }
+        // The objective is part of the key too.
+        assert_ne!(config_hash(Objective::Area, &base), base_key);
+        assert_ne!(config_hash(Objective::Balanced, &base), base_key);
+    }
+
+    #[test]
+    fn cache_key_combines_both_halves() {
+        let a = net("INORDER = a b;\nOUTORDER = f;\nf = a*b;\n");
+        let b = net("INORDER = a b;\nOUTORDER = f;\nf = a+b;\n");
+        let cfg = EsynConfig::default();
+        let mut cfg2 = EsynConfig::default();
+        cfg2.pool.seed ^= 0xDEAD;
+        let k = cache_key(&a, Objective::Delay, &cfg);
+        assert_eq!(k, cache_key(&a, Objective::Delay, &cfg));
+        assert_ne!(k, cache_key(&b, Objective::Delay, &cfg));
+        assert_ne!(k, cache_key(&a, Objective::Delay, &cfg2));
+        assert_ne!(k, cache_key(&a, Objective::Area, &cfg));
+    }
+}

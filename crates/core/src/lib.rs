@@ -41,6 +41,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod analysis;
+pub mod cache;
 pub mod cost;
 pub mod features;
 pub mod flow;
@@ -51,6 +52,7 @@ pub mod rules;
 pub mod train;
 
 pub use analysis::ConstFold;
+pub use cache::{cache_key, canonical_config, config_hash, structural_hash, CacheKey};
 pub use cost::{AstDepthCost, AstSizeCost, CandidateCost, GbdtCost, WeightedOpsCost};
 pub use esyn_egraph::{IterationStats, StopReason};
 pub use esyn_par::Parallelism;

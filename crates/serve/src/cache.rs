@@ -1,0 +1,178 @@
+//! The content-addressed result cache: optimize results keyed by
+//! [`CacheKey`] (circuit structural hash × canonical config hash), with
+//! hit/miss/eviction counters and a hard entry cap.
+//!
+//! Values are the *pre-encoded* result JSON objects (`Arc<str>`), so a
+//! warm hit replays exactly the bytes the cold computation produced —
+//! the byte-identity contract `tests/cache_correctness.rs` pins.
+//!
+//! Eviction is deterministic least-recently-used: every access stamps a
+//! monotone tick, and inserting past the cap removes the entry with the
+//! smallest stamp. Given the same operation sequence, the surviving key
+//! set and all counters are identical on every run (ticks are logical,
+//! never wall-clock).
+
+use esyn_core::CacheKey;
+use esyn_egraph::FxHashMap;
+use std::sync::Arc;
+
+struct Entry {
+    value: Arc<str>,
+    last_used: u64,
+}
+
+/// A bounded LRU cache of encoded optimize results.
+pub struct ResultCache {
+    cap: usize,
+    tick: u64,
+    map: FxHashMap<CacheKey, Entry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `cap` entries (`cap == 0` disables
+    /// caching: every lookup misses and nothing is stored).
+    pub fn new(cap: usize) -> Self {
+        ResultCache {
+            cap,
+            tick: 0,
+            map: FxHashMap::default(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks `key` up, counting a hit or miss and refreshing recency.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<str>> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `value` under `key`, evicting the least-recently-used
+    /// entry if the cap is exceeded. Re-inserting an existing key
+    /// replaces the value (identical by construction — results are
+    /// deterministic functions of the key) without eviction.
+    pub fn insert(&mut self, key: CacheKey, value: Arc<str>) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        let entry = Entry {
+            value,
+            last_used: self.tick,
+        };
+        if self.map.insert(key, entry).is_none() && self.map.len() > self.cap {
+            // Ticks are unique, so the minimum is unambiguous and the
+            // victim deterministic.
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("cache non-empty");
+            self.map.remove(&victim);
+            self.evictions += 1;
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries removed by the size cap.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// True when `key` is currently cached (no recency/counter effects).
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.map.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(circuit: u64, config: u64) -> CacheKey {
+        CacheKey { circuit, config }
+    }
+
+    fn val(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let mut c = ResultCache::new(4);
+        assert!(c.get(&key(1, 1)).is_none());
+        c.insert(key(1, 1), val("a"));
+        assert_eq!(c.get(&key(1, 1)).as_deref(), Some("a"));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_is_deterministic() {
+        let run = || {
+            let mut c = ResultCache::new(2);
+            c.insert(key(1, 0), val("1"));
+            c.insert(key(2, 0), val("2"));
+            let _ = c.get(&key(1, 0)); // refresh 1 → victim is 2
+            c.insert(key(3, 0), val("3"));
+            let mut present: Vec<u64> = (1..=3).filter(|&k| c.contains(&key(k, 0))).collect();
+            present.sort_unstable();
+            (present, c.evictions())
+        };
+        let first = run();
+        assert_eq!(first, (vec![1, 3], 1));
+        assert_eq!(run(), first, "eviction must be reproducible");
+    }
+
+    #[test]
+    fn zero_cap_disables_caching() {
+        let mut c = ResultCache::new(0);
+        c.insert(key(1, 1), val("x"));
+        assert!(c.get(&key(1, 1)).is_none());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(1, 0), val("a"));
+        c.insert(key(2, 0), val("b"));
+        c.insert(key(1, 0), val("a"));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 0);
+    }
+}

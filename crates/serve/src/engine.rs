@@ -1,0 +1,332 @@
+//! The serve engine: a worker pool over the bounded job queue, the
+//! content-addressed result cache, and the request dispatcher shared by
+//! the TCP and stdio front-ends.
+//!
+//! One [`Engine`] owns everything long-lived: the technology library and
+//! trained cost models (loaded once, amortised over every request), the
+//! [`Bounded`] queue, the [`ResultCache`] and the worker threads. Front
+//! ends feed it request lines plus a per-connection reply channel; jobs
+//! are answered asynchronously on that channel as workers finish them,
+//! control requests synchronously.
+//!
+//! # Determinism
+//!
+//! A job's result is a pure function of `(circuit, objective, config)` —
+//! the same contract as one-shot [`esyn_optimize`] — regardless of queue
+//! interleaving, worker count or whether the result came from the cache
+//! (`tests/parallel_determinism.rs` sweeps this). Wall-clock never
+//! appears in a `result` payload.
+
+use crate::cache::ResultCache;
+use crate::protocol::{self, CircuitFormat, Request, ResultPayload, StatsSnapshot, SubmitRequest};
+use crate::queue::{Bounded, SubmitError};
+use esyn_core::{
+    cache_key, esyn_optimize, CostModels, EsynConfig, Objective, Parallelism, SaturationLimits,
+};
+use esyn_eqn::{parse_blif, parse_eqn, Network};
+use esyn_techmap::Library;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Server-side configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads executing jobs (each job itself runs its parallel
+    /// stages per its own config; the default job config is serial so
+    /// job-level and stage-level parallelism do not multiply).
+    pub workers: usize,
+    /// Bounded-queue capacity; a full queue answers `busy`.
+    pub queue_cap: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_cap: usize,
+    /// Per-job default configuration; `submit` requests override fields.
+    pub base: EsynConfig,
+    /// Element-wise ceiling on per-job saturation budgets: a job may
+    /// lower its limits but never raise them past this, so one request
+    /// cannot capture the server. Stops at these limits keep the
+    /// Runner's deterministic semantics (iteration/node caps bind before
+    /// the wall-clock safety net in every test configuration).
+    pub limit_ceiling: SaturationLimits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let mut base = EsynConfig::small();
+        base.parallelism = Parallelism::Serial;
+        base.pool.parallelism = Parallelism::Serial;
+        ServeConfig {
+            workers: 2,
+            queue_cap: 64,
+            cache_cap: 256,
+            base,
+            limit_ceiling: SaturationLimits {
+                iter_limit: 64,
+                node_limit: 500_000,
+                time_limit: std::time::Duration::from_secs(120),
+            },
+        }
+    }
+}
+
+struct Job {
+    id: String,
+    net: Network,
+    objective: Objective,
+    cfg: EsynConfig,
+    reply: Sender<String>,
+}
+
+/// The long-running batch synthesis service.
+pub struct Engine {
+    lib: Library,
+    models: CostModels,
+    cfg: ServeConfig,
+    queue: Bounded<Job>,
+    cache: Mutex<ResultCache>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    shutting_down: AtomicBool,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Engine {
+    /// Builds the engine and starts its worker pool.
+    pub fn new(models: CostModels, lib: Library, cfg: ServeConfig) -> Arc<Self> {
+        let workers = cfg.workers.max(1);
+        let engine = Arc::new(Engine {
+            lib,
+            models,
+            queue: Bounded::new(cfg.queue_cap),
+            cache: Mutex::new(ResultCache::new(cfg.cache_cap)),
+            cfg,
+            workers: Mutex::new(Vec::new()),
+            shutting_down: AtomicBool::new(false),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        });
+        let handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let e = Arc::clone(&engine);
+                std::thread::spawn(move || e.worker_loop())
+            })
+            .collect();
+        *engine.workers.lock().unwrap() = handles;
+        engine
+    }
+
+    /// The server's defaults (what `submit` overrides apply to).
+    pub fn base_config(&self) -> &EsynConfig {
+        &self.cfg.base
+    }
+
+    /// True once a shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Handles one request line, sending every response through `reply`.
+    /// Returns `true` when the line was a shutdown request — by then the
+    /// queue has fully drained, all in-flight results have been
+    /// delivered, and the acknowledgement has been sent; the front-end
+    /// should stop its accept/read loop.
+    pub fn handle_line(self: &Arc<Self>, line: &str, reply: &Sender<String>) -> bool {
+        let line = line.trim();
+        if line.is_empty() {
+            return false;
+        }
+        match protocol::parse_request(line) {
+            Err(e) => {
+                // Best effort: recover the job id for the error echo.
+                let id = crate::json::parse(line)
+                    .ok()
+                    .and_then(|v| v.get("id").and_then(|j| j.as_str().map(str::to_owned)));
+                let _ = reply.send(protocol::error_line(id.as_deref(), &e.message, e.position));
+                false
+            }
+            Ok(Request::Ping) => {
+                let _ = reply.send(protocol::pong_line());
+                false
+            }
+            Ok(Request::Stats) => {
+                let _ = reply.send(protocol::stats_line(&self.stats()));
+                false
+            }
+            Ok(Request::Shutdown) => {
+                self.shutdown();
+                let _ = reply.send(protocol::shutdown_line(
+                    self.completed.load(Ordering::SeqCst),
+                ));
+                true
+            }
+            Ok(Request::Submit(submit)) => {
+                self.submit(submit, reply);
+                false
+            }
+        }
+    }
+
+    fn submit(&self, req: SubmitRequest, reply: &Sender<String>) {
+        let SubmitRequest {
+            id,
+            format,
+            circuit,
+            objective,
+            overrides,
+        } = req;
+        let net = match load_circuit(format, &circuit) {
+            Ok(net) => net,
+            Err(msg) => {
+                self.errors.fetch_add(1, Ordering::SeqCst);
+                let _ = reply.send(protocol::error_line(Some(&id), &msg, None));
+                return;
+            }
+        };
+        if net.num_outputs() == 0 {
+            self.errors.fetch_add(1, Ordering::SeqCst);
+            let _ = reply.send(protocol::error_line(
+                Some(&id),
+                "circuit has no outputs",
+                None,
+            ));
+            return;
+        }
+        let mut cfg = overrides.apply(&self.cfg.base);
+        let ceil = self.cfg.limit_ceiling;
+        cfg.limits.iter_limit = cfg.limits.iter_limit.min(ceil.iter_limit);
+        cfg.limits.node_limit = cfg.limits.node_limit.min(ceil.node_limit);
+        cfg.limits.time_limit = cfg.limits.time_limit.min(ceil.time_limit);
+        let job_id = id.clone();
+        let job = Job {
+            id,
+            net,
+            objective,
+            cfg,
+            reply: reply.clone(),
+        };
+        // Count the submission before the push so the increment is
+        // causally ordered before the job's completion — a stats read
+        // taken after a result reply always shows it (undone below when
+        // the queue refuses the job).
+        self.submitted.fetch_add(1, Ordering::SeqCst);
+        match self.queue.try_push(job) {
+            Ok(()) => {}
+            Err(SubmitError::Full(queued, cap)) => {
+                self.submitted.fetch_sub(1, Ordering::SeqCst);
+                self.rejected.fetch_add(1, Ordering::SeqCst);
+                let _ = reply.send(protocol::busy_line(&job_id, queued, cap));
+            }
+            Err(SubmitError::Closed) => {
+                self.submitted.fetch_sub(1, Ordering::SeqCst);
+                self.rejected.fetch_add(1, Ordering::SeqCst);
+                let _ = reply.send(protocol::error_line(
+                    Some(&job_id),
+                    "server is shutting down",
+                    None,
+                ));
+            }
+        }
+    }
+
+    fn worker_loop(self: Arc<Self>) {
+        while let Some(job) = self.queue.pop() {
+            self.run_job(job);
+            self.queue.task_done();
+        }
+    }
+
+    fn run_job(&self, job: Job) {
+        let key = cache_key(&job.net, job.objective, &job.cfg);
+        if let Some(cached) = self.cache.lock().unwrap().get(&key) {
+            self.completed.fetch_add(1, Ordering::SeqCst);
+            let _ = job
+                .reply
+                .send(protocol::result_line(&job.id, true, &cached));
+            return;
+        }
+        // Compute outside the cache lock: a slow job must not stall
+        // cache hits on other workers. Two racing identical jobs may
+        // both compute — their results are bit-identical, so the second
+        // insert is a no-op value-wise.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            esyn_optimize(&job.net, &self.models, &self.lib, job.objective, &job.cfg)
+        }));
+        match outcome {
+            Ok(result) => {
+                let payload = ResultPayload::from_result(&result, key);
+                let encoded: Arc<str> = Arc::from(payload.to_json().encode());
+                self.cache.lock().unwrap().insert(key, Arc::clone(&encoded));
+                self.completed.fetch_add(1, Ordering::SeqCst);
+                let _ = job
+                    .reply
+                    .send(protocol::result_line(&job.id, false, &encoded));
+            }
+            Err(panic) => {
+                let msg = panic_message(&panic);
+                self.errors.fetch_add(1, Ordering::SeqCst);
+                let _ = job.reply.send(protocol::error_line(
+                    Some(&job.id),
+                    &format!("job failed: {msg}"),
+                    None,
+                ));
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        let cache = self.cache.lock().unwrap();
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::SeqCst),
+            completed: self.completed.load(Ordering::SeqCst),
+            rejected: self.rejected.load(Ordering::SeqCst),
+            errors: self.errors.load(Ordering::SeqCst),
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+            cache_evictions: cache.evictions(),
+            cache_len: cache.len(),
+            queued: self.queue.queued(),
+            queue_cap: self.queue.cap(),
+            workers: self.cfg.workers.max(1),
+        }
+    }
+
+    /// Graceful shutdown: stop admitting jobs, run the backlog and all
+    /// in-flight work to completion (results are still delivered), then
+    /// join the worker pool. Idempotent; later calls return once the
+    /// first drain finishes.
+    pub fn shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        self.queue.close();
+        self.queue.drain();
+        let handles = std::mem::take(&mut *self.workers.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn load_circuit(format: CircuitFormat, text: &str) -> Result<Network, String> {
+    match format {
+        CircuitFormat::Eqn => parse_eqn(text).map_err(|e| e.to_string()),
+        CircuitFormat::Blif => parse_blif(text).map_err(|e| e.to_string()),
+        CircuitFormat::Name => {
+            esyn_circuits::by_name(text).ok_or_else(|| format!("unknown registry circuit `{text}`"))
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic".to_owned()
+    }
+}

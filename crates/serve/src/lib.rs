@@ -1,0 +1,50 @@
+//! **esyn-serve** — the long-running batch synthesis service behind
+//! `esyn serve` (ROADMAP item 2: amortise e-graph construction and model
+//! loading across queries instead of paying a cold start per request).
+//!
+//! The service speaks a JSON-lines protocol ([`protocol`]) over plain
+//! `std::net` TCP or stdin/stdout ([`server`]) — the JSON codec is
+//! hand-rolled in-repo ([`json`]) because crates.io is unreachable (see
+//! DESIGN.md). Jobs flow through a bounded queue with explicit
+//! backpressure ([`queue`]) into a worker pool, and results land in a
+//! content-addressed cache ([`cache`]) keyed by
+//! [`esyn_core::cache_key`] — circuit structural hash × canonical
+//! config — so a warm request replays the stored bytes without
+//! re-running saturation.
+//!
+//! # Quickstart (in-process)
+//!
+//! ```
+//! use esyn_serve::{Engine, ServeConfig};
+//! use esyn_core::{train_cost_models, TrainConfig};
+//! use esyn_techmap::Library;
+//! use std::sync::mpsc::channel;
+//!
+//! let lib = Library::asap7_like();
+//! let models = train_cost_models(&TrainConfig::tiny(), &lib);
+//! let engine = Engine::new(models, lib, ServeConfig::default());
+//! let (tx, rx) = channel();
+//! engine.handle_line(r#"{"op":"ping"}"#, &tx);
+//! assert_eq!(rx.recv().unwrap(), "{\"reply\":\"pong\",\"ok\":true}");
+//! engine.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod engine;
+pub mod json;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use cache::ResultCache;
+pub use engine::{Engine, ServeConfig};
+pub use json::{Json, JsonError};
+pub use protocol::{
+    parse_request, CircuitFormat, JobOverrides, ProtocolError, Request, ResultPayload,
+    StatsSnapshot, SubmitRequest,
+};
+pub use queue::{Bounded, SubmitError};
+pub use server::{serve_stdio, serve_tcp};

@@ -1,0 +1,534 @@
+//! The `esyn serve` JSON-lines protocol: one request per line in, one
+//! response per line out, in either direction of a TCP stream or a
+//! stdin/stdout pipe.
+//!
+//! # Requests
+//!
+//! ```text
+//! {"op":"submit","id":"j1","format":"eqn|blif|name","circuit":"...",
+//!  "objective":"delay|area|balanced","config":{...}}
+//! {"op":"stats"}
+//! {"op":"ping"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! The optional `config` object overrides the server's per-job defaults
+//! field by field: `iter_limit`, `node_limit`, `time_limit_ms`,
+//! `samples`, `seed`, `extractor` (an `esyn_extract::ENGINE_NAMES`
+//! entry), `threads` (a positive worker count for the job's internal
+//! parallel stages), `verify` and `use_choices`. Unknown keys are
+//! rejected — a typo must not silently fall back to defaults *and*
+//! silently alias the cache key of the default config.
+//!
+//! # Responses
+//!
+//! ```text
+//! {"reply":"result","id":"j1","cached":false,"result":{...}}
+//! {"reply":"busy","id":"j1","ok":false,"error":"..."}        ← backpressure
+//! {"reply":"error","id":"j1","ok":false,"error":"...","position":17}
+//! {"reply":"stats","ok":true,...}
+//! {"reply":"pong","ok":true}
+//! {"reply":"shutdown","ok":true,"completed":N}
+//! ```
+//!
+//! The `result` object is the *content-addressed payload*: it is
+//! byte-identical between a cold computation and a warm cache hit, and
+//! byte-identical to encoding a one-shot [`esyn_core::esyn_optimize`]
+//! run of the same circuit and configuration (`tests/serve_e2e.rs` pins
+//! this). The `cached` flag lives outside it on purpose.
+
+use crate::json::{self, Json};
+use esyn_core::{CacheKey, EsynConfig, EsynResult, Objective, Parallelism, SaturationLimits};
+use std::fmt;
+use std::time::Duration;
+
+/// A decoded request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Submit a circuit for optimisation.
+    Submit(SubmitRequest),
+    /// Report queue/cache/counter statistics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Drain in-flight jobs, then stop the server.
+    Shutdown,
+}
+
+/// The payload of a `submit` request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubmitRequest {
+    /// Client-chosen job id, echoed on every response for this job.
+    pub id: String,
+    /// How to interpret [`circuit`](Self::circuit).
+    pub format: CircuitFormat,
+    /// Circuit text (`eqn`/`blif`) or registry name (`name`).
+    pub circuit: String,
+    /// Optimisation objective.
+    pub objective: Objective,
+    /// Per-job config overrides (applied to the server's defaults).
+    pub overrides: JobOverrides,
+}
+
+/// Accepted circuit encodings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CircuitFormat {
+    /// ABC equation format.
+    Eqn,
+    /// Combinational BLIF.
+    Blif,
+    /// A named `esyn-circuits` registry benchmark.
+    Name,
+}
+
+/// Field-by-field overrides of the server's default [`EsynConfig`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JobOverrides {
+    /// `iter_limit` — saturation iteration cap.
+    pub iter_limit: Option<usize>,
+    /// `node_limit` — saturation e-node cap.
+    pub node_limit: Option<usize>,
+    /// `time_limit_ms` — saturation wall-clock safety net.
+    pub time_limit_ms: Option<u64>,
+    /// `samples` — stochastic pool samples.
+    pub samples: Option<usize>,
+    /// `seed` — pool RNG seed.
+    pub seed: Option<u64>,
+    /// `extractor` — gym engine for the pool's DAG-cost extreme.
+    pub extractor: Option<&'static str>,
+    /// `threads` — worker count for the job's internal parallel stages.
+    pub threads: Option<usize>,
+    /// `verify` — CEC-check the winning candidate.
+    pub verify: Option<bool>,
+    /// `use_choices` — map through the choice-aware backend.
+    pub use_choices: Option<bool>,
+}
+
+impl JobOverrides {
+    /// The job's effective configuration: `base` with every `Some`
+    /// override applied.
+    pub fn apply(&self, base: &EsynConfig) -> EsynConfig {
+        let mut cfg = base.clone();
+        let limits = SaturationLimits {
+            iter_limit: self.iter_limit.unwrap_or(cfg.limits.iter_limit),
+            node_limit: self.node_limit.unwrap_or(cfg.limits.node_limit),
+            time_limit: self
+                .time_limit_ms
+                .map(Duration::from_millis)
+                .unwrap_or(cfg.limits.time_limit),
+        };
+        cfg.limits = limits;
+        if let Some(n) = self.samples {
+            cfg.pool.num_samples = n;
+        }
+        if let Some(s) = self.seed {
+            cfg.pool.seed = s;
+        }
+        if let Some(engine) = self.extractor {
+            cfg.pool.include_dag_extreme = true;
+            cfg.pool.dag_engine = engine;
+        }
+        if let Some(t) = self.threads {
+            cfg.parallelism = Parallelism::Fixed(t);
+            cfg.pool.parallelism = Parallelism::Fixed(t);
+        }
+        if let Some(v) = self.verify {
+            cfg.verify = v;
+        }
+        if let Some(c) = self.use_choices {
+            cfg.use_choices = c;
+        }
+        cfg
+    }
+}
+
+/// A protocol decode error; `position` is the byte offset for JSON
+/// syntax errors (semantic errors — unknown op, missing field — have
+/// none), mirroring `esyn_egraph::RecExprParseError`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset of the offending token, when known.
+    pub position: Option<usize>,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.position {
+            Some(p) => write!(f, "protocol error at byte {p}: {}", self.message),
+            None => write!(f, "protocol error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl ProtocolError {
+    fn new(message: impl Into<String>) -> Self {
+        ProtocolError {
+            message: message.into(),
+            position: None,
+        }
+    }
+}
+
+impl From<json::JsonError> for ProtocolError {
+    fn from(e: json::JsonError) -> Self {
+        ProtocolError {
+            message: e.message,
+            position: Some(e.position),
+        }
+    }
+}
+
+fn str_field<'j>(obj: &'j Json, key: &str) -> Result<&'j str, ProtocolError> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtocolError::new(format!("missing or non-string field `{key}`")))
+}
+
+/// Decodes one request line.
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let v = json::parse(line)?;
+    if !matches!(v, Json::Obj(_)) {
+        return Err(ProtocolError::new("request must be a JSON object"));
+    }
+    let op = str_field(&v, "op")?;
+    match op {
+        "stats" => Ok(Request::Stats),
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        "submit" => {
+            let id = str_field(&v, "id")?.to_owned();
+            let format = match str_field(&v, "format")? {
+                "eqn" => CircuitFormat::Eqn,
+                "blif" => CircuitFormat::Blif,
+                "name" => CircuitFormat::Name,
+                other => {
+                    return Err(ProtocolError::new(format!(
+                        "unknown format `{other}` (expected eqn, blif or name)"
+                    )))
+                }
+            };
+            let circuit = str_field(&v, "circuit")?.to_owned();
+            let objective = match v.get("objective").map(|o| o.as_str()) {
+                None => Objective::Delay,
+                Some(Some("delay")) => Objective::Delay,
+                Some(Some("area")) => Objective::Area,
+                Some(Some("balanced")) => Objective::Balanced,
+                Some(other) => {
+                    return Err(ProtocolError::new(format!(
+                        "unknown objective `{other:?}` (expected delay, area or balanced)"
+                    )))
+                }
+            };
+            let overrides = match v.get("config") {
+                None | Some(Json::Null) => JobOverrides::default(),
+                Some(cfg) => parse_overrides(cfg)?,
+            };
+            Ok(Request::Submit(SubmitRequest {
+                id,
+                format,
+                circuit,
+                objective,
+                overrides,
+            }))
+        }
+        other => Err(ProtocolError::new(format!("unknown op `{other}`"))),
+    }
+}
+
+fn usize_field(v: &Json, key: &str) -> Result<usize, ProtocolError> {
+    v.as_u64().map(|n| n as usize).ok_or_else(|| {
+        ProtocolError::new(format!(
+            "config field `{key}` must be a non-negative integer"
+        ))
+    })
+}
+
+fn parse_overrides(cfg: &Json) -> Result<JobOverrides, ProtocolError> {
+    let Json::Obj(fields) = cfg else {
+        return Err(ProtocolError::new("`config` must be an object"));
+    };
+    let mut o = JobOverrides::default();
+    for (key, value) in fields {
+        match key.as_str() {
+            "iter_limit" => o.iter_limit = Some(usize_field(value, key)?),
+            "node_limit" => o.node_limit = Some(usize_field(value, key)?),
+            "time_limit_ms" => o.time_limit_ms = Some(usize_field(value, key)? as u64),
+            "samples" => o.samples = Some(usize_field(value, key)?),
+            "seed" => o.seed = Some(usize_field(value, key)? as u64),
+            "extractor" => {
+                let name = value.as_str().ok_or_else(|| {
+                    ProtocolError::new("config field `extractor` must be a string")
+                })?;
+                let canonical = esyn_extract::canonical_engine_name(name).ok_or_else(|| {
+                    ProtocolError::new(format!(
+                        "unknown extractor `{name}` (available: {})",
+                        esyn_extract::ENGINE_NAMES.join(", ")
+                    ))
+                })?;
+                o.extractor = Some(canonical);
+            }
+            "threads" => {
+                let t = usize_field(value, key)?;
+                if t == 0 {
+                    return Err(ProtocolError::new(
+                        "config field `threads` must be positive",
+                    ));
+                }
+                o.threads = Some(t);
+            }
+            "verify" => {
+                o.verify =
+                    Some(value.as_bool().ok_or_else(|| {
+                        ProtocolError::new("config field `verify` must be a boolean")
+                    })?)
+            }
+            "use_choices" => {
+                o.use_choices = Some(value.as_bool().ok_or_else(|| {
+                    ProtocolError::new("config field `use_choices` must be a boolean")
+                })?)
+            }
+            other => {
+                return Err(ProtocolError::new(format!(
+                    "unknown config field `{other}`"
+                )))
+            }
+        }
+    }
+    Ok(o)
+}
+
+/// The content-addressed result payload — everything a one-shot
+/// `esyn optimize` reports, minus wall-clock.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResultPayload {
+    /// The optimised network, in equation format.
+    pub eqn: String,
+    /// Post-mapping area (µm²).
+    pub area: f64,
+    /// Post-mapping delay (ps).
+    pub delay: f64,
+    /// Mapped gate count.
+    pub gates: usize,
+    /// Mapped logic depth.
+    pub levels: usize,
+    /// Candidate-pool size.
+    pub pool_size: usize,
+    /// E-graph size at extraction time.
+    pub egraph_nodes: usize,
+    /// E-class count at extraction time.
+    pub egraph_classes: usize,
+    /// Why saturation stopped (debug rendering of `StopReason`).
+    pub stop: String,
+    /// CEC verdict (`None` when verification was off).
+    pub verified: Option<bool>,
+    /// Model score of the winning candidate.
+    pub predicted_cost: f64,
+    /// The job's cache key.
+    pub key: CacheKey,
+}
+
+impl ResultPayload {
+    /// Builds the payload from a finished optimize run.
+    pub fn from_result(r: &EsynResult, key: CacheKey) -> Self {
+        ResultPayload {
+            eqn: r.network.to_eqn(),
+            area: r.qor.area,
+            delay: r.qor.delay,
+            gates: r.qor.gates,
+            levels: r.qor.levels,
+            pool_size: r.pool_size,
+            egraph_nodes: r.egraph_nodes,
+            egraph_classes: r.egraph_classes,
+            stop: format!("{:?}", r.stop_reason),
+            verified: r.verified,
+            predicted_cost: r.predicted_cost,
+            key,
+        }
+    }
+
+    /// Encodes the payload as its canonical JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("eqn".into(), Json::Str(self.eqn.clone())),
+            ("area".into(), Json::Num(self.area)),
+            ("delay".into(), Json::Num(self.delay)),
+            ("gates".into(), Json::Num(self.gates as f64)),
+            ("levels".into(), Json::Num(self.levels as f64)),
+            ("pool".into(), Json::Num(self.pool_size as f64)),
+            ("egraph_nodes".into(), Json::Num(self.egraph_nodes as f64)),
+            (
+                "egraph_classes".into(),
+                Json::Num(self.egraph_classes as f64),
+            ),
+            ("stop".into(), Json::Str(self.stop.clone())),
+            (
+                "verified".into(),
+                match self.verified {
+                    Some(b) => Json::Bool(b),
+                    None => Json::Null,
+                },
+            ),
+            ("predicted_cost".into(), Json::Num(self.predicted_cost)),
+            (
+                "circuit_hash".into(),
+                Json::Str(format!("{:016x}", self.key.circuit)),
+            ),
+            (
+                "config_hash".into(),
+                Json::Str(format!("{:016x}", self.key.config)),
+            ),
+        ])
+    }
+}
+
+/// A `result` line. `result_json` is the pre-encoded payload object
+/// (cached results splice their stored bytes verbatim, so a warm hit is
+/// byte-identical to the cold response that filled it).
+pub fn result_line(id: &str, cached: bool, result_json: &str) -> String {
+    format!(
+        "{{\"reply\":\"result\",\"id\":{},\"cached\":{cached},\"result\":{result_json}}}",
+        json::quote(id),
+    )
+}
+
+/// A backpressure rejection: the bounded queue is full.
+pub fn busy_line(id: &str, queued: usize, cap: usize) -> String {
+    format!(
+        "{{\"reply\":\"busy\",\"id\":{},\"ok\":false,\"error\":{}}}",
+        json::quote(id),
+        json::quote(&format!("queue full ({queued}/{cap} jobs queued)")),
+    )
+}
+
+/// An error response; `id` is echoed when the request carried one.
+pub fn error_line(id: Option<&str>, message: &str, position: Option<usize>) -> String {
+    let mut fields = vec![("reply".to_owned(), Json::Str("error".into()))];
+    if let Some(id) = id {
+        fields.push(("id".into(), Json::Str(id.to_owned())));
+    }
+    fields.push(("ok".into(), Json::Bool(false)));
+    fields.push(("error".into(), Json::Str(message.to_owned())));
+    if let Some(p) = position {
+        fields.push(("position".into(), Json::Num(p as f64)));
+    }
+    Json::Obj(fields).encode()
+}
+
+/// The `pong` liveness reply.
+pub fn pong_line() -> String {
+    "{\"reply\":\"pong\",\"ok\":true}".to_owned()
+}
+
+/// Server counters for the `stats` reply and the load-test bench.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs completed (including cache hits).
+    pub completed: u64,
+    /// Jobs rejected with a `busy` reply.
+    pub rejected: u64,
+    /// Jobs that failed with an error.
+    pub errors: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Cache evictions.
+    pub cache_evictions: u64,
+    /// Entries currently cached.
+    pub cache_len: usize,
+    /// Jobs currently queued.
+    pub queued: usize,
+    /// Queue capacity.
+    pub queue_cap: usize,
+    /// Worker-thread count.
+    pub workers: usize,
+}
+
+/// The `stats` reply.
+pub fn stats_line(s: &StatsSnapshot) -> String {
+    Json::Obj(vec![
+        ("reply".into(), Json::Str("stats".into())),
+        ("ok".into(), Json::Bool(true)),
+        ("submitted".into(), Json::Num(s.submitted as f64)),
+        ("completed".into(), Json::Num(s.completed as f64)),
+        ("rejected".into(), Json::Num(s.rejected as f64)),
+        ("errors".into(), Json::Num(s.errors as f64)),
+        ("cache_hits".into(), Json::Num(s.cache_hits as f64)),
+        ("cache_misses".into(), Json::Num(s.cache_misses as f64)),
+        (
+            "cache_evictions".into(),
+            Json::Num(s.cache_evictions as f64),
+        ),
+        ("cache_len".into(), Json::Num(s.cache_len as f64)),
+        ("queued".into(), Json::Num(s.queued as f64)),
+        ("queue_cap".into(), Json::Num(s.queue_cap as f64)),
+        ("workers".into(), Json::Num(s.workers as f64)),
+    ])
+    .encode()
+}
+
+/// The `shutdown` acknowledgement, sent after the queue has drained.
+pub fn shutdown_line(completed: u64) -> String {
+    format!("{{\"reply\":\"shutdown\",\"ok\":true,\"completed\":{completed}}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_submit_with_overrides() {
+        let line = r#"{"op":"submit","id":"j1","format":"name","circuit":"adder",
+            "objective":"area","config":{"iter_limit":4,"samples":8,"seed":7,
+            "extractor":"greedy-dag","threads":2,"verify":false}}"#;
+        let Request::Submit(s) = parse_request(line).unwrap() else {
+            panic!("expected submit");
+        };
+        assert_eq!(s.id, "j1");
+        assert_eq!(s.format, CircuitFormat::Name);
+        assert_eq!(s.objective, Objective::Area);
+        assert_eq!(s.overrides.iter_limit, Some(4));
+        assert_eq!(s.overrides.threads, Some(2));
+        assert_eq!(s.overrides.extractor, Some("greedy-dag"));
+        let cfg = s.overrides.apply(&EsynConfig::default());
+        assert_eq!(cfg.limits.iter_limit, 4);
+        assert_eq!(cfg.pool.num_samples, 8);
+        assert!(cfg.pool.include_dag_extreme);
+        assert_eq!(cfg.parallelism, Parallelism::Fixed(2));
+        assert!(!cfg.verify);
+    }
+
+    #[test]
+    fn rejects_unknown_config_keys_and_ops() {
+        let e = parse_request(
+            r#"{"op":"submit","id":"x","format":"eqn","circuit":"","config":{"iter_limt":3}}"#,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("iter_limt"), "{e}");
+        let e = parse_request(r#"{"op":"frobnicate"}"#).unwrap_err();
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn json_syntax_errors_carry_positions() {
+        let e = parse_request("{\"op\": ").unwrap_err();
+        assert_eq!(e.position, Some(7));
+    }
+
+    #[test]
+    fn control_lines_are_stable() {
+        assert_eq!(pong_line(), "{\"reply\":\"pong\",\"ok\":true}");
+        assert!(busy_line("a\"b", 3, 3).contains("\\\""));
+        let line = result_line("j", true, "{\"x\":1}");
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("reply").and_then(Json::as_str), Some("result"));
+        assert_eq!(v.get("cached").and_then(Json::as_bool), Some(true));
+        assert!(v.get("result").is_some());
+    }
+}

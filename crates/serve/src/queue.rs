@@ -1,0 +1,195 @@
+//! A bounded MPMC job queue with *explicit* backpressure: submission
+//! never blocks — a full queue is reported to the caller (who turns it
+//! into a `busy` protocol reply) instead of being absorbed into hidden
+//! latency. Workers block on [`Bounded::pop`]; [`Bounded::close`] +
+//! [`Bounded::drain`] implement graceful shutdown: no new work is
+//! admitted, queued and in-flight jobs run to completion, then the
+//! drain-waiter is released and poppers see `None`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; carries `(queued, cap)`.
+    Full(usize, usize),
+    /// The queue has been closed (server shutting down).
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    in_flight: usize,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+pub struct Bounded<T> {
+    cap: usize,
+    state: Mutex<State<T>>,
+    /// Signalled when an item arrives or the queue closes (wakes `pop`).
+    pop_cv: Condvar,
+    /// Signalled when the queue may have fully drained (wakes `drain`).
+    drain_cv: Condvar,
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `cap` queued (not yet popped) items.
+    pub fn new(cap: usize) -> Self {
+        Bounded {
+            cap: cap.max(1),
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                in_flight: 0,
+                closed: false,
+            }),
+            pop_cv: Condvar::new(),
+            drain_cv: Condvar::new(),
+        }
+    }
+
+    /// Queue capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Items currently queued (not yet claimed by a worker).
+    pub fn queued(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// Non-blocking push: `Err(Full)` is the backpressure signal.
+    pub fn try_push(&self, item: T) -> Result<(), SubmitError> {
+        let mut s = self.state.lock().unwrap();
+        if s.closed {
+            return Err(SubmitError::Closed);
+        }
+        if s.items.len() >= self.cap {
+            return Err(SubmitError::Full(s.items.len(), self.cap));
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.pop_cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available (claiming it and marking it
+    /// in-flight) or the queue is closed *and* empty (`None`). Every
+    /// popped item must be balanced by one [`Bounded::task_done`] call.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                s.in_flight += 1;
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.pop_cv.wait(s).unwrap();
+        }
+    }
+
+    /// Marks one previously popped item finished.
+    pub fn task_done(&self) {
+        let mut s = self.state.lock().unwrap();
+        debug_assert!(s.in_flight > 0, "task_done without a matching pop");
+        s.in_flight -= 1;
+        let drained = s.items.is_empty() && s.in_flight == 0;
+        drop(s);
+        if drained {
+            self.drain_cv.notify_all();
+        }
+    }
+
+    /// Stops admitting new items and wakes all blocked poppers (which
+    /// drain the backlog and then observe `None`).
+    pub fn close(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.closed = true;
+        let drained = s.items.is_empty() && s.in_flight == 0;
+        drop(s);
+        self.pop_cv.notify_all();
+        if drained {
+            self.drain_cv.notify_all();
+        }
+    }
+
+    /// True once [`Bounded::close`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
+    }
+
+    /// Blocks until the queue is closed, empty and nothing is in flight.
+    pub fn drain(&self) {
+        let mut s = self.state.lock().unwrap();
+        while !(s.closed && s.items.is_empty() && s.in_flight == 0) {
+            s = self.drain_cv.wait(s).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn backpressure_is_explicit() {
+        let q: Bounded<u32> = Bounded::new(2);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Ok(()));
+        assert_eq!(q.try_push(3), Err(SubmitError::Full(2, 2)));
+        assert_eq!(q.pop(), Some(1));
+        q.task_done();
+        assert_eq!(q.try_push(3), Ok(()));
+    }
+
+    #[test]
+    fn closed_queue_rejects_and_unblocks() {
+        let q: Arc<Bounded<u32>> = Arc::new(Bounded::new(4));
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        q.close();
+        assert_eq!(popper.join().unwrap(), None);
+        assert_eq!(q.try_push(1), Err(SubmitError::Closed));
+    }
+
+    #[test]
+    fn drain_waits_for_in_flight_work() {
+        let q: Arc<Bounded<u32>> = Arc::new(Bounded::new(4));
+        q.try_push(7).unwrap();
+        let worker = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let item = q.pop().unwrap();
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                q.task_done();
+                item
+            })
+        };
+        q.close();
+        q.drain(); // must not return before task_done
+        assert_eq!(worker.join().unwrap(), 7);
+        assert_eq!(q.queued(), 0);
+    }
+
+    #[test]
+    fn workers_drain_backlog_after_close() {
+        let q: Arc<Bounded<u32>> = Arc::new(Bounded::new(8));
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        q.close();
+        let mut got = Vec::new();
+        while let Some(x) = q.pop() {
+            got.push(x);
+            q.task_done();
+        }
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        q.drain();
+    }
+}

@@ -1,0 +1,104 @@
+//! Front-ends over the [`Engine`]: a `std::net` TCP listener (one
+//! reader + one writer thread per connection, JSON-lines both ways) and
+//! a stdin/stdout mode for pipelines and CI smoke runs. No async
+//! runtime: blocking I/O plus the engine's own worker pool already
+//! overlaps every job with every connection.
+
+use crate::engine::Engine;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+
+/// Spawns a writer thread that serialises response lines onto `out`,
+/// flushing after each so results stream as they complete.
+fn spawn_writer<W: Write + Send + 'static>(
+    out: W,
+    rx: Receiver<String>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut w = BufWriter::new(out);
+        for line in &rx {
+            if writeln!(w, "{line}").and_then(|()| w.flush()).is_err() {
+                // Client went away; drain silently so senders never block.
+                for _ in rx.iter() {}
+                return;
+            }
+        }
+        let _ = w.flush();
+    })
+}
+
+fn handle_connection(engine: Arc<Engine>, stream: TcpStream, self_addr: SocketAddr) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx): (Sender<String>, Receiver<String>) = channel();
+    let writer = spawn_writer(write_half, rx);
+    let reader = BufReader::new(stream);
+    let mut shutdown = false;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if engine.handle_line(&line, &tx) {
+            shutdown = true;
+            break;
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+    if shutdown {
+        // Wake the accept loop so it observes the shutdown flag; the
+        // throwaway connection is closed immediately.
+        let _ = TcpStream::connect(self_addr);
+    }
+}
+
+/// Serves `engine` on `listener` until a client sends `shutdown` (or the
+/// engine is shut down externally). Each connection gets its own reader
+/// and writer thread; responses stream in completion order, tagged with
+/// the client's job ids. Returns after the queue has drained and every
+/// connection thread has finished.
+pub fn serve_tcp(engine: Arc<Engine>, listener: TcpListener) -> std::io::Result<()> {
+    let addr = listener.local_addr()?;
+    let mut conns = Vec::new();
+    for stream in listener.incoming() {
+        if engine.is_shutting_down() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let e = Arc::clone(&engine);
+        conns.push(std::thread::spawn(move || {
+            handle_connection(e, stream, addr)
+        }));
+    }
+    for c in conns {
+        let _ = c.join();
+    }
+    Ok(())
+}
+
+/// Serves `engine` over stdin/stdout: one request per input line, one
+/// response per output line (streamed in completion order). End of
+/// input triggers the same graceful drain as a `shutdown` request, so
+/// piping a batch of submissions through this mode always yields every
+/// result.
+pub fn serve_stdio(engine: Arc<Engine>) {
+    let (tx, rx): (Sender<String>, Receiver<String>) = channel();
+    let writer = spawn_writer(std::io::stdout(), rx);
+    let stdin = std::io::stdin();
+    let mut shutdown = false;
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if engine.handle_line(&line, &tx) {
+            shutdown = true;
+            break;
+        }
+    }
+    if !shutdown {
+        // EOF: drain in-flight jobs so every submitted result is
+        // delivered before the writer closes.
+        engine.shutdown();
+    }
+    drop(tx);
+    let _ = writer.join();
+}

@@ -1,0 +1,325 @@
+//! Cache-correctness tests for the serve engine (ISSUE satellite 3):
+//!
+//! * a warm hit replays the cold computation's bytes exactly;
+//! * configurations that differ in any knob — extractor, threads,
+//!   saturation budgets, seed, objective, … — never alias a cache key;
+//! * eviction is deterministic: same insert/get sequence, same
+//!   evictions, and a re-computed evicted entry reproduces its original
+//!   bytes.
+
+use esyn_core::{cache_key, train_cost_models, Objective, Parallelism, TrainConfig};
+use esyn_serve::cache::ResultCache;
+use esyn_serve::json::{self, Json};
+use esyn_serve::protocol::JobOverrides;
+use esyn_serve::{Engine, ServeConfig};
+use esyn_techmap::Library;
+use std::collections::HashSet;
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One worker so responses arrive in submission order; generous cache.
+fn test_engine(cache_cap: usize) -> Arc<Engine> {
+    let lib = Library::asap7_like();
+    let models = train_cost_models(&TrainConfig::tiny(), &lib);
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_cap: 16,
+        cache_cap,
+        ..ServeConfig::default()
+    };
+    Engine::new(models, lib, cfg)
+}
+
+/// A fast submit line for the registry circuit `name`.
+fn submit_line(id: &str, name: &str, extra: &str) -> String {
+    format!(
+        r#"{{"op":"submit","id":"{id}","format":"name","circuit":"{name}","config":{{"iter_limit":3,"node_limit":2000,"samples":6{extra}}}}}"#
+    )
+}
+
+fn recv_reply(rx: &Receiver<String>) -> Json {
+    let line = rx
+        .recv_timeout(Duration::from_secs(180))
+        .expect("reply within deadline");
+    json::parse(&line).expect("reply is valid JSON")
+}
+
+/// (`cached` flag, canonical bytes of the `result` object). Encoding the
+/// parsed object is byte-faithful because `encode` is a fixed point of
+/// `parse` (pinned in `protocol_props.rs`).
+fn result_parts(reply: &Json) -> (bool, String) {
+    assert_eq!(
+        reply.get("reply").and_then(Json::as_str),
+        Some("result"),
+        "expected a result line, got {}",
+        reply.encode()
+    );
+    let cached = reply
+        .get("cached")
+        .and_then(Json::as_bool)
+        .expect("cached flag");
+    let bytes = reply.get("result").expect("result object").encode();
+    (cached, bytes)
+}
+
+#[test]
+fn warm_hits_replay_cold_bytes_exactly() {
+    let engine = test_engine(8);
+    let (tx, rx) = channel();
+    engine.handle_line(&submit_line("cold", "3_3", ""), &tx);
+    let (cached_cold, bytes_cold) = result_parts(&recv_reply(&rx));
+    assert!(!cached_cold, "first submission must be a miss");
+
+    engine.handle_line(&submit_line("warm", "3_3", ""), &tx);
+    let (cached_warm, bytes_warm) = result_parts(&recv_reply(&rx));
+    assert!(cached_warm, "identical resubmission must hit the cache");
+    assert_eq!(bytes_warm, bytes_cold, "warm bytes differ from cold bytes");
+
+    let stats = engine.stats();
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_len, 1);
+    engine.shutdown();
+}
+
+#[test]
+fn every_config_knob_separates_the_cache_key() {
+    // Key-level: apply one-override-at-a-time variants of the server's
+    // default job config and require pairwise-distinct cache keys.
+    let net = esyn_circuits::by_name("3_3").expect("registry circuit");
+    let base = ServeConfig::default().base;
+    let mut overrides: Vec<(&str, JobOverrides)> = vec![("base", JobOverrides::default())];
+    overrides.push((
+        "iter_limit",
+        JobOverrides {
+            iter_limit: Some(base.limits.iter_limit + 1),
+            ..Default::default()
+        },
+    ));
+    overrides.push((
+        "node_limit",
+        JobOverrides {
+            node_limit: Some(base.limits.node_limit / 2),
+            ..Default::default()
+        },
+    ));
+    overrides.push((
+        "time_limit_ms",
+        JobOverrides {
+            time_limit_ms: Some(1_234_567),
+            ..Default::default()
+        },
+    ));
+    overrides.push((
+        "samples",
+        JobOverrides {
+            samples: Some(base.pool.num_samples + 1),
+            ..Default::default()
+        },
+    ));
+    overrides.push((
+        "seed",
+        JobOverrides {
+            seed: Some(base.pool.seed.wrapping_add(1)),
+            ..Default::default()
+        },
+    ));
+    for engine in ["greedy-dag", "global-greedy-dag", "bottom-up"] {
+        overrides.push((
+            engine,
+            JobOverrides {
+                extractor: Some(esyn_extract::canonical_engine_name(engine).expect("known engine")),
+                ..Default::default()
+            },
+        ));
+    }
+    for threads in [1usize, 2, 4] {
+        overrides.push((
+            "threads",
+            JobOverrides {
+                threads: Some(threads),
+                ..Default::default()
+            },
+        ));
+    }
+    overrides.push((
+        "verify",
+        JobOverrides {
+            verify: Some(!base.verify),
+            ..Default::default()
+        },
+    ));
+    overrides.push((
+        "use_choices",
+        JobOverrides {
+            use_choices: Some(!base.use_choices),
+            ..Default::default()
+        },
+    ));
+
+    let mut seen = HashSet::new();
+    for (label, o) in &overrides {
+        let cfg = o.apply(&base);
+        for objective in [Objective::Delay, Objective::Area, Objective::Balanced] {
+            let key = cache_key(&net, objective, &cfg);
+            assert!(
+                seen.insert(key),
+                "cache key aliased for override `{label}` under {objective:?}"
+            );
+        }
+    }
+    // Sanity: the same config re-keys identically (keys are pure).
+    let again = cache_key(&net, Objective::Delay, &base);
+    let first = cache_key(
+        &net,
+        Objective::Delay,
+        &JobOverrides::default().apply(&base),
+    );
+    assert_eq!(again, first);
+}
+
+#[test]
+fn parallelism_is_part_of_the_key_but_thread_count_never_changes_content() {
+    // `threads` is keyed conservatively (different key → both requests
+    // miss), yet the esyn-par contract means the synthesis *content*
+    // still matches bit-for-bit. The payload embeds its own cache key
+    // (`config_hash` differs by construction), so the comparison strips
+    // the key fields and checks everything else byte-for-byte.
+    let strip_key = |bytes: &str| {
+        let Json::Obj(fields) = json::parse(bytes).expect("payload JSON") else {
+            panic!("payload must be an object");
+        };
+        Json::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "circuit_hash" && k != "config_hash")
+                .collect(),
+        )
+        .encode()
+    };
+    let engine = test_engine(8);
+    let (tx, rx) = channel();
+    engine.handle_line(&submit_line("t1", "3_3", r#","threads":1"#), &tx);
+    let (c1, bytes_t1) = result_parts(&recv_reply(&rx));
+    engine.handle_line(&submit_line("t2", "3_3", r#","threads":2"#), &tx);
+    let (c2, bytes_t2) = result_parts(&recv_reply(&rx));
+    assert!(
+        !c1 && !c2,
+        "distinct thread counts must both miss the cache"
+    );
+    assert_ne!(bytes_t1, bytes_t2, "the embedded config_hash must differ");
+    assert_eq!(
+        strip_key(&bytes_t1),
+        strip_key(&bytes_t2),
+        "thread count changed the synthesis content (determinism contract broken)"
+    );
+    let stats = engine.stats();
+    assert_eq!(stats.cache_misses, 2);
+    assert_eq!(stats.cache_hits, 0);
+    engine.shutdown();
+}
+
+#[test]
+fn differing_seeds_miss_then_rehit_their_own_entries() {
+    let engine = test_engine(8);
+    let (tx, rx) = channel();
+    engine.handle_line(&submit_line("a", "3_3", r#","seed":11"#), &tx);
+    let (c, bytes_seed11) = result_parts(&recv_reply(&rx));
+    assert!(!c);
+    engine.handle_line(&submit_line("b", "3_3", r#","seed":12"#), &tx);
+    let (c, _) = result_parts(&recv_reply(&rx));
+    assert!(!c, "different seed must not alias");
+    engine.handle_line(&submit_line("c", "3_3", r#","seed":11"#), &tx);
+    let (c, bytes_again) = result_parts(&recv_reply(&rx));
+    assert!(c, "original seed must re-hit its entry");
+    assert_eq!(bytes_again, bytes_seed11);
+    engine.shutdown();
+}
+
+#[test]
+fn eviction_is_deterministic_at_the_cache_level() {
+    let key = |i: u64| esyn_core::CacheKey {
+        circuit: i,
+        config: i ^ 0xABCD,
+    };
+    let run = || {
+        let mut cache = ResultCache::new(2);
+        let mut evicted = Vec::new();
+        cache.insert(key(1), Arc::from("one"));
+        cache.insert(key(2), Arc::from("two"));
+        assert!(cache.get(&key(1)).is_some()); // refresh 1 → 2 is now LRU
+        cache.insert(key(3), Arc::from("three"));
+        for i in 1..=3 {
+            if !cache.contains(&key(i)) {
+                evicted.push(i);
+            }
+        }
+        (evicted, cache.evictions(), cache.len())
+    };
+    let first = run();
+    assert_eq!(first, (vec![2], 1, 2), "LRU must evict the stale entry");
+    // Logical-tick recency (never wall-clock) makes reruns identical.
+    assert_eq!(run(), first, "eviction sequence must be reproducible");
+}
+
+#[test]
+fn evicted_entries_recompute_to_identical_bytes() {
+    // cache_cap = 1: submitting A, B, A forces A's eviction and
+    // recomputation; the recomputed payload must equal the original.
+    let engine = test_engine(1);
+    let (tx, rx) = channel();
+    engine.handle_line(&submit_line("a1", "3_3", ""), &tx);
+    let (c, bytes_first) = result_parts(&recv_reply(&rx));
+    assert!(!c);
+    engine.handle_line(&submit_line("b", "qadd", ""), &tx);
+    let (c, _) = result_parts(&recv_reply(&rx));
+    assert!(!c);
+    engine.handle_line(&submit_line("a2", "3_3", ""), &tx);
+    let (c, bytes_second) = result_parts(&recv_reply(&rx));
+    assert!(!c, "evicted entry must recompute, not hit");
+    assert_eq!(
+        bytes_second, bytes_first,
+        "recomputation after eviction changed the payload"
+    );
+    let stats = engine.stats();
+    assert_eq!(
+        stats.cache_evictions, 2,
+        "cap-1 cache must evict on each new key"
+    );
+    assert_eq!(stats.cache_len, 1);
+    engine.shutdown();
+}
+
+#[test]
+fn cache_can_be_disabled() {
+    let engine = test_engine(0);
+    let (tx, rx) = channel();
+    engine.handle_line(&submit_line("x", "3_3", ""), &tx);
+    let (c, bytes_a) = result_parts(&recv_reply(&rx));
+    engine.handle_line(&submit_line("y", "3_3", ""), &tx);
+    let (c2, bytes_b) = result_parts(&recv_reply(&rx));
+    assert!(!c && !c2, "cap 0 must disable caching entirely");
+    assert_eq!(bytes_a, bytes_b, "determinism holds with the cache off");
+    engine.shutdown();
+}
+
+#[test]
+fn base_parallelism_differs_from_fixed_threads() {
+    // The server's serial default and an explicit `threads:1` override
+    // are different configurations (Serial vs Fixed(1)) and must key
+    // separately — conservative, but it means a client can never
+    // observe a stale entry after the server's default changes.
+    let net = esyn_circuits::by_name("3_3").expect("registry circuit");
+    let base = ServeConfig::default().base;
+    assert_eq!(base.parallelism, Parallelism::Serial);
+    let fixed1 = JobOverrides {
+        threads: Some(1),
+        ..Default::default()
+    }
+    .apply(&base);
+    assert_ne!(
+        cache_key(&net, Objective::Delay, &base),
+        cache_key(&net, Objective::Delay, &fixed1)
+    );
+}

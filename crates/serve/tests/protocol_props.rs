@@ -1,0 +1,262 @@
+//! Seeded-loop property tests for the serve JSON-lines codec.
+//!
+//! The properties mirror what the protocol relies on (see
+//! `crates/serve/src/json.rs`): deterministic, byte-stable encoding —
+//! `encode(parse(encode(v))) == encode(v)` — and panic-free,
+//! position-carrying rejection of malformed input. Every case derives
+//! its generator from the test name and case index, so a failure
+//! message's `case N` reproduces exactly (same scheme as
+//! `tests/equivalence_properties.rs`).
+
+use esyn_serve::json::{self, Json};
+use esyn_serve::protocol::{parse_request, Request};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cases per property.
+const CASES: u64 = 48;
+
+/// Deterministic per-case generator: FNV-1a over the test name, mixed
+/// with the case index.
+fn case_rng(test: &str, case: u64) -> StdRng {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A random string mixing ASCII, escapes, control characters and
+/// astral-plane scalars (the surrogate-pair encoding path).
+fn random_string(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(0usize..12);
+    (0..len)
+        .map(|_| match rng.gen_range(0u32..8) {
+            0 => '"',
+            1 => '\\',
+            2 => '\n',
+            3 => '\u{7}',
+            4 => '\u{1F600}',
+            5 => 'é',
+            _ => char::from(rng.gen_range(b' '..b'~')),
+        })
+        .collect()
+}
+
+/// A random finite number, biased toward the integers the protocol
+/// mostly carries but covering fractions, exponents and negatives.
+fn random_num(rng: &mut StdRng) -> f64 {
+    match rng.gen_range(0u32..4) {
+        0 => rng.gen_range(0u64..1_000_000) as f64,
+        1 => -(rng.gen_range(0u64..1_000) as f64),
+        2 => rng.gen_range(0u64..1 << 16) as f64 / 256.0,
+        _ => {
+            // Arbitrary bit patterns, rejecting non-finite draws.
+            loop {
+                let v = f64::from_bits(rng.gen::<u64>());
+                if v.is_finite() {
+                    return v;
+                }
+            }
+        }
+    }
+}
+
+/// A random JSON document of bounded depth.
+fn random_json(rng: &mut StdRng, depth: usize) -> Json {
+    let scalar_only = depth == 0;
+    match rng.gen_range(0u32..if scalar_only { 4 } else { 6 }) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen_range(0u32..2) == 0),
+        2 => Json::Num(random_num(rng)),
+        3 => Json::Str(random_string(rng)),
+        4 => {
+            let n = rng.gen_range(0usize..5);
+            Json::Arr((0..n).map(|_| random_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.gen_range(0usize..5);
+            Json::Obj(
+                (0..n)
+                    .map(|i| {
+                        (
+                            format!("k{i}_{}", random_string(rng)),
+                            random_json(rng, depth - 1),
+                        )
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+#[test]
+fn encode_parse_round_trips_structurally() {
+    for case in 0..CASES {
+        let mut rng = case_rng("encode_parse_round_trips_structurally", case);
+        let v = random_json(&mut rng, 3);
+        let text = v.encode();
+        let back = json::parse(&text).unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+        assert_eq!(back, v, "case {case}: structural round trip\n{text}");
+    }
+}
+
+#[test]
+fn encoding_is_a_byte_level_fixed_point() {
+    // The cache stores encoded bytes and warm hits splice them verbatim,
+    // so re-encoding a parsed response must reproduce it byte for byte.
+    for case in 0..CASES {
+        let mut rng = case_rng("encoding_is_a_byte_level_fixed_point", case);
+        let v = random_json(&mut rng, 3);
+        let once = v.encode();
+        let twice = json::parse(&once).unwrap().encode();
+        assert_eq!(twice, once, "case {case}: encode is not a fixed point");
+    }
+}
+
+#[test]
+fn mutated_documents_never_panic_and_errors_carry_positions() {
+    for case in 0..CASES {
+        let mut rng = case_rng("mutated_documents_never_panic", case);
+        let text = random_json(&mut rng, 2).encode();
+        let chars: Vec<char> = text.chars().collect();
+        // Char-level mutations keep the input valid UTF-8 while breaking
+        // the JSON grammar in assorted ways.
+        let mutated: String = match rng.gen_range(0u32..4) {
+            0 => chars[..rng.gen_range(0usize..chars.len() + 1)]
+                .iter()
+                .collect(),
+            1 => {
+                let mut c = chars.clone();
+                let at = rng.gen_range(0usize..c.len() + 1);
+                c.insert(
+                    at,
+                    ['{', '}', ',', ':', 'x', '\\'][rng.gen_range(0usize..6)],
+                );
+                c.into_iter().collect()
+            }
+            2 => {
+                let mut c = chars.clone();
+                if !c.is_empty() {
+                    c.remove(rng.gen_range(0usize..c.len()));
+                }
+                c.into_iter().collect()
+            }
+            _ => {
+                let mut c = chars.clone();
+                if !c.is_empty() {
+                    let at = rng.gen_range(0usize..c.len());
+                    c[at] = char::from(rng.gen_range(b'!'..b'~'));
+                }
+                c.into_iter().collect()
+            }
+        };
+        // A mutation may still be valid JSON; the property is only that
+        // the parser never panics and any rejection names a byte offset
+        // within the input.
+        if let Err(e) = json::parse(&mutated) {
+            assert!(
+                e.position <= mutated.len(),
+                "case {case}: position {} out of range for {mutated:?}",
+                e.position
+            );
+            assert!(!e.message.is_empty(), "case {case}: empty message");
+        }
+    }
+}
+
+#[test]
+fn garbage_never_panics() {
+    for case in 0..CASES {
+        let mut rng = case_rng("garbage_never_panics", case);
+        let len = rng.gen_range(0usize..40);
+        let garbage: String = (0..len)
+            .map(|_| char::from(rng.gen_range(0x20u8..0x7F)))
+            .collect();
+        if let Err(e) = json::parse(&garbage) {
+            assert!(e.position <= garbage.len(), "case {case}");
+        }
+    }
+}
+
+#[test]
+fn submit_lines_round_trip_through_parse_request() {
+    // Build a random submit request as JSON text, decode it through the
+    // protocol layer and check that every override survives.
+    for case in 0..CASES {
+        let mut rng = case_rng("submit_lines_round_trip", case);
+        let iter_limit = rng.gen_range(1usize..16);
+        let samples = rng.gen_range(1usize..64);
+        let seed = rng.gen_range(0u64..1 << 40);
+        let threads = rng.gen_range(1usize..8);
+        let verify = rng.gen_range(0u32..2) == 0;
+        let objective = ["delay", "area", "balanced"][rng.gen_range(0usize..3)];
+        let id = random_string(&mut rng);
+        let line = Json::Obj(vec![
+            ("op".into(), Json::Str("submit".into())),
+            ("id".into(), Json::Str(id.clone())),
+            ("format".into(), Json::Str("name".into())),
+            ("circuit".into(), Json::Str("adder".into())),
+            ("objective".into(), Json::Str(objective.into())),
+            (
+                "config".into(),
+                Json::Obj(vec![
+                    ("iter_limit".into(), Json::Num(iter_limit as f64)),
+                    ("samples".into(), Json::Num(samples as f64)),
+                    ("seed".into(), Json::Num(seed as f64)),
+                    ("threads".into(), Json::Num(threads as f64)),
+                    ("verify".into(), Json::Bool(verify)),
+                ]),
+            ),
+        ])
+        .encode();
+        let Ok(Request::Submit(s)) = parse_request(&line) else {
+            panic!("case {case}: submit line rejected: {line}");
+        };
+        assert_eq!(s.id, id, "case {case}");
+        assert_eq!(s.overrides.iter_limit, Some(iter_limit), "case {case}");
+        assert_eq!(s.overrides.samples, Some(samples), "case {case}");
+        assert_eq!(s.overrides.seed, Some(seed), "case {case}");
+        assert_eq!(s.overrides.threads, Some(threads), "case {case}");
+        assert_eq!(s.overrides.verify, Some(verify), "case {case}");
+    }
+}
+
+#[test]
+fn unknown_config_keys_are_always_rejected() {
+    // A typo'd key must fail loudly rather than silently aliasing the
+    // default config's cache key.
+    for case in 0..CASES {
+        let mut rng = case_rng("unknown_config_keys_are_always_rejected", case);
+        let bogus = format!("bogus_{}", rng.gen_range(0u32..1000));
+        let line = format!(
+            r#"{{"op":"submit","id":"x","format":"name","circuit":"adder","config":{{"{bogus}":1}}}}"#
+        );
+        let e = parse_request(&line).expect_err("unknown key must be rejected");
+        assert!(e.message.contains(&bogus), "case {case}: {e}");
+    }
+}
+
+#[test]
+fn malformed_request_lines_carry_json_positions() {
+    // Truncating a valid request at any char boundary either still
+    // parses (prefix happened to be complete) or yields an error whose
+    // position lands inside the input — the client-visible contract for
+    // `{"reply":"error",...,"position":N}` lines.
+    let full =
+        r#"{"op":"submit","id":"j1","format":"name","circuit":"adder","config":{"iter_limit":3}}"#;
+    for cut in 1..full.len() {
+        if !full.is_char_boundary(cut) {
+            continue;
+        }
+        let prefix = &full[..cut];
+        match parse_request(prefix) {
+            Ok(_) => {}
+            Err(e) => {
+                if let Some(p) = e.position {
+                    assert!(p <= prefix.len(), "cut {cut}: position {p} out of range");
+                }
+            }
+        }
+    }
+}

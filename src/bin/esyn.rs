@@ -15,6 +15,9 @@
 //!               [--full] [--threads N]
 //! esyn convert  <in> <out>                         # convert between formats
 //! esyn aig      <file> <out.aag|out.aig>           # strash + AIGER export
+//! esyn serve    [--port N | --stdio]               # batch synthesis service
+//!               [--workers N] [--queue-cap N] [--cache-cap N]
+//!               [--models DIR] [--train tiny|default]
 //! ```
 //!
 //! `optimize --extractor NAME` adds the named `esyn-extract` gym engine's
@@ -22,6 +25,13 @@
 //! arguments races the whole benchmark registry. Engine names for both
 //! come from `esyn_extract::ENGINE_NAMES` (bottom-up, faster-bottom-up,
 //! greedy-dag, faster-greedy-dag, global-greedy-dag, bnb, exact).
+//!
+//! `serve` starts the long-running batch service (`esyn-serve`): a
+//! JSON-lines protocol over TCP (`--port`, `0` picks an ephemeral port)
+//! or stdin/stdout (`--stdio`, the default), a bounded job queue with
+//! `busy` backpressure replies, and a content-addressed result cache
+//! keyed by circuit structural hash × canonical config. See
+//! ARCHITECTURE.md § "esyn-serve".
 //!
 //! `--threads N` pins the worker count for the parallel stages
 //! (saturation rule search, pool sampling, candidate scoring, CEC);
@@ -70,6 +80,7 @@ fn usage() {
     );
     eprintln!("  esyn convert  <in> <out.eqn|out.blif|out.aag|out.aig|out.v>");
     eprintln!("  esyn aig      <file> <out.aag|out.aig>");
+    eprintln!("  esyn serve    [--port N | --stdio] [--workers N] [--queue-cap N] [--cache-cap N] [--models DIR] [--train tiny|default]");
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -89,6 +100,7 @@ fn run(args: &[String]) -> Result<(), String> {
             args.get(1).ok_or("missing input file")?,
             args.get(2).ok_or("missing output file")?,
         ),
+        "serve" => serve(&args[1..]),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -478,6 +490,90 @@ fn gym_cmd(args: &[String]) -> Result<(), String> {
         return Err(format!("{failures} gym check(s) failed"));
     }
     Ok(())
+}
+
+/// `esyn serve` — start the long-running batch synthesis service.
+///
+/// Defaults to stdin/stdout mode; `--port N` listens on TCP instead
+/// (`--port 0` picks an ephemeral port; the bound address is printed to
+/// stdout and flushed before the first accept, so harnesses can parse
+/// it). `--train tiny` trains the small test-grade cost models at
+/// startup instead of loading/training the full set — the fast path CI's
+/// smoke run uses.
+fn serve(args: &[String]) -> Result<(), String> {
+    use e_syn::serve::{serve_stdio, serve_tcp, Engine, ServeConfig};
+
+    let mut port: Option<u16> = None;
+    let mut stdio = false;
+    let mut models_dir = None;
+    let mut train_tiny = false;
+    let mut cfg = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--port" => {
+                let v = it.next().ok_or("--port needs a value")?;
+                port = Some(
+                    v.parse()
+                        .map_err(|_| format!("--port needs a number 0-65535, got `{v}`"))?,
+                );
+            }
+            "--stdio" => stdio = true,
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                cfg.workers = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--workers needs a positive integer, got `{v}`"))?;
+            }
+            "--queue-cap" => {
+                let v = it.next().ok_or("--queue-cap needs a value")?;
+                cfg.queue_cap =
+                    v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        format!("--queue-cap needs a positive integer, got `{v}`")
+                    })?;
+            }
+            "--cache-cap" => {
+                let v = it.next().ok_or("--cache-cap needs a value")?;
+                cfg.cache_cap = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--cache-cap needs a non-negative integer, got `{v}`"))?;
+            }
+            "--models" => models_dir = Some(it.next().ok_or("--models needs a value")?.clone()),
+            "--train" => match it.next().ok_or("--train needs tiny or default")?.as_str() {
+                "tiny" => train_tiny = true,
+                "default" => train_tiny = false,
+                other => return Err(format!("--train needs tiny or default, got `{other}`")),
+            },
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if stdio && port.is_some() {
+        return Err("--stdio and --port are mutually exclusive".into());
+    }
+    let lib = Library::asap7_like();
+    let models = if train_tiny {
+        train_cost_models(&TrainConfig::tiny(), &lib)
+    } else {
+        models_for(models_dir.as_deref(), &lib)
+    };
+    let engine = Engine::new(models, lib, cfg);
+    match port {
+        None => {
+            serve_stdio(engine);
+            Ok(())
+        }
+        Some(p) => {
+            let listener = std::net::TcpListener::bind(("127.0.0.1", p))
+                .map_err(|e| format!("bind 127.0.0.1:{p}: {e}"))?;
+            let addr = listener.local_addr().map_err(|e| e.to_string())?;
+            println!("esyn-serve listening on {addr}");
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+            serve_tcp(engine, listener).map_err(|e| e.to_string())
+        }
+    }
 }
 
 fn aig_export(path: &str, out: &str) -> Result<(), String> {

@@ -77,6 +77,10 @@ pub use esyn_circuits as circuits;
 /// Deterministic fork–join parallelism primitives ([`esyn_par`]).
 pub use esyn_par as par;
 
+/// The batch synthesis service: JSON-lines protocol, bounded job queue,
+/// content-addressed result cache ([`esyn_serve`]).
+pub use esyn_serve as serve;
+
 /// The E-Syn core: rules, pool extraction, cost models, flows
 /// ([`esyn_core`]).
 pub use esyn_core as core;

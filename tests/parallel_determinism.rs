@@ -205,3 +205,103 @@ fn gbdt_model_is_thread_count_invariant() {
         assert_eq!(fit_at(*par), serial, "model differs under {par:?}");
     }
 }
+
+#[test]
+fn serve_results_are_worker_count_and_interleaving_invariant() {
+    // ISSUE satellite 4: concurrent submissions to the batch service at
+    // worker counts {1, 2, 4} yield identical per-job `result` objects
+    // regardless of queue interleaving. Jobs are submitted from one
+    // thread per client so the enqueue order itself races; only the
+    // `cached` flags may differ between runs (a duplicate can hit or
+    // recompute depending on timing — both paths are byte-identical).
+    use e_syn::core::{train_cost_models, TrainConfig};
+    use e_syn::serve::json::{self, Json};
+    use e_syn::serve::{Engine, ServeConfig};
+    use e_syn::techmap::Library;
+    use std::collections::BTreeMap;
+    use std::sync::mpsc::channel;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let lib = Library::asap7_like();
+    let models = train_cost_models(&TrainConfig::tiny(), &lib);
+    let jobs: Vec<(String, String)> = [
+        ("3_3", r#""seed":1"#),
+        ("3_3", r#""seed":2"#),
+        ("qadd", r#""seed":1"#),
+        ("b12", r#""seed":1"#),
+        ("3_3", r#""seed":1"#), // duplicate: may hit or recompute
+        ("max", r#""seed":1"#),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, (circuit, extra))| {
+        (
+            format!("job{i}"),
+            format!(
+                r#"{{"op":"submit","id":"job{i}","format":"name","circuit":"{circuit}","config":{{"iter_limit":3,"node_limit":2000,"samples":6,{extra}}}}}"#
+            ),
+        )
+    })
+    .collect();
+
+    let run_at = |workers: usize| -> BTreeMap<String, String> {
+        let engine = Engine::new(
+            models.clone(),
+            lib.clone(),
+            ServeConfig {
+                workers,
+                queue_cap: 32,
+                cache_cap: 16,
+                ..ServeConfig::default()
+            },
+        );
+        let (tx, rx) = channel();
+        let submitters: Vec<_> = jobs
+            .iter()
+            .cloned()
+            .map(|(_, line)| {
+                let e = Arc::clone(&engine);
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    e.handle_line(&line, &tx);
+                })
+            })
+            .collect();
+        for s in submitters {
+            s.join().expect("submitter thread");
+        }
+        let mut by_id = BTreeMap::new();
+        for _ in 0..jobs.len() {
+            let line = rx
+                .recv_timeout(Duration::from_secs(300))
+                .expect("result within deadline");
+            let reply = json::parse(&line).expect("valid reply JSON");
+            assert_eq!(
+                reply.get("reply").and_then(Json::as_str),
+                Some("result"),
+                "unexpected reply: {line}"
+            );
+            let id = reply.get("id").and_then(Json::as_str).unwrap().to_owned();
+            let bytes = reply.get("result").expect("result object").encode();
+            by_id.insert(id, bytes);
+        }
+        engine.shutdown();
+        by_id
+    };
+
+    let serial = run_at(1);
+    assert_eq!(serial.len(), jobs.len(), "every job must be answered");
+    let (dup, orig) = (&serial["job4"], &serial["job0"]);
+    assert_eq!(
+        dup, orig,
+        "identical submissions must carry identical payloads"
+    );
+    for workers in [2usize, 4] {
+        assert_eq!(
+            run_at(workers),
+            serial,
+            "serve results differ at {workers} workers"
+        );
+    }
+}

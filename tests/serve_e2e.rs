@@ -1,0 +1,292 @@
+//! End-to-end tests for `esyn serve` over real TCP sockets (ISSUE
+//! satellite 1): an in-process server on an ephemeral port, concurrent
+//! clients driving the submit/result/shutdown flow, and the headline
+//! contract — a served `result` object is **byte-identical** to
+//! encoding a one-shot [`esyn_optimize`] run of the same circuit and
+//! configuration.
+
+use e_syn::core::{cache_key, esyn_optimize, train_cost_models, Objective, TrainConfig};
+use e_syn::serve::json::{self, Json};
+use e_syn::serve::protocol::JobOverrides;
+use e_syn::serve::{serve_tcp, Engine, ResultPayload, ServeConfig};
+use e_syn::techmap::Library;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// The per-job budget every test client submits: small enough that the
+/// whole suite stays fast, deterministic by construction (iteration and
+/// node caps bind long before the wall-clock safety net).
+const JOB_CONFIG: &str = r#"{"iter_limit":3,"node_limit":2000,"samples":6,"seed":5}"#;
+
+fn submit_line(id: &str, circuit: &str) -> String {
+    format!(
+        r#"{{"op":"submit","id":"{id}","format":"name","circuit":"{circuit}","objective":"delay","config":{JOB_CONFIG}}}"#
+    )
+}
+
+/// The overrides [`JOB_CONFIG`] decodes to, for the one-shot replay.
+fn job_overrides() -> JobOverrides {
+    JobOverrides {
+        iter_limit: Some(3),
+        node_limit: Some(2000),
+        samples: Some(6),
+        seed: Some(5),
+        ..Default::default()
+    }
+}
+
+/// Boots an in-process server on an ephemeral port. Returns the address
+/// and the acceptor thread's handle (joined after shutdown).
+fn start_server(engine: Arc<Engine>) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("ephemeral addr");
+    let handle = std::thread::spawn(move || serve_tcp(engine, listener));
+    (addr, handle)
+}
+
+fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let reader = BufReader::new(stream.try_clone().expect("clone read half"));
+    (stream, reader)
+}
+
+fn read_reply(reader: &mut BufReader<TcpStream>) -> Json {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read reply line");
+    json::parse(line.trim_end()).expect("reply is valid JSON")
+}
+
+/// Canonical bytes of a reply's `result` object (re-encoding the parsed
+/// object is byte-faithful; `encode ∘ parse` is a fixed point).
+fn result_bytes(reply: &Json) -> String {
+    assert_eq!(
+        reply.get("reply").and_then(Json::as_str),
+        Some("result"),
+        "expected result line, got {}",
+        reply.encode()
+    );
+    reply.get("result").expect("result object").encode()
+}
+
+#[test]
+fn concurrent_tcp_clients_match_one_shot_optimize_byte_for_byte() {
+    // Eight real TCP clients, two per registry circuit, against a
+    // 2-worker server. Every served payload must equal the one-shot
+    // encoding; the duplicate submissions also exercise warm hits.
+    let circuits = ["3_3", "qadd", "b12", "max"];
+    let lib = Library::asap7_like();
+    let models = train_cost_models(&TrainConfig::tiny(), &lib);
+    let engine = Engine::new(
+        models.clone(),
+        lib.clone(),
+        ServeConfig {
+            workers: 2,
+            queue_cap: 32,
+            cache_cap: 64,
+            ..ServeConfig::default()
+        },
+    );
+    let base = engine.base_config().clone();
+    let (addr, server) = start_server(Arc::clone(&engine));
+
+    let clients: Vec<_> = (0..8)
+        .map(|i| {
+            let circuit = circuits[i % circuits.len()];
+            std::thread::spawn(move || {
+                let (mut stream, mut reader) = connect(addr);
+                let id = format!("client{i}");
+                writeln!(stream, "{}", submit_line(&id, circuit)).expect("send submit");
+                let reply = read_reply(&mut reader);
+                assert_eq!(
+                    reply.get("id").and_then(Json::as_str),
+                    Some(id.as_str()),
+                    "job id must be echoed"
+                );
+                (circuit, result_bytes(&reply))
+            })
+        })
+        .collect();
+    let served: Vec<(&str, String)> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+
+    // Replay each circuit one-shot with the identical effective config.
+    for circuit in circuits {
+        let net = e_syn::circuits::by_name(circuit).expect("registry circuit");
+        let cfg = job_overrides().apply(&base);
+        let result = esyn_optimize(&net, &models, &lib, Objective::Delay, &cfg);
+        let expected = ResultPayload::from_result(&result, cache_key(&net, Objective::Delay, &cfg))
+            .to_json()
+            .encode();
+        let got: Vec<&String> = served
+            .iter()
+            .filter(|(c, _)| *c == circuit)
+            .map(|(_, bytes)| bytes)
+            .collect();
+        assert_eq!(got.len(), 2, "{circuit}: both clients must get results");
+        for bytes in got {
+            assert_eq!(
+                bytes, &expected,
+                "{circuit}: served payload differs from one-shot optimize"
+            );
+        }
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.completed, 8);
+    assert_eq!(stats.errors, 0);
+    assert!(
+        stats.cache_misses >= circuits.len() as u64,
+        "each distinct circuit computes at least once"
+    );
+
+    // Shutdown via a final client; the acceptor thread must then exit.
+    let (mut stream, mut reader) = connect(addr);
+    writeln!(stream, r#"{{"op":"shutdown"}}"#).expect("send shutdown");
+    let ack = read_reply(&mut reader);
+    assert_eq!(ack.get("reply").and_then(Json::as_str), Some("shutdown"));
+    assert_eq!(ack.get("completed").and_then(Json::as_u64), Some(8));
+    server.join().expect("acceptor thread").expect("serve_tcp");
+}
+
+#[test]
+fn submit_then_shutdown_on_one_connection_drains_before_acking() {
+    let lib = Library::asap7_like();
+    let models = train_cost_models(&TrainConfig::tiny(), &lib);
+    let engine = Engine::new(
+        models,
+        lib,
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let (addr, server) = start_server(engine);
+    let (mut stream, mut reader) = connect(addr);
+    for (i, circuit) in ["3_3", "qadd", "3_3"].iter().enumerate() {
+        writeln!(stream, "{}", submit_line(&format!("j{i}"), circuit)).expect("send");
+    }
+    writeln!(stream, r#"{{"op":"shutdown"}}"#).expect("send shutdown");
+    // Graceful drain: all three results arrive, then the ack, then EOF.
+    let mut ids = Vec::new();
+    for _ in 0..3 {
+        let reply = read_reply(&mut reader);
+        assert_eq!(reply.get("reply").and_then(Json::as_str), Some("result"));
+        ids.push(reply.get("id").and_then(Json::as_str).unwrap().to_owned());
+    }
+    ids.sort();
+    assert_eq!(ids, ["j0", "j1", "j2"]);
+    let ack = read_reply(&mut reader);
+    assert_eq!(ack.get("reply").and_then(Json::as_str), Some("shutdown"));
+    assert_eq!(ack.get("completed").and_then(Json::as_u64), Some(3));
+    let mut rest = String::new();
+    reader.read_line(&mut rest).expect("read EOF");
+    assert!(
+        rest.is_empty(),
+        "no output after the shutdown ack: {rest:?}"
+    );
+    server.join().expect("acceptor thread").expect("serve_tcp");
+}
+
+#[test]
+fn protocol_errors_over_tcp_carry_positions_and_keep_the_connection() {
+    let lib = Library::asap7_like();
+    let models = train_cost_models(&TrainConfig::tiny(), &lib);
+    let engine = Engine::new(
+        models,
+        lib,
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let (addr, server) = start_server(engine);
+    let (mut stream, mut reader) = connect(addr);
+
+    // Truncated JSON → error with a byte position.
+    writeln!(stream, "{{\"op\": ").expect("send");
+    let reply = read_reply(&mut reader);
+    assert_eq!(reply.get("reply").and_then(Json::as_str), Some("error"));
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(reply.get("position").and_then(Json::as_u64).is_some());
+
+    // Semantic error (unknown op) → no position, id echoed when present.
+    writeln!(stream, r#"{{"op":"frobnicate","id":"e1"}}"#).expect("send");
+    let reply = read_reply(&mut reader);
+    assert_eq!(reply.get("reply").and_then(Json::as_str), Some("error"));
+    assert_eq!(reply.get("id").and_then(Json::as_str), Some("e1"));
+    assert!(reply.get("position").is_none());
+
+    // Bad circuit text → parse error echoed under the job id.
+    writeln!(
+        stream,
+        r#"{{"op":"submit","id":"e2","format":"eqn","circuit":"INORDER = ;"}}"#
+    )
+    .expect("send");
+    let reply = read_reply(&mut reader);
+    assert_eq!(reply.get("reply").and_then(Json::as_str), Some("error"));
+    assert_eq!(reply.get("id").and_then(Json::as_str), Some("e2"));
+
+    // The connection survives all three errors.
+    writeln!(stream, r#"{{"op":"ping"}}"#).expect("send ping");
+    let reply = read_reply(&mut reader);
+    assert_eq!(reply.get("reply").and_then(Json::as_str), Some("pong"));
+
+    writeln!(stream, r#"{{"op":"shutdown"}}"#).expect("send shutdown");
+    let ack = read_reply(&mut reader);
+    assert_eq!(ack.get("reply").and_then(Json::as_str), Some("shutdown"));
+    server.join().expect("acceptor thread").expect("serve_tcp");
+}
+
+#[test]
+fn backpressure_rejects_with_busy_when_the_queue_is_full() {
+    // queue_cap 1 + a single worker: flooding submissions from one
+    // connection must surface at least one explicit `busy` rejection,
+    // and every accepted job still completes.
+    let lib = Library::asap7_like();
+    let models = train_cost_models(&TrainConfig::tiny(), &lib);
+    let engine = Engine::new(
+        models,
+        lib,
+        ServeConfig {
+            workers: 1,
+            queue_cap: 1,
+            cache_cap: 0, // force every accepted job through real computation
+            ..ServeConfig::default()
+        },
+    );
+    let (addr, server) = start_server(Arc::clone(&engine));
+    let (mut stream, mut reader) = connect(addr);
+    let flood = 10;
+    for i in 0..flood {
+        writeln!(stream, "{}", submit_line(&format!("f{i}"), "3_3")).expect("send");
+    }
+    let mut results = 0u64;
+    let mut busy = 0u64;
+    for _ in 0..flood {
+        let reply = read_reply(&mut reader);
+        match reply.get("reply").and_then(Json::as_str) {
+            Some("result") => results += 1,
+            Some("busy") => {
+                busy += 1;
+                let msg = reply.get("error").and_then(Json::as_str).unwrap_or("");
+                assert!(
+                    msg.contains("queue full"),
+                    "busy line names the queue: {msg}"
+                );
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert!(busy >= 1, "a cap-1 queue under a 10-deep flood must reject");
+    assert_eq!(results + busy, flood);
+    let stats = engine.stats();
+    assert_eq!(stats.rejected, busy);
+    assert_eq!(stats.completed, results);
+
+    writeln!(stream, r#"{{"op":"shutdown"}}"#).expect("send shutdown");
+    let ack = read_reply(&mut reader);
+    assert_eq!(ack.get("reply").and_then(Json::as_str), Some("shutdown"));
+    server.join().expect("acceptor thread").expect("serve_tcp");
+}
