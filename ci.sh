@@ -46,6 +46,15 @@ ESYN_BENCH_FAST=1 cargo bench -q -p esyn-bench --bench gym >/dev/null
 echo "==> smoke-run extraction-gym bench (ESYN_BENCH_FAST=1, ESYN_THREADS=1)"
 ESYN_BENCH_FAST=1 ESYN_THREADS=1 cargo bench -q -p esyn-bench --bench gym >/dev/null
 
+echo "==> smoke-run pareto bench (ESYN_BENCH_FAST=1)"
+# Races every engine under the area x depth objective pair on two small
+# registry circuits; asserts the frontier weakly dominates every point
+# and that the race is bit-identical at Fixed{1,2,4} threads.
+ESYN_BENCH_FAST=1 cargo bench -q -p esyn-bench --bench pareto >/dev/null
+
+echo "==> smoke-run pareto bench (ESYN_BENCH_FAST=1, ESYN_THREADS=1)"
+ESYN_BENCH_FAST=1 ESYN_THREADS=1 cargo bench -q -p esyn-bench --bench pareto >/dev/null
+
 echo "==> smoke-run serve bench (ESYN_BENCH_FAST=1)"
 # Concurrent TCP clients against an in-process server; asserts every
 # warm-pass job is a cache hit and the cap-2 queue rejects under flood.
@@ -72,5 +81,16 @@ cargo run --release --bin esyn -- gym adder qdiv >/dev/null
 
 echo "==> esyn gym smoke (ESYN_THREADS=1)"
 ESYN_THREADS=1 cargo run --release --bin esyn -- gym adder qdiv >/dev/null
+
+echo "==> esyn gym --cost smoke (techmap objective)"
+# Same race under the technology-aware cost model from esyn-objective.
+cargo run --release --bin esyn -- gym --cost techmap adder qdiv >/dev/null
+
+echo "==> esyn pareto smoke (bit-identical across thread counts)"
+# The pareto command prints no wall-clock, so its whole output must be
+# byte-identical whatever ESYN_THREADS says.
+cargo run --release --bin esyn -- pareto adder qdiv > target/pareto-smoke-default.txt
+ESYN_THREADS=1 cargo run --release --bin esyn -- pareto adder qdiv > target/pareto-smoke-serial.txt
+cmp target/pareto-smoke-default.txt target/pareto-smoke-serial.txt
 
 echo "ci.sh: all checks passed"

@@ -1,0 +1,125 @@
+//! **Multi-objective Pareto extraction**: race every `esyn-extract`
+//! engine under the area × depth objective pair on saturated registry
+//! e-graphs and tabulate the per-engine points plus the non-dominated
+//! frontier — the `esyn pareto` experiment shape, run on the
+//! workspace's own circuits.
+//!
+//! ```text
+//! cargo bench -p esyn-bench --bench pareto
+//! ```
+//!
+//! Set `ESYN_BENCH_FAST=1` for the CI smoke shape (two small circuits
+//! at a reduced saturation budget). Points and frontiers carry no
+//! wall-clock and are bit-identical at any thread count — the smoke
+//! shape asserts this by re-racing at `Parallelism::Fixed` ∈ {1, 2, 4}
+//! (the full shape races once per circuit and leaves the thread sweep
+//! to `tests/parallel_determinism.rs`); every shape asserts the
+//! frontier weakly dominates both single-objective corners.
+
+use esyn_bench::{bench_limits, hr};
+use esyn_core::pareto::frontier_dominates;
+use esyn_core::{lang::network_to_recexpr, rules::all_rules, saturate, SaturationLimits};
+use esyn_extract::ENGINE_NAMES;
+use esyn_objective::{objective_by_name, pareto_race};
+use esyn_par::Parallelism;
+use std::time::Duration;
+
+fn fast_mode() -> bool {
+    std::env::var_os("ESYN_BENCH_FAST").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+fn main() {
+    let (circuits, limits): (&[&str], SaturationLimits) = if fast_mode() {
+        (
+            &["qadd", "cavlc"],
+            SaturationLimits {
+                iter_limit: 4,
+                node_limit: 2_000,
+                time_limit: Duration::from_secs(5),
+            },
+        )
+    } else {
+        (
+            &[
+                "adder", "bar", "max", "cavlc", "3_3", "5_5", "qadd", "qdiv", "alu4",
+            ],
+            bench_limits(),
+        )
+    };
+    let x = objective_by_name("area").expect("registry objective");
+    let y = objective_by_name("depth").expect("registry objective");
+
+    println!();
+    println!("Multi-objective Pareto extraction: engine points under area x depth");
+    hr(70);
+
+    for name in circuits {
+        let net = esyn_circuits::by_name(name).expect("pareto circuit");
+        let expr = network_to_recexpr(&net);
+        let runner = saturate(&expr, &all_rules(), &limits);
+        println!(
+            "{name}: {} e-nodes / {} e-classes",
+            runner.egraph.total_nodes(),
+            runner.egraph.num_classes()
+        );
+        let race = pareto_race(
+            &runner.egraph,
+            &runner.roots,
+            x,
+            y,
+            &ENGINE_NAMES,
+            Parallelism::Auto,
+        );
+        println!(
+            "  {:<18} {:<12} {:>10} {:>10}",
+            "engine", "raced-under", race.x_name, race.y_name
+        );
+        for p in &race.points {
+            println!(
+                "  {:<18} {:<12} {:>10.1} {:>10.1}",
+                p.engine, p.raced_under, p.x, p.y
+            );
+        }
+        println!(
+            "  frontier ({} of {} points): {:?}",
+            race.frontier.len(),
+            race.points.len(),
+            race.frontier
+        );
+
+        // Correctness gates, not measurements: the frontier must cover
+        // the single-objective corners, and (in the smoke shape, where
+        // the extra races are cheap) the whole race must be
+        // bit-identical at any pinned thread count.
+        let all: Vec<(f64, f64)> = race.points.iter().map(|p| (p.x, p.y)).collect();
+        assert!(
+            frontier_dominates(&race.frontier, &all),
+            "{name}: frontier fails to weakly dominate its own points"
+        );
+        if fast_mode() {
+            let fingerprint = |r: &esyn_objective::ParetoRace| -> Vec<(u64, u64)> {
+                r.points
+                    .iter()
+                    .map(|p| (p.x.to_bits(), p.y.to_bits()))
+                    .collect()
+            };
+            let reference = fingerprint(&race);
+            for par in [
+                Parallelism::Fixed(1),
+                Parallelism::Fixed(2),
+                Parallelism::Fixed(4),
+            ] {
+                let rerun = pareto_race(&runner.egraph, &runner.roots, x, y, &ENGINE_NAMES, par);
+                assert_eq!(
+                    fingerprint(&rerun),
+                    reference,
+                    "{name}: pareto race differs under {par:?}"
+                );
+            }
+        }
+        hr(70);
+    }
+    println!("expected shape: greedy engines cluster at the high-area/low-depth corner,");
+    println!("the exact engines pull the frontier toward minimum area; the frontier is");
+    println!("the non-dominated hull over every (engine, driver) point.");
+}

@@ -45,6 +45,18 @@ pub fn cache_key(net: &Network, objective: Objective, cfg: &EsynConfig) -> Cache
     }
 }
 
+/// [`cache_key`] with a free-form objective tag instead of a builtin
+/// [`Objective`] — how named `esyn-objective` objectives participate in
+/// content addressing. Callers must namespace their tags (serve uses
+/// `named:<registry-name>`) so they can never collide with the builtin
+/// `Delay`/`Area`/`Balanced` renderings.
+pub fn cache_key_tagged(net: &Network, objective_tag: &str, cfg: &EsynConfig) -> CacheKey {
+    CacheKey {
+        circuit: structural_hash(net),
+        config: config_hash_tagged(objective_tag, cfg),
+    }
+}
+
 /// Hashes the reachable structure of `net`: ordered input names, the
 /// reachable operator DAG (nodes renumbered densely in topological
 /// order, so arena garbage and absolute [`esyn_eqn::NodeId`] values do
@@ -108,6 +120,14 @@ pub fn config_hash(objective: Objective, cfg: &EsynConfig) -> u64 {
     h.finish()
 }
 
+/// [`canonical_config_tagged`], hashed with the deterministic
+/// [`FxHasher`].
+pub fn config_hash_tagged(objective_tag: &str, cfg: &EsynConfig) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(canonical_config_tagged(objective_tag, cfg).as_bytes());
+    h.finish()
+}
+
 fn par_str(p: Parallelism) -> String {
     match p {
         Parallelism::Auto => "auto".to_owned(),
@@ -137,6 +157,16 @@ fn par_str(p: Parallelism) -> String {
 /// );
 /// ```
 pub fn canonical_config(objective: Objective, cfg: &EsynConfig) -> String {
+    // The builtin rendering is the tagged rendering of the `Debug`
+    // name — byte-identical to the pre-tag `v1` strings, so existing
+    // cached entries and the serve byte-replay contract are preserved.
+    canonical_config_tagged(&format!("{objective:?}"), cfg)
+}
+
+/// [`canonical_config`] with a free-form objective tag: the canonical
+/// string for named (non-builtin) objectives. The tag is embedded
+/// verbatim, so distinct tags always produce distinct strings.
+pub fn canonical_config_tagged(objective_tag: &str, cfg: &EsynConfig) -> String {
     let EsynConfig {
         limits:
             SaturationLimits {
@@ -165,7 +195,7 @@ pub fn canonical_config(objective: Objective, cfg: &EsynConfig) -> String {
         Some(t) => format!("{:016x}", t.to_bits()),
     };
     format!(
-        "v1;obj={objective:?};iter={iter_limit};nodes={node_limit};time_ns={};\
+        "v1;obj={objective_tag};iter={iter_limit};nodes={node_limit};time_ns={};\
          samples={num_samples};p={:016x};ratio={}:{};seed={seed};orig={include_original};\
          dagx={include_dag_extreme};engine={dag_engine};pool_par={};verify={verify};\
          target={target};choices={use_choices};par={}",
@@ -309,6 +339,35 @@ mod tests {
         // The objective is part of the key too.
         assert_ne!(config_hash(Objective::Area, &base), base_key);
         assert_ne!(config_hash(Objective::Balanced, &base), base_key);
+    }
+
+    #[test]
+    fn tagged_keys_extend_but_never_alias_builtin_keys() {
+        let cfg = EsynConfig::default();
+        // The builtin rendering is exactly the Debug-name tag — the
+        // pre-tag `v1` byte format is preserved.
+        for (obj, tag) in [
+            (Objective::Delay, "Delay"),
+            (Objective::Area, "Area"),
+            (Objective::Balanced, "Balanced"),
+        ] {
+            assert_eq!(
+                canonical_config(obj, &cfg),
+                canonical_config_tagged(tag, &cfg)
+            );
+        }
+        // Namespaced named-objective tags are distinct from builtins
+        // and from each other.
+        let mut seen = vec![
+            config_hash(Objective::Delay, &cfg),
+            config_hash(Objective::Area, &cfg),
+            config_hash(Objective::Balanced, &cfg),
+        ];
+        for tag in ["named:area", "named:techmap", "named:activity"] {
+            let h = config_hash_tagged(tag, &cfg);
+            assert!(!seen.contains(&h), "tag `{tag}` aliases another objective");
+            seen.push(h);
+        }
     }
 
     #[test]

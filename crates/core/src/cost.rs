@@ -8,7 +8,10 @@ use crate::features::Features;
 use esyn_gbdt::GbdtRegressor;
 
 /// Scores a candidate AST from its features (lower is better).
-pub trait CandidateCost {
+///
+/// `Sync` because pool scoring fans candidates out over `esyn-par`
+/// workers that share one scorer.
+pub trait CandidateCost: Sync {
     /// The cost of a candidate with features `feats`.
     fn cost(&self, feats: &Features) -> f64;
 }

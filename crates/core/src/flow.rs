@@ -206,6 +206,42 @@ pub fn esyn_optimize(
     objective: Objective,
     cfg: &EsynConfig,
 ) -> EsynResult {
+    /// The Balanced scorer: the product of both learned models, each
+    /// clamped at zero so a negative prediction cannot flip the sign.
+    struct Balance<'a> {
+        models: &'a CostModels,
+    }
+    impl CandidateCost for Balance<'_> {
+        fn cost(&self, feats: &Features) -> f64 {
+            self.models.delay.cost(feats).max(0.0) * self.models.area.cost(feats).max(0.0)
+        }
+    }
+    match objective {
+        Objective::Delay => esyn_optimize_with_cost(net, &models.delay, lib, objective, cfg),
+        Objective::Area => esyn_optimize_with_cost(net, &models.area, lib, objective, cfg),
+        Objective::Balanced => {
+            esyn_optimize_with_cost(net, &Balance { models }, lib, objective, cfg)
+        }
+    }
+}
+
+/// [`esyn_optimize`] with an explicit pool scorer: saturate →
+/// pool-extract → score every candidate with `scorer` → verify → map
+/// through the shared backend under `objective`'s mapping mode. This
+/// is how named objectives (`esyn-objective`) drive the full flow; the
+/// builtin objectives delegate here with their learned models.
+///
+/// # Panics
+///
+/// Panics if `verify` is on and the chosen candidate fails equivalence
+/// checking — that would mean an unsound rewrite and must never happen.
+pub fn esyn_optimize_with_cost(
+    net: &Network,
+    scorer: &dyn CandidateCost,
+    lib: &Library,
+    objective: Objective,
+    cfg: &EsynConfig,
+) -> EsynResult {
     let expr = network_to_recexpr(net);
     let runner = saturate_par(&expr, &all_rules(), &cfg.limits, cfg.parallelism);
     let pool_cfg = PoolConfig {
@@ -214,16 +250,7 @@ pub fn esyn_optimize(
     };
     let pool = extract_pool_with(&runner.egraph, runner.roots[0], Some(&expr), &pool_cfg);
 
-    let score = |cand: &RecExpr<BoolLang>| -> f64 {
-        let feats = Features::from_expr(cand);
-        match objective {
-            Objective::Delay => models.delay.cost(&feats),
-            Objective::Area => models.area.cost(&feats),
-            Objective::Balanced => {
-                models.delay.cost(&feats).max(0.0) * models.area.cost(&feats).max(0.0)
-            }
-        }
-    };
+    let score = |cand: &RecExpr<BoolLang>| -> f64 { scorer.cost(&Features::from_expr(cand)) };
     // Feature extraction + model evaluation per candidate is independent
     // work; the serial min-reduce over the ordered scores keeps candidate
     // selection thread-count-invariant. Small pools score inline.

@@ -52,14 +52,18 @@ pub mod rules;
 pub mod train;
 
 pub use analysis::ConstFold;
-pub use cache::{cache_key, canonical_config, config_hash, structural_hash, CacheKey};
+pub use cache::{
+    cache_key, cache_key_tagged, canonical_config, canonical_config_tagged, config_hash,
+    config_hash_tagged, structural_hash, CacheKey,
+};
 pub use cost::{AstDepthCost, AstSizeCost, CandidateCost, GbdtCost, WeightedOpsCost};
 pub use esyn_egraph::{IterationStats, StopReason};
 pub use esyn_par::Parallelism;
 pub use features::Features;
 pub use flow::{
     abc_baseline, abc_baseline_choices, esyn_backend, esyn_backend_choices, esyn_optimize,
-    saturate, saturate_par, EsynConfig, EsynResult, Objective, SaturationLimits,
+    esyn_optimize_with_cost, saturate, saturate_par, EsynConfig, EsynResult, Objective,
+    SaturationLimits,
 };
 pub use lang::{network_to_recexpr, recexpr_to_network, BoolLang, Symbol};
 pub use pareto::pareto_front;

@@ -35,26 +35,58 @@ use esyn_sat::{Lit, Solver, Var};
 #[derive(Clone, Copy, Debug)]
 pub struct SatExact {
     /// Total solver conflicts the descent loop may spend before settling
-    /// for the incumbent.
+    /// for the incumbent. Used verbatim when [`SatExact::adaptive`] is
+    /// off; ignored otherwise.
     pub conflict_budget: u64,
     /// Cap on `(weighted items) × (scaled incumbent cost)` — the size of
     /// the cardinality ladder. Above it the encoding is skipped and the
     /// incumbent returned, keeping memory bounded on huge e-graphs.
+    /// Used verbatim when [`SatExact::adaptive`] is off; ignored
+    /// otherwise.
     pub max_ladder: u64,
+    /// Scale the budgets with e-graph size (see [`SatExact::budgets`]):
+    /// small graphs get enough conflicts for a full optimality proof,
+    /// huge graphs settle quickly for the portfolio incumbent. On by
+    /// default; turn off to pin the explicit budget fields.
+    pub adaptive: bool,
 }
 
 impl Default for SatExact {
-    /// Budgets sized for interactive races (`esyn gym`, the `gym` bench,
-    /// CI smoke runs): encodings past ~400 k ladder positions or 20 k
-    /// conflicts are where mid-size registry e-graphs (~10 k e-nodes)
-    /// tip from sub-second solves into minutes, so the descent settles
-    /// for the portfolio incumbent there. Raise both for offline
-    /// optimality hunts.
+    /// Adaptive budgets sized for interactive races (`esyn gym`, the
+    /// `gym` bench, CI smoke runs), centred on the fixed-budget
+    /// reference of 20 k conflicts / 400 k ladder positions at ~10 k
+    /// e-nodes — where mid-size registry e-graphs tip from sub-second
+    /// solves into minutes. Smaller graphs scale up toward a full
+    /// proof, larger ones down toward the incumbent; set
+    /// `adaptive: false` (and raise the fields) for offline optimality
+    /// hunts.
     fn default() -> Self {
         SatExact {
             conflict_budget: 20_000,
             max_ladder: 400_000,
+            adaptive: true,
         }
+    }
+}
+
+impl SatExact {
+    /// The `(conflict, ladder)` budgets in effect for an e-graph of
+    /// `total_nodes` e-nodes.
+    ///
+    /// Non-adaptive extractors return their fields verbatim. Adaptive
+    /// ones spend a roughly constant `conflicts × nodes` work product
+    /// (`2 × 10⁸`, the fixed-default reference point at 10 k e-nodes),
+    /// clamped to `[2_000, 200_000]` conflicts, with the ladder cap at
+    /// 20× the conflicts — so a few-hundred-node e-graph gets a 200 k
+    /// conflict budget (nearly always a completed optimality proof)
+    /// while a 100 k-node one settles for its incumbent after 2 k.
+    pub fn budgets(&self, total_nodes: usize) -> (u64, u64) {
+        if !self.adaptive {
+            return (self.conflict_budget, self.max_ladder);
+        }
+        let nodes = total_nodes.max(1) as u64;
+        let conflicts = (200_000_000 / nodes).clamp(2_000, 200_000);
+        (conflicts, conflicts.saturating_mul(20))
     }
 }
 
@@ -107,6 +139,7 @@ impl<L: Language> Extractor<L> for SatExact {
         roots: &[usize],
         costs: &CostTable,
     ) -> ExtractionResult {
+        let (conflict_budget, max_ladder) = self.budgets(graph.total_nodes());
         let Some((mut incumbent, mut incumbent_cost)) = self.greedy_incumbent(graph, roots, costs)
         else {
             // No grounded term at some root; return an (invalid) empty
@@ -185,7 +218,7 @@ impl<L: Language> Extractor<L> for SatExact {
             .iter()
             .map(|&ci| weights[ci].iter().filter(|&&w| w > 0).count() as u64)
             .sum();
-        if items.saturating_mul(width) > self.max_ladder {
+        if items.saturating_mul(width) > max_ladder {
             return incumbent; // encoding too large; keep the greedy floor
         }
 
@@ -267,7 +300,7 @@ impl<L: Language> Extractor<L> for SatExact {
         let mut bound = inc_scaled - 1;
         loop {
             let spent = solver.conflict_count() - start_conflicts;
-            let Some(budget_left) = self.conflict_budget.checked_sub(spent) else {
+            let Some(budget_left) = conflict_budget.checked_sub(spent) else {
                 break;
             };
             if budget_left == 0 {

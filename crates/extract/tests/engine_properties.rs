@@ -193,11 +193,51 @@ fn zero_conflict_exact_returns_greedy_incumbent() {
     let (g, root) = coordination_trap();
     let starved = SatExact {
         conflict_budget: 0,
+        adaptive: false, // pin the explicit zero budget
         ..SatExact::default()
     };
     let (cost, _) = extract_best(&starved, &g, root, &trap_cost).unwrap();
     // The portfolio incumbent is still valid — never worse than greedy.
     assert!(cost <= 9.0 + 1e-9);
+}
+
+#[test]
+fn adaptive_budgets_scale_with_graph_size_and_small_graphs_still_prove() {
+    let e = SatExact::default();
+    assert!(e.adaptive, "adaptive scaling is the default");
+    // Reference point: the old fixed defaults at ~10 k e-nodes.
+    assert_eq!(e.budgets(10_000), (20_000, 400_000));
+    // Clamped extremes: small graphs scale up to a full proof, huge
+    // ones down to a quick incumbent check.
+    assert_eq!(e.budgets(100), (200_000, 4_000_000));
+    assert_eq!(e.budgets(1_000_000), (2_000, 40_000));
+    let (c_small, l_small) = e.budgets(500);
+    let (c_big, l_big) = e.budgets(50_000);
+    assert!(
+        c_small > c_big && l_small > l_big,
+        "budgets must be monotone"
+    );
+    // Non-adaptive extractors pin their explicit fields verbatim.
+    let pinned = SatExact {
+        adaptive: false,
+        ..SatExact::default()
+    };
+    assert_eq!(pinned.budgets(5), (20_000, 400_000));
+
+    // Regression: on a small instance the adaptive default still proves
+    // optimality — it matches the BnB certificate, not just the greedy
+    // incumbent (which scores 9.0 on the trap).
+    let (g, root) = coordination_trap();
+    let (opt, _) = extract_exact(&g, root, &trap_cost, 1 << 22).unwrap();
+    let (sat, _) = extract_best(&SatExact::default(), &g, root, &trap_cost).unwrap();
+    assert!(
+        (sat - opt).abs() < 1e-9,
+        "adaptive SatExact found {sat}, certified optimum is {opt}"
+    );
+    assert!(
+        opt < 9.0,
+        "the trap's optimum must beat the greedy incumbent"
+    );
 }
 
 #[test]

@@ -1,0 +1,168 @@
+//! Named, deterministic optimization objectives — the cost axis of the
+//! paper ("technology-aware cost functions") made a first-class,
+//! pluggable subsystem.
+//!
+//! An [`Objective`] scores whole candidates from their [`Features`]
+//! (the pool side, via the [`ScoreOf`] adapter to
+//! [`esyn_core::CandidateCost`]) and, where a node-local lowering
+//! exists, prices individual e-nodes (the extract side, via
+//! [`esyn_extract::CostModel`]) so every gym engine can race under it.
+//! Objectives are looked up by name from a fixed registry
+//! ([`OBJECTIVE_NAMES`], [`objective_by_name`]) and are pure functions
+//! of their inputs: the `techmap` objective derives per-op costs from
+//! [`esyn_techmap::Library::op_costs`] once, and the `activity`
+//! objective estimates switching activity by seeded random simulation
+//! under the `esyn-rand` contract — both are bit-identical across runs
+//! and thread counts.
+//!
+//! On top of single objectives, [`pareto_race`] races the extraction
+//! gym's engines under an objective *pair* and assembles the
+//! non-dominated frontier via [`esyn_core::pareto`]; the CLI surfaces
+//! it as `esyn pareto`, and `esyn serve` keys its result cache by
+//! objective name so entries never alias across objectives.
+//!
+//! # Example
+//!
+//! ```
+//! use esyn_objective::{objective_by_name, OBJECTIVE_NAMES};
+//!
+//! let tech = objective_by_name("techmap").expect("registered");
+//! assert_eq!(tech.name(), "techmap");
+//! assert!(tech.cost_model().is_some(), "techmap lowers to e-node costs");
+//! assert!(OBJECTIVE_NAMES.contains(&"inv-weighted"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod models;
+mod race;
+
+use esyn_core::lang::BoolLang;
+use esyn_core::Objective as MapObjective;
+use esyn_core::{CandidateCost, Features};
+use esyn_extract::CostModel;
+
+pub use models::{estimate_activity, op_activity, tech_op_costs, OpActivity, ACTIVITY_SEED};
+pub use race::{pareto_race, ParetoPoint, ParetoRace};
+
+/// A named, deterministic optimization objective.
+///
+/// Implementations must be pure: the same features (or e-node) always
+/// produce the same finite, non-negative score, independent of thread
+/// count or call order — scores feed the candidate pool's `min_by` and
+/// [`esyn_extract::CostTable::build`], which asserts finiteness.
+pub trait Objective: Sync {
+    /// Canonical registry name (`area`, `depth`, `techmap`, …).
+    fn name(&self) -> &'static str;
+
+    /// One-line human description for `--help` output.
+    fn describe(&self) -> &'static str;
+
+    /// Scores a whole candidate from its features (lower is better).
+    fn score(&self, feats: &Features) -> f64;
+
+    /// The node-local lowering of this objective, when one exists.
+    ///
+    /// `depth` returns `None`: a level count is not expressible as a
+    /// sum of per-node costs (the gym's DAG-cost semantics), so it
+    /// participates in pool scoring and Pareto axes only.
+    fn cost_model(&self) -> Option<&dyn CostModel<BoolLang>>;
+
+    /// The mapping objective the backend should run under when this
+    /// objective drives a full `esyn_optimize` flow.
+    fn backend(&self) -> MapObjective;
+}
+
+/// Adapter: use any [`Objective`] as a pool-side [`CandidateCost`].
+pub struct ScoreOf<'a>(pub &'a dyn Objective);
+
+impl CandidateCost for ScoreOf<'_> {
+    fn cost(&self, feats: &Features) -> f64 {
+        self.0.score(feats)
+    }
+}
+
+/// Canonical names of every registered objective, in registry order.
+pub const OBJECTIVE_NAMES: [&str; 6] = [
+    "unit",
+    "area",
+    "depth",
+    "inv-weighted",
+    "techmap",
+    "activity",
+];
+
+/// Resolves an objective name (hyphen or underscore spelling) to its
+/// canonical registry form.
+pub fn canonical_objective_name(name: &str) -> Option<&'static str> {
+    let normalized = name.replace('_', "-");
+    OBJECTIVE_NAMES.iter().copied().find(|&n| n == normalized)
+}
+
+/// Every registered objective, in registry order.
+pub fn all_objectives() -> [&'static dyn Objective; 6] {
+    [
+        &models::Unit,
+        &models::GateCount,
+        &models::Depth,
+        &models::InvWeighted,
+        &models::Techmap,
+        &models::Activity,
+    ]
+}
+
+/// Looks up a registered objective by name (hyphen or underscore
+/// spelling accepted).
+pub fn objective_by_name(name: &str) -> Option<&'static dyn Objective> {
+    let canonical = canonical_objective_name(name)?;
+    all_objectives().into_iter().find(|o| o.name() == canonical)
+}
+
+/// Names of the objectives that lower to a node-local cost model and
+/// can therefore drive the extraction gym (`gym --cost`).
+pub fn lowerable_objective_names() -> Vec<&'static str> {
+    all_objectives()
+        .iter()
+        .filter(|o| o.cost_model().is_some())
+        .map(|o| o.name())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_consistent() {
+        let objectives = all_objectives();
+        assert_eq!(objectives.len(), OBJECTIVE_NAMES.len());
+        for (o, &name) in objectives.iter().zip(OBJECTIVE_NAMES.iter()) {
+            assert_eq!(o.name(), name, "registry order drifted");
+            assert!(!o.describe().is_empty());
+            assert_eq!(
+                objective_by_name(name).map(|r| r.name()),
+                Some(name),
+                "round-trip by name"
+            );
+        }
+        assert!(objective_by_name("no-such-objective").is_none());
+    }
+
+    #[test]
+    fn underscore_spellings_canonicalize() {
+        assert_eq!(
+            canonical_objective_name("inv_weighted"),
+            Some("inv-weighted")
+        );
+        assert_eq!(canonical_objective_name("techmap"), Some("techmap"));
+        assert_eq!(canonical_objective_name("Techmap"), None);
+    }
+
+    #[test]
+    fn depth_is_the_only_non_lowerable_objective() {
+        let lowerable = lowerable_objective_names();
+        assert!(!lowerable.contains(&"depth"));
+        assert_eq!(lowerable.len(), OBJECTIVE_NAMES.len() - 1);
+    }
+}

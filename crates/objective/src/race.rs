@@ -1,0 +1,114 @@
+//! Multi-objective Pareto extraction: race the gym's engines under an
+//! objective pair and assemble the non-dominated frontier.
+//!
+//! For each objective of the pair that lowers to a node-local cost
+//! model, every engine extracts once under that model ("raced under"
+//! that driver); each extracted term is then scored under *both*
+//! objectives of the pair, yielding one point per (driver, engine).
+//! The frontier is [`esyn_core::pareto::pareto_front`] over all
+//! points, so by construction it weakly dominates every
+//! single-objective corner. Engines run serially over a shared dense
+//! snapshot and cost table (the gym's structure), so the whole race is
+//! bit-identical at any thread count.
+
+use esyn_core::lang::BoolLang;
+use esyn_core::pareto::pareto_front;
+use esyn_core::Features;
+use esyn_egraph::{Analysis, EGraph, Id};
+use esyn_extract::{engine_by_name, CostModel, CostTable, ExtractGraph, UnitCost};
+use esyn_par::Parallelism;
+
+use crate::Objective;
+
+/// One engine's extraction, scored under both objectives of the pair.
+#[derive(Clone, Debug)]
+pub struct ParetoPoint {
+    /// Canonical engine name.
+    pub engine: &'static str,
+    /// Name of the objective whose cost model drove the extraction.
+    pub raced_under: &'static str,
+    /// Score of the extracted term under the pair's first objective.
+    pub x: f64,
+    /// Score of the extracted term under the pair's second objective.
+    pub y: f64,
+}
+
+/// The outcome of a [`pareto_race`].
+#[derive(Clone, Debug)]
+pub struct ParetoRace {
+    /// Name of the x-axis objective.
+    pub x_name: &'static str,
+    /// Name of the y-axis objective.
+    pub y_name: &'static str,
+    /// Every valid (driver, engine) extraction, in deterministic order
+    /// (drivers in pair order, engines in the caller's order).
+    pub points: Vec<ParetoPoint>,
+    /// The non-dominated frontier over all points, sorted by x.
+    pub frontier: Vec<(f64, f64)>,
+}
+
+/// Races `engine_names` under the objective pair `(x, y)` on a
+/// saturated e-graph and assembles the Pareto frontier.
+///
+/// Each objective of the pair with a node-local cost model drives one
+/// round of extractions (deduplicated by name); if neither lowers —
+/// e.g. `depth` against a future feature-only objective — a single
+/// [`UnitCost`] round keeps the race meaningful. Engines whose result
+/// fails the shared validator are dropped from the points.
+pub fn pareto_race<N: Analysis<BoolLang>>(
+    egraph: &EGraph<BoolLang, N>,
+    roots: &[Id],
+    x: &dyn Objective,
+    y: &dyn Objective,
+    engine_names: &[&str],
+    par: Parallelism,
+) -> ParetoRace {
+    let graph = ExtractGraph::new(egraph);
+    let root_ix = graph.root_indices(egraph, roots);
+
+    let mut drivers: Vec<(&'static str, &dyn CostModel<BoolLang>)> = Vec::new();
+    for o in [x, y] {
+        if let Some(model) = o.cost_model() {
+            if !drivers.iter().any(|(name, _)| *name == o.name()) {
+                drivers.push((o.name(), model));
+            }
+        }
+    }
+    if drivers.is_empty() {
+        drivers.push(("unit", &UnitCost));
+    }
+
+    let mut points = Vec::new();
+    for (driver_name, model) in drivers {
+        let costs = CostTable::build(&graph, model, par);
+        for &name in engine_names {
+            let (canonical, engine) = engine_by_name::<BoolLang>(name)
+                .unwrap_or_else(|| panic!("unknown engine `{name}`"));
+            let result = engine.extract(&graph, &root_ix, &costs);
+            if result.check(&graph, &root_ix).is_err() {
+                continue;
+            }
+            let term = result.term(&graph, root_ix[0]);
+            let feats = Features::from_expr(&term);
+            points.push(ParetoPoint {
+                engine: canonical,
+                raced_under: driver_name,
+                x: x.score(&feats),
+                y: y.score(&feats),
+            });
+        }
+    }
+
+    let frontier = pareto_front(
+        &points
+            .iter()
+            .map(|p| (p.x, p.y))
+            .collect::<Vec<(f64, f64)>>(),
+    );
+    ParetoRace {
+        x_name: x.name(),
+        y_name: y.name(),
+        points,
+        frontier,
+    }
+}

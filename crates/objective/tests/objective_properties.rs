@@ -1,0 +1,146 @@
+//! Property tests over the objective registry: every lowerable
+//! objective produces finite, non-negative per-node costs on every
+//! registry circuit; the gym's engines all pass the shared validator
+//! under every non-unit cost model; and the Pareto frontier weakly
+//! dominates the single-objective corners by construction.
+
+use esyn_core::pareto::{dominates, frontier_dominates};
+use esyn_core::{all_rules, network_to_recexpr, saturate, SaturationLimits};
+use esyn_extract::{gym, CostTable, ExtractGraph, ENGINE_NAMES};
+use esyn_objective::{all_objectives, objective_by_name, pareto_race};
+use esyn_par::Parallelism;
+
+/// Saturation budget for property sweeps: enough rewriting to make the
+/// e-graphs non-trivial, cheap enough to cover the whole registry.
+fn sweep_limits() -> SaturationLimits {
+    SaturationLimits {
+        iter_limit: 3,
+        node_limit: 2_000,
+        ..SaturationLimits::small()
+    }
+}
+
+#[test]
+fn every_lowerable_objective_is_finite_and_non_negative_on_the_registry() {
+    // `CostTable::build` already asserts finite non-negative costs per
+    // node — this sweep proves the assertion holds for every registered
+    // cost model on every registry circuit, and re-checks the table
+    // contents explicitly so the property does not silently rest on an
+    // internal debug assertion.
+    for b in esyn_circuits::all_benchmarks() {
+        let expr = network_to_recexpr(&b.network);
+        let runner = saturate(&expr, &all_rules(), &sweep_limits());
+        let graph = ExtractGraph::new(&runner.egraph);
+        for obj in all_objectives() {
+            let Some(model) = obj.cost_model() else {
+                continue; // feature-only objectives (depth) have no lowering
+            };
+            let table = CostTable::build(&graph, model, Parallelism::Serial);
+            for ci in 0..graph.num_classes() {
+                for k in 0..graph.nodes(ci).len() {
+                    let c = table.cost(ci, k);
+                    assert!(
+                        c.is_finite() && c >= 0.0,
+                        "{}: objective `{}` gave cost {c} at class {ci} node {k}",
+                        b.name,
+                        obj.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn gym_race_passes_every_check_under_every_non_unit_cost_model() {
+    // ISSUE acceptance: all engines race under >= 3 non-unit models with
+    // every result passing `ExtractionResult::check`. The registry gives
+    // four (area, inv-weighted, techmap, activity).
+    let net = esyn_circuits::by_name("qadd").expect("qadd generator");
+    let expr = network_to_recexpr(&net);
+    let runner = saturate(&expr, &all_rules(), &SaturationLimits::small());
+    let mut non_unit = 0;
+    for obj in all_objectives() {
+        if obj.name() == "unit" {
+            continue;
+        }
+        let Some(model) = obj.cost_model() else {
+            continue;
+        };
+        non_unit += 1;
+        let rows = gym::race(
+            &runner.egraph,
+            &runner.roots,
+            model,
+            &ENGINE_NAMES,
+            Parallelism::Serial,
+        );
+        assert_eq!(rows.len(), ENGINE_NAMES.len());
+        for row in &rows {
+            assert!(
+                row.check.is_ok(),
+                "engine `{}` under `{}`: {:?}",
+                row.engine,
+                obj.name(),
+                row.check
+            );
+            assert!(row.dag_cost.is_finite() && row.dag_cost >= 0.0);
+            assert!(row.tree_cost >= row.dag_cost - 1e-9, "tree >= dag sharing");
+        }
+    }
+    assert!(non_unit >= 3, "registry must lower >= 3 non-unit models");
+}
+
+#[test]
+fn pareto_frontier_weakly_dominates_single_objective_corners() {
+    let net = esyn_circuits::by_name("qadd").expect("qadd generator");
+    let expr = network_to_recexpr(&net);
+    let runner = saturate(&expr, &all_rules(), &SaturationLimits::small());
+    let (x, y) = (
+        objective_by_name("area").unwrap(),
+        objective_by_name("depth").unwrap(),
+    );
+    let race = pareto_race(
+        &runner.egraph,
+        &runner.roots,
+        x,
+        y,
+        &ENGINE_NAMES,
+        Parallelism::Serial,
+    );
+    assert!(!race.points.is_empty(), "all engines validated away?");
+
+    // The corners are the best single-objective points over the whole
+    // race; the frontier must weakly dominate both (and every other
+    // point — it is the non-dominated set over exactly these points).
+    let corner_x = race
+        .points
+        .iter()
+        .map(|p| (p.x, p.y))
+        .min_by(|a, b| a.partial_cmp(b).unwrap())
+        .unwrap();
+    let corner_y = race
+        .points
+        .iter()
+        .map(|p| (p.y, p.x))
+        .min_by(|a, b| a.partial_cmp(b).unwrap())
+        .map(|(py, px)| (px, py))
+        .unwrap();
+    assert!(
+        frontier_dominates(&race.frontier, &[corner_x, corner_y]),
+        "frontier {:?} fails to cover corners {corner_x:?} / {corner_y:?}",
+        race.frontier
+    );
+    let all: Vec<(f64, f64)> = race.points.iter().map(|p| (p.x, p.y)).collect();
+    assert!(frontier_dominates(&race.frontier, &all));
+
+    // The frontier itself is mutually non-dominated and sorted by x.
+    for (i, &p) in race.frontier.iter().enumerate() {
+        for (j, &q) in race.frontier.iter().enumerate() {
+            assert!(i == j || !dominates(p, q), "frontier not minimal");
+        }
+    }
+    for w in race.frontier.windows(2) {
+        assert!(w[0].0 <= w[1].0, "frontier not sorted by x");
+    }
+}

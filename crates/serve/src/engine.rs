@@ -18,12 +18,16 @@
 //! appears in a `result` payload.
 
 use crate::cache::ResultCache;
-use crate::protocol::{self, CircuitFormat, Request, ResultPayload, StatsSnapshot, SubmitRequest};
+use crate::protocol::{
+    self, CircuitFormat, ObjectiveSel, Request, ResultPayload, StatsSnapshot, SubmitRequest,
+};
 use crate::queue::{Bounded, SubmitError};
 use esyn_core::{
-    cache_key, esyn_optimize, CostModels, EsynConfig, Objective, Parallelism, SaturationLimits,
+    cache_key, cache_key_tagged, esyn_optimize, esyn_optimize_with_cost, CostModels, EsynConfig,
+    EsynResult, Parallelism, SaturationLimits,
 };
 use esyn_eqn::{parse_blif, parse_eqn, Network};
+use esyn_objective::{objective_by_name, ScoreOf};
 use esyn_techmap::Library;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
@@ -73,7 +77,7 @@ impl Default for ServeConfig {
 struct Job {
     id: String,
     net: Network,
-    objective: Objective,
+    objective: ObjectiveSel,
     cfg: EsynConfig,
     reply: Sender<String>,
 }
@@ -241,7 +245,17 @@ impl Engine {
     }
 
     fn run_job(&self, job: Job) {
-        let key = cache_key(&job.net, job.objective, &job.cfg);
+        // Builtin objectives keep the original key derivation
+        // byte-for-byte; named objectives key under a namespaced tag
+        // (`named:<name>`) that can never alias a builtin rendering, so
+        // two requests differing only in `objective` never share an
+        // entry.
+        let key = match job.objective {
+            ObjectiveSel::Builtin(obj) => cache_key(&job.net, obj, &job.cfg),
+            ObjectiveSel::Named(name) => {
+                cache_key_tagged(&job.net, &format!("named:{name}"), &job.cfg)
+            }
+        };
         if let Some(cached) = self.cache.lock().unwrap().get(&key) {
             self.completed.fetch_add(1, Ordering::SeqCst);
             let _ = job
@@ -253,9 +267,24 @@ impl Engine {
         // cache hits on other workers. Two racing identical jobs may
         // both compute — their results are bit-identical, so the second
         // insert is a no-op value-wise.
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            esyn_optimize(&job.net, &self.models, &self.lib, job.objective, &job.cfg)
-        }));
+        let run = || -> EsynResult {
+            match job.objective {
+                ObjectiveSel::Builtin(obj) => {
+                    esyn_optimize(&job.net, &self.models, &self.lib, obj, &job.cfg)
+                }
+                ObjectiveSel::Named(name) => {
+                    let obj = objective_by_name(name).expect("parser canonicalized the name");
+                    esyn_optimize_with_cost(
+                        &job.net,
+                        &ScoreOf(obj),
+                        &self.lib,
+                        obj.backend(),
+                        &job.cfg,
+                    )
+                }
+            }
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
         match outcome {
             Ok(result) => {
                 let payload = ResultPayload::from_result(&result, key);

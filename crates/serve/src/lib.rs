@@ -43,8 +43,8 @@ pub use cache::ResultCache;
 pub use engine::{Engine, ServeConfig};
 pub use json::{Json, JsonError};
 pub use protocol::{
-    parse_request, CircuitFormat, JobOverrides, ProtocolError, Request, ResultPayload,
-    StatsSnapshot, SubmitRequest,
+    parse_request, CircuitFormat, JobOverrides, ObjectiveSel, ProtocolError, Request,
+    ResultPayload, StatsSnapshot, SubmitRequest,
 };
 pub use queue::{Bounded, SubmitError};
 pub use server::{serve_stdio, serve_tcp};

@@ -6,11 +6,21 @@
 //!
 //! ```text
 //! {"op":"submit","id":"j1","format":"eqn|blif|name","circuit":"...",
-//!  "objective":"delay|area|balanced","config":{...}}
+//!  "objective":"delay|area|balanced|<esyn-objective name>","config":{...}}
 //! {"op":"stats"}
 //! {"op":"ping"}
 //! {"op":"shutdown"}
 //! ```
+//!
+//! `objective` accepts the three builtin model-driven objectives
+//! (`delay`, `area`, `balanced` — learned GBDT scoring) or any
+//! registered `esyn-objective` name (`unit`, `inv-weighted`, `techmap`,
+//! `activity`, … — deterministic feature scoring). Builtin names win
+//! on collision: `"area"` is the builtin model-driven objective, not
+//! the registry's gate-count objective (whose close proxies `unit` and
+//! `techmap` remain reachable). Unknown names are rejected with the
+//! full list — never silently defaulted, since the objective
+//! participates in the cache key.
 //!
 //! The optional `config` object overrides the server's per-job defaults
 //! field by field: `iter_limit`, `node_limit`, `time_limit_ms`,
@@ -65,9 +75,20 @@ pub struct SubmitRequest {
     /// Circuit text (`eqn`/`blif`) or registry name (`name`).
     pub circuit: String,
     /// Optimisation objective.
-    pub objective: Objective,
+    pub objective: ObjectiveSel,
     /// Per-job config overrides (applied to the server's defaults).
     pub overrides: JobOverrides,
+}
+
+/// The objective a submit request runs under: a builtin model-driven
+/// [`Objective`] or a named `esyn-objective` registry entry (already
+/// canonicalized by the parser).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObjectiveSel {
+    /// A builtin objective scored by the learned cost models.
+    Builtin(Objective),
+    /// A registered `esyn-objective`, scored by its feature function.
+    Named(&'static str),
 }
 
 /// Accepted circuit encodings.
@@ -213,15 +234,21 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             };
             let circuit = str_field(&v, "circuit")?.to_owned();
             let objective = match v.get("objective").map(|o| o.as_str()) {
-                None => Objective::Delay,
-                Some(Some("delay")) => Objective::Delay,
-                Some(Some("area")) => Objective::Area,
-                Some(Some("balanced")) => Objective::Balanced,
-                Some(other) => {
-                    return Err(ProtocolError::new(format!(
-                        "unknown objective `{other:?}` (expected delay, area or balanced)"
-                    )))
-                }
+                None => ObjectiveSel::Builtin(Objective::Delay),
+                Some(Some("delay")) => ObjectiveSel::Builtin(Objective::Delay),
+                Some(Some("area")) => ObjectiveSel::Builtin(Objective::Area),
+                Some(Some("balanced")) => ObjectiveSel::Builtin(Objective::Balanced),
+                Some(Some(other)) => match esyn_objective::canonical_objective_name(other) {
+                    Some(name) => ObjectiveSel::Named(name),
+                    None => {
+                        return Err(ProtocolError::new(format!(
+                            "unknown objective `{other}` (builtin: delay, area, balanced; \
+                             registry: {})",
+                            esyn_objective::OBJECTIVE_NAMES.join(", ")
+                        )))
+                    }
+                },
+                Some(None) => return Err(ProtocolError::new("field `objective` must be a string")),
             };
             let overrides = match v.get("config") {
                 None | Some(Json::Null) => JobOverrides::default(),
@@ -492,7 +519,7 @@ mod tests {
         };
         assert_eq!(s.id, "j1");
         assert_eq!(s.format, CircuitFormat::Name);
-        assert_eq!(s.objective, Objective::Area);
+        assert_eq!(s.objective, ObjectiveSel::Builtin(Objective::Area));
         assert_eq!(s.overrides.iter_limit, Some(4));
         assert_eq!(s.overrides.threads, Some(2));
         assert_eq!(s.overrides.extractor, Some("greedy-dag"));
@@ -502,6 +529,47 @@ mod tests {
         assert!(cfg.pool.include_dag_extreme);
         assert_eq!(cfg.parallelism, Parallelism::Fixed(2));
         assert!(!cfg.verify);
+    }
+
+    #[test]
+    fn named_objectives_parse_and_builtins_shadow_the_registry() {
+        let submit = |obj: &str| {
+            let line = format!(
+                r#"{{"op":"submit","id":"j","format":"name","circuit":"adder","objective":"{obj}"}}"#
+            );
+            match parse_request(&line) {
+                Ok(Request::Submit(s)) => Ok(s.objective),
+                Ok(_) => panic!("expected submit"),
+                Err(e) => Err(e),
+            }
+        };
+        assert_eq!(submit("techmap").unwrap(), ObjectiveSel::Named("techmap"));
+        // Underscore spellings canonicalize, like `extractor` names.
+        assert_eq!(
+            submit("inv_weighted").unwrap(),
+            ObjectiveSel::Named("inv-weighted")
+        );
+        // The builtin wins the `area` collision.
+        assert_eq!(
+            submit("area").unwrap(),
+            ObjectiveSel::Builtin(Objective::Area)
+        );
+    }
+
+    #[test]
+    fn unknown_objectives_are_rejected_with_the_full_list() {
+        let line = r#"{"op":"submit","id":"j","format":"name","circuit":"adder",
+            "objective":"powerr"}"#;
+        let e = parse_request(line).unwrap_err();
+        assert!(e.message.contains("powerr"), "{e}");
+        assert!(e.message.contains("balanced"), "lists builtins: {e}");
+        assert!(e.message.contains("techmap"), "lists registry names: {e}");
+        // Non-string objectives are a type error, not a default.
+        let e = parse_request(
+            r#"{"op":"submit","id":"j","format":"name","circuit":"adder","objective":7}"#,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("must be a string"), "{e}");
     }
 
     #[test]

@@ -180,6 +180,62 @@ fn every_config_knob_separates_the_cache_key() {
 }
 
 #[test]
+fn objectives_never_alias_cache_entries() {
+    // Requests differing only in `objective` — builtin or named — must
+    // produce distinct cache entries, then re-hit their own.
+    let submit_obj = |id: &str, objective: &str| {
+        format!(
+            r#"{{"op":"submit","id":"{id}","format":"name","circuit":"3_3","objective":"{objective}","config":{{"iter_limit":3,"node_limit":2000,"samples":6}}}}"#
+        )
+    };
+    let engine = test_engine(8);
+    let (tx, rx) = channel();
+    let objectives = ["delay", "techmap", "activity", "unit"];
+    let mut bytes = Vec::new();
+    for (i, obj) in objectives.iter().enumerate() {
+        engine.handle_line(&submit_obj(&format!("cold{i}"), obj), &tx);
+        let (cached, b) = result_parts(&recv_reply(&rx));
+        assert!(!cached, "objective `{obj}` must miss on first submission");
+        assert!(
+            !bytes.contains(&b),
+            "objective `{obj}` reproduced another objective's payload bytes"
+        );
+        bytes.push(b);
+    }
+    engine.handle_line(&submit_obj("warm", "techmap"), &tx);
+    let (cached, b) = result_parts(&recv_reply(&rx));
+    assert!(cached, "resubmitted named objective must re-hit its entry");
+    assert_eq!(b, bytes[1], "warm bytes differ from techmap's cold bytes");
+
+    let stats = engine.stats();
+    assert_eq!(stats.cache_misses, objectives.len() as u64);
+    assert_eq!(stats.cache_hits, 1);
+    engine.shutdown();
+}
+
+#[test]
+fn named_objective_keys_are_namespaced_away_from_builtins() {
+    // Key-level twin of `objectives_never_alias_cache_entries`: the
+    // `named:` tag namespace can never collide with a builtin Debug
+    // rendering, even for the shadowed `area` name.
+    let net = esyn_circuits::by_name("3_3").expect("registry circuit");
+    let base = ServeConfig::default().base;
+    let mut keys = vec![
+        esyn_core::cache_key(&net, Objective::Delay, &base),
+        esyn_core::cache_key(&net, Objective::Area, &base),
+        esyn_core::cache_key(&net, Objective::Balanced, &base),
+    ];
+    for name in esyn_objective::OBJECTIVE_NAMES {
+        let key = esyn_core::cache_key_tagged(&net, &format!("named:{name}"), &base);
+        assert!(
+            !keys.contains(&key),
+            "named objective `{name}` aliases another objective's key"
+        );
+        keys.push(key);
+    }
+}
+
+#[test]
 fn parallelism_is_part_of_the_key_but_thread_count_never_changes_content() {
     // `threads` is keyed conservatively (different key → both requests
     // miss), yet the esyn-par contract means the synthesis *content*

@@ -38,6 +38,7 @@ mod flow;
 mod library;
 mod mapper;
 mod netlist;
+mod opcost;
 mod sizing;
 mod sta;
 mod verilog;
@@ -47,5 +48,6 @@ pub use flow::{map_and_size, map_buffer_size, map_choices_and_size, MapMode, Qor
 pub use library::{Cell, Library};
 pub use mapper::{map_aig, map_choices};
 pub use netlist::{Gate, Netlist, Signal};
+pub use opcost::{OpCost, OpCosts};
 pub use sizing::{dnsize, upsize};
 pub use sta::{sta, sta_with_target, TimingReport, PO_CAP};

@@ -1,0 +1,130 @@
+//! Per-operator cost derivation: the cheapest way a [`Library`] can
+//! realise each operator of the extraction language (`And`, `Or`,
+//! `Not`), expressed as area and intrinsic delay.
+//!
+//! This is the bridge between the mapper's cell-level view and the
+//! e-graph's node-level view: `esyn-objective`'s `techmap` objective
+//! charges each e-node what the mapper would actually pay for it, so
+//! extraction minimises a technology-aware proxy instead of a bare
+//! gate count.
+//!
+//! The derivation considers, per operator function `f`:
+//!
+//! * every direct match `cell(leaves…) = f` from the NPN table, paying
+//!   one inverter per negated input pin;
+//! * every complement match `cell(leaves…) = ¬f`, paying the negated
+//!   input pins plus one output inverter.
+//!
+//! Area is the cell area plus one minimum-drive inverter per inversion;
+//! delay is the worst input-to-output intrinsic path through the chain
+//! (input inverter → cell → output inverter). The cheapest realisation
+//! is selected by area, tie-broken by delay, and the search order is
+//! the deterministic match-table order, so the result is a pure
+//! function of the library.
+
+use crate::library::Library;
+
+/// Cost of the cheapest library realisation of one Boolean operator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpCost {
+    /// Total cell area (µm²), including helper inverters.
+    pub area: f64,
+    /// Worst intrinsic delay (ps) along the realisation chain.
+    pub delay: f64,
+}
+
+/// Cheapest realisation costs for the extraction language's operators.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpCosts {
+    /// Two-input AND.
+    pub and: OpCost,
+    /// Two-input OR.
+    pub or: OpCost,
+    /// Inverter.
+    pub not: OpCost,
+}
+
+impl Library {
+    /// Derives the cheapest per-operator realisation costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library cannot realise a two-input AND or OR in
+    /// either polarity ([`Library::new`] already guarantees the
+    /// inverter).
+    pub fn op_costs(&self) -> OpCosts {
+        OpCosts {
+            and: self.cheapest_op("AND2", 2, 0b1000),
+            or: self.cheapest_op("OR2", 2, 0b1110),
+            not: self.cheapest_op("NOT", 1, 0b01),
+        }
+    }
+
+    /// Cheapest realisation of the `num_vars`-input function `tt`
+    /// (area-first, delay tie-break, deterministic match order).
+    fn cheapest_op(&self, what: &str, num_vars: usize, tt: u16) -> OpCost {
+        let inv = &self.cells()[self.inverter()];
+        let mask = ((1u32 << (1 << num_vars)) - 1) as u16;
+        let mut best: Option<OpCost> = None;
+        // (candidate function, extra output inverters)
+        for (f, out_invs) in [(tt, 0u32), ((!tt) & mask, 1)] {
+            for m in self.matches(num_vars, f) {
+                let cell = &self.cells()[m.cell];
+                let in_invs = u32::from(m.input_neg.count_ones());
+                let area = cell.area + f64::from(in_invs + out_invs) * inv.area;
+                let mut delay = cell.intrinsic;
+                if in_invs > 0 {
+                    delay += inv.intrinsic;
+                }
+                delay += f64::from(out_invs) * inv.intrinsic;
+                let cand = OpCost { area, delay };
+                let better = match best {
+                    None => true,
+                    Some(b) => cand.area < b.area || (cand.area == b.area && cand.delay < b.delay),
+                };
+                if better {
+                    best = Some(cand);
+                }
+            }
+        }
+        best.unwrap_or_else(|| panic!("library cannot realise {what}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Library;
+
+    #[test]
+    fn asap7_prefers_direct_and2_over_nand_plus_inv() {
+        let costs = Library::asap7_like().op_costs();
+        // AND2_x1 (1.40) beats NAND2_x1 + INV_x1 (0.94 + 0.70).
+        assert_eq!(costs.and.area, 1.40);
+        assert_eq!(costs.or.area, 1.40);
+        assert_eq!(costs.not.area, 0.70);
+        for op in [costs.and, costs.or, costs.not] {
+            assert!(op.area > 0.0 && op.delay > 0.0);
+        }
+    }
+
+    #[test]
+    fn nand_inv_realises_and_via_complement_and_or_via_input_negation() {
+        let lib = Library::nand_inv();
+        let costs = lib.op_costs();
+        let (nand, inv) = (0.94, 0.70);
+        // AND = NAND + output inverter.
+        assert!((costs.and.area - (nand + inv)).abs() < 1e-12);
+        // OR = NAND(¬a, ¬b): two input inverters.
+        assert!((costs.or.area - (nand + 2.0 * inv)).abs() < 1e-12);
+        assert!((costs.not.area - inv).abs() < 1e-12);
+        // Chains through inverters are slower than the bare cell.
+        assert!(costs.and.delay > costs.not.delay);
+    }
+
+    #[test]
+    fn op_costs_are_a_pure_function_of_the_library() {
+        let a = Library::asap7_like().op_costs();
+        let b = Library::asap7_like().op_costs();
+        assert_eq!(a, b);
+    }
+}

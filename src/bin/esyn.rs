@@ -6,13 +6,16 @@
 //! ```text
 //! esyn stats    <file>                             # parse + report
 //! esyn optimize <file> [delay|area|balanced]       # full E-Syn flow
-//!               [--models DIR] [--out FILE] [--verilog FILE] [--choices]
+//!               [--objective NAME] [--models DIR] [--out FILE]
+//!               [--verilog FILE] [--choices]
 //!               [--extractor NAME] [--threads N] [--verbose]
 //! esyn baseline <file> [delay|area|balanced] [--choices]   # ABC-style baseline
 //! esyn cec      <a> <b> [--threads N]              # equivalence check
 //! esyn bench    <circuit-name>                     # write a named benchmark as eqn
 //! esyn gym      [circuit ...] [--engines a,b,..]   # race the extraction gym
-//!               [--full] [--threads N]
+//!               [--cost NAME] [--full] [--threads N]
+//! esyn pareto   [circuit ...] [--x NAME] [--y NAME] # objective-pair frontier
+//!               [--engines a,b,..] [--full] [--threads N]
 //! esyn convert  <in> <out>                         # convert between formats
 //! esyn aig      <file> <out.aag|out.aig>           # strash + AIGER export
 //! esyn serve    [--port N | --stdio]               # batch synthesis service
@@ -25,6 +28,15 @@
 //! arguments races the whole benchmark registry. Engine names for both
 //! come from `esyn_extract::ENGINE_NAMES` (bottom-up, faster-bottom-up,
 //! greedy-dag, faster-greedy-dag, global-greedy-dag, bnb, exact).
+//!
+//! The named objectives (from `esyn_objective::OBJECTIVE_NAMES`: unit,
+//! area, depth, inv-weighted, techmap, activity) drive three commands:
+//! `optimize --objective NAME` scores the candidate pool with the named
+//! objective instead of the learned models, `gym --cost NAME` races the
+//! engines under its node-local cost model, and `esyn pareto` races an
+//! objective *pair* (default `--x area --y depth`) and prints every
+//! engine's point plus the non-dominated frontier. `pareto` output
+//! carries no wall-clock, so it is bit-identical at any `ESYN_THREADS`.
 //!
 //! `serve` starts the long-running batch service (`esyn-serve`): a
 //! JSON-lines protocol over TCP (`--port`, `0` picks an ephemeral port)
@@ -43,12 +55,15 @@
 use e_syn::aig::Aig;
 use e_syn::cec::{check_equivalence_par, EquivResult, DEFAULT_SIM_SEED};
 use e_syn::core::{
-    abc_baseline, abc_baseline_choices, esyn_optimize, train_cost_models, CostModels, EsynConfig,
-    Objective, Parallelism, TrainConfig,
+    abc_baseline, abc_baseline_choices, esyn_optimize, esyn_optimize_with_cost, train_cost_models,
+    BoolLang, CostModels, EsynConfig, Objective, Parallelism, TrainConfig,
 };
 use e_syn::core::{all_rules, network_to_recexpr, saturate_par, SaturationLimits};
 use e_syn::eqn::{parse_blif, parse_eqn, write_blif, Network};
-use e_syn::extract::{canonical_engine_name, gym, UnitCost, ENGINE_NAMES};
+use e_syn::extract::{canonical_engine_name, gym, CostModel, UnitCost, ENGINE_NAMES};
+use e_syn::objective::{
+    lowerable_objective_names, objective_by_name, pareto_race, ScoreOf, OBJECTIVE_NAMES,
+};
 use e_syn::techmap::Library;
 use std::path::Path;
 use std::process::ExitCode;
@@ -69,14 +84,21 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!("usage (circuit files: .eqn, .blif, .aag, .aig):");
     eprintln!("  esyn stats    <file>");
-    eprintln!("  esyn optimize <file> [delay|area|balanced] [--models DIR] [--out FILE] [--verilog FILE] [--choices] [--extractor NAME] [--threads N] [--verbose]");
+    eprintln!("  esyn optimize <file> [delay|area|balanced] [--objective NAME] [--models DIR] [--out FILE] [--verilog FILE] [--choices] [--extractor NAME] [--threads N] [--verbose]");
     eprintln!("  esyn baseline <file> [delay|area|balanced] [--choices]");
     eprintln!("  esyn cec      <a> <b> [--threads N]");
     eprintln!("  esyn bench    <circuit-name> (or `list`)");
-    eprintln!("  esyn gym      [circuit ...] [--engines a,b,..] [--full] [--threads N]");
     eprintln!(
-        "                extraction engines (for gym and --extractor): {}",
+        "  esyn gym      [circuit ...] [--engines a,b,..] [--cost NAME] [--full] [--threads N]"
+    );
+    eprintln!("  esyn pareto   [circuit ...] [--x NAME] [--y NAME] [--engines a,b,..] [--full] [--threads N]");
+    eprintln!(
+        "                extraction engines (for gym, pareto, --extractor): {}",
         ENGINE_NAMES.join(", ")
+    );
+    eprintln!(
+        "                named objectives (for pareto, --objective, --cost): {}",
+        OBJECTIVE_NAMES.join(", ")
     );
     eprintln!("  esyn convert  <in> <out.eqn|out.blif|out.aag|out.aig|out.v>");
     eprintln!("  esyn aig      <file> <out.aag|out.aig>");
@@ -92,6 +114,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "cec" => cec(&args[1..]),
         "bench" => bench(args.get(1).map(String::as_str).unwrap_or("list")),
         "gym" => gym_cmd(&args[1..]),
+        "pareto" => pareto_cmd(&args[1..]),
         "convert" => convert(
             args.get(1).ok_or("missing input file")?,
             args.get(2).ok_or("missing output file")?,
@@ -183,6 +206,31 @@ fn parse_objective(s: Option<&String>) -> Result<Objective, String> {
     }
 }
 
+/// Resolves a name against the `esyn-objective` registry, with an error
+/// that lists every registered objective.
+fn parse_named_objective(s: &str) -> Result<&'static dyn e_syn::objective::Objective, String> {
+    objective_by_name(s).ok_or_else(|| {
+        format!(
+            "unknown objective `{s}` (available: {})",
+            OBJECTIVE_NAMES.join(", ")
+        )
+    })
+}
+
+/// Resolves a name to the objective's node-local cost model; errors out
+/// on feature-only objectives (`depth`) with the lowerable subset.
+fn parse_cost_model(s: &str) -> Result<(&'static str, &'static dyn CostModel<BoolLang>), String> {
+    let obj = parse_named_objective(s)?;
+    let model = obj.cost_model().ok_or_else(|| {
+        format!(
+            "objective `{}` has no node-local cost model (lowerable: {})",
+            obj.name(),
+            lowerable_objective_names().join(", ")
+        )
+    })?;
+    Ok((obj.name(), model))
+}
+
 fn stats(path: &str) -> Result<(), String> {
     let net = load(path)?;
     let s = net.stats();
@@ -233,6 +281,7 @@ fn parse_engine(s: &str) -> Result<&'static str, String> {
 fn optimize(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("missing input file")?;
     let mut objective_arg = None;
+    let mut named_objective = None;
     let mut models_dir = None;
     let mut out_file = None;
     let mut verilog_file = None;
@@ -243,6 +292,11 @@ fn optimize(args: &[String]) -> Result<(), String> {
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--objective" => {
+                named_objective = Some(parse_named_objective(
+                    it.next().ok_or("--objective needs a value")?,
+                )?)
+            }
             "--models" => models_dir = Some(it.next().ok_or("--models needs a value")?.clone()),
             "--out" => out_file = Some(it.next().ok_or("--out needs a value")?.clone()),
             "--verilog" => verilog_file = Some(it.next().ok_or("--verilog needs a value")?.clone()),
@@ -258,10 +312,14 @@ fn optimize(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
-    let objective = parse_objective(objective_arg.as_ref())?;
+    if named_objective.is_some() && objective_arg.is_some() {
+        return Err(
+            "pass either a builtin objective (delay|area|balanced) or --objective NAME, not both"
+                .into(),
+        );
+    }
     let net = load(path)?;
     let lib = Library::asap7_like();
-    let models = models_for(models_dir.as_deref(), &lib);
 
     let mut cfg = EsynConfig {
         use_choices,
@@ -272,7 +330,20 @@ fn optimize(args: &[String]) -> Result<(), String> {
         cfg.pool.include_dag_extreme = true;
         cfg.pool.dag_engine = engine;
     }
-    let result = esyn_optimize(&net, &models, &lib, objective, &cfg);
+    // A named objective scores the candidate pool directly (no learned
+    // models needed); the builtin path keeps the trained-model scorer.
+    let (label, objective, result) = match named_objective {
+        Some(obj) => {
+            let r = esyn_optimize_with_cost(&net, &ScoreOf(obj), &lib, obj.backend(), &cfg);
+            (obj.name().to_owned(), obj.backend(), r)
+        }
+        None => {
+            let objective = parse_objective(objective_arg.as_ref())?;
+            let models = models_for(models_dir.as_deref(), &lib);
+            let r = esyn_optimize(&net, &models, &lib, objective, &cfg);
+            (format!("{objective:?}"), objective, r)
+        }
+    };
     if verbose {
         println!("saturation ({} iterations):", result.iterations.len());
         for (i, it) in result.iterations.iter().enumerate() {
@@ -289,7 +360,7 @@ fn optimize(args: &[String]) -> Result<(), String> {
         println!("stop reason: {:?}", result.stop_reason);
     }
     println!(
-        "{objective:?}: area {:.2} um2, delay {:.2} ps, {} gates, {} levels",
+        "{label}: area {:.2} um2, delay {:.2} ps, {} gates, {} levels",
         result.qor.area, result.qor.delay, result.qor.gates, result.qor.levels
     );
     println!(
@@ -400,6 +471,7 @@ fn gym_cmd(args: &[String]) -> Result<(), String> {
     let mut circuits: Vec<String> = Vec::new();
     let mut engines: Option<Vec<&'static str>> = None;
     let mut parallelism = Parallelism::Auto;
+    let mut cost: (&'static str, &dyn CostModel<BoolLang>) = ("unit", &UnitCost);
     // Gym races are about extraction, not saturation: grow the e-graphs
     // with a small budget by default so a full-registry race stays
     // interactive; `--full` switches to the default optimization limits.
@@ -415,6 +487,7 @@ fn gym_cmd(args: &[String]) -> Result<(), String> {
                         .collect::<Result<Vec<_>, _>>()?,
                 );
             }
+            "--cost" => cost = parse_cost_model(it.next().ok_or("--cost needs a value")?)?,
             "--full" => limits = SaturationLimits::default(),
             "--threads" => {
                 parallelism = parse_threads(it.next().ok_or("--threads needs a value")?)?
@@ -450,12 +523,13 @@ fn gym_cmd(args: &[String]) -> Result<(), String> {
         let sat_ms = t0.elapsed().as_secs_f64() * 1e3;
         let egraph = &runner.egraph;
         println!(
-            "{name}: {} e-nodes / {} e-classes after saturation ({sat_ms:.1} ms, stop {:?})",
+            "{name}: {} e-nodes / {} e-classes after saturation ({sat_ms:.1} ms, stop {:?}, cost {})",
             egraph.total_nodes(),
             egraph.num_classes(),
-            runner.stop_reason
+            runner.stop_reason,
+            cost.0
         );
-        let rows = gym::race(egraph, &runner.roots, &UnitCost, &engines, parallelism);
+        let rows = gym::race(egraph, &runner.roots, cost.1, &engines, parallelism);
         println!(
             "  {:<18} {:>10} {:>12} {:>10}  check",
             "engine", "dag-cost", "tree-cost", "time(us)"
@@ -488,6 +562,98 @@ fn gym_cmd(args: &[String]) -> Result<(), String> {
     }
     if failures > 0 {
         return Err(format!("{failures} gym check(s) failed"));
+    }
+    Ok(())
+}
+
+/// `esyn pareto` — saturate each requested registry circuit, race the
+/// extraction engines under an objective pair (default area × depth),
+/// and print every engine's point plus the non-dominated frontier.
+///
+/// Deliberately prints no wall-clock figures: the output is a pure
+/// function of the circuit, the objective pair, and the engine list, so
+/// it is bit-identical at any `ESYN_THREADS` / `--threads` setting.
+fn pareto_cmd(args: &[String]) -> Result<(), String> {
+    let mut circuits: Vec<String> = Vec::new();
+    let mut engines: Option<Vec<&'static str>> = None;
+    let mut parallelism = Parallelism::Auto;
+    let mut x_name = "area".to_owned();
+    let mut y_name = "depth".to_owned();
+    let mut limits = SaturationLimits::small();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--x" => x_name = it.next().ok_or("--x needs an objective name")?.clone(),
+            "--y" => y_name = it.next().ok_or("--y needs an objective name")?.clone(),
+            "--engines" => {
+                let list = it.next().ok_or("--engines needs a comma-separated list")?;
+                engines = Some(
+                    list.split(',')
+                        .map(parse_engine)
+                        .collect::<Result<Vec<_>, _>>()?,
+                );
+            }
+            "--full" => limits = SaturationLimits::default(),
+            "--threads" => {
+                parallelism = parse_threads(it.next().ok_or("--threads needs a value")?)?
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unexpected argument `{other}`"))
+            }
+            other => circuits.push(other.to_owned()),
+        }
+    }
+    let x = parse_named_objective(&x_name)?;
+    let y = parse_named_objective(&y_name)?;
+    let engines = engines.unwrap_or_else(|| ENGINE_NAMES.to_vec());
+    let benchmarks: Vec<(String, Network)> = if circuits.is_empty() {
+        e_syn::circuits::all_benchmarks()
+            .into_iter()
+            .map(|b| (b.name.to_owned(), b.network))
+            .collect()
+    } else {
+        circuits
+            .iter()
+            .map(|name| {
+                e_syn::circuits::by_name(name)
+                    .map(|net| (name.clone(), net))
+                    .ok_or_else(|| format!("unknown circuit `{name}` (try `esyn bench list`)"))
+            })
+            .collect::<Result<Vec<_>, _>>()?
+    };
+
+    for (name, net) in &benchmarks {
+        let expr = network_to_recexpr(net);
+        let runner = saturate_par(&expr, &all_rules(), &limits, parallelism);
+        let egraph = &runner.egraph;
+        println!(
+            "{name}: {} e-nodes / {} e-classes (stop {:?})",
+            egraph.total_nodes(),
+            egraph.num_classes(),
+            runner.stop_reason
+        );
+        let race = pareto_race(egraph, &runner.roots, x, y, &engines, parallelism);
+        println!(
+            "  {:<18} {:<12} {:>12} {:>12}",
+            "engine", "raced-under", race.x_name, race.y_name
+        );
+        for p in &race.points {
+            println!(
+                "  {:<18} {:<12} {:>12} {:>12}",
+                p.engine, p.raced_under, p.x, p.y
+            );
+        }
+        let frontier: Vec<String> = race
+            .frontier
+            .iter()
+            .map(|(px, py)| format!("({px}, {py})"))
+            .collect();
+        println!(
+            "  frontier ({} of {} points): {}",
+            race.frontier.len(),
+            race.points.len(),
+            frontier.join(" ")
+        );
     }
     Ok(())
 }

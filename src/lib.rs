@@ -68,6 +68,10 @@ pub use esyn_cec as cec;
 /// DAG-cost engines and the shared validator ([`esyn_extract`]).
 pub use esyn_extract as extract;
 
+/// Named optimization objectives: pool-side scoring, extract-side cost
+/// models, Pareto extraction ([`esyn_objective`]).
+pub use esyn_objective as objective;
+
 /// Gradient-boosted regression trees ([`esyn_gbdt`]).
 pub use esyn_gbdt as gbdt;
 

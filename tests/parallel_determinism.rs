@@ -110,6 +110,45 @@ fn extraction_gym_race_is_thread_count_invariant() {
 }
 
 #[test]
+fn pareto_race_is_thread_count_invariant() {
+    // The multi-objective race shares the gym's structure (dense
+    // snapshot + cost-table fan-out), so its entire outcome — point
+    // order, both scores of every point, and the frontier — must be
+    // bit-identical at `ESYN_THREADS` ∈ {1, 2, 4} (pinned in-process
+    // via `Parallelism::Fixed`). This is what lets `esyn pareto` print
+    // frontiers with no wall-clock caveat.
+    use e_syn::extract::ENGINE_NAMES;
+    use e_syn::objective::{objective_by_name, pareto_race};
+    let net = e_syn::circuits::by_name("qadd").expect("qadd generator");
+    let expr = network_to_recexpr(&net);
+    let runner = saturate(&expr, &all_rules(), &SaturationLimits::small());
+    let (x, y) = (
+        objective_by_name("area").unwrap(),
+        objective_by_name("depth").unwrap(),
+    );
+    type Fingerprint = (Vec<(&'static str, &'static str, u64, u64)>, Vec<(u64, u64)>);
+    let race_at = |par: Parallelism| -> Fingerprint {
+        let race = pareto_race(&runner.egraph, &runner.roots, x, y, &ENGINE_NAMES, par);
+        (
+            race.points
+                .iter()
+                .map(|p| (p.engine, p.raced_under, p.x.to_bits(), p.y.to_bits()))
+                .collect(),
+            race.frontier
+                .iter()
+                .map(|&(fx, fy)| (fx.to_bits(), fy.to_bits()))
+                .collect(),
+        )
+    };
+    let serial = race_at(Parallelism::Fixed(1));
+    assert_eq!(serial.0.len(), ENGINE_NAMES.len(), "area drives one round");
+    assert!(!serial.1.is_empty(), "frontier must be non-empty");
+    for par in [Parallelism::Fixed(2), Parallelism::Fixed(4)] {
+        assert_eq!(race_at(par), serial, "pareto race differs under {par:?}");
+    }
+}
+
+#[test]
 fn cec_verdict_is_thread_count_invariant_on_equivalent_networks() {
     // A multiplier against its dc2-resynthesised form: structurally very
     // different, functionally identical — every output miter does real
