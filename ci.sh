@@ -57,7 +57,9 @@ ESYN_BENCH_FAST=1 ESYN_THREADS=1 cargo bench -q -p esyn-bench --bench pareto >/d
 
 echo "==> smoke-run serve bench (ESYN_BENCH_FAST=1)"
 # Concurrent TCP clients against an in-process server; asserts every
-# warm-pass job is a cache hit and the cap-2 queue rejects under flood.
+# warm-pass job is a cache hit, saturated-tier reuse is byte-identical
+# to cold runs, cache memory stays within the byte budget with
+# deterministic eviction, and the cap-2 queue rejects under flood.
 ESYN_BENCH_FAST=1 cargo bench -q -p esyn-bench --bench serve >/dev/null
 
 echo "==> smoke-run serve bench (ESYN_BENCH_FAST=1, ESYN_THREADS=1)"
@@ -72,6 +74,7 @@ printf '%s\n%s\n%s\n' \
     '{"op":"submit","id":"smoke","format":"name","circuit":"3_3","config":{"iter_limit":3,"node_limit":2000,"samples":6}}' \
     '{"op":"stats"}' \
     | cargo run --release --bin esyn -- serve --stdio --train tiny \
+        --cache-bytes 4m --sat-cache-bytes 16m \
     | grep -q '"reply":"result","id":"smoke"'
 
 echo "==> esyn gym smoke (small registry slice)"

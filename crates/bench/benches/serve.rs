@@ -1,12 +1,17 @@
 //! Load test for the `esyn serve` batch service: concurrent TCP clients
 //! against an in-process server, timing a cold pass (every job computes)
-//! against a warm pass (every job replays cached bytes), plus a
-//! backpressure phase that drives a deliberately tiny queue to overflow.
+//! against a warm pass (every job replays cached bytes); a
+//! saturated-e-graph-tier phase comparing warm-saturation against fully
+//! cold runs (byte-identical payloads required); a byte-cap pressure
+//! phase driving deterministic eviction under a tight byte budget; and
+//! a backpressure phase that drives a deliberately tiny queue to
+//! overflow.
 //!
 //! Record results in EXPERIMENTS.md (§ "Batch service"). The cold/warm
-//! ratio is the point of the content-addressed cache; on the 1-CPU CI
-//! container the absolute times are serialised upper bounds, so record
-//! the ratio and the hit counts, not wall-clock folklore.
+//! and warm-saturation ratios are the point of the two cache tiers; on
+//! the 1-CPU CI container the absolute times are serialised upper
+//! bounds, so record the ratios and the hit counts, not wall-clock
+//! folklore.
 
 use esyn_core::{train_cost_models, TrainConfig};
 use esyn_serve::json::{self, Json};
@@ -85,7 +90,7 @@ fn main() {
         ServeConfig {
             workers: 2,
             queue_cap: 64,
-            cache_cap: 256,
+            cache_bytes: 8 << 20,
             ..ServeConfig::default()
         },
     );
@@ -125,8 +130,16 @@ fn main() {
         cold.as_secs_f64() / warm.as_secs_f64().max(1e-9)
     );
     println!(
-        "stats: submitted={} completed={} hits={} misses={} evictions={} cache_len={}",
-        s.submitted, s.completed, s.cache_hits, s.cache_misses, s.cache_evictions, s.cache_len
+        "stats: submitted={} completed={} computed={} coalesced={} hits={} misses={} evictions={} cache_len={} cache_bytes={}",
+        s.submitted,
+        s.completed,
+        s.computed,
+        s.coalesced,
+        s.cache_hits,
+        s.cache_misses,
+        s.cache_evictions,
+        s.cache_len,
+        s.cache_bytes
     );
 
     // Shut the server down cleanly so the bench exits.
@@ -140,6 +153,167 @@ fn main() {
     }
     server.join().expect("acceptor").expect("serve_tcp");
 
+    // --- saturated-e-graph tier: warm saturation vs fully cold ---
+    // One worker, sequential submits: per circuit, the first seed
+    // saturates and later seeds reuse the saturated e-graph (the result
+    // tier never hits — every (circuit, seed) is a distinct key). The
+    // control engine disables the tier, so every job saturates from
+    // scratch; its payloads must match the warm engine's byte-for-byte.
+    // This phase uses a heavier saturation budget and a lighter pool
+    // than the load-test line: the tier can only save the saturation
+    // share of a job, so the job shape here is the one it is built for
+    // (exploration-heavy saturation reused across cheap extractions).
+    let sat_submit_line = |id: &str, circuit: &str, seed: u64| -> String {
+        format!(
+            r#"{{"op":"submit","id":"{id}","format":"name","circuit":"{circuit}","config":{{"iter_limit":8,"node_limit":30000,"samples":2,"seed":{seed}}}}}"#
+        )
+    };
+    let seeds: &[u64] = if fast { &[1, 2, 3] } else { &[1, 2, 3, 4] };
+    let submit_collect = |engine: &Arc<Engine>, tag: &str| -> (Duration, Vec<String>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let t0 = Instant::now();
+        let mut payloads = Vec::new();
+        for circuit in circuits {
+            for &seed in seeds {
+                let id = format!("{tag}-{circuit}-{seed}");
+                engine.handle_line(&sat_submit_line(&id, circuit, seed), &tx);
+                let line = rx
+                    .recv_timeout(Duration::from_secs(600))
+                    .expect("reply within deadline");
+                let v = json::parse(&line).expect("reply JSON");
+                assert_eq!(
+                    v.get("reply").and_then(Json::as_str),
+                    Some("result"),
+                    "expected a result line: {line}"
+                );
+                payloads.push(v.get("result").expect("result object").encode());
+            }
+        }
+        (t0.elapsed(), payloads)
+    };
+    let warm_engine = Engine::new(
+        models.clone(),
+        lib.clone(),
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let (t_sat_warm, warm_payloads) = submit_collect(&warm_engine, "w");
+    let ws = warm_engine.stats();
+    assert_eq!(
+        ws.sat_misses as usize,
+        circuits.len(),
+        "exactly one saturation per circuit on the warm engine"
+    );
+    assert_eq!(
+        ws.sat_hits as usize,
+        circuits.len() * (seeds.len() - 1),
+        "every later seed must reuse the saturated e-graph"
+    );
+    warm_engine.shutdown();
+    let cold_engine = Engine::new(
+        models.clone(),
+        lib.clone(),
+        ServeConfig {
+            workers: 1,
+            sat_cache_bytes: 0,
+            ..ServeConfig::default()
+        },
+    );
+    let (t_sat_cold, cold_payloads) = submit_collect(&cold_engine, "c");
+    assert_eq!(cold_engine.stats().sat_hits, 0, "tier disabled");
+    cold_engine.shutdown();
+    assert_eq!(
+        warm_payloads, cold_payloads,
+        "saturated-tier reuse must be byte-identical to cold runs"
+    );
+    println!(
+        "sat-tier: {} jobs ({} circuits x {} seeds) warm {:.1} ms vs cold {:.1} ms -> {:.2}x; sat_hits={} sat_misses={} sat_bytes={}",
+        circuits.len() * seeds.len(),
+        circuits.len(),
+        seeds.len(),
+        t_sat_warm.as_secs_f64() * 1e3,
+        t_sat_cold.as_secs_f64() * 1e3,
+        t_sat_cold.as_secs_f64() / t_sat_warm.as_secs_f64().max(1e-9),
+        ws.sat_hits,
+        ws.sat_misses,
+        ws.sat_bytes,
+    );
+
+    // --- byte-cap pressure: deterministic eviction under a tight budget ---
+    // Probe one entry's measured charge, then give the result tier room
+    // for about three entries and push a dozen distinct jobs through:
+    // memory must stay within the budget after every reply, and the
+    // final counters must reproduce exactly on a rerun.
+    let pressure_jobs: u64 = if fast { 8 } else { 12 };
+    let probe = Engine::new(
+        models.clone(),
+        lib.clone(),
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    {
+        let (tx, rx) = std::sync::mpsc::channel();
+        probe.handle_line(&submit_line("probe", circuits[0], 1), &tx);
+        let _ = rx
+            .recv_timeout(Duration::from_secs(600))
+            .expect("probe reply");
+    }
+    let charge = probe.stats().cache_bytes;
+    probe.shutdown();
+    let budget = 3 * charge;
+    let run_pressure = || -> (usize, usize, u64, u64, u64) {
+        let engine = Engine::new(
+            models.clone(),
+            lib.clone(),
+            ServeConfig {
+                workers: 1,
+                cache_bytes: budget,
+                ..ServeConfig::default()
+            },
+        );
+        let (tx, rx) = std::sync::mpsc::channel();
+        for seed in 1..=pressure_jobs {
+            engine.handle_line(&submit_line(&format!("p{seed}"), circuits[0], seed), &tx);
+            let _ = rx
+                .recv_timeout(Duration::from_secs(600))
+                .expect("pressure reply");
+            let s = engine.stats();
+            assert!(
+                s.cache_bytes <= s.cache_bytes_cap,
+                "cache memory exceeded the byte budget: {} > {}",
+                s.cache_bytes,
+                s.cache_bytes_cap
+            );
+        }
+        let s = engine.stats();
+        engine.shutdown();
+        (
+            s.cache_len,
+            s.cache_bytes,
+            s.cache_evictions,
+            s.cache_hits,
+            s.cache_misses,
+        )
+    };
+    let first = run_pressure();
+    assert!(
+        first.2 >= 1,
+        "{pressure_jobs} distinct jobs against a ~3-entry budget must evict"
+    );
+    assert_eq!(
+        run_pressure(),
+        first,
+        "eviction must be deterministic across reruns"
+    );
+    println!(
+        "byte-cap pressure: budget={budget}B (~3 entries) x {pressure_jobs} distinct jobs -> len={} bytes={} evictions={} (identical across reruns)",
+        first.0, first.1, first.2
+    );
+
     // --- backpressure: a cap-2 queue under a deep flood ---
     let engine = Engine::new(
         models,
@@ -147,7 +321,8 @@ fn main() {
         ServeConfig {
             workers: 1,
             queue_cap: 2,
-            cache_cap: 0,
+            cache_bytes: 0,
+            sat_cache_bytes: 0,
             ..ServeConfig::default()
         },
     );

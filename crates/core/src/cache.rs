@@ -113,6 +113,67 @@ pub fn structural_hash(net: &Network) -> u64 {
     h.finish()
 }
 
+/// The content address of the *saturation phase* only: circuit
+/// structural hash × saturation-relevant configuration
+/// ([`canonical_saturation_config`]).
+///
+/// This is the key of `esyn-serve`'s saturated-e-graph cache tier. Two
+/// jobs share it exactly when they would build the same e-graph: the
+/// circuit, the saturation limits, the rule set and the thread policy
+/// all match. Everything downstream of saturation — pool sampling
+/// (samples, seed, ratio, extractor engine), the objective, CEC
+/// verification, the mapping backend and its choice mode — is
+/// deliberately *excluded*, so jobs differing only in those fields reuse
+/// the expensive saturated e-graph instead of re-running it.
+///
+/// The thread policy is included for the same conservative reason as in
+/// [`cache_key`]: a wall-clock `time_limit` stop is schedule-dependent,
+/// so aliasing configs that differ only in scheduling knobs would be
+/// unsound. `use_choices` is also keyed conservatively (it selects the
+/// choice-aware e-graph/backend path), which costs sharing but never
+/// soundness.
+pub fn saturation_cache_key(net: &Network, cfg: &EsynConfig) -> CacheKey {
+    CacheKey {
+        circuit: structural_hash(net),
+        config: saturation_config_hash(cfg),
+    }
+}
+
+/// [`canonical_saturation_config`], hashed with the deterministic
+/// [`FxHasher`].
+pub fn saturation_config_hash(cfg: &EsynConfig) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(canonical_saturation_config(cfg).as_bytes());
+    h.finish()
+}
+
+/// Renders only the saturation-relevant slice of [`EsynConfig`] as a
+/// canonical string: the limits, the (fixed) rule set, the choice mode
+/// and the thread policy. The destructuring is exhaustive like
+/// [`canonical_config`]'s — adding a config field forces a decision here
+/// about whether it affects saturation — with the downstream-only fields
+/// (`pool`, `verify`, `target_delay`) explicitly discarded.
+pub fn canonical_saturation_config(cfg: &EsynConfig) -> String {
+    let EsynConfig {
+        limits:
+            SaturationLimits {
+                iter_limit,
+                node_limit,
+                time_limit,
+            },
+        pool: _,         // sampling happens after saturation
+        verify: _,       // CEC happens after extraction
+        target_delay: _, // mapping happens after extraction
+        use_choices,
+        parallelism,
+    } = cfg;
+    format!(
+        "sat1;rules=all;iter={iter_limit};nodes={node_limit};time_ns={};choices={use_choices};par={}",
+        time_limit.as_nanos(),
+        par_str(*parallelism),
+    )
+}
+
 /// [`canonical_config`], hashed with the deterministic [`FxHasher`].
 pub fn config_hash(objective: Objective, cfg: &EsynConfig) -> u64 {
     let mut h = FxHasher::default();
@@ -368,6 +429,67 @@ mod tests {
             assert!(!seen.contains(&h), "tag `{tag}` aliases another objective");
             seen.push(h);
         }
+    }
+
+    #[test]
+    fn saturation_key_shares_across_downstream_knobs_only() {
+        let net = net("INORDER = a b c;\nOUTORDER = f;\nf = (a*b) + (a*c);\n");
+        let base = EsynConfig::default();
+        let k = |c: &EsynConfig| saturation_cache_key(&net, c);
+        let base_key = k(&base);
+
+        // Downstream-of-saturation knobs must alias: jobs differing only
+        // here reuse the saturated e-graph.
+        let mut samples = base.clone();
+        samples.pool.num_samples += 3;
+        let mut seed = base.clone();
+        seed.pool.seed ^= 0xBEEF;
+        let mut engine = base.clone();
+        engine.pool.dag_engine = "exact";
+        let mut verify = base.clone();
+        verify.verify = !base.verify;
+        let mut target = base.clone();
+        target.target_delay = Some(77.0);
+        for (label, cfg) in [
+            ("samples", &samples),
+            ("seed", &seed),
+            ("dag_engine", &engine),
+            ("verify", &verify),
+            ("target_delay", &target),
+        ] {
+            assert_eq!(k(cfg), base_key, "`{label}` must not re-key saturation");
+        }
+
+        // Saturation-relevant knobs must separate.
+        let mut iter = base.clone();
+        iter.limits.iter_limit += 1;
+        let mut nodes = base.clone();
+        nodes.limits.node_limit += 1;
+        let mut time = base.clone();
+        time.limits.time_limit += Duration::from_millis(1);
+        let mut choices = base.clone();
+        choices.use_choices = !base.use_choices;
+        let mut par = base.clone();
+        par.parallelism = Parallelism::Fixed(2);
+        let mut seen = vec![base_key];
+        for (label, cfg) in [
+            ("iter_limit", &iter),
+            ("node_limit", &nodes),
+            ("time_limit", &time),
+            ("use_choices", &choices),
+            ("parallelism", &par),
+        ] {
+            let key = k(cfg);
+            assert!(!seen.contains(&key), "`{label}` aliases another sat key");
+            seen.push(key);
+        }
+
+        // The saturation key never collides with the whole-result key
+        // space (distinct version prefixes: `sat1;` vs `v1;`).
+        assert_ne!(
+            canonical_saturation_config(&base),
+            canonical_config(Objective::Delay, &base)
+        );
     }
 
     #[test]

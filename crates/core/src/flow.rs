@@ -10,7 +10,7 @@ use crate::rules::all_rules;
 use crate::train::CostModels;
 use esyn_aig::{scripts, Aig};
 use esyn_cec::{check_equivalence_par, EquivResult, DEFAULT_SIM_SEED};
-use esyn_egraph::{IterationStats, RecExpr, Rewrite, Runner, RunnerLimits, StopReason};
+use esyn_egraph::{EGraph, Id, IterationStats, RecExpr, Rewrite, Runner, RunnerLimits, StopReason};
 use esyn_eqn::Network;
 use esyn_par::{par_map, Parallelism};
 use esyn_techmap::{map_and_size, Library, MapMode, QorReport};
@@ -191,6 +191,88 @@ pub struct EsynResult {
     pub predicted_cost: f64,
 }
 
+/// The saturation phase's output, decoupled from the downstream
+/// extract/score/verify/map stages so it can be cached and shared.
+///
+/// This is the artifact behind `esyn serve`'s saturated-e-graph cache
+/// tier (keyed by [`crate::cache::saturation_cache_key`]): building it
+/// is the expensive part of the flow, while everything after it — pool
+/// sampling, candidate scoring, verification, mapping — is a pure
+/// function of this struct plus the remaining configuration. Resuming
+/// from a stored instance is byte-identical to a cold run because the
+/// cold path ([`esyn_optimize`]) goes through exactly the same split.
+pub struct SaturatedEgraph {
+    /// The input term saturation started from (kept so pool extraction
+    /// can include the original form).
+    pub expr: RecExpr<BoolLang>,
+    /// The saturated e-graph, clean (rebuilt) and ready for extraction.
+    pub egraph: EGraph<BoolLang, ConstFold>,
+    /// The e-class holding `expr`'s root.
+    pub root: Id,
+    /// Why saturation stopped.
+    pub stop_reason: StopReason,
+    /// Per-iteration saturation statistics.
+    pub iterations: Vec<IterationStats>,
+    /// [`crate::cache::structural_hash`] of the network saturation ran
+    /// on; the resume entry points assert they are handed the same
+    /// circuit.
+    pub circuit_hash: u64,
+}
+
+impl SaturatedEgraph {
+    /// Deterministic estimate of this artifact's resident size in bytes,
+    /// used by the serve layer to charge it against a cache byte budget.
+    ///
+    /// The estimate is computed from logical quantities only (e-node and
+    /// e-class counts, term length) — never from allocator state — so it
+    /// is identical across runs and thread counts for the same
+    /// saturation outcome, keeping byte-budget eviction deterministic.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let node = size_of::<BoolLang>();
+        // Each e-node is stored once in its class vector and once as a
+        // memo entry (node → class id, plus table slot overhead).
+        let enodes = self.egraph.total_nodes() * (2 * node + 2 * size_of::<usize>());
+        // Per-class fixed overhead: the class struct, analysis data and
+        // its slot in the class table / operator index.
+        let classes = self.egraph.num_classes() * 96;
+        let expr = self.expr.len() * node;
+        size_of::<Self>() + enodes + classes + expr
+    }
+}
+
+/// Runs the saturation phase of the flow: `net` → Boolean term → equality
+/// saturation under [`all_rules`] with `cfg`'s limits and thread policy.
+/// Only `cfg.limits`, `cfg.parallelism` and (conservatively)
+/// `cfg.use_choices` participate in the saturated artifact's identity —
+/// see [`crate::cache::saturation_cache_key`].
+pub fn esyn_saturate(net: &Network, cfg: &EsynConfig) -> SaturatedEgraph {
+    let expr = network_to_recexpr(net);
+    let runner = saturate_par(&expr, &all_rules(), &cfg.limits, cfg.parallelism);
+    let stop_reason = runner.stop_reason.expect("runner finished");
+    let root = runner.roots[0];
+    let iterations = runner.iterations;
+    SaturatedEgraph {
+        expr,
+        egraph: runner.egraph,
+        root,
+        stop_reason,
+        iterations,
+        circuit_hash: crate::cache::structural_hash(net),
+    }
+}
+
+/// The Balanced scorer: the product of both learned models, each
+/// clamped at zero so a negative prediction cannot flip the sign.
+struct Balance<'a> {
+    models: &'a CostModels,
+}
+impl CandidateCost for Balance<'_> {
+    fn cost(&self, feats: &Features) -> f64 {
+        self.models.delay.cost(feats).max(0.0) * self.models.area.cost(feats).max(0.0)
+    }
+}
+
 /// The complete E-Syn flow of Figure 2: saturate → pool-extract → score
 /// with the technology-aware model → verify → map through the shared
 /// backend.
@@ -206,21 +288,37 @@ pub fn esyn_optimize(
     objective: Objective,
     cfg: &EsynConfig,
 ) -> EsynResult {
-    /// The Balanced scorer: the product of both learned models, each
-    /// clamped at zero so a negative prediction cannot flip the sign.
-    struct Balance<'a> {
-        models: &'a CostModels,
-    }
-    impl CandidateCost for Balance<'_> {
-        fn cost(&self, feats: &Features) -> f64 {
-            self.models.delay.cost(feats).max(0.0) * self.models.area.cost(feats).max(0.0)
-        }
-    }
+    let sat = esyn_saturate(net, cfg);
+    esyn_optimize_saturated(net, &sat, models, lib, objective, cfg)
+}
+
+/// [`esyn_optimize`] resumed from an already-saturated e-graph: the
+/// downstream extract/score/verify/map stages only. `sat` must have been
+/// built from `net` under a config whose saturation-relevant slice
+/// matches `cfg`'s ([`crate::cache::saturation_cache_key`] equality) —
+/// then the result is byte-identical to a cold [`esyn_optimize`] run.
+///
+/// # Panics
+///
+/// Panics if `verify` is on and the chosen candidate fails equivalence
+/// checking — that would mean an unsound rewrite and must never happen.
+pub fn esyn_optimize_saturated(
+    net: &Network,
+    sat: &SaturatedEgraph,
+    models: &CostModels,
+    lib: &Library,
+    objective: Objective,
+    cfg: &EsynConfig,
+) -> EsynResult {
     match objective {
-        Objective::Delay => esyn_optimize_with_cost(net, &models.delay, lib, objective, cfg),
-        Objective::Area => esyn_optimize_with_cost(net, &models.area, lib, objective, cfg),
+        Objective::Delay => {
+            esyn_optimize_with_cost_saturated(net, sat, &models.delay, lib, objective, cfg)
+        }
+        Objective::Area => {
+            esyn_optimize_with_cost_saturated(net, sat, &models.area, lib, objective, cfg)
+        }
         Objective::Balanced => {
-            esyn_optimize_with_cost(net, &Balance { models }, lib, objective, cfg)
+            esyn_optimize_with_cost_saturated(net, sat, &Balance { models }, lib, objective, cfg)
         }
     }
 }
@@ -242,13 +340,38 @@ pub fn esyn_optimize_with_cost(
     objective: Objective,
     cfg: &EsynConfig,
 ) -> EsynResult {
-    let expr = network_to_recexpr(net);
-    let runner = saturate_par(&expr, &all_rules(), &cfg.limits, cfg.parallelism);
+    let sat = esyn_saturate(net, cfg);
+    esyn_optimize_with_cost_saturated(net, &sat, scorer, lib, objective, cfg)
+}
+
+/// [`esyn_optimize_with_cost`] resumed from an already-saturated
+/// e-graph. The shared downstream pipeline every optimize entry point
+/// funnels through: pool-extract from `sat` → score with `scorer` →
+/// verify against `net` → map under `objective`'s mapping mode.
+///
+/// # Panics
+///
+/// Panics if `verify` is on and the chosen candidate fails equivalence
+/// checking, or (debug builds) if `sat` was built from a different
+/// circuit than `net`.
+pub fn esyn_optimize_with_cost_saturated(
+    net: &Network,
+    sat: &SaturatedEgraph,
+    scorer: &dyn CandidateCost,
+    lib: &Library,
+    objective: Objective,
+    cfg: &EsynConfig,
+) -> EsynResult {
+    debug_assert_eq!(
+        sat.circuit_hash,
+        crate::cache::structural_hash(net),
+        "saturated artifact belongs to a different circuit"
+    );
     let pool_cfg = PoolConfig {
         parallelism: cfg.parallelism,
         ..cfg.pool
     };
-    let pool = extract_pool_with(&runner.egraph, runner.roots[0], Some(&expr), &pool_cfg);
+    let pool = extract_pool_with(&sat.egraph, sat.root, Some(&sat.expr), &pool_cfg);
 
     let score = |cand: &RecExpr<BoolLang>| -> f64 { scorer.cost(&Features::from_expr(cand)) };
     // Feature extraction + model evaluation per candidate is independent
@@ -285,11 +408,11 @@ pub fn esyn_optimize_with_cost(
     EsynResult {
         network: chosen,
         qor,
-        stop_reason: runner.stop_reason.expect("runner finished"),
-        iterations: runner.iterations,
+        stop_reason: sat.stop_reason,
+        iterations: sat.iterations.clone(),
         pool_size: pool.len(),
-        egraph_nodes: runner.egraph.total_nodes(),
-        egraph_classes: runner.egraph.num_classes(),
+        egraph_nodes: sat.egraph.total_nodes(),
+        egraph_classes: sat.egraph.num_classes(),
         verified,
         predicted_cost,
     }
@@ -543,6 +666,44 @@ mod tests {
         assert_eq!(qors.len(), pool.len());
         for q in &qors {
             assert!(q.delay > 0.0);
+        }
+    }
+
+    #[test]
+    fn resuming_from_a_shared_saturated_egraph_matches_cold_runs() {
+        // One saturation, many downstream configs (seed, samples,
+        // objective): each resumed result must match its cold run
+        // exactly — the contract the serve layer's saturated-e-graph
+        // cache tier relies on.
+        let lib = Library::asap7_like();
+        let net = sample_net();
+        let base = EsynConfig::small();
+        let sat = esyn_saturate(&net, &base);
+        assert!(sat.approx_bytes() > 0);
+        assert_eq!(
+            sat.approx_bytes(),
+            esyn_saturate(&net, &base).approx_bytes()
+        );
+
+        let mut variants = Vec::new();
+        for (seed, samples) in [(0xE5, 4), (0x77, 4), (0xE5, 9)] {
+            let mut cfg = base.clone();
+            cfg.pool.seed = seed;
+            cfg.pool.num_samples = samples;
+            variants.push(cfg);
+        }
+        for cfg in &variants {
+            for objective in [Objective::Delay, Objective::Area] {
+                let warm = esyn_optimize_saturated(&net, &sat, models(), &lib, objective, cfg);
+                let cold = esyn_optimize(&net, models(), &lib, objective, cfg);
+                assert_eq!(warm.network.to_eqn(), cold.network.to_eqn());
+                assert_eq!(warm.qor, cold.qor);
+                assert_eq!(warm.pool_size, cold.pool_size);
+                assert_eq!(warm.stop_reason, cold.stop_reason);
+                assert_eq!(warm.predicted_cost.to_bits(), cold.predicted_cost.to_bits());
+                assert_eq!(warm.egraph_nodes, cold.egraph_nodes);
+                assert_eq!(warm.egraph_classes, cold.egraph_classes);
+            }
         }
     }
 

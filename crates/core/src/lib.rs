@@ -53,8 +53,9 @@ pub mod train;
 
 pub use analysis::ConstFold;
 pub use cache::{
-    cache_key, cache_key_tagged, canonical_config, canonical_config_tagged, config_hash,
-    config_hash_tagged, structural_hash, CacheKey,
+    cache_key, cache_key_tagged, canonical_config, canonical_config_tagged,
+    canonical_saturation_config, config_hash, config_hash_tagged, saturation_cache_key,
+    saturation_config_hash, structural_hash, CacheKey,
 };
 pub use cost::{AstDepthCost, AstSizeCost, CandidateCost, GbdtCost, WeightedOpsCost};
 pub use esyn_egraph::{IterationStats, StopReason};
@@ -62,7 +63,8 @@ pub use esyn_par::Parallelism;
 pub use features::Features;
 pub use flow::{
     abc_baseline, abc_baseline_choices, esyn_backend, esyn_backend_choices, esyn_optimize,
-    esyn_optimize_with_cost, saturate, saturate_par, EsynConfig, EsynResult, Objective,
+    esyn_optimize_saturated, esyn_optimize_with_cost, esyn_optimize_with_cost_saturated,
+    esyn_saturate, saturate, saturate_par, EsynConfig, EsynResult, Objective, SaturatedEgraph,
     SaturationLimits,
 };
 pub use lang::{network_to_recexpr, recexpr_to_network, BoolLang, Symbol};

@@ -1,58 +1,77 @@
-//! The content-addressed result cache: optimize results keyed by
-//! [`CacheKey`] (circuit structural hash × canonical config hash), with
-//! hit/miss/eviction counters and a hard entry cap.
+//! Byte-accounted LRU caching for the serve layer: one generic
+//! [`ByteLru`] backing both cache tiers — the content-addressed *result*
+//! tier ([`ResultCache`], pre-encoded payload JSON keyed by
+//! [`esyn_core::cache_key`]) and the *saturated-e-graph* tier (shared
+//! [`esyn_core::SaturatedEgraph`] artifacts keyed by
+//! [`esyn_core::saturation_cache_key`]).
 //!
-//! Values are the *pre-encoded* result JSON objects (`Arc<str>`), so a
-//! warm hit replays exactly the bytes the cold computation produced —
-//! the byte-identity contract `tests/cache_correctness.rs` pins.
+//! Entries are charged by **measured byte size** (payload bytes plus the
+//! fixed [`ENTRY_OVERHEAD`] bookkeeping charge) against a configurable
+//! byte budget, replacing the old entry-count cap: a handful of huge
+//! payloads can no longer grow memory without bound while staying under
+//! an entry limit.
 //!
 //! Eviction is deterministic least-recently-used: every access stamps a
-//! monotone tick, and inserting past the cap removes the entry with the
-//! smallest stamp. Given the same operation sequence, the surviving key
-//! set and all counters are identical on every run (ticks are logical,
-//! never wall-clock).
+//! monotone logical tick (never wall-clock), and inserting past the
+//! budget removes entries in ascending-stamp order until the total
+//! charge fits. Given the same operation sequence, the surviving key
+//! set, the byte total and all counters are identical on every run. An
+//! entry whose charge alone exceeds the budget is not stored (counted
+//! under [`ByteLru::oversize`]) — the budget is a hard ceiling, never a
+//! soft target.
 
 use esyn_core::CacheKey;
 use esyn_egraph::FxHashMap;
 use std::sync::Arc;
 
-struct Entry {
-    value: Arc<str>,
+/// Fixed per-entry bookkeeping charge added to every payload: the key,
+/// the recency stamp and the hash-table slot. Keeps a byte budget honest
+/// for small values (a thousand 10-byte entries is not 10 kB of memory).
+pub const ENTRY_OVERHEAD: usize = 64;
+
+struct Entry<V> {
+    value: V,
+    charge: usize,
     last_used: u64,
 }
 
-/// A bounded LRU cache of encoded optimize results.
-pub struct ResultCache {
-    cap: usize,
+/// A byte-budgeted LRU cache with deterministic eviction.
+pub struct ByteLru<V> {
+    budget: usize,
+    bytes: usize,
     tick: u64,
-    map: FxHashMap<CacheKey, Entry>,
+    map: FxHashMap<CacheKey, Entry<V>>,
     hits: u64,
     misses: u64,
     evictions: u64,
+    oversize: u64,
 }
 
-impl ResultCache {
-    /// An empty cache holding at most `cap` entries (`cap == 0` disables
-    /// caching: every lookup misses and nothing is stored).
-    pub fn new(cap: usize) -> Self {
-        ResultCache {
-            cap,
+impl<V: Clone> ByteLru<V> {
+    /// An empty cache charging entries against `budget` bytes
+    /// (`budget == 0` disables caching: every lookup misses and nothing
+    /// is stored).
+    pub fn new(budget: usize) -> Self {
+        ByteLru {
+            budget,
+            bytes: 0,
             tick: 0,
             map: FxHashMap::default(),
             hits: 0,
             misses: 0,
             evictions: 0,
+            oversize: 0,
         }
     }
 
     /// Looks `key` up, counting a hit or miss and refreshing recency.
-    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<str>> {
+    pub fn get(&mut self, key: &CacheKey) -> Option<V> {
         self.tick += 1;
         match self.map.get_mut(key) {
             Some(entry) => {
                 entry.last_used = self.tick;
                 self.hits += 1;
-                Some(Arc::clone(&entry.value))
+                Some(entry.value.clone())
             }
             None => {
                 self.misses += 1;
@@ -61,30 +80,45 @@ impl ResultCache {
         }
     }
 
-    /// Stores `value` under `key`, evicting the least-recently-used
-    /// entry if the cap is exceeded. Re-inserting an existing key
-    /// replaces the value (identical by construction — results are
-    /// deterministic functions of the key) without eviction.
-    pub fn insert(&mut self, key: CacheKey, value: Arc<str>) {
-        if self.cap == 0 {
+    /// Stores `value` under `key`, charged at `payload_bytes` plus
+    /// [`ENTRY_OVERHEAD`], evicting least-recently-used entries until the
+    /// byte total fits the budget. Re-inserting an existing key replaces
+    /// the value and re-charges it without counting an eviction. If the
+    /// entry's own charge exceeds the whole budget it is not stored
+    /// (counted under [`ByteLru::oversize`]).
+    pub fn insert(&mut self, key: CacheKey, value: V, payload_bytes: usize) {
+        if self.budget == 0 {
             return;
         }
         self.tick += 1;
+        let charge = payload_bytes.saturating_add(ENTRY_OVERHEAD);
         let entry = Entry {
             value,
+            charge,
             last_used: self.tick,
         };
-        if self.map.insert(key, entry).is_none() && self.map.len() > self.cap {
+        if let Some(old) = self.map.insert(key, entry) {
+            self.bytes -= old.charge;
+        }
+        self.bytes = self.bytes.saturating_add(charge);
+        while self.bytes > self.budget {
             // Ticks are unique, so the minimum is unambiguous and the
-            // victim deterministic.
-            let victim = self
+            // victim deterministic. The just-inserted entry carries the
+            // freshest stamp and is only removed once it stands alone —
+            // i.e. when its charge alone exceeds the budget.
+            let victim = *self
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| *k)
-                .expect("cache non-empty");
-            self.map.remove(&victim);
-            self.evictions += 1;
+                .map(|(k, _)| k)
+                .expect("over-budget cache is non-empty");
+            let removed = self.map.remove(&victim).expect("victim present");
+            self.bytes -= removed.charge;
+            if victim == key {
+                self.oversize += 1;
+            } else {
+                self.evictions += 1;
+            }
         }
     }
 
@@ -98,6 +132,16 @@ impl ResultCache {
         self.map.is_empty()
     }
 
+    /// Total charged bytes currently held (≤ [`ByteLru::budget`] always).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
     /// Lookups that found an entry.
     pub fn hits(&self) -> u64 {
         self.hits
@@ -108,9 +152,14 @@ impl ResultCache {
         self.misses
     }
 
-    /// Entries removed by the size cap.
+    /// Entries removed to make room for newer ones.
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// Inserts dropped because the entry alone exceeded the budget.
+    pub fn oversize(&self) -> u64 {
+        self.oversize
     }
 
     /// True when `key` is currently cached (no recency/counter effects).
@@ -118,6 +167,11 @@ impl ResultCache {
         self.map.contains_key(key)
     }
 }
+
+/// The result tier: pre-encoded payload JSON (`Arc<str>`), so a warm hit
+/// replays exactly the bytes the cold computation produced — the
+/// byte-identity contract `tests/cache_correctness.rs` pins.
+pub type ResultCache = ByteLru<Arc<str>>;
 
 #[cfg(test)]
 mod tests {
@@ -131,48 +185,87 @@ mod tests {
         Arc::from(s)
     }
 
-    #[test]
-    fn hit_miss_and_counters() {
-        let mut c = ResultCache::new(4);
-        assert!(c.get(&key(1, 1)).is_none());
-        c.insert(key(1, 1), val("a"));
-        assert_eq!(c.get(&key(1, 1)).as_deref(), Some("a"));
-        assert_eq!((c.hits(), c.misses()), (1, 1));
+    /// Inserts `s` charged at its own length.
+    fn put(c: &mut ResultCache, k: CacheKey, s: &str) {
+        c.insert(k, val(s), s.len());
     }
 
     #[test]
-    fn lru_eviction_is_deterministic() {
+    fn hit_miss_and_counters() {
+        let mut c = ResultCache::new(4096);
+        assert!(c.get(&key(1, 1)).is_none());
+        put(&mut c, key(1, 1), "a");
+        assert_eq!(c.get(&key(1, 1)).as_deref(), Some("a"));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert_eq!(c.bytes(), 1 + ENTRY_OVERHEAD);
+    }
+
+    #[test]
+    fn byte_budget_is_a_hard_ceiling_with_deterministic_lru_eviction() {
+        // Budget fits exactly two one-byte entries.
+        let budget = 2 * (1 + ENTRY_OVERHEAD);
         let run = || {
-            let mut c = ResultCache::new(2);
-            c.insert(key(1, 0), val("1"));
-            c.insert(key(2, 0), val("2"));
+            let mut c = ResultCache::new(budget);
+            put(&mut c, key(1, 0), "1");
+            put(&mut c, key(2, 0), "2");
+            assert_eq!(c.bytes(), budget);
             let _ = c.get(&key(1, 0)); // refresh 1 → victim is 2
-            c.insert(key(3, 0), val("3"));
+            put(&mut c, key(3, 0), "3");
+            assert!(c.bytes() <= budget, "budget exceeded: {}", c.bytes());
             let mut present: Vec<u64> = (1..=3).filter(|&k| c.contains(&key(k, 0))).collect();
             present.sort_unstable();
-            (present, c.evictions())
+            (present, c.evictions(), c.bytes())
         };
         let first = run();
-        assert_eq!(first, (vec![1, 3], 1));
+        assert_eq!(first, (vec![1, 3], 1, budget));
         assert_eq!(run(), first, "eviction must be reproducible");
     }
 
     #[test]
-    fn zero_cap_disables_caching() {
-        let mut c = ResultCache::new(0);
-        c.insert(key(1, 1), val("x"));
-        assert!(c.get(&key(1, 1)).is_none());
-        assert_eq!(c.len(), 0);
-        assert_eq!(c.evictions(), 0);
+    fn large_entries_evict_many_small_ones() {
+        let budget = 10 * ENTRY_OVERHEAD;
+        let mut c = ResultCache::new(budget);
+        for i in 0..5 {
+            put(&mut c, key(i, 0), ""); // five zero-length entries
+        }
+        assert_eq!(c.len(), 5);
+        // An entry charging 9×OVERHEAD forces out the four oldest.
+        c.insert(key(9, 0), val("big"), 8 * ENTRY_OVERHEAD);
+        assert!(c.bytes() <= budget);
+        assert_eq!(c.evictions(), 4);
+        assert!(c.contains(&key(9, 0)) && c.contains(&key(4, 0)));
     }
 
     #[test]
-    fn reinsert_replaces_without_eviction() {
-        let mut c = ResultCache::new(2);
-        c.insert(key(1, 0), val("a"));
-        c.insert(key(2, 0), val("b"));
-        c.insert(key(1, 0), val("a"));
+    fn oversize_entries_are_not_stored() {
+        let mut c = ResultCache::new(ENTRY_OVERHEAD + 8);
+        put(&mut c, key(1, 0), "ok");
+        c.insert(key(2, 0), val("huge"), 4096);
+        assert!(!c.contains(&key(2, 0)), "oversize entry must be dropped");
+        assert!(c.is_empty() || c.contains(&key(1, 0)));
+        assert_eq!(c.oversize(), 1);
+        assert!(c.bytes() <= c.budget());
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let mut c = ResultCache::new(0);
+        put(&mut c, key(1, 1), "x");
+        assert!(c.get(&key(1, 1)).is_none());
+        assert_eq!((c.len(), c.bytes(), c.evictions()), (0, 0, 0));
+    }
+
+    #[test]
+    fn reinsert_recharges_without_eviction() {
+        let budget = 2 * (8 + ENTRY_OVERHEAD);
+        let mut c = ResultCache::new(budget);
+        put(&mut c, key(1, 0), "aaaa");
+        put(&mut c, key(2, 0), "bbbb");
+        let before = c.bytes();
+        put(&mut c, key(1, 0), "aaaaaaaa"); // same key, bigger charge
         assert_eq!(c.len(), 2);
         assert_eq!(c.evictions(), 0);
+        assert_eq!(c.bytes(), before + 4);
+        assert!(c.bytes() <= budget);
     }
 }

@@ -1,37 +1,70 @@
 //! The serve engine: a worker pool over the bounded job queue, the
-//! content-addressed result cache, and the request dispatcher shared by
-//! the TCP and stdio front-ends.
+//! two-tier byte-accounted cache, the single-flight table, and the
+//! request dispatcher shared by the TCP and stdio front-ends.
 //!
 //! One [`Engine`] owns everything long-lived: the technology library and
 //! trained cost models (loaded once, amortised over every request), the
-//! [`Bounded`] queue, the [`ResultCache`] and the worker threads. Front
+//! [`Bounded`] queue, both cache tiers and the worker threads. Front
 //! ends feed it request lines plus a per-connection reply channel; jobs
 //! are answered asynchronously on that channel as workers finish them,
 //! control requests synchronously.
 //!
+//! # The cache path
+//!
+//! Three structures sit under one lock (the engine's cache state) and
+//! are consulted in order:
+//!
+//! 1. **Result tier** — pre-encoded payload JSON keyed by the full
+//!    [`cache_key`] (circuit × objective × complete config). A hit
+//!    replays the stored bytes verbatim.
+//! 2. **Single-flight table** — jobs whose key is already being
+//!    computed park as waiters instead of recomputing; when the leader
+//!    finishes, the one encoded result fans out to every waiter
+//!    byte-identically (`cached:true` on the waiters, since they did
+//!    not pay for the computation).
+//! 3. **Saturated-e-graph tier** — the expensive saturation product
+//!    keyed by [`saturation_cache_key`] (circuit ×
+//!    saturation-relevant config only), shared across jobs that differ
+//!    only downstream (objective, extractor, samples, seed, verify).
+//!    A warm hit skips straight to extraction; results stay
+//!    byte-identical to cold runs because cold runs funnel through the
+//!    same [`esyn_saturate`]-then-resume split.
+//!
+//! Both tiers charge entries by measured byte size against configurable
+//! budgets with deterministic LRU eviction (see [`crate::cache`]).
+//!
+//! The saturated tier deliberately has *no* single-flight of its own:
+//! two racing leaders with different downstream configs over the same
+//! circuit may both saturate, and the second insert overwrites the
+//! first with identical content. Coalescing there would serialise
+//! unrelated jobs for a rare, harmless duplication.
+//!
 //! # Determinism
 //!
 //! A job's result is a pure function of `(circuit, objective, config)` —
-//! the same contract as one-shot [`esyn_optimize`] — regardless of queue
-//! interleaving, worker count or whether the result came from the cache
+//! the same contract as one-shot [`esyn_core::esyn_optimize`] — regardless of queue
+//! interleaving, worker count or which tier (if any) served it
 //! (`tests/parallel_determinism.rs` sweeps this). Wall-clock never
-//! appears in a `result` payload.
+//! appears in a `result` payload, and eviction order never depends on
+//! it either.
 
-use crate::cache::ResultCache;
+use crate::cache::{ByteLru, ResultCache};
 use crate::protocol::{
     self, CircuitFormat, ObjectiveSel, Request, ResultPayload, StatsSnapshot, SubmitRequest,
 };
 use crate::queue::{Bounded, SubmitError};
 use esyn_core::{
-    cache_key, cache_key_tagged, esyn_optimize, esyn_optimize_with_cost, CostModels, EsynConfig,
-    EsynResult, Parallelism, SaturationLimits,
+    cache_key, cache_key_tagged, esyn_optimize_saturated, esyn_optimize_with_cost_saturated,
+    esyn_saturate, saturation_cache_key, CacheKey, CostModels, EsynConfig, Parallelism,
+    SaturatedEgraph, SaturationLimits,
 };
+use esyn_egraph::FxHashMap;
 use esyn_eqn::{parse_blif, parse_eqn, Network};
 use esyn_objective::{objective_by_name, ScoreOf};
 use esyn_techmap::Library;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 /// Server-side configuration.
@@ -41,10 +74,14 @@ pub struct ServeConfig {
     /// stages per its own config; the default job config is serial so
     /// job-level and stage-level parallelism do not multiply).
     pub workers: usize,
-    /// Bounded-queue capacity; a full queue answers `busy`.
+    /// Bounded-queue capacity; a full queue answers `busy`. Must be
+    /// positive — [`ServeConfig::validate`] rejects 0 instead of
+    /// silently clamping it.
     pub queue_cap: usize,
-    /// Result-cache capacity in entries (0 disables caching).
-    pub cache_cap: usize,
+    /// Result-tier byte budget (0 disables result caching).
+    pub cache_bytes: usize,
+    /// Saturated-e-graph-tier byte budget (0 disables the tier).
+    pub sat_cache_bytes: usize,
     /// Per-job default configuration; `submit` requests override fields.
     pub base: EsynConfig,
     /// Element-wise ceiling on per-job saturation budgets: a job may
@@ -63,7 +100,8 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 2,
             queue_cap: 64,
-            cache_cap: 256,
+            cache_bytes: 32 << 20,
+            sat_cache_bytes: 64 << 20,
             base,
             limit_ceiling: SaturationLimits {
                 iter_limit: 64,
@@ -71,6 +109,23 @@ impl Default for ServeConfig {
                 time_limit: std::time::Duration::from_secs(120),
             },
         }
+    }
+}
+
+impl ServeConfig {
+    /// Checks the configuration for values the engine cannot honour.
+    /// `queue_cap = 0` is rejected here with a clear message rather than
+    /// silently clamped to 1 deep inside the queue — config and
+    /// observed behaviour must agree.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.queue_cap == 0 {
+            return Err(
+                "queue_cap must be positive: a zero-capacity queue would reject every job \
+                 (use a small cap for tight backpressure instead)"
+                    .to_owned(),
+            );
+        }
+        Ok(())
     }
 }
 
@@ -82,37 +137,79 @@ struct Job {
     reply: Sender<String>,
 }
 
+/// A job parked on the single-flight table, waiting for the leader's
+/// encoded result.
+struct Waiter {
+    id: String,
+    reply: Sender<String>,
+}
+
+/// Everything the cache path mutates, under one lock so the
+/// hit / in-flight / leader decision is atomic.
+struct CacheState {
+    results: ResultCache,
+    sat: ByteLru<Arc<SaturatedEgraph>>,
+    inflight: FxHashMap<CacheKey, Vec<Waiter>>,
+}
+
+/// Locks `m`, recovering from poison: a worker that panicked while
+/// holding the lock left the data in a consistent state (every critical
+/// section here completes its updates or makes none), so later lockers
+/// proceed instead of cascading the panic and killing the whole pool.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// The long-running batch synthesis service.
 pub struct Engine {
     lib: Library,
     models: CostModels,
     cfg: ServeConfig,
     queue: Bounded<Job>,
-    cache: Mutex<ResultCache>,
+    state: Mutex<CacheState>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    workers_joined: AtomicBool,
     shutting_down: AtomicBool,
     submitted: AtomicU64,
     completed: AtomicU64,
     rejected: AtomicU64,
     errors: AtomicU64,
+    computed: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl Engine {
     /// Builds the engine and starts its worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`ServeConfig::validate`] rejects `cfg` (the CLI
+    /// validates before construction, so its users see an error message
+    /// instead).
     pub fn new(models: CostModels, lib: Library, cfg: ServeConfig) -> Arc<Self> {
+        if let Err(msg) = cfg.validate() {
+            panic!("invalid ServeConfig: {msg}");
+        }
         let workers = cfg.workers.max(1);
         let engine = Arc::new(Engine {
             lib,
             models,
             queue: Bounded::new(cfg.queue_cap),
-            cache: Mutex::new(ResultCache::new(cfg.cache_cap)),
+            state: Mutex::new(CacheState {
+                results: ResultCache::new(cfg.cache_bytes),
+                sat: ByteLru::new(cfg.sat_cache_bytes),
+                inflight: FxHashMap::default(),
+            }),
             cfg,
             workers: Mutex::new(Vec::new()),
+            workers_joined: AtomicBool::new(false),
             shutting_down: AtomicBool::new(false),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            computed: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
         });
         let handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|_| {
@@ -132,6 +229,13 @@ impl Engine {
     /// True once a shutdown has been requested.
     pub fn is_shutting_down(&self) -> bool {
         self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// True once the worker pool has fully terminated (every worker
+    /// joined) — guaranteed by the time any [`Engine::shutdown`] call
+    /// returns, including concurrent ones.
+    pub fn is_terminated(&self) -> bool {
+        self.workers_joined.load(Ordering::SeqCst)
     }
 
     /// Handles one request line, sending every response through `reply`.
@@ -256,69 +360,127 @@ impl Engine {
                 cache_key_tagged(&job.net, &format!("named:{name}"), &job.cfg)
             }
         };
-        if let Some(cached) = self.cache.lock().unwrap().get(&key) {
-            self.completed.fetch_add(1, Ordering::SeqCst);
-            let _ = job
-                .reply
-                .send(protocol::result_line(&job.id, true, &cached));
-            return;
+        // Admission is atomic under the state lock: result hit, join an
+        // in-flight computation, or become that key's leader.
+        {
+            let mut state = lock_recover(&self.state);
+            if let Some(cached) = state.results.get(&key) {
+                drop(state);
+                self.completed.fetch_add(1, Ordering::SeqCst);
+                let _ = job
+                    .reply
+                    .send(protocol::result_line(&job.id, true, &cached));
+                return;
+            }
+            if let Some(waiters) = state.inflight.get_mut(&key) {
+                self.coalesced.fetch_add(1, Ordering::SeqCst);
+                waiters.push(Waiter {
+                    id: job.id,
+                    reply: job.reply,
+                });
+                return;
+            }
+            state.inflight.insert(key, Vec::new());
         }
-        // Compute outside the cache lock: a slow job must not stall
-        // cache hits on other workers. Two racing identical jobs may
-        // both compute — their results are bit-identical, so the second
-        // insert is a no-op value-wise.
-        let run = || -> EsynResult {
-            match job.objective {
+        // Leader: compute outside the lock — a slow job must not stall
+        // cache hits or coalescing on other workers.
+        self.computed.fetch_add(1, Ordering::SeqCst);
+        let sat_key = saturation_cache_key(&job.net, &job.cfg);
+        let warm_sat = lock_recover(&self.state).sat.get(&sat_key);
+        let sat_was_cached = warm_sat.is_some();
+        // Payload encoding happens inside the panic guard too: a
+        // non-finite number or similar encoding failure must unwind into
+        // an error reply, not kill the worker with the key stuck
+        // in-flight.
+        let run = || -> (Arc<SaturatedEgraph>, String) {
+            let sat = warm_sat
+                .clone()
+                .unwrap_or_else(|| Arc::new(esyn_saturate(&job.net, &job.cfg)));
+            let result = match job.objective {
                 ObjectiveSel::Builtin(obj) => {
-                    esyn_optimize(&job.net, &self.models, &self.lib, obj, &job.cfg)
+                    esyn_optimize_saturated(&job.net, &sat, &self.models, &self.lib, obj, &job.cfg)
                 }
                 ObjectiveSel::Named(name) => {
                     let obj = objective_by_name(name).expect("parser canonicalized the name");
-                    esyn_optimize_with_cost(
+                    esyn_optimize_with_cost_saturated(
                         &job.net,
+                        &sat,
                         &ScoreOf(obj),
                         &self.lib,
                         obj.backend(),
                         &job.cfg,
                     )
                 }
-            }
+            };
+            let payload = ResultPayload::from_result(&result, key);
+            (sat, payload.to_json().encode())
         };
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
         match outcome {
-            Ok(result) => {
-                let payload = ResultPayload::from_result(&result, key);
-                let encoded: Arc<str> = Arc::from(payload.to_json().encode());
-                self.cache.lock().unwrap().insert(key, Arc::clone(&encoded));
-                self.completed.fetch_add(1, Ordering::SeqCst);
+            Ok((sat, encoded)) => {
+                let encoded: Arc<str> = Arc::from(encoded);
+                let waiters = {
+                    let mut state = lock_recover(&self.state);
+                    if !sat_was_cached {
+                        let bytes = sat.approx_bytes();
+                        state.sat.insert(sat_key, sat, bytes);
+                    }
+                    state
+                        .results
+                        .insert(key, Arc::clone(&encoded), encoded.len());
+                    state.inflight.remove(&key).unwrap_or_default()
+                };
+                self.completed
+                    .fetch_add(1 + waiters.len() as u64, Ordering::SeqCst);
                 let _ = job
                     .reply
                     .send(protocol::result_line(&job.id, false, &encoded));
+                // Waiters receive the exact bytes the leader computed;
+                // `cached:true` because they did not run the pipeline.
+                for w in waiters {
+                    let _ = w.reply.send(protocol::result_line(&w.id, true, &encoded));
+                }
             }
             Err(panic) => {
                 let msg = panic_message(&panic);
-                self.errors.fetch_add(1, Ordering::SeqCst);
-                let _ = job.reply.send(protocol::error_line(
-                    Some(&job.id),
-                    &format!("job failed: {msg}"),
-                    None,
-                ));
+                let waiters = lock_recover(&self.state)
+                    .inflight
+                    .remove(&key)
+                    .unwrap_or_default();
+                self.errors
+                    .fetch_add(1 + waiters.len() as u64, Ordering::SeqCst);
+                let err =
+                    |id: &str| protocol::error_line(Some(id), &format!("job failed: {msg}"), None);
+                let _ = job.reply.send(err(&job.id));
+                for w in waiters {
+                    let _ = w.reply.send(err(&w.id));
+                }
             }
         }
     }
 
     /// Current counters.
     pub fn stats(&self) -> StatsSnapshot {
-        let cache = self.cache.lock().unwrap();
+        let state = lock_recover(&self.state);
         StatsSnapshot {
             submitted: self.submitted.load(Ordering::SeqCst),
             completed: self.completed.load(Ordering::SeqCst),
             rejected: self.rejected.load(Ordering::SeqCst),
             errors: self.errors.load(Ordering::SeqCst),
-            cache_hits: cache.hits(),
-            cache_misses: cache.misses(),
-            cache_evictions: cache.evictions(),
-            cache_len: cache.len(),
+            computed: self.computed.load(Ordering::SeqCst),
+            coalesced: self.coalesced.load(Ordering::SeqCst),
+            cache_hits: state.results.hits(),
+            cache_misses: state.results.misses(),
+            cache_evictions: state.results.evictions(),
+            cache_len: state.results.len(),
+            cache_bytes: state.results.bytes(),
+            cache_bytes_cap: state.results.budget(),
+            sat_hits: state.sat.hits(),
+            sat_misses: state.sat.misses(),
+            sat_evictions: state.sat.evictions(),
+            sat_len: state.sat.len(),
+            sat_bytes: state.sat.bytes(),
+            sat_bytes_cap: state.sat.budget(),
             queued: self.queue.queued(),
             queue_cap: self.queue.cap(),
             workers: self.cfg.workers.max(1),
@@ -327,16 +489,31 @@ impl Engine {
 
     /// Graceful shutdown: stop admitting jobs, run the backlog and all
     /// in-flight work to completion (results are still delivered), then
-    /// join the worker pool. Idempotent; later calls return once the
-    /// first drain finishes.
+    /// join the worker pool. Idempotent, and safe to race: the workers
+    /// mutex is held across the whole join, so a concurrent second
+    /// caller blocks until the first caller's join finishes — no call
+    /// returns while a worker thread is still running.
     pub fn shutdown(&self) {
         self.shutting_down.store(true, Ordering::SeqCst);
         self.queue.close();
         self.queue.drain();
-        let handles = std::mem::take(&mut *self.workers.lock().unwrap());
-        for h in handles {
+        let mut workers = lock_recover(&self.workers);
+        for h in workers.drain(..) {
             let _ = h.join();
         }
+        // Set under the lock: any shutdown() that returns observes it.
+        self.workers_joined.store(true, Ordering::SeqCst);
+    }
+
+    /// Poisons the internal state mutex by panicking while holding it —
+    /// the exact failure mode of a worker dying mid-critical-section.
+    /// Test-only hook for the poison-recovery regression test.
+    #[doc(hidden)]
+    pub fn poison_state_for_test(&self) {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = self.state.lock().unwrap();
+            panic!("injected poison");
+        }));
     }
 }
 

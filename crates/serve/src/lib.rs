@@ -6,11 +6,15 @@
 //! `std::net` TCP or stdin/stdout ([`server`]) — the JSON codec is
 //! hand-rolled in-repo ([`json`]) because crates.io is unreachable (see
 //! DESIGN.md). Jobs flow through a bounded queue with explicit
-//! backpressure ([`queue`]) into a worker pool, and results land in a
-//! content-addressed cache ([`cache`]) keyed by
-//! [`esyn_core::cache_key`] — circuit structural hash × canonical
-//! config — so a warm request replays the stored bytes without
-//! re-running saturation.
+//! backpressure ([`queue`]) into a worker pool behind a two-tier,
+//! byte-accounted, single-flight cache path ([`cache`], [`engine`]):
+//! finished results are content-addressed by [`esyn_core::cache_key`]
+//! (circuit structural hash × canonical config), identical concurrent
+//! submits coalesce onto one computation, and saturated e-graphs are
+//! shared across jobs that differ only downstream of saturation
+//! ([`esyn_core::saturation_cache_key`]). Both tiers charge entries by
+//! measured bytes against configurable budgets with deterministic LRU
+//! eviction.
 //!
 //! # Quickstart (in-process)
 //!
@@ -39,7 +43,7 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 
-pub use cache::ResultCache;
+pub use cache::{ByteLru, ResultCache, ENTRY_OVERHEAD};
 pub use engine::{Engine, ServeConfig};
 pub use json::{Json, JsonError};
 pub use protocol::{

@@ -45,7 +45,17 @@
 //! byte-identical between a cold computation and a warm cache hit, and
 //! byte-identical to encoding a one-shot [`esyn_core::esyn_optimize`]
 //! run of the same circuit and configuration (`tests/serve_e2e.rs` pins
-//! this). The `cached` flag lives outside it on purpose.
+//! this). The `cached` flag lives outside it on purpose; it is `false`
+//! only on the reply of the job that actually ran the pipeline —
+//! result-cache hits *and* single-flight waiters that joined an
+//! in-flight identical computation report `cached:true`, since neither
+//! paid for a computation of its own.
+//!
+//! The `stats` reply reports both cache tiers: `cache_*` fields cover
+//! the result tier and `sat_*` fields the saturated-e-graph tier, each
+//! with byte accounting (`*_bytes` charged vs `*_bytes_cap` budget).
+//! `computed` counts jobs that ran the full pipeline; `coalesced`
+//! counts jobs answered by joining an in-flight leader.
 
 use crate::json::{self, Json};
 use esyn_core::{CacheKey, EsynConfig, EsynResult, Objective, Parallelism, SaturationLimits};
@@ -461,17 +471,39 @@ pub struct StatsSnapshot {
     pub rejected: u64,
     /// Jobs that failed with an error.
     pub errors: u64,
-    /// Cache hits.
+    /// Jobs that actually ran the optimize pipeline (single-flight
+    /// leaders and uncoalesced jobs; excludes cache hits and waiters).
+    pub computed: u64,
+    /// Jobs answered by joining an in-flight identical computation.
+    pub coalesced: u64,
+    /// Result-tier cache hits.
     pub cache_hits: u64,
-    /// Cache misses.
+    /// Result-tier cache misses.
     pub cache_misses: u64,
-    /// Cache evictions.
+    /// Result-tier evictions.
     pub cache_evictions: u64,
-    /// Entries currently cached.
+    /// Result-tier entries currently cached.
     pub cache_len: usize,
+    /// Result-tier bytes currently charged.
+    pub cache_bytes: usize,
+    /// Result-tier byte budget.
+    pub cache_bytes_cap: usize,
+    /// Saturated-e-graph-tier hits.
+    pub sat_hits: u64,
+    /// Saturated-e-graph-tier misses.
+    pub sat_misses: u64,
+    /// Saturated-e-graph-tier evictions.
+    pub sat_evictions: u64,
+    /// Saturated e-graphs currently cached.
+    pub sat_len: usize,
+    /// Saturated-e-graph-tier bytes currently charged.
+    pub sat_bytes: usize,
+    /// Saturated-e-graph-tier byte budget.
+    pub sat_bytes_cap: usize,
     /// Jobs currently queued.
     pub queued: usize,
-    /// Queue capacity.
+    /// Queue capacity (always the configured value — zero is rejected
+    /// at validation, never silently clamped).
     pub queue_cap: usize,
     /// Worker-thread count.
     pub workers: usize,
@@ -486,6 +518,8 @@ pub fn stats_line(s: &StatsSnapshot) -> String {
         ("completed".into(), Json::Num(s.completed as f64)),
         ("rejected".into(), Json::Num(s.rejected as f64)),
         ("errors".into(), Json::Num(s.errors as f64)),
+        ("computed".into(), Json::Num(s.computed as f64)),
+        ("coalesced".into(), Json::Num(s.coalesced as f64)),
         ("cache_hits".into(), Json::Num(s.cache_hits as f64)),
         ("cache_misses".into(), Json::Num(s.cache_misses as f64)),
         (
@@ -493,6 +527,17 @@ pub fn stats_line(s: &StatsSnapshot) -> String {
             Json::Num(s.cache_evictions as f64),
         ),
         ("cache_len".into(), Json::Num(s.cache_len as f64)),
+        ("cache_bytes".into(), Json::Num(s.cache_bytes as f64)),
+        (
+            "cache_bytes_cap".into(),
+            Json::Num(s.cache_bytes_cap as f64),
+        ),
+        ("sat_hits".into(), Json::Num(s.sat_hits as f64)),
+        ("sat_misses".into(), Json::Num(s.sat_misses as f64)),
+        ("sat_evictions".into(), Json::Num(s.sat_evictions as f64)),
+        ("sat_len".into(), Json::Num(s.sat_len as f64)),
+        ("sat_bytes".into(), Json::Num(s.sat_bytes as f64)),
+        ("sat_bytes_cap".into(), Json::Num(s.sat_bytes_cap as f64)),
         ("queued".into(), Json::Num(s.queued as f64)),
         ("queue_cap".into(), Json::Num(s.queue_cap as f64)),
         ("workers".into(), Json::Num(s.workers as f64)),

@@ -36,9 +36,17 @@ pub struct Bounded<T> {
 
 impl<T> Bounded<T> {
     /// A queue admitting at most `cap` queued (not yet popped) items.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `cap == 0`: a zero-capacity queue can never admit a
+    /// job. Callers validate up front ([`crate::ServeConfig::validate`])
+    /// so the capacity reported by `stats` is always the configured one
+    /// — never a silently clamped substitute.
     pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "queue capacity must be positive");
         Bounded {
-            cap: cap.max(1),
+            cap,
             state: Mutex::new(State {
                 items: VecDeque::new(),
                 in_flight: 0,

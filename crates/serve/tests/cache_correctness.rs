@@ -3,12 +3,15 @@
 //! * a warm hit replays the cold computation's bytes exactly;
 //! * configurations that differ in any knob — extractor, threads,
 //!   saturation budgets, seed, objective, … — never alias a cache key;
+//! * the saturated-e-graph tier is reused across jobs that differ only
+//!   downstream of saturation, with results byte-identical to cold
+//!   runs;
 //! * eviction is deterministic: same insert/get sequence, same
 //!   evictions, and a re-computed evicted entry reproduces its original
-//!   bytes.
+//!   bytes, with memory within the byte budget throughout.
 
 use esyn_core::{cache_key, train_cost_models, Objective, Parallelism, TrainConfig};
-use esyn_serve::cache::ResultCache;
+use esyn_serve::cache::{ResultCache, ENTRY_OVERHEAD};
 use esyn_serve::json::{self, Json};
 use esyn_serve::protocol::JobOverrides;
 use esyn_serve::{Engine, ServeConfig};
@@ -18,18 +21,24 @@ use std::sync::mpsc::{channel, Receiver};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// One worker so responses arrive in submission order; generous cache.
-fn test_engine(cache_cap: usize) -> Arc<Engine> {
+fn engine_with(cfg: ServeConfig) -> Arc<Engine> {
     let lib = Library::asap7_like();
     let models = train_cost_models(&TrainConfig::tiny(), &lib);
-    let cfg = ServeConfig {
-        workers: 1,
-        queue_cap: 16,
-        cache_cap,
-        ..ServeConfig::default()
-    };
     Engine::new(models, lib, cfg)
 }
+
+/// One worker so responses arrive in submission order.
+fn test_engine(cache_bytes: usize) -> Arc<Engine> {
+    engine_with(ServeConfig {
+        workers: 1,
+        queue_cap: 16,
+        cache_bytes,
+        ..ServeConfig::default()
+    })
+}
+
+/// A generous result-tier budget (nothing evicts).
+const BIG: usize = 1 << 20;
 
 /// A fast submit line for the registry circuit `name`.
 fn submit_line(id: &str, name: &str, extra: &str) -> String {
@@ -65,7 +74,7 @@ fn result_parts(reply: &Json) -> (bool, String) {
 
 #[test]
 fn warm_hits_replay_cold_bytes_exactly() {
-    let engine = test_engine(8);
+    let engine = test_engine(BIG);
     let (tx, rx) = channel();
     engine.handle_line(&submit_line("cold", "3_3", ""), &tx);
     let (cached_cold, bytes_cold) = result_parts(&recv_reply(&rx));
@@ -188,7 +197,7 @@ fn objectives_never_alias_cache_entries() {
             r#"{{"op":"submit","id":"{id}","format":"name","circuit":"3_3","objective":"{objective}","config":{{"iter_limit":3,"node_limit":2000,"samples":6}}}}"#
         )
     };
-    let engine = test_engine(8);
+    let engine = test_engine(BIG);
     let (tx, rx) = channel();
     let objectives = ["delay", "techmap", "activity", "unit"];
     let mut bytes = Vec::new();
@@ -254,7 +263,7 @@ fn parallelism_is_part_of_the_key_but_thread_count_never_changes_content() {
         )
         .encode()
     };
-    let engine = test_engine(8);
+    let engine = test_engine(BIG);
     let (tx, rx) = channel();
     engine.handle_line(&submit_line("t1", "3_3", r#","threads":1"#), &tx);
     let (c1, bytes_t1) = result_parts(&recv_reply(&rx));
@@ -278,7 +287,7 @@ fn parallelism_is_part_of_the_key_but_thread_count_never_changes_content() {
 
 #[test]
 fn differing_seeds_miss_then_rehit_their_own_entries() {
-    let engine = test_engine(8);
+    let engine = test_engine(BIG);
     let (tx, rx) = channel();
     engine.handle_line(&submit_line("a", "3_3", r#","seed":11"#), &tx);
     let (c, bytes_seed11) = result_parts(&recv_reply(&rx));
@@ -299,31 +308,50 @@ fn eviction_is_deterministic_at_the_cache_level() {
         circuit: i,
         config: i ^ 0xABCD,
     };
+    // Budget fits exactly two five-byte payloads.
+    let budget = 2 * (5 + ENTRY_OVERHEAD);
     let run = || {
-        let mut cache = ResultCache::new(2);
+        let mut cache = ResultCache::new(budget);
         let mut evicted = Vec::new();
-        cache.insert(key(1), Arc::from("one"));
-        cache.insert(key(2), Arc::from("two"));
+        cache.insert(key(1), Arc::from("one.."), 5);
+        cache.insert(key(2), Arc::from("two.."), 5);
         assert!(cache.get(&key(1)).is_some()); // refresh 1 → 2 is now LRU
-        cache.insert(key(3), Arc::from("three"));
+        cache.insert(key(3), Arc::from("three"), 5);
+        assert!(cache.bytes() <= budget, "byte budget exceeded");
         for i in 1..=3 {
             if !cache.contains(&key(i)) {
                 evicted.push(i);
             }
         }
-        (evicted, cache.evictions(), cache.len())
+        (evicted, cache.evictions(), cache.len(), cache.bytes())
     };
     let first = run();
-    assert_eq!(first, (vec![2], 1, 2), "LRU must evict the stale entry");
+    assert_eq!(
+        first,
+        (vec![2], 1, 2, budget),
+        "LRU must evict the stale entry"
+    );
     // Logical-tick recency (never wall-clock) makes reruns identical.
     assert_eq!(run(), first, "eviction sequence must be reproducible");
 }
 
 #[test]
 fn evicted_entries_recompute_to_identical_bytes() {
-    // cache_cap = 1: submitting A, B, A forces A's eviction and
+    // Probe each payload's measured cache charge on a generous engine,
+    // then build one whose byte budget holds either entry alone but
+    // never both: submitting A, B, A forces A's eviction and
     // recomputation; the recomputed payload must equal the original.
-    let engine = test_engine(1);
+    let probe = test_engine(BIG);
+    let (tx, rx) = channel();
+    probe.handle_line(&submit_line("p1", "3_3", ""), &tx);
+    let _ = result_parts(&recv_reply(&rx));
+    let charge_a = probe.stats().cache_bytes;
+    probe.handle_line(&submit_line("p2", "qadd", ""), &tx);
+    let _ = result_parts(&recv_reply(&rx));
+    let charge_b = probe.stats().cache_bytes - charge_a;
+    probe.shutdown();
+
+    let engine = test_engine(charge_a.max(charge_b));
     let (tx, rx) = channel();
     engine.handle_line(&submit_line("a1", "3_3", ""), &tx);
     let (c, bytes_first) = result_parts(&recv_reply(&rx));
@@ -341,9 +369,15 @@ fn evicted_entries_recompute_to_identical_bytes() {
     let stats = engine.stats();
     assert_eq!(
         stats.cache_evictions, 2,
-        "cap-1 cache must evict on each new key"
+        "a one-entry byte budget must evict on each new key"
     );
     assert_eq!(stats.cache_len, 1);
+    assert!(
+        stats.cache_bytes <= stats.cache_bytes_cap,
+        "memory exceeded the byte budget: {} > {}",
+        stats.cache_bytes,
+        stats.cache_bytes_cap
+    );
     engine.shutdown();
 }
 
@@ -355,9 +389,63 @@ fn cache_can_be_disabled() {
     let (c, bytes_a) = result_parts(&recv_reply(&rx));
     engine.handle_line(&submit_line("y", "3_3", ""), &tx);
     let (c2, bytes_b) = result_parts(&recv_reply(&rx));
-    assert!(!c && !c2, "cap 0 must disable caching entirely");
+    assert!(!c && !c2, "budget 0 must disable result caching entirely");
     assert_eq!(bytes_a, bytes_b, "determinism holds with the cache off");
+    let stats = engine.stats();
+    assert_eq!((stats.cache_len, stats.cache_bytes), (0, 0));
     engine.shutdown();
+}
+
+#[test]
+fn saturated_tier_reuse_is_byte_identical_to_cold_runs() {
+    // Two jobs differing only in `seed` miss the result tier but share
+    // one saturated e-graph; an engine with the tier disabled runs the
+    // same jobs fully cold, and every payload must match byte-for-byte.
+    let warm = test_engine(BIG);
+    let (tx, rx) = channel();
+    warm.handle_line(&submit_line("s1", "3_3", r#","seed":21"#), &tx);
+    let (c1, warm_seed21) = result_parts(&recv_reply(&rx));
+    warm.handle_line(&submit_line("s2", "3_3", r#","seed":22"#), &tx);
+    let (c2, warm_seed22) = result_parts(&recv_reply(&rx));
+    assert!(!c1 && !c2, "different seeds must miss the result tier");
+    let stats = warm.stats();
+    assert_eq!(stats.sat_misses, 1, "first job saturates from scratch");
+    assert_eq!(stats.sat_hits, 1, "second job reuses the saturated e-graph");
+    assert_eq!(stats.sat_len, 1);
+    assert!(
+        stats.sat_bytes > 0 && stats.sat_bytes <= stats.sat_bytes_cap,
+        "saturated tier must charge bytes within its budget"
+    );
+    assert_eq!(stats.computed, 2, "both jobs ran the downstream pipeline");
+    warm.shutdown();
+
+    let cold = engine_with(ServeConfig {
+        workers: 1,
+        queue_cap: 16,
+        sat_cache_bytes: 0,
+        ..ServeConfig::default()
+    });
+    let (tx, rx) = channel();
+    cold.handle_line(&submit_line("c1", "3_3", r#","seed":21"#), &tx);
+    let (_, cold_seed21) = result_parts(&recv_reply(&rx));
+    cold.handle_line(&submit_line("c2", "3_3", r#","seed":22"#), &tx);
+    let (_, cold_seed22) = result_parts(&recv_reply(&rx));
+    let stats = cold.stats();
+    assert_eq!(
+        (stats.sat_hits, stats.sat_len),
+        (0, 0),
+        "a zero budget disables the saturated tier"
+    );
+    cold.shutdown();
+
+    assert_eq!(
+        warm_seed21, cold_seed21,
+        "warm-saturation result differs from a cold run"
+    );
+    assert_eq!(
+        warm_seed22, cold_seed22,
+        "saturated-tier reuse changed the payload bytes"
+    );
 }
 
 #[test]

@@ -1,0 +1,203 @@
+//! Robustness regressions for the serve engine:
+//!
+//! * the duplicate-computation stampede — N identical concurrent
+//!   submits must run exactly one pipeline, with every reply carrying
+//!   byte-identical payloads (single-flight);
+//! * a panic while holding the cache lock must not cascade through the
+//!   worker pool via mutex poisoning — the server keeps answering;
+//! * racing `shutdown()` calls must all block until the workers are
+//!   actually joined (no caller returns while a worker thread runs);
+//! * `queue_cap = 0` is rejected at construction instead of being
+//!   silently clamped, and `stats.queue_cap` reports the configured
+//!   value.
+
+use esyn_core::{train_cost_models, TrainConfig};
+use esyn_serve::json::{self, Json};
+use esyn_serve::{Engine, ServeConfig};
+use esyn_techmap::Library;
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn engine_with(cfg: ServeConfig) -> Arc<Engine> {
+    let lib = Library::asap7_like();
+    let models = train_cost_models(&TrainConfig::tiny(), &lib);
+    Engine::new(models, lib, cfg)
+}
+
+/// A fast submit line for the registry circuit `name`.
+fn submit_line(id: &str, name: &str, extra: &str) -> String {
+    format!(
+        r#"{{"op":"submit","id":"{id}","format":"name","circuit":"{name}","config":{{"iter_limit":3,"node_limit":2000,"samples":6{extra}}}}}"#
+    )
+}
+
+fn recv_reply(rx: &Receiver<String>) -> Json {
+    let line = rx
+        .recv_timeout(Duration::from_secs(180))
+        .expect("reply within deadline");
+    json::parse(&line).expect("reply is valid JSON")
+}
+
+/// (`cached` flag, canonical bytes of the `result` object).
+fn result_parts(reply: &Json) -> (bool, String) {
+    assert_eq!(
+        reply.get("reply").and_then(Json::as_str),
+        Some("result"),
+        "expected a result line, got {}",
+        reply.encode()
+    );
+    let cached = reply
+        .get("cached")
+        .and_then(Json::as_bool)
+        .expect("cached flag");
+    let bytes = reply.get("result").expect("result object").encode();
+    (cached, bytes)
+}
+
+#[test]
+fn identical_concurrent_submits_run_exactly_one_computation() {
+    // The stampede regression (formerly documented as accepted in
+    // engine.rs): N identical jobs race through a 2-worker pool. The
+    // admission check is atomic — the first job becomes the leader,
+    // every other one either joins it in-flight or hits the result the
+    // leader cached — so exactly one pipeline run happens no matter how
+    // the queue interleaves.
+    const N: usize = 6;
+    let engine = engine_with(ServeConfig {
+        workers: 2,
+        queue_cap: 32,
+        ..ServeConfig::default()
+    });
+    let (tx, rx) = channel();
+    for i in 0..N {
+        engine.handle_line(&submit_line(&format!("dup{i}"), "3_3", ""), &tx);
+    }
+    let mut payloads = Vec::new();
+    let mut uncached = 0usize;
+    for _ in 0..N {
+        let (cached, bytes) = result_parts(&recv_reply(&rx));
+        if !cached {
+            uncached += 1;
+        }
+        payloads.push(bytes);
+    }
+    assert!(
+        payloads.windows(2).all(|w| w[0] == w[1]),
+        "all {N} replies must carry byte-identical payloads"
+    );
+    assert_eq!(
+        uncached, 1,
+        "exactly the leader's reply reports cached:false"
+    );
+    let stats = engine.stats();
+    assert_eq!(
+        stats.computed, 1,
+        "N identical concurrent submits must run exactly one computation"
+    );
+    assert_eq!(stats.completed, N as u64);
+    assert_eq!(
+        stats.coalesced + stats.cache_hits,
+        (N - 1) as u64,
+        "every non-leader was served by coalescing or the result cache"
+    );
+    engine.shutdown();
+}
+
+#[test]
+fn poisoned_cache_lock_does_not_kill_the_server() {
+    // A worker that panics while holding the cache lock poisons the
+    // mutex; the old `lock().unwrap()` sites then cascaded the panic
+    // through every remaining worker, leaving queued clients blocked
+    // forever. The engine now recovers from poison: inject the exact
+    // failure (panic mid-critical-section) and require that jobs and
+    // stats still get answered.
+    let engine = engine_with(ServeConfig {
+        workers: 1,
+        queue_cap: 16,
+        ..ServeConfig::default()
+    });
+    engine.poison_state_for_test();
+    let (tx, rx) = channel();
+    engine.handle_line(&submit_line("after-poison", "3_3", ""), &tx);
+    let (cached, _) = result_parts(&recv_reply(&rx));
+    assert!(!cached, "fresh job computes normally after poisoning");
+    // The cache keeps working too: a resubmission hits.
+    engine.handle_line(&submit_line("warm", "3_3", ""), &tx);
+    let (cached, _) = result_parts(&recv_reply(&rx));
+    assert!(cached, "cache still serves hits after poisoning");
+    let stats = engine.stats();
+    assert_eq!(stats.completed, 2, "stats remain readable after poisoning");
+    engine.shutdown();
+}
+
+#[test]
+fn concurrent_shutdowns_both_block_until_workers_are_joined() {
+    // The old shutdown `mem::take`d the handle vector, so a racing
+    // second caller saw an empty vector and returned while workers were
+    // still running. Now the workers mutex is held across the join:
+    // whichever call returns first, the pool is already terminated.
+    let engine = engine_with(ServeConfig {
+        workers: 2,
+        queue_cap: 16,
+        ..ServeConfig::default()
+    });
+    let (tx, rx) = channel();
+    for i in 0..3 {
+        engine.handle_line(&submit_line(&format!("j{i}"), "3_3", r#","seed":9"#), &tx);
+    }
+    let threads: Vec<_> = (0..2)
+        .map(|_| {
+            let e = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                e.shutdown();
+                assert!(
+                    e.is_terminated(),
+                    "shutdown returned before the workers were joined"
+                );
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("shutdown thread panicked");
+    }
+    assert!(engine.is_terminated());
+    // Shutdown drains: every accepted job was still answered.
+    for _ in 0..3 {
+        let _ = result_parts(&recv_reply(&rx));
+    }
+}
+
+#[test]
+fn zero_queue_cap_is_rejected_with_a_clear_error() {
+    let err = ServeConfig {
+        queue_cap: 0,
+        ..ServeConfig::default()
+    }
+    .validate()
+    .expect_err("queue_cap = 0 must fail validation");
+    assert!(err.contains("queue_cap"), "error names the field: {err}");
+    assert!(ServeConfig::default().validate().is_ok());
+}
+
+#[test]
+#[should_panic(expected = "queue_cap")]
+fn engine_construction_panics_on_zero_queue_cap() {
+    let _ = engine_with(ServeConfig {
+        queue_cap: 0,
+        ..ServeConfig::default()
+    });
+}
+
+#[test]
+fn stats_report_the_configured_queue_cap() {
+    // The queue no longer clamps silently: what you configure is what
+    // `stats` reports, exactly.
+    let engine = engine_with(ServeConfig {
+        workers: 1,
+        queue_cap: 5,
+        ..ServeConfig::default()
+    });
+    assert_eq!(engine.stats().queue_cap, 5);
+    engine.shutdown();
+}

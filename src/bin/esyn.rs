@@ -19,7 +19,8 @@
 //! esyn convert  <in> <out>                         # convert between formats
 //! esyn aig      <file> <out.aag|out.aig>           # strash + AIGER export
 //! esyn serve    [--port N | --stdio]               # batch synthesis service
-//!               [--workers N] [--queue-cap N] [--cache-cap N]
+//!               [--workers N] [--queue-cap N]
+//!               [--cache-bytes N[k|m|g]] [--sat-cache-bytes N[k|m|g]]
 //!               [--models DIR] [--train tiny|default]
 //! ```
 //!
@@ -102,7 +103,7 @@ fn usage() {
     );
     eprintln!("  esyn convert  <in> <out.eqn|out.blif|out.aag|out.aig|out.v>");
     eprintln!("  esyn aig      <file> <out.aag|out.aig>");
-    eprintln!("  esyn serve    [--port N | --stdio] [--workers N] [--queue-cap N] [--cache-cap N] [--models DIR] [--train tiny|default]");
+    eprintln!("  esyn serve    [--port N | --stdio] [--workers N] [--queue-cap N] [--cache-bytes N[k|m|g]] [--sat-cache-bytes N[k|m|g]] [--models DIR] [--train tiny|default]");
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -658,6 +659,19 @@ fn pareto_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a byte-size argument: a plain count or one with a `k`/`m`/`g`
+/// suffix (binary multiples). `0` disables the cache it configures.
+fn parse_bytes(s: &str) -> Option<usize> {
+    let (digits, shift) = match s.as_bytes().last()? {
+        b'k' | b'K' => (&s[..s.len() - 1], 10),
+        b'm' | b'M' => (&s[..s.len() - 1], 20),
+        b'g' | b'G' => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    let n: usize = digits.parse().ok()?;
+    n.checked_shl(shift).filter(|&v| v >> shift == n)
+}
+
 /// `esyn serve` — start the long-running batch synthesis service.
 ///
 /// Defaults to stdin/stdout mode; `--port N` listens on TCP instead
@@ -665,7 +679,9 @@ fn pareto_cmd(args: &[String]) -> Result<(), String> {
 /// stdout and flushed before the first accept, so harnesses can parse
 /// it). `--train tiny` trains the small test-grade cost models at
 /// startup instead of loading/training the full set — the fast path CI's
-/// smoke run uses.
+/// smoke run uses. `--cache-bytes` / `--sat-cache-bytes` set the byte
+/// budgets of the result tier and the saturated-e-graph tier (`0`
+/// disables a tier; sizes accept `k`/`m`/`g` suffixes).
 fn serve(args: &[String]) -> Result<(), String> {
     use e_syn::serve::{serve_stdio, serve_tcp, Engine, ServeConfig};
 
@@ -700,11 +716,19 @@ fn serve(args: &[String]) -> Result<(), String> {
                         format!("--queue-cap needs a positive integer, got `{v}`")
                     })?;
             }
-            "--cache-cap" => {
-                let v = it.next().ok_or("--cache-cap needs a value")?;
-                cfg.cache_cap = v
-                    .parse::<usize>()
-                    .map_err(|_| format!("--cache-cap needs a non-negative integer, got `{v}`"))?;
+            "--cache-bytes" => {
+                let v = it.next().ok_or("--cache-bytes needs a value")?;
+                cfg.cache_bytes = parse_bytes(v).ok_or_else(|| {
+                    format!("--cache-bytes needs a byte size like 1048576, 512k or 32m, got `{v}`")
+                })?;
+            }
+            "--sat-cache-bytes" => {
+                let v = it.next().ok_or("--sat-cache-bytes needs a value")?;
+                cfg.sat_cache_bytes = parse_bytes(v).ok_or_else(|| {
+                    format!(
+                        "--sat-cache-bytes needs a byte size like 1048576, 512k or 64m, got `{v}`"
+                    )
+                })?;
             }
             "--models" => models_dir = Some(it.next().ok_or("--models needs a value")?.clone()),
             "--train" => match it.next().ok_or("--train needs tiny or default")?.as_str() {

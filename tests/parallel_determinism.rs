@@ -251,8 +251,9 @@ fn serve_results_are_worker_count_and_interleaving_invariant() {
     // worker counts {1, 2, 4} yield identical per-job `result` objects
     // regardless of queue interleaving. Jobs are submitted from one
     // thread per client so the enqueue order itself races; only the
-    // `cached` flags may differ between runs (a duplicate can hit or
-    // recompute depending on timing — both paths are byte-identical).
+    // `cached` flags may differ between runs (a duplicate is served by
+    // the result cache or coalesces onto its twin's in-flight
+    // computation depending on timing — both paths are byte-identical).
     use e_syn::core::{train_cost_models, TrainConfig};
     use e_syn::serve::json::{self, Json};
     use e_syn::serve::{Engine, ServeConfig};
@@ -291,7 +292,7 @@ fn serve_results_are_worker_count_and_interleaving_invariant() {
             ServeConfig {
                 workers,
                 queue_cap: 32,
-                cache_cap: 16,
+                cache_bytes: 1 << 20,
                 ..ServeConfig::default()
             },
         );
@@ -325,6 +326,15 @@ fn serve_results_are_worker_count_and_interleaving_invariant() {
             let bytes = reply.get("result").expect("result object").encode();
             by_id.insert(id, bytes);
         }
+        // Single-flight invariant: the six jobs span five distinct
+        // cache keys, and the duplicate is served by the result cache
+        // or by coalescing onto its twin's in-flight computation —
+        // never recomputed — at every worker count.
+        assert_eq!(
+            engine.stats().computed,
+            5,
+            "five distinct keys must mean exactly five computations"
+        );
         engine.shutdown();
         by_id
     };

@@ -83,7 +83,7 @@ fn concurrent_tcp_clients_match_one_shot_optimize_byte_for_byte() {
         ServeConfig {
             workers: 2,
             queue_cap: 32,
-            cache_cap: 64,
+            cache_bytes: 1 << 20,
             ..ServeConfig::default()
         },
     );
@@ -252,7 +252,11 @@ fn backpressure_rejects_with_busy_when_the_queue_is_full() {
         ServeConfig {
             workers: 1,
             queue_cap: 1,
-            cache_cap: 0, // force every accepted job through real computation
+            // Disable both cache tiers so accepted jobs occupy the
+            // worker for real (identical in-flight submits may still
+            // coalesce — they count as completed like any other job).
+            cache_bytes: 0,
+            sat_cache_bytes: 0,
             ..ServeConfig::default()
         },
     );
