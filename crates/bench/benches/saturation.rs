@@ -32,6 +32,16 @@ fn time(reps: usize, mut f: impl FnMut()) -> Duration {
     best
 }
 
+/// Committed golden for the fast-mode `3_3` run: the label-free
+/// e-graph checksum and stop reason the engine must reproduce at every
+/// thread count (CI runs this bench with the default thread resolution
+/// and again with `ESYN_THREADS=1`). A mismatch means the saturation
+/// semantics drifted — if the change is intentional (new rules, a
+/// different scheduler default, an engine rework), rerun
+/// `ESYN_BENCH_FAST=1 cargo bench -p esyn-bench --bench saturation`
+/// and update the constant alongside the change that moved it.
+const GOLDEN_3_3_FAST_CHECKSUM: u64 = 0x09f2_026c_b87d_05c8;
+
 fn limits(fast: bool) -> SaturationLimits {
     if fast {
         SaturationLimits {
@@ -73,15 +83,46 @@ fn main() {
         // across thread counts; outcomes must be bit-identical.
         let reference = run_at(1);
         let fingerprint = |r: &esyn_egraph::Runner<esyn_core::BoolLang, esyn_core::ConstFold>| {
-            let stats: Vec<(usize, usize, usize, usize)> = r
+            type IterRow = (usize, usize, usize, usize, usize, usize, usize);
+            let stats: Vec<IterRow> = r
                 .iterations
                 .iter()
-                .map(|i| (i.nodes, i.classes, i.applied, i.rebuilds))
+                .map(|i| {
+                    (
+                        i.nodes,
+                        i.classes,
+                        i.applied,
+                        i.skipped_substs,
+                        i.rebuilds,
+                        i.active_rules,
+                        i.dropped_rules,
+                    )
+                })
                 .collect();
             let (cost, best) = r.extract_best(AstSize);
-            (stats, r.stop_reason, cost, best.to_string())
+            (
+                stats,
+                r.stop_reason,
+                cost,
+                best.to_string(),
+                r.egraph.checksum(),
+            )
         };
         let expect = fingerprint(&reference);
+        if fast && *name == "3_3" {
+            assert_eq!(
+                reference.egraph.checksum(),
+                GOLDEN_3_3_FAST_CHECKSUM,
+                "fast-mode 3_3 e-graph checksum drifted from the committed \
+                 golden (stop {:?}) — see GOLDEN_3_3_FAST_CHECKSUM's docs",
+                reference.stop_reason,
+            );
+            assert_eq!(
+                reference.stop_reason,
+                Some(esyn_egraph::StopReason::NodeLimit),
+                "fast-mode 3_3 stop reason drifted from the committed golden",
+            );
+        }
         let mut serial_ns = 0.0f64;
         for &t in threads {
             let runner = run_at(t);

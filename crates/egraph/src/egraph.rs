@@ -3,10 +3,17 @@
 //! algorithm of the egg paper (POPL 2021).
 
 use crate::analysis::Analysis;
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{FxHashMap, FxHasher};
 use crate::language::{Id, Language, OpKey, RecExpr};
 use crate::unionfind::UnionFind;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Index of an e-node in the e-graph's node arena (see [`EGraph`]: every
+/// non-leaf e-node is stored exactly once, contiguously; parent lists and
+/// the rebuild worklists refer to nodes by arena index instead of cloning
+/// `(L, Id)` pairs around).
+pub(crate) type NodeIdx = u32;
 
 /// An equivalence class of e-nodes.
 ///
@@ -22,8 +29,12 @@ pub struct EClass<L, D> {
     pub(crate) nodes: Vec<L>,
     /// Analysis data for this class.
     pub data: D,
-    /// Parent e-nodes (as originally added) and the class they live in.
-    pub(crate) parents: Vec<(L, Id)>,
+    /// Arena indices of the parent e-nodes (e-nodes with a child in this
+    /// class). Invariant: sorted ascending and deduplicated — arena
+    /// indices are issued in increasing order, so [`EGraph::add`] can
+    /// append with a `last()` check, and merges keep the invariant with a
+    /// linear sorted merge.
+    pub(crate) parents: Vec<NodeIdx>,
 }
 
 impl<L: Language, D> EClass<L, D> {
@@ -64,10 +75,24 @@ pub struct EGraph<L: Language, N: Analysis<L> = ()> {
     /// [`EGraph::add`] between rebuilds may be stale, so readers
     /// canonicalize (see [`EGraph::classes_with_op`]).
     classes_by_op: FxHashMap<OpKey, Vec<Id>>,
-    /// Worklist of parent e-nodes whose children were unioned.
-    pending: Vec<(L, Id)>,
-    /// Worklist of e-nodes whose analysis data must be re-made.
-    analysis_pending: Vec<(L, Id)>,
+    /// Arena of every non-leaf e-node, as originally added (children are
+    /// canonical as of add time; re-canonicalize through the union-find
+    /// when reading). Leaves have no children, hence no congruence
+    /// obligations, and stay out of the arena.
+    arena: Vec<L>,
+    /// `arena_class[i]` = the class `arena[i]` was added to (canonicalize
+    /// through the union-find when reading).
+    arena_class: Vec<Id>,
+    /// Worklist of arena indices whose node must be re-canonicalized and
+    /// re-hashed (congruence repair). Deduplicated at insertion via
+    /// `in_pending`: a node whose children merged twice between rebuilds
+    /// is repaired once, with the latest union-find state.
+    pending: Vec<NodeIdx>,
+    in_pending: Vec<bool>,
+    /// Worklist of arena indices whose analysis data must be re-made,
+    /// deduplicated like `pending`.
+    analysis_pending: Vec<NodeIdx>,
+    in_analysis_pending: Vec<bool>,
     clean: bool,
 }
 
@@ -93,8 +118,12 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             memo: FxHashMap::default(),
             classes: Vec::new(),
             classes_by_op: FxHashMap::default(),
+            arena: Vec::new(),
+            arena_class: Vec::new(),
             pending: Vec::new(),
+            in_pending: Vec::new(),
             analysis_pending: Vec::new(),
+            in_analysis_pending: Vec::new(),
             clean: true,
         }
     }
@@ -151,6 +180,14 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         self.memo.get(&canon).map(|&id| self.find(id))
     }
 
+    /// Memo probe for a node whose children the caller has already
+    /// canonicalized (the apply stage builds such nodes in scratch
+    /// buffers; skipping the re-canonicalizing walk of [`EGraph::lookup`]
+    /// keeps staging allocation-free).
+    pub(crate) fn lookup_canonical(&self, canon: &L) -> Option<Id> {
+        self.memo.get(canon).map(|&id| self.find(id))
+    }
+
     /// Adds `enode` (hash-consed); returns the id of its e-class.
     pub fn add(&mut self, enode: L) -> Id {
         let canon = self.canonicalize(&enode);
@@ -160,11 +197,24 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         let id = self.unionfind.make_set();
         debug_assert_eq!(usize::from(id), self.classes.len());
         let data = N::make(self, &canon);
-        for &child in canon.children() {
-            let child_class = self.classes[usize::from(child)]
-                .as_mut()
-                .expect("children must be canonical classes");
-            child_class.parents.push((canon.clone(), id));
+        if !canon.children().is_empty() {
+            let idx = NodeIdx::try_from(self.arena.len()).expect("arena index overflow");
+            self.arena.push(canon.clone());
+            self.arena_class.push(id);
+            self.in_pending.push(false);
+            self.in_analysis_pending.push(false);
+            for &child in canon.children() {
+                let child_class = self.classes[usize::from(child)]
+                    .as_mut()
+                    .expect("children must be canonical classes");
+                // A repeated child (e.g. `f(a, a)`) pushes the same fresh
+                // index back-to-back; the `last()` check keeps the parent
+                // list deduplicated, and since `idx` exceeds every earlier
+                // index, appending preserves sortedness.
+                if child_class.parents.last() != Some(&idx) {
+                    child_class.parents.push(idx);
+                }
+            }
         }
         self.classes.push(Some(EClass {
             id,
@@ -205,14 +255,20 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             return (a, false);
         }
         self.clean = false;
-        let keep = self.unionfind.union(a, b);
-        let merge = if keep == a { b } else { a };
+        let (keep, merge) = self.unionfind.union_pair(a, b);
 
         let merged = self.classes[usize::from(merge)]
             .take()
             .expect("merged class must exist");
-        // Parents of the absorbed class must be re-canonicalized.
-        self.pending.extend(merged.parents.iter().cloned());
+        // Parents of the absorbed class must be re-canonicalized. Dedup
+        // at insertion: an index already queued will be repaired with the
+        // post-union find state anyway, so a second entry is pure churn.
+        for &idx in &merged.parents {
+            if !self.in_pending[idx as usize] {
+                self.in_pending[idx as usize] = true;
+                self.pending.push(idx);
+            }
+        }
 
         let kept = self.classes[usize::from(keep)]
             .as_mut()
@@ -221,13 +277,23 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         if a_changed {
             // Data of the kept class changed: its existing parents must
             // re-make their data.
-            self.analysis_pending.extend(kept.parents.iter().cloned());
+            for &idx in &kept.parents {
+                if !self.in_analysis_pending[idx as usize] {
+                    self.in_analysis_pending[idx as usize] = true;
+                    self.analysis_pending.push(idx);
+                }
+            }
         }
         if b_changed {
-            self.analysis_pending.extend(merged.parents.iter().cloned());
+            for &idx in &merged.parents {
+                if !self.in_analysis_pending[idx as usize] {
+                    self.in_analysis_pending[idx as usize] = true;
+                    self.analysis_pending.push(idx);
+                }
+            }
         }
         kept.nodes.extend(merged.nodes);
-        kept.parents.extend(merged.parents);
+        merge_sorted_dedup(&mut kept.parents, merged.parents);
         N::modify(self, keep);
         (keep, true)
     }
@@ -237,33 +303,59 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
     /// Must be called after a batch of [`EGraph::union`]s before searching
     /// patterns again; [`crate::Runner`] does this automatically each
     /// iteration. Returns the number of unions performed during repair.
+    ///
+    /// The worklists hold deduplicated arena indices and are drained in
+    /// batches: each batch is snapshotted with a buffer swap, every entry
+    /// is canonicalized exactly once against the then-current union-find,
+    /// and repairs discovered mid-batch queue into the next batch instead
+    /// of being re-popped and re-probed entry by entry.
     pub fn rebuild(&mut self) -> usize {
         let mut repairs = 0;
+        let mut batch: Vec<NodeIdx> = Vec::new();
         while !self.pending.is_empty() || !self.analysis_pending.is_empty() {
-            while let Some((node, class)) = self.pending.pop() {
-                let canon = self.canonicalize(&node);
-                let class = self.unionfind.find_mut(class);
-                if let Some(old) = self.memo.insert(canon, class) {
-                    let (_, changed) = self.union(old, class);
-                    if changed {
-                        repairs += 1;
+            while !self.pending.is_empty() {
+                std::mem::swap(&mut batch, &mut self.pending);
+                for i in 0..batch.len() {
+                    let idx = batch[i];
+                    self.in_pending[idx as usize] = false;
+                    let node = self.arena[idx as usize].clone();
+                    let canon = node.map_children(|c| self.unionfind.find_mut(c));
+                    let class = self.unionfind.find_mut(self.arena_class[idx as usize]);
+                    if let Some(old) = self.memo.insert(canon, class) {
+                        let (_, changed) = self.union(old, class);
+                        if changed {
+                            repairs += 1;
+                        }
                     }
                 }
+                batch.clear();
             }
-            while let Some((node, class)) = self.analysis_pending.pop() {
-                let canon = self.canonicalize(&node);
-                // The node may have been merged away; its class is still
-                // valid through find.
-                let class_id = self.unionfind.find_mut(class);
-                let node_data = N::make(self, &canon);
-                let eclass = self.classes[usize::from(class_id)]
-                    .as_mut()
-                    .expect("class must exist");
-                let (changed, _) = self.analysis.merge(&mut eclass.data, node_data);
-                if changed {
-                    self.analysis_pending.extend(eclass.parents.iter().cloned());
-                    N::modify(self, class_id);
+            while !self.analysis_pending.is_empty() {
+                std::mem::swap(&mut batch, &mut self.analysis_pending);
+                for i in 0..batch.len() {
+                    let idx = batch[i];
+                    self.in_analysis_pending[idx as usize] = false;
+                    let node = self.arena[idx as usize].clone();
+                    let canon = node.map_children(|c| self.unionfind.find_mut(c));
+                    // The node may have been merged away; its class is
+                    // still valid through find.
+                    let class_id = self.unionfind.find_mut(self.arena_class[idx as usize]);
+                    let node_data = N::make(self, &canon);
+                    let eclass = self.classes[usize::from(class_id)]
+                        .as_mut()
+                        .expect("class must exist");
+                    let (changed, _) = self.analysis.merge(&mut eclass.data, node_data);
+                    if changed {
+                        for &p in &eclass.parents {
+                            if !self.in_analysis_pending[p as usize] {
+                                self.in_analysis_pending[p as usize] = true;
+                                self.analysis_pending.push(p);
+                            }
+                        }
+                        N::modify(self, class_id);
+                    }
                 }
+                batch.clear();
             }
         }
         self.rebuild_classes();
@@ -318,6 +410,72 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         self.clean
     }
 
+    /// A deterministic structural checksum of a clean e-graph.
+    ///
+    /// The checksum is *label-free*: it hashes the quotient graph (class
+    /// contents and the child-class relation) through three rounds of
+    /// Weisfeiler–Leman-style refinement and combines the per-class
+    /// hashes order-independently, so two e-graphs that represent the
+    /// same classes of terms checksum equal even when their internal id
+    /// numbering differs (e.g. the batched apply path skips no-op
+    /// instantiations that the naive per-match path materializes as
+    /// transient nodes, shifting fresh ids without changing what is
+    /// represented). Operators are hashed through [`Language::op_str`],
+    /// not interner handles, so the value is stable across processes —
+    /// CI pins a golden checksum for a registry circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the e-graph is not clean (call [`EGraph::rebuild`]).
+    pub fn checksum(&self) -> u64 {
+        assert!(self.clean, "checksum requires a clean (rebuilt) e-graph");
+        // Dense position of every canonical class id.
+        let mut pos: Vec<usize> = vec![usize::MAX; self.classes.len()];
+        let mut n_classes = 0usize;
+        for class in self.classes() {
+            pos[usize::from(class.id)] = n_classes;
+            n_classes += 1;
+        }
+        // Round 0: hash each class's multiset of (op, arity).
+        let hash_class = |prev: Option<&[u64]>, class: &EClass<L, N::Data>| -> u64 {
+            let mut fps: Vec<u64> = class
+                .nodes
+                .iter()
+                .map(|node| {
+                    let mut h = FxHasher::default();
+                    node.op_str().hash(&mut h);
+                    node.children().len().hash(&mut h);
+                    if let Some(prev) = prev {
+                        for &c in node.children() {
+                            prev[pos[usize::from(c)]].hash(&mut h);
+                        }
+                    }
+                    h.finish()
+                })
+                .collect();
+            fps.sort_unstable();
+            let mut h = FxHasher::default();
+            for fp in &fps {
+                fp.hash(&mut h);
+            }
+            h.finish()
+        };
+        let mut hashes: Vec<u64> = self.classes().map(|c| hash_class(None, c)).collect();
+        for _round in 0..3 {
+            let next: Vec<u64> = self
+                .classes()
+                .map(|c| hash_class(Some(&hashes), c))
+                .collect();
+            hashes = next;
+        }
+        hashes.sort_unstable();
+        let mut acc: u64 = 0xcbf2_9ce4_8422_2325 ^ (n_classes as u64);
+        for h in hashes {
+            acc = acc.rotate_left(23).wrapping_mul(0x0100_0000_01b3) ^ h;
+        }
+        acc
+    }
+
     /// Extracts any concrete expression represented by class `id`
     /// (an arbitrary but deterministic choice; mainly for tests).
     ///
@@ -350,6 +508,53 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             ids.push(self.lookup(&remapped)?);
         }
         ids.last().copied()
+    }
+}
+
+/// Merges sorted, deduplicated `src` into sorted, deduplicated `dst`,
+/// keeping the result sorted and deduplicated. The common cases — one
+/// side empty, or disjoint ranges (a newer class's parents all have
+/// larger arena indices) — are O(1)/memcpy; otherwise a two-pointer
+/// merge runs in linear time.
+fn merge_sorted_dedup(dst: &mut Vec<NodeIdx>, src: Vec<NodeIdx>) {
+    if src.is_empty() {
+        return;
+    }
+    if dst.is_empty() {
+        *dst = src;
+        return;
+    }
+    if src[0] > *dst.last().unwrap() {
+        dst.extend(src);
+        return;
+    }
+    let old = std::mem::replace(dst, Vec::with_capacity(dst.len() + src.len()));
+    let (mut a, mut b) = (old.into_iter().peekable(), src.into_iter().peekable());
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some(&x), Some(&y)) => {
+                if x < y {
+                    dst.push(x);
+                    a.next();
+                } else if y < x {
+                    dst.push(y);
+                    b.next();
+                } else {
+                    dst.push(x);
+                    a.next();
+                    b.next();
+                }
+            }
+            (Some(_), None) => {
+                dst.extend(a);
+                break;
+            }
+            (None, Some(_)) => {
+                dst.extend(b);
+                break;
+            }
+            (None, None) => break,
+        }
     }
 }
 
@@ -472,6 +677,78 @@ mod tests {
         g.union(x, y);
         g.rebuild();
         assert_eq!(g.class(fx).len(), 1);
+    }
+
+    #[test]
+    fn diamond_congruence_worklist_is_deduplicated() {
+        // Diamond: two parents f(x, y) and g(x, y) over the same two
+        // leaves. Unioning the leaves queues each parent exactly once;
+        // a second union touching the merged class must not re-queue
+        // already-pending parents (the old worklist carried unfiltered
+        // clones of the merged class's whole parent list).
+        let mut g = EGraph::<SymbolLang>::new();
+        let w = leaf(&mut g, "w"); // id 0: kept root of the second union
+        let x = leaf(&mut g, "x");
+        let y = leaf(&mut g, "y");
+        let _f = g.add(SymbolLang::new("f", vec![x, y]));
+        let _h = g.add(SymbolLang::new("g", vec![x, y]));
+        g.union(x, y);
+        assert_eq!(g.pending.len(), 2, "one entry per distinct parent node");
+        // The kept class's parent list is a sorted merge, not a blind
+        // concatenation of two identical lists.
+        assert_eq!(g.class(x).parents.len(), 2);
+        g.union(x, w);
+        assert_eq!(
+            g.pending.len(),
+            2,
+            "already-queued parents must not be re-queued"
+        );
+        g.rebuild();
+        assert!(g.pending.is_empty());
+        assert_eq!(g.find(x), g.find(w));
+    }
+
+    #[test]
+    fn repeated_child_parent_list_is_deduplicated() {
+        let mut g = EGraph::<SymbolLang>::new();
+        let x = leaf(&mut g, "x");
+        let _fxx = g.add(SymbolLang::new("f", vec![x, x]));
+        assert_eq!(
+            g.class(x).parents.len(),
+            1,
+            "f(x, x) is one parent of x, not two"
+        );
+    }
+
+    #[test]
+    fn checksum_is_label_free_and_discriminating() {
+        let mut a = EGraph::<SymbolLang>::new();
+        a.add_expr(&"(f (g x) y)".parse().unwrap());
+        a.rebuild();
+        // Same terms added in a different order: different internal ids,
+        // same represented classes.
+        let mut b = EGraph::<SymbolLang>::new();
+        b.add_expr(&"y".parse().unwrap());
+        b.add_expr(&"(f (g x) y)".parse().unwrap());
+        b.rebuild();
+        assert_eq!(a.checksum(), b.checksum());
+        // A union changes what is represented.
+        let mut c = EGraph::<SymbolLang>::new();
+        let root = c.add_expr(&"(f (g x) y)".parse().unwrap());
+        let y = c.lookup(&SymbolLang::leaf("y")).unwrap();
+        c.union(root, y);
+        c.rebuild();
+        assert_ne!(a.checksum(), c.checksum());
+    }
+
+    #[test]
+    #[should_panic(expected = "clean")]
+    fn checksum_requires_clean_egraph() {
+        let mut g = EGraph::<SymbolLang>::new();
+        let x = leaf(&mut g, "x");
+        let y = leaf(&mut g, "y");
+        g.union(x, y);
+        let _ = g.checksum();
     }
 
     #[test]

@@ -67,7 +67,9 @@ pub use extract::{AstDepth, AstSize, CostFunction, Extractor};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use language::{Id, Language, OpKey, RecExpr, RecExprParseError, SymbolLang};
 pub use pattern::{Pattern, PatternNode, PatternParseError, SearchMatches, Subst, Var};
-pub use rewrite::Rewrite;
-pub use runner::{BackoffScheduler, IterationStats, Runner, RunnerLimits, StopReason};
+pub use rewrite::{apply_rules, ApplyReport, Rewrite};
+pub use runner::{
+    BackoffScheduler, IterationStats, Runner, RunnerLimits, StopReason, DEFAULT_DROP_AFTER,
+};
 pub use symbol::Symbol;
 pub use unionfind::UnionFind;

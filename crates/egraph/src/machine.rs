@@ -94,30 +94,41 @@ impl<L: Language> Program<L> {
         regs.clear();
         regs.resize(self.n_regs, Id::from(0usize));
         regs[0] = egraph.find(class);
-        self.step(egraph, 0, regs, out);
+        // On a clean e-graph every stored e-node's children are already
+        // canonical (rebuild_classes canonicalizes them, and adds on a
+        // clean graph canonicalize at insertion), so the per-child and
+        // per-compare `find` chains are pure overhead — the hottest loop
+        // of the search phase. Registers then only ever hold canonical
+        // ids and the finds compile away.
+        if egraph.is_clean() {
+            self.step::<N, true>(egraph, 0, regs, out);
+        } else {
+            self.step::<N, false>(egraph, 0, regs, out);
+        }
     }
 
-    fn step<N: Analysis<L>>(
+    fn step<N: Analysis<L>, const CLEAN: bool>(
         &self,
         egraph: &EGraph<L, N>,
         pc: usize,
         regs: &mut Vec<Id>,
         out: &mut Vec<Subst>,
     ) {
+        let canon = |id: Id| if CLEAN { id } else { egraph.find(id) };
         let Some(instr) = self.instructions.get(pc) else {
             // Every constraint satisfied: read the substitution out of the
             // registers.
             out.push(Subst::from_bindings(
                 self.subst_regs
                     .iter()
-                    .map(|&(ref v, r)| (v.clone(), egraph.find(regs[r]))),
+                    .map(|&(ref v, r)| (v.clone(), canon(regs[r]))),
             ));
             return;
         };
         match instr {
             Instruction::Compare { i, j } => {
-                if egraph.find(regs[*i]) == egraph.find(regs[*j]) {
-                    self.step(egraph, pc + 1, regs, out);
+                if canon(regs[*i]) == canon(regs[*j]) {
+                    self.step::<N, CLEAN>(egraph, pc + 1, regs, out);
                 }
             }
             Instruction::Bind { node, i, out: o } => {
@@ -127,9 +138,9 @@ impl<L: Language> Program<L> {
                         continue;
                     }
                     for (k, &c) in enode.children().iter().enumerate() {
-                        regs[o + k] = egraph.find(c);
+                        regs[o + k] = canon(c);
                     }
-                    self.step(egraph, pc + 1, regs, out);
+                    self.step::<N, CLEAN>(egraph, pc + 1, regs, out);
                 }
             }
         }

@@ -99,6 +99,20 @@ impl Subst {
     }
 }
 
+/// Reusable buffers for [`Pattern::stage_is_noop`]; see
+/// [`Pattern::make_scratch`].
+pub(crate) struct StageScratch<L> {
+    /// One clone per `PatternNode::ENode`, children rewritten in place
+    /// per probe.
+    nodes: Vec<L>,
+    /// `slot[i]` = index into `nodes` for pattern node `i` (unused for
+    /// variable nodes).
+    slot: Vec<usize>,
+    /// Canonical class each pattern node resolved to (valid up to the
+    /// point a probe bailed out).
+    resolved: Vec<Id>,
+}
+
 /// All matches of a pattern inside one e-class.
 #[derive(Clone, Debug)]
 pub struct SearchMatches {
@@ -293,6 +307,73 @@ impl<L: Language> Pattern<L> {
         results.sort_by(|a, b| a.entries.cmp(&b.entries));
         results.dedup();
         results
+    }
+
+    /// Builds the reusable scratch for [`Pattern::stage_is_noop`]: one
+    /// mutable clone per concrete pattern node (children get rewritten in
+    /// place for every probed substitution) plus a resolution buffer.
+    /// Allocate once per (rule, iteration); probing is then allocation-free.
+    pub(crate) fn make_scratch(&self) -> StageScratch<L> {
+        let mut nodes = Vec::new();
+        let mut slot = vec![usize::MAX; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let PatternNode::ENode(n) = n {
+                slot[i] = nodes.len();
+                nodes.push(n.clone());
+            }
+        }
+        StageScratch {
+            nodes,
+            slot,
+            resolved: vec![Id::from(0usize); self.nodes.len()],
+        }
+    }
+
+    /// The apply stage's read-only no-op probe: true when instantiating
+    /// this pattern under `subst` and unioning the result with `class`
+    /// provably cannot change the e-graph — every pattern node already
+    /// resolves through the memo table and the root resolves into
+    /// (the canonical form of) `class` itself.
+    ///
+    /// The verdict is *stable under later unions*: unions only merge
+    /// classes and the memo never forgets a represented node, so a
+    /// substitution staged as a no-op against the phase-start e-graph is
+    /// still a no-op when the commit phase would have reached it. (The
+    /// converse does not hold — a survivor may become a no-op by commit
+    /// time — which only costs a redundant-but-harmless instantiation.)
+    pub(crate) fn stage_is_noop<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        subst: &Subst,
+        class: Id,
+        scratch: &mut StageScratch<L>,
+    ) -> bool {
+        let StageScratch {
+            nodes: scratch_nodes,
+            slot,
+            resolved,
+        } = scratch;
+        for (i, pnode) in self.nodes.iter().enumerate() {
+            let id = match pnode {
+                PatternNode::Var(v) => match subst.get(v) {
+                    Some(id) => egraph.find(id),
+                    None => return false,
+                },
+                PatternNode::ENode(n) => {
+                    let sn = &mut scratch_nodes[slot[i]];
+                    let dst = sn.children_mut();
+                    for (k, &pc) in n.children().iter().enumerate() {
+                        dst[k] = resolved[usize::from(pc)];
+                    }
+                    match egraph.lookup_canonical(&*sn) {
+                        Some(id) => id,
+                        None => return false,
+                    }
+                }
+            };
+            resolved[i] = id;
+        }
+        resolved[self.nodes.len() - 1] == egraph.find(class)
     }
 
     /// Instantiates this pattern under `subst`, adding e-nodes to the

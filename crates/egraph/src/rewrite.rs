@@ -1,9 +1,11 @@
-//! Rewrite rules: a searcher pattern and an applier pattern.
+//! Rewrite rules: a searcher pattern and an applier pattern, plus the
+//! batched two-phase apply ([`apply_rules`]) the [`crate::Runner`] uses.
 
 use crate::analysis::Analysis;
 use crate::egraph::EGraph;
 use crate::language::Language;
 use crate::pattern::{Pattern, PatternParseError, SearchMatches};
+use esyn_par::{par_map, Parallelism};
 
 /// A named rewrite `lhs => rhs`.
 ///
@@ -60,6 +62,14 @@ impl<L: Language> Rewrite<L> {
 
     /// Applies this rule to previously found matches; returns the number
     /// of unions that changed the e-graph.
+    ///
+    /// This is the naive per-match path: every substitution is
+    /// instantiated and unioned, including the (late-iteration majority
+    /// of) substitutions whose right-hand side is already represented in
+    /// the matched class. [`crate::Runner`] instead applies whole
+    /// iterations through [`apply_rules`], which stages substitutions
+    /// against the memo first; this method remains the reference
+    /// semantics the batched path is property-tested against.
     pub fn apply<N: Analysis<L>>(
         &self,
         egraph: &mut EGraph<L, N>,
@@ -77,6 +87,111 @@ impl<L: Language> Rewrite<L> {
         }
         changed
     }
+}
+
+/// Outcome of one batched apply phase ([`apply_rules`]).
+#[derive(Clone, Debug, Default)]
+pub struct ApplyReport {
+    /// Per rule (in the order passed), the number of unions that changed
+    /// the e-graph.
+    pub changed: Vec<usize>,
+    /// Substitutions the stage phase proved to be no-ops and skipped.
+    pub skipped: usize,
+    /// Substitutions that survived staging and were committed.
+    pub committed: usize,
+}
+
+impl ApplyReport {
+    /// Total e-graph-changing unions across all rules.
+    pub fn total_changed(&self) -> usize {
+        self.changed.iter().sum()
+    }
+}
+
+/// Applies one iteration's matches for many rules in two phases.
+///
+/// **Stage** (read-only, fans out over rules on `parallelism`): every
+/// substitution is probed against the e-graph's memo with
+/// `Pattern::stage_is_noop`; substitutions whose right-hand side is
+/// already represented in the matched class are dropped. The probe is a
+/// pure function of `(rule, &egraph)` at phase start, so the fan-out is
+/// bit-deterministic at any thread count — exactly the search phase's
+/// contract.
+///
+/// **Commit** (serial, in rule order): survivors are instantiated and
+/// unioned exactly as [`Rewrite::apply`] would. Because a no-op verdict
+/// is stable under the unions earlier commits perform (unions never
+/// split classes; the memo never forgets a node), the committed e-graph
+/// *represents* the same terms and classes as the naive path after the
+/// next [`EGraph::rebuild`]: class count and the label-free
+/// [`EGraph::checksum`] agree (the seeded property suite pins this).
+/// Internal id numbering and union tallies may differ from naive —
+/// the naive path materializes transient duplicate nodes when
+/// canonicalization drifts mid-phase (consuming fresh ids and counting
+/// their merge-back as a change), churn the staged path never performs.
+/// What staging saves per skipped substitution is the naive path's
+/// instantiation cost: a heap allocation, a hash probe per
+/// right-hand-side node, and a union call.
+///
+/// `matches[i]` must be rule `i`'s matches (pass an empty `Vec` for
+/// rules that were banned or not searched).
+pub fn apply_rules<L, N>(
+    egraph: &mut EGraph<L, N>,
+    rules: &[Rewrite<L>],
+    matches: &[Vec<SearchMatches>],
+    parallelism: Parallelism,
+) -> ApplyReport
+where
+    L: Language + Sync,
+    N: Analysis<L> + Sync,
+    N::Data: Sync,
+{
+    assert_eq!(
+        rules.len(),
+        matches.len(),
+        "one match list per rule required"
+    );
+    // Stage: survivors per rule as (match, subst) index pairs.
+    let survivors: Vec<Vec<(u32, u32)>> = {
+        let egraph = &*egraph;
+        par_map(parallelism, rules, |ri, rule| {
+            let ms = &matches[ri];
+            if ms.is_empty() {
+                return Vec::new();
+            }
+            let mut scratch = rule.applier.make_scratch();
+            let mut out = Vec::new();
+            for (mi, m) in ms.iter().enumerate() {
+                for (si, subst) in m.substs.iter().enumerate() {
+                    if !rule
+                        .applier
+                        .stage_is_noop(egraph, subst, m.class, &mut scratch)
+                    {
+                        out.push((mi as u32, si as u32));
+                    }
+                }
+            }
+            out
+        })
+    };
+    // Commit: serial, in rule order.
+    let mut report = ApplyReport::default();
+    for (ri, rule) in rules.iter().enumerate() {
+        let mut changed = 0;
+        for &(mi, si) in &survivors[ri] {
+            let m = &matches[ri][mi as usize];
+            let new_id = rule.applier.instantiate(egraph, &m.substs[si as usize]);
+            let (_, did) = egraph.union(m.class, new_id);
+            if did {
+                changed += 1;
+            }
+        }
+        let total: usize = matches[ri].iter().map(|m| m.substs.len()).sum();
+        report.committed += survivors[ri].len();
+        report.skipped += total - survivors[ri].len();
+        report.changed.push(changed);
+    }
+    report
 }
 
 #[cfg(test)]
@@ -105,6 +220,55 @@ mod tests {
         g.rebuild();
         let x: RecExpr<SymbolLang> = "x".parse().unwrap();
         assert_eq!(g.lookup_expr(&x), Some(g.find(id)));
+    }
+
+    #[test]
+    fn apply_rules_matches_naive_semantics() {
+        // One iteration of [comm, assoc] on the same start expression:
+        // the staged path and the naive per-match path must represent the
+        // same e-graph (label-free checksum + class count).
+        let rules = vec![
+            Rewrite::<SymbolLang>::parse("comm", "(+ ?a ?b)", "(+ ?b ?a)").unwrap(),
+            Rewrite::parse("assoc", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))").unwrap(),
+        ];
+        let e: RecExpr<SymbolLang> = "(+ (+ x y) (+ y z))".parse().unwrap();
+        let run = |batched: bool| {
+            let mut g = EGraph::<SymbolLang>::new();
+            g.add_expr(&e);
+            g.rebuild();
+            for _ in 0..3 {
+                let matches: Vec<_> = rules.iter().map(|r| r.search(&g)).collect();
+                if batched {
+                    apply_rules(&mut g, &rules, &matches, esyn_par::Parallelism::Serial);
+                } else {
+                    for (r, m) in rules.iter().zip(&matches) {
+                        r.apply(&mut g, m);
+                    }
+                }
+                g.rebuild();
+            }
+            (g.checksum(), g.num_classes())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn apply_rules_skips_saturated_substs() {
+        let mut g = EGraph::<SymbolLang>::new();
+        let e: RecExpr<SymbolLang> = "(+ x y)".parse().unwrap();
+        g.add_expr(&e);
+        g.rebuild();
+        let rules = vec![Rewrite::<SymbolLang>::parse("comm", "(+ ?a ?b)", "(+ ?b ?a)").unwrap()];
+        let matches = vec![rules[0].search(&g)];
+        let first = apply_rules(&mut g, &rules, &matches, esyn_par::Parallelism::Serial);
+        assert_eq!(first.changed, vec![1]);
+        g.rebuild();
+        // Both orders now coexist: every substitution is a staged no-op.
+        let matches = vec![rules[0].search(&g)];
+        let second = apply_rules(&mut g, &rules, &matches, esyn_par::Parallelism::Serial);
+        assert_eq!(second.changed, vec![0]);
+        assert_eq!(second.committed, 0);
+        assert_eq!(second.skipped, 2);
     }
 
     #[test]

@@ -63,22 +63,46 @@ pub struct IterationStats {
     pub applied: usize,
     /// Number of repair unions performed during rebuild.
     pub rebuilds: usize,
+    /// Substitutions the apply stage skipped as provable no-ops (already
+    /// represented in the matched class; see `apply_rules`).
+    pub skipped_substs: usize,
+    /// Rules still in the search set after this iteration (banned rules
+    /// count as active — bans expire, drops do not).
+    pub active_rules: usize,
+    /// Rules dropped from the search set so far (cumulative; see
+    /// [`BackoffScheduler::drop_after`]).
+    pub dropped_rules: usize,
     /// Wall-clock time of this iteration.
     pub elapsed: Duration,
 }
 
-/// Match-throttling scheduler in the style of egg's `BackoffScheduler`.
+/// Match-throttling scheduler in the style of egg's `BackoffScheduler`,
+/// extended with saturation-aware rule *dropping*.
 ///
 /// A rule producing more than `match_limit << times_banned` substitutions
 /// in one iteration is banned for `ban_length << times_banned` iterations.
 /// This keeps explosive rules (commutativity/associativity) from drowning
 /// out the rest.
+///
+/// Independently, a rule that keeps matching without ever changing the
+/// e-graph has saturated out: once it accumulates [`drop_after`]
+/// consecutive fruitless iterations (admitted, at least one substitution,
+/// zero changing unions) it is removed from the search set for the rest
+/// of the run — unlike a ban, a drop never expires. Iterations where the
+/// rule found nothing to match, was banned, or was over budget do not
+/// advance the streak (they say nothing about whether the rule's matches
+/// are exhausted); a single changing union resets it.
+///
+/// [`drop_after`]: BackoffScheduler::drop_after
 #[derive(Clone, Debug)]
 pub struct BackoffScheduler {
     /// Base per-iteration match budget per rule.
     pub match_limit: usize,
     /// Base ban duration, in iterations.
     pub ban_length: usize,
+    /// Drop a rule from the search set permanently after this many
+    /// consecutive fruitless iterations (`None` disables dropping).
+    pub drop_after: Option<usize>,
     stats: Vec<RuleStats>,
 }
 
@@ -86,6 +110,8 @@ pub struct BackoffScheduler {
 struct RuleStats {
     times_banned: u32,
     banned_until: usize,
+    fruitless_streak: usize,
+    dropped: bool,
 }
 
 impl Default for BackoffScheduler {
@@ -93,12 +119,26 @@ impl Default for BackoffScheduler {
         BackoffScheduler {
             match_limit: 1_000,
             ban_length: 5,
+            drop_after: Some(DEFAULT_DROP_AFTER),
             stats: Vec::new(),
         }
     }
 }
 
+/// Default for [`BackoffScheduler::drop_after`]: long enough that a rule
+/// stalled only while a banned partner was away (default ban length 5 is
+/// of the same order) usually gets its reset before the axe falls, short
+/// enough to matter within paper-sized runs (the E-Syn flows run 8–30
+/// iterations).
+pub const DEFAULT_DROP_AFTER: usize = 4;
+
 impl BackoffScheduler {
+    /// Sets [`BackoffScheduler::drop_after`] (`None` disables dropping).
+    pub fn with_drop_after(mut self, drop_after: Option<usize>) -> Self {
+        self.drop_after = drop_after;
+        self
+    }
+
     fn ensure(&mut self, n: usize) {
         if self.stats.len() < n {
             self.stats.resize(n, RuleStats::default());
@@ -111,8 +151,22 @@ impl BackoffScheduler {
             .is_some_and(|s| iteration < s.banned_until)
     }
 
+    /// True when any rule still in the search set is banned (dropped
+    /// rules never return, so their leftover bans must not keep the
+    /// runner alive).
     fn any_banned(&self, iteration: usize) -> bool {
-        self.stats.iter().any(|s| iteration < s.banned_until)
+        self.stats
+            .iter()
+            .any(|s| !s.dropped && iteration < s.banned_until)
+    }
+
+    fn is_dropped(&self, rule: usize) -> bool {
+        self.stats.get(rule).is_some_and(|s| s.dropped)
+    }
+
+    /// Rules dropped so far.
+    pub fn dropped_count(&self) -> usize {
+        self.stats.iter().filter(|s| s.dropped).count()
     }
 
     /// Returns true when the matches fit the budget; otherwise bans the
@@ -127,6 +181,27 @@ impl BackoffScheduler {
             false
         } else {
             true
+        }
+    }
+
+    /// Records an admitted rule's apply outcome, advancing (or resetting)
+    /// its fruitless streak and dropping it once the streak reaches
+    /// [`BackoffScheduler::drop_after`].
+    fn record_outcome(&mut self, rule: usize, substs: usize, changed: usize) {
+        let Some(drop_after) = self.drop_after else {
+            return;
+        };
+        let s = &mut self.stats[rule];
+        if s.dropped || substs == 0 {
+            return;
+        }
+        if changed > 0 {
+            s.fruitless_streak = 0;
+        } else {
+            s.fruitless_streak += 1;
+            if s.fruitless_streak >= drop_after {
+                s.dropped = true;
+            }
         }
     }
 }
@@ -231,12 +306,12 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
         self
     }
 
-    /// Sets the worker-thread policy for the search phase of
-    /// [`Runner::run`]. Searching is a pure function of
+    /// Sets the worker-thread policy for the search phase and the apply
+    /// stage pass of [`Runner::run`]. Both are pure functions of
     /// `(rule, &egraph)`, so fanning the rules out over workers changes
     /// wall-clock time only: iteration statistics, stop reason and the
     /// final e-graph are bit-identical at any setting (the scheduler's
-    /// match-budget decisions and the whole apply phase stay serial in
+    /// match-budget decisions and the apply commit phase stay serial in
     /// rule order). Defaults to [`Parallelism::Auto`] (`ESYN_THREADS`).
     ///
     /// One caveat: the guarantee requires the iteration or node limit to
@@ -252,10 +327,12 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
 
     /// Runs equality saturation with `rules` until saturation or a limit.
     ///
-    /// Each iteration searches every (non-banned) rule — fanned out over
-    /// worker threads per [`Runner::with_parallelism`], since searching
-    /// never mutates the e-graph — then applies all matches and rebuilds,
-    /// serially in rule order.
+    /// Each iteration searches every live rule (not banned, not dropped)
+    /// — fanned out over worker threads per [`Runner::with_parallelism`],
+    /// since searching never mutates the e-graph — stages the matches
+    /// against the memo (also fanned out; see
+    /// [`apply_rules`](crate::rewrite::apply_rules)), commits the
+    /// survivors serially in rule order, and rebuilds.
     pub fn run(mut self, rules: &[Rewrite<L>]) -> Self
     where
         L: Sync,
@@ -279,10 +356,11 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
                 return self;
             }
 
-            // Search phase (read-only): every non-banned rule is searched
-            // independently — a pure function of (rule, &egraph) — so the
-            // rules fan out over workers. Banned rules yield no matches
-            // without touching the e-graph, exactly as when serial.
+            // Search phase (read-only): every live (non-banned,
+            // non-dropped) rule is searched independently — a pure
+            // function of (rule, &egraph) — so the rules fan out over
+            // workers. Banned and dropped rules yield no matches without
+            // touching the e-graph, exactly as when serial.
             let par = self
                 .parallelism
                 .when(rules.len() >= 2 && self.egraph.total_nodes() >= PAR_SEARCH_MIN_NODES);
@@ -290,7 +368,7 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
                 let egraph = &self.egraph;
                 let scheduler = self.scheduler.as_ref();
                 par_map(par, rules, |ri, rule| {
-                    if scheduler.is_some_and(|s| s.is_banned(ri, iteration)) {
+                    if scheduler.is_some_and(|s| s.is_dropped(ri) || s.is_banned(ri, iteration)) {
                         Vec::new()
                     } else {
                         rule.search(egraph)
@@ -301,13 +379,15 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             // mutates the backoff statistics, and its decisions must not
             // depend on how the search was scheduled.
             let mut all_matches = Vec::with_capacity(rules.len());
+            let mut admitted_substs: Vec<Option<usize>> = Vec::with_capacity(rules.len());
             for (ri, matches) in searched.into_iter().enumerate() {
                 if self
                     .scheduler
                     .as_ref()
-                    .is_some_and(|s| s.is_banned(ri, iteration))
+                    .is_some_and(|s| s.is_dropped(ri) || s.is_banned(ri, iteration))
                 {
                     all_matches.push(Vec::new());
+                    admitted_substs.push(None);
                     continue;
                 }
                 let total: usize = matches.iter().map(|m| m.substs.len()).sum();
@@ -316,21 +396,43 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
                     None => true,
                 };
                 all_matches.push(if admitted { matches } else { Vec::new() });
+                admitted_substs.push(admitted.then_some(total));
             }
 
-            // Apply phase.
-            let mut applied = 0;
-            for (rule, matches) in rules.iter().zip(&all_matches) {
-                applied += rule.apply(&mut self.egraph, matches);
+            // Apply phase: a read-only stage pass filters each rule's
+            // substitutions down to the ones that can still change the
+            // e-graph (fanned out over workers under the same determinism
+            // contract as search), then the survivors commit serially in
+            // rule order.
+            let report = crate::rewrite::apply_rules(&mut self.egraph, rules, &all_matches, par);
+            let applied = report.total_changed();
+
+            // Scheduler bookkeeping: an admitted rule that matched but
+            // changed nothing advances its fruitless streak; enough
+            // fruitless iterations in a row and the rule is dropped from
+            // the search set for good.
+            if let Some(s) = &mut self.scheduler {
+                for (ri, admitted) in admitted_substs.iter().enumerate() {
+                    if let Some(substs) = admitted {
+                        s.record_outcome(ri, *substs, report.changed[ri]);
+                    }
+                }
             }
 
             let rebuilds = self.egraph.rebuild();
 
+            let dropped_rules = self
+                .scheduler
+                .as_ref()
+                .map_or(0, BackoffScheduler::dropped_count);
             self.iterations.push(IterationStats {
                 nodes: self.egraph.total_nodes(),
                 classes: self.egraph.num_classes(),
                 applied,
                 rebuilds,
+                skipped_substs: report.skipped,
+                active_rules: rules.len() - dropped_rules,
+                dropped_rules,
                 elapsed: iter_start.elapsed(),
             });
 
@@ -448,6 +550,71 @@ mod tests {
             .without_scheduler()
             .run(&rules());
         assert_eq!(runner.stop_reason, Some(StopReason::Saturated));
+    }
+
+    fn drop_workload() -> (Vec<Rewrite<SymbolLang>>, RecExpr<SymbolLang>) {
+        // comm-add/assoc-add keep reshaping the 5-atom sum for many
+        // iterations; comm-mul saturates its single (* u v) class in
+        // iteration 0 and then matches fruitlessly.
+        let rules = vec![
+            Rewrite::parse("comm-add", "(+ ?a ?b)", "(+ ?b ?a)").unwrap(),
+            Rewrite::parse("assoc-add", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))").unwrap(),
+            Rewrite::parse("comm-mul", "(* ?a ?b)", "(* ?b ?a)").unwrap(),
+        ];
+        let expr = "(+ (+ (+ (+ a (* u v)) c) d) e)".parse().unwrap();
+        (rules, expr)
+    }
+
+    #[test]
+    fn fruitless_rules_get_dropped() {
+        let (rules, expr) = drop_workload();
+        let runner = Runner::new()
+            .with_expr(&expr)
+            .with_iter_limit(10)
+            .run(&rules);
+        let drops: Vec<usize> = runner.iterations.iter().map(|i| i.dropped_rules).collect();
+        // comm-mul changes the graph in iteration 0, then goes fruitless
+        // in iterations 1..=4; the drop lands in iteration 4's stats.
+        assert!(drops.len() > DEFAULT_DROP_AFTER, "{drops:?}");
+        assert!(
+            drops[..DEFAULT_DROP_AFTER].iter().all(|&d| d == 0),
+            "{drops:?}"
+        );
+        assert!(
+            drops[DEFAULT_DROP_AFTER..].iter().all(|&d| d == 1),
+            "{drops:?}"
+        );
+        let last = runner.iterations.last().unwrap();
+        assert_eq!(last.active_rules, rules.len() - 1);
+    }
+
+    #[test]
+    fn drop_after_none_disables_dropping() {
+        let (rules, expr) = drop_workload();
+        let runner = Runner::new()
+            .with_expr(&expr)
+            .with_iter_limit(10)
+            .with_scheduler(BackoffScheduler::default().with_drop_after(None))
+            .run(&rules);
+        assert!(runner.iterations.iter().all(|i| i.dropped_rules == 0));
+        assert!(runner
+            .iterations
+            .iter()
+            .all(|i| i.active_rules == rules.len()));
+    }
+
+    #[test]
+    fn stage_skips_saturated_substs() {
+        // Once (+ x y) and (+ y x) coexist, comm-add's substitutions are
+        // all no-ops: the stage pass must skip them rather than
+        // instantiate-and-union each one.
+        let rules = vec![Rewrite::parse("comm-add", "(+ ?a ?b)", "(+ ?b ?a)").unwrap()];
+        let expr: RecExpr<SymbolLang> = "(+ x y)".parse().unwrap();
+        let runner = Runner::new().with_expr(&expr).run(&rules);
+        assert_eq!(runner.stop_reason, Some(StopReason::Saturated));
+        let last = runner.iterations.last().unwrap();
+        assert_eq!(last.applied, 0);
+        assert!(last.skipped_substs > 0, "{last:?}");
     }
 
     #[test]

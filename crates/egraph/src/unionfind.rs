@@ -59,14 +59,24 @@ impl UnionFind {
     /// Merges the sets of `a` and `b`; returns the canonical id of the
     /// merged set (the smaller of the two roots).
     pub fn union(&mut self, a: Id, b: Id) -> Id {
+        self.union_pair(a, b).0
+    }
+
+    /// Merges the sets of `a` and `b`; returns `(kept, merged)` — the
+    /// surviving canonical root (the smaller of the two) and the root that
+    /// was absorbed into it. When the sets were already one, both sides
+    /// are the shared root. Callers that need to know *which* side lost
+    /// (e.g. [`crate::EGraph::union`] moving the absorbed class's nodes)
+    /// read it straight from the return instead of re-deriving it.
+    pub fn union_pair(&mut self, a: Id, b: Id) -> (Id, Id) {
         let ra = self.find_mut(a);
         let rb = self.find_mut(b);
         if ra == rb {
-            return ra;
+            return (ra, ra);
         }
         let (keep, merge) = if ra < rb { (ra, rb) } else { (rb, ra) };
         self.parents[usize::from(merge)] = keep;
-        keep
+        (keep, merge)
     }
 
     /// True if `a` and `b` are in the same set.
@@ -114,6 +124,16 @@ mod tests {
         for &id in &ids {
             assert_eq!(uf.parents[usize::from(id)], ids[0]);
         }
+    }
+
+    #[test]
+    fn union_pair_reports_absorbed_root() {
+        let mut uf = UnionFind::new();
+        let a = uf.make_set();
+        let b = uf.make_set();
+        assert_eq!(uf.union_pair(b, a), (a, b));
+        // Already merged: both sides are the shared root.
+        assert_eq!(uf.union_pair(a, b), (a, a));
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Seeded equivalence property: the staged batched apply
+//! ([`esyn_egraph::apply_rules`]) plus the arena-backed rebuild must
+//! produce an e-graph *semantically identical* to the naive per-match
+//! reference path ([`Rewrite::apply`]) on random rewrite workloads.
+//!
+//! "Semantically identical" is the label-free [`EGraph::checksum`] plus
+//! the e-class count: the naive path materializes transient duplicate
+//! e-nodes when canonicalization drifts mid-apply (they consume fresh
+//! ids and linger as stale memo entries), so raw id numbering and
+//! `total_nodes` legitimately differ between the two paths — but after
+//! `rebuild` both represent exactly the same classes and terms.
+//!
+//! The batched path itself must additionally be *bit*-deterministic
+//! across thread counts (the staging fan-out is a pure read of the
+//! phase-start e-graph), so across `Parallelism::Fixed(1 | 2 | 4)` —
+//! what `ESYN_THREADS=1/2/4` maps to — we hold it to the stronger
+//! standard: identical node totals too.
+//!
+//! The loop drives `apply_rules` directly rather than through `Runner`
+//! so no node/iteration limit can bind differently between the two
+//! paths mid-iteration.
+
+use esyn_egraph::{apply_rules, EGraph, RecExpr, Rewrite, SymbolLang};
+use esyn_par::Parallelism;
+
+/// splitmix64: tiny, seedable, no dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn rule_pool() -> Vec<Rewrite<SymbolLang>> {
+    let specs: &[(&str, &str, &str)] = &[
+        ("comm-add", "(+ ?a ?b)", "(+ ?b ?a)"),
+        ("comm-mul", "(* ?a ?b)", "(* ?b ?a)"),
+        ("assoc-add", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))"),
+        ("assoc-mul", "(* (* ?a ?b) ?c)", "(* ?a (* ?b ?c))"),
+        ("distribute", "(* ?a (+ ?b ?c))", "(+ (* ?a ?b) (* ?a ?c))"),
+        ("factor", "(+ (* ?a ?b) (* ?a ?c))", "(* ?a (+ ?b ?c))"),
+        ("add-zero", "(+ ?a zero)", "?a"),
+        ("mul-one", "(* ?a one)", "?a"),
+        ("not-not", "(! (! ?a))", "?a"),
+    ];
+    specs
+        .iter()
+        .map(|(n, l, r)| Rewrite::parse(n, l, r).unwrap())
+        .collect()
+}
+
+/// A random expression as an s-string: binary `+`/`*`, unary `!`,
+/// leaves drawn from a small alphabet plus the identity constants.
+fn random_expr(rng: &mut Rng, depth: usize) -> String {
+    const LEAVES: &[&str] = &["a", "b", "c", "d", "zero", "one"];
+    if depth == 0 || rng.below(5) == 0 {
+        return LEAVES[rng.below(LEAVES.len())].to_owned();
+    }
+    match rng.below(5) {
+        0 | 1 => format!(
+            "(+ {} {})",
+            random_expr(rng, depth - 1),
+            random_expr(rng, depth - 1)
+        ),
+        2 | 3 => format!(
+            "(* {} {})",
+            random_expr(rng, depth - 1),
+            random_expr(rng, depth - 1)
+        ),
+        _ => format!("(! {})", random_expr(rng, depth - 1)),
+    }
+}
+
+fn fresh_graph(expr: &RecExpr<SymbolLang>) -> EGraph<SymbolLang> {
+    let mut g = EGraph::new();
+    g.add_expr(expr);
+    g.rebuild();
+    g
+}
+
+#[test]
+fn batched_apply_matches_naive_reference_on_random_workloads() {
+    let pool = rule_pool();
+    for seed in 0..24u64 {
+        let mut rng = Rng(0xE5F1_0000 + seed);
+        // A random subset of at least two rules, in pool order (the
+        // commit phase is order-sensitive by design).
+        let rules: Vec<Rewrite<SymbolLang>> = loop {
+            let picked: Vec<_> = pool.iter().filter(|_| rng.below(2) == 0).cloned().collect();
+            if picked.len() >= 2 {
+                break picked;
+            }
+        };
+        let expr: RecExpr<SymbolLang> = random_expr(&mut rng, 5).parse().unwrap();
+
+        let mut naive = fresh_graph(&expr);
+        let mut batched: Vec<EGraph<SymbolLang>> = (0..3).map(|_| fresh_graph(&expr)).collect();
+        let pars = [
+            Parallelism::Fixed(1),
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(4),
+        ];
+
+        // Four iterations keeps the largest workloads around a few
+        // thousand nodes — no limit machinery, so nothing can bind
+        // differently between the paths.
+        for iter in 0..4 {
+            let matches: Vec<_> = rules.iter().map(|r| r.search(&naive)).collect();
+            for (r, m) in rules.iter().zip(&matches) {
+                r.apply(&mut naive, m);
+            }
+            naive.rebuild();
+
+            for (g, par) in batched.iter_mut().zip(pars) {
+                let matches: Vec<_> = rules.iter().map(|r| r.search(g)).collect();
+                apply_rules(g, &rules, &matches, par);
+                g.rebuild();
+            }
+
+            // The batched path is bit-deterministic across thread
+            // counts: same node totals, not just the same quotient.
+            for g in &batched[1..] {
+                assert_eq!(
+                    (g.checksum(), g.num_classes(), g.total_nodes()),
+                    (
+                        batched[0].checksum(),
+                        batched[0].num_classes(),
+                        batched[0].total_nodes()
+                    ),
+                    "seed {seed} iter {iter}: thread-count divergence"
+                );
+            }
+            // Against naive: semantic equality (see module docs).
+            assert_eq!(
+                (batched[0].checksum(), batched[0].num_classes()),
+                (naive.checksum(), naive.num_classes()),
+                "seed {seed} iter {iter}: batched != naive (rules {:?}, expr {expr})",
+                rules.iter().map(|r| r.name.as_str()).collect::<Vec<_>>(),
+            );
+        }
+    }
+}

@@ -176,7 +176,22 @@ pub struct Engine {
     errors: AtomicU64,
     computed: AtomicU64,
     coalesced: AtomicU64,
+    /// Wall-clock milliseconds spent by single-flight leaders actually
+    /// computing (cache hits and coalesced waiters excluded — they do
+    /// not occupy a worker for any meaningful time). Together with
+    /// `job_ms_count` this gives the running mean job time behind the
+    /// `retry_after_ms` backpressure hint. Wall-clock feeds *only* that
+    /// hint, never a `result` payload — determinism is untouched.
+    job_ms_sum: AtomicU64,
+    job_ms_count: AtomicU64,
 }
+
+/// Mean job time assumed for the `retry_after_ms` hint before any job
+/// has completed (a cold server has nothing to measure).
+const DEFAULT_JOB_MS: u64 = 250;
+/// Bounds on the `retry_after_ms` hint: never so small that clients
+/// hammer a loaded server, never longer than a minute.
+const RETRY_MS_RANGE: (u64, u64) = (25, 60_000);
 
 impl Engine {
     /// Builds the engine and starts its worker pool.
@@ -210,6 +225,8 @@ impl Engine {
             errors: AtomicU64::new(0),
             computed: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            job_ms_sum: AtomicU64::new(0),
+            job_ms_count: AtomicU64::new(0),
         });
         let handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|_| {
@@ -327,7 +344,8 @@ impl Engine {
             Err(SubmitError::Full(queued, cap)) => {
                 self.submitted.fetch_sub(1, Ordering::SeqCst);
                 self.rejected.fetch_add(1, Ordering::SeqCst);
-                let _ = reply.send(protocol::busy_line(&job_id, queued, cap));
+                let retry = self.retry_after_ms(queued);
+                let _ = reply.send(protocol::busy_line(&job_id, queued, cap, retry));
             }
             Err(SubmitError::Closed) => {
                 self.submitted.fetch_sub(1, Ordering::SeqCst);
@@ -339,6 +357,25 @@ impl Engine {
                 ));
             }
         }
+    }
+
+    /// When a rejected client should retry: the backlog ahead of it
+    /// (`queued` jobs spread over the worker pool, plus the slot it
+    /// needs) times the running mean leader job time, clamped to
+    /// [`RETRY_MS_RANGE`]. Before any job has finished the mean falls
+    /// back to [`DEFAULT_JOB_MS`].
+    fn retry_after_ms(&self, queued: usize) -> u64 {
+        let count = self.job_ms_count.load(Ordering::SeqCst);
+        let mean = if count == 0 {
+            DEFAULT_JOB_MS
+        } else {
+            (self.job_ms_sum.load(Ordering::SeqCst) / count).max(1)
+        };
+        let workers = self.cfg.workers.max(1) as u64;
+        let rounds = (queued as u64) / workers + 1;
+        rounds
+            .saturating_mul(mean)
+            .clamp(RETRY_MS_RANGE.0, RETRY_MS_RANGE.1)
     }
 
     fn worker_loop(self: Arc<Self>) {
@@ -415,7 +452,12 @@ impl Engine {
             let payload = ResultPayload::from_result(&result, key);
             (sat, payload.to_json().encode())
         };
+        let started = std::time::Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+        // Panicking jobs count too: they occupied a worker just the same.
+        let elapsed_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        self.job_ms_sum.fetch_add(elapsed_ms, Ordering::SeqCst);
+        self.job_ms_count.fetch_add(1, Ordering::SeqCst);
         match outcome {
             Ok((sat, encoded)) => {
                 let encoded: Arc<str> = Arc::from(encoded);

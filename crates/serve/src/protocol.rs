@@ -433,9 +433,13 @@ pub fn result_line(id: &str, cached: bool, result_json: &str) -> String {
 }
 
 /// A backpressure rejection: the bounded queue is full.
-pub fn busy_line(id: &str, queued: usize, cap: usize) -> String {
+/// `retry_after_ms` is the server's estimate of when capacity will free
+/// up — queue depth times the recent mean job wall time, scaled by the
+/// worker count (see `Engine::retry_after_ms`). A hint, not a promise:
+/// clients that resubmit sooner just risk another `busy`.
+pub fn busy_line(id: &str, queued: usize, cap: usize, retry_after_ms: u64) -> String {
     format!(
-        "{{\"reply\":\"busy\",\"id\":{},\"ok\":false,\"error\":{}}}",
+        "{{\"reply\":\"busy\",\"id\":{},\"ok\":false,\"retry_after_ms\":{retry_after_ms},\"error\":{}}}",
         json::quote(id),
         json::quote(&format!("queue full ({queued}/{cap} jobs queued)")),
     )
@@ -637,7 +641,11 @@ mod tests {
     #[test]
     fn control_lines_are_stable() {
         assert_eq!(pong_line(), "{\"reply\":\"pong\",\"ok\":true}");
-        assert!(busy_line("a\"b", 3, 3).contains("\\\""));
+        assert!(busy_line("a\"b", 3, 3, 250).contains("\\\""));
+        let busy = json::parse(&busy_line("j", 3, 3, 750)).unwrap();
+        assert_eq!(busy.get("reply").and_then(Json::as_str), Some("busy"));
+        assert_eq!(busy.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(busy.get("retry_after_ms").and_then(Json::as_u64), Some(750));
         let line = result_line("j", true, "{\"x\":1}");
         let v = json::parse(&line).unwrap();
         assert_eq!(v.get("reply").and_then(Json::as_str), Some("result"));

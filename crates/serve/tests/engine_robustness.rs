@@ -105,6 +105,47 @@ fn identical_concurrent_submits_run_exactly_one_computation() {
 }
 
 #[test]
+fn busy_rejections_carry_a_bounded_retry_hint() {
+    // A cap-1 single-worker engine under a flood of *distinct* jobs
+    // (different configs, so nothing coalesces) must reject some of
+    // them, and every rejection carries a `retry_after_ms` hint inside
+    // the engine's documented clamp range.
+    let engine = engine_with(ServeConfig {
+        workers: 1,
+        queue_cap: 1,
+        cache_bytes: 0,
+        sat_cache_bytes: 0,
+        ..ServeConfig::default()
+    });
+    let (tx, rx) = channel();
+    let flood = 8usize;
+    for i in 0..flood {
+        // Distinct sample counts give every job its own cache key.
+        let extra = format!(r#","seed":{}"#, i + 1);
+        engine.handle_line(&submit_line(&format!("b{i}"), "3_3", &extra), &tx);
+    }
+    let mut busy = 0usize;
+    for _ in 0..flood {
+        let reply = recv_reply(&rx);
+        match reply.get("reply").and_then(Json::as_str) {
+            Some("result") => {}
+            Some("busy") => {
+                busy += 1;
+                let retry = reply
+                    .get("retry_after_ms")
+                    .and_then(Json::as_u64)
+                    .unwrap_or_else(|| panic!("busy without retry hint: {}", reply.encode()));
+                assert!((25..=60_000).contains(&retry), "hint out of range: {retry}");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert!(busy >= 1, "cap-1 queue under an 8-deep flood must reject");
+    assert_eq!(engine.stats().rejected, busy as u64);
+    engine.shutdown();
+}
+
+#[test]
 fn poisoned_cache_lock_does_not_kill_the_server() {
     // A worker that panics while holding the cache lock poisons the
     // mutex; the old `lock().unwrap()` sites then cascaded the panic

@@ -349,12 +349,16 @@ fn optimize(args: &[String]) -> Result<(), String> {
         println!("saturation ({} iterations):", result.iterations.len());
         for (i, it) in result.iterations.iter().enumerate() {
             println!(
-                "  iter {:>3}: {:>8} e-nodes, {:>7} e-classes, {:>6} applied, {:>5} rebuilds  ({:.3} ms)",
+                "  iter {:>3}: {:>8} e-nodes, {:>7} e-classes, {:>6} applied, {:>6} skipped, \
+                 {:>5} rebuilds, {:>3} rules active ({} dropped)  ({:.3} ms)",
                 i + 1,
                 it.nodes,
                 it.classes,
                 it.applied,
+                it.skipped_substs,
                 it.rebuilds,
+                it.active_rules,
+                it.dropped_rules,
                 it.elapsed.as_secs_f64() * 1e3,
             );
         }

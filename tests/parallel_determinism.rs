@@ -34,10 +34,21 @@ fn saturation_is_thread_count_invariant_on_a_real_circuit() {
     let expr = network_to_recexpr(&net);
     let fingerprint = |par: Parallelism| {
         let runner = saturate_par(&expr, &all_rules(), &SaturationLimits::small(), par);
-        let stats: Vec<(usize, usize, usize, usize)> = runner
+        type IterRow = (usize, usize, usize, usize, usize, usize, usize);
+        let stats: Vec<IterRow> = runner
             .iterations
             .iter()
-            .map(|i| (i.nodes, i.classes, i.applied, i.rebuilds))
+            .map(|i| {
+                (
+                    i.nodes,
+                    i.classes,
+                    i.applied,
+                    i.skipped_substs,
+                    i.rebuilds,
+                    i.active_rules,
+                    i.dropped_rules,
+                )
+            })
             .collect();
         let (size_cost, best_size) = runner.extract_best(AstSize);
         let (depth_cost, best_depth) = runner.extract_best(AstDepth);
@@ -46,6 +57,7 @@ fn saturation_is_thread_count_invariant_on_a_real_circuit() {
             runner.stop_reason.expect("runner finished"),
             runner.egraph.total_nodes(),
             runner.egraph.num_classes(),
+            runner.egraph.checksum(),
             (size_cost, best_size.to_string()),
             (depth_cost, best_depth.to_string()),
         )

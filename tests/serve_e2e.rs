@@ -279,6 +279,12 @@ fn backpressure_rejects_with_busy_when_the_queue_is_full() {
                     msg.contains("queue full"),
                     "busy line names the queue: {msg}"
                 );
+                // Every rejection carries a bounded retry hint.
+                let retry = reply
+                    .get("retry_after_ms")
+                    .and_then(Json::as_u64)
+                    .expect("busy reply carries retry_after_ms");
+                assert!((25..=60_000).contains(&retry), "retry hint {retry}ms");
             }
             other => panic!("unexpected reply {other:?}"),
         }
